@@ -1,0 +1,347 @@
+//! Table I regeneration: drive every design through an identical
+//! associative-search workload and compare energy per bit.
+//!
+//! The workload mirrors the paper's reporting convention: each engine
+//! stores the same 16 × 64-bit content (the 2-bit TD-AM packs it into
+//! 32 cells per row), then serves a batch of queries whose mismatch
+//! activity is low (associative searches are dominated by near-matches),
+//! and reports average energy per searched bit.
+
+use crate::fecam::{Fecam, FecamParams};
+use crate::fefinfet::{FeFinFet, FeFinFetParams};
+use crate::homogeneous::{HomogeneousTd, HomogeneousTdParams};
+use crate::tcam16t::{Tcam16t, Tcam16tParams};
+use crate::timaq::{Timaq, TimaqParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tdam::array::TdamArray;
+use tdam::config::ArrayConfig;
+use tdam::engine::SimilarityEngine;
+use tdam::TdamError;
+
+/// One row of the Table I comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Design name.
+    pub design: String,
+    /// Signal domain ("Voltage" / "Time").
+    pub signal_domain: &'static str,
+    /// Device technology ("CMOS" / "FeFET").
+    pub device: &'static str,
+    /// Cell or stage composition.
+    pub cell: &'static str,
+    /// Similarity-computation type.
+    pub sc_type: &'static str,
+    /// Process node, nanometres.
+    pub technology_nm: u32,
+    /// Measured energy per bit, joules.
+    pub energy_per_bit: f64,
+    /// Ratio relative to the TD-AM ("this work"); 1.0 for the TD-AM row.
+    pub ratio: f64,
+}
+
+/// The standard workload: 16 stored words of 64 bits clustered around a
+/// common template (each row flips ~5% of the template's bits), queried
+/// with the template itself. This reproduces the associative near-match
+/// regime the cited papers report their energy figures in — every row
+/// sees low mismatch activity rather than the ~50% of random data.
+const ROWS: usize = 16;
+const BITS: usize = 64;
+const FLIP_P: f64 = 0.05;
+
+fn run_binary_engine<E: SimilarityEngine>(
+    engine: &mut E,
+    queries: usize,
+    seed: u64,
+) -> Result<f64, TdamError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template: Vec<u8> = (0..BITS).map(|_| rng.gen_range(0..2u8)).collect();
+    for i in 0..ROWS {
+        let mut row = template.clone();
+        for bit in row.iter_mut() {
+            if rng.gen_bool(FLIP_P) {
+                *bit ^= 1;
+            }
+        }
+        engine.store(i, &row)?;
+    }
+    let mut total_energy = 0.0;
+    for _ in 0..queries {
+        total_energy += engine.search(&template)?.energy;
+    }
+    Ok(total_energy / (queries * engine.total_bits()) as f64)
+}
+
+fn run_tdam(queries: usize, seed: u64, vdd: f64) -> Result<f64, TdamError> {
+    // 64 bits = 32 two-bit cells per row, clustered near-match content
+    // (the same ~5% per-bit activity as the binary engines: on 2-bit
+    // elements a bit flip changes one element, so flip elements at the
+    // combined per-element probability ~2·FLIP_P).
+    let cfg = ArrayConfig::paper_default()
+        .with_stages(BITS / 2)
+        .with_rows(ROWS)
+        .with_vdd(vdd);
+    let mut am = TdamArray::new(cfg)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template: Vec<u8> = (0..BITS / 2).map(|_| rng.gen_range(0..4u8)).collect();
+    for i in 0..ROWS {
+        let mut row = template.clone();
+        for el in row.iter_mut() {
+            if rng.gen_bool(2.0 * FLIP_P) {
+                *el = (*el + 1 + rng.gen_range(0..3u8)) % 4;
+            }
+        }
+        SimilarityEngine::store(&mut am, i, &row)?;
+    }
+    let total_bits = am.total_bits();
+    let mut total_energy = 0.0;
+    for _ in 0..queries {
+        total_energy += TdamArray::search(&am, &template)?.energy.total();
+    }
+    Ok(total_energy / (queries * total_bits) as f64)
+}
+
+/// Regenerates Table I: every design's energy per bit on the standard
+/// workload, with ratios against the TD-AM at its best operating point
+/// (V_DD = 0.6 V).
+///
+/// # Errors
+///
+/// Propagates engine errors (none are expected with the fixed workload).
+pub fn comparison_table(queries: usize, seed: u64) -> Result<Vec<ComparisonRow>, TdamError> {
+    let tdam_epb = run_tdam(queries, seed, 0.6)?;
+    let mut rows = Vec::new();
+
+    let mut tcam = Tcam16t::new(ROWS, BITS, Tcam16tParams::default());
+    rows.push(ComparisonRow {
+        design: tcam.name().to_owned(),
+        signal_domain: "Voltage",
+        device: "CMOS",
+        cell: "16T",
+        sc_type: "Hamming, non-quantitative",
+        technology_nm: 45,
+        energy_per_bit: run_binary_engine(&mut tcam, queries, seed)?,
+        ratio: 0.0,
+    });
+
+    let mut fecam = Fecam::new(ROWS, BITS, FecamParams::default());
+    rows.push(ComparisonRow {
+        design: fecam.name().to_owned(),
+        signal_domain: "Voltage",
+        device: "FeFET",
+        cell: "2FeFET",
+        sc_type: "Hamming, non-quantitative",
+        technology_nm: 45,
+        energy_per_bit: run_binary_engine(&mut fecam, queries, seed)?,
+        ratio: 0.0,
+    });
+
+    let mut timaq = Timaq::new(ROWS, BITS, TimaqParams::default());
+    rows.push(ComparisonRow {
+        design: timaq.name().to_owned(),
+        signal_domain: "Time",
+        device: "CMOS",
+        cell: "20T+4MUX",
+        sc_type: "MAC/Cosine, quantitative",
+        technology_nm: 28,
+        energy_per_bit: run_binary_engine(&mut timaq, queries, seed)?,
+        ratio: 0.0,
+    });
+
+    let mut fefin = FeFinFet::new(ROWS, BITS, FeFinFetParams::default());
+    rows.push(ComparisonRow {
+        design: fefin.name().to_owned(),
+        signal_domain: "Time",
+        device: "FeFET",
+        cell: "2T-1FeFET",
+        sc_type: "MAC/Cosine, quantitative",
+        technology_nm: 14,
+        energy_per_bit: run_binary_engine(&mut fefin, queries, seed)?,
+        ratio: 0.0,
+    });
+
+    let mut homo = HomogeneousTd::new(ROWS, BITS, HomogeneousTdParams::default());
+    rows.push(ComparisonRow {
+        design: homo.name().to_owned(),
+        signal_domain: "Time",
+        device: "FeFET",
+        cell: "3T-2FeFET",
+        sc_type: "MAC/Hamming, quantitative",
+        technology_nm: 40,
+        energy_per_bit: run_binary_engine(&mut homo, queries, seed)?,
+        ratio: 0.0,
+    });
+
+    rows.push(ComparisonRow {
+        design: "This work (4T-2FeFET TD-AM)".to_owned(),
+        signal_domain: "Time",
+        device: "FeFET",
+        cell: "4T-2FeFET",
+        sc_type: "Hamming, quantitative",
+        technology_nm: 40,
+        energy_per_bit: tdam_epb,
+        ratio: 1.0,
+    });
+
+    for row in &mut rows {
+        row.ratio = row.energy_per_bit / tdam_epb;
+    }
+    Ok(rows)
+}
+
+/// The Table I comparison extended with the current-domain crossbar CAM
+/// (the paper discusses it in Sec. II-B but leaves it out of Table I) and
+/// a cell-area column from the F² model.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn extended_comparison_table(
+    queries: usize,
+    seed: u64,
+) -> Result<Vec<(ComparisonRow, f64)>, TdamError> {
+    use crate::crossbar::{CrossbarCam, CrossbarParams};
+    let mut rows = comparison_table(queries, seed)?;
+    let tdam_epb = rows
+        .iter()
+        .find(|r| r.design.contains("This work"))
+        .expect("comparison_table always includes this work")
+        .energy_per_bit;
+    let mut cb = CrossbarCam::new(ROWS, BITS, CrossbarParams::default());
+    let epb = run_binary_engine(&mut cb, queries, seed)?;
+    rows.push(ComparisonRow {
+        design: cb.name().to_owned(),
+        signal_domain: "Current",
+        device: "FeFET",
+        cell: "1FeFET",
+        sc_type: "Hamming, quantitative",
+        technology_nm: 40,
+        energy_per_bit: epb,
+        ratio: epb / tdam_epb,
+    });
+    // Per-bit cell area from the F² model, matched by design order.
+    let areas = tdam::area::table1_area_per_bit(6e-15);
+    let area_for = |design: &str| -> f64 {
+        let needle = if design.contains("16T") {
+            "16T TCAM"
+        } else if design.contains("Nat. Electron.") {
+            "2FeFET TCAM"
+        } else if design.contains("TIMAQ") {
+            "20T+4MUX"
+        } else if design.contains("[24]") {
+            "3T-2FeFET"
+        } else if design.contains("This work") {
+            "This work"
+        } else {
+            return f64::NAN; // Fe-FinFET (14 nm) and crossbar not modelled
+        };
+        areas
+            .iter()
+            .find(|(n, _)| n.contains(needle))
+            .map(|(_, a)| *a)
+            .unwrap_or(f64::NAN)
+    };
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            let a = area_for(&r.design);
+            (r, a)
+        })
+        .collect())
+}
+
+/// Renders the comparison as an aligned text table (the Table I layout).
+pub fn render_table(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:<8} {:<6} {:<11} {:<28} {:>14} {:>8} {:>6}\n",
+        "Design", "Domain", "Device", "Cell/Stage", "SC Type", "E/bit (fJ)", "Ratio", "Tech"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:<8} {:<6} {:<11} {:<28} {:>14.3} {:>7.2}x {:>4}nm\n",
+            r.design,
+            r.signal_domain,
+            r.device,
+            r.cell,
+            r.sc_type,
+            r.energy_per_bit * 1e15,
+            r.ratio,
+            r.technology_nm
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_six_designs() {
+        let rows = comparison_table(20, 7).unwrap();
+        assert_eq!(rows.len(), 6);
+        let this_work = rows.last().unwrap();
+        assert_eq!(this_work.ratio, 1.0);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // The qualitative ordering Table I reports: TIMAQ (CMOS TD) worst,
+        // Fe-FinFET best, TD-AM beats the CAMs and the 3T-2FeFET fabric.
+        let rows = comparison_table(50, 7).unwrap();
+        let by_name = |needle: &str| {
+            rows.iter()
+                .find(|r| r.design.contains(needle))
+                .unwrap_or_else(|| panic!("{needle} missing"))
+        };
+        let timaq = by_name("TIMAQ");
+        let fefin = by_name("Fe-FinFET");
+        let tcam = by_name("16T");
+        let fecam = by_name("Nat. Electron.");
+        let homo = by_name("[24]");
+        let ours = by_name("This work");
+        assert!(timaq.ratio > 5.0, "CMOS TD should be many x worse: {}", timaq.ratio);
+        assert!(fefin.ratio < 1.0, "14nm Fe-FinFET reports lower E/bit");
+        assert!(tcam.ratio > 1.0);
+        assert!(fecam.ratio > 1.0);
+        assert!(homo.ratio > 1.0, "binary TD fabric worse per bit: {}", homo.ratio);
+        assert!(tcam.energy_per_bit > fecam.energy_per_bit);
+        assert!(ours.energy_per_bit < fecam.energy_per_bit);
+    }
+
+    #[test]
+    fn render_is_wellformed() {
+        let rows = comparison_table(10, 7).unwrap();
+        let text = render_table(&rows);
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("This work"));
+    }
+
+    #[test]
+    fn extended_table_adds_crossbar_and_area() {
+        let rows = extended_comparison_table(20, 7).unwrap();
+        assert_eq!(rows.len(), 7);
+        let (crossbar, _) = rows
+            .iter()
+            .find(|(r, _)| r.design.contains("crossbar"))
+            .expect("crossbar present");
+        // The crossbar is quantitative but pays ADC + DC-current costs:
+        // worse per bit than the TD-AM.
+        assert!(crossbar.ratio > 1.0, "crossbar ratio {}", crossbar.ratio);
+        // Area column present for the modelled designs.
+        let (_, tdam_area) = rows
+            .iter()
+            .find(|(r, _)| r.design.contains("This work"))
+            .expect("this work");
+        assert!(tdam_area.is_finite() && *tdam_area > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = comparison_table(10, 3).unwrap();
+        let b = comparison_table(10, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+//! The 2-FeFET TCAM of Ni et al., Nature Electronics 2019 (voltage
+//! domain, non-quantitative).
+//!
+//! Two FeFETs replace the 16-transistor CMOS cell, shrinking both the cell
+//! and the match-line capacitance; search behaviour is the same NOR-type
+//! match-line scheme as [`crate::tcam16t`], so the design still cannot
+//! report distances — only exact matches (or a handful of mismatching
+//! cells via sense-margin tricks, which the paper's Table I still counts
+//! as non-quantitative).
+
+use crate::validate_bits;
+use serde::{Deserialize, Serialize};
+use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::TdamError;
+
+/// Structural parameters of the 2-FeFET TCAM model (45 nm class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FecamParams {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Match-line capacitance per cell, farads (2 FeFET drains + wire —
+    /// much smaller than a 16T cell).
+    pub c_ml_per_cell: f64,
+    /// Search-line capacitance per cell per line, farads (FeFET gates).
+    pub c_sl_per_cell: f64,
+    /// Search latency, seconds.
+    pub t_search: f64,
+}
+
+impl Default for FecamParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.0,
+            c_ml_per_cell: 0.28e-15,
+            c_sl_per_cell: 0.06e-15,
+            t_search: 0.6e-9,
+        }
+    }
+}
+
+/// A functional 2-FeFET TCAM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fecam {
+    params: FecamParams,
+    width: usize,
+    data: Vec<Vec<u8>>,
+}
+
+impl Fecam {
+    /// Creates a 2-FeFET TCAM with `rows` words of `width` bits.
+    pub fn new(rows: usize, width: usize, params: FecamParams) -> Self {
+        Self {
+            params,
+            width,
+            data: vec![vec![0; width]; rows],
+        }
+    }
+}
+
+impl SimilarityEngine for Fecam {
+    fn name(&self) -> &str {
+        "2FeFET TCAM (Nat. Electron.'19)"
+    }
+
+    fn is_quantitative(&self) -> bool {
+        false
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn bits_per_element(&self) -> u8 {
+        1
+    }
+
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        if row >= self.data.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.data.len(),
+            });
+        }
+        if values.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: values.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(values)?;
+        self.data[row] = values.to_vec();
+        Ok(())
+    }
+
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let mut best = None;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut ml_energy = 0.0;
+        for (i, row) in self.data.iter().enumerate() {
+            let mismatch = row.iter().zip(query).any(|(a, b)| a != b);
+            if mismatch {
+                ml_energy += self.width as f64 * p.c_ml_per_cell * v2;
+                distances.push(None);
+            } else {
+                if best.is_none() {
+                    best = Some(i);
+                }
+                distances.push(Some(0));
+            }
+        }
+        let sl_energy =
+            2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
+        Ok(SearchMetrics {
+            best_row: best,
+            distances,
+            energy: ml_energy + sl_energy,
+            latency: p.t_search,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_than_16t() {
+        // Same workload: the FeFET CAM must beat the CMOS TCAM on energy.
+        let mut fe = Fecam::new(16, 64, FecamParams::default());
+        let mut cmos = crate::tcam16t::Tcam16t::new(16, 64, Default::default());
+        let q = vec![1u8; 64];
+        let e_fe = fe.search(&q).unwrap().energy;
+        let e_cmos = cmos.search(&q).unwrap().energy;
+        assert!(e_fe < e_cmos, "FeFET {e_fe:e} vs CMOS {e_cmos:e}");
+    }
+
+    #[test]
+    fn energy_per_bit_in_paper_range() {
+        // Table I reports 0.40 fJ/bit.
+        let mut c = Fecam::new(16, 64, FecamParams::default());
+        let m = c.search(&[1; 64]).unwrap();
+        let epb = m.energy_per_bit(c.total_bits());
+        assert!(
+            (0.2e-15..0.7e-15).contains(&epb),
+            "energy/bit {epb:e} should be near the paper's 0.40 fJ"
+        );
+    }
+
+    #[test]
+    fn finds_exact_match_only() {
+        let mut c = Fecam::new(2, 4, FecamParams::default());
+        c.store(1, &[1, 1, 0, 0]).unwrap();
+        assert_eq!(c.search(&[1, 1, 0, 0]).unwrap().best_row, Some(1));
+        assert_eq!(c.search(&[1, 1, 0, 1]).unwrap().best_row, None);
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut c = Fecam::new(2, 4, FecamParams::default());
+        assert!(c.store(0, &[2, 0, 0, 0]).is_err());
+        assert!(c.search(&[0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The Fe-FinFET time-domain CIM of IEDM'21 (14 nm, variable-*resistance*
+//! stages, quantitative).
+//!
+//! This design puts the FeFET directly in each stage's pull-down path and
+//! uses it as a tunable resistor. That is extremely energy-efficient
+//! (advanced 14 nm node, tiny capacitances — Table I lists 0.039 fJ/bit)
+//! but has the two weaknesses the TD-AM paper calls out:
+//!
+//! 1. the stage delay depends *exponentially* on the FeFET threshold
+//!    voltage, so V_TH variation is amplified into large delay errors
+//!    (see [`FeFinFet::stage_delay_with_vth_shift`], exercised by the
+//!    VC-vs-VR ablation bench), and
+//! 2. an OFF-state FeFET can interrupt signal propagation entirely.
+
+use crate::validate_bits;
+use serde::{Deserialize, Serialize};
+use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::TdamError;
+use tdam_fefet::mosfet::{ids, MosParams, MosPolarity};
+
+/// Structural parameters of the Fe-FinFET TD stage (14 nm class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeFinFetParams {
+    /// Supply voltage, volts (advanced node, aggressively scaled).
+    pub vdd: f64,
+    /// Switched capacitance per 2T-1FeFET stage per search, farads.
+    pub c_stage: f64,
+    /// Stage node capacitance discharged through the FeFET, farads (sets
+    /// the variable-resistance delay).
+    pub c_node: f64,
+    /// Nominal FeFET threshold in the low-resistance state, volts.
+    pub vth_on: f64,
+    /// Gate drive applied during evaluation, volts.
+    pub v_gate: f64,
+    /// Intrinsic stage delay, seconds.
+    pub d_stage: f64,
+}
+
+impl Default for FeFinFetParams {
+    fn default() -> Self {
+        Self {
+            vdd: 0.55,
+            c_stage: 0.13e-15,
+            c_node: 0.5e-15,
+            vth_on: 0.25,
+            v_gate: 0.55,
+            d_stage: 8e-12,
+        }
+    }
+}
+
+/// A functional Fe-FinFET variable-resistance TD-CIM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeFinFet {
+    params: FeFinFetParams,
+    width: usize,
+    data: Vec<Vec<u8>>,
+}
+
+impl FeFinFet {
+    /// Creates an engine with `rows` words of `width` bits.
+    pub fn new(rows: usize, width: usize, params: FeFinFetParams) -> Self {
+        Self {
+            params,
+            width,
+            data: vec![vec![0; width]; rows],
+        }
+    }
+
+    /// The 14 nm-class FeFET device used as the stage's tunable resistor.
+    fn stage_device(&self) -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth: self.params.vth_on,
+            beta: 900e-6,
+            n: 1.25,
+            lambda: 0.1,
+            v_t: 0.02585,
+        }
+    }
+
+    /// Stage discharge delay when the FeFET's threshold is shifted by
+    /// `dvth` from nominal: `t ≈ C_node · (V_DD/2) / I_D(V_G, V_TH+ΔV)`.
+    ///
+    /// This is the variation-amplification mechanism: in subthreshold or
+    /// near-threshold operation the current — and therefore the delay —
+    /// moves exponentially with `ΔV_TH`. Compare with the TD-AM, where the
+    /// FeFET only gates a switch and the delay is set by a CMOS-driven RC.
+    pub fn stage_delay_with_vth_shift(&self, dvth: f64) -> f64 {
+        let dev = MosParams {
+            vth: self.params.vth_on + dvth,
+            ..self.stage_device()
+        };
+        let i = ids(&dev, self.params.v_gate, self.params.vdd / 2.0)
+            .id
+            .max(1e-15);
+        self.params.c_node * (self.params.vdd / 2.0) / i
+    }
+}
+
+impl SimilarityEngine for FeFinFet {
+    fn name(&self) -> &str {
+        "Fe-FinFET TD-CIM (IEDM'21)"
+    }
+
+    fn is_quantitative(&self) -> bool {
+        true
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn bits_per_element(&self) -> u8 {
+        1
+    }
+
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        if row >= self.data.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.data.len(),
+            });
+        }
+        if values.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: values.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(values)?;
+        self.data[row] = values.to_vec();
+        Ok(())
+    }
+
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let d_mismatch = self.stage_delay_with_vth_shift(0.0);
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut worst: f64 = 0.0;
+        for row in &self.data {
+            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
+            distances.push(Some(d));
+            worst = worst.max(self.width as f64 * p.d_stage + d as f64 * d_mismatch);
+        }
+        let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;
+        let best_row = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
+            .map(|(i, _)| i);
+        Ok(SearchMetrics {
+            best_row,
+            distances,
+            energy,
+            latency: worst,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremely_low_energy_per_bit() {
+        // Table I: 0.039 fJ/bit — below the TD-AM, thanks to the 14 nm
+        // node and measurement configuration.
+        let mut e = FeFinFet::new(16, 64, FeFinFetParams::default());
+        let m = e.search(&[1; 64]).unwrap();
+        let epb = m.energy_per_bit(e.total_bits());
+        assert!(
+            (0.02e-15..0.07e-15).contains(&epb),
+            "energy/bit {epb:e} should be near 0.039 fJ"
+        );
+    }
+
+    #[test]
+    fn vth_variation_amplified_into_delay() {
+        // The paper's criticism: a small vth shift causes a large relative
+        // delay error in VR designs. ±45 mV must move the delay by more
+        // than ±25%.
+        let e = FeFinFet::new(1, 8, FeFinFetParams::default());
+        let nominal = e.stage_delay_with_vth_shift(0.0);
+        let slow = e.stage_delay_with_vth_shift(45e-3);
+        let fast = e.stage_delay_with_vth_shift(-45e-3);
+        assert!(
+            slow / nominal > 1.25,
+            "+45 mV should slow by >25%, got {}",
+            slow / nominal
+        );
+        assert!(fast / nominal < 0.8);
+    }
+
+    #[test]
+    fn off_state_interrupts_propagation() {
+        // A FeFET stuck in the high-vth state makes the stage delay blow
+        // up — the "computation failure" failure mode.
+        let e = FeFinFet::new(1, 8, FeFinFetParams::default());
+        let nominal = e.stage_delay_with_vth_shift(0.0);
+        let stuck_off = e.stage_delay_with_vth_shift(0.6);
+        assert!(
+            stuck_off > 100.0 * nominal,
+            "off-state delay {stuck_off:e} vs nominal {nominal:e}"
+        );
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let mut e = FeFinFet::new(1, 6, FeFinFetParams::default());
+        e.store(0, &[1, 0, 1, 0, 1, 0]).unwrap();
+        let m = e.search(&[1, 1, 1, 1, 1, 1]).unwrap();
+        assert_eq!(m.distances[0], Some(3));
+    }
+}

@@ -1,0 +1,58 @@
+//! Baseline similarity-computation engines and the GPU cost model.
+//!
+//! Table I of the paper compares the proposed TD-AM against five prior
+//! designs; Fig. 8 benchmarks it against an NVIDIA RTX 4070. None of those
+//! artifacts exist here, so this crate implements each comparator as a
+//! *functional* model: every engine really stores vectors and answers
+//! queries (so the comparison workloads are actually executed), and its
+//! energy/latency figures come from a structural switched-capacitance
+//! model (`C·V_DD²` per switching event, transistor counts and per-design
+//! capacitances from the cited publications) — the same methodology used
+//! for the TD-AM itself in [`tdam`].
+//!
+//! Implemented designs:
+//!
+//! - [`tcam16t`] — the classic 16-transistor CMOS TCAM (Pagiamtzis &
+//!   Sheikholeslami, JSSC'06 tutorial baseline), voltage domain,
+//!   non-quantitative,
+//! - [`fecam`] — the 2-FeFET TCAM of Ni et al. (Nat. Electron.'19),
+//!   voltage domain, non-quantitative,
+//! - [`timaq`] — a TIMAQ-style SRAM time-domain CIM (JSSC'21),
+//!   quantitative,
+//! - [`fefinfet`] — the Fe-FinFET time-domain CIM of IEDM'21 (14 nm,
+//!   *variable-resistance* delay stages), quantitative,
+//! - [`homogeneous`] — the 3T-2FeFET time-domain fabric of the paper's
+//!   ref. \[24\] (binary cells, variable-capacitance), quantitative,
+//! - [`crossbar`] — the 1-FeFET current-domain crossbar CAM of the
+//!   paper's ref. \[25\], with its ADC/static-power costs made explicit,
+//! - [`gpu`] — an analytic RTX 4070-class cost model for Fig. 8.
+//!
+//! [`comparison`] drives all engines (plus the TD-AM) through an identical
+//! workload and regenerates Table I.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod crossbar;
+pub mod fecam;
+pub mod fefinfet;
+pub mod gpu;
+pub mod homogeneous;
+pub mod tcam16t;
+pub mod timaq;
+
+pub use comparison::{comparison_table, ComparisonRow};
+pub use gpu::{GpuModel, GpuWorkload};
+
+use tdam::TdamError;
+
+/// Validates a binary (0/1) vector for the bit-oriented CAM baselines.
+pub(crate) fn validate_bits(v: &[u8]) -> Result<(), TdamError> {
+    for &x in v {
+        if x > 1 {
+            return Err(TdamError::ValueOutOfRange { value: x, levels: 2 });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! The 16-transistor CMOS TCAM baseline (voltage domain,
+//! non-quantitative).
+//!
+//! Classic NOR-type match-line TCAM: every row's match line is precharged,
+//! then any mismatching cell discharges it. The design only reports
+//! *match / no-match* per row — it cannot count mismatches, which is
+//! exactly the limitation the TD-AM removes. Energy is dominated by
+//! match-line and search-line switching: on a typical search almost every
+//! row mismatches, so nearly all match lines discharge and must be
+//! re-precharged.
+
+use crate::validate_bits;
+use serde::{Deserialize, Serialize};
+use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::TdamError;
+
+/// Structural parameters of the 16T TCAM model (45 nm class, per Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tcam16tParams {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Match-line capacitance contributed per cell, farads (16T cells are
+    /// large: two pull-down paths plus wire).
+    pub c_ml_per_cell: f64,
+    /// Search-line capacitance per cell per line (two lines), farads.
+    pub c_sl_per_cell: f64,
+    /// Match-line sense + precharge latency, seconds.
+    pub t_search: f64,
+}
+
+impl Default for Tcam16tParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.0,
+            c_ml_per_cell: 0.35e-15,
+            c_sl_per_cell: 0.12e-15,
+            t_search: 0.5e-9,
+        }
+    }
+}
+
+/// A functional 16T CMOS TCAM.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_baselines::tcam16t::Tcam16t;
+/// use tdam::engine::SimilarityEngine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cam = Tcam16t::new(4, 8, Default::default());
+/// cam.store(0, &[1, 0, 1, 0, 1, 0, 1, 0])?;
+/// let m = cam.search(&[1, 0, 1, 0, 1, 0, 1, 0])?;
+/// assert_eq!(m.best_row, Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tcam16t {
+    params: Tcam16tParams,
+    width: usize,
+    data: Vec<Vec<u8>>,
+}
+
+impl Tcam16t {
+    /// Creates a TCAM with `rows` words of `width` bits, zero-initialized.
+    pub fn new(rows: usize, width: usize, params: Tcam16tParams) -> Self {
+        Self {
+            params,
+            width,
+            data: vec![vec![0; width]; rows],
+        }
+    }
+}
+
+impl SimilarityEngine for Tcam16t {
+    fn name(&self) -> &str {
+        "16T TCAM (JSSC'06)"
+    }
+
+    fn is_quantitative(&self) -> bool {
+        false
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn bits_per_element(&self) -> u8 {
+        1
+    }
+
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        if row >= self.data.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.data.len(),
+            });
+        }
+        if values.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: values.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(values)?;
+        self.data[row] = values.to_vec();
+        Ok(())
+    }
+
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let mut best = None;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut ml_energy = 0.0;
+        for (i, row) in self.data.iter().enumerate() {
+            let mismatch = row.iter().zip(query).any(|(a, b)| a != b);
+            if mismatch {
+                // Match line discharges and must be re-precharged: full
+                // C_ML swing.
+                ml_energy += self.width as f64 * p.c_ml_per_cell * v2;
+                distances.push(None);
+            } else {
+                if best.is_none() {
+                    best = Some(i);
+                }
+                distances.push(Some(0));
+            }
+        }
+        // Two differential search lines per column, each loading every row.
+        let sl_energy =
+            2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
+        Ok(SearchMetrics {
+            best_row: best,
+            distances,
+            energy: ml_energy + sl_energy,
+            latency: p.t_search,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Tcam16t {
+        let mut c = Tcam16t::new(3, 8, Tcam16tParams::default());
+        c.store(0, &[0, 0, 0, 0, 1, 1, 1, 1]).unwrap();
+        c.store(1, &[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
+        c.store(2, &[1, 0, 1, 0, 1, 0, 1, 0]).unwrap();
+        c
+    }
+
+    #[test]
+    fn exact_match_found() {
+        let mut c = cam();
+        let m = c.search(&[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
+        assert_eq!(m.best_row, Some(1));
+        assert_eq!(m.distances[1], Some(0));
+        assert_eq!(m.distances[0], None);
+    }
+
+    #[test]
+    fn near_match_is_invisible() {
+        // One bit off: a TCAM reports nothing — the non-quantitative
+        // limitation Table I lists.
+        let mut c = cam();
+        let m = c.search(&[1, 1, 1, 1, 0, 0, 0, 1]).unwrap();
+        assert_eq!(m.best_row, None);
+        assert!(m.distances.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn energy_higher_when_all_rows_miss() {
+        let mut c = cam();
+        let all_miss = c.search(&[0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+        let one_hit = c.search(&[1, 0, 1, 0, 1, 0, 1, 0]).unwrap();
+        assert!(all_miss.energy > one_hit.energy);
+    }
+
+    #[test]
+    fn energy_per_bit_in_paper_range() {
+        // Table I reports 0.59 fJ/bit for this design.
+        let mut c = Tcam16t::new(16, 64, Tcam16tParams::default());
+        let m = c.search(&[1; 64]).unwrap();
+        let epb = m.energy_per_bit(c.total_bits());
+        assert!(
+            (0.3e-15..1.0e-15).contains(&epb),
+            "energy/bit {epb:e} should be near the paper's 0.59 fJ"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut c = cam();
+        assert!(c.store(9, &[0; 8]).is_err());
+        assert!(c.store(0, &[0; 7]).is_err());
+        assert!(c.store(0, &[2; 8]).is_err());
+        assert!(c.search(&[0; 7]).is_err());
+        assert!(c.search(&[3; 8]).is_err());
+    }
+}

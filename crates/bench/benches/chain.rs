@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the TD-AM core: behavioral chain
+//! evaluation, array search throughput, and Monte Carlo run cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdam::array::TdamArray;
+use tdam::chain::DelayChain;
+use tdam::config::ArrayConfig;
+use tdam::monte_carlo::{run, McConfig};
+use tdam_fefet::VthVariation;
+
+fn bench_chain_evaluate(c: &mut Criterion) {
+    for stages in [32usize, 128] {
+        let cfg = ArrayConfig::paper_default().with_stages(stages);
+        let chain = DelayChain::new(&vec![1u8; stages], &cfg).expect("chain");
+        let query = vec![2u8; stages];
+        c.bench_function(&format!("chain_evaluate_{stages}_stages"), |b| {
+            b.iter(|| chain.evaluate(black_box(&query)).expect("evaluates"))
+        });
+    }
+}
+
+fn bench_array_search(c: &mut Criterion) {
+    let cfg = ArrayConfig::paper_default().with_stages(64).with_rows(26);
+    let am = TdamArray::new(cfg).expect("array");
+    let query = vec![1u8; 64];
+    c.bench_function("array_search_26x64", |b| {
+        b.iter(|| TdamArray::search(black_box(&am), black_box(&query)).expect("searches"))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    c.bench_function("monte_carlo_64_stages_32_runs", |b| {
+        b.iter(|| {
+            run(&McConfig::worst_case(
+                ArrayConfig::paper_default().with_stages(64),
+                VthVariation::uniform(40e-3),
+                32,
+                7,
+            ))
+            .expect("monte carlo")
+        })
+    });
+}
+
+criterion_group!(benches, bench_chain_evaluate, bench_array_search, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the FeFET device layer: drain-current
+//! evaluation, Preisach pulse application, and multi-level programming.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdam_fefet::mosfet::{ids, MosParams};
+use tdam_fefet::programming::{program_state, ProgramConfig};
+use tdam_fefet::{DomainStack, Fefet, FefetParams, PreisachParams};
+
+fn bench_mosfet_ids(c: &mut Criterion) {
+    let p = MosParams::nmos_40nm();
+    c.bench_function("mosfet_ids_eval", |b| {
+        b.iter(|| ids(black_box(&p), black_box(0.8), black_box(0.55)))
+    });
+}
+
+fn bench_preisach_pulse(c: &mut Criterion) {
+    c.bench_function("preisach_write_pulse_128_domains", |b| {
+        let mut stack = DomainStack::nominal(PreisachParams::default());
+        b.iter(|| {
+            stack.apply_pulse(black_box(2.4), black_box(500e-9));
+            stack.apply_pulse(black_box(-5.0), black_box(500e-9));
+        })
+    });
+}
+
+fn bench_program_state(c: &mut Criterion) {
+    let cfg = ProgramConfig::default();
+    c.bench_function("program_state_write_verify", |b| {
+        b.iter(|| {
+            let mut dev = Fefet::new(FefetParams::default());
+            program_state(&mut dev, black_box(2), &cfg).expect("programs")
+        })
+    });
+}
+
+criterion_group!(benches, bench_mosfet_ids, bench_preisach_pulse, bench_program_state);
+criterion_main!(benches);

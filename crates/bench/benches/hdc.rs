@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the HDC layer: encoding, quantization,
+//! Hamming search, and hardware-mapped inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdam_hdc::datasets::{Dataset, DatasetKind};
+use tdam_hdc::encoder::IdLevelEncoder;
+use tdam_hdc::mapping::TdamHdcInference;
+use tdam_hdc::quantize::{equal_area_quantize, QuantizedModel};
+use tdam_hdc::train::HdcModel;
+
+fn setup() -> (Dataset, IdLevelEncoder, HdcModel) {
+    let ds = Dataset::generate(DatasetKind::Face, 20, 5, 1);
+    let enc = IdLevelEncoder::new(2048, ds.features(), 32, (0.0, 1.0), 7).expect("encoder");
+    let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1).expect("trains");
+    (ds, enc, model)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (ds, enc, _) = setup();
+    let sample = &ds.test[0].0;
+    c.bench_function("encode_2048_dims_608_features", |b| {
+        b.iter(|| enc.encode(black_box(sample)).expect("encodes"))
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let (ds, enc, _) = setup();
+    let h = enc.encode(&ds.test[0].0).expect("encodes");
+    c.bench_function("equal_area_quantize_2048", |b| {
+        b.iter(|| equal_area_quantize(black_box(&h), 2).expect("quantizes"))
+    });
+}
+
+fn bench_software_hamming_classify(c: &mut Criterion) {
+    let (ds, enc, model) = setup();
+    let quant = QuantizedModel::from_model(&model, 2).expect("quantizes");
+    let h = enc.encode(&ds.test[0].0).expect("encodes");
+    let q = quant.quantize_query(&h).expect("query");
+    c.bench_function("software_min_hamming_classify", |b| {
+        b.iter(|| quant.classify_quantized(black_box(&q)).expect("classifies"))
+    });
+}
+
+fn bench_hardware_inference(c: &mut Criterion) {
+    let (ds, enc, model) = setup();
+    let quant = QuantizedModel::from_model(&model, 2).expect("quantizes");
+    let hw = TdamHdcInference::new(&quant, 128, 0.6).expect("deploys");
+    let h = enc.encode(&ds.test[0].0).expect("encodes");
+    let q = quant.quantize_query(&h).expect("query");
+    c.bench_function("tdam_mapped_inference_1024el", |b| {
+        b.iter(|| hw.classify(black_box(&q)).expect("classifies"))
+    });
+}
+
+fn bench_sequence_encode(c: &mut Criterion) {
+    use tdam_hdc::sequence::{Base, SequenceEncoder};
+    let enc = SequenceEncoder::new(2048, 6, 7).expect("encoder");
+    let seq: Vec<Base> = (0..200)
+        .map(|i| match i % 4 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        })
+        .collect();
+    c.bench_function("sequence_encode_200bp_k6", |b| {
+        b.iter(|| enc.encode_sequence(black_box(&seq)).expect("encodes"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_quantize,
+    bench_software_hamming_classify,
+    bench_hardware_inference,
+    bench_sequence_encode
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+use tdam_hdc::datasets::{Dataset, DatasetKind};
+use tdam_hdc::encoder::IdLevelEncoder;
+use tdam_hdc::mapping::TdamHdcInference;
+use tdam_hdc::quantize::QuantizedModel;
+use tdam_hdc::train::HdcModel;
+
+fn main() {
+    let ds = Dataset::generate(DatasetKind::Isolet, 20, 15, 0xD5EED);
+    let enc = IdLevelEncoder::new(512, ds.features(), 32, (0.0, 1.0), 0xF168).unwrap();
+    let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
+    let quant = QuantizedModel::from_model(&model, 2).unwrap();
+    let hw = TdamHdcInference::new(&quant, 128, 0.6).unwrap();
+    let h = enc.encode(&ds.test[0].0).unwrap();
+    let q = quant.quantize_query(&h).unwrap();
+    let r = hw.classify(&q).unwrap();
+    println!("chunks {} classes {}", hw.chunks(), hw.classes());
+    println!("distances: {:?}", &r.distances[..8.min(r.distances.len())]);
+    println!("energy: {}", r.energy);
+    println!("latency: {:.3e}", r.latency);
+}

@@ -1,0 +1,72 @@
+//! Ablation: the 2-step even/odd operation scheme vs alternatives.
+//!
+//! Compares three ways of running the delay chain:
+//!
+//! 1. **naive single pass** — all stages active, one edge: a mismatch's
+//!    delay contribution depends on its position parity (the inverter
+//!    flips the edge each stage, and the PMOS-gated capacitor only loads
+//!    falling output transitions), so delay no longer maps linearly to
+//!    Hamming distance;
+//! 2. **buffer chain** — fixing (1) by giving every stage a buffer costs
+//!    an extra inverter of delay, area and energy per stage;
+//! 3. **2-step scheme (this work)** — parity-independent and linear with
+//!    no extra devices, at the cost of running two edges.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin ablation_two_step [--quick]`
+
+use tdam::chain_circuit::CircuitChain;
+use tdam::config::ArrayConfig;
+use tdam::timing::StageTiming;
+use tdam_bench::{eng, header, quick_mode};
+
+fn main() {
+    let stages = if quick_mode() { 6 } else { 12 };
+    let cfg = ArrayConfig::paper_default().with_stages(stages);
+    let chain = CircuitChain::new(&vec![1u8; stages], &cfg).expect("chain");
+
+    header("Naive single-pass: mismatch delay depends on position parity");
+    // One mismatch placed at an even vs an odd stage.
+    let base = chain.simulate_naive(&vec![1u8; stages]).expect("base");
+    let mut q_even = vec![1u8; stages];
+    q_even[2] = 2;
+    let mut q_odd = vec![1u8; stages];
+    q_odd[3] = 2;
+    let d_even = chain.simulate_naive(&q_even).expect("even mismatch").delay - base.delay;
+    let d_odd = chain.simulate_naive(&q_odd).expect("odd mismatch").delay - base.delay;
+    println!("mismatch at even stage: +{}", eng(d_even, "s"));
+    println!("mismatch at odd stage : +{}", eng(d_odd, "s"));
+    let parity_ratio = d_even.max(d_odd) / d_even.min(d_odd).max(1e-15);
+    println!("parity asymmetry      : {parity_ratio:.1}x  (ideal quantitative SC needs 1.0x)");
+
+    header("2-step scheme: parity-independent contributions");
+    let base2 = chain.evaluate(&vec![1u8; stages], false).expect("base");
+    let d2_even = chain.evaluate(&q_even, false).expect("even").total_delay() - base2.total_delay();
+    let d2_odd = chain.evaluate(&q_odd, false).expect("odd").total_delay() - base2.total_delay();
+    println!("mismatch at even stage: +{}", eng(d2_even, "s"));
+    println!("mismatch at odd stage : +{}", eng(d2_odd, "s"));
+    let two_step_ratio = d2_even.max(d2_odd) / d2_even.min(d2_odd).max(1e-15);
+    println!("parity asymmetry      : {two_step_ratio:.2}x");
+    assert!(
+        two_step_ratio < parity_ratio,
+        "2-step must reduce parity asymmetry"
+    );
+
+    header("Buffer-chain alternative: overhead per stage");
+    let t = StageTiming::analytic(&cfg.tech, cfg.c_load).expect("timing");
+    // A buffer = 2 inverters: doubles intrinsic delay contribution and the
+    // stage switching energy, and adds 2 transistors per stage.
+    println!(
+        "2-step : base delay 2·N·d_INV = {} per chain, stage energy {}",
+        eng(2.0 * stages as f64 * t.d_inv, "s"),
+        eng(t.e_inv, "J")
+    );
+    println!(
+        "buffers: base delay 2·N·d_INV = {} per chain (one pass, doubled stages), stage energy {} (+2T/stage area)",
+        eng(2.0 * stages as f64 * t.d_inv, "s"),
+        eng(2.0 * t.e_inv, "J")
+    );
+    println!(
+        "\n2-step achieves buffer-grade linearity with {} less stage energy and 2 fewer transistors per stage.",
+        eng(t.e_inv, "J")
+    );
+}

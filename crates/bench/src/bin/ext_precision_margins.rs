@@ -1,0 +1,76 @@
+//! Extension: feasibility of 3- and 4-bit cells (the paper's closing
+//! "intriguing potential" remark, made quantitative).
+//!
+//! For each precision the ladder margin, the Gaussian per-cell error
+//! probability, and the longest reliably-decodable chain are computed at
+//! several variation levels; a Monte Carlo spot check validates the
+//! closed-form numbers at 2 bits.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin ext_precision_margins [--quick]`
+
+use tdam::config::ArrayConfig;
+use tdam::encoding::Encoding;
+use tdam::margins::{analyze, precision_sweep};
+use tdam::monte_carlo::{run, McConfig};
+use tdam_bench::{header, quick_mode};
+use tdam_fefet::VthVariation;
+
+fn main() {
+    let runs = if quick_mode() { 200 } else { 800 };
+
+    for sigma in [7e-3, 20e-3, 45e-3, 60e-3] {
+        header(&format!("sigma(V_TH) = {:.0} mV", sigma * 1e3));
+        println!(
+            "{:>6} {:>12} {:>16} {:>20}",
+            "bits", "margin (mV)", "P(cell error)", "max reliable chain"
+        );
+        for report in precision_sweep(sigma).expect("sweep") {
+            let chain = if report.max_reliable_chain == usize::MAX {
+                "unbounded".to_owned()
+            } else {
+                report.max_reliable_chain.to_string()
+            };
+            println!(
+                "{:>6} {:>12.1} {:>16.3e} {:>20}",
+                report.bits,
+                report.margin * 1e3,
+                report.p_cell_error,
+                chain
+            );
+        }
+    }
+
+    header("Monte Carlo spot check: 2-bit vs 3-bit decode at sigma = 20 mV, 64 stages");
+    for bits in [2u8, 3] {
+        let enc = Encoding::new(bits).expect("encoding");
+        let array = ArrayConfig::paper_default()
+            .with_stages(64)
+            .with_encoding(enc);
+        let variation = VthVariation::new(
+            (0..enc.levels())
+                .map(|i| 0.2 + 1.2 * i as f64 / (enc.levels() - 1) as f64)
+                .collect(),
+            vec![20e-3; enc.levels() as usize],
+        )
+        .expect("variation model");
+        let result = run(&McConfig::worst_case(array, variation, runs, 0xB175))
+            .expect("Monte Carlo");
+        let predicted = analyze(bits, 20e-3).expect("analysis");
+        println!(
+            "{bits}-bit: decode accuracy {:.1}% (margin model predicts P_cell = {:.2e}, \
+             max chain {})",
+            result.decode_accuracy * 100.0,
+            predicted.p_cell_error,
+            if predicted.max_reliable_chain == usize::MAX {
+                "unbounded".to_owned()
+            } else {
+                predicted.max_reliable_chain.to_string()
+            }
+        );
+    }
+    println!(
+        "\nConclusion: 2-bit operation is comfortable at the measured variation;\n\
+         3-bit needs ~20 mV-class uniformity; 4-bit demands the best-state\n\
+         (7 mV) uniformity across all states — matching the paper's outlook."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 1(c)(d): FeFET I_D–V_G characteristics.
+//!
+//! - Fig. 1(d): the compact-model curves for the four programmed states
+//!   (each device programmed with erase + write-verify, then swept).
+//! - Fig. 1(c): a 60-device device-to-device ensemble; per-state
+//!   constant-current threshold voltages are extracted and their spread is
+//!   compared against the paper's fitted σ = 7.1/35/45/40 mV.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin fig1_fefet_iv [--quick]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdam_bench::{header, quick_mode};
+use tdam_fefet::iv::{device_to_device_curves, sweep_fefet};
+use tdam_fefet::programming::{program_state, ProgramConfig};
+use tdam_fefet::{Fefet, FefetParams, PAPER_VTH, PAPER_VTH_SIGMA};
+use tdam_num::Summary;
+
+fn main() {
+    let devices = if quick_mode() { 20 } else { 60 };
+
+    header("Fig. 1(d): compact-model I_D–V_G for the four programmed states");
+    let cfg = ProgramConfig::default();
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "V_G (V)", "state 0 (A)", "state 1 (A)", "state 2 (A)", "state 3 (A)"
+    );
+    let mut curves = Vec::new();
+    for state in 0..4u8 {
+        let mut dev = Fefet::new(FefetParams {
+            preisach: tdam_fefet::PreisachParams {
+                domains: 512,
+                ..Default::default()
+            },
+            ..FefetParams::default()
+        });
+        program_state(&mut dev, state, &cfg).expect("nominal device programs");
+        curves.push(sweep_fefet(&dev, 0.05, (-0.2, 1.8), 21));
+    }
+    for i in 0..curves[0].v_g.len() {
+        print!("{:>8.2}", curves[0].v_g[i]);
+        for c in &curves {
+            print!(" {:>14.4e}", c.i_d[i]);
+        }
+        println!();
+    }
+
+    header(&format!(
+        "Fig. 1(c): {devices}-device ensemble, extracted V_TH statistics"
+    ));
+    let mut rng = StdRng::seed_from_u64(0x1C);
+    let ensemble =
+        device_to_device_curves(devices, 0.05, 300, &mut rng).expect("ensemble generation");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14}",
+        "state", "mean (V)", "sigma (mV)", "paper mean (V)", "paper sigma (mV)"
+    );
+    for state in 0..4u8 {
+        let vths: Vec<f64> = ensemble
+            .iter()
+            .filter(|c| c.state == Some(state))
+            .filter_map(|c| c.extract_vth(1e-7))
+            .collect();
+        let s = Summary::from_slice(&vths);
+        println!(
+            "{:>6} {:>12.4} {:>12.1} {:>14.1} {:>14.1}",
+            state,
+            s.mean,
+            s.std_dev * 1e3,
+            PAPER_VTH[state as usize],
+            PAPER_VTH_SIGMA[state as usize] * 1e3
+        );
+    }
+    println!("\n(ON/OFF ratio check at V_G = 0.8 V, V_DS = 1.1 V)");
+    let mut lo = Fefet::new(FefetParams::default());
+    lo.stack_mut().saturate();
+    let hi = Fefet::new(FefetParams::default());
+    let ratio = lo.ids(0.8, 1.1).id / hi.ids(0.8, 1.1).id;
+    println!("on/off = {ratio:.3e}");
+}

@@ -1,0 +1,129 @@
+//! Fig. 5: TD-AM scaling with array size, load capacitance and supply
+//! voltage.
+//!
+//! - (a)(b): worst-case (all stages mismatched) search energy and delay
+//!   over a grid of chain lengths × load capacitances — the diagonal
+//!   contours show energy/delay ∝ `C_load × N_mis`,
+//! - (c)(d): average energy and latency of 32/64/128-stage chains under
+//!   supply-voltage scaling, plus the best-case energy-per-bit figure the
+//!   paper quotes (0.159 fJ/bit).
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin fig5_scaling [--quick]`
+
+use tdam::chain::DelayChain;
+use tdam::config::ArrayConfig;
+use tdam_bench::{eng, header, quick_mode};
+
+fn chain_for(cfg: &ArrayConfig) -> DelayChain {
+    DelayChain::new(&vec![1u8; cfg.stages], cfg).expect("chain")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let stage_grid: Vec<usize> = if quick {
+        vec![4, 16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    let cap_grid: Vec<f64> = if quick {
+        vec![6e-15, 80e-15, 1280e-15]
+    } else {
+        vec![6e-15, 12e-15, 40e-15, 80e-15, 160e-15, 320e-15, 640e-15, 1280e-15]
+    };
+
+    header("Fig. 5(a): worst-case search energy (J) vs stages × C_load");
+    print!("{:>8}", "stages");
+    for &c in &cap_grid {
+        print!("{:>12}", format!("{:.0} fF", c * 1e15));
+    }
+    println!();
+    for &n in &stage_grid {
+        print!("{n:>8}");
+        for &c in &cap_grid {
+            let cfg = ArrayConfig::paper_default().with_stages(n).with_c_load(c);
+            let chain = chain_for(&cfg);
+            let r = chain.evaluate(&vec![2u8; n]).expect("worst case");
+            print!("{:>12.3e}", r.energy.total());
+        }
+        println!();
+    }
+
+    header("Fig. 5(b): worst-case total delay (s) vs stages × C_load");
+    print!("{:>8}", "stages");
+    for &c in &cap_grid {
+        print!("{:>12}", format!("{:.0} fF", c * 1e15));
+    }
+    println!();
+    for &n in &stage_grid {
+        print!("{n:>8}");
+        for &c in &cap_grid {
+            let cfg = ArrayConfig::paper_default().with_stages(n).with_c_load(c);
+            let chain = chain_for(&cfg);
+            let r = chain.evaluate(&vec![2u8; n]).expect("worst case");
+            print!("{:>12.3e}", r.total_delay);
+        }
+        println!();
+    }
+
+    let vdd_grid: Vec<f64> = if quick {
+        vec![0.6, 0.9, 1.1]
+    } else {
+        vec![0.6, 0.7, 0.8, 0.9, 1.0, 1.1]
+    };
+    let chain_lengths = [32usize, 64, 128];
+
+    header("Fig. 5(c): average search energy (J) under V_DD scaling");
+    print!("{:>8}", "V_DD");
+    for &n in &chain_lengths {
+        print!("{:>14}", format!("{n} stages"));
+    }
+    println!();
+    for &vdd in &vdd_grid {
+        print!("{vdd:>8.2}");
+        for &n in &chain_lengths {
+            let cfg = ArrayConfig::paper_default().with_stages(n).with_vdd(vdd);
+            let chain = chain_for(&cfg);
+            // Average case: ~25% of stages mismatch (random 2-bit data
+            // against stored data has 75% mismatch; associative near-match
+            // traffic has far less — use 25% as the representative mix).
+            let n_mis = n / 4;
+            let mut q = vec![1u8; n];
+            for item in q.iter_mut().take(n_mis) {
+                *item = 2;
+            }
+            let r = chain.evaluate(&q).expect("avg case");
+            print!("{:>14.3e}", r.energy.total());
+        }
+        println!();
+    }
+
+    header("Fig. 5(d): latency (s) under V_DD scaling");
+    print!("{:>8}", "V_DD");
+    for &n in &chain_lengths {
+        print!("{:>14}", format!("{n} stages"));
+    }
+    println!();
+    for &vdd in &vdd_grid {
+        print!("{vdd:>8.2}");
+        for &n in &chain_lengths {
+            let cfg = ArrayConfig::paper_default().with_stages(n).with_vdd(vdd);
+            let chain = chain_for(&cfg);
+            let r = chain.evaluate(&vec![2u8; n]).expect("worst case");
+            print!("{:>14.3e}", r.total_delay);
+        }
+        println!();
+    }
+
+    header("Best-case energy efficiency (paper: 0.159 fJ/bit)");
+    // Best case: lowest supply, full-match traffic, 64-stage chain.
+    let cfg = ArrayConfig::paper_default().with_stages(64).with_vdd(0.6);
+    let chain = chain_for(&cfg);
+    let r = chain.evaluate(&[1u8; 64]).expect("full match");
+    let bits = cfg.bits_per_row();
+    let epb = r.energy.total() / bits as f64;
+    println!(
+        "64 stages @ 0.6 V, full-match search: {} total → {} per bit",
+        eng(r.energy.total(), "J"),
+        eng(epb, "J")
+    );
+}

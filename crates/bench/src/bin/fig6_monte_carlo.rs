@@ -1,0 +1,59 @@
+//! Fig. 6: Monte Carlo delay distributions of the worst-case computation
+//! (all stages mismatched by one level) under FeFET V_TH variation.
+//!
+//! Reproduces both panels — 64- and 128-stage chains — for uniform σ
+//! levels of 20/40/60 mV plus the experimentally fitted per-state model
+//! (σ = 7.1/35/45/40 mV), reporting the delay spread, the fraction of
+//! runs inside the sensing margin, and an ASCII histogram.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin fig6_monte_carlo [--quick]`
+
+use tdam::config::ArrayConfig;
+use tdam::monte_carlo::{run, McConfig};
+use tdam_bench::{eng, header, quick_mode};
+use tdam_fefet::VthVariation;
+
+fn main() {
+    let runs = if quick_mode() { 200 } else { 1000 };
+    let variations: Vec<(String, VthVariation)> = vec![
+        ("sigma = 20 mV".to_owned(), VthVariation::uniform(20e-3)),
+        ("sigma = 40 mV".to_owned(), VthVariation::uniform(40e-3)),
+        ("sigma = 60 mV".to_owned(), VthVariation::uniform(60e-3)),
+        (
+            "experimental (7.1/35/45/40 mV)".to_owned(),
+            VthVariation::experimental(),
+        ),
+    ];
+
+    for stages in [64usize, 128] {
+        header(&format!(
+            "Fig. 6: {stages}-stage chain, worst case (all mismatched), {runs} runs"
+        ));
+        let array = ArrayConfig::paper_default().with_stages(stages);
+        println!(
+            "{:<32} {:>13} {:>12} {:>12} {:>14} {:>12}",
+            "variation", "mean (s)", "std (s)", "margin (s)", "within margin", "decode ok"
+        );
+        for (label, variation) in &variations {
+            let cfg = McConfig::worst_case(array, variation.clone(), runs, 0xF16_6);
+            let result = run(&cfg).expect("Monte Carlo");
+            println!(
+                "{label:<32} {:>13.4e} {:>12.3e} {:>12.3e} {:>13.1}% {:>11.1}%",
+                result.summary.mean,
+                result.summary.std_dev,
+                result.sensing_margin,
+                result.within_margin * 100.0,
+                result.decode_accuracy * 100.0
+            );
+        }
+
+        // Histogram of the highest uniform σ (the widest panel curve).
+        let cfg = McConfig::worst_case(array, VthVariation::uniform(60e-3), runs, 0xF16_6);
+        let result = run(&cfg).expect("Monte Carlo");
+        println!(
+            "\nDelay histogram at sigma = 60 mV (nominal {}):",
+            eng(result.nominal_delay, "s")
+        );
+        println!("{}", result.histogram(15).render_ascii(40));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 7: HDC accuracy vs element precision and dimensionality on the
+//! three (synthetic stand-in) datasets.
+//!
+//! Prints one accuracy matrix per dataset (rows = hardware dimensionality,
+//! columns = precision) plus the paper's headline analysis: the
+//! dimensionality each precision needs to reach the full-precision
+//! model's peak accuracy.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin fig7_hdc_accuracy [--quick]`
+
+use tdam_bench::{header, quick_mode};
+use tdam_hdc::datasets::{Dataset, DatasetKind};
+use tdam_hdc::eval::{accuracy_sweep, peak_accuracy, required_dimension, Precision, SweepConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let cfg = if quick {
+        SweepConfig {
+            dims: vec![256, 512, 1024, 2048],
+            bits: vec![1, 2, 4],
+            retrain_epochs: 2,
+            seed: 0xF16_7,
+        }
+    } else {
+        SweepConfig::paper_grid()
+    };
+    let (train_per_class, test_per_class) = if quick { (30, 15) } else { (60, 25) };
+
+    println!("Fig. 7 reproduction: accuracy vs precision and dimensionality");
+    println!(
+        "(synthetic stand-ins for ISOLET/UCIHAR/FACE; {} train / {} test per class)",
+        train_per_class, test_per_class
+    );
+
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, train_per_class, test_per_class, 0xD5EED);
+        let points = accuracy_sweep(&ds, &cfg).expect("sweep");
+
+        header(&format!(
+            "{} ({} classes, {} features)",
+            kind.name(),
+            kind.classes(),
+            kind.features()
+        ));
+        let mut precisions: Vec<Precision> =
+            cfg.bits.iter().map(|&b| Precision::Bits(b)).collect();
+        precisions.push(Precision::Full);
+        print!("{:>8}", "dims");
+        for p in &precisions {
+            print!("{:>9}", p.to_string());
+        }
+        println!();
+        for &d in &cfg.dims {
+            print!("{d:>8}");
+            for p in &precisions {
+                let acc = points
+                    .iter()
+                    .find(|pt| pt.dims == d && pt.precision == *p)
+                    .map(|pt| pt.accuracy)
+                    .unwrap_or(f64::NAN);
+                print!("{:>8.1}%", acc * 100.0);
+            }
+            println!();
+        }
+
+        // Headline analysis: dimensionality needed to reach (near) the
+        // full-precision peak.
+        let full_peak = peak_accuracy(&points, Precision::Full).unwrap_or(0.0);
+        let target = full_peak - 0.02; // within 2 points of the 32-bit peak
+        println!("\n  32-bit peak accuracy: {:.1}%", full_peak * 100.0);
+        println!("  dimensionality required to come within 2 points of that peak:");
+        for p in &precisions {
+            match required_dimension(&points, *p, target) {
+                Some(d) => println!("    {:>7}: {d}", p.to_string()),
+                None => println!("    {:>7}: not reached on this grid", p.to_string()),
+            }
+        }
+    }
+}

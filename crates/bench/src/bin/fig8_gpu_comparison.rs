@@ -1,0 +1,145 @@
+//! Fig. 8: TD-AM vs GPU — speedup (b) and energy efficiency (a) for HDC
+//! inference at 128 stages, 0.6 V, across dimensionalities and datasets.
+//!
+//! The GPU side is the analytic RTX 4070-class cost model (see
+//! `tdam_baselines::gpu`); the TD-AM side maps each quantized model onto
+//! 128-stage tiles and measures per-query latency/energy through the
+//! calibrated hardware model. 2-bit deployments are used for the main
+//! sweep (matching the hardware demonstration) and the paper's 3/4-bit @
+//! 1024-dims highlight is reported separately.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin fig8_gpu_comparison [--quick]`
+
+use tdam_baselines::gpu::{GpuModel, GpuWorkload};
+use tdam_bench::{header, quick_mode};
+use tdam_hdc::datasets::{Dataset, DatasetKind};
+use tdam_hdc::encoder::IdLevelEncoder;
+use tdam_hdc::mapping::TdamHdcInference;
+use tdam_hdc::quantize::QuantizedModel;
+use tdam_hdc::train::HdcModel;
+
+struct Point {
+    dims: usize,
+    speedup: f64,
+    efficiency: f64,
+}
+
+fn evaluate_config(
+    ds: &Dataset,
+    underlying_dims: usize,
+    bits: u8,
+    queries: usize,
+    gpu: &GpuModel,
+) -> Point {
+    let enc = IdLevelEncoder::new(underlying_dims, ds.features(), 32, (0.0, 1.0), 0xF16_8)
+        .expect("encoder");
+    let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).expect("training");
+    let quant = QuantizedModel::from_model(&model, bits).expect("quantization");
+    // Front-end energy: the on-chip HDC encoder's bind-accumulate ops
+    // (~2 fJ each at 0.6 V, after the FeFET in-memory encoder literature).
+    let hw = TdamHdcInference::new(&quant, 128, 0.6)
+        .expect("deployment")
+        .with_frontend_cost(ds.features(), underlying_dims, 2e-15);
+
+    let mut latency = 0.0;
+    let mut energy = 0.0;
+    for (x, _) in ds.test.iter().take(queries) {
+        let h = enc.encode(x).expect("encode");
+        let q = quant.quantize_query(&h).expect("quantize");
+        let r = hw.classify(&q).expect("hardware inference");
+        latency += r.latency;
+        energy += r.energy.total();
+    }
+    let n = queries.min(ds.test.len()) as f64;
+    let tdam_latency = latency / n;
+    let tdam_energy = energy / n;
+
+    let wl = GpuWorkload {
+        dims: underlying_dims,
+        classes: ds.classes(),
+        bytes_per_element: 4.0,
+    };
+    Point {
+        dims: hw.chunks() * 128,
+        speedup: gpu.query_latency(&wl) / tdam_latency,
+        efficiency: gpu.query_energy(&wl) / tdam_energy,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let dims_grid: Vec<usize> = if quick {
+        vec![512, 2048]
+    } else {
+        vec![512, 1024, 2048, 5120, 10240]
+    };
+    let (train_per_class, queries) = if quick { (20, 10) } else { (40, 30) };
+    let gpu = GpuModel::rtx_4070();
+
+    println!("Fig. 8 reproduction: TD-AM (128 stages @ 0.6 V, 2-bit) vs RTX 4070-class GPU model");
+
+    let mut all_small_speedups = Vec::new();
+    let mut all_large_speedups = Vec::new();
+    let mut all_large_effs = Vec::new();
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, train_per_class, 15, 0xD5EED);
+        header(kind.name());
+        println!(
+            "{:>10} {:>12} {:>16}",
+            "dims", "speedup", "energy-eff gain"
+        );
+        for &d in &dims_grid {
+            let p = evaluate_config(&ds, d, 2, queries, &gpu);
+            println!("{:>10} {:>11.1}x {:>15.0}x", d, p.speedup, p.efficiency);
+            if d == *dims_grid.first().expect("non-empty grid") {
+                all_small_speedups.push(p.speedup);
+            }
+            if d == *dims_grid.last().expect("non-empty grid") {
+                all_large_speedups.push(p.speedup);
+                all_large_effs.push(p.efficiency);
+            }
+        }
+    }
+
+    header("Aggregates (paper: 194–287x small-dim speedup, 11.65x average at 10240; 5061–5790x small-dim efficiency, 303x at 10240)");
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "small-dim speedups: {:?}",
+        all_small_speedups
+            .iter()
+            .map(|s| format!("{s:.0}x"))
+            .collect::<Vec<_>>()
+    );
+    println!("largest-dim average speedup: {:.2}x", avg(&all_large_speedups));
+    println!(
+        "largest-dim average energy efficiency: {:.0}x",
+        avg(&all_large_effs)
+    );
+
+    header("Paper highlight: 3/4-bit precision at 1024 dims (avg speedup 124.8x, efficiency 2837x)");
+    let mut speedups = Vec::new();
+    let mut effs = Vec::new();
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, train_per_class, 15, 0xD5EED);
+        {
+            let bits = 4u8;
+            // 1024 hardware dims at n bits = underlying n*1024.
+            let p = evaluate_config(&ds, 1024 * bits as usize, bits, queries, &gpu);
+            println!(
+                "{:>8} {}-bit @ {} hw dims: speedup {:.1}x, efficiency {:.0}x",
+                kind.name(),
+                bits,
+                p.dims,
+                p.speedup,
+                p.efficiency
+            );
+            speedups.push(p.speedup);
+            effs.push(p.efficiency);
+        }
+    }
+    println!(
+        "average: speedup {:.1}x, efficiency {:.0}x",
+        avg(&speedups),
+        avg(&effs)
+    );
+}

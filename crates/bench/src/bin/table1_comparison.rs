@@ -1,0 +1,73 @@
+//! Table I: energy-per-bit comparison of the TD-AM against the five prior
+//! designs, on an identical near-match associative workload.
+//!
+//! Also prints the paper's reported figures next to the measured ones so
+//! the per-design calibration and ratio shape can be judged directly.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin table1_comparison [--quick]`
+
+use tdam_baselines::comparison::{comparison_table, extended_comparison_table, render_table};
+use tdam_bench::{header, quick_mode};
+
+/// The paper's Table I `(design substring, energy fJ/bit, ratio)` rows.
+const PAPER: [(&str, f64, f64); 6] = [
+    ("16T", 0.59, 3.71),
+    ("Nat. Electron.", 0.40, 2.52),
+    ("TIMAQ", 2.20, 13.84),
+    ("Fe-FinFET", 0.039, 0.245),
+    ("[24]", 0.234, 1.47),
+    ("This work", 0.159, 1.0),
+];
+
+fn main() {
+    let queries = if quick_mode() { 20 } else { 200 };
+    let rows = comparison_table(queries, 0x7AB1E).expect("comparison workload");
+
+    header("Table I (measured on the standard near-match workload)");
+    println!("{}", render_table(&rows));
+
+    header("Measured vs paper-reported");
+    println!(
+        "{:<34} {:>14} {:>14} {:>12} {:>12}",
+        "Design", "ours (fJ/bit)", "paper (fJ/bit)", "our ratio", "paper ratio"
+    );
+    for (needle, paper_epb, paper_ratio) in PAPER {
+        let row = rows
+            .iter()
+            .find(|r| r.design.contains(needle))
+            .unwrap_or_else(|| panic!("design {needle} missing from table"));
+        println!(
+            "{:<34} {:>14.3} {:>14.3} {:>11.2}x {:>11.2}x",
+            row.design,
+            row.energy_per_bit * 1e15,
+            paper_epb,
+            row.ratio,
+            paper_ratio
+        );
+    }
+    println!(
+        "\nShape check: CMOS TD-IMC worst, Fe-FinFET (14 nm) lowest absolute, \
+         TD-AM beats both CAMs and the binary 3T-2FeFET fabric per bit."
+    );
+
+    header("Extended comparison (adds the Sec. II-B crossbar CAM and cell area)");
+    let extended = extended_comparison_table(queries, 0x7AB1E).expect("extended table");
+    println!(
+        "{:<34} {:>14} {:>8} {:>16}",
+        "Design", "E/bit (fJ)", "Ratio", "area (µm²/bit)"
+    );
+    for (row, area) in &extended {
+        let area_text = if area.is_finite() {
+            format!("{area:.2}")
+        } else {
+            "-".to_owned()
+        };
+        println!(
+            "{:<34} {:>14.3} {:>7.2}x {:>16}",
+            row.design,
+            row.energy_per_bit * 1e15,
+            row.ratio,
+            area_text
+        );
+    }
+}

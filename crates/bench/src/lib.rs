@@ -1,0 +1,86 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each `src/bin/` binary reproduces one evaluation artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig1_fefet_iv` | Fig. 1(c)(d): FeFET I_D–V_G curves, 4 states, 60-device variation |
+//! | `fig2_cell_truth` | Fig. 2(d-f): 2-FeFET cell match/mismatch behaviour |
+//! | `fig4_waveforms` | Fig. 4: transient edges and delay-vs-mismatch linearity |
+//! | `fig5_scaling` | Fig. 5: energy/delay vs array size, load cap, and V_DD |
+//! | `fig6_monte_carlo` | Fig. 6: worst-case delay distributions under V_TH variation |
+//! | `table1_comparison` | Table I: energy/bit across all six designs |
+//! | `fig7_hdc_accuracy` | Fig. 7: HDC accuracy vs precision and dimensionality |
+//! | `fig8_gpu_comparison` | Fig. 8: TD-AM vs GPU speedup and energy efficiency |
+//! | `ablation_vc_vs_vr` | Design ablation: variable-capacitance vs variable-resistance stages |
+//! | `ablation_two_step` | Design ablation: 2-step scheme vs naive single-pass chain |
+//!
+//! `benches/` contains Criterion micro-benchmarks of the underlying
+//! engines (device model, circuit solver, chain evaluation, HDC
+//! primitives).
+//!
+//! Pass `--quick` to any binary to run a reduced grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns true when `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Formats a quantity in engineering notation with a unit.
+pub fn eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    let exp = value.abs().log10().floor() as i32;
+    let eng_exp = (exp.div_euclid(3)) * 3;
+    let scaled = value / 10f64.powi(eng_exp);
+    let prefix = match eng_exp {
+        -15 => "f",
+        -12 => "p",
+        -9 => "n",
+        -6 => "µ",
+        -3 => "m",
+        0 => "",
+        3 => "k",
+        6 => "M",
+        9 => "G",
+        12 => "T",
+        _ => return format!("{value:.3e} {unit}"),
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned series of `(x, y)` pairs with column labels.
+pub fn print_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("{x_label:>16} {y_label:>20}");
+    for (x, y) in points {
+        println!("{x:>16.4} {y:>20.6e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_notation() {
+        assert_eq!(eng(0.0, "J"), "0 J");
+        assert_eq!(eng(1.5e-15, "J"), "1.500 fJ");
+        assert_eq!(eng(2.2e-9, "s"), "2.200 ns");
+        assert_eq!(eng(3.1e3, "Hz"), "3.100 kHz");
+        assert_eq!(eng(42.0, "V"), "42.000 V");
+    }
+
+    #[test]
+    fn eng_handles_out_of_range() {
+        assert!(eng(1e30, "x").contains('e'));
+    }
+}

@@ -1,0 +1,805 @@
+//! DC operating point and transient analysis.
+//!
+//! Both analyses assemble a Modified Nodal Analysis system: unknowns are
+//! the non-ground node voltages followed by one branch current per voltage
+//! source. Nonlinear devices (MOSFETs) are linearized around the current
+//! Newton iterate with Norton companion models; capacitors use trapezoidal
+//! companions (backward Euler on the first step after DC, which damps the
+//! artificial ringing trapezoidal integration would otherwise inherit from
+//! an inconsistent initial condition).
+
+use crate::linear::DenseMatrix;
+use crate::netlist::{Element, Netlist};
+use crate::sparse::SparseMatrix;
+use crate::waveform::{Trace, Waveform};
+use crate::CktError;
+use std::collections::HashMap;
+use tdam_fefet::mosfet::ids;
+
+/// Newton convergence tolerances.
+const V_ABSTOL: f64 = 1e-6;
+const RELTOL: f64 = 1e-6;
+const MAX_NEWTON: usize = 200;
+
+/// Configuration for a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranConfig {
+    /// Stop time, seconds.
+    pub t_stop: f64,
+    /// Initial step, seconds.
+    pub h_init: f64,
+    /// Smallest step before giving up, seconds.
+    pub h_min: f64,
+    /// Largest step the controller may grow to, seconds.
+    pub h_max: f64,
+    /// Extra conductance from every node to ground for robustness, siemens.
+    pub gmin: f64,
+}
+
+impl TranConfig {
+    /// A sensible default configuration for a run of length `t_stop`:
+    /// initial step `t_stop/2000`, max step `t_stop/500`.
+    pub fn until(t_stop: f64) -> Self {
+        Self {
+            t_stop,
+            h_init: t_stop / 2000.0,
+            h_min: t_stop / 1e9,
+            h_max: t_stop / 500.0,
+            gmin: 1e-12,
+        }
+    }
+
+    /// Returns a copy with a different maximum step (also clamping the
+    /// initial step to it).
+    pub fn with_max_step(mut self, h_max: f64) -> Self {
+        self.h_max = h_max;
+        self.h_init = self.h_init.min(h_max);
+        self
+    }
+}
+
+/// Result of a transient run: sampled node voltages and source currents.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    time: Vec<f64>,
+    /// Per non-ground node: sampled voltages (index = unknown index).
+    node_samples: Vec<Vec<f64>>,
+    /// Per voltage source: sampled branch currents.
+    source_samples: Vec<Vec<f64>>,
+    node_index: HashMap<String, usize>,
+    source_index: HashMap<String, usize>,
+    source_waves: Vec<Waveform>,
+}
+
+impl TranResult {
+    /// The shared time base.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The voltage trace of a named node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::UnknownNode`] when the node does not exist.
+    pub fn trace(&self, node: &str) -> Result<Trace, CktError> {
+        let &i = self
+            .node_index
+            .get(node)
+            .ok_or_else(|| CktError::UnknownNode {
+                name: node.to_owned(),
+            })?;
+        Ok(Trace::new(self.time.clone(), self.node_samples[i].clone()))
+    }
+
+    /// The branch-current trace of a named voltage source. Positive current
+    /// flows from the positive terminal *through the source* to the
+    /// negative terminal (so a source powering a load shows negative
+    /// current).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::UnknownNode`] when no source has that name.
+    pub fn source_current(&self, source: &str) -> Result<Trace, CktError> {
+        let &i = self
+            .source_index
+            .get(source)
+            .ok_or_else(|| CktError::UnknownNode {
+                name: source.to_owned(),
+            })?;
+        Ok(Trace::new(self.time.clone(), self.source_samples[i].clone()))
+    }
+
+    /// Energy delivered by a voltage source over the run, joules:
+    /// `−∫ V(t)·i(t) dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::UnknownNode`] when no source has that name.
+    pub fn delivered_energy(&self, source: &str) -> Result<f64, CktError> {
+        let &i = self
+            .source_index
+            .get(source)
+            .ok_or_else(|| CktError::UnknownNode {
+                name: source.to_owned(),
+            })?;
+        let current = Trace::new(self.time.clone(), self.source_samples[i].clone());
+        let volts = Trace::new(
+            self.time.clone(),
+            self.time
+                .iter()
+                .map(|&t| self.source_waves[i].value_at(t))
+                .collect(),
+        );
+        Ok(-volts.integral_product(&current))
+    }
+}
+
+/// Unknowns past this count switch the solver from dense to sparse LU
+/// (MNA matrices are a few entries per row, so sparse wins early).
+const SPARSE_THRESHOLD: usize = 48;
+
+/// The MNA matrix, dense for small systems and sparse for large ones.
+enum MnaMatrix {
+    Dense(DenseMatrix),
+    Sparse(SparseMatrix),
+}
+
+impl MnaMatrix {
+    fn zeros(n: usize) -> Self {
+        if n > SPARSE_THRESHOLD {
+            Self::Sparse(SparseMatrix::zeros(n))
+        } else {
+            Self::Dense(DenseMatrix::zeros(n))
+        }
+    }
+
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        match self {
+            Self::Dense(m) => m.add(r, c, v),
+            Self::Sparse(m) => m.add(r, c, v),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Dense(m) => m.clear(),
+            Self::Sparse(m) => m.clear(),
+        }
+    }
+
+    fn solve(&self, b: &mut [f64]) -> Result<(), CktError> {
+        match self {
+            Self::Dense(m) => m.solve(b),
+            Self::Sparse(m) => m.solve(b),
+        }
+    }
+}
+
+/// System assembler shared by DC and transient analyses.
+struct Assembler<'a> {
+    nl: &'a Netlist,
+    n_nodes: usize,
+    n_src: usize,
+    matrix: MnaMatrix,
+    rhs: Vec<f64>,
+    /// Trapezoidal companion state: previous accepted capacitor currents,
+    /// by element order.
+    cap_currents: Vec<f64>,
+}
+
+enum StampMode {
+    /// DC: capacitors open.
+    Dc,
+    /// Transient step of size `h` ending at time `t`.
+    Tran {
+        h: f64,
+        /// Use backward Euler instead of trapezoidal.
+        be: bool,
+    },
+}
+
+impl<'a> Assembler<'a> {
+    fn new(nl: &'a Netlist) -> Self {
+        let n_nodes = nl.node_count();
+        let n_src = nl.vsource_count();
+        let dim = n_nodes + n_src;
+        let cap_count = nl
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, Element::Capacitor { .. }))
+            .count();
+        Self {
+            nl,
+            n_nodes,
+            n_src,
+            matrix: MnaMatrix::zeros(dim),
+            rhs: vec![0.0; dim],
+            cap_currents: vec![0.0; cap_count],
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.n_nodes + self.n_src
+    }
+
+    fn volt(x: &[f64], node: crate::netlist::NodeId) -> f64 {
+        node.unknown().map_or(0.0, |i| x[i])
+    }
+
+    /// Assembles `J·x_new = b` linearized around iterate `x`, with
+    /// `x_prev` the solution at the previous *accepted* timepoint (for
+    /// companion models).
+    fn stamp(&mut self, x: &[f64], x_prev: &[f64], t: f64, mode: &StampMode, gmin: f64) {
+        self.matrix.clear();
+        self.rhs.fill(0.0);
+        for i in 0..self.n_nodes {
+            self.matrix.add(i, i, gmin);
+        }
+        let mut src_k = 0usize;
+        let mut cap_k = 0usize;
+        for el in self.nl.elements() {
+            match el {
+                Element::Resistor { a, b, ohms, .. } => {
+                    let g = 1.0 / ohms;
+                    self.stamp_conductance(*a, *b, g);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let StampMode::Tran { h, be } = mode {
+                        let (geq, ieq) = if *be {
+                            let geq = farads / h;
+                            let v_prev = Self::volt(x_prev, *a) - Self::volt(x_prev, *b);
+                            (geq, -geq * v_prev)
+                        } else {
+                            let geq = 2.0 * farads / h;
+                            let v_prev = Self::volt(x_prev, *a) - Self::volt(x_prev, *b);
+                            (geq, -(geq * v_prev + self.cap_currents[cap_k]))
+                        };
+                        self.stamp_conductance(*a, *b, geq);
+                        if let Some(i) = a.unknown() {
+                            self.rhs[i] -= ieq;
+                        }
+                        if let Some(i) = b.unknown() {
+                            self.rhs[i] += ieq;
+                        }
+                    }
+                    cap_k += 1;
+                }
+                Element::VSource { p, n, wave, .. } => {
+                    let row = self.n_nodes + src_k;
+                    if let Some(i) = p.unknown() {
+                        self.matrix.add(i, row, 1.0);
+                        self.matrix.add(row, i, 1.0);
+                    }
+                    if let Some(i) = n.unknown() {
+                        self.matrix.add(i, row, -1.0);
+                        self.matrix.add(row, i, -1.0);
+                    }
+                    self.rhs[row] = wave.value_at(t);
+                    src_k += 1;
+                }
+                Element::ISource { p, n, wave, .. } => {
+                    let i_val = wave.value_at(t);
+                    if let Some(i) = p.unknown() {
+                        self.rhs[i] -= i_val;
+                    }
+                    if let Some(i) = n.unknown() {
+                        self.rhs[i] += i_val;
+                    }
+                }
+                Element::Mosfet { d, g, s, params, .. } => {
+                    let vd = Self::volt(x, *d);
+                    let vg = Self::volt(x, *g);
+                    let vs = Self::volt(x, *s);
+                    let op = ids(params, vg - vs, vd - vs);
+                    // Norton: i = gm·vgs + gds·vds + i0.
+                    let i0 = op.id - op.gm * (vg - vs) - op.gds * (vd - vs);
+                    if let Some(i) = d.unknown() {
+                        self.matrix.add(i, i, op.gds);
+                        if let Some(j) = g.unknown() {
+                            self.matrix.add(i, j, op.gm);
+                        }
+                        if let Some(j) = s.unknown() {
+                            self.matrix.add(i, j, -(op.gm + op.gds));
+                        }
+                        self.rhs[i] -= i0;
+                    }
+                    if let Some(i) = s.unknown() {
+                        if let Some(j) = d.unknown() {
+                            self.matrix.add(i, j, -op.gds);
+                        }
+                        if let Some(j) = g.unknown() {
+                            self.matrix.add(i, j, -op.gm);
+                        }
+                        self.matrix.add(i, i, op.gm + op.gds);
+                        self.rhs[i] += i0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn stamp_conductance(&mut self, a: crate::netlist::NodeId, b: crate::netlist::NodeId, g: f64) {
+        if let Some(i) = a.unknown() {
+            self.matrix.add(i, i, g);
+            if let Some(j) = b.unknown() {
+                self.matrix.add(i, j, -g);
+            }
+        }
+        if let Some(j) = b.unknown() {
+            self.matrix.add(j, j, g);
+            if let Some(i) = a.unknown() {
+                self.matrix.add(j, i, -g);
+            }
+        }
+    }
+
+    /// Runs Newton iteration at `(t, mode)` starting from `x`; on success
+    /// returns the solution and the iteration count.
+    fn newton(
+        &mut self,
+        mut x: Vec<f64>,
+        x_prev: &[f64],
+        t: f64,
+        mode: &StampMode,
+        gmin: f64,
+    ) -> Result<(Vec<f64>, usize), CktError> {
+        for iter in 0..MAX_NEWTON {
+            self.stamp(&x, x_prev, t, mode, gmin);
+            let mut sol = self.rhs.clone();
+            self.matrix.solve(&mut sol)?;
+            let mut converged = true;
+            for (new, old) in sol.iter().zip(&x) {
+                if (new - old).abs() > V_ABSTOL + RELTOL * old.abs() {
+                    converged = false;
+                    break;
+                }
+            }
+            // Damp large voltage moves to keep the exponential device
+            // models inside representable range, with a fractional factor
+            // that breaks period-2 Newton oscillations on stiff
+            // exponentials.
+            let damp = if iter < 8 { 1.0 } else if iter < 40 { 0.6 } else { 0.35 };
+            for (xi, &si) in x.iter_mut().zip(&sol) {
+                let step = (si - *xi) * damp;
+                *xi += step.clamp(-0.5, 0.5);
+            }
+            if converged {
+                return Ok((x, iter + 1));
+            }
+        }
+        Err(CktError::NoConvergence {
+            phase: match mode {
+                StampMode::Dc => "dc",
+                StampMode::Tran { .. } => "transient",
+            },
+            time: t,
+        })
+    }
+
+    /// Updates stored capacitor currents after an accepted step.
+    fn accept_step(&mut self, x_new: &[f64], x_prev: &[f64], h: f64, be: bool) {
+        let mut cap_k = 0usize;
+        for el in self.nl.elements() {
+            if let Element::Capacitor { a, b, farads, .. } = el {
+                let v_new = Self::volt(x_new, *a) - Self::volt(x_new, *b);
+                let v_prev = Self::volt(x_prev, *a) - Self::volt(x_prev, *b);
+                self.cap_currents[cap_k] = if be {
+                    farads / h * (v_new - v_prev)
+                } else {
+                    2.0 * farads / h * (v_new - v_prev) - self.cap_currents[cap_k]
+                };
+                cap_k += 1;
+            }
+        }
+    }
+}
+
+/// DC operating-point analysis.
+#[derive(Debug)]
+pub struct DcOp<'a> {
+    nl: &'a Netlist,
+}
+
+impl<'a> DcOp<'a> {
+    /// Creates a DC analysis over `nl`.
+    pub fn new(nl: &'a Netlist) -> Self {
+        Self { nl }
+    }
+
+    /// Solves the operating point (sources evaluated at `t = 0`), returning
+    /// the unknown vector (node voltages then source currents).
+    ///
+    /// Uses g_min stepping: starts with a heavy shunt conductance and
+    /// relaxes it geometrically, reusing each solution as the next start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::NoConvergence`] or [`CktError::SingularMatrix`]
+    /// if the circuit cannot be solved.
+    pub fn solve(&self) -> Result<Vec<f64>, CktError> {
+        let mut asm = Assembler::new(self.nl);
+        let dim = asm.dim();
+        let mut x = vec![0.0; dim];
+        let zeros = vec![0.0; dim];
+        let mut gmin = 1e-3;
+        loop {
+            let (sol, _) = asm.newton(x, &zeros, 0.0, &StampMode::Dc, gmin)?;
+            x = sol;
+            if gmin <= 1e-12 {
+                return Ok(x);
+            }
+            gmin = (gmin * 1e-2).max(1e-12);
+        }
+    }
+
+    /// Solves and returns the voltage of one named node.
+    ///
+    /// # Errors
+    ///
+    /// As [`DcOp::solve`], plus [`CktError::UnknownNode`].
+    pub fn node_voltage(&self, node: &str) -> Result<f64, CktError> {
+        let id = self.nl.find_node(node)?;
+        let x = self.solve()?;
+        Ok(id.unknown().map_or(0.0, |i| x[i]))
+    }
+}
+
+/// Transient analysis driver.
+#[derive(Debug)]
+pub struct Transient<'a> {
+    nl: &'a Netlist,
+    cfg: TranConfig,
+}
+
+impl<'a> Transient<'a> {
+    /// Creates a transient analysis of `nl` with the given configuration.
+    pub fn new(nl: &'a Netlist, cfg: TranConfig) -> Self {
+        Self { nl, cfg }
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::NoConvergence`] if Newton fails even at the
+    /// minimum step, or [`CktError::SingularMatrix`] for ill-posed
+    /// circuits.
+    pub fn run(&self) -> Result<TranResult, CktError> {
+        let mut asm = Assembler::new(self.nl);
+        let n_nodes = asm.n_nodes;
+        let n_src = asm.n_src;
+
+        // Breakpoints from all source waveforms.
+        let mut breakpoints: Vec<f64> = self
+            .nl
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                    Some(wave.breakpoints(self.cfg.t_stop))
+                }
+                _ => None,
+            })
+            .flatten()
+            .filter(|&t| t > 0.0)
+            .collect();
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+        // Initial condition from the DC operating point.
+        let mut x = DcOp::new(self.nl).solve()?;
+
+        let mut time = vec![0.0];
+        let mut node_samples: Vec<Vec<f64>> = (0..n_nodes).map(|i| vec![x[i]]).collect();
+        let mut source_samples: Vec<Vec<f64>> =
+            (0..n_src).map(|k| vec![x[n_nodes + k]]).collect();
+
+        let mut t = 0.0;
+        let mut h = self.cfg.h_init.min(self.cfg.h_max);
+        let mut bp_iter = breakpoints.into_iter().peekable();
+        // First step after DC (and after each breakpoint) uses backward
+        // Euler to restart the trapezoidal history cleanly. Additionally,
+        // every 16th step is backward Euler: pure trapezoidal integration
+        // is A-stable but not L-stable, so at steps much larger than the
+        // circuit time constants it rings undamped around the settled
+        // value; periodic BE steps absorb that ringing at negligible
+        // accuracy cost.
+        let mut be_next = true;
+        let mut steps_since_be = 0usize;
+
+        while t < self.cfg.t_stop - 1e-21 {
+            // Clip the step to the next breakpoint or the stop time.
+            let mut t_next = (t + h).min(self.cfg.t_stop);
+            let mut hit_bp = false;
+            if let Some(&bp) = bp_iter.peek() {
+                if bp <= t + 1e-21 {
+                    bp_iter.next();
+                    continue;
+                }
+                if t_next >= bp {
+                    t_next = bp;
+                    hit_bp = true;
+                }
+            }
+            let h_eff = t_next - t;
+            let be_now = be_next || steps_since_be >= 15;
+            let mode = StampMode::Tran {
+                h: h_eff,
+                be: be_now,
+            };
+            match asm.newton(x.clone(), &x, t_next, &mode, self.cfg.gmin) {
+                Ok((sol, iters)) => {
+                    asm.accept_step(&sol, &x, h_eff, be_now);
+                    steps_since_be = if be_now { 0 } else { steps_since_be + 1 };
+                    x = sol;
+                    t = t_next;
+                    time.push(t);
+                    for (i, s) in node_samples.iter_mut().enumerate() {
+                        s.push(x[i]);
+                    }
+                    for (k, s) in source_samples.iter_mut().enumerate() {
+                        s.push(x[n_nodes + k]);
+                    }
+                    if hit_bp {
+                        bp_iter.next();
+                        // Restart integration history after the corner with
+                        // a small step: source corners inject current
+                        // spikes whose energy integral a large first step
+                        // would overestimate badly.
+                        be_next = true;
+                        h = (self.cfg.h_init / 64.0)
+                            .max(self.cfg.h_min)
+                            .min(self.cfg.h_max);
+                    } else {
+                        be_next = false;
+                        if iters <= 5 {
+                            h = (h * 1.3).min(self.cfg.h_max);
+                        } else if iters > 12 {
+                            h *= 0.6;
+                        }
+                    }
+                }
+                Err(CktError::NoConvergence { .. }) if h_eff > self.cfg.h_min => {
+                    h = (h_eff * 0.4).max(self.cfg.h_min);
+                    be_next = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Index maps.
+        let mut node_index = HashMap::new();
+        for (name, id) in self.nl.node_names() {
+            if let Some(i) = id.unknown() {
+                node_index.insert(name, i);
+            }
+        }
+        let mut source_index = HashMap::new();
+        let mut source_waves = Vec::new();
+        let mut k = 0usize;
+        for el in self.nl.elements() {
+            if let Element::VSource { name, wave, .. } = el {
+                source_index.insert(name.clone(), k);
+                source_waves.push(wave.clone());
+                k += 1;
+            }
+        }
+
+        Ok(TranResult {
+            time,
+            node_samples,
+            source_samples,
+            node_index,
+            source_index,
+            source_waves,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::waveform::{Edge, Waveform};
+    use tdam_fefet::mosfet::MosParams;
+
+    #[test]
+    fn dc_voltage_divider() {
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let mid = nl.node("mid");
+        nl.vsource("V1", top, Netlist::GND, Waveform::dc(2.0));
+        nl.resistor("R1", top, mid, 1000.0).unwrap();
+        nl.resistor("R2", mid, Netlist::GND, 1000.0).unwrap();
+        let v = DcOp::new(&nl).node_voltage("mid").unwrap();
+        assert!((v - 1.0).abs() < 1e-6, "divider should sit at 1 V, got {v}");
+    }
+
+    #[test]
+    fn dc_unknown_node() {
+        let nl = Netlist::new();
+        assert!(matches!(
+            DcOp::new(&nl).node_voltage("nope"),
+            Err(CktError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn rc_step_time_constant() {
+        // R = 1 kΩ, C = 1 pF → τ = 1 ns. After 1τ the output reaches 63.2%.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VIN", inp, Netlist::GND, Waveform::step(0.0, 1.0, 0.0));
+        nl.resistor("R1", inp, out, 1000.0).unwrap();
+        nl.capacitor("C1", out, Netlist::GND, 1e-12).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(8e-9).with_max_step(5e-12))
+            .run()
+            .unwrap();
+        let tr = res.trace("out").unwrap();
+        let v_tau = tr.sample(1e-9 + 1e-12);
+        assert!(
+            (v_tau - 0.632).abs() < 0.01,
+            "RC charge at tau should be 63.2%, got {v_tau}"
+        );
+        assert!((tr.last_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rc_delay_measurement() {
+        // 50% crossing of an RC step lags by ln(2)·τ ≈ 0.693 ns.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VIN", inp, Netlist::GND, Waveform::step(0.0, 1.0, 1e-9));
+        nl.resistor("R1", inp, out, 1000.0).unwrap();
+        nl.capacitor("C1", out, Netlist::GND, 1e-12).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(10e-9).with_max_step(5e-12))
+            .run()
+            .unwrap();
+        let t_in = res
+            .trace("in")
+            .unwrap()
+            .first_crossing(0.5, Edge::Rising)
+            .unwrap();
+        let t_out = res
+            .trace("out")
+            .unwrap()
+            .first_crossing(0.5, Edge::Rising)
+            .unwrap();
+        let delay = t_out - t_in;
+        assert!(
+            (delay - 0.693e-9).abs() < 0.02e-9,
+            "50% RC delay should be ln2·tau, got {delay:e}"
+        );
+    }
+
+    #[test]
+    fn source_energy_into_resistor() {
+        // 1 V across 1 kΩ for 10 ns: E = V²/R · t = 10 pJ... (1e-3 W · 1e-8 s = 1e-11 J).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GND, Waveform::dc(1.0));
+        nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(10e-9)).run().unwrap();
+        let e = res.delivered_energy("V1").unwrap();
+        assert!(
+            (e - 1e-11).abs() < 1e-13,
+            "delivered energy should be 10 pJ, got {e:e}"
+        );
+    }
+
+    #[test]
+    fn capacitor_charge_energy() {
+        // Charging C to V through R delivers C·V² from the source
+        // (half stored, half dissipated).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GND, Waveform::step(0.0, 1.0, 0.1e-9));
+        nl.resistor("R1", a, b, 1000.0).unwrap();
+        nl.capacitor("C1", b, Netlist::GND, 1e-12).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(20e-9).with_max_step(10e-12))
+            .run()
+            .unwrap();
+        let e = res.delivered_energy("V1").unwrap();
+        assert!(
+            (e - 1e-12).abs() < 0.05e-12,
+            "source delivers C·V² = 1 pJ, got {e:e}"
+        );
+    }
+
+    #[test]
+    fn nmos_inverter_dc_transfer() {
+        // Resistor-load NMOS inverter: low input → high output and vice
+        // versa.
+        let vdd_v = 1.1;
+        let build = |vin: f64| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let inp = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource("VDD", vdd, Netlist::GND, Waveform::dc(vdd_v));
+            nl.vsource("VIN", inp, Netlist::GND, Waveform::dc(vin));
+            nl.resistor("RL", vdd, out, 20_000.0).unwrap();
+            nl.mosfet("M1", out, inp, Netlist::GND, MosParams::nmos_40nm());
+            nl
+        };
+        let v_low_in = DcOp::new(&build(0.0)).node_voltage("out").unwrap();
+        let v_high_in = DcOp::new(&build(1.1)).node_voltage("out").unwrap();
+        assert!(v_low_in > 1.0, "off NMOS → output near VDD, got {v_low_in}");
+        assert!(v_high_in < 0.2, "on NMOS → output pulled low, got {v_high_in}");
+    }
+
+    #[test]
+    fn cmos_inverter_switches() {
+        let vdd_v = 1.1;
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GND, Waveform::dc(vdd_v));
+        nl.vsource(
+            "VIN",
+            inp,
+            Netlist::GND,
+            Waveform::pulse_once(0.0, vdd_v, 1e-9, 50e-12, 3e-9),
+        );
+        nl.mosfet("MP", out, inp, vdd, MosParams::pmos_40nm());
+        nl.mosfet("MN", out, inp, Netlist::GND, MosParams::nmos_40nm());
+        nl.capacitor("CL", out, Netlist::GND, 2e-15).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(8e-9).with_max_step(10e-12))
+            .run()
+            .unwrap();
+        let tr = res.trace("out").unwrap();
+        // Before the pulse: out ≈ VDD. During the pulse: out ≈ 0.
+        assert!(tr.sample(0.9e-9) > vdd_v - 0.05);
+        assert!(tr.sample(3.0e-9) < 0.05);
+        assert!(tr.last_value() > vdd_v - 0.05);
+        // Inverter delays exist and are finite.
+        let t_fall = tr.first_crossing(vdd_v / 2.0, Edge::Falling).unwrap();
+        assert!(t_fall > 1e-9 && t_fall < 1.5e-9);
+    }
+
+    #[test]
+    fn floating_node_is_singular_or_converges_via_gmin() {
+        // A node connected only through a capacitor has no DC path; gmin
+        // keeps the matrix solvable and pins it near ground.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GND, Waveform::dc(1.0));
+        nl.capacitor("C1", a, b, 1e-15).unwrap();
+        let v = DcOp::new(&nl).node_voltage("b").unwrap();
+        assert!(v.abs() < 1e-3, "floating node pinned by gmin, got {v}");
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GND, a, Waveform::dc(1e-3));
+        nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
+        let v = DcOp::new(&nl).node_voltage("a").unwrap();
+        assert!((v - 1.0).abs() < 1e-6, "1 mA into 1 kΩ = 1 V, got {v}");
+    }
+
+    #[test]
+    fn transient_result_time_is_monotone() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GND,
+            Waveform::pulse_once(0.0, 1.0, 1e-9, 0.1e-9, 1e-9),
+        );
+        nl.resistor("R1", a, Netlist::GND, 100.0).unwrap();
+        let res = Transient::new(&nl, TranConfig::until(5e-9)).run().unwrap();
+        for w in res.time().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!((res.time().last().unwrap() - 5e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,208 @@
+//! Waveform export: CSV and VCD writers for simulation traces.
+//!
+//! Transient results are most useful when they can leave the program —
+//! CSV for plotting (gnuplot, matplotlib, spreadsheets) and VCD for
+//! waveform viewers (GTKWave). Both writers take any [`std::io::Write`]
+//! sink (pass `&mut file` to keep ownership, per C-RW-VALUE).
+
+use crate::analysis::TranResult;
+use crate::waveform::Trace;
+use crate::CktError;
+use std::io::Write;
+
+/// Error from an export operation: either an unknown signal or an I/O
+/// failure.
+#[derive(Debug)]
+pub enum ExportError {
+    /// A requested signal does not exist in the result.
+    Circuit(CktError),
+    /// The sink failed.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Circuit(e) => write!(f, "export failed: {e}"),
+            Self::Io(e) => write!(f, "export I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<CktError> for ExportError {
+    fn from(e: CktError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes the named node voltages of a transient result as CSV: a `time`
+/// column followed by one column per node, full `f64` precision.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] for unknown nodes or sink failures.
+pub fn write_csv<W: Write>(
+    result: &TranResult,
+    nodes: &[&str],
+    mut sink: W,
+) -> Result<(), ExportError> {
+    let traces: Vec<Trace> = nodes
+        .iter()
+        .map(|n| result.trace(n))
+        .collect::<Result<_, _>>()?;
+    write!(sink, "time")?;
+    for n in nodes {
+        write!(sink, ",{n}")?;
+    }
+    writeln!(sink)?;
+    for (i, &t) in result.time().iter().enumerate() {
+        write!(sink, "{t:e}")?;
+        for tr in &traces {
+            write!(sink, ",{:e}", tr.value[i])?;
+        }
+        writeln!(sink)?;
+    }
+    Ok(())
+}
+
+/// Writes the named node voltages as a VCD (value-change dump) with
+/// `real` variables, 1 fs timescale — loadable in GTKWave.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] for unknown nodes or sink failures.
+pub fn write_vcd<W: Write>(
+    result: &TranResult,
+    nodes: &[&str],
+    mut sink: W,
+) -> Result<(), ExportError> {
+    let traces: Vec<Trace> = nodes
+        .iter()
+        .map(|n| result.trace(n))
+        .collect::<Result<_, _>>()?;
+    writeln!(sink, "$timescale 1fs $end")?;
+    writeln!(sink, "$scope module tdam $end")?;
+    // VCD id codes: printable characters starting at '!'.
+    let ids: Vec<char> = (0..nodes.len())
+        .map(|i| char::from(b'!' + i as u8))
+        .collect();
+    for (n, id) in nodes.iter().zip(&ids) {
+        writeln!(sink, "$var real 64 {id} {n} $end")?;
+    }
+    writeln!(sink, "$upscope $end")?;
+    writeln!(sink, "$enddefinitions $end")?;
+    let mut last: Vec<Option<f64>> = vec![None; nodes.len()];
+    for (i, &t) in result.time().iter().enumerate() {
+        let fs = (t * 1e15).round() as u64;
+        let mut stamped = false;
+        for (k, tr) in traces.iter().enumerate() {
+            let v = tr.value[i];
+            if last[k] != Some(v) {
+                if !stamped {
+                    writeln!(sink, "#{fs}")?;
+                    stamped = true;
+                }
+                writeln!(sink, "r{v:e} {}", ids[k])?;
+                last[k] = Some(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{TranConfig, Transient};
+    use crate::netlist::Netlist;
+    use crate::waveform::Waveform;
+
+    fn rc_result() -> TranResult {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VIN", inp, Netlist::GND, Waveform::step(0.0, 1.0, 1e-9));
+        nl.resistor("R1", inp, out, 1000.0).expect("resistor");
+        nl.capacitor("C1", out, Netlist::GND, 1e-12).expect("capacitor");
+        Transient::new(&nl, TranConfig::until(5e-9)).run().expect("transient")
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let result = rc_result();
+        let mut buf = Vec::new();
+        write_csv(&result, &["in", "out"], &mut buf).expect("csv");
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("time,in,out"));
+        let rows = lines.count();
+        assert_eq!(rows, result.time().len());
+        // Every row has exactly 3 comma-separated fields.
+        for line in text.lines().skip(1).take(5) {
+            assert_eq!(line.split(',').count(), 3, "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_rejects_unknown_node() {
+        let result = rc_result();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_csv(&result, &["nope"], &mut buf),
+            Err(ExportError::Circuit(_))
+        ));
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let result = rc_result();
+        let mut buf = Vec::new();
+        write_vcd(&result, &["in", "out"], &mut buf).expect("vcd");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("$timescale 1fs $end"));
+        assert!(text.contains("$var real 64 ! in $end"));
+        assert!(text.contains("$var real 64 \" out $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        // Timestamps strictly increase.
+        let stamps: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|s| s.parse().expect("fs stamp"))
+            .collect();
+        assert!(stamps.len() > 10);
+        for w in stamps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn vcd_deduplicates_unchanged_values() {
+        let result = rc_result();
+        let mut buf = Vec::new();
+        write_vcd(&result, &["in"], &mut buf).expect("vcd");
+        let text = String::from_utf8(buf).expect("utf8");
+        // The input holds 0 then 1; value-change lines must be far fewer
+        // than timepoints.
+        let changes = text.lines().filter(|l| l.starts_with('r')).count();
+        assert!(
+            changes < result.time().len() / 2,
+            "{changes} changes for {} samples",
+            result.time().len()
+        );
+    }
+}

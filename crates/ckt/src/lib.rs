@@ -1,0 +1,107 @@
+//! A small MNA-based transient circuit simulator.
+//!
+//! The paper evaluates its TD-AM exclusively through SPICE (Cadence Spectre
+//! with a 40 nm PDK). The Rust ecosystem has no circuit simulator, so this
+//! crate implements the minimal-but-real subset needed to reproduce the
+//! paper's circuit-level experiments:
+//!
+//! - [`netlist`] — circuit description: nodes, R/C, independent sources,
+//!   MOSFETs (using the smooth EKV-style model from [`tdam_fefet::mosfet`])
+//!   and FeFETs (a MOSFET whose `V_TH` comes from stored polarization),
+//! - [`waveform`] — input stimuli (DC / pulse / PWL) and sampled output
+//!   [`waveform::Trace`]s with crossing detection and delay measurement,
+//! - [`linear`] / [`sparse`] — dense LU for stage-sized systems, sparse
+//!   row-elimination LU for monolithic chain netlists (the analyses pick
+//!   automatically by system size),
+//! - [`analysis`] — DC operating point (Newton with g_min stepping) and
+//!   adaptive-step transient analysis (trapezoidal companion models with a
+//!   backward-Euler first step), including supply-energy integration,
+//! - [`export`] — CSV and VCD (GTKWave) waveform writers.
+//!
+//! Delay *chains* are feed-forward (each stage's output drives only the
+//! next stage's gate), so the TD-AM crate simulates stage-sized circuits
+//! sequentially, converting each stage's output [`waveform::Trace`] into the
+//! next stage's PWL source. That keeps 128-stage transients and Monte Carlo
+//! sweeps tractable without a sparse solver.
+//!
+//! # Examples
+//!
+//! An RC low-pass step response:
+//!
+//! ```
+//! use tdam_ckt::netlist::Netlist;
+//! use tdam_ckt::waveform::Waveform;
+//! use tdam_ckt::analysis::{Transient, TranConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new();
+//! let inp = nl.node("in");
+//! let out = nl.node("out");
+//! nl.vsource("VIN", inp, Netlist::GND, Waveform::step(0.0, 1.0, 1e-9));
+//! nl.resistor("R1", inp, out, 1_000.0)?;
+//! nl.capacitor("C1", out, Netlist::GND, 1e-12)?;
+//!
+//! let result = Transient::new(&nl, TranConfig::until(10e-9)).run()?;
+//! let v_end = result.trace("out")?.last_value();
+//! assert!((v_end - 1.0).abs() < 0.01, "settles to the step level");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod export;
+pub mod linear;
+pub mod netlist;
+pub mod sparse;
+pub mod waveform;
+
+pub use analysis::{DcOp, TranConfig, TranResult, Transient};
+pub use netlist::{Netlist, NodeId};
+pub use waveform::{Trace, Waveform};
+
+/// Errors produced by circuit construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CktError {
+    /// An element parameter was invalid (negative resistance, NaN, …).
+    InvalidElement {
+        /// Element name as given to the netlist builder.
+        name: String,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// The analysis phase that failed ("dc", "transient").
+        phase: &'static str,
+        /// Simulation time at failure (seconds; 0 for DC).
+        time: f64,
+    },
+    /// A requested node or trace name does not exist.
+    UnknownNode {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The linear solver hit a singular matrix (floating node, shorted
+    /// source loop, …).
+    SingularMatrix,
+}
+
+impl core::fmt::Display for CktError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidElement { name, reason } => {
+                write!(f, "invalid element {name}: {reason}")
+            }
+            Self::NoConvergence { phase, time } => {
+                write!(f, "{phase} analysis failed to converge at t={time:.4e} s")
+            }
+            Self::UnknownNode { name } => write!(f, "unknown node or trace {name}"),
+            Self::SingularMatrix => write!(f, "singular MNA matrix (floating node?)"),
+        }
+    }
+}
+
+impl std::error::Error for CktError {}

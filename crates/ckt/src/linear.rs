@@ -1,0 +1,210 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! Stage-sized MNA systems have at most a few dozen unknowns, so a dense
+//! solver is both simpler and faster than a sparse one here.
+
+use crate::CktError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        self.data[r * self.n + c]
+    }
+
+    /// Adds `v` to entry `(r, c)` (the natural MNA "stamp" operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Zeroes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` in place: factorizes a copy of `A` with partial
+    /// pivoting and overwrites `b` with the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &mut [f64]) -> Result<(), CktError> {
+        assert_eq!(b.len(), self.n, "rhs length must match dimension");
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude in column k.
+            let mut p = k;
+            let mut max = lu[perm[k] * n + k].abs();
+            for (i, &pi) in perm.iter().enumerate().skip(k + 1) {
+                let v = lu[pi * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-30 {
+                return Err(CktError::SingularMatrix);
+            }
+            perm.swap(k, p);
+            let pk = perm[k];
+            let pivot = lu[pk * n + k];
+            for &pi in perm.iter().skip(k + 1) {
+                let factor = lu[pi * n + k] / pivot;
+                lu[pi * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[pi * n + j] -= factor * lu[pk * n + j];
+                }
+            }
+        }
+
+        // Forward substitution (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for k in 0..n {
+            let pk = perm[k];
+            let mut acc = b[pk];
+            for (j, &yj) in y.iter().enumerate().take(k) {
+                acc -= lu[pk * n + j] * yj;
+            }
+            y[k] = acc;
+        }
+
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let pk = perm[k];
+            let mut acc = y[k];
+            for (j, &xj) in x.iter().enumerate().skip(k + 1) {
+                acc -= lu[pk * n + j] * xj;
+            }
+            x[k] = acc / lu[pk * n + k];
+        }
+        b.copy_from_slice(&x);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        m.solve(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 2.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        let mut b = vec![5.0, 10.0];
+        m.solve(&mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let mut b = vec![3.0, 4.0];
+        m.solve(&mut b).unwrap();
+        assert_eq!(b, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(m.solve(&mut b), Err(CktError::SingularMatrix));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 5.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn random_diagonally_dominant(seed_vals in prop::collection::vec(-1.0f64..1.0, 16),
+                                      rhs in prop::collection::vec(-10.0f64..10.0, 4)) {
+            let n = 4;
+            let mut m = DenseMatrix::zeros(n);
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = seed_vals[r * n + c];
+                        m.add(r, c, v);
+                        row_sum += v.abs();
+                    }
+                }
+                m.add(r, r, row_sum + 1.0);
+            }
+            let mut x = rhs.clone();
+            m.solve(&mut x).unwrap();
+            // Verify residual A·x ≈ b.
+            for r in 0..n {
+                let mut acc = 0.0;
+                for (c, &xc) in x.iter().enumerate() {
+                    acc += m.get(r, c) * xc;
+                }
+                prop_assert!((acc - rhs[r]).abs() < 1e-8);
+            }
+        }
+    }
+}

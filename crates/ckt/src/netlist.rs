@@ -1,0 +1,350 @@
+//! Circuit description: nodes and elements.
+
+use crate::waveform::Waveform;
+use crate::CktError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tdam_fefet::mosfet::MosParams;
+
+/// A circuit node handle. [`Netlist::GND`] is the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Whether this is the ground/reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// MNA unknown index for a non-ground node.
+    pub(crate) fn unknown(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// A linear resistor between two nodes.
+    Resistor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// A linear capacitor between two nodes.
+    Capacitor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (≥ 0).
+        farads: f64,
+    },
+    /// An independent voltage source (adds one MNA branch unknown).
+    VSource {
+        /// Element name.
+        name: String,
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Stimulus.
+        wave: Waveform,
+    },
+    /// An independent current source (current flows p → n externally).
+    ISource {
+        /// Element name.
+        name: String,
+        /// Terminal the current is pulled from.
+        p: NodeId,
+        /// Terminal the current is pushed into.
+        n: NodeId,
+        /// Stimulus (amperes).
+        wave: Waveform,
+    },
+    /// A MOSFET (drain, gate, source; bulk tied to source). FeFETs are
+    /// expressed as MOSFETs whose `vth` reflects their programmed
+    /// polarization, plus an explicit gate capacitor.
+    Mosfet {
+        /// Element name.
+        name: String,
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Device model parameters.
+        params: MosParams,
+    },
+}
+
+impl Element {
+    /// The element's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Resistor { name, .. }
+            | Self::Capacitor { name, .. }
+            | Self::VSource { name, .. }
+            | Self::ISource { name, .. }
+            | Self::Mosfet { name, .. } => name,
+        }
+    }
+}
+
+/// A circuit under construction.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_ckt::netlist::Netlist;
+/// use tdam_ckt::waveform::Waveform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new();
+/// let a = nl.node("a");
+/// nl.vsource("V1", a, Netlist::GND, Waveform::dc(1.0));
+/// nl.resistor("R1", a, Netlist::GND, 50.0)?;
+/// assert_eq!(nl.node_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    names: HashMap<String, NodeId>,
+    next: usize,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// The ground / reference node.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self {
+            names: HashMap::new(),
+            next: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    /// The names `"0"` and `"gnd"` resolve to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GND;
+        }
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = NodeId(self.next);
+        self.next += 1;
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::UnknownNode`] when no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, CktError> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Ok(Self::GND);
+        }
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| CktError::UnknownNode {
+                name: name.to_owned(),
+            })
+    }
+
+    /// The number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.next - 1
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Node names, in insertion order by id.
+    pub fn node_names(&self) -> Vec<(String, NodeId)> {
+        let mut v: Vec<(String, NodeId)> =
+            self.names.iter().map(|(k, &id)| (k.clone(), id)).collect();
+        v.sort_by_key(|&(_, id)| id.0);
+        v
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::InvalidElement`] for non-positive or non-finite
+    /// resistance.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CktError> {
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(CktError::InvalidElement {
+                name: name.to_owned(),
+                reason: "resistance must be positive and finite",
+            });
+        }
+        self.elements.push(Element::Resistor {
+            name: name.to_owned(),
+            a,
+            b,
+            ohms,
+        });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::InvalidElement`] for negative or non-finite
+    /// capacitance.
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<(), CktError> {
+        if !(farads >= 0.0) || !farads.is_finite() {
+            return Err(CktError::InvalidElement {
+                name: name.to_owned(),
+                reason: "capacitance must be nonnegative and finite",
+            });
+        }
+        self.elements.push(Element::Capacitor {
+            name: name.to_owned(),
+            a,
+            b,
+            farads,
+        });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source.
+    pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) {
+        self.elements.push(Element::VSource {
+            name: name.to_owned(),
+            p,
+            n,
+            wave,
+        });
+    }
+
+    /// Adds an independent current source (positive current is pulled from
+    /// `p` and pushed into `n`).
+    pub fn isource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) {
+        self.elements.push(Element::ISource {
+            name: name.to_owned(),
+            p,
+            n,
+            wave,
+        });
+    }
+
+    /// Adds a MOSFET (drain, gate, source).
+    pub fn mosfet(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, params: MosParams) {
+        self.elements.push(Element::Mosfet {
+            name: name.to_owned(),
+            d,
+            g,
+            s,
+            params,
+        });
+    }
+
+    /// Number of voltage sources (MNA branch unknowns).
+    pub fn vsource_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut nl = Netlist::new();
+        assert!(nl.node("0").is_ground());
+        assert!(nl.node("gnd").is_ground());
+        assert!(nl.node("GND").is_ground());
+        assert_eq!(nl.node_count(), 0);
+    }
+
+    #[test]
+    fn node_identity_by_name() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        let b = nl.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(nl.node_count(), 2);
+    }
+
+    #[test]
+    fn find_unknown_node_errors() {
+        let nl = Netlist::new();
+        assert!(matches!(
+            nl.find_node("missing"),
+            Err(CktError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_resistor_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.resistor("R1", a, Netlist::GND, 0.0).is_err());
+        assert!(nl.resistor("R1", a, Netlist::GND, -5.0).is_err());
+        assert!(nl.resistor("R1", a, Netlist::GND, f64::NAN).is_err());
+        assert!(nl.resistor("R1", a, Netlist::GND, 1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_capacitor_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.capacitor("C1", a, Netlist::GND, -1e-15).is_err());
+        assert!(nl.capacitor("C1", a, Netlist::GND, 0.0).is_ok());
+    }
+
+    #[test]
+    fn vsource_count() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GND, Waveform::dc(1.0));
+        nl.vsource("V2", a, Netlist::GND, Waveform::dc(2.0));
+        nl.isource("I1", a, Netlist::GND, Waveform::dc(1e-6));
+        assert_eq!(nl.vsource_count(), 2);
+    }
+
+    #[test]
+    fn unknown_indices() {
+        assert_eq!(Netlist::GND.unknown(), None);
+        assert_eq!(NodeId(3).unknown(), Some(2));
+    }
+}

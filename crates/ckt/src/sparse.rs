@@ -1,0 +1,283 @@
+//! Sparse LU solver for larger MNA systems.
+//!
+//! Stage-sized circuits use the dense solver in [`crate::linear`]; a
+//! *monolithic* chain netlist (every stage in one matrix, used to validate
+//! the stage-handoff method) reaches hundreds of unknowns where dense LU's
+//! O(n³) hurts. MNA matrices are extremely sparse (a handful of entries
+//! per row, nearly banded for a chain), so row-wise Gaussian elimination
+//! over hash-sparse rows with diagonal-preference pivoting handles them in
+//! near-linear time.
+
+use crate::CktError;
+use std::collections::HashMap;
+
+/// A sparse square matrix assembled from stamps, with an LU-style solve.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    n: usize,
+    rows: Vec<HashMap<usize, f64>>,
+}
+
+impl SparseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        if v != 0.0 {
+            *self.rows[r].entry(c).or_insert(0.0) += v;
+        }
+    }
+
+    /// Reads entry `(r, c)` (zero when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        self.rows[r].get(&c).copied().unwrap_or(0.0)
+    }
+
+    /// Zeroes all entries, keeping row allocations.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+
+    /// Solves `A·x = b` by sparse Gaussian elimination with
+    /// diagonal-preference partial pivoting, overwriting `b` with `x`.
+    ///
+    /// Pivoting prefers the diagonal when it is within 10⁻³ of the
+    /// column's largest magnitude (keeps fill-in low on MNA structure) and
+    /// falls back to full partial pivoting otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::SingularMatrix`] when no usable pivot remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &mut [f64]) -> Result<(), CktError> {
+        assert_eq!(b.len(), self.n, "rhs length must match dimension");
+        let n = self.n;
+        let mut rows = self.rows.clone();
+        // perm[k] = original row index used as the k-th pivot row.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rhs = b.to_vec();
+
+        for k in 0..n {
+            // Find the pivot among remaining rows (positions k..) in
+            // column k.
+            let mut best: Option<(usize, f64)> = None;
+            for (pos, &ri) in perm.iter().enumerate().skip(k) {
+                let v = rows[ri].get(&k).copied().unwrap_or(0.0).abs();
+                if v > best.map(|(_, bv)| bv).unwrap_or(0.0) {
+                    best = Some((pos, v));
+                }
+            }
+            let Some((mut pivot_pos, max_v)) = best else {
+                return Err(CktError::SingularMatrix);
+            };
+            if max_v < 1e-30 {
+                return Err(CktError::SingularMatrix);
+            }
+            // Prefer the natural diagonal row when competitive.
+            let diag_pos = perm.iter().position(|&ri| ri == k);
+            if let Some(dp) = diag_pos {
+                if dp >= k {
+                    let dv = rows[perm[dp]].get(&k).copied().unwrap_or(0.0).abs();
+                    if dv >= 1e-3 * max_v && dv > 1e-30 {
+                        pivot_pos = dp;
+                    }
+                }
+            }
+            perm.swap(k, pivot_pos);
+            let pr = perm[k];
+            let pivot = rows[pr][&k];
+
+            // Eliminate column k from all later rows.
+            let pivot_row: Vec<(usize, f64)> = rows[pr]
+                .iter()
+                .filter(|&(&c, _)| c > k)
+                .map(|(&c, &v)| (c, v))
+                .collect();
+            let pivot_rhs = rhs[pr];
+            for &ri in perm.iter().skip(k + 1) {
+                let Some(&factor_num) = rows[ri].get(&k) else {
+                    continue;
+                };
+                let factor = factor_num / pivot;
+                rows[ri].remove(&k);
+                for &(c, v) in &pivot_row {
+                    let e = rows[ri].entry(c).or_insert(0.0);
+                    *e -= factor * v;
+                    if e.abs() < 1e-300 {
+                        rows[ri].remove(&c);
+                    }
+                }
+                rhs[ri] -= factor * pivot_rhs;
+            }
+        }
+
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let pr = perm[k];
+            let mut acc = rhs[pr];
+            for (&c, &v) in &rows[pr] {
+                if c > k {
+                    acc -= v * x[c];
+                }
+            }
+            x[k] = acc / rows[pr][&k];
+        }
+        b.copy_from_slice(&x);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::DenseMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solves_identity() {
+        let mut m = SparseMatrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, 2.0);
+        }
+        let mut b = vec![2.0, 4.0, 6.0];
+        m.solve(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn needs_pivoting_off_diagonal() {
+        let mut m = SparseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let mut b = vec![3.0, 4.0];
+        m.solve(&mut b).unwrap();
+        assert_eq!(b, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = SparseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(m.solve(&mut b), Err(CktError::SingularMatrix));
+    }
+
+    #[test]
+    fn empty_row_is_singular() {
+        let mut m = SparseMatrix::zeros(3);
+        m.add(0, 0, 1.0);
+        m.add(2, 2, 1.0);
+        let mut b = vec![1.0, 1.0, 1.0];
+        assert_eq!(m.solve(&mut b), Err(CktError::SingularMatrix));
+    }
+
+    #[test]
+    fn matches_dense_on_random_mna_like_systems() {
+        // Tridiagonal-plus-coupling systems shaped like chain MNA.
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let n = 5 + (trial % 30);
+            let mut sparse = SparseMatrix::zeros(n);
+            let mut dense = DenseMatrix::zeros(n);
+            for i in 0..n {
+                let d = 1.0 + rng.gen::<f64>() * 10.0;
+                sparse.add(i, i, d);
+                dense.add(i, i, d);
+                if i + 1 < n {
+                    let c = rng.gen::<f64>() - 0.5;
+                    sparse.add(i, i + 1, c);
+                    dense.add(i, i + 1, c);
+                    sparse.add(i + 1, i, c);
+                    dense.add(i + 1, i, c);
+                }
+                // Occasional long-range coupling (source rows).
+                if i > 3 && rng.gen_bool(0.2) {
+                    let c = rng.gen::<f64>() - 0.5;
+                    sparse.add(i, i - 3, c);
+                    dense.add(i, i - 3, c);
+                }
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let mut xs = rhs.clone();
+            let mut xd = rhs.clone();
+            sparse.solve(&mut xs).unwrap();
+            dense.solve(&mut xd).unwrap();
+            for (a, b) in xs.iter().zip(&xd) {
+                assert!((a - b).abs() < 1e-8, "sparse {a} vs dense {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_dimension() {
+        let mut m = SparseMatrix::zeros(4);
+        m.add(1, 2, 5.0);
+        m.clear();
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.dim(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn diagonally_dominant_always_solves(n in 2usize..20, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = SparseMatrix::zeros(n);
+            let mut rowsum = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.3) {
+                        let v: f64 = rng.gen::<f64>() - 0.5;
+                        m.add(i, j, v);
+                        rowsum[i] += v.abs();
+                    }
+                }
+            }
+            for (i, &s) in rowsum.iter().enumerate() {
+                m.add(i, i, s + 1.0);
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let mut x = rhs.clone();
+            m.solve(&mut x).unwrap();
+            // Residual check.
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, &xj) in x.iter().enumerate() {
+                    acc += m.get(i, j) * xj;
+                }
+                prop_assert!((acc - rhs[i]).abs() < 1e-7);
+            }
+        }
+    }
+}

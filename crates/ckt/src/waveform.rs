@@ -1,0 +1,443 @@
+//! Input stimuli and sampled output traces.
+
+use serde::{Deserialize, Serialize};
+
+/// An independent-source stimulus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse.
+    Pulse {
+        /// Initial level (volts or amperes).
+        v0: f64,
+        /// Pulsed level.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width at `v1`, seconds.
+        width: f64,
+        /// Repetition period; `None` for a single pulse.
+        period: Option<f64>,
+    },
+    /// Piecewise-linear waveform: `(time, value)` points with strictly
+    /// increasing times; holds the last value afterwards and the first value
+    /// before the first point.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A constant waveform.
+    pub fn dc(v: f64) -> Self {
+        Self::Dc(v)
+    }
+
+    /// A step from `v0` to `v1` at time `t_step`, with a 1 ps edge.
+    pub fn step(v0: f64, v1: f64, t_step: f64) -> Self {
+        Self::Pwl(vec![(0.0, v0), (t_step, v0), (t_step + 1e-12, v1)])
+    }
+
+    /// A single rectangular pulse with symmetric `edge` rise/fall times.
+    pub fn pulse_once(v0: f64, v1: f64, delay: f64, edge: f64, width: f64) -> Self {
+        Self::Pulse {
+            v0,
+            v1,
+            delay,
+            rise: edge,
+            fall: edge,
+            width,
+            period: None,
+        }
+    }
+
+    /// Evaluates the stimulus at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Self::Dc(v) => *v,
+            Self::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                let mut tl = t - delay;
+                if tl < 0.0 {
+                    return *v0;
+                }
+                if let Some(p) = period {
+                    if *p > 0.0 {
+                        tl %= p;
+                    }
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                if tl < rise {
+                    v0 + (v1 - v0) * tl / rise
+                } else if tl < rise + width {
+                    *v1
+                } else if tl < rise + width + fall {
+                    v1 + (v0 - v1) * (tl - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Self::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// Times at which the stimulus has corners the integrator should step
+    /// on exactly (breakpoints), within `[0, t_stop]`.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut bps = Vec::new();
+        match self {
+            Self::Dc(_) => {}
+            Self::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let corners = [0.0, *rise, rise + width, rise + width + fall];
+                let mut base = *delay;
+                loop {
+                    for c in corners {
+                        let t = base + c;
+                        if t <= t_stop {
+                            bps.push(t);
+                        }
+                    }
+                    match period {
+                        Some(p) if *p > 0.0 && base + p <= t_stop => base += p,
+                        _ => break,
+                    }
+                }
+            }
+            Self::Pwl(points) => {
+                bps.extend(points.iter().map(|&(t, _)| t).filter(|&t| t <= t_stop));
+            }
+        }
+        bps
+    }
+}
+
+/// Edge direction for crossing searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Edge {
+    /// Value increasing through the threshold.
+    Rising,
+    /// Value decreasing through the threshold.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A sampled signal: monotone time points with values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Sample times, seconds, strictly increasing.
+    pub time: Vec<f64>,
+    /// Sample values.
+    pub value: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn new(time: Vec<f64>, value: Vec<f64>) -> Self {
+        assert_eq!(time.len(), value.len(), "trace vectors must pair up");
+        Self { time, value }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// The last sampled value (0.0 for an empty trace).
+    pub fn last_value(&self) -> f64 {
+        self.value.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear interpolation at time `t` (clamped to the trace span).
+    pub fn sample(&self, t: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        if t <= self.time[0] {
+            return self.value[0];
+        }
+        if t >= *self.time.last().expect("non-empty") {
+            return self.last_value();
+        }
+        let idx = match self
+            .time
+            .binary_search_by(|p| p.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return self.value[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.time[idx - 1], self.time[idx]);
+        let (v0, v1) = (self.value[idx - 1], self.value[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Finds the `n`-th time (0-based) the trace crosses `threshold` with
+    /// the requested [`Edge`], linearly interpolated. Returns `None` if the
+    /// crossing does not occur.
+    pub fn crossing(&self, threshold: f64, edge: Edge, n: usize) -> Option<f64> {
+        let mut seen = 0;
+        for i in 1..self.len() {
+            let (v0, v1) = (self.value[i - 1], self.value[i]);
+            let rising = v0 < threshold && v1 >= threshold;
+            let falling = v0 > threshold && v1 <= threshold;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                if seen == n {
+                    let (t0, t1) = (self.time[i - 1], self.time[i]);
+                    let frac = (threshold - v0) / (v1 - v0);
+                    return Some(t0 + frac * (t1 - t0));
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// First crossing convenience wrapper.
+    pub fn first_crossing(&self, threshold: f64, edge: Edge) -> Option<f64> {
+        self.crossing(threshold, edge, 0)
+    }
+
+    /// Converts the trace into a PWL stimulus, optionally decimating to at
+    /// most `max_points` samples (keeping endpoints).
+    pub fn to_waveform(&self, max_points: usize) -> Waveform {
+        let n = self.len();
+        if n == 0 {
+            return Waveform::Dc(0.0);
+        }
+        let stride = n.div_ceil(max_points.max(2)).max(1);
+        let mut pts: Vec<(f64, f64)> = self
+            .time
+            .iter()
+            .zip(&self.value)
+            .step_by(stride)
+            .map(|(&t, &v)| (t, v))
+            .collect();
+        let last = (self.time[n - 1], self.value[n - 1]);
+        if pts.last() != Some(&last) {
+            pts.push(last);
+        }
+        Waveform::Pwl(pts)
+    }
+
+    /// Trapezoidal integral of the trace over its full span.
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.len() {
+            let dt = self.time[i] - self.time[i - 1];
+            acc += 0.5 * (self.value[i] + self.value[i - 1]) * dt;
+        }
+        acc
+    }
+
+    /// Trapezoidal integral of `self(t) * other(t)` over this trace's time
+    /// base (e.g. supply energy `∫ v·i dt`).
+    pub fn integral_product(&self, other: &Trace) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.len() {
+            let dt = self.time[i] - self.time[i - 1];
+            let p0 = self.value[i - 1] * other.sample(self.time[i - 1]);
+            let p1 = self.value[i] * other.sample(self.time[i]);
+            acc += 0.5 * (p0 + p1) * dt;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_constant() {
+        let w = Waveform::dc(1.1);
+        assert_eq!(w.value_at(0.0), 1.1);
+        assert_eq!(w.value_at(1.0), 1.1);
+        assert!(w.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::pulse_once(0.0, 1.0, 1e-9, 0.1e-9, 2e-9);
+        assert_eq!(w.value_at(0.5e-9), 0.0);
+        assert!((w.value_at(1.05e-9) - 0.5).abs() < 1e-9);
+        assert_eq!(w.value_at(2.0e-9), 1.0);
+        assert_eq!(w.value_at(5.0e-9), 0.0);
+    }
+
+    #[test]
+    fn periodic_pulse_repeats() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.3e-9,
+            period: Some(1e-9),
+        };
+        assert_eq!(w.value_at(0.2e-9), 1.0);
+        assert_eq!(w.value_at(1.2e-9), 1.0);
+        assert_eq!(w.value_at(0.8e-9), 0.0);
+        assert_eq!(w.value_at(1.8e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_holds() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(1.5), 5.0);
+        assert_eq!(w.value_at(3.0), 10.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(Waveform::Pwl(vec![]).value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_breakpoints() {
+        let w = Waveform::pulse_once(0.0, 1.0, 1e-9, 0.1e-9, 2e-9);
+        let bps = w.breakpoints(10e-9);
+        assert_eq!(bps.len(), 4);
+        assert!((bps[0] - 1e-9).abs() < 1e-18);
+        assert!((bps[3] - 3.2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn trace_sampling() {
+        let t = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0]);
+        assert_eq!(t.sample(0.5), 1.0);
+        assert_eq!(t.sample(1.0), 2.0);
+        assert_eq!(t.sample(-1.0), 0.0);
+        assert_eq!(t.sample(9.0), 0.0);
+    }
+
+    #[test]
+    fn crossings_by_index_and_edge() {
+        let t = Trace::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+        );
+        assert_eq!(t.first_crossing(0.5, Edge::Rising), Some(0.5));
+        assert_eq!(t.crossing(0.5, Edge::Rising, 1), Some(2.5));
+        assert_eq!(t.first_crossing(0.5, Edge::Falling), Some(1.5));
+        assert_eq!(t.crossing(0.5, Edge::Any, 3), Some(3.5));
+        assert_eq!(t.crossing(0.5, Edge::Rising, 2), None);
+        assert_eq!(t.first_crossing(2.0, Edge::Rising), None);
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        let t = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+        assert!((t.integral() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_product_constant() {
+        let v = Trace::new(vec![0.0, 1.0], vec![2.0, 2.0]);
+        let i = Trace::new(vec![0.0, 1.0], vec![3.0, 3.0]);
+        assert!((v.integral_product(&i) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_waveform_roundtrip() {
+        let t = Trace::new(
+            (0..100).map(|i| i as f64 * 1e-12).collect(),
+            (0..100).map(|i| (i as f64 * 0.01).sin()).collect(),
+        );
+        let w = t.to_waveform(1000);
+        for i in (0..100).step_by(7) {
+            let ti = i as f64 * 1e-12;
+            assert!((w.value_at(ti) - t.sample(ti)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn to_waveform_decimation_keeps_endpoints() {
+        let t = Trace::new(
+            (0..1000).map(|i| i as f64).collect(),
+            (0..1000).map(|i| i as f64 * 2.0).collect(),
+        );
+        let w = t.to_waveform(50);
+        if let Waveform::Pwl(pts) = &w {
+            assert!(pts.len() <= 52);
+            assert_eq!(pts[0], (0.0, 0.0));
+            assert_eq!(*pts.last().unwrap(), (999.0, 1998.0));
+        } else {
+            panic!("expected PWL");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_trace_panics() {
+        let _ = Trace::new(vec![0.0], vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn pulse_bounded(t in 0.0f64..20e-9) {
+            let w = Waveform::pulse_once(0.2, 1.3, 1e-9, 0.2e-9, 3e-9);
+            let v = w.value_at(t);
+            prop_assert!((0.2..=1.3).contains(&v));
+        }
+
+        #[test]
+        fn trace_sample_within_bounds(t in -1.0f64..5.0) {
+            let tr = Trace::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, -2.0, 5.0, 0.0]);
+            let v = tr.sample(t);
+            prop_assert!((-2.0..=5.0).contains(&v));
+        }
+    }
+}

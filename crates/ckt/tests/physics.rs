@@ -1,0 +1,142 @@
+//! Physics property tests: the simulator must conserve energy and settle
+//! to its own DC solution on randomized networks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdam_ckt::analysis::{DcOp, TranConfig, Transient};
+use tdam_ckt::netlist::Netlist;
+use tdam_ckt::waveform::Waveform;
+
+/// Builds a random RC ladder of `n` sections; `step` selects a step
+/// stimulus (for transients) or its final DC level (the operating-point
+/// reference the transient must settle to).
+fn rc_ladder(n: usize, seed: u64, step: bool) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new();
+    let src = nl.node("src");
+    let wave = if step {
+        Waveform::step(0.0, 1.0, 0.2e-9)
+    } else {
+        Waveform::dc(1.0)
+    };
+    nl.vsource("VIN", src, Netlist::GND, wave);
+    let mut prev = src;
+    for i in 0..n {
+        let node = nl.node(&format!("n{i}"));
+        let r = 10f64.powf(rng.gen_range(2.0..4.0)); // 100 Ω .. 10 kΩ
+        let c = 10f64.powf(rng.gen_range(-14.0..-12.0)); // 10 fF .. 1 pF
+        nl.resistor(&format!("R{i}"), prev, node, r).expect("resistor");
+        nl.capacitor(&format!("C{i}"), node, Netlist::GND, c)
+            .expect("capacitor");
+        // Occasional shunt resistor makes the final DC value nontrivial.
+        if rng.gen_bool(0.3) {
+            nl.resistor(
+                &format!("RS{i}"),
+                node,
+                Netlist::GND,
+                10f64.powf(rng.gen_range(3.0..5.0)),
+            )
+            .expect("shunt");
+        }
+        prev = node;
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// After many time constants, every node of a random RC ladder sits at
+    /// the network's DC solution.
+    #[test]
+    fn transient_settles_to_dc(n in 2usize..6, seed in 0u64..500) {
+        let nl = rc_ladder(n, seed, true);
+        // Worst time constant bound: 10 kΩ · 1 pF = 10 ns per section.
+        let t_stop = 40e-9 * n as f64 + 40e-9;
+        let result = Transient::new(&nl, TranConfig::until(t_stop))
+            .run()
+            .expect("transient");
+        let nl_dc = rc_ladder(n, seed, false);
+        let dc = DcOp::new(&nl_dc);
+        for i in 0..n {
+            let name = format!("n{i}");
+            let v_tran = result.trace(&name).expect("trace").last_value();
+            let v_dc = dc.node_voltage(&name).expect("dc");
+            prop_assert!(
+                (v_tran - v_dc).abs() < 5e-3,
+                "node {} transient {} vs dc {}", name, v_tran, v_dc
+            );
+        }
+    }
+
+    /// Source energy into a purely capacitive ladder (no shunts): the
+    /// source must at least cover the stored energy (passivity), and for
+    /// step charging dissipation equals storage, so delivered = 2·stored.
+    /// The time step must resolve the ps-scale RC constants or the energy
+    /// integral (not the final voltages) goes wrong — which is itself the
+    /// regression this test guards.
+    #[test]
+    fn source_energy_bounds_stored_energy(n in 2usize..5, seed in 1000u64..1200) {
+        let mut nl = Netlist::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = nl.node("src");
+        nl.vsource("VIN", src, Netlist::GND, Waveform::step(0.0, 1.0, 0.2e-9));
+        let mut prev = src;
+        let mut caps = Vec::new();
+        for i in 0..n {
+            let node = nl.node(&format!("n{i}"));
+            let r = 10f64.powf(rng.gen_range(2.0..3.5));
+            let c = 10f64.powf(rng.gen_range(-14.0..-13.0));
+            nl.resistor(&format!("R{i}"), prev, node, r).expect("resistor");
+            nl.capacitor(&format!("C{i}"), node, Netlist::GND, c).expect("capacitor");
+            caps.push((format!("n{i}"), c));
+            prev = node;
+        }
+        // Horizon: the slowest section is ≤ 3.2 kΩ · 100 fF ≈ 0.32 ns; a
+        // 40 ns window with 10 ps steps resolves both edge and settling.
+        let result = Transient::new(&nl, TranConfig::until(40e-9).with_max_step(10e-12))
+            .run()
+            .expect("transient");
+        let delivered = result.delivered_energy("VIN").expect("energy");
+        // All caps end at 1 V (no DC shunts): stored = Σ C·V²/2.
+        let stored: f64 = caps
+            .iter()
+            .map(|(name, c)| {
+                let v = result.trace(name).expect("trace").last_value();
+                0.5 * c * v * v
+            })
+            .sum();
+        prop_assert!(
+            delivered >= stored * 0.99,
+            "passivity: delivered {delivered:e} must cover stored {stored:e}"
+        );
+        prop_assert!(
+            (delivered - 2.0 * stored).abs() < 0.05 * delivered.max(1e-18),
+            "RC step charging splits energy evenly: delivered {delivered:e}, stored {stored:e}"
+        );
+    }
+}
+
+/// Deterministic cross-solver check: a ladder large enough for the sparse
+/// LU path settles to the operating point the (independently solved) DC
+/// analysis reports.
+#[test]
+fn dense_and_sparse_paths_agree() {
+    // 60 sections pushes the MNA system past the sparse threshold.
+    let nl_big = rc_ladder(60, 7, true);
+    let result = Transient::new(&nl_big, TranConfig::until(20e-6))
+        .run()
+        .expect("sparse transient");
+    let nl_dc = rc_ladder(60, 7, false);
+    let dc = DcOp::new(&nl_dc);
+    for i in [0usize, 20, 59] {
+        let name = format!("n{i}");
+        let v_tran = result.trace(&name).expect("trace").last_value();
+        let v_dc = dc.node_voltage(&name).expect("dc");
+        assert!(
+            (v_tran - v_dc).abs() < 5e-3,
+            "node {name}: transient {v_tran} vs dc {v_dc}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal flag parsing (the approved dependency set has no `clap`).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+    /// Flags given without a value (e.g. `--circuit`).
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when no subcommand is given or a flag
+    /// is malformed.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError::Usage("missing subcommand".to_owned()))?;
+        if command.starts_with('-') && command != "--help" && command != "-h" {
+            return Err(CliError::Usage(format!(
+                "expected a subcommand, got flag {command}"
+            )));
+        }
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument {tok}")));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_owned(), iter.next().expect("peeked"));
+                }
+                _ => switches.push(name.to_owned()),
+            }
+        }
+        Ok(Self {
+            command,
+            flags,
+            switches,
+        })
+    }
+
+    /// The raw value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether the value-less switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses `--name` as `f64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on a malformed number.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v}"))),
+        }
+    }
+
+    /// Parses `--name` as `usize`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on a malformed integer.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got {v}"))),
+        }
+    }
+}
+
+/// Parses `"0,1,2;3,2,1"`-style vector lists.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed elements or empty input.
+pub fn parse_vectors(text: &str) -> Result<Vec<Vec<u8>>, CliError> {
+    let vectors: Result<Vec<Vec<u8>>, CliError> = text
+        .split(';')
+        .map(|row| {
+            row.split(',')
+                .map(|el| {
+                    el.trim()
+                        .parse::<u8>()
+                        .map_err(|_| CliError::Usage(format!("bad vector element {el:?}")))
+                })
+                .collect()
+        })
+        .collect();
+    let vectors = vectors?;
+    if vectors.is_empty() || vectors.iter().any(Vec::is_empty) {
+        return Err(CliError::Usage("empty vector".to_owned()));
+    }
+    Ok(vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(toks: &[&str]) -> Result<Args, CliError> {
+        Args::parse(toks.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = args(&["mc", "--stages", "64", "--experimental", "--runs", "100"]).unwrap();
+        assert_eq!(a.command, "mc");
+        assert_eq!(a.get("stages"), Some("64"));
+        assert!(a.switch("experimental"));
+        assert_eq!(a.usize_or("runs", 0).unwrap(), 100);
+        assert_eq!(a.usize_or("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(matches!(args(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_stray_positional() {
+        assert!(matches!(args(&["mc", "oops"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = args(&["mc", "--runs", "lots"]).unwrap();
+        assert!(matches!(a.usize_or("runs", 1), Err(CliError::Usage(_))));
+        let a = args(&["mc", "--vdd", "1.1.1"]).unwrap();
+        assert!(matches!(a.f64_or("vdd", 1.0), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn vector_parsing() {
+        assert_eq!(
+            parse_vectors("0,1,2;3,2,1").unwrap(),
+            vec![vec![0, 1, 2], vec![3, 2, 1]]
+        );
+        assert_eq!(parse_vectors("3").unwrap(), vec![vec![3]]);
+        assert!(parse_vectors("0,x").is_err());
+        assert!(parse_vectors("").is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_flag_values_roundtrip(name in "[a-z]{1,8}", value in "[a-z0-9.]{1,12}") {
+            let a = Args::parse(vec!["cmd".to_owned(), format!("--{name}"), value.clone()]).unwrap();
+            proptest::prop_assert_eq!(a.get(&name), Some(value.as_str()));
+        }
+
+        #[test]
+        fn vector_parser_never_panics(text in ".{0,64}") {
+            let _ = parse_vectors(&text);
+        }
+    }
+
+    #[test]
+    fn negative_flag_value_is_not_swallowed() {
+        // "--offset --circuit": the next token starts with "--", so
+        // offset becomes a switch, circuit too.
+        let a = args(&["timing", "--offset", "--circuit"]).unwrap();
+        assert!(a.switch("offset"));
+        assert!(a.switch("circuit"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Subcommand implementations. Each returns its report as a `String` so
+//! the binary stays a thin shell and tests can assert on output.
+
+use crate::args::{parse_vectors, Args};
+use crate::CliError;
+use tdam::area::{array_area, AreaModel, StageArea};
+use tdam::array::TdamArray;
+use tdam::config::ArrayConfig;
+use tdam::encoding::Encoding;
+use tdam::engine::SimilarityEngine;
+use tdam::margins::precision_sweep;
+use tdam::monte_carlo::{run as mc_run, McConfig};
+use tdam::power::static_power;
+use tdam::timing::StageTiming;
+use tdam_fefet::VthVariation;
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage problems or simulation failures.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "search" => search(args),
+        "mc" => monte_carlo(args),
+        "timing" => timing(args),
+        "margins" => margins(args),
+        "table1" => table1(args),
+        "area" => area(args),
+        "power" => power(args),
+        "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
+    }
+}
+
+fn base_config(args: &Args) -> Result<ArrayConfig, CliError> {
+    let bits = args.usize_or("bits", 2)? as u8;
+    let cfg = ArrayConfig::paper_default()
+        .with_encoding(Encoding::new(bits)?)
+        .with_vdd(args.f64_or("vdd", 1.1)?)
+        .with_c_load(args.f64_or("c-load-ff", 6.0)? * 1e-15);
+    Ok(cfg)
+}
+
+fn search(args: &Args) -> Result<String, CliError> {
+    let stored = parse_vectors(
+        args.get("store")
+            .ok_or_else(|| CliError::Usage("search needs --store".to_owned()))?,
+    )?;
+    let query = parse_vectors(
+        args.get("query")
+            .ok_or_else(|| CliError::Usage("search needs --query".to_owned()))?,
+    )?;
+    let [query] = query.as_slice() else {
+        return Err(CliError::Usage("--query takes exactly one vector".to_owned()));
+    };
+    let stages = stored[0].len();
+    if stored.iter().any(|v| v.len() != stages) {
+        return Err(CliError::Usage("all stored vectors must be equal length".to_owned()));
+    }
+    let cfg = base_config(args)?.with_stages(stages).with_rows(stored.len());
+    let mut am = TdamArray::new(cfg)?;
+    for (i, row) in stored.iter().enumerate() {
+        SimilarityEngine::store(&mut am, i, row)?;
+    }
+    let outcome = TdamArray::search(&am, query)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>12} {:>10}\n",
+        "row", "distance", "delay (ps)", "count"
+    ));
+    for (i, row) in outcome.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{i:>4} {:>10} {:>12.1} {:>10}\n",
+            row.decoded_mismatches,
+            row.chain.total_delay * 1e12,
+            row.count
+        ));
+    }
+    out.push_str(&format!(
+        "best row: {}   latency {:.3} ns   energy {:.2} fJ\n",
+        outcome.best_row().expect("rows exist"),
+        outcome.latency * 1e9,
+        outcome.energy.total() * 1e15
+    ));
+    Ok(out)
+}
+
+fn monte_carlo(args: &Args) -> Result<String, CliError> {
+    let stages = args.usize_or("stages", 64)?;
+    let runs = args.usize_or("runs", 500)?;
+    let seed = args.usize_or("seed", 0xF16)? as u64;
+    let variation = if args.switch("experimental") {
+        VthVariation::experimental()
+    } else {
+        VthVariation::uniform(args.f64_or("sigma-mv", 40.0)? * 1e-3)
+    };
+    let cfg = McConfig::worst_case(
+        base_config(args)?.with_stages(stages),
+        variation,
+        runs,
+        seed,
+    );
+    let result = mc_run(&cfg)?;
+    Ok(format!(
+        "{runs} runs, {stages} stages, worst case (all mismatched)\n\
+         delay {:.4} ns ± {:.2} ps (nominal {:.4} ns, margin ±{:.2} ps)\n\
+         within margin: {:.1}%   decode correct: {:.1}%\n",
+        result.summary.mean * 1e9,
+        result.summary.std_dev * 1e12,
+        result.nominal_delay * 1e9,
+        result.sensing_margin * 1e12,
+        result.within_margin * 100.0,
+        result.decode_accuracy * 100.0
+    ))
+}
+
+fn timing(args: &Args) -> Result<String, CliError> {
+    let cfg = base_config(args)?;
+    let t = if args.switch("circuit") {
+        StageTiming::from_circuit(&cfg.tech, cfg.c_load)?
+    } else {
+        StageTiming::analytic(&cfg.tech, cfg.c_load)?
+    };
+    Ok(format!(
+        "{} calibration at V_DD = {:.2} V, C_load = {:.0} fF\n\
+         d_INV = {:.3} ps   d_C = {:.3} ps   sensing margin = ±{:.3} ps\n\
+         E_inv = {:.3} fJ   E_C = {:.3} fJ   E_MN = {:.3} fJ\n",
+        if args.switch("circuit") { "circuit" } else { "analytic" },
+        t.vdd,
+        t.c_load * 1e15,
+        t.d_inv * 1e12,
+        t.d_c * 1e12,
+        t.sensing_margin() * 1e12,
+        t.e_inv * 1e15,
+        t.e_c * 1e15,
+        t.e_mn * 1e15
+    ))
+}
+
+fn margins(args: &Args) -> Result<String, CliError> {
+    let sigma = args.f64_or("sigma-mv", 45.0)? * 1e-3;
+    let mut out = format!(
+        "precision feasibility at sigma(V_TH) = {:.1} mV\n{:>6} {:>12} {:>14} {:>18}\n",
+        sigma * 1e3,
+        "bits",
+        "margin (mV)",
+        "P(cell error)",
+        "max chain"
+    );
+    for r in precision_sweep(sigma)? {
+        let chain = if r.max_reliable_chain == usize::MAX {
+            "unbounded".to_owned()
+        } else {
+            r.max_reliable_chain.to_string()
+        };
+        out.push_str(&format!(
+            "{:>6} {:>12.1} {:>14.3e} {:>18}\n",
+            r.bits,
+            r.margin * 1e3,
+            r.p_cell_error,
+            chain
+        ));
+    }
+    Ok(out)
+}
+
+fn table1(args: &Args) -> Result<String, CliError> {
+    let queries = args.usize_or("queries", 100)?;
+    let rows = tdam_baselines::comparison_table(queries, 0x7AB1E)?;
+    Ok(tdam_baselines::comparison::render_table(&rows))
+}
+
+fn power(args: &Args) -> Result<String, CliError> {
+    let stages = args.usize_or("stages", 64)?;
+    let rows = args.usize_or("rows", 16)?;
+    let cfg = base_config(args)?.with_stages(stages).with_rows(rows);
+    let p = static_power(&cfg)?;
+    Ok(format!(
+        "idle static power of a {rows}x{stages} array at {:.2} V:\n\
+         cells {:.3e} W + inverters {:.3e} W + switches {:.3e} W = {:.3e} W\n",
+        cfg.tech.vdd,
+        p.cell_leakage,
+        p.inverter_leakage,
+        p.switch_leakage,
+        p.total()
+    ))
+}
+
+fn area(args: &Args) -> Result<String, CliError> {
+    let stages = args.usize_or("stages", 64)?;
+    let rows = args.usize_or("rows", 16)?;
+    let c_load = args.f64_or("c-load-ff", 6.0)? * 1e-15;
+    let model = AreaModel::at_node(40.0);
+    let stage = StageArea::tdam(&model, c_load);
+    let total = array_area(&model, rows, stages, c_load, 2);
+    Ok(format!(
+        "stage: cell {:.2} µm² + logic {:.2} µm² + load cap {:.2} µm² = {:.2} µm² ({:.2} µm²/bit)\n\
+         array {rows}x{stages}: {:.1} µm² ({:.4} mm²)\n",
+        stage.cell,
+        stage.logic,
+        stage.load_cap,
+        stage.total(),
+        stage.per_bit(2),
+        total,
+        total * 1e-6
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(toks: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(toks.iter().map(|s| s.to_string()))?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["--help"]).unwrap();
+        assert!(out.contains("tdam-sim"));
+        assert!(out.contains("SUBCOMMANDS"));
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn search_end_to_end() {
+        let out = run(&[
+            "search",
+            "--store",
+            "0,1,2,3;3,2,1,0",
+            "--query",
+            "0,1,2,2",
+        ])
+        .unwrap();
+        assert!(out.contains("best row: 0"), "{out}");
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn search_validates_shapes() {
+        assert!(matches!(
+            run(&["search", "--store", "0,1;0,1,2", "--query", "0,1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["search", "--query", "0,1"]),
+            Err(CliError::Usage(_))
+        ));
+        // Element out of encoding range surfaces as a simulation error.
+        assert!(matches!(
+            run(&["search", "--store", "9,1", "--query", "0,1"]),
+            Err(CliError::Simulation(_))
+        ));
+    }
+
+    #[test]
+    fn mc_reports_margin() {
+        let out = run(&["mc", "--stages", "16", "--runs", "50", "--sigma-mv", "20"]).unwrap();
+        assert!(out.contains("within margin"), "{out}");
+    }
+
+    #[test]
+    fn timing_analytic_and_flags() {
+        let out = run(&["timing", "--vdd", "0.8", "--c-load-ff", "12"]).unwrap();
+        assert!(out.contains("analytic"));
+        assert!(out.contains("C_load = 12 fF"));
+    }
+
+    #[test]
+    fn margins_lists_four_precisions() {
+        let out = run(&["margins", "--sigma-mv", "45"]).unwrap();
+        assert_eq!(out.lines().count(), 6); // header x2 + 4 precisions
+    }
+
+    #[test]
+    fn area_reports_footprint() {
+        let out = run(&["area", "--stages", "32", "--rows", "8"]).unwrap();
+        assert!(out.contains("µm²"));
+    }
+
+    #[test]
+    fn power_reports_leakage() {
+        let out = run(&["power", "--stages", "32", "--rows", "8"]).unwrap();
+        assert!(out.contains("static power"), "{out}");
+        assert!(out.contains("W"));
+    }
+
+    #[test]
+    fn table1_renders() {
+        let out = run(&["table1", "--queries", "5"]).unwrap();
+        assert!(out.contains("This work"));
+        assert_eq!(out.lines().count(), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! Library backing the `tdam-sim` command-line tool: argument parsing and
+//! the subcommand implementations, separated from `main` so they are
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+/// Top-level CLI error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad command-line usage; the message is shown with the usage text.
+    Usage(String),
+    /// A simulation-layer failure.
+    Simulation(String),
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Usage(m) => write!(f, "usage error: {m}"),
+            Self::Simulation(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<tdam::TdamError> for CliError {
+    fn from(e: tdam::TdamError) -> Self {
+        Self::Simulation(e.to_string())
+    }
+}
+
+/// The usage text shown by `tdam-sim --help`.
+pub const USAGE: &str = "\
+tdam-sim — FeFET time-domain associative memory simulator
+
+USAGE:
+  tdam-sim search  --store 0,1,2,3;3,2,1,0 --query 0,1,2,2 [--vdd V] [--c-load-ff F] [--bits N]
+  tdam-sim mc      [--stages N] [--sigma-mv S | --experimental] [--runs R] [--seed X]
+  tdam-sim timing  [--vdd V] [--c-load-ff F] [--circuit]
+  tdam-sim margins [--sigma-mv S]
+  tdam-sim table1  [--queries Q]
+  tdam-sim area    [--stages N] [--rows R] [--c-load-ff F]
+
+SUBCOMMANDS:
+  search    store vectors and run one associative search
+  mc        worst-case Monte Carlo under V_TH variation (Fig. 6)
+  timing    stage timing calibration (analytic, or --circuit extraction)
+  margins   multi-bit sensing-margin feasibility analysis
+  table1    the Table I energy-per-bit comparison
+  area      array footprint estimate
+
+Vectors are comma-separated elements; multiple vectors are separated
+by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).
+";

@@ -1,0 +1,21 @@
+//! `tdam-sim`: the FeFET TD-AM simulator from the command line.
+
+use tdam_cli::args::Args;
+use tdam_cli::commands::dispatch;
+use tdam_cli::{CliError, USAGE};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(raw).and_then(|args| dispatch(&args));
+    match result {
+        Ok(report) => print!("{report}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The composite FeFET device: Preisach ferroelectric stack over a MOSFET.
+//!
+//! The remnant polarization of the ferroelectric layer shifts the underlying
+//! transistor's threshold voltage linearly across the programming window:
+//! fully *up*-polarized ⇒ lowest `V_TH` (`V_TH0` = 0.2 V with default
+//! parameters), fully *down*-polarized ⇒ highest (`V_TH3` = 1.4 V).
+
+use crate::mosfet::{ids, MosOperatingPoint, MosParams, MosPolarity};
+use crate::preisach::{DomainStack, PreisachParams};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full parameter set of a FeFET device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FefetParams {
+    /// Ferroelectric-stack parameters.
+    pub preisach: PreisachParams,
+    /// Underlying transistor parameters; `vth` here is ignored (it is set
+    /// by polarization), everything else is used as-is.
+    pub mosfet: MosParams,
+    /// Threshold voltage when fully up-polarized (lowest state), volts.
+    pub vth_low: f64,
+    /// Threshold voltage when fully down-polarized (highest state), volts.
+    pub vth_high: f64,
+    /// Gate capacitance presented to the driving node, farads.
+    pub c_gate: f64,
+}
+
+impl Default for FefetParams {
+    fn default() -> Self {
+        Self {
+            preisach: PreisachParams::default(),
+            mosfet: MosParams::nmos_40nm(),
+            vth_low: crate::PAPER_VTH[0],
+            vth_high: crate::PAPER_VTH[crate::PAPER_STATES - 1],
+            c_gate: 0.12e-15,
+        }
+    }
+}
+
+/// A FeFET: non-volatile multi-level memory transistor.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_fefet::{Fefet, FefetParams};
+///
+/// let mut dev = Fefet::new(FefetParams::default());
+/// assert!((dev.vth() - 1.4).abs() < 1e-9, "erased device sits at V_TH3");
+/// dev.stack_mut().saturate();
+/// assert!((dev.vth() - 0.2).abs() < 1e-9, "saturated device sits at V_TH0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fefet {
+    params: FefetParams,
+    stack: DomainStack,
+}
+
+impl Fefet {
+    /// Creates a nominal (process-typical) device, erased to the highest
+    /// threshold state.
+    pub fn new(params: FefetParams) -> Self {
+        Self {
+            stack: DomainStack::nominal(params.preisach),
+            params,
+        }
+    }
+
+    /// Creates one device instance sampled from the process distribution:
+    /// per-domain coercive-voltage jitter of `mismatch_sigma` volts.
+    pub fn sampled<R: Rng + ?Sized>(params: FefetParams, mismatch_sigma: f64, rng: &mut R) -> Self {
+        Self {
+            stack: DomainStack::sampled(params.preisach, mismatch_sigma, rng),
+            params,
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &FefetParams {
+        &self.params
+    }
+
+    /// Immutable access to the ferroelectric domain stack.
+    pub fn stack(&self) -> &DomainStack {
+        &self.stack
+    }
+
+    /// Mutable access to the domain stack (e.g. for direct erase/saturate).
+    pub fn stack_mut(&mut self) -> &mut DomainStack {
+        &mut self.stack
+    }
+
+    /// Current threshold voltage, set linearly by polarization:
+    /// `V_TH = V_TH,high − f_up · (V_TH,high − V_TH,low)`.
+    pub fn vth(&self) -> f64 {
+        let f_up = self.stack.fraction_up();
+        self.params.vth_high - f_up * (self.params.vth_high - self.params.vth_low)
+    }
+
+    /// Applies a gate write pulse (amplitude volts, width seconds),
+    /// updating the stored polarization.
+    pub fn write_pulse(&mut self, amplitude: f64, width: f64) {
+        self.stack.apply_pulse(amplitude, width);
+    }
+
+    /// Drain current and conductances at the given read bias. Read biases
+    /// are far below coercive voltages, so this is non-destructive and the
+    /// polarization state is not consulted beyond its `V_TH` effect.
+    pub fn ids(&self, v_gs: f64, v_ds: f64) -> MosOperatingPoint {
+        let p = self.params.mosfet.with_vth(self.vth());
+        ids(&p, v_gs, v_ds)
+    }
+
+    /// The effective MOSFET parameters (polarization folded into `vth`).
+    pub fn effective_mos(&self) -> MosParams {
+        self.params.mosfet.with_vth(self.vth())
+    }
+
+    /// Gate capacitance in farads.
+    pub fn c_gate(&self) -> f64 {
+        self.params.c_gate
+    }
+
+    /// Channel polarity of the underlying transistor.
+    pub fn polarity(&self) -> MosPolarity {
+        self.params.mosfet.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vth_tracks_polarization_extremes() {
+        let mut dev = Fefet::new(FefetParams::default());
+        assert!((dev.vth() - 1.4).abs() < 1e-12);
+        dev.stack_mut().saturate();
+        assert!((dev.vth() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_pulses_program_extremes() {
+        let mut dev = Fefet::new(FefetParams::default());
+        dev.write_pulse(5.0, 1e-6);
+        assert!((dev.vth() - 0.2).abs() < 1e-12);
+        dev.write_pulse(-5.0, 1e-6);
+        assert!((dev.vth() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vth_monotone_decreasing_in_write_amplitude() {
+        let mut prev = f64::INFINITY;
+        for amp in [1.8, 2.2, 2.6, 3.0, 3.4, 3.8] {
+            let mut dev = Fefet::new(FefetParams::default());
+            dev.write_pulse(amp, 500e-9);
+            let vth = dev.vth();
+            assert!(vth <= prev, "vth {vth} should not exceed previous {prev}");
+            prev = vth;
+        }
+    }
+
+    #[test]
+    fn conducting_depends_on_state() {
+        let mut dev = Fefet::new(FefetParams::default());
+        // Erased (vth=1.4): a 0.8 V gate read must keep it off.
+        let off = dev.ids(0.8, 1.1).id;
+        // Programmed low (vth=0.2): the same read turns it on.
+        dev.stack_mut().saturate();
+        let on = dev.ids(0.8, 1.1).id;
+        assert!(on / off > 1e3, "on {on} / off {off}");
+    }
+
+    #[test]
+    fn sampled_devices_have_distinct_vth_after_identical_pulse() {
+        let params = FefetParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = Fefet::sampled(params, 0.2, &mut rng);
+        let mut b = Fefet::sampled(params, 0.2, &mut rng);
+        let mid = params.preisach.vc_mean;
+        a.write_pulse(mid, 500e-9);
+        b.write_pulse(mid, 500e-9);
+        assert_ne!(a.vth(), b.vth());
+    }
+
+    #[test]
+    fn read_does_not_disturb_state() {
+        let mut dev = Fefet::new(FefetParams::default());
+        dev.write_pulse(5.0, 1e-6);
+        let vth_before = dev.vth();
+        for _ in 0..100 {
+            let _ = dev.ids(1.2, 1.1);
+        }
+        // Read gate voltages in the array never exceed V_SL3 = 1.2 V, far
+        // below the minimum coercive voltage, so vth must be untouched.
+        assert_eq!(dev.vth(), vth_before);
+    }
+}

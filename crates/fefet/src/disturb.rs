@@ -1,0 +1,201 @@
+//! Write-disturb analysis for shared-search-line arrays.
+//!
+//! The TD-AM's search lines run vertically through every row, so
+//! programming one row's FeFETs applies the write pulses to *every* cell
+//! in those columns. Real FeFET arrays solve this with an inhibit bias:
+//! unselected rows' sources/bodies are raised so the net gate-stack
+//! voltage stays below the coercive window (the Vdd/2 or Vdd/3 inhibit
+//! schemes of the FeFET RAM literature, e.g. the paper's write-scheme
+//! reference \[36\]). This module quantifies the scheme's safety margin:
+//! how much polarization an unselected cell loses per program cycle, and
+//! how many cycles of exposure it survives before its stored level drifts
+//! out of the sensing margin.
+
+use crate::device::Fefet;
+use crate::preisach::PreisachParams;
+use serde::{Deserialize, Serialize};
+
+/// An inhibit biasing scheme for unselected rows during programming.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InhibitScheme {
+    /// Write-pulse amplitude on the shared search line, volts.
+    pub write_amplitude: f64,
+    /// Bias applied to unselected rows' channel terminals, volts; the net
+    /// stack voltage an unselected cell sees is
+    /// `write_amplitude − inhibit_bias`.
+    pub inhibit_bias: f64,
+    /// Write-pulse width, seconds.
+    pub pulse_width: f64,
+}
+
+impl InhibitScheme {
+    /// The classic V/2 scheme: unselected rows sit at half the write
+    /// amplitude.
+    pub fn half_select(write_amplitude: f64, pulse_width: f64) -> Self {
+        Self {
+            write_amplitude,
+            inhibit_bias: write_amplitude / 2.0,
+            pulse_width,
+        }
+    }
+
+    /// The V/3 scheme: tighter disturb at the cost of a third bias rail.
+    pub fn third_select(write_amplitude: f64, pulse_width: f64) -> Self {
+        Self {
+            write_amplitude,
+            inhibit_bias: 2.0 * write_amplitude / 3.0,
+            pulse_width,
+        }
+    }
+
+    /// Net stack voltage an unselected cell sees during the pulse, volts.
+    pub fn disturb_voltage(&self) -> f64 {
+        self.write_amplitude - self.inhibit_bias
+    }
+}
+
+/// Result of a disturb-exposure experiment on one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbReport {
+    /// Threshold voltage before exposure, volts.
+    pub vth_before: f64,
+    /// Threshold voltage after exposure, volts.
+    pub vth_after: f64,
+    /// Disturb pulses applied.
+    pub pulses: usize,
+}
+
+impl DisturbReport {
+    /// The accumulated threshold drift, volts.
+    pub fn drift(&self) -> f64 {
+        self.vth_after - self.vth_before
+    }
+}
+
+/// Exposes a programmed device to `pulses` disturb events under `scheme`
+/// (positive-polarity pulses, the worst case for a partially-up-polarized
+/// state).
+pub fn expose(dev: &mut Fefet, scheme: &InhibitScheme, pulses: usize) -> DisturbReport {
+    let vth_before = dev.vth();
+    let v = scheme.disturb_voltage();
+    for _ in 0..pulses {
+        dev.write_pulse(v, scheme.pulse_width);
+    }
+    DisturbReport {
+        vth_before,
+        vth_after: dev.vth(),
+        pulses,
+    }
+}
+
+/// Whether `scheme` is disturb-free by construction: the net stack voltage
+/// stays below the weakest domain's effective coercive voltage, so no
+/// domain can ever flip regardless of exposure count.
+pub fn is_disturb_free(scheme: &InhibitScheme, preisach: &PreisachParams) -> bool {
+    // Weakest domain: mean − 2σ (the nominal quantile ramp's lower edge),
+    // tightened by the pulse-width factor for short pulses.
+    let vc_min = preisach.vc_mean - 2.0 * preisach.vc_sigma;
+    let widen = if scheme.pulse_width >= preisach.t_ref || scheme.pulse_width <= 0.0 {
+        1.0
+    } else {
+        1.0 + preisach.width_coeff * (preisach.t_ref / scheme.pulse_width).ln()
+    };
+    scheme.disturb_voltage() < vc_min * widen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FefetParams;
+    use crate::programming::{program_state, ProgramConfig};
+
+    fn programmed(state: u8) -> Fefet {
+        let mut dev = Fefet::new(FefetParams {
+            preisach: PreisachParams {
+                domains: 512,
+                ..PreisachParams::default()
+            },
+            ..FefetParams::default()
+        });
+        program_state(&mut dev, state, &ProgramConfig::default()).expect("programs");
+        dev
+    }
+
+    #[test]
+    fn half_select_is_disturb_free_at_default_coercivity() {
+        // Write amplitude 5 V → V/2 disturb = 2.5 V; weakest domain sits
+        // at 2.4 − 2·0.55 = 1.3 V... so naive V/2 at 5 V is NOT safe.
+        let p = PreisachParams::default();
+        let unsafe_scheme = InhibitScheme::half_select(5.0, 500e-9);
+        assert!(!is_disturb_free(&unsafe_scheme, &p));
+        // V/3 at a 3.6 V write keeps the disturb at 1.2 V < 1.3 V: safe.
+        let safe_scheme = InhibitScheme::third_select(3.6, 500e-9);
+        assert!(is_disturb_free(&safe_scheme, &p));
+    }
+
+    #[test]
+    fn safe_scheme_causes_zero_drift() {
+        let scheme = InhibitScheme::third_select(3.6, 500e-9);
+        let mut dev = programmed(1);
+        let report = expose(&mut dev, &scheme, 10_000);
+        assert_eq!(
+            report.drift(),
+            0.0,
+            "a disturb-free scheme must never move V_TH"
+        );
+    }
+
+    #[test]
+    fn unsafe_scheme_drifts_the_state() {
+        // Positive disturb is harmless to states programmed with an equal
+        // or larger positive pulse, but the *erased* state 3 (all domains
+        // down) loses its weakest domains to 2.5 V pulses and drifts.
+        let scheme = InhibitScheme::half_select(5.0, 500e-9);
+        let mut dev = programmed(3);
+        let report = expose(&mut dev, &scheme, 100);
+        assert!(
+            report.drift() < -0.05,
+            "positive disturb pulses pull the erased state's V_TH down, drift = {}",
+            report.drift()
+        );
+        // A state programmed with a comparable positive pulse is immune to
+        // same-polarity disturb — the asymmetry inhibit design exploits.
+        let mut low = programmed(1);
+        let low_report = expose(&mut low, &scheme, 100);
+        assert_eq!(low_report.drift(), 0.0);
+    }
+
+    #[test]
+    fn disturb_saturates_not_runs_away() {
+        // The Preisach hysterons flip once: repeated identical disturb
+        // pulses converge instead of destroying the device.
+        let scheme = InhibitScheme::half_select(5.0, 500e-9);
+        let mut dev = programmed(3);
+        let first = expose(&mut dev, &scheme, 100);
+        let more = expose(&mut dev, &scheme, 10_000);
+        assert!(first.drift().abs() > 0.0);
+        assert_eq!(
+            more.drift(),
+            0.0,
+            "all weak domains already flipped; further pulses are harmless"
+        );
+    }
+
+    #[test]
+    fn shorter_pulses_widen_the_safe_window() {
+        let p = PreisachParams::default();
+        let long = InhibitScheme {
+            write_amplitude: 4.2,
+            inhibit_bias: 2.8,
+            pulse_width: 500e-9,
+        };
+        // 1.4 V disturb vs 1.3 V weakest domain: unsafe at full width...
+        assert!(!is_disturb_free(&long, &p));
+        // ...but safe for 10 ns pulses (effective coercivity rises).
+        let short = InhibitScheme {
+            pulse_width: 10e-9,
+            ..long
+        };
+        assert!(is_disturb_free(&short, &p));
+    }
+}

@@ -1,0 +1,258 @@
+//! I_D–V_G sweep helpers regenerating Fig. 1(c)(d) of the paper.
+
+use crate::device::{Fefet, FefetParams};
+use crate::mosfet::{ids, MosParams};
+use crate::programming::{program_state, ProgramConfig, ProgramError};
+use crate::variation::VthVariation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One I_D–V_G curve: paired gate voltages and drain currents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdVgCurve {
+    /// Gate voltages, volts.
+    pub v_g: Vec<f64>,
+    /// Drain currents, amperes.
+    pub i_d: Vec<f64>,
+    /// The programmed state this curve was measured at, if any.
+    pub state: Option<u8>,
+}
+
+impl IdVgCurve {
+    /// Extracts a constant-current threshold voltage: the gate voltage at
+    /// which `i_d` first crosses `i_crit`, linearly interpolated. Returns
+    /// `None` if the curve never crosses.
+    pub fn extract_vth(&self, i_crit: f64) -> Option<f64> {
+        for w in self.v_g.windows(2).zip(self.i_d.windows(2)) {
+            let ((v0, v1), (i0, i1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            if i0 < i_crit && i1 >= i_crit {
+                let frac = (i_crit - i0) / (i1 - i0);
+                return Some(v0 + frac * (v1 - v0));
+            }
+        }
+        None
+    }
+}
+
+impl IdVgCurve {
+    /// Extracts the subthreshold swing in mV/decade: the shallowest
+    /// log-current slope over the decades below `i_on_threshold`.
+    /// Returns `None` for curves without a usable subthreshold region.
+    pub fn subthreshold_swing(&self, i_on_threshold: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for w in self.v_g.windows(2).zip(self.i_d.windows(2)) {
+            let ((v0, v1), (i0, i1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            if i0 > 1e-15 && i1 > i0 && i1 < i_on_threshold {
+                let decades = (i1 / i0).log10();
+                if decades > 1e-6 {
+                    let swing = (v1 - v0) / decades * 1e3; // mV/decade
+                    best = Some(best.map_or(swing, |b: f64| b.min(swing)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Peak transconductance `max dI_D/dV_G` over the sweep, siemens.
+    /// Returns `None` for degenerate curves.
+    pub fn peak_transconductance(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for w in self.v_g.windows(2).zip(self.i_d.windows(2)) {
+            let ((v0, v1), (i0, i1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            if v1 > v0 {
+                let gm = (i1 - i0) / (v1 - v0);
+                best = Some(best.map_or(gm, |b: f64| b.max(gm)));
+            }
+        }
+        best
+    }
+
+    /// ON/OFF current ratio between the sweep extremes.
+    /// Returns `None` when the off current underflows.
+    pub fn on_off_ratio(&self) -> Option<f64> {
+        let off = *self.i_d.first()?;
+        let on = *self.i_d.last()?;
+        if off <= 0.0 {
+            None
+        } else {
+            Some(on / off)
+        }
+    }
+}
+
+/// Sweeps the I_D–V_G characteristic of a programmed FeFET at a fixed drain
+/// bias.
+pub fn sweep_fefet(dev: &Fefet, v_ds: f64, v_g_range: (f64, f64), points: usize) -> IdVgCurve {
+    let (lo, hi) = v_g_range;
+    let v_g: Vec<f64> = (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64)
+        .collect();
+    let i_d = v_g.iter().map(|&vg| dev.ids(vg, v_ds).id).collect();
+    IdVgCurve {
+        v_g,
+        i_d,
+        state: None,
+    }
+}
+
+/// Sweeps I_D–V_G for an ideal MOSFET with an explicitly-set threshold
+/// voltage (the "simulation model" curves of Fig. 1(d)).
+pub fn sweep_mosfet(params: &MosParams, v_ds: f64, v_g_range: (f64, f64), points: usize) -> IdVgCurve {
+    let (lo, hi) = v_g_range;
+    let v_g: Vec<f64> = (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64)
+        .collect();
+    let i_d = v_g.iter().map(|&vg| ids(params, vg, v_ds).id).collect();
+    IdVgCurve {
+        v_g,
+        i_d,
+        state: None,
+    }
+}
+
+/// Generates the device-to-device measurement ensemble of Fig. 1(c):
+/// `devices` FeFETs are each programmed to every state (write-verify on a
+/// fresh sampled device), read-disturb-free sweeps are taken, and the
+/// resulting curves are perturbed per-state with the experimental σ model.
+///
+/// # Errors
+///
+/// Propagates [`ProgramError`] if an outlier device cannot be programmed.
+pub fn device_to_device_curves<R: Rng + ?Sized>(
+    devices: usize,
+    v_ds: f64,
+    points: usize,
+    rng: &mut R,
+) -> Result<Vec<IdVgCurve>, ProgramError> {
+    let variation = VthVariation::experimental();
+    let base = FefetParams {
+        preisach: crate::preisach::PreisachParams {
+            domains: 256,
+            ..Default::default()
+        },
+        ..FefetParams::default()
+    };
+    let cfg = ProgramConfig::default();
+    let mut curves = Vec::with_capacity(devices * crate::PAPER_STATES);
+    for _ in 0..devices {
+        for state in 0..crate::PAPER_STATES as u8 {
+            let mut dev = Fefet::sampled(base, 0.08, rng);
+            program_state(&mut dev, state, &cfg)?;
+            // Residual (read-noise + retention) variation per the fitted
+            // per-state sigma: shift the effective vth.
+            let vth = variation
+                .sample_vth(state, rng)
+                .expect("state < PAPER_STATES");
+            let mos = dev.effective_mos().with_vth(vth);
+            let mut curve = sweep_mosfet(&mos, v_ds, (-0.2, 1.8), points);
+            curve.state = Some(state);
+            curves.push(curve);
+        }
+    }
+    Ok(curves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdam_num::Summary;
+
+    #[test]
+    fn vth_extraction_recovers_programmed_states() {
+        let cfg = ProgramConfig::default();
+        for (state, &target) in crate::PAPER_VTH.iter().enumerate() {
+            let mut dev = Fefet::new(FefetParams {
+                preisach: crate::preisach::PreisachParams {
+                    domains: 512,
+                    ..Default::default()
+                },
+                ..FefetParams::default()
+            });
+            program_state(&mut dev, state as u8, &cfg).unwrap();
+            let curve = sweep_fefet(&dev, 0.05, (-0.2, 1.8), 400);
+            // Constant-current vth extraction lands near (slightly below,
+            // due to subthreshold current) the programmed value.
+            let vth = curve.extract_vth(1e-7).expect("curve crosses 100 nA");
+            assert!(
+                (vth - target).abs() < 0.15,
+                "state {state}: extracted {vth}, target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_metrics() {
+        let mut dev = Fefet::new(FefetParams::default());
+        dev.stack_mut().saturate(); // vth 0.2
+        let curve = sweep_fefet(&dev, 1.1, (-0.2, 1.8), 400);
+        // Subthreshold swing: n·V_t·ln10 ≈ 1.35 · 25.85 mV · 2.3 ≈ 80 mV/dec.
+        let ss = curve.subthreshold_swing(1e-7).expect("subthreshold region");
+        assert!(
+            (60.0..110.0).contains(&ss),
+            "swing {ss} mV/dec should be near n·V_t·ln10 ≈ 80"
+        );
+        let gm = curve.peak_transconductance().expect("gm");
+        assert!(gm > 1e-5, "peak gm {gm}");
+        let ratio = curve.on_off_ratio().expect("ratio");
+        assert!(ratio > 1e5, "on/off {ratio}");
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let dev = Fefet::new(FefetParams::default());
+        let curve = sweep_fefet(&dev, 0.05, (-0.2, 1.8), 100);
+        for w in curve.i_d.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn extract_vth_none_when_never_crossing() {
+        let dev = Fefet::new(FefetParams::default()); // erased: vth 1.4
+        let curve = sweep_fefet(&dev, 0.05, (-0.2, 0.2), 50);
+        assert_eq!(curve.extract_vth(1e-5), None);
+    }
+
+    #[test]
+    fn d2d_ensemble_statistics_follow_model() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let curves = device_to_device_curves(30, 0.05, 300, &mut rng).unwrap();
+        assert_eq!(curves.len(), 30 * 4);
+        // Extracted vth spread for state 2 should be close to 45 mV.
+        let vths: Vec<f64> = curves
+            .iter()
+            .filter(|c| c.state == Some(2))
+            .filter_map(|c| c.extract_vth(1e-7))
+            .collect();
+        assert_eq!(vths.len(), 30);
+        let s = Summary::from_slice(&vths);
+        assert!(
+            (s.std_dev - 45e-3).abs() < 25e-3,
+            "state-2 sigma {} should be near 45 mV",
+            s.std_dev
+        );
+    }
+
+    #[test]
+    fn state_separation_in_ensemble() {
+        // Even with variation, the four state clusters must not overlap for
+        // a healthy 2-bit cell: check worst-case gap between adjacent state
+        // means is far larger than intra-state spread.
+        let mut rng = StdRng::seed_from_u64(61);
+        let curves = device_to_device_curves(20, 0.05, 300, &mut rng).unwrap();
+        let mut means = Vec::new();
+        for state in 0..4u8 {
+            let vths: Vec<f64> = curves
+                .iter()
+                .filter(|c| c.state == Some(state))
+                .filter_map(|c| c.extract_vth(1e-7))
+                .collect();
+            means.push(Summary::from_slice(&vths).mean);
+        }
+        for w in means.windows(2) {
+            assert!(w[1] - w[0] > 0.25, "adjacent states too close: {means:?}");
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Smooth single-piece MOSFET drain-current model.
+//!
+//! An EKV-flavoured interpolation covering subthreshold (exponential),
+//! triode and saturation (square-law with channel-length modulation) in one
+//! continuously differentiable expression:
+//!
+//! ```text
+//! I_D = 2·n·β·V_t² · softplus²((V_GS − V_TH)/(2·n·V_t)) · (1 − e^(−V_DS/V_t)) · (1 + λ·V_DS)
+//! ```
+//!
+//! Smoothness matters: the circuit simulator's Newton iteration needs
+//! continuous `g_m` and `g_ds`, which this module returns analytically.
+
+use serde::{Deserialize, Serialize};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel: conducts when `V_GS > V_TH`.
+    Nmos,
+    /// P-channel: conducts when `V_GS < -V_TH` (with `V_TH` given as a
+    /// positive magnitude).
+    Pmos,
+}
+
+/// MOSFET model parameters for a generic 40 nm-class process.
+///
+/// These stand in for the UMC 40 nm PDK devices the paper simulates with;
+/// absolute currents differ from the foundry model but the RC-delay physics
+/// the paper's conclusions rest on are preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Threshold-voltage magnitude in volts.
+    pub vth: f64,
+    /// Transconductance factor `β = µ·C_ox·W/L` in A/V².
+    pub beta: f64,
+    /// Subthreshold slope factor `n` (dimensionless, ≥ 1).
+    pub n: f64,
+    /// Channel-length-modulation coefficient `λ` in 1/V.
+    pub lambda: f64,
+    /// Thermal voltage `kT/q` in volts.
+    pub v_t: f64,
+}
+
+impl MosParams {
+    /// A minimum-size 40 nm-class NMOS (W = 120 nm, L = 40 nm).
+    pub fn nmos_40nm() -> Self {
+        Self {
+            polarity: MosPolarity::Nmos,
+            vth: 0.45,
+            beta: 600e-6,
+            n: 1.35,
+            lambda: 0.15,
+            v_t: 0.02585,
+        }
+    }
+
+    /// A minimum-size 40 nm-class PMOS, widened ~2× to balance mobility.
+    pub fn pmos_40nm() -> Self {
+        Self {
+            polarity: MosPolarity::Pmos,
+            vth: 0.45,
+            beta: 300e-6,
+            n: 1.35,
+            lambda: 0.18,
+            v_t: 0.02585,
+        }
+    }
+
+    /// Returns a copy with the threshold voltage replaced (used by the
+    /// FeFET wrapper, whose `V_TH` is set by polarization).
+    pub fn with_vth(mut self, vth: f64) -> Self {
+        self.vth = vth;
+        self
+    }
+
+    /// Returns a copy scaled to `w_mult` times the reference width.
+    pub fn with_width_multiple(mut self, w_mult: f64) -> Self {
+        self.beta *= w_mult;
+        self
+    }
+
+    /// Returns a copy retargeted from 300 K to `kelvin`, applying the
+    /// standard first-order temperature dependences:
+    ///
+    /// - thermal voltage `V_t = kT/q` scales linearly,
+    /// - mobility (and therefore `β`) scales as `(T/300)^−1.5`,
+    /// - the threshold voltage drifts at −0.8 mV/K.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive temperatures.
+    pub fn at_temperature(mut self, kelvin: f64) -> Self {
+        assert!(kelvin > 0.0, "temperature must be positive kelvin");
+        let ratio = kelvin / 300.0;
+        self.v_t = 0.02585 * ratio;
+        self.beta *= ratio.powf(-1.5);
+        self.vth -= 0.8e-3 * (kelvin - 300.0);
+        self
+    }
+}
+
+/// Drain current and small-signal conductances at one bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosOperatingPoint {
+    /// Drain current in amperes (positive into the drain for NMOS with
+    /// `V_DS > 0`).
+    pub id: f64,
+    /// Transconductance `∂I_D/∂V_GS` in siemens.
+    pub gm: f64,
+    /// Output conductance `∂I_D/∂V_DS` in siemens.
+    pub gds: f64,
+}
+
+/// Numerically stable `softplus(x) = ln(1 + e^x)` and its derivative
+/// (the logistic sigmoid).
+fn softplus(x: f64) -> (f64, f64) {
+    if x > 30.0 {
+        (x, 1.0)
+    } else if x < -30.0 {
+        (x.exp(), x.exp())
+    } else {
+        ((1.0 + x.exp()).ln(), 1.0 / (1.0 + (-x).exp()))
+    }
+}
+
+/// Evaluates the NMOS-convention current for `v_gs`, `v_ds` referenced to
+/// the source, with `v_ds >= 0` assumed by the core expression; negative
+/// `v_ds` is handled by source/drain symmetry.
+fn ids_nmos_core(p: &MosParams, v_gs: f64, v_ds: f64) -> MosOperatingPoint {
+    if v_ds < 0.0 {
+        // Swap source and drain: I(vgs, vds) = -I(vgs - vds, -vds).
+        let sw = ids_nmos_core(p, v_gs - v_ds, -v_ds);
+        return MosOperatingPoint {
+            id: -sw.id,
+            gm: -sw.gm,
+            gds: sw.gm + sw.gds,
+        };
+    }
+    let two_n_vt = 2.0 * p.n * p.v_t;
+    let x = (v_gs - p.vth) / two_n_vt;
+    let (f, sig) = softplus(x);
+    let i0 = 2.0 * p.n * p.beta * p.v_t * p.v_t;
+    let g = 1.0 - (-v_ds / p.v_t).exp();
+    let dg = (-v_ds / p.v_t).exp() / p.v_t;
+    let clm = 1.0 + p.lambda * v_ds;
+    let id = i0 * f * f * g * clm;
+    let gm = i0 * 2.0 * f * sig / two_n_vt * g * clm;
+    let gds = i0 * f * f * (dg * clm + g * p.lambda);
+    MosOperatingPoint { id, gm, gds }
+}
+
+/// Evaluates the drain current and conductances of a MOSFET.
+///
+/// Conventions: `v_gs` and `v_ds` are gate and drain voltages relative to
+/// the source terminal. For PMOS, pass the *actual* (negative-leaning)
+/// voltages; the model mirrors internally. The returned `id` is the current
+/// flowing drain→source through the channel (negative for a conducting
+/// PMOS), and `gm`/`gds` are the raw partial derivatives of that current
+/// with respect to `v_gs`/`v_ds`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_fefet::mosfet::{ids, MosParams};
+///
+/// let n = MosParams::nmos_40nm();
+/// let on = ids(&n, 1.1, 1.1);
+/// let off = ids(&n, 0.0, 1.1);
+/// assert!(on.id / off.id > 1e4, "on/off ratio should be large");
+/// ```
+pub fn ids(p: &MosParams, v_gs: f64, v_ds: f64) -> MosOperatingPoint {
+    match p.polarity {
+        MosPolarity::Nmos => ids_nmos_core(p, v_gs, v_ds),
+        MosPolarity::Pmos => {
+            // Mirror: treat as NMOS with negated controls.
+            let m = ids_nmos_core(p, -v_gs, -v_ds);
+            MosOperatingPoint {
+                id: -m.id,
+                gm: m.gm,
+                gds: m.gds,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nmos() -> MosParams {
+        MosParams::nmos_40nm()
+    }
+
+    #[test]
+    fn off_current_small_on_current_large() {
+        let p = nmos();
+        let off = ids(&p, 0.0, 1.1).id;
+        let on = ids(&p, 1.1, 1.1).id;
+        assert!(off < 1e-7, "off current {off}");
+        assert!(on > 1e-5, "on current {on}");
+        assert!(on / off > 1e4);
+    }
+
+    #[test]
+    fn zero_vds_zero_current() {
+        let p = nmos();
+        let op = ids(&p, 1.0, 0.0);
+        assert_eq!(op.id, 0.0);
+    }
+
+    #[test]
+    fn gm_matches_finite_difference() {
+        let p = nmos();
+        let h = 1e-7;
+        for (vgs, vds) in [(0.3, 0.5), (0.7, 0.1), (1.1, 1.1), (0.5, 0.9)] {
+            let op = ids(&p, vgs, vds);
+            let fd = (ids(&p, vgs + h, vds).id - ids(&p, vgs - h, vds).id) / (2.0 * h);
+            assert!(
+                (op.gm - fd).abs() <= 1e-5 * fd.abs().max(1e-12),
+                "gm {} vs fd {} at ({vgs},{vds})",
+                op.gm,
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn gds_matches_finite_difference() {
+        let p = nmos();
+        let h = 1e-7;
+        for (vgs, vds) in [(0.7, 0.5), (1.1, 0.05), (0.9, 1.0)] {
+            let op = ids(&p, vgs, vds);
+            let fd = (ids(&p, vgs, vds + h).id - ids(&p, vgs, vds - h).id) / (2.0 * h);
+            assert!(
+                (op.gds - fd).abs() <= 1e-4 * fd.abs().max(1e-12),
+                "gds {} vs fd {} at ({vgs},{vds})",
+                op.gds,
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_scaling_directions() {
+        let p300 = MosParams::nmos_40nm();
+        let p398 = MosParams::nmos_40nm().at_temperature(398.0); // 125 C
+        let p233 = MosParams::nmos_40nm().at_temperature(233.0); // -40 C
+        // Hot: lower vth, lower mobility, higher thermal voltage.
+        assert!(p398.vth < p300.vth);
+        assert!(p398.beta < p300.beta);
+        assert!(p398.v_t > p300.v_t);
+        // Cold: the reverse.
+        assert!(p233.vth > p300.vth);
+        assert!(p233.beta > p300.beta);
+        assert!(p233.v_t < p300.v_t);
+        // Strong-inversion drive current drops when hot (mobility wins
+        // over the vth reduction at full gate drive).
+        let i_hot = ids(&p398, 1.1, 0.55).id;
+        let i_nom = ids(&p300, 1.1, 0.55).id;
+        assert!(i_hot < i_nom, "hot {i_hot} vs nominal {i_nom}");
+        // Subthreshold leakage rises when hot.
+        let l_hot = ids(&p398, 0.0, 1.1).id;
+        let l_nom = ids(&p300, 0.0, 1.1).id;
+        assert!(l_hot > 10.0 * l_nom, "leakage hot {l_hot} vs nominal {l_nom}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive kelvin")]
+    fn zero_temperature_panics() {
+        let _ = MosParams::nmos_40nm().at_temperature(0.0);
+    }
+
+    #[test]
+    fn negative_vds_antisymmetric() {
+        let p = nmos();
+        // Swapping source and drain with the same vgs-referenced-to-"source"
+        // means I(vgs, -vds) = -I(vgs + vds, vds).
+        let fwd = ids(&p, 1.0 + 0.4, 0.4).id;
+        let rev = ids(&p, 1.0, -0.4).id;
+        assert!((rev + fwd).abs() < 1e-12 * fwd.abs().max(1.0));
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = nmos();
+        let p = MosParams {
+            polarity: MosPolarity::Pmos,
+            ..n
+        };
+        let opn = ids(&n, 0.9, 0.6);
+        let opp = ids(&p, -0.9, -0.6);
+        assert!((opn.id + opp.id).abs() < 1e-15);
+        assert!((opn.gm - opp.gm).abs() < 1e-15);
+        assert!((opn.gds - opp.gds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_vgs() {
+        let p = MosParams::pmos_40nm();
+        let on = ids(&p, -1.1, -1.1);
+        assert!(on.id < -1e-6, "PMOS on current should be negative: {}", on.id);
+        let off = ids(&p, 0.0, -1.1);
+        assert!(off.id.abs() < 1e-7);
+    }
+
+    #[test]
+    fn subthreshold_slope_is_exponential() {
+        // In subthreshold, current should change ~10x per n*vt*ln(10) of vgs.
+        let p = nmos();
+        let dec = p.n * p.v_t * std::f64::consts::LN_10;
+        let i1 = ids(&p, 0.15, 1.0).id;
+        let i2 = ids(&p, 0.15 + dec, 1.0).id;
+        let ratio = i2 / i1;
+        assert!(
+            (ratio - 10.0).abs() < 1.5,
+            "one decade per subthreshold swing, got {ratio}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn current_monotone_in_vgs(vgs in 0.0f64..1.5, dv in 0.001f64..0.3, vds in 0.01f64..1.2) {
+            let p = nmos();
+            let i1 = ids(&p, vgs, vds).id;
+            let i2 = ids(&p, vgs + dv, vds).id;
+            prop_assert!(i2 >= i1);
+        }
+
+        #[test]
+        fn current_monotone_in_vds(vgs in 0.0f64..1.5, vds in 0.0f64..1.0, dv in 0.001f64..0.2) {
+            let p = nmos();
+            let i1 = ids(&p, vgs, vds).id;
+            let i2 = ids(&p, vgs, vds + dv).id;
+            prop_assert!(i2 >= i1);
+        }
+
+        #[test]
+        fn conductances_nonnegative_forward(vgs in -0.5f64..1.5, vds in 0.0f64..1.2) {
+            let p = nmos();
+            let op = ids(&p, vgs, vds);
+            prop_assert!(op.gm >= 0.0);
+            prop_assert!(op.gds >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Multi-level programming with erase-then-write pulses and write-verify.
+//!
+//! Follows the scheme of Reis et al. (JxCDC 2019, the paper's ref. \[36\]):
+//! each program cycle first erases the device with a strong negative pulse
+//! (all domains down, `V_TH = V_TH,high`), then applies a positive write
+//! pulse whose amplitude selects how many domains flip — and therefore which
+//! threshold state results. A write-verify loop (binary search on pulse
+//! amplitude against the *measured* threshold) absorbs device-to-device
+//! coercive-voltage variation, exactly like production NVM controllers do.
+
+use crate::device::Fefet;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the erase-then-write-verify programming flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramConfig {
+    /// Erase pulse amplitude in volts (applied negative).
+    pub erase_amplitude: f64,
+    /// Write pulse width in seconds.
+    pub pulse_width: f64,
+    /// Acceptable `|V_TH − target|` after verify, volts.
+    pub verify_tolerance: f64,
+    /// Maximum verify iterations before giving up.
+    pub max_iterations: usize,
+    /// Write-amplitude search window, volts.
+    pub amplitude_range: (f64, f64),
+    /// Target threshold voltages per state, lowest-state first. Length
+    /// defines the number of programmable states.
+    pub vth_targets: [f64; crate::PAPER_STATES],
+}
+
+impl Default for ProgramConfig {
+    fn default() -> Self {
+        Self {
+            erase_amplitude: 5.0,
+            pulse_width: 500e-9,
+            verify_tolerance: 10e-3,
+            max_iterations: 40,
+            amplitude_range: (0.0, 5.0),
+            vth_targets: crate::PAPER_VTH,
+        }
+    }
+}
+
+/// Error programming a FeFET to a multi-level state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgramError {
+    /// The requested state index exceeds the configured ladder.
+    InvalidState {
+        /// The requested state.
+        state: u8,
+        /// The number of available states.
+        available: usize,
+    },
+    /// Write-verify failed to converge within the iteration budget; carries
+    /// the best (closest) threshold voltage reached.
+    VerifyFailed {
+        /// Target threshold voltage, volts.
+        target: f64,
+        /// Closest achieved threshold voltage, volts.
+        achieved: f64,
+    },
+}
+
+impl core::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidState { state, available } => {
+                write!(f, "state {state} out of range (device has {available} states)")
+            }
+            Self::VerifyFailed { target, achieved } => write!(
+                f,
+                "write-verify did not converge: target {target} V, achieved {achieved} V"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Programs `dev` to multi-level `state` (0 = lowest `V_TH`, most
+/// conductive).
+///
+/// # Errors
+///
+/// Returns [`ProgramError::InvalidState`] for an out-of-range state and
+/// [`ProgramError::VerifyFailed`] when the verify loop cannot reach the
+/// target threshold within tolerance (e.g. an extreme process outlier).
+///
+/// # Examples
+///
+/// ```
+/// use tdam_fefet::{Fefet, FefetParams};
+/// use tdam_fefet::programming::{program_state, ProgramConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dev = Fefet::new(FefetParams::default());
+/// program_state(&mut dev, 1, &ProgramConfig::default())?;
+/// assert!((dev.vth() - 0.6).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn program_state(dev: &mut Fefet, state: u8, cfg: &ProgramConfig) -> Result<(), ProgramError> {
+    let n_states = cfg.vth_targets.len();
+    let Some(&target) = cfg.vth_targets.get(state as usize) else {
+        return Err(ProgramError::InvalidState {
+            state,
+            available: n_states,
+        });
+    };
+    program_vth(dev, target, cfg)
+}
+
+/// Statistics of one program operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// Erase + write pulse pairs applied.
+    pub pulse_pairs: usize,
+    /// Total gate-stack programming energy, joules (each pulse switches
+    /// the ferroelectric capacitance through the pulse amplitude:
+    /// `E ≈ C_FE · V_pulse²` per pulse).
+    pub energy: f64,
+    /// The achieved threshold voltage, volts.
+    pub achieved_vth: f64,
+}
+
+/// Ferroelectric gate-stack capacitance used for program-energy
+/// accounting, farads.
+const C_FE: f64 = 1.5e-15;
+
+/// Programs `dev` to an arbitrary target threshold voltage via
+/// erase + write-verify, reporting the pulse count and energy.
+///
+/// # Errors
+///
+/// Returns [`ProgramError::VerifyFailed`] when the loop cannot converge.
+pub fn program_vth_with_report(
+    dev: &mut Fefet,
+    target: f64,
+    cfg: &ProgramConfig,
+) -> Result<ProgramReport, ProgramError> {
+    let mut report = ProgramReport {
+        pulse_pairs: 0,
+        energy: 0.0,
+        achieved_vth: dev.vth(),
+    };
+    let result = program_vth_inner(dev, target, cfg, &mut report);
+    report.achieved_vth = dev.vth();
+    result.map(|()| report)
+}
+
+/// Programs `dev` to an arbitrary target threshold voltage via
+/// erase + write-verify.
+///
+/// # Errors
+///
+/// Returns [`ProgramError::VerifyFailed`] when the loop cannot converge.
+pub fn program_vth(dev: &mut Fefet, target: f64, cfg: &ProgramConfig) -> Result<(), ProgramError> {
+    let mut report = ProgramReport {
+        pulse_pairs: 0,
+        energy: 0.0,
+        achieved_vth: 0.0,
+    };
+    program_vth_inner(dev, target, cfg, &mut report)
+}
+
+fn program_vth_inner(
+    dev: &mut Fefet,
+    target: f64,
+    cfg: &ProgramConfig,
+    report: &mut ProgramReport,
+) -> Result<(), ProgramError> {
+    // Binary search on write amplitude. Larger amplitude flips more
+    // domains, which *lowers* V_TH, so the search direction is inverted.
+    let (mut lo, mut hi) = cfg.amplitude_range;
+    let mut best = f64::INFINITY;
+    let mut best_err = f64::INFINITY;
+    for _ in 0..cfg.max_iterations {
+        let amp = 0.5 * (lo + hi);
+        dev.write_pulse(-cfg.erase_amplitude, cfg.pulse_width);
+        dev.write_pulse(amp, cfg.pulse_width);
+        report.pulse_pairs += 1;
+        report.energy += C_FE * (cfg.erase_amplitude * cfg.erase_amplitude + amp * amp);
+        let vth = dev.vth();
+        let err = (vth - target).abs();
+        if err < best_err {
+            best_err = err;
+            best = amp;
+        }
+        if err <= cfg.verify_tolerance {
+            return Ok(());
+        }
+        if vth > target {
+            // Too few domains switched; push harder.
+            lo = amp;
+        } else {
+            hi = amp;
+        }
+    }
+    // Leave the device at its best-found state before reporting failure.
+    dev.write_pulse(-cfg.erase_amplitude, cfg.pulse_width);
+    dev.write_pulse(best, cfg.pulse_width);
+    report.pulse_pairs += 1;
+    report.energy += C_FE * (cfg.erase_amplitude * cfg.erase_amplitude + best * best);
+    let achieved = dev.vth();
+    if (achieved - target).abs() <= cfg.verify_tolerance {
+        Ok(())
+    } else {
+        Err(ProgramError::VerifyFailed { target, achieved })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FefetParams;
+    use crate::preisach::PreisachParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fine_params() -> FefetParams {
+        // More domains → finer vth granularity → tight verify passes.
+        FefetParams {
+            preisach: PreisachParams {
+                domains: 512,
+                ..PreisachParams::default()
+            },
+            ..FefetParams::default()
+        }
+    }
+
+    #[test]
+    fn programs_all_four_states() {
+        let cfg = ProgramConfig::default();
+        for (state, &target) in crate::PAPER_VTH.iter().enumerate() {
+            let mut dev = Fefet::new(fine_params());
+            program_state(&mut dev, state as u8, &cfg).expect("nominal device programs");
+            assert!(
+                (dev.vth() - target).abs() <= cfg.verify_tolerance + 1e-12,
+                "state {state}: vth {} vs target {target}",
+                dev.vth()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_state_rejected() {
+        let mut dev = Fefet::new(fine_params());
+        let err = program_state(&mut dev, 4, &ProgramConfig::default()).unwrap_err();
+        assert!(matches!(err, ProgramError::InvalidState { state: 4, .. }));
+    }
+
+    #[test]
+    fn coarse_stack_fails_tight_verify() {
+        // 4 domains → vth granularity of 0.3 V; a 5 mV verify must fail for
+        // a mid target.
+        let params = FefetParams {
+            preisach: PreisachParams {
+                domains: 4,
+                ..PreisachParams::default()
+            },
+            ..FefetParams::default()
+        };
+        let mut dev = Fefet::new(params);
+        let cfg = ProgramConfig::default();
+        let err = program_vth(&mut dev, 0.75, &cfg).unwrap_err();
+        assert!(matches!(err, ProgramError::VerifyFailed { .. }));
+    }
+
+    #[test]
+    fn verify_absorbs_device_variation() {
+        // Sampled devices have jittered coercive voltages, but write-verify
+        // still lands each on target.
+        let cfg = ProgramConfig::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let mut dev = Fefet::sampled(fine_params(), 0.1, &mut rng);
+            program_state(&mut dev, 1, &cfg).expect("verify should absorb jitter");
+            assert!((dev.vth() - 0.6).abs() <= cfg.verify_tolerance + 1e-12);
+        }
+    }
+
+    #[test]
+    fn report_counts_pulses_and_energy() {
+        let mut dev = Fefet::new(fine_params());
+        let cfg = ProgramConfig::default();
+        let report = program_vth_with_report(&mut dev, 0.6, &cfg).unwrap();
+        assert!(report.pulse_pairs >= 1 && report.pulse_pairs <= cfg.max_iterations);
+        // Each pulse pair costs at least C_FE * erase².
+        assert!(report.energy >= report.pulse_pairs as f64 * 1.5e-15 * 25.0);
+        assert!((report.achieved_vth - 0.6).abs() <= cfg.verify_tolerance + 1e-12);
+        // Programming costs orders more than a read/search event — the
+        // NVM write-rarely assumption.
+        assert!(report.energy > 1e-14);
+    }
+
+    #[test]
+    fn harder_targets_take_more_pulses() {
+        let cfg = ProgramConfig::default();
+        let mut easy_dev = Fefet::new(fine_params());
+        // vth_high is reachable with a single strong erase.
+        let easy = program_vth_with_report(&mut easy_dev, 1.4, &cfg).unwrap();
+        let mut hard_dev = Fefet::new(fine_params());
+        let hard = program_vth_with_report(&mut hard_dev, 0.6123, &cfg).unwrap();
+        assert!(hard.pulse_pairs >= easy.pulse_pairs);
+    }
+
+    #[test]
+    fn states_are_ordered_after_programming() {
+        let cfg = ProgramConfig::default();
+        let mut vths = Vec::new();
+        for state in 0..4u8 {
+            let mut dev = Fefet::new(fine_params());
+            program_state(&mut dev, state, &cfg).unwrap();
+            vths.push(dev.vth());
+        }
+        for w in vths.windows(2) {
+            assert!(w[0] < w[1], "vth ladder must be increasing: {vths:?}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Retention and endurance: FeFET non-idealities over device lifetime.
+//!
+//! The paper's robustness study covers device-to-device variation at
+//! time zero; a deployed TD-AM additionally ages:
+//!
+//! - **retention** — depolarization and charge trapping relax the stored
+//!   polarization toward neutral, drifting `V_TH` toward the middle of
+//!   the memory window. HfO₂ FeFET literature reports a logarithmic decay
+//!   of the window: `ΔV(t) = ΔV₀ · (1 − r·log₁₀(1 + t/t₀))`.
+//! - **endurance** — program/erase cycling first slightly *opens* the
+//!   window (wake-up), then closes it (fatigue), until the levels can no
+//!   longer be separated. Modeled as a wake-up/fatigue factor on the
+//!   window amplitude.
+//!
+//! Both effects shrink the effective gap between adjacent `V_TH` states,
+//! which is exactly what the multi-bit cell's sensing margin consumes —
+//! [`aged_vth`] feeds directly into [`crate::variation::VthVariation`]
+//! to study end-of-life behaviour (see the `ext_lifetime` bench).
+
+use serde::{Deserialize, Serialize};
+
+/// Retention model parameters (log-time window decay).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionParams {
+    /// Fractional window loss per decade of time, e.g. `0.01` = 1%/decade.
+    pub loss_per_decade: f64,
+    /// Reference time where decay begins, seconds.
+    pub t0: f64,
+}
+
+impl Default for RetentionParams {
+    fn default() -> Self {
+        // ~1.2%/decade: a 10-year (3.2e8 s) bake keeps >88% of the window,
+        // consistent with reported HfO₂ FeFET 10-year extrapolations.
+        Self {
+            loss_per_decade: 0.012,
+            t0: 1.0,
+        }
+    }
+}
+
+impl RetentionParams {
+    /// Fraction of the original memory window remaining after `t`
+    /// seconds (clamped to `[0, 1]`).
+    pub fn window_fraction(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.loss_per_decade * (1.0 + t / self.t0).log10()).clamp(0.0, 1.0)
+    }
+}
+
+/// Endurance model parameters (wake-up then fatigue).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceParams {
+    /// Peak wake-up window gain (e.g. `0.05` = +5% at the wake-up peak).
+    pub wakeup_gain: f64,
+    /// Cycle count at the wake-up peak.
+    pub wakeup_cycles: f64,
+    /// Cycle count where fatigue has closed half the window.
+    pub fatigue_half_cycles: f64,
+}
+
+impl Default for EnduranceParams {
+    fn default() -> Self {
+        // Wake-up peaking around 1e3 cycles, half-window fatigue at 1e10 —
+        // the shape reported for HfO₂ FeFET endurance studies.
+        Self {
+            wakeup_gain: 0.05,
+            wakeup_cycles: 1e3,
+            fatigue_half_cycles: 1e10,
+        }
+    }
+}
+
+impl EnduranceParams {
+    /// Fraction of the pristine window available after `cycles`
+    /// program/erase cycles (may exceed 1 slightly during wake-up).
+    pub fn window_fraction(&self, cycles: f64) -> f64 {
+        if cycles <= 0.0 {
+            return 1.0;
+        }
+        // Wake-up: log-normal-ish bump peaking at wakeup_cycles.
+        let x = (cycles / self.wakeup_cycles).log10();
+        let wakeup = 1.0 + self.wakeup_gain * (-x * x).exp();
+        // Fatigue: logistic closure in log-cycles — ~1 when fresh, 0.5 at
+        // the half-window point, → 0 far beyond it.
+        let y = (cycles / self.fatigue_half_cycles).log10();
+        let fatigue = 1.0 / (1.0 + (2.0 * y).exp());
+        (wakeup * fatigue).clamp(0.0, 1.1)
+    }
+}
+
+/// The effective threshold voltage of a state after aging: states
+/// contract linearly toward the window center as the window fraction
+/// shrinks.
+///
+/// `vth_fresh` is the as-programmed threshold, `(v_lo, v_hi)` the fresh
+/// window bounds (0.2 / 1.4 V for the paper's ladder).
+pub fn aged_vth(vth_fresh: f64, v_lo: f64, v_hi: f64, window_fraction: f64) -> f64 {
+    let center = 0.5 * (v_lo + v_hi);
+    center + (vth_fresh - center) * window_fraction.clamp(0.0, 1.1)
+}
+
+/// Combined lifetime state: cycles endured, then time retained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lifetime {
+    /// Program/erase cycles endured.
+    pub cycles: f64,
+    /// Retention time since the last program, seconds.
+    pub seconds: f64,
+    /// Retention model.
+    pub retention: RetentionParams,
+    /// Endurance model.
+    pub endurance: EnduranceParams,
+}
+
+impl Lifetime {
+    /// A fresh device: zero cycles, zero retention time.
+    pub fn fresh() -> Self {
+        Self {
+            cycles: 0.0,
+            seconds: 0.0,
+            retention: RetentionParams::default(),
+            endurance: EnduranceParams::default(),
+        }
+    }
+
+    /// The combined window fraction (endurance × retention).
+    pub fn window_fraction(&self) -> f64 {
+        self.endurance.window_fraction(self.cycles) * self.retention.window_fraction(self.seconds)
+    }
+
+    /// Ages a fresh threshold voltage through this lifetime (paper
+    /// window bounds).
+    pub fn age_vth(&self, vth_fresh: f64) -> f64 {
+        aged_vth(
+            vth_fresh,
+            crate::PAPER_VTH[0],
+            crate::PAPER_VTH[crate::PAPER_STATES - 1],
+            self.window_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_is_unchanged() {
+        let life = Lifetime::fresh();
+        assert!((life.window_fraction() - 1.0).abs() < 1e-2);
+        for &v in &crate::PAPER_VTH {
+            assert!((life.age_vth(v) - v).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn retention_decays_logarithmically() {
+        let r = RetentionParams::default();
+        let day = r.window_fraction(86_400.0);
+        let year = r.window_fraction(3.15e7);
+        let decade = r.window_fraction(3.15e8);
+        assert!(day > year && year > decade, "{day} {year} {decade}");
+        assert!(decade > 0.85, "10-year retention keeps most of the window");
+        // Equal ratios per decade (log-linear).
+        let d1 = r.window_fraction(1e3) - r.window_fraction(1e4);
+        let d2 = r.window_fraction(1e4) - r.window_fraction(1e5);
+        assert!((d1 - d2).abs() < 0.002);
+    }
+
+    #[test]
+    fn retention_clamps() {
+        let r = RetentionParams {
+            loss_per_decade: 0.5,
+            t0: 1.0,
+        };
+        assert_eq!(r.window_fraction(1e10), 0.0);
+        assert_eq!(r.window_fraction(-5.0), 1.0);
+    }
+
+    #[test]
+    fn endurance_wakeup_then_fatigue() {
+        let e = EnduranceParams::default();
+        let fresh = e.window_fraction(1.0);
+        let wakeup = e.window_fraction(1e3);
+        let mid = e.window_fraction(1e7);
+        let worn = e.window_fraction(1e10);
+        let dead = e.window_fraction(1e14);
+        assert!(wakeup > fresh, "wake-up should open the window");
+        assert!(mid > worn, "fatigue closes the window");
+        assert!(worn < 0.7 && worn > 0.3, "half-window near 1e10: {worn}");
+        assert!(dead < 0.05, "far past fatigue the window is gone: {dead}");
+    }
+
+    #[test]
+    fn aging_contracts_toward_center() {
+        // 50% window: extremes move halfway to 0.8 V.
+        let aged_lo = aged_vth(0.2, 0.2, 1.4, 0.5);
+        let aged_hi = aged_vth(1.4, 0.2, 1.4, 0.5);
+        assert!((aged_lo - 0.5).abs() < 1e-12);
+        assert!((aged_hi - 1.1).abs() < 1e-12);
+        // The center state never moves.
+        assert!((aged_vth(0.8, 0.2, 1.4, 0.3) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_combines_both() {
+        let mut life = Lifetime::fresh();
+        life.cycles = 1e10;
+        life.seconds = 3.15e8;
+        let combined = life.window_fraction();
+        let endurance_only = life.endurance.window_fraction(1e10);
+        let retention_only = life.retention.window_fraction(3.15e8);
+        assert!((combined - endurance_only * retention_only).abs() < 1e-12);
+        assert!(combined < endurance_only && combined < retention_only);
+    }
+
+    #[test]
+    fn aged_states_remain_ordered() {
+        let mut life = Lifetime::fresh();
+        life.cycles = 1e9;
+        life.seconds = 1e8;
+        let aged: Vec<f64> = crate::PAPER_VTH.iter().map(|&v| life.age_vth(v)).collect();
+        for w in aged.windows(2) {
+            assert!(w[0] < w[1], "aging must preserve state order: {aged:?}");
+        }
+    }
+}

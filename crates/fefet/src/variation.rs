@@ -1,0 +1,221 @@
+//! Device-to-device threshold-voltage variation.
+//!
+//! The paper models "the effect of all FeFET variations as a shift in
+//! `V_TH`" and derives per-state standard deviations from measured
+//! prototype-chip data (its ref. \[25\], 60 devices): σ(V_TH0..V_TH3) =
+//! 7.1 mV, 35 mV, 45 mV, 40 mV. This module provides exactly that
+//! abstraction: sample a `V_TH` for a device programmed to a given state,
+//! either at the paper's experimental levels or at a uniform sweep level
+//! (20/40/60 mV) as used in Fig. 6.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tdam_num::dist::Normal;
+
+/// A per-state threshold-voltage variation model.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tdam_fefet::VthVariation;
+///
+/// let model = VthVariation::experimental();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let vth = model.sample_vth(3, &mut rng).expect("state 3 exists");
+/// assert!((vth - 1.4).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VthVariation {
+    /// Nominal threshold voltage per state, volts.
+    means: Vec<f64>,
+    /// Standard deviation per state, volts.
+    sigmas: Vec<f64>,
+}
+
+/// Error constructing or sampling a [`VthVariation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariationError {
+    /// Mean and sigma vectors differ in length or are empty.
+    InvalidShape,
+    /// A sigma was negative or non-finite.
+    InvalidSigma,
+    /// The requested state does not exist.
+    UnknownState {
+        /// The requested state index.
+        state: u8,
+    },
+}
+
+impl core::fmt::Display for VariationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidShape => write!(f, "means and sigmas must be equal-length and non-empty"),
+            Self::InvalidSigma => write!(f, "sigma values must be finite and nonnegative"),
+            Self::UnknownState { state } => write!(f, "unknown threshold state {state}"),
+        }
+    }
+}
+
+impl std::error::Error for VariationError {}
+
+impl VthVariation {
+    /// Builds a model from explicit per-state means and sigmas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError`] for empty/mismatched vectors or invalid
+    /// sigmas.
+    pub fn new(means: Vec<f64>, sigmas: Vec<f64>) -> Result<Self, VariationError> {
+        if means.is_empty() || means.len() != sigmas.len() {
+            return Err(VariationError::InvalidShape);
+        }
+        if sigmas.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(VariationError::InvalidSigma);
+        }
+        Ok(Self { means, sigmas })
+    }
+
+    /// The paper's experimentally fitted model: `V_TH` means 0.2/0.6/1.0/
+    /// 1.4 V with σ = 7.1/35/45/40 mV.
+    pub fn experimental() -> Self {
+        Self {
+            means: crate::PAPER_VTH.to_vec(),
+            sigmas: crate::PAPER_VTH_SIGMA.to_vec(),
+        }
+    }
+
+    /// A uniform-σ model over the paper's `V_TH` ladder, as swept in Fig. 6
+    /// (σ ∈ {20, 40, 60} mV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn uniform(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be nonnegative");
+        Self {
+            means: crate::PAPER_VTH.to_vec(),
+            sigmas: vec![sigma; crate::PAPER_STATES],
+        }
+    }
+
+    /// A σ = 0 model: every device sits exactly on the nominal ladder.
+    pub fn none() -> Self {
+        Self::uniform(0.0)
+    }
+
+    /// Number of states in the ladder.
+    pub fn states(&self) -> usize {
+        self.means.len()
+    }
+
+    /// The nominal threshold voltage of `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::UnknownState`] for out-of-range states.
+    pub fn nominal_vth(&self, state: u8) -> Result<f64, VariationError> {
+        self.means
+            .get(state as usize)
+            .copied()
+            .ok_or(VariationError::UnknownState { state })
+    }
+
+    /// Samples a device's threshold voltage when programmed to `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::UnknownState`] for out-of-range states.
+    pub fn sample_vth<R: Rng + ?Sized>(&self, state: u8, rng: &mut R) -> Result<f64, VariationError> {
+        let i = state as usize;
+        let (Some(&mean), Some(&sigma)) = (self.means.get(i), self.sigmas.get(i)) else {
+            return Err(VariationError::UnknownState { state });
+        };
+        let dist = Normal::new(mean, sigma).expect("validated at construction");
+        Ok(dist.sample(rng))
+    }
+
+    /// The σ of `state`, volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::UnknownState`] for out-of-range states.
+    pub fn sigma(&self, state: u8) -> Result<f64, VariationError> {
+        self.sigmas
+            .get(state as usize)
+            .copied()
+            .ok_or(VariationError::UnknownState { state })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdam_num::Summary;
+
+    #[test]
+    fn experimental_matches_paper_constants() {
+        let m = VthVariation::experimental();
+        assert_eq!(m.states(), 4);
+        assert_eq!(m.nominal_vth(0).unwrap(), 0.2);
+        assert_eq!(m.sigma(1).unwrap(), 35e-3);
+        assert_eq!(m.sigma(0).unwrap(), 7.1e-3);
+    }
+
+    #[test]
+    fn unknown_state_error() {
+        let m = VthVariation::experimental();
+        assert_eq!(
+            m.nominal_vth(9).unwrap_err(),
+            VariationError::UnknownState { state: 9 }
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.sample_vth(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert_eq!(
+            VthVariation::new(vec![], vec![]).unwrap_err(),
+            VariationError::InvalidShape
+        );
+        assert_eq!(
+            VthVariation::new(vec![0.2], vec![0.1, 0.2]).unwrap_err(),
+            VariationError::InvalidShape
+        );
+        assert_eq!(
+            VthVariation::new(vec![0.2], vec![-0.1]).unwrap_err(),
+            VariationError::InvalidSigma
+        );
+    }
+
+    #[test]
+    fn sampled_moments_match() {
+        let m = VthVariation::uniform(40e-3);
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| m.sample_vth(2, &mut rng).unwrap())
+            .collect();
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean - 1.0).abs() < 1e-3, "mean {}", s.mean);
+        assert!((s.std_dev - 40e-3).abs() < 1e-3, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn none_model_is_deterministic() {
+        let m = VthVariation::none();
+        let mut rng = StdRng::seed_from_u64(5);
+        for state in 0..4u8 {
+            let v = m.sample_vth(state, &mut rng).unwrap();
+            assert_eq!(v, crate::PAPER_VTH[state as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn uniform_negative_sigma_panics() {
+        let _ = VthVariation::uniform(-1.0);
+    }
+}

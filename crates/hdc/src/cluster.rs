@@ -1,0 +1,332 @@
+//! HDC clustering: k-centroid clustering in hyperdimensional space.
+//!
+//! The paper motivates HDC with tasks "spanning graph memorization,
+//! reasoning, classification, **clustering**, and genomic detection". The
+//! TD-AM serves clustering the same way it serves classification — each
+//! iteration's assignment step is an associative search of every sample
+//! against the current centroid hypervectors — so this module implements
+//! the k-centroid algorithm over encoded samples, assignable to hardware
+//! through the same [`crate::quantize`]/[`crate::mapping`] path as
+//! classification models.
+
+use crate::encoder::IdLevelEncoder;
+use crate::hypervector::Hypervector;
+use crate::HdcError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted HDC clustering model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcClusters {
+    centroids: Vec<Hypervector>,
+    /// Mean of the training encodings (removed before similarity).
+    mean: Vec<f32>,
+    /// Final cluster assignment of each training sample.
+    assignments: Vec<usize>,
+    /// Number of refinement iterations actually executed.
+    iterations: usize,
+}
+
+impl HdcClusters {
+    /// Fits `k` clusters to the encoded `samples` with at most
+    /// `max_iters` refinement passes.
+    ///
+    /// Centroids initialize from k distinct random samples; each pass
+    /// assigns every sample to its most-similar centroid (cosine) and
+    /// re-bundles the centroids; an emptied cluster is reseeded from the
+    /// sample farthest from its centroid. Stops early when assignments
+    /// stabilize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for `k == 0` or fewer samples
+    /// than clusters, and propagates encoding errors.
+    pub fn fit(
+        encoder: &IdLevelEncoder,
+        samples: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if k == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "need at least one cluster",
+            });
+        }
+        if samples.len() < k {
+            return Err(HdcError::InvalidConfig {
+                what: "need at least k samples",
+            });
+        }
+        let mut encoded: Vec<Hypervector> = samples
+            .iter()
+            .map(|x| encoder.encode(x))
+            .collect::<Result<_, _>>()?;
+        // Encoded samples share a large common component (every encoding
+        // bundles the same ID⊙level structure); remove the global mean so
+        // cosine distances reflect the discriminative part. The same
+        // centering underpins quantization — see `crate::quantize`.
+        let dims = encoder.dims();
+        let n = encoded.len() as f32;
+        let mut mean = vec![0.0f32; dims];
+        for h in &encoded {
+            for (m, v) in mean.iter_mut().zip(h.values()) {
+                *m += v / n;
+            }
+        }
+        for h in &mut encoded {
+            for (v, m) in h.values_mut().iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Distinct random initial centroids.
+        let mut picks: Vec<usize> = Vec::with_capacity(k);
+        while picks.len() < k {
+            let i = rng.gen_range(0..encoded.len());
+            if !picks.contains(&i) {
+                picks.push(i);
+            }
+        }
+        let mut centroids: Vec<Hypervector> = picks.iter().map(|&i| encoded[i].clone()).collect();
+        let mut assignments = vec![0usize; encoded.len()];
+        let mut iterations = 0;
+
+        for _ in 0..max_iters {
+            iterations += 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, h) in encoded.iter().enumerate() {
+                let best = nearest(h, &centroids)?;
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update step: re-bundle.
+            let mut sums = vec![Hypervector::zeros(dims); k];
+            let mut counts = vec![0usize; k];
+            for (h, &a) in encoded.iter().zip(&assignments) {
+                sums[a].add_scaled(h, 1.0)?;
+                counts[a] += 1;
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    *c = sum.clone();
+                } else {
+                    // Reseed an empty cluster from a random sample.
+                    let i = rng.gen_range(0..encoded.len());
+                    *c = encoded[i].clone();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(Self {
+            centroids,
+            mean,
+            assignments,
+            iterations,
+        })
+    }
+
+    /// Fits with `restarts` different initializations and keeps the run
+    /// with the highest within-cluster cohesion (mean cosine of samples to
+    /// their centroid) — k-centroid clustering is sensitive to its
+    /// initialization, especially on noisy data.
+    ///
+    /// # Errors
+    ///
+    /// As [`HdcClusters::fit`]; `restarts == 0` is rejected.
+    pub fn fit_best_of(
+        encoder: &IdLevelEncoder,
+        samples: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        restarts: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if restarts == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "need at least one restart",
+            });
+        }
+        let mut best: Option<(f64, Self)> = None;
+        for r in 0..restarts {
+            let model = Self::fit(encoder, samples, k, max_iters, seed.wrapping_add(r as u64))?;
+            let score = model.cohesion(encoder, samples)?;
+            if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                best = Some((score, model));
+            }
+        }
+        Ok(best.expect("at least one restart ran").1)
+    }
+
+    /// Mean cosine similarity of each sample to its assigned centroid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/similarity errors.
+    pub fn cohesion(
+        &self,
+        encoder: &IdLevelEncoder,
+        samples: &[Vec<f64>],
+    ) -> Result<f64, HdcError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0;
+        for (x, &a) in samples.iter().zip(&self.assignments) {
+            let mut h = encoder.encode(x)?;
+            for (v, m) in h.values_mut().iter_mut().zip(&self.mean) {
+                *v -= m;
+            }
+            if self.centroids[a].norm() > 0.0 && h.norm() > 0.0 {
+                total += h.cosine(&self.centroids[a])?;
+            }
+        }
+        Ok(total / samples.len() as f64)
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The centroid hypervectors.
+    pub fn centroids(&self) -> &[Hypervector] {
+        &self.centroids
+    }
+
+    /// Final training-sample assignments.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Refinement iterations executed before convergence (or the cap).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns a new sample to its nearest cluster (after removing the
+    /// training-set mean component, mirroring `fit`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/similarity errors.
+    pub fn assign(&self, encoder: &IdLevelEncoder, sample: &[f64]) -> Result<usize, HdcError> {
+        let mut h = encoder.encode(sample)?;
+        for (v, m) in h.values_mut().iter_mut().zip(&self.mean) {
+            *v -= m;
+        }
+        nearest(&h, &self.centroids)
+    }
+}
+
+fn nearest(h: &Hypervector, centroids: &[Hypervector]) -> Result<usize, HdcError> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centroids.iter().enumerate() {
+        if c.norm() == 0.0 {
+            continue;
+        }
+        let sim = h.cosine(c)?;
+        if best.map(|(_, s)| sim > s).unwrap_or(true) {
+            best = Some((i, sim));
+        }
+    }
+    best.map(|(i, _)| i).ok_or(HdcError::EmptyModel)
+}
+
+/// Clustering purity against ground-truth labels: the fraction of samples
+/// whose cluster's majority label matches their own.
+pub fn purity(assignments: &[usize], labels: &[usize], k: usize, classes: usize) -> f64 {
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let mut table = vec![vec![0usize; classes]; k];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        table[a][l] += 1;
+    }
+    let correct: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetKind};
+
+    fn setup() -> (Dataset, IdLevelEncoder, Vec<Vec<f64>>, Vec<usize>) {
+        let ds = Dataset::generate(DatasetKind::Ucihar, 20, 5, 31);
+        let enc = IdLevelEncoder::new(4096, ds.features(), 32, (0.0, 1.0), 17).expect("encoder");
+        let samples: Vec<Vec<f64>> = ds.train.iter().map(|(x, _)| x.clone()).collect();
+        let labels: Vec<usize> = ds.train.iter().map(|(_, l)| *l).collect();
+        (ds, enc, samples, labels)
+    }
+
+    #[test]
+    fn clusters_recover_class_structure() {
+        // UCIHAR is deliberately hard (correlated activity pairs, heavy
+        // noise): unsupervised purity of ~2.5x chance is the realistic bar.
+        let (ds, enc, samples, labels) = setup();
+        let model =
+            HdcClusters::fit_best_of(&enc, &samples, ds.classes(), 20, 5, 5).expect("fit");
+        let p = purity(model.assignments(), &labels, ds.classes(), ds.classes());
+        assert!(
+            p > 2.0 / ds.classes() as f64,
+            "purity {p} should beat 2x chance ({:.2})",
+            2.0 / ds.classes() as f64
+        );
+    }
+
+    #[test]
+    fn two_class_clustering_is_clean() {
+        let ds = Dataset::generate(DatasetKind::Face, 40, 5, 32);
+        let enc = IdLevelEncoder::new(4096, ds.features(), 32, (0.0, 1.0), 17).expect("encoder");
+        let samples: Vec<Vec<f64>> = ds.train.iter().map(|(x, _)| x.clone()).collect();
+        let labels: Vec<usize> = ds.train.iter().map(|(_, l)| *l).collect();
+        let model = HdcClusters::fit_best_of(&enc, &samples, 2, 25, 6, 9).expect("fit");
+        let p = purity(model.assignments(), &labels, 2, 2);
+        assert!(p > 0.65, "2-class purity {p} should be high");
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let (_, enc, samples, _) = setup();
+        let model = HdcClusters::fit(&enc, &samples, 4, 50, 5).expect("fit");
+        assert!(model.iterations() < 50, "should converge early");
+        assert_eq!(model.k(), 4);
+        assert_eq!(model.assignments().len(), samples.len());
+    }
+
+    #[test]
+    fn assign_is_consistent_with_training() {
+        let (_, enc, samples, _) = setup();
+        let model = HdcClusters::fit(&enc, &samples, 3, 20, 5).expect("fit");
+        // Re-assigning training samples reproduces the stored assignment
+        // (the model converged, so the mapping is stable).
+        for (i, s) in samples.iter().take(10).enumerate() {
+            let a = model.assign(&enc, s).expect("assign");
+            assert_eq!(a, model.assignments()[i]);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (_, enc, samples, _) = setup();
+        assert!(HdcClusters::fit(&enc, &samples, 0, 5, 1).is_err());
+        assert!(HdcClusters::fit(&enc, &samples[..2], 3, 5, 1).is_err());
+    }
+
+    #[test]
+    fn purity_edges() {
+        assert_eq!(purity(&[], &[], 2, 2), 0.0);
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 0, 1, 1], 2, 2), 1.0);
+        assert_eq!(purity(&[0, 0, 0, 0], &[0, 0, 1, 1], 2, 2), 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Record-based ID–level encoding of feature vectors into hypervectors.
+//!
+//! The standard HDC front end: each feature index gets a random *ID*
+//! hypervector; each quantized feature value gets a *level* hypervector
+//! drawn from a chain that interpolates between two random endpoints, so
+//! nearby values stay similar. A sample is encoded as
+//! `Σ_f ID_f ⊙ L(value_f)` — the holographic superposition the paper's
+//! associative search operates on.
+
+use crate::hypervector::Hypervector;
+use crate::HdcError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// ID–level encoder configuration and memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdLevelEncoder {
+    dims: usize,
+    features: usize,
+    levels: usize,
+    id_memory: Vec<Hypervector>,
+    level_memory: Vec<Hypervector>,
+    /// Feature range mapped onto the level chain.
+    range: (f64, f64),
+}
+
+impl IdLevelEncoder {
+    /// Builds an encoder for `features`-dimensional inputs in `range`,
+    /// quantized over `levels` level hypervectors of dimensionality
+    /// `dims`, deterministically seeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for zero sizes or an empty
+    /// range.
+    pub fn new(
+        dims: usize,
+        features: usize,
+        levels: usize,
+        range: (f64, f64),
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if dims == 0 || features == 0 || levels < 2 {
+            return Err(HdcError::InvalidConfig {
+                what: "encoder needs dims >= 1, features >= 1, levels >= 2",
+            });
+        }
+        if !(range.0 < range.1) {
+            return Err(HdcError::InvalidConfig {
+                what: "feature range must be non-empty",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Gaussian (not bipolar) ID vectors: binding bipolar IDs with
+        // bipolar levels makes every encoding integer-valued, and the
+        // resulting mass of exactly-tied coordinates destabilizes
+        // rank-based quantization (tie order flips under any perturbation
+        // of a class hypervector). Continuous IDs keep the same binding
+        // statistics with almost-surely distinct values.
+        let id_memory: Vec<Hypervector> = (0..features)
+            .map(|_| Hypervector::random(dims, &mut rng))
+            .collect();
+        // Level chain: interpolate between two random endpoints by
+        // progressively swapping a random subset of coordinates, so
+        // adjacent levels are highly similar and the extremes are
+        // quasi-orthogonal. The endpoints are Gaussian for the same
+        // reason as the IDs: with bipolar endpoints, the ~50% of
+        // coordinates where lo[i] == hi[i] are level-independent, so every
+        // sample encodes identically there and the class-hypervector
+        // *differences* are exactly zero on half the coordinates — a
+        // degenerate tie block that made rank-based quantization
+        // catastrophically sensitive to model updates.
+        let lo = Hypervector::random(dims, &mut rng);
+        let hi = Hypervector::random(dims, &mut rng);
+        // Pre-pick a random flip order of the coordinates.
+        let mut order: Vec<usize> = (0..dims).collect();
+        for i in (1..dims).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            order.swap(i, j);
+        }
+        let mut level_memory = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let f = l as f64 / (levels - 1) as f64;
+            let cut = (f * dims as f64) as usize;
+            let mut v = lo.clone();
+            for &idx in &order[..cut] {
+                v.values_mut()[idx] = hi.values()[idx];
+            }
+            level_memory.push(v);
+        }
+        Ok(Self {
+            dims,
+            features,
+            levels,
+            id_memory,
+            level_memory,
+            range,
+        })
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of quantization levels in the level chain.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The level index a raw feature value maps to.
+    pub fn level_index(&self, value: f64) -> usize {
+        let (lo, hi) = self.range;
+        let f = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((f * (self.levels - 1) as f64).round() as usize).min(self.levels - 1)
+    }
+
+    /// Encodes a feature vector into a hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the sample does not have
+    /// exactly `features` values.
+    pub fn encode(&self, sample: &[f64]) -> Result<Hypervector, HdcError> {
+        if sample.len() != self.features {
+            return Err(HdcError::DimensionMismatch {
+                got: sample.len(),
+                expected: self.features,
+            });
+        }
+        let mut acc = Hypervector::zeros(self.dims);
+        for (f, &value) in sample.iter().enumerate() {
+            let level = &self.level_memory[self.level_index(value)];
+            let bound = self.id_memory[f].bind(level)?;
+            acc.add_scaled(&bound, 1.0)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> IdLevelEncoder {
+        IdLevelEncoder::new(2048, 16, 32, (0.0, 1.0), 42).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(IdLevelEncoder::new(0, 4, 8, (0.0, 1.0), 0).is_err());
+        assert!(IdLevelEncoder::new(64, 0, 8, (0.0, 1.0), 0).is_err());
+        assert!(IdLevelEncoder::new(64, 4, 1, (0.0, 1.0), 0).is_err());
+        assert!(IdLevelEncoder::new(64, 4, 8, (1.0, 1.0), 0).is_err());
+    }
+
+    #[test]
+    fn level_chain_is_locally_similar() {
+        let enc = encoder();
+        let l0 = &enc.level_memory[0];
+        let l1 = &enc.level_memory[1];
+        let l_last = &enc.level_memory[31];
+        assert!(l0.cosine(l1).unwrap() > 0.85, "adjacent levels similar");
+        assert!(
+            l0.cosine(l_last).unwrap() < 0.2,
+            "extreme levels quasi-orthogonal"
+        );
+    }
+
+    #[test]
+    fn level_index_clamps() {
+        let enc = encoder();
+        assert_eq!(enc.level_index(-5.0), 0);
+        assert_eq!(enc.level_index(0.0), 0);
+        assert_eq!(enc.level_index(1.0), 31);
+        assert_eq!(enc.level_index(99.0), 31);
+    }
+
+    #[test]
+    fn similar_inputs_encode_similarly() {
+        let enc = encoder();
+        let a: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        let mut b = a.clone();
+        b[0] += 0.02; // tiny perturbation
+        let mut c: Vec<f64> = a.iter().map(|x| 1.0 - x).collect();
+        c[15] = 0.99;
+        let ha = enc.encode(&a).unwrap();
+        let hb = enc.encode(&b).unwrap();
+        let hc = enc.encode(&c).unwrap();
+        let sim_ab = ha.cosine(&hb).unwrap();
+        let sim_ac = ha.cosine(&hc).unwrap();
+        assert!(sim_ab > 0.9, "near-identical inputs: {sim_ab}");
+        assert!(sim_ab > sim_ac, "ab {sim_ab} should exceed ac {sim_ac}");
+    }
+
+    #[test]
+    fn encode_rejects_wrong_arity() {
+        let enc = encoder();
+        assert!(enc.encode(&[0.0; 15]).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = IdLevelEncoder::new(256, 4, 8, (0.0, 1.0), 9).unwrap();
+        let b = IdLevelEncoder::new(256, 4, 8, (0.0, 1.0), 9).unwrap();
+        let s = [0.1, 0.5, 0.9, 0.3];
+        assert_eq!(a.encode(&s).unwrap(), b.encode(&s).unwrap());
+    }
+}

@@ -1,0 +1,311 @@
+//! Accuracy evaluation: the precision × dimensionality sweep of Fig. 7.
+//!
+//! Sweep semantics follow the hardware framing: a point `(D, n-bit)` is a
+//! TD-AM deployment with `D` delay stages whose cells each store `n`
+//! bits, i.e. a packed quantization of an underlying `n·D`-dimensional
+//! full-precision model (see [`crate::quantize`]). The 32-bit reference
+//! point at `D` is the full-precision model of dimensionality `D`
+//! classified by cosine similarity. Underlying models are trained once
+//! per distinct dimensionality and shared across precision points; the
+//! sweep is parallelized across those models.
+
+use crate::datasets::Dataset;
+use crate::encoder::IdLevelEncoder;
+use crate::quantize::QuantizedModel;
+use crate::train::HdcModel;
+use crate::HdcError;
+use serde::{Deserialize, Serialize};
+
+/// Element precision of an evaluated model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// `n`-bit equal-area quantization (`1..=4`).
+    Bits(u8),
+    /// The 32-bit full-precision reference (cosine similarity).
+    Full,
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Bits(b) => write!(f, "{b}-bit"),
+            Self::Full => write!(f, "32-bit"),
+        }
+    }
+}
+
+/// One accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Hardware dimensionality: TD-AM elements per hypervector.
+    pub dims: usize,
+    /// Element precision.
+    pub precision: Precision,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Dimensionalities to evaluate (the paper uses 512, 1024, 2048,
+    /// 5120, 10240).
+    pub dims: Vec<usize>,
+    /// Quantized precisions to evaluate alongside the 32-bit reference.
+    pub bits: Vec<u8>,
+    /// Retraining epochs for each full-precision model.
+    pub retrain_epochs: usize,
+    /// Encoder/level-memory seed.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's Fig. 7 grid.
+    pub fn paper_grid() -> Self {
+        Self {
+            dims: vec![512, 1024, 2048, 5120, 10240],
+            bits: vec![1, 2, 3, 4],
+            retrain_epochs: 3,
+            seed: 0xF16_7,
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        Self {
+            dims: vec![256, 1024],
+            bits: vec![1, 2, 4],
+            retrain_epochs: 2,
+            seed: 0xF16_7,
+        }
+    }
+}
+
+/// Evaluates a quantized model's accuracy on a test set.
+///
+/// # Errors
+///
+/// Propagates encoding/classification errors; rejects empty test sets.
+pub fn quantized_accuracy(
+    model: &QuantizedModel,
+    encoder: &IdLevelEncoder,
+    test: &[(Vec<f64>, usize)],
+) -> Result<f64, HdcError> {
+    if test.is_empty() {
+        return Err(HdcError::InvalidConfig {
+            what: "test set is empty",
+        });
+    }
+    let mut correct = 0usize;
+    for (x, label) in test {
+        let h = encoder.encode(x)?;
+        let (pred, _) = model.classify(&h)?;
+        if pred == *label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / test.len() as f64)
+}
+
+/// Runs the full precision × dimensionality sweep on one dataset.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors from any grid point.
+pub fn accuracy_sweep(dataset: &Dataset, cfg: &SweepConfig) -> Result<Vec<SweepPoint>, HdcError> {
+    // Distinct underlying model dimensionalities: D for the full-precision
+    // reference plus n·D for each packed precision.
+    let mut underlying: Vec<usize> = Vec::new();
+    for &d in &cfg.dims {
+        underlying.push(d);
+        for &b in &cfg.bits {
+            underlying.push(d * b as usize);
+        }
+    }
+    underlying.sort_unstable();
+    underlying.dedup();
+
+    // Train one model per underlying dimensionality, in parallel.
+    type Trained = (usize, IdLevelEncoder, HdcModel);
+    let trained: Vec<Result<Trained, HdcError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = underlying
+            .iter()
+            .map(|&u| {
+                scope.spawn(move || -> Result<Trained, HdcError> {
+                    let encoder =
+                        IdLevelEncoder::new(u, dataset.features(), 32, (0.0, 1.0), cfg.seed)?;
+                    let model = HdcModel::train(
+                        &encoder,
+                        &dataset.train,
+                        dataset.classes(),
+                        cfg.retrain_epochs,
+                    )?;
+                    Ok((u, encoder, model))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut models: Vec<Trained> = Vec::with_capacity(trained.len());
+    for t in trained {
+        models.push(t?);
+    }
+    let find = |u: usize| -> &Trained {
+        models
+            .iter()
+            .find(|(m, _, _)| *m == u)
+            .expect("model trained for every needed dimensionality")
+    };
+
+    let mut out = Vec::new();
+    for &d in &cfg.dims {
+        let (_, encoder, model) = find(d);
+        out.push(SweepPoint {
+            dims: d,
+            precision: Precision::Full,
+            accuracy: model.accuracy(encoder, &dataset.test)?,
+        });
+        for &b in &cfg.bits {
+            let (_, enc_u, model_u) = find(d * b as usize);
+            let quant = QuantizedModel::from_model(model_u, b)?;
+            out.push(SweepPoint {
+                dims: d,
+                precision: Precision::Bits(b),
+                accuracy: quantized_accuracy(&quant, enc_u, &dataset.test)?,
+            });
+        }
+    }
+    out.sort_by_key(|p| p.dims);
+    Ok(out)
+}
+
+/// The smallest dimensionality at which `precision` reaches
+/// `target_accuracy`, if any — the paper's "dimensionality required to
+/// match the full-precision model" metric.
+pub fn required_dimension(
+    points: &[SweepPoint],
+    precision: Precision,
+    target_accuracy: f64,
+) -> Option<usize> {
+    points
+        .iter()
+        .filter(|p| p.precision == precision && p.accuracy >= target_accuracy)
+        .map(|p| p.dims)
+        .min()
+}
+
+/// The peak accuracy reached by `precision` anywhere in the sweep.
+pub fn peak_accuracy(points: &[SweepPoint], precision: Precision) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.precision == precision)
+        .map(|p| p.accuracy)
+        .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.max(a))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    fn small_sweep(kind: DatasetKind) -> Vec<SweepPoint> {
+        let ds = Dataset::generate(kind, 25, 12, 33);
+        let cfg = SweepConfig {
+            dims: vec![256, 2048],
+            bits: vec![1, 4],
+            retrain_epochs: 2,
+            seed: 5,
+        };
+        accuracy_sweep(&ds, &cfg).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let points = small_sweep(DatasetKind::Face);
+        // 2 dims × (1 full + 2 quantized) = 6 points.
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+        }
+    }
+
+    #[test]
+    fn four_bit_close_to_full_at_high_dims() {
+        let points = small_sweep(DatasetKind::Face);
+        let full = points
+            .iter()
+            .find(|p| p.dims == 2048 && p.precision == Precision::Full)
+            .unwrap();
+        let q4 = points
+            .iter()
+            .find(|p| p.dims == 2048 && p.precision == Precision::Bits(4))
+            .unwrap();
+        assert!(
+            q4.accuracy >= full.accuracy - 0.1,
+            "4-bit {:.3} vs full {:.3}",
+            q4.accuracy,
+            full.accuracy
+        );
+    }
+
+    #[test]
+    fn higher_precision_wins_at_low_dims() {
+        // Fig. 7's headline: higher element precision reaches peak accuracy
+        // at lower dimensionality. The effect is decisive at small hardware
+        // dimensionality, where an n-bit cell packs n× the underlying
+        // binary model (at large D all precisions saturate, so comparisons
+        // there are noise).
+        let points = small_sweep(DatasetKind::Isolet);
+        let b1 = points
+            .iter()
+            .find(|p| p.dims == 256 && p.precision == Precision::Bits(1))
+            .unwrap();
+        let b4 = points
+            .iter()
+            .find(|p| p.dims == 256 && p.precision == Precision::Bits(4))
+            .unwrap();
+        assert!(
+            b4.accuracy > b1.accuracy + 0.05,
+            "4-bit {:.3} should clearly beat 1-bit {:.3} at 256 hardware dims",
+            b4.accuracy,
+            b1.accuracy
+        );
+    }
+
+    #[test]
+    fn helpers_extract_metrics() {
+        let points = vec![
+            SweepPoint {
+                dims: 512,
+                precision: Precision::Bits(2),
+                accuracy: 0.8,
+            },
+            SweepPoint {
+                dims: 1024,
+                precision: Precision::Bits(2),
+                accuracy: 0.9,
+            },
+            SweepPoint {
+                dims: 2048,
+                precision: Precision::Bits(2),
+                accuracy: 0.92,
+            },
+        ];
+        assert_eq!(required_dimension(&points, Precision::Bits(2), 0.9), Some(1024));
+        assert_eq!(required_dimension(&points, Precision::Bits(2), 0.99), None);
+        assert_eq!(peak_accuracy(&points, Precision::Bits(2)), Some(0.92));
+        assert_eq!(peak_accuracy(&points, Precision::Full), None);
+    }
+
+    #[test]
+    fn empty_test_set_rejected() {
+        let ds = Dataset::generate(DatasetKind::Face, 4, 2, 0);
+        let enc = IdLevelEncoder::new(128, ds.features(), 8, (0.0, 1.0), 0).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 0).unwrap();
+        let q = QuantizedModel::from_model(&model, 2).unwrap();
+        assert!(quantized_accuracy(&q, &enc, &[]).is_err());
+    }
+}

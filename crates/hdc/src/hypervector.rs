@@ -1,0 +1,368 @@
+//! Dense hypervectors: full-precision (`f32`) and quantized (`u8`)
+//! representations with similarity metrics.
+
+use crate::HdcError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tdam_num::dist::standard_normal;
+
+/// A dense full-precision hypervector.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_hdc::Hypervector;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Hypervector::from_values(vec![1.0, 0.0, -1.0]);
+/// let b = Hypervector::from_values(vec![1.0, 0.0, -1.0]);
+/// assert!((a.cosine(&b)? - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypervector {
+    values: Vec<f32>,
+}
+
+impl Hypervector {
+    /// Creates a zero hypervector of dimensionality `dims`.
+    pub fn zeros(dims: usize) -> Self {
+        Self {
+            values: vec![0.0; dims],
+        }
+    }
+
+    /// Wraps an explicit value vector.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
+    /// A random Gaussian hypervector (the standard HDC item-memory draw).
+    pub fn random<R: Rng + ?Sized>(dims: usize, rng: &mut R) -> Self {
+        Self {
+            values: (0..dims).map(|_| standard_normal(rng) as f32).collect(),
+        }
+    }
+
+    /// A random bipolar (±1) hypervector.
+    pub fn random_bipolar<R: Rng + ?Sized>(dims: usize, rng: &mut R) -> Self {
+        Self {
+            values: (0..dims)
+                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                .collect(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable raw values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Adds `other` scaled by `weight` (the bundling/update primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for unequal dimensionality.
+    pub fn add_scaled(&mut self, other: &Hypervector, weight: f32) -> Result<(), HdcError> {
+        if other.dims() != self.dims() {
+            return Err(HdcError::DimensionMismatch {
+                got: other.dims(),
+                expected: self.dims(),
+            });
+        }
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += weight * b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise product (binding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for unequal dimensionality.
+    pub fn bind(&self, other: &Hypervector) -> Result<Hypervector, HdcError> {
+        if other.dims() != self.dims() {
+            return Err(HdcError::DimensionMismatch {
+                got: other.dims(),
+                expected: self.dims(),
+            });
+        }
+        Ok(Hypervector {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a * b)
+                .collect(),
+        })
+    }
+
+    /// Cyclic permutation by `k` positions (sequence encoding primitive).
+    pub fn permute(&self, k: usize) -> Hypervector {
+        let n = self.values.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let k = k % n;
+        let mut values = Vec::with_capacity(n);
+        values.extend_from_slice(&self.values[n - k..]);
+        values.extend_from_slice(&self.values[..n - k]);
+        Hypervector { values }
+    }
+
+    /// Cosine similarity in `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for unequal dimensionality
+    /// and [`HdcError::InvalidConfig`] if either vector has zero norm.
+    pub fn cosine(&self, other: &Hypervector) -> Result<f64, HdcError> {
+        if other.dims() != self.dims() {
+            return Err(HdcError::DimensionMismatch {
+                got: other.dims(),
+                expected: self.dims(),
+            });
+        }
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (a, b) in self.values.iter().zip(&other.values) {
+            dot += *a as f64 * *b as f64;
+            na += (*a as f64).powi(2);
+            nb += (*b as f64).powi(2);
+        }
+        if na == 0.0 || nb == 0.0 {
+            return Err(HdcError::InvalidConfig {
+                what: "cosine undefined for zero-norm hypervector",
+            });
+        }
+        Ok(dot / (na.sqrt() * nb.sqrt()))
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt()
+    }
+}
+
+/// A hypervector quantized to `bits`-bit unsigned levels (`0..2^bits`),
+/// ready to store in TD-AM cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedHypervector {
+    levels: Vec<u8>,
+    bits: u8,
+}
+
+impl QuantizedHypervector {
+    /// Wraps explicit level values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `bits` is outside `1..=4` or
+    /// any level exceeds `2^bits − 1`.
+    pub fn new(levels: Vec<u8>, bits: u8) -> Result<Self, HdcError> {
+        if !(1..=4).contains(&bits) {
+            return Err(HdcError::InvalidConfig {
+                what: "quantized precision must be 1..=4 bits",
+            });
+        }
+        let max = (1u8 << bits) - 1;
+        if levels.iter().any(|&l| l > max) {
+            return Err(HdcError::InvalidConfig {
+                what: "level exceeds 2^bits - 1",
+            });
+        }
+        Ok(Self { levels, bits })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The level values (each in `0..2^bits`).
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Element-wise Hamming distance (the metric the TD-AM computes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for unequal dimensionality.
+    pub fn hamming(&self, other: &QuantizedHypervector) -> Result<usize, HdcError> {
+        if other.dims() != self.dims() {
+            return Err(HdcError::DimensionMismatch {
+                got: other.dims(),
+                expected: self.dims(),
+            });
+        }
+        Ok(self
+            .levels
+            .iter()
+            .zip(&other.levels)
+            .filter(|(a, b)| a != b)
+            .count())
+    }
+
+    /// Dot-product similarity over centered levels (levels re-centered to
+    /// signed values), a cheap software stand-in for cosine on quantized
+    /// models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for unequal dimensionality.
+    pub fn dot_centered(&self, other: &QuantizedHypervector) -> Result<f64, HdcError> {
+        if other.dims() != self.dims() {
+            return Err(HdcError::DimensionMismatch {
+                got: other.dims(),
+                expected: self.dims(),
+            });
+        }
+        let ca = ((1u16 << self.bits) - 1) as f64 / 2.0;
+        let cb = ((1u16 << other.bits) - 1) as f64 / 2.0;
+        Ok(self
+            .levels
+            .iter()
+            .zip(&other.levels)
+            .map(|(&a, &b)| (a as f64 - ca) * (b as f64 - cb))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_hypervectors_quasi_orthogonal() {
+        // Concentration of measure: two random 10k-dim hypervectors have
+        // cosine close to 0 — the property all of HDC rests on.
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Hypervector::random(10_240, &mut rng);
+        let b = Hypervector::random(10_240, &mut rng);
+        let c = a.cosine(&b).unwrap();
+        assert!(c.abs() < 0.05, "random HVs should be ~orthogonal, got {c}");
+    }
+
+    #[test]
+    fn cosine_self_is_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Hypervector::random(512, &mut rng);
+        assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_errors() {
+        let a = Hypervector::zeros(4);
+        let b = Hypervector::from_values(vec![1.0; 4]);
+        assert!(matches!(
+            a.cosine(&b),
+            Err(HdcError::InvalidConfig { .. })
+        ));
+        let c = Hypervector::zeros(5);
+        assert!(matches!(
+            b.cosine(&c),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_is_involutive_for_bipolar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Hypervector::random_bipolar(256, &mut rng);
+        let b = Hypervector::random_bipolar(256, &mut rng);
+        let bound = a.bind(&b).unwrap();
+        let unbound = bound.bind(&b).unwrap();
+        assert!((unbound.cosine(&a).unwrap() - 1.0).abs() < 1e-6);
+        // Bound vector is dissimilar to both factors.
+        assert!(bound.cosine(&a).unwrap().abs() < 0.2);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Hypervector::random(100, &mut rng);
+        assert_eq!(a.permute(0), a);
+        assert_eq!(a.permute(100), a);
+        let p = a.permute(37);
+        assert!(p.cosine(&a).unwrap().abs() < 0.3);
+        assert_eq!(p.permute(63), a);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut acc = Hypervector::zeros(3);
+        let x = Hypervector::from_values(vec![1.0, 2.0, 3.0]);
+        acc.add_scaled(&x, 0.5).unwrap();
+        acc.add_scaled(&x, 0.5).unwrap();
+        assert_eq!(acc.values(), &[1.0, 2.0, 3.0]);
+        let bad = Hypervector::zeros(4);
+        assert!(acc.add_scaled(&bad, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantized_validation() {
+        assert!(QuantizedHypervector::new(vec![0, 3], 2).is_ok());
+        assert!(QuantizedHypervector::new(vec![4], 2).is_err());
+        assert!(QuantizedHypervector::new(vec![0], 0).is_err());
+        assert!(QuantizedHypervector::new(vec![0], 5).is_err());
+    }
+
+    #[test]
+    fn quantized_hamming() {
+        let a = QuantizedHypervector::new(vec![0, 1, 2, 3], 2).unwrap();
+        let b = QuantizedHypervector::new(vec![0, 1, 3, 2], 2).unwrap();
+        assert_eq!(a.hamming(&b).unwrap(), 2);
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn dot_centered_sign() {
+        // Identical extreme vectors correlate positively; opposite ones
+        // negatively.
+        let hi = QuantizedHypervector::new(vec![3; 16], 2).unwrap();
+        let lo = QuantizedHypervector::new(vec![0; 16], 2).unwrap();
+        assert!(hi.dot_centered(&hi).unwrap() > 0.0);
+        assert!(hi.dot_centered(&lo).unwrap() < 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn permute_preserves_norm(k in 0usize..200) {
+            let mut rng = StdRng::seed_from_u64(5);
+            let a = Hypervector::random(64, &mut rng);
+            let p = a.permute(k);
+            prop_assert!((p.norm() - a.norm()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn hamming_symmetric(xs in prop::collection::vec(0u8..4, 1..64),
+                             ys in prop::collection::vec(0u8..4, 1..64)) {
+            let n = xs.len().min(ys.len());
+            let a = QuantizedHypervector::new(xs[..n].to_vec(), 2).unwrap();
+            let b = QuantizedHypervector::new(ys[..n].to_vec(), 2).unwrap();
+            prop_assert_eq!(a.hamming(&b).unwrap(), b.hamming(&a).unwrap());
+        }
+    }
+}

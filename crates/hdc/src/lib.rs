@@ -1,0 +1,96 @@
+//! Hyperdimensional computing (HDC) on the FeFET TD-AM.
+//!
+//! The paper's application case study (Sec. IV-B): brain-inspired
+//! hyperdimensional classification, quantized to the multi-bit precision
+//! the TD-AM supports, benchmarked on three datasets (ISOLET voice
+//! recognition, UCIHAR activity recognition, FACE detection) across
+//! dimensionalities 512–10240 and element precisions 1–4 bits vs. the
+//! 32-bit float reference (Figs. 7 and 8).
+//!
+//! Modules:
+//!
+//! - [`hypervector`] — dense real and quantized integer hypervectors with
+//!   cosine/Hamming similarity,
+//! - [`encoder`] — record-based ID–level encoding of feature vectors,
+//! - [`train`] — OnlineHD-style single-pass training with
+//!   similarity-weighted updates plus retraining epochs,
+//! - [`quantize`] — the paper's equal-probability-area quantization of
+//!   class hypervectors into `2^n` levels,
+//! - [`datasets`] — synthetic stand-ins for ISOLET / UCIHAR / FACE
+//!   (Gaussian class clusters matching each dataset's class/feature
+//!   counts; the UCI originals are not available offline — see
+//!   DESIGN.md),
+//! - [`eval`] — accuracy evaluation and the precision × dimension sweep
+//!   of Fig. 7,
+//! - [`mapping`] — inference mapped onto TD-AM tiles, with
+//!   latency/energy accounting for the Fig. 8 GPU comparison,
+//! - [`cluster`] — k-centroid clustering in hyperdimensional space,
+//! - [`sequence`] — k-mer genomic encoding for approximate sequence
+//!   matching (the HDGIM workload the paper cites).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod datasets;
+pub mod encoder;
+pub mod eval;
+pub mod hypervector;
+pub mod mapping;
+pub mod quantize;
+pub mod sequence;
+pub mod train;
+
+pub use datasets::{Dataset, DatasetKind};
+pub use encoder::IdLevelEncoder;
+pub use hypervector::{Hypervector, QuantizedHypervector};
+pub use train::HdcModel;
+
+/// Errors from the HDC layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HdcError {
+    /// A parameter was out of range.
+    InvalidConfig {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// Vector dimensionalities disagree.
+    DimensionMismatch {
+        /// Dimensionality provided.
+        got: usize,
+        /// Dimensionality expected.
+        expected: usize,
+    },
+    /// The model has no trained classes.
+    EmptyModel,
+    /// An error bubbled up from the TD-AM hardware model.
+    Tdam(tdam::TdamError),
+}
+
+impl core::fmt::Display for HdcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Self::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+            Self::EmptyModel => write!(f, "model has no trained classes"),
+            Self::Tdam(e) => write!(f, "TD-AM error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tdam(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tdam::TdamError> for HdcError {
+    fn from(e: tdam::TdamError) -> Self {
+        Self::Tdam(e)
+    }
+}

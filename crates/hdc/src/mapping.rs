@@ -1,0 +1,417 @@
+//! Mapping quantized HDC inference onto TD-AM hardware (Fig. 8 setup).
+//!
+//! A quantized model with `C` classes and dimensionality `D` maps onto
+//! TD-AM tiles of `N` stages (the paper uses `N = 128` at 0.6 V): each
+//! tile holds one `N`-element chunk of every class hypervector in its `C`
+//! rows, chunks are searched sequentially, and per-row mismatch counts
+//! accumulate across chunks — the class with the smallest total Hamming
+//! distance wins. Latency is the sum of per-chunk search latencies
+//! (chunks share the query bus); energy sums every tile search.
+
+use crate::hypervector::QuantizedHypervector;
+use crate::quantize::QuantizedModel;
+use crate::HdcError;
+use serde::{Deserialize, Serialize};
+use tdam::array::TdamArray;
+use tdam::config::ArrayConfig;
+use tdam::encoding::Encoding;
+use tdam::energy::EnergyBreakdown;
+
+/// Result of one TD-AM-mapped inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdamInferenceResult {
+    /// Predicted class.
+    pub class: usize,
+    /// Total decoded Hamming distance of the winning class.
+    pub distance: usize,
+    /// Per-class accumulated distances.
+    pub distances: Vec<usize>,
+    /// End-to-end latency, seconds.
+    pub latency: f64,
+    /// Energy, joules.
+    pub energy: EnergyBreakdown,
+}
+
+/// A quantized HDC model deployed on TD-AM tiles.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tdam_hdc::datasets::{Dataset, DatasetKind};
+/// use tdam_hdc::encoder::IdLevelEncoder;
+/// use tdam_hdc::mapping::TdamHdcInference;
+/// use tdam_hdc::quantize::QuantizedModel;
+/// use tdam_hdc::train::HdcModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ds = Dataset::generate(DatasetKind::Face, 30, 10, 1);
+/// let enc = IdLevelEncoder::new(1024, ds.features(), 32, (0.0, 1.0), 7)?;
+/// let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2)?;
+/// let quant = QuantizedModel::from_model(&model, 2)?;
+/// let hw = TdamHdcInference::new(&quant, 128, 0.6)?;
+/// let q = quant.quantize_query(&enc.encode(&ds.test[0].0)?)?;
+/// let result = hw.classify(&q)?;
+/// assert!(result.latency > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TdamHdcInference {
+    tiles: Vec<TdamArray>,
+    stages: usize,
+    dims: usize,
+    classes: usize,
+    /// Fixed per-query front-end energy (on-chip encoding + query I/O),
+    /// joules. Zero by default (pure search accounting).
+    e_frontend: f64,
+}
+
+impl TdamHdcInference {
+    /// Deploys `model` on TD-AM tiles of `stages` stages at supply `vdd`.
+    ///
+    /// The last chunk is zero-padded on both the stored and query side, so
+    /// padding never contributes mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for zero stages and propagates
+    /// TD-AM configuration errors.
+    pub fn new(model: &QuantizedModel, stages: usize, vdd: f64) -> Result<Self, HdcError> {
+        if stages == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "tiles need at least one stage",
+            });
+        }
+        let dims = model.dims();
+        let classes = model.classes();
+        let encoding = Encoding::new(model.bits()).map_err(HdcError::Tdam)?;
+        let chunks = dims.div_ceil(stages);
+        let cfg = ArrayConfig::paper_default()
+            .with_stages(stages)
+            .with_rows(classes)
+            .with_encoding(encoding)
+            .with_vdd(vdd);
+        let mut tiles = Vec::with_capacity(chunks);
+        for chunk in 0..chunks {
+            let mut tile = TdamArray::new(cfg)?;
+            for (row, class_hv) in model.class_hvs().iter().enumerate() {
+                let mut slice = vec![0u8; stages];
+                let start = chunk * stages;
+                let end = (start + stages).min(dims);
+                slice[..end - start].copy_from_slice(&class_hv.levels()[start..end]);
+                tdam::engine::SimilarityEngine::store(&mut tile, row, &slice)?;
+            }
+            tiles.push(tile);
+        }
+        Ok(Self {
+            tiles,
+            stages,
+            dims,
+            classes,
+            e_frontend: 0.0,
+        })
+    }
+
+    /// Adds the front-end (encoding + I/O) energy to every query's
+    /// accounting: `features × underlying_dims × e_per_op` joules, the
+    /// cost of producing the query hypervector on-chip (after the
+    /// in-memory HDC encoder literature, ~fJ per bind-accumulate op).
+    /// Front-end *latency* is excluded: encoding pipelines with the
+    /// previous query's search, but its energy accrues regardless.
+    pub fn with_frontend_cost(mut self, features: usize, underlying_dims: usize, e_per_op: f64) -> Self {
+        self.e_frontend = features as f64 * underlying_dims as f64 * e_per_op;
+        self
+    }
+
+    /// Number of sequential chunks (tiles) per query.
+    pub fn chunks(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of classes (rows per tile).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Classifies a quantized query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a wrong-sized query and
+    /// propagates TD-AM search errors.
+    pub fn classify(&self, query: &QuantizedHypervector) -> Result<TdamInferenceResult, HdcError> {
+        if query.dims() != self.dims {
+            return Err(HdcError::DimensionMismatch {
+                got: query.dims(),
+                expected: self.dims,
+            });
+        }
+        let mut distances = vec![0usize; self.classes];
+        let mut latency = 0.0;
+        let mut energy = EnergyBreakdown::default();
+        energy.search_lines += self.e_frontend;
+        for (chunk, tile) in self.tiles.iter().enumerate() {
+            let mut slice = vec![0u8; self.stages];
+            let start = chunk * self.stages;
+            let end = (start + self.stages).min(self.dims);
+            slice[..end - start].copy_from_slice(&query.levels()[start..end]);
+            let outcome = tile.search(&slice)?;
+            latency += outcome.latency;
+            energy.accumulate(&outcome.energy);
+            for (row, r) in outcome.rows.iter().enumerate() {
+                distances[row] += r.decoded_mismatches;
+            }
+        }
+        let (class, &distance) = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .ok_or(HdcError::EmptyModel)?;
+        Ok(TdamInferenceResult {
+            class,
+            distance,
+            distances,
+            latency,
+            energy,
+        })
+    }
+}
+
+/// Result of one hardware-in-the-loop retraining epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareEpochReport {
+    /// Samples whose hardware classification was wrong (and triggered an
+    /// update).
+    pub corrections: usize,
+    /// Samples processed.
+    pub samples: usize,
+    /// Total hardware search energy spent on the epoch, joules.
+    pub search_energy: f64,
+}
+
+/// Learning-rate scale applied to hardware-derived update weights.
+/// Hardware similarities live in centered rank space where mispredicted
+/// samples sit much farther from the class hypervectors than uncentered
+/// cosine suggests; unscaled corrections overshoot.
+const HW_LEARNING_RATE: f32 = 0.05;
+
+/// Runs one hardware-in-the-loop OnlineHD retraining epoch.
+///
+/// Every training sample is classified *on the deployed TD-AM*; on a
+/// misprediction the full-precision model receives an OnlineHD correction
+/// whose weights come from the hardware's **exact decoded Hamming
+/// distances** — the quantitative-similarity capability the paper argues
+/// plain CAMs lack ("this design does not output the exact similarity
+/// result, which is crucial for parameter update"). The model is then
+/// re-quantized and re-deployed once at the end of the epoch.
+///
+/// Returns the refreshed deployment plus an epoch report.
+///
+/// # Errors
+///
+/// Propagates encoding, quantization and hardware errors.
+pub fn hardware_retrain_epoch(
+    model: &mut crate::train::HdcModel,
+    encoder: &crate::encoder::IdLevelEncoder,
+    bits: u8,
+    stages: usize,
+    vdd: f64,
+    samples: &[(Vec<f64>, usize)],
+) -> Result<(QuantizedModel, TdamHdcInference, HardwareEpochReport), HdcError> {
+    let mut quant = QuantizedModel::from_model(model, bits)?;
+    let mut hw = TdamHdcInference::new(&quant, stages, vdd)?;
+    let dims = quant.dims() as f64;
+    let mut report = HardwareEpochReport {
+        corrections: 0,
+        samples: 0,
+        search_energy: 0.0,
+    };
+    // Direction of the shared class component: corrections must be
+    // orthogonal to it, or each update injects the (large) common part of
+    // the encoding into the class *difference* that centered quantization
+    // classifies by, destabilizing the deployed model.
+    let full_dims = model.dims();
+    let classes = model.classes() as f32;
+    let mut mean = vec![0.0f32; full_dims];
+    for c in model.class_hvs() {
+        for (m, v) in mean.iter_mut().zip(c.values()) {
+            *m += v / classes;
+        }
+    }
+    let mean_norm2: f32 = mean.iter().map(|m| m * m).sum();
+    for (x, label) in samples {
+        report.samples += 1;
+        let h = encoder.encode(x)?;
+        let q = quant.quantize_query(&h)?;
+        let result = hw.classify(&q)?;
+        report.search_energy += result.energy.total();
+        if result.class != *label {
+            // Hardware similarity in [0, 1]: 1 − distance/dims.
+            let sim_pred = 1.0 - result.distances[result.class] as f64 / dims;
+            let sim_true = 1.0 - result.distances[*label] as f64 / dims;
+            // Remove the shared-direction projection from the update.
+            let h_perp = if mean_norm2 > 0.0 {
+                let dot: f32 = h.values().iter().zip(&mean).map(|(a, b)| a * b).sum();
+                let scale = dot / mean_norm2;
+                crate::hypervector::Hypervector::from_values(
+                    h.values()
+                        .iter()
+                        .zip(&mean)
+                        .map(|(v, m)| v - scale * m)
+                        .collect(),
+                )
+            } else {
+                h.clone()
+            };
+            model.update_weighted(
+                &h_perp,
+                *label,
+                result.class,
+                HW_LEARNING_RATE * (1.0 - sim_true).clamp(0.0, 1.0) as f32,
+                HW_LEARNING_RATE * (1.0 - sim_pred).clamp(0.0, 1.0) as f32,
+            )?;
+            report.corrections += 1;
+        }
+    }
+    if report.corrections > 0 {
+        quant = QuantizedModel::from_model(model, bits)?;
+        hw = TdamHdcInference::new(&quant, stages, vdd)?;
+    }
+    Ok((quant, hw, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetKind};
+    use crate::encoder::IdLevelEncoder;
+    use crate::train::HdcModel;
+
+    fn deployed() -> (QuantizedModel, IdLevelEncoder, Dataset, TdamHdcInference) {
+        let ds = Dataset::generate(DatasetKind::Face, 30, 10, 77);
+        let enc = IdLevelEncoder::new(512, ds.features(), 32, (0.0, 1.0), 8).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
+        let quant = QuantizedModel::from_model(&model, 2).unwrap();
+        let hw = TdamHdcInference::new(&quant, 128, 0.6).unwrap();
+        (quant, enc, ds, hw)
+    }
+
+    #[test]
+    fn tiling_shape() {
+        // 512-dim underlying model at 2 bits packs to 256 elements → 2
+        // tiles of 128 stages.
+        let (_, _, _, hw) = deployed();
+        assert_eq!(hw.chunks(), 2);
+        assert_eq!(hw.classes(), 2);
+    }
+
+    #[test]
+    fn hardware_agrees_with_software_min_hamming() {
+        let (quant, enc, ds, hw) = deployed();
+        for (x, _) in ds.test.iter().take(10) {
+            let h = enc.encode(x).unwrap();
+            let q = quant.quantize_query(&h).unwrap();
+            let (sw_class, sw_dist) = quant.classify_quantized(&q).unwrap();
+            let result = hw.classify(&q).unwrap();
+            assert_eq!(result.class, sw_class, "hardware and software disagree");
+            assert_eq!(result.distance, sw_dist);
+        }
+    }
+
+    #[test]
+    fn padding_contributes_nothing() {
+        // 300-dim underlying model at 2 bits → 150 packed elements on
+        // 128-stage tiles → 2 chunks with 106 padded stages.
+        let ds = Dataset::generate(DatasetKind::Face, 20, 5, 78);
+        let enc = IdLevelEncoder::new(300, ds.features(), 32, (0.0, 1.0), 8).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1).unwrap();
+        let quant = QuantizedModel::from_model(&model, 2).unwrap();
+        let hw = TdamHdcInference::new(&quant, 128, 0.6).unwrap();
+        assert_eq!(hw.chunks(), 2);
+        let h = enc.encode(&ds.test[0].0).unwrap();
+        let q = quant.quantize_query(&h).unwrap();
+        let result = hw.classify(&q).unwrap();
+        let (_, sw_dist) = quant.classify_quantized(&q).unwrap();
+        assert_eq!(result.distance, sw_dist, "padding must not add mismatches");
+    }
+
+    #[test]
+    fn latency_scales_with_dims() {
+        let ds = Dataset::generate(DatasetKind::Face, 20, 5, 79);
+        let lat_at = |dims: usize| {
+            let enc = IdLevelEncoder::new(dims, ds.features(), 32, (0.0, 1.0), 8).unwrap();
+            let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1).unwrap();
+            let quant = QuantizedModel::from_model(&model, 2).unwrap();
+            let hw = TdamHdcInference::new(&quant, 128, 0.6).unwrap();
+            let h = enc.encode(&ds.test[0].0).unwrap();
+            let q = quant.quantize_query(&h).unwrap();
+            hw.classify(&q).unwrap().latency
+        };
+        let l_small = lat_at(512);
+        let l_large = lat_at(2048);
+        let ratio = l_large / l_small;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "4x dims should cost ~4x latency, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn hardware_in_the_loop_training_improves_or_holds() {
+        // Start from an undertrained model (bundling only) and run two
+        // hardware-feedback epochs; hardware accuracy must not degrade and
+        // typically improves.
+        let ds = Dataset::generate(DatasetKind::Ucihar, 25, 12, 91);
+        // 512 dims is deliberately marginal so hardware mispredictions
+        // actually occur on the training set.
+        let enc = IdLevelEncoder::new(512, ds.features(), 32, (0.0, 1.0), 13).unwrap();
+        let mut model = HdcModel::train(&enc, &ds.train, ds.classes(), 0).unwrap();
+
+        let hw_accuracy = |quant: &QuantizedModel, hw: &TdamHdcInference| {
+            let mut correct = 0usize;
+            for (x, label) in &ds.test {
+                let h = enc.encode(x).unwrap();
+                let q = quant.quantize_query(&h).unwrap();
+                if hw.classify(&q).unwrap().class == *label {
+                    correct += 1;
+                }
+            }
+            correct as f64 / ds.test.len() as f64
+        };
+
+        let quant0 = QuantizedModel::from_model(&model, 2).unwrap();
+        let hw0 = TdamHdcInference::new(&quant0, 128, 0.6).unwrap();
+        let before = hw_accuracy(&quant0, &hw0);
+
+        let mut last = None;
+        for _ in 0..2 {
+            last = Some(
+                hardware_retrain_epoch(&mut model, &enc, 2, 128, 0.6, &ds.train).unwrap(),
+            );
+        }
+        let (quant, hw, report) = last.unwrap();
+        let after = hw_accuracy(&quant, &hw);
+        assert_eq!(report.samples, ds.train.len());
+        assert!(report.search_energy > 0.0);
+        assert!(
+            after >= before - 0.05,
+            "hardware-loop training must not hurt: {before:.3} -> {after:.3}"
+        );
+    }
+
+    #[test]
+    fn wrong_query_dims_rejected() {
+        let (quant, _, _, hw) = deployed();
+        let bad = QuantizedHypervector::new(vec![0; 100], quant.bits()).unwrap();
+        assert!(matches!(
+            hw.classify(&bad),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_stages_rejected() {
+        let (quant, _, _, _) = deployed();
+        assert!(TdamHdcInference::new(&quant, 0, 0.6).is_err());
+    }
+}

@@ -1,0 +1,539 @@
+//! Equal-probability-area quantization of HDC models (paper Sec. IV-B).
+//!
+//! The paper quantizes the 32-bit class hypervectors into the `n`-bit
+//! levels the TD-AM stores "by thoroughly mapping the class hypervector
+//! values based on probability distributions into 2^n blocks of equal
+//! areas" — i.e. the level boundaries are the `k/2^n` quantiles of the
+//! hypervector's own value distribution, so every level is used equally
+//! often and dense value regions get narrow blocks.
+//!
+//! # How multi-bit elements carry more information
+//!
+//! The TD-AM cell reports *exact-match* per element, and for exact-match
+//! Hamming the discriminability of plain multi-level rank quantization
+//! *decreases* with level count (a Monte Carlo of bivariate-normal
+//! quantile bins shows the per-element SNR falling ~2× from 2 to 16
+//! levels). What makes higher precision pay off — the paper's Fig. 7
+//! trend — is *packing*: an `n`-bit element stores `n` binary
+//! sub-dimensions of the underlying model, so a `D`-element, `n`-bit
+//! model holds the information of an `n·D`-bit binary model in `D` delay
+//! stages. [`QuantizedModel::from_model`] therefore binarizes the
+//! (centered) class hypervectors by their per-vector median and packs
+//! `n` consecutive sign bits into each TD-AM element. An element
+//! mismatches when *any* of its packed bits differs — which the 2-FeFET
+//! cell detects natively.
+//!
+//! Before binarization the *shared class component* is removed: bundled
+//! class hypervectors are dominated by the mean over all classes (their
+//! pairwise cosine can exceed 0.9), which would drown the discriminative
+//! rank structure. Class hypervectors are centered by the class mean and
+//! queries have their projection onto the mean direction removed — this
+//! is the "intricately designed quantization to minimize information
+//! loss" step of the paper's Sec. IV-B, made explicit.
+
+use crate::hypervector::{Hypervector, QuantizedHypervector};
+use crate::train::HdcModel;
+use crate::HdcError;
+use serde::{Deserialize, Serialize};
+
+/// Quantizes one hypervector into `2^bits` equal-probability-area levels
+/// derived from its own value distribution.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidConfig`] for `bits` outside `1..=4` or an
+/// empty vector.
+pub fn equal_area_quantize(h: &Hypervector, bits: u8) -> Result<QuantizedHypervector, HdcError> {
+    if !(1..=4).contains(&bits) {
+        return Err(HdcError::InvalidConfig {
+            what: "quantized precision must be 1..=4 bits",
+        });
+    }
+    let values = h.values();
+    if values.is_empty() {
+        return Err(HdcError::InvalidConfig {
+            what: "cannot quantize an empty hypervector",
+        });
+    }
+    // Rank-based assignment: sort element indices by value (ties broken by
+    // index, deterministically) and give each equal-population rank band
+    // one level. This realizes equal-probability-area blocks exactly, even
+    // when the distribution has large point masses — which centered class
+    // hypervectors do, because coordinates the classes agree on center to
+    // exactly zero.
+    let n = values.len();
+    let levels = 1usize << bits;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("finite hypervector values")
+            .then(a.cmp(&b))
+    });
+    let mut quantized = vec![0u8; n];
+    for (rank, &i) in order.iter().enumerate() {
+        quantized[i] = ((rank * levels) / n) as u8;
+    }
+    QuantizedHypervector::new(quantized, bits)
+}
+
+/// Binarizes a hypervector by its per-vector median (rank-based, exactly
+/// balanced) and packs `bits` consecutive sign bits into each element.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidConfig`] for `bits` outside `1..=4`, an
+/// empty vector, or a length not divisible by `bits`.
+pub fn binarize_and_pack(h: &Hypervector, bits: u8) -> Result<QuantizedHypervector, HdcError> {
+    if !(1..=4).contains(&bits) {
+        return Err(HdcError::InvalidConfig {
+            what: "packed precision must be 1..=4 bits",
+        });
+    }
+    if h.dims() == 0 || !h.dims().is_multiple_of(bits as usize) {
+        return Err(HdcError::InvalidConfig {
+            what: "vector length must be a positive multiple of the bit width",
+        });
+    }
+    let binary = equal_area_quantize(h, 1)?;
+    let n = bits as usize;
+    let packed: Vec<u8> = binary
+        .levels()
+        .chunks(n)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (k, &b)| acc | (b << k))
+        })
+        .collect();
+    QuantizedHypervector::new(packed, bits)
+}
+
+/// A quantized HDC model: `n`-bit packed class hypervectors ready for
+/// TD-AM deployment, plus the shared-component direction used to
+/// preprocess queries consistently.
+///
+/// A model quantized to `n` bits from an underlying model of
+/// dimensionality `U` has `U / n` packed elements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    class_hvs: Vec<QuantizedHypervector>,
+    /// Mean of the full-precision class hypervectors (the shared
+    /// component removed before binarization).
+    mean: Vec<f32>,
+    bits: u8,
+    /// Underlying (unpacked) dimensionality = `packed_dims * bits`.
+    underlying_dims: usize,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained full-precision model to `bits`-bit packed
+    /// elements: each class hypervector is centered, binarized by its own
+    /// median, and `bits` consecutive sign bits are packed per element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for `bits` outside `1..=4`, a
+    /// model dimensionality not divisible by `bits`, or an untrained
+    /// (all-zero) model.
+    pub fn from_model(model: &HdcModel, bits: u8) -> Result<Self, HdcError> {
+        if !(1..=4).contains(&bits) {
+            return Err(HdcError::InvalidConfig {
+                what: "quantized precision must be 1..=4 bits",
+            });
+        }
+        if model
+            .class_hvs()
+            .iter()
+            .all(|h| h.values().iter().all(|&v| v == 0.0))
+        {
+            return Err(HdcError::InvalidConfig {
+                what: "cannot quantize an untrained model",
+            });
+        }
+        let dims = model.dims();
+        if !dims.is_multiple_of(bits as usize) {
+            return Err(HdcError::InvalidConfig {
+                what: "model dimensionality must be divisible by the bit width",
+            });
+        }
+        let classes = model.classes() as f32;
+        let mut mean = vec![0.0f32; dims];
+        for h in model.class_hvs() {
+            for (m, v) in mean.iter_mut().zip(h.values()) {
+                *m += v / classes;
+            }
+        }
+        // A single-class model has nothing to discriminate; skip centering
+        // so its (sole) hypervector still quantizes.
+        let center = model.classes() > 1;
+        let class_hvs = model
+            .class_hvs()
+            .iter()
+            .map(|h| {
+                let centered: Vec<f32> = if center {
+                    h.values().iter().zip(&mean).map(|(v, m)| v - m).collect()
+                } else {
+                    h.values().to_vec()
+                };
+                binarize_and_pack(&Hypervector::from_values(centered), bits)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            class_hvs,
+            mean: if center { mean } else { vec![0.0; dims] },
+            bits,
+            underlying_dims: dims,
+        })
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Packed dimensionality (TD-AM elements per class hypervector).
+    pub fn dims(&self) -> usize {
+        self.underlying_dims / self.bits as usize
+    }
+
+    /// Underlying (pre-packing) model dimensionality.
+    pub fn underlying_dims(&self) -> usize {
+        self.underlying_dims
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_hvs.len()
+    }
+
+    /// The quantized class hypervectors.
+    pub fn class_hvs(&self) -> &[QuantizedHypervector] {
+        &self.class_hvs
+    }
+
+    /// Quantizes a full-precision query (at the *underlying*
+    /// dimensionality) into packed `bits`-bit elements, using the same
+    /// centering and per-vector median binarization as the class side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a wrong-sized query.
+    pub fn quantize_query(&self, h: &Hypervector) -> Result<QuantizedHypervector, HdcError> {
+        if h.dims() != self.underlying_dims {
+            return Err(HdcError::DimensionMismatch {
+                got: h.dims(),
+                expected: self.underlying_dims,
+            });
+        }
+        // Remove the query's projection onto the shared-component
+        // direction, mirroring the class-side centering at the query's own
+        // scale.
+        let mnorm2: f32 = self.mean.iter().map(|m| m * m).sum();
+        let projected: Vec<f32> = if mnorm2 > 0.0 {
+            let dot: f32 = h.values().iter().zip(&self.mean).map(|(a, b)| a * b).sum();
+            let scale = dot / mnorm2;
+            h.values()
+                .iter()
+                .zip(&self.mean)
+                .map(|(v, m)| v - scale * m)
+                .collect()
+        } else {
+            h.values().to_vec()
+        };
+        binarize_and_pack(&Hypervector::from_values(projected), self.bits)
+    }
+
+    /// Classifies a full-precision query by quantizing it and finding the
+    /// minimum-Hamming-distance class (the TD-AM's operation, in
+    /// software). Returns `(class, hamming_distance)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] for a classless model and
+    /// dimension errors as above.
+    pub fn classify(&self, h: &Hypervector) -> Result<(usize, usize), HdcError> {
+        let q = self.quantize_query(h)?;
+        self.classify_quantized(&q)
+    }
+
+    /// Classifies an already-quantized query by minimum Hamming distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] for a classless model.
+    pub fn classify_quantized(
+        &self,
+        q: &QuantizedHypervector,
+    ) -> Result<(usize, usize), HdcError> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, class_hv) in self.class_hvs.iter().enumerate() {
+            let d = q.hamming(class_hv)?;
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((i, d));
+            }
+        }
+        best.ok_or(HdcError::EmptyModel)
+    }
+}
+
+impl QuantizedModel {
+    /// Serializes the model to a portable text artifact (the form you
+    /// would hand to a TD-AM programmer): a header line
+    /// `tdam-qmodel v1 <bits> <underlying_dims> <classes>`, one hex row of
+    /// packed levels per class, and the shared-mean vector (needed to
+    /// preprocess queries) as one whitespace-separated float row.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "tdam-qmodel v1 {} {} {}\n",
+            self.bits,
+            self.underlying_dims,
+            self.class_hvs.len()
+        );
+        for hv in &self.class_hvs {
+            for &l in hv.levels() {
+                out.push(char::from_digit(l as u32, 16).expect("levels < 16"));
+            }
+            out.push('\n');
+        }
+        let mean_row: Vec<String> = self.mean.iter().map(|m| format!("{m:e}")).collect();
+        out.push_str(&mean_row.join(" "));
+        out.push('\n');
+        out
+    }
+
+    /// Parses a model previously produced by [`QuantizedModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for malformed artifacts.
+    pub fn from_text(text: &str) -> Result<Self, HdcError> {
+        let bad = || HdcError::InvalidConfig {
+            what: "malformed quantized-model artifact",
+        };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(bad)?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 5 || fields[0] != "tdam-qmodel" || fields[1] != "v1" {
+            return Err(bad());
+        }
+        let bits: u8 = fields[2].parse().map_err(|_| bad())?;
+        let underlying_dims: usize = fields[3].parse().map_err(|_| bad())?;
+        let classes: usize = fields[4].parse().map_err(|_| bad())?;
+        if !(1..=4).contains(&bits) || underlying_dims == 0 || classes == 0 {
+            return Err(bad());
+        }
+        let packed_dims = underlying_dims / bits as usize;
+        let mut class_hvs = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            let row = lines.next().ok_or_else(bad)?;
+            if row.len() != packed_dims {
+                return Err(bad());
+            }
+            let levels: Vec<u8> = row
+                .chars()
+                .map(|c| c.to_digit(16).map(|d| d as u8).ok_or_else(bad))
+                .collect::<Result<_, _>>()?;
+            class_hvs.push(QuantizedHypervector::new(levels, bits)?);
+        }
+        let mean_row = lines.next().ok_or_else(bad)?;
+        let mean: Vec<f32> = mean_row
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        if mean.len() != underlying_dims {
+            return Err(bad());
+        }
+        Ok(Self {
+            class_hvs,
+            mean,
+            bits,
+            underlying_dims,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetKind};
+    use crate::encoder::IdLevelEncoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_model() -> (HdcModel, IdLevelEncoder, Dataset) {
+        let ds = Dataset::generate(DatasetKind::Face, 40, 20, 21);
+        let enc = IdLevelEncoder::new(1024, ds.features(), 32, (0.0, 1.0), 6).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
+        (model, enc, ds)
+    }
+
+    #[test]
+    fn equal_area_levels_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = Hypervector::random(4096, &mut rng);
+        for bits in 1..=4u8 {
+            let q = equal_area_quantize(&h, bits).unwrap();
+            let levels = 1usize << bits;
+            let mut counts = vec![0usize; levels];
+            for &l in q.levels() {
+                counts[l as usize] += 1;
+            }
+            for &c in &counts {
+                let frac = c as f64 / 4096.0;
+                let expect = 1.0 / levels as f64;
+                assert!(
+                    (frac - expect).abs() < 0.01,
+                    "bits={bits}: level fraction {frac} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_quantization_handles_ties() {
+        // A vector that is 75% exactly zero still splits into balanced
+        // levels (the failure mode that motivated rank-based assignment).
+        let mut v = vec![0.0f32; 1000];
+        for (i, x) in v.iter_mut().enumerate().take(250) {
+            *x = (i as f32) - 125.0;
+        }
+        let q = equal_area_quantize(&Hypervector::from_values(v), 2).unwrap();
+        let mut counts = [0usize; 4];
+        for &l in q.levels() {
+            counts[l as usize] += 1;
+        }
+        assert_eq!(counts, [250; 4]);
+    }
+
+    #[test]
+    fn packing_layout() {
+        // 4 values, 2 bits: sign bits (rank >= half) pack little-endian.
+        let h = Hypervector::from_values(vec![-2.0, 3.0, 1.0, -5.0]);
+        // Ranks: -5 < -2 < 1 < 3 → bits: [0, 1, 1, 0]
+        let q = binarize_and_pack(&h, 2).unwrap();
+        assert_eq!(q.dims(), 2);
+        assert_eq!(q.levels(), &[0b10, 0b01]);
+    }
+
+    #[test]
+    fn pack_validation() {
+        let h = Hypervector::from_values(vec![1.0, 2.0, 3.0]);
+        assert!(binarize_and_pack(&h, 2).is_err(), "3 not divisible by 2");
+        assert!(binarize_and_pack(&Hypervector::zeros(0), 1).is_err());
+        assert!(binarize_and_pack(&h, 0).is_err());
+        assert!(binarize_and_pack(&h, 5).is_err());
+        assert!(binarize_and_pack(&h, 3).is_ok());
+    }
+
+    #[test]
+    fn packed_dims_shrink_with_bits() {
+        let (model, _, _) = trained_model();
+        for bits in [1u8, 2, 4] {
+            let q = QuantizedModel::from_model(&model, bits).unwrap();
+            assert_eq!(q.dims(), 1024 / bits as usize);
+            assert_eq!(q.underlying_dims(), 1024);
+            assert_eq!(q.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn indivisible_dims_rejected() {
+        let ds = Dataset::generate(DatasetKind::Face, 4, 2, 0);
+        let enc = IdLevelEncoder::new(130, ds.features(), 8, (0.0, 1.0), 0).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 0).unwrap();
+        assert!(QuantizedModel::from_model(&model, 4).is_err());
+        assert!(QuantizedModel::from_model(&model, 2).is_ok());
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        let (model, _, _) = trained_model();
+        assert!(QuantizedModel::from_model(&model, 0).is_err());
+        assert!(QuantizedModel::from_model(&model, 5).is_err());
+    }
+
+    #[test]
+    fn quantized_classification_tracks_full_precision() {
+        let (model, enc, ds) = trained_model();
+        let q = QuantizedModel::from_model(&model, 4).unwrap();
+        let mut agree = 0usize;
+        for (x, _) in ds.test.iter().take(30) {
+            let h = enc.encode(x).unwrap();
+            let (full, _) = model.classify_encoded(&h).unwrap();
+            let (quant, _) = q.classify(&h).unwrap();
+            if full == quant {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= 24,
+            "4-bit quantized predictions should mostly agree: {agree}/30"
+        );
+    }
+
+    #[test]
+    fn accuracy_survives_quantization() {
+        let (model, enc, ds) = trained_model();
+        let full_acc = model.accuracy(&enc, &ds.test).unwrap();
+        for bits in [1u8, 2, 4] {
+            let q = QuantizedModel::from_model(&model, bits).unwrap();
+            let mut correct = 0usize;
+            for (x, label) in &ds.test {
+                let h = enc.encode(x).unwrap();
+                let (pred, _) = q.classify(&h).unwrap();
+                if pred == *label {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / ds.test.len() as f64;
+            assert!(
+                acc > full_acc - 0.15,
+                "{bits}-bit accuracy {acc} vs full {full_acc}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_artifact_roundtrip() {
+        let (model, enc, ds) = trained_model();
+        let q = QuantizedModel::from_model(&model, 2).unwrap();
+        let text = q.to_text();
+        let restored = QuantizedModel::from_text(&text).unwrap();
+        assert_eq!(q, restored);
+        // And the restored model classifies identically.
+        for (x, _) in ds.test.iter().take(5) {
+            let h = enc.encode(x).unwrap();
+            assert_eq!(q.classify(&h).unwrap(), restored.classify(&h).unwrap());
+        }
+    }
+
+    #[test]
+    fn text_artifact_rejects_garbage() {
+        assert!(QuantizedModel::from_text("").is_err());
+        assert!(QuantizedModel::from_text("nope v1 2 8 1\n").is_err());
+        assert!(QuantizedModel::from_text("tdam-qmodel v1 9 8 1\nzz\n0 0\n").is_err());
+        // Wrong row width.
+        assert!(QuantizedModel::from_text("tdam-qmodel v1 2 8 1\n012\n0 0 0 0 0 0 0 0\n").is_err());
+        // Non-hex level.
+        assert!(QuantizedModel::from_text("tdam-qmodel v1 2 8 1\n01xz\n0 0 0 0 0 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn query_dimension_checked() {
+        let (model, _, _) = trained_model();
+        let q = QuantizedModel::from_model(&model, 2).unwrap();
+        let wrong = Hypervector::zeros(32);
+        assert!(matches!(
+            q.quantize_query(&wrong),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_vector_rejected() {
+        let empty = Hypervector::zeros(0);
+        assert!(equal_area_quantize(&empty, 2).is_err());
+    }
+}

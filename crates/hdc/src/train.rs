@@ -1,0 +1,281 @@
+//! OnlineHD-style training (Hernández-Cano et al., DATE 2021 — the
+//! paper's full-precision reference model \[35\]).
+//!
+//! Single-pass training with similarity-weighted updates: each encoded
+//! sample is compared against all class hypervectors; on a misprediction
+//! the sample is added to its true class scaled by `(1 − sim_true)` and
+//! subtracted from the mispredicted class scaled by `(1 − sim_pred)`.
+//! A few retraining epochs over the same data polish the boundaries.
+
+use crate::encoder::IdLevelEncoder;
+use crate::hypervector::Hypervector;
+use crate::HdcError;
+use serde::{Deserialize, Serialize};
+
+/// A trained full-precision HDC classification model.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tdam_hdc::datasets::{Dataset, DatasetKind};
+/// use tdam_hdc::encoder::IdLevelEncoder;
+/// use tdam_hdc::train::HdcModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ds = Dataset::generate(DatasetKind::Face, 50, 20, 1);
+/// let enc = IdLevelEncoder::new(2048, ds.features(), 32, (0.0, 1.0), 7)?;
+/// let model = HdcModel::train(&enc, &ds.train, ds.classes(), 3)?;
+/// let acc = model.accuracy(&enc, &ds.test)?;
+/// assert!(acc > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdcModel {
+    class_hvs: Vec<Hypervector>,
+    dims: usize,
+}
+
+impl HdcModel {
+    /// Trains a model: one online pass plus `retrain_epochs` refinement
+    /// passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for zero classes or empty
+    /// training data, and propagates encoding errors.
+    pub fn train(
+        encoder: &IdLevelEncoder,
+        samples: &[(Vec<f64>, usize)],
+        classes: usize,
+        retrain_epochs: usize,
+    ) -> Result<Self, HdcError> {
+        if classes == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "need at least one class",
+            });
+        }
+        if samples.is_empty() {
+            return Err(HdcError::InvalidConfig {
+                what: "training set is empty",
+            });
+        }
+        let dims = encoder.dims();
+        let mut model = Self {
+            class_hvs: vec![Hypervector::zeros(dims); classes],
+            dims,
+        };
+        // Pre-encode once; training revisits the same encodings.
+        let encoded: Vec<(Hypervector, usize)> = samples
+            .iter()
+            .map(|(x, label)| encoder.encode(x).map(|h| (h, *label)))
+            .collect::<Result<_, _>>()?;
+
+        // Initial pass: plain bundling so similarities are meaningful
+        // before online corrections start.
+        for (h, label) in &encoded {
+            model.class_hvs[*label].add_scaled(h, 1.0)?;
+        }
+        for _ in 0..retrain_epochs {
+            for (h, label) in &encoded {
+                model.update(h, *label)?;
+            }
+        }
+        Ok(model)
+    }
+
+    /// OnlineHD update with one encoded sample.
+    fn update(&mut self, h: &Hypervector, label: usize) -> Result<(), HdcError> {
+        let (pred, sim_pred) = self.classify_encoded(h)?;
+        if pred == label {
+            return Ok(());
+        }
+        let sim_true = self.similarity(h, label)?;
+        self.update_weighted(h, label, pred, 1.0 - sim_true as f32, 1.0 - sim_pred as f32)
+    }
+
+    /// Applies one explicit OnlineHD correction: adds `h` to `label`'s
+    /// class hypervector with weight `w_true` and subtracts it from the
+    /// mispredicted class `pred` with weight `w_pred`.
+    ///
+    /// This is the primitive that *quantitative* similarity hardware
+    /// enables (the paper's Sec. II-B point): the update weights come
+    /// from measured similarity values — e.g. the TD-AM's exact decoded
+    /// Hamming distances — not just a match/mismatch flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for out-of-range class indices.
+    pub fn update_weighted(
+        &mut self,
+        h: &Hypervector,
+        label: usize,
+        pred: usize,
+        w_true: f32,
+        w_pred: f32,
+    ) -> Result<(), HdcError> {
+        if label >= self.class_hvs.len() || pred >= self.class_hvs.len() {
+            return Err(HdcError::InvalidConfig {
+                what: "class index out of range",
+            });
+        }
+        self.class_hvs[label].add_scaled(h, w_true)?;
+        self.class_hvs[pred].add_scaled(h, -w_pred)?;
+        Ok(())
+    }
+
+    /// Dimensionality of the class hypervectors.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_hvs.len()
+    }
+
+    /// The class hypervectors.
+    pub fn class_hvs(&self) -> &[Hypervector] {
+        &self.class_hvs
+    }
+
+    /// Cosine similarity between an encoded sample and one class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for an unknown class or
+    /// zero-norm operands.
+    pub fn similarity(&self, h: &Hypervector, class: usize) -> Result<f64, HdcError> {
+        let class_hv = self.class_hvs.get(class).ok_or(HdcError::InvalidConfig {
+            what: "class index out of range",
+        })?;
+        if class_hv.norm() == 0.0 {
+            return Ok(0.0);
+        }
+        h.cosine(class_hv)
+    }
+
+    /// Classifies an already-encoded hypervector, returning the class and
+    /// its cosine similarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] if no class hypervector is
+    /// non-zero.
+    pub fn classify_encoded(&self, h: &Hypervector) -> Result<(usize, f64), HdcError> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, _) in self.class_hvs.iter().enumerate() {
+            let sim = self.similarity(h, i)?;
+            if best.map(|(_, s)| sim > s).unwrap_or(true) {
+                best = Some((i, sim));
+            }
+        }
+        best.ok_or(HdcError::EmptyModel)
+    }
+
+    /// Encodes and classifies a raw sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and classification errors.
+    pub fn classify(
+        &self,
+        encoder: &IdLevelEncoder,
+        sample: &[f64],
+    ) -> Result<(usize, f64), HdcError> {
+        let h = encoder.encode(sample)?;
+        self.classify_encoded(&h)
+    }
+
+    /// Accuracy over a labelled test set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classification errors; returns
+    /// [`HdcError::InvalidConfig`] for an empty test set.
+    pub fn accuracy(
+        &self,
+        encoder: &IdLevelEncoder,
+        test: &[(Vec<f64>, usize)],
+    ) -> Result<f64, HdcError> {
+        if test.is_empty() {
+            return Err(HdcError::InvalidConfig {
+                what: "test set is empty",
+            });
+        }
+        let mut correct = 0usize;
+        for (x, label) in test {
+            let (pred, _) = self.classify(encoder, x)?;
+            if pred == *label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / test.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetKind};
+
+    fn quick_setup(dims: usize) -> (Dataset, IdLevelEncoder) {
+        let ds = Dataset::generate(DatasetKind::Face, 40, 20, 11);
+        let enc = IdLevelEncoder::new(dims, ds.features(), 32, (0.0, 1.0), 5).unwrap();
+        (ds, enc)
+    }
+
+    #[test]
+    fn trains_above_chance_on_face() {
+        let (ds, enc) = quick_setup(1024);
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
+        let acc = model.accuracy(&enc, &ds.test).unwrap();
+        assert!(acc > 0.8, "FACE accuracy {acc} should be high");
+    }
+
+    #[test]
+    fn retraining_does_not_hurt() {
+        let (ds, enc) = quick_setup(1024);
+        let m0 = HdcModel::train(&enc, &ds.train, ds.classes(), 0).unwrap();
+        let m3 = HdcModel::train(&enc, &ds.train, ds.classes(), 3).unwrap();
+        let a0 = m0.accuracy(&enc, &ds.test).unwrap();
+        let a3 = m3.accuracy(&enc, &ds.test).unwrap();
+        assert!(a3 >= a0 - 0.05, "retrained {a3} vs bundled {a0}");
+    }
+
+    #[test]
+    fn higher_dims_help_on_isolet() {
+        let ds = Dataset::generate(DatasetKind::Isolet, 12, 6, 2);
+        let acc_at = |dims: usize| {
+            let enc = IdLevelEncoder::new(dims, ds.features(), 32, (0.0, 1.0), 5).unwrap();
+            let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
+            model.accuracy(&enc, &ds.test).unwrap()
+        };
+        let low = acc_at(128);
+        let high = acc_at(2048);
+        assert!(
+            high >= low,
+            "2048-dim accuracy {high} should not trail 128-dim {low}"
+        );
+        assert!(high > 1.5 / 26.0, "well above chance");
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let (_, enc) = quick_setup(256);
+        assert!(HdcModel::train(&enc, &[], 2, 0).is_err());
+        let ds = Dataset::generate(DatasetKind::Face, 2, 1, 0);
+        assert!(HdcModel::train(&enc, &ds.train, 0, 0).is_err());
+        let model = HdcModel::train(&enc, &ds.train, 2, 0).unwrap();
+        assert!(model.accuracy(&enc, &[]).is_err());
+    }
+
+    #[test]
+    fn model_dimensions_consistent() {
+        let (ds, enc) = quick_setup(512);
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1).unwrap();
+        assert_eq!(model.dims(), 512);
+        assert_eq!(model.classes(), 2);
+        assert!(model.class_hvs().iter().all(|h| h.dims() == 512));
+    }
+}

@@ -1,0 +1,282 @@
+//! Probability distributions built on [`rand`].
+//!
+//! Only the distributions the workspace actually needs are provided: normal
+//! (Box–Muller), log-normal, and truncated normal (rejection sampling with a
+//! clamping fallback for very tight truncation windows).
+
+use rand::Rng;
+
+/// A normal (Gaussian) distribution parameterised by mean and standard
+/// deviation.
+///
+/// Sampling uses the Box–Muller transform; each call to [`Normal::sample`]
+/// draws two uniforms and returns one variate (the second is discarded for
+/// simplicity — the workloads here are not sampling-bound).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tdam_num::Normal;
+///
+/// let n = Normal::new(1.0, 0.5).expect("valid parameters");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error returned when constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Normal {
+    /// Creates a normal distribution with the given `mean` and `std_dev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `std_dev` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(ParamError {
+                what: "non-finite mean or std_dev",
+            });
+        }
+        if std_dev < 0.0 {
+            return Err(ParamError {
+                what: "negative std_dev",
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Draws a standard-normal variate (`N(0, 1)`) via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The error function, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (absolute error below `1.5e-7`).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The standard normal cumulative distribution function `Φ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::dist::normal_cdf;
+///
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+/// assert!(normal_cdf(3.0) > 0.998);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// A log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// `mu` and `sigma` are the mean and standard deviation of the *underlying*
+/// normal, matching the convention of `rand_distr::LogNormal`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] under the same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Draws one (strictly positive) variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+/// A normal distribution truncated to `[lo, hi]`.
+///
+/// Used for device parameters that are physically bounded (e.g. a threshold
+/// voltage that programming guarantees stays within a window). Sampling is by
+/// rejection; after 64 rejected draws the sample is clamped, which only
+/// matters for pathologically tight windows many σ from the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the normal parameters are invalid or
+    /// `lo > hi`.
+    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if !(lo <= hi) {
+            return Err(ParamError {
+                what: "truncation bounds out of order",
+            });
+        }
+        Ok(Self {
+            inner: Normal::new(mean, std_dev)?,
+            lo,
+            hi,
+        })
+    }
+
+    /// Draws one variate guaranteed to lie in `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..64 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean - 3.0).abs() < 0.02, "mean {}", s.mean);
+        assert!((s.std_dev - 2.0).abs() < 0.02, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let n = Normal::new(1.5, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 1.5);
+        }
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let ln = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| ln.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median / 2f64.exp() - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn truncated_respects_bounds() {
+        let t = TruncatedNormal::new(0.0, 1.0, -0.5, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5000 {
+            let x = t.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_bad_bounds_rejected() {
+        assert!(TruncatedNormal::new(0.0, 1.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for x in [0.1, 0.7, 1.3, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn truncated_far_window_clamps() {
+        // Window 20σ away: rejection will fail, clamping must keep bounds.
+        let t = TruncatedNormal::new(0.0, 1.0, 20.0, 21.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = t.sample(&mut rng);
+        assert!((20.0..=21.0).contains(&x));
+    }
+}

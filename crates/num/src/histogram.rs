@@ -1,0 +1,200 @@
+//! Uniform-bin histograms for Monte Carlo result reporting (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniformly sized bins over `[lo, hi)`.
+///
+/// Samples below `lo` are counted into the first bin and samples at or above
+/// `hi` into the last bin, so no sample is silently dropped — Monte Carlo
+/// tail mass is exactly what the sensing-margin analysis cares about.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10).expect("valid range");
+/// for x in [0.5, 1.5, 1.7, 9.9] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[1], 2);
+/// assert_eq!(h.counts()[9], 1);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// Error constructing a [`Histogram`] with an invalid range or zero bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildHistogramError;
+
+impl core::fmt::Display for BuildHistogramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "histogram requires lo < hi and at least one bin")
+    }
+}
+
+impl std::error::Error for BuildHistogramError {}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildHistogramError`] if `lo >= hi`, either bound is
+    /// non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, BuildHistogramError> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() || bins == 0 {
+            return Err(BuildHistogramError);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Adds a sample, clamping out-of-range values into the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample in `xs`.
+    pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of samples in bin `i` (`0.0` when the histogram is empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of all samples that fall at or above `threshold`.
+    ///
+    /// Computed from the raw bins, so resolution is one bin width. This is
+    /// the "outside sensing margin" metric of Fig. 6.
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut n = 0u64;
+        for i in 0..self.counts.len() {
+            if self.bin_center(i) >= threshold {
+                n += self.counts[i];
+            }
+        }
+        n as f64 / self.total as f64
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{:>12.4e} | {bar} {c}\n", self.bin_center(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_ranges() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn fraction_at_or_above_counts_tail() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend_from_slice(&[1.0, 2.0, 8.4, 9.9]);
+        let f = h.fraction_at_or_above(8.0);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_nonempty() {
+        let mut h = Histogram::new(0.0, 1.0, 3).unwrap();
+        h.add(0.1);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+
+    proptest! {
+        #[test]
+        fn totals_match(xs in prop::collection::vec(-10.0f64..10.0, 0..500)) {
+            let mut h = Histogram::new(-5.0, 5.0, 13).unwrap();
+            h.extend_from_slice(&xs);
+            prop_assert_eq!(h.total(), xs.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Piecewise-linear interpolation over monotone grids.
+//!
+//! Used by the calibrated timing model ([`tdam`]'s `timing` module) to look
+//! up stage delay and energy as functions of supply voltage and load
+//! capacitance between the grid points extracted from circuit simulation.
+//!
+//! [`tdam`]: https://docs.rs/tdam
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional piecewise-linear function defined by sample points with
+/// strictly increasing x values.
+///
+/// Evaluation outside the grid is clamped linear extrapolation from the
+/// nearest segment (configurable via [`Interp1::eval_clamped`] vs
+/// [`Interp1::eval`]).
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::interp::Interp1;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Interp1::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(1.5), 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interp1 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// Error constructing an interpolant from an invalid grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildInterpError {
+    /// `xs` and `ys` differ in length.
+    LengthMismatch,
+    /// Fewer than two sample points were supplied.
+    TooFewPoints,
+    /// The x grid is not strictly increasing.
+    NotStrictlyIncreasing,
+}
+
+impl core::fmt::Display for BuildInterpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            Self::LengthMismatch => "x and y grids have different lengths",
+            Self::TooFewPoints => "need at least two points to interpolate",
+            Self::NotStrictlyIncreasing => "x grid must be strictly increasing",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for BuildInterpError {}
+
+impl Interp1 {
+    /// Builds an interpolant from paired samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildInterpError`].
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, BuildInterpError> {
+        if xs.len() != ys.len() {
+            return Err(BuildInterpError::LengthMismatch);
+        }
+        if xs.len() < 2 {
+            return Err(BuildInterpError::TooFewPoints);
+        }
+        if xs.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(BuildInterpError::NotStrictlyIncreasing);
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x`, extrapolating linearly beyond the
+    /// grid ends.
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = self.segment(x);
+        let (x0, x1) = (self.xs[i], self.xs[i + 1]);
+        let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Evaluates the interpolant at `x`, clamping to the grid range instead
+    /// of extrapolating.
+    pub fn eval_clamped(&self, x: f64) -> f64 {
+        let lo = self.xs[0];
+        let hi = *self.xs.last().expect("at least two points");
+        self.eval(x.clamp(lo, hi))
+    }
+
+    /// The x-range covered by the grid.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("at least two points"))
+    }
+
+    fn segment(&self, x: f64) -> usize {
+        match self
+            .xs
+            .binary_search_by(|p| p.partial_cmp(&x).expect("finite grid"))
+        {
+            Ok(i) => i.min(self.xs.len() - 2),
+            Err(0) => 0,
+            Err(i) if i >= self.xs.len() => self.xs.len() - 2,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// A bilinear interpolant on a rectangular grid (x-major storage).
+///
+/// Used for two-parameter lookups such as delay(V_DD, C_load). Out-of-range
+/// queries are clamped to the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interp2 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// `values[i * ys.len() + j]` is the sample at `(xs[i], ys[j])`.
+    values: Vec<f64>,
+}
+
+impl Interp2 {
+    /// Builds a bilinear interpolant; `values` is row-major with x as the
+    /// slow axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildInterpError`] if either grid is invalid or `values`
+    /// has the wrong length.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, values: Vec<f64>) -> Result<Self, BuildInterpError> {
+        if xs.len() < 2 || ys.len() < 2 {
+            return Err(BuildInterpError::TooFewPoints);
+        }
+        if xs.windows(2).any(|w| !(w[0] < w[1])) || ys.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(BuildInterpError::NotStrictlyIncreasing);
+        }
+        if values.len() != xs.len() * ys.len() {
+            return Err(BuildInterpError::LengthMismatch);
+        }
+        Ok(Self { xs, ys, values })
+    }
+
+    /// Evaluates at `(x, y)`, clamping to the grid.
+    pub fn eval_clamped(&self, x: f64, y: f64) -> f64 {
+        let x = x.clamp(self.xs[0], *self.xs.last().expect("grid"));
+        let y = y.clamp(self.ys[0], *self.ys.last().expect("grid"));
+        let i = find_segment(&self.xs, x);
+        let j = find_segment(&self.ys, y);
+        let (x0, x1) = (self.xs[i], self.xs[i + 1]);
+        let (y0, y1) = (self.ys[j], self.ys[j + 1]);
+        let tx = (x - x0) / (x1 - x0);
+        let ty = (y - y0) / (y1 - y0);
+        let ny = self.ys.len();
+        let v00 = self.values[i * ny + j];
+        let v01 = self.values[i * ny + j + 1];
+        let v10 = self.values[(i + 1) * ny + j];
+        let v11 = self.values[(i + 1) * ny + j + 1];
+        v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+    }
+}
+
+fn find_segment(grid: &[f64], x: f64) -> usize {
+    match grid.binary_search_by(|p| p.partial_cmp(&x).expect("finite grid")) {
+        Ok(i) => i.min(grid.len() - 2),
+        Err(0) => 0,
+        Err(i) if i >= grid.len() => grid.len() - 2,
+        Err(i) => i - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert_eq!(
+            Interp1::new(vec![0.0], vec![0.0]),
+            Err(BuildInterpError::TooFewPoints)
+        );
+        assert_eq!(
+            Interp1::new(vec![0.0, 0.0], vec![1.0, 2.0]),
+            Err(BuildInterpError::NotStrictlyIncreasing)
+        );
+        assert_eq!(
+            Interp1::new(vec![0.0, 1.0], vec![1.0]),
+            Err(BuildInterpError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn hits_knots_exactly() {
+        let f = Interp1::new(vec![0.0, 1.0, 3.0], vec![2.0, 4.0, -2.0]).unwrap();
+        assert_eq!(f.eval(0.0), 2.0);
+        assert_eq!(f.eval(1.0), 4.0);
+        assert_eq!(f.eval(3.0), -2.0);
+    }
+
+    #[test]
+    fn extrapolates_vs_clamps() {
+        let f = Interp1::new(vec![0.0, 1.0], vec![0.0, 10.0]).unwrap();
+        assert_eq!(f.eval(2.0), 20.0);
+        assert_eq!(f.eval_clamped(2.0), 10.0);
+        assert_eq!(f.eval(-1.0), -10.0);
+        assert_eq!(f.eval_clamped(-1.0), 0.0);
+    }
+
+    #[test]
+    fn bilinear_center() {
+        let f = Interp2::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0, 1.0, 2.0], // v(x,y) = x + y
+        )
+        .unwrap();
+        assert!((f.eval_clamped(0.5, 0.5) - 1.0).abs() < 1e-12);
+        assert!((f.eval_clamped(0.25, 0.75) - 1.0).abs() < 1e-12);
+        // Clamped outside.
+        assert!((f.eval_clamped(5.0, 5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_rejects_wrong_value_count() {
+        assert!(Interp2::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn within_convex_hull_of_neighbors(x in -0.5f64..3.5) {
+            let f = Interp1::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 5.0, 2.0, 8.0]).unwrap();
+            let v = f.eval_clamped(x);
+            prop_assert!((1.0..=8.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Numeric utilities shared across the FeFET TD-AM workspace.
+//!
+//! The approved offline dependency set does not include statistics crates
+//! (`rand_distr`, `statrs`, …), so this crate provides the small set of
+//! numeric building blocks the rest of the workspace needs:
+//!
+//! - [`dist`] — normal / log-normal / truncated-normal sampling built on
+//!   [`rand`] via the Box–Muller transform,
+//! - [`stats`] — descriptive statistics ([`stats::Summary`]) and percentiles,
+//! - [`histogram`] — uniform-bin histograms used by the Monte Carlo figures,
+//! - [`regression`] — ordinary least-squares line fits and R² (used to verify
+//!   the paper's delay-vs-mismatch linearity claim, Fig. 4(c)),
+//! - [`interp`] — piecewise-linear interpolation over monotone grids (used by
+//!   the calibrated timing model),
+//! - [`solve`] — scalar bisection root finding (threshold-crossing search).
+//!
+//! # Examples
+//!
+//! ```
+//! use tdam_num::stats::Summary;
+//!
+//! let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.mean, 2.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod histogram;
+pub mod interp;
+pub mod regression;
+pub mod solve;
+pub mod stats;
+
+pub use dist::{LogNormal, Normal, TruncatedNormal};
+pub use histogram::Histogram;
+pub use regression::LinearFit;
+pub use stats::Summary;

@@ -1,0 +1,173 @@
+//! Ordinary least-squares line fitting.
+//!
+//! The paper's central circuit-level claim (Fig. 4(c)) is that total chain
+//! delay is *linear* in the number of mismatched stages; tests across the
+//! workspace check linearity by fitting a line and asserting on R².
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `y ≈ slope * x + intercept` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (clamped).
+    pub r_squared: f64,
+}
+
+/// Error fitting a line: fewer than two points, mismatched lengths, or a
+/// degenerate (constant-x) input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitLineError {
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch,
+    /// Fewer than two points were provided.
+    TooFewPoints,
+    /// All x values are identical, so the slope is undefined.
+    DegenerateX,
+}
+
+impl core::fmt::Display for FitLineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            Self::LengthMismatch => "x and y slices have different lengths",
+            Self::TooFewPoints => "need at least two points to fit a line",
+            Self::DegenerateX => "all x values identical; slope undefined",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for FitLineError {}
+
+impl LinearFit {
+    /// Fits `y = slope * x + intercept` to the paired samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`FitLineError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tdam_num::LinearFit;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let xs = [0.0, 1.0, 2.0, 3.0];
+    /// let ys = [1.0, 3.0, 5.0, 7.0];
+    /// let fit = LinearFit::fit(&xs, &ys)?;
+    /// assert!((fit.slope - 2.0).abs() < 1e-12);
+    /// assert!((fit.intercept - 1.0).abs() < 1e-12);
+    /// assert!(fit.r_squared > 0.999_999);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, FitLineError> {
+        if xs.len() != ys.len() {
+            return Err(FitLineError::LengthMismatch);
+        }
+        if xs.len() < 2 {
+            return Err(FitLineError::TooFewPoints);
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+            syy += (y - my) * (y - my);
+        }
+        if sxx == 0.0 {
+            return Err(FitLineError::DegenerateX);
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let r_squared = if syy == 0.0 {
+            // Perfectly flat data is perfectly described by the flat fit.
+            1.0
+        } else {
+            ((sxy * sxy) / (sxx * syy)).clamp(0.0, 1.0)
+        };
+        Ok(Self {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 0.5).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 0.5).abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0, 2.0]),
+            Err(FitLineError::LengthMismatch)
+        );
+        assert_eq!(LinearFit::fit(&[1.0], &[1.0]), Err(FitLineError::TooFewPoints));
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(FitLineError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn flat_data_r2_is_one() {
+        let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_good_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.999);
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_arbitrary_lines(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.37).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            let fit = LinearFit::fit(&xs, &ys).unwrap();
+            prop_assert!((fit.slope - a).abs() < 1e-6 * (1.0 + a.abs()));
+            prop_assert!((fit.intercept - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+
+        #[test]
+        fn r2_bounded(ys in prop::collection::vec(-1e3f64..1e3, 3..50)) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let fit = LinearFit::fit(&xs, &ys).unwrap();
+            prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+        }
+    }
+}

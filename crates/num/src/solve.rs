@@ -1,0 +1,140 @@
+//! Scalar root finding.
+//!
+//! The circuit simulator uses [`bisect`] to pin down threshold-crossing
+//! times between transient samples, and device calibration uses it to invert
+//! monotone characteristics (e.g. find the write voltage that lands a target
+//! threshold voltage).
+
+/// Error from [`bisect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolveRootError {
+    /// `f(lo)` and `f(hi)` have the same sign, so no bracketed root exists.
+    NotBracketed {
+        /// Function value at the lower bound.
+        f_lo: f64,
+        /// Function value at the upper bound.
+        f_hi: f64,
+    },
+    /// The bounds were invalid (`lo >= hi` or non-finite).
+    InvalidBounds,
+}
+
+impl core::fmt::Display for SolveRootError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotBracketed { f_lo, f_hi } => {
+                write!(f, "root not bracketed: f(lo)={f_lo}, f(hi)={f_hi}")
+            }
+            Self::InvalidBounds => write!(f, "invalid bracket bounds"),
+        }
+    }
+}
+
+impl std::error::Error for SolveRootError {}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection to absolute x-tolerance
+/// `tol`.
+///
+/// The bracket must satisfy `sign(f(lo)) != sign(f(hi))`; a zero endpoint is
+/// returned immediately.
+///
+/// # Errors
+///
+/// Returns [`SolveRootError::NotBracketed`] when the endpoints do not
+/// bracket a root, and [`SolveRootError::InvalidBounds`] for a degenerate
+/// bracket.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::solve::bisect;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<f64, SolveRootError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(SolveRootError::InvalidBounds);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    let fb = f(b);
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(SolveRootError::NotBracketed { f_lo: fa, f_hi: fb });
+    }
+    // 200 halvings reduce any finite bracket far below any practical tol.
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) * 0.5 < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9), Ok(0.0));
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-9), Ok(1.0));
+    }
+
+    #[test]
+    fn unbracketed_rejected() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, SolveRootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert_eq!(
+            bisect(|x| x, 1.0, 0.0, 1e-9),
+            Err(SolveRootError::InvalidBounds)
+        );
+        assert_eq!(
+            bisect(|x| x, f64::NEG_INFINITY, 0.0, 1e-9),
+            Err(SolveRootError::InvalidBounds)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn finds_linear_roots(a in 0.1f64..10.0, b in -5.0f64..5.0) {
+            // Root of a*x + b is -b/a, which lies in [-50, 50].
+            let r = bisect(|x| a * x + b, -60.0, 60.0, 1e-12).unwrap();
+            prop_assert!((r + b / a).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Descriptive statistics over `f64` samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample: count, mean, standard deviation, extrema.
+///
+/// The standard deviation is the *sample* standard deviation (Bessel's
+/// correction, `n - 1` denominator); for `n <= 1` it is reported as `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::Summary;
+///
+/// let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean; `0.0` for an empty sample.
+    pub mean: f64,
+    /// Sample standard deviation; `0.0` for fewer than two samples.
+    pub std_dev: f64,
+    /// Smallest sample; `+inf` for an empty sample.
+    pub min: f64,
+    /// Largest sample; `-inf` for an empty sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs` in one pass (Welford's algorithm).
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in xs.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i as f64 + 1.0);
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let count = xs.len();
+        let std_dev = if count > 1 {
+            (m2 / (count as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        Self {
+            count,
+            mean: if count == 0 { 0.0 } else { mean },
+            std_dev,
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); `0.0` when the mean is
+    /// zero.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Returns the `q`-th percentile (0.0..=100.0) of `xs` by linear
+/// interpolation between closest ranks.
+///
+/// Returns `None` when `xs` is empty or `q` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam_num::stats::percentile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// ```
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = q / 100.0 * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Mean of `xs`; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::from_slice(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_slice(&[3.25]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 3.25);
+    }
+
+    #[test]
+    fn known_std_dev() {
+        // Sample std of [2,4,4,4,5,5,7,9] is sqrt(32/7).
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], 50.0), Some(1.0));
+        assert_eq!(percentile(&[1.0, 2.0], -1.0), None);
+        assert_eq!(percentile(&[1.0, 2.0], 101.0), None);
+    }
+
+    #[test]
+    fn cov_zero_mean() {
+        let s = Summary::from_slice(&[-1.0, 1.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_extrema(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_slice(&xs);
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn percentile_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+                               q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let p_lo = percentile(&xs, lo).unwrap();
+            let p_hi = percentile(&xs, hi).unwrap();
+            prop_assert!(p_lo <= p_hi + 1e-9);
+        }
+
+        #[test]
+        fn shift_invariance(xs in prop::collection::vec(-1e3f64..1e3, 2..100), c in -1e3f64..1e3) {
+            let s0 = Summary::from_slice(&xs);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+            let s1 = Summary::from_slice(&shifted);
+            prop_assert!((s1.mean - (s0.mean + c)).abs() < 1e-6);
+            prop_assert!((s1.std_dev - s0.std_dev).abs() < 1e-6);
+        }
+    }
+}

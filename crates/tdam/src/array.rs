@@ -1,0 +1,580 @@
+//! The M×N TD-AM array (paper Fig. 3(a)).
+//!
+//! `M` delay chains share vertical search lines, so one query is compared
+//! against all stored vectors in parallel; each row's accumulated delay is
+//! digitized by a per-row counter TDC. Search latency is set by the
+//! slowest row in each step plus the conversion; search energy sums the
+//! per-row chain energies and conversions (the shared SL drivers are
+//! counted once, not per row).
+
+use crate::chain::{ChainResult, DelayChain};
+use crate::config::ArrayConfig;
+use crate::energy::EnergyBreakdown;
+use crate::engine::{SearchMetrics, SimilarityEngine};
+use crate::tdc::CounterTdc;
+use crate::timing::StageTiming;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of programming one row through write-verify.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramRowReport {
+    /// Total erase+write pulse pairs across all FeFETs in the row.
+    pub pulse_pairs: usize,
+    /// Total programming energy, joules.
+    pub energy: f64,
+    /// Largest `|V_TH achieved − target|` in the row, volts.
+    pub worst_vth_error: f64,
+}
+
+/// Per-row outcome of an array search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowResult {
+    /// Raw chain result.
+    pub chain: ChainResult,
+    /// The TDC count for this row.
+    pub count: u64,
+    /// The mismatch count the sensing circuitry decodes from the delay.
+    pub decoded_mismatches: usize,
+}
+
+/// Outcome of an array search across all rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Per-row results, in row order.
+    pub rows: Vec<RowResult>,
+    /// Total energy for the search.
+    pub energy: EnergyBreakdown,
+    /// Full search-cycle latency: precharge + search-line settle +
+    /// slowest rising step + slowest falling step + TDC latch.
+    pub latency: f64,
+}
+
+impl SearchOutcome {
+    /// The row with the smallest decoded mismatch count (ties broken by
+    /// lowest index); `None` for an empty array.
+    pub fn best_row(&self) -> Option<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.decoded_mismatches)
+            .map(|(i, _)| i)
+    }
+
+    /// Decoded mismatch counts per row.
+    pub fn decoded(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.decoded_mismatches).collect()
+    }
+}
+
+/// A TD-AM array of `rows` delay chains sharing search lines.
+///
+/// # Examples
+///
+/// ```
+/// use tdam::array::TdamArray;
+/// use tdam::config::ArrayConfig;
+/// use tdam::engine::SimilarityEngine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = ArrayConfig::paper_default().with_stages(4).with_rows(2);
+/// let mut am = TdamArray::new(cfg)?;
+/// am.store(0, &[3, 2, 1, 0])?;
+/// am.store(1, &[0, 0, 1, 1])?;
+/// let out = TdamArray::search(&am, &[0, 0, 1, 2])?;
+/// assert_eq!(out.best_row(), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdamArray {
+    config: ArrayConfig,
+    timing: StageTiming,
+    tdc: CounterTdc,
+    chains: Vec<DelayChain>,
+}
+
+impl TdamArray {
+    /// Creates an array with every row initialized to all-zero vectors and
+    /// an analytically calibrated timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::InvalidConfig`] for invalid configurations.
+    pub fn new(config: ArrayConfig) -> Result<Self, TdamError> {
+        let timing = StageTiming::analytic(&config.tech, config.c_load)?;
+        Self::with_timing(config, timing)
+    }
+
+    /// Creates an array with an explicit timing calibration.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdamArray::new`].
+    pub fn with_timing(config: ArrayConfig, timing: StageTiming) -> Result<Self, TdamError> {
+        config.validate()?;
+        let tdc = CounterTdc::matched(&timing)?;
+        let zeros = vec![0u8; config.stages];
+        let chains = (0..config.rows)
+            .map(|_| DelayChain::with_timing(&zeros, &config, timing))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            config,
+            timing,
+            tdc,
+            chains,
+        })
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// The stage timing calibration.
+    pub fn timing(&self) -> &StageTiming {
+        &self.timing
+    }
+
+    /// The per-row TDC model.
+    pub fn tdc(&self) -> &CounterTdc {
+        &self.tdc
+    }
+
+    /// The vector stored at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::RowOutOfBounds`] for invalid rows.
+    pub fn stored(&self, row: usize) -> Result<Vec<u8>, TdamError> {
+        self.chains
+            .get(row)
+            .map(DelayChain::stored)
+            .ok_or(TdamError::RowOutOfBounds {
+                row,
+                rows: self.config.rows,
+            })
+    }
+
+    /// Replaces a row with pre-built (e.g. variation-perturbed) cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::RowOutOfBounds`] or shape errors from
+    /// [`DelayChain::from_cells`].
+    pub fn store_cells(
+        &mut self,
+        row: usize,
+        cells: Vec<crate::cell::Cell>,
+    ) -> Result<(), TdamError> {
+        if row >= self.chains.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.config.rows,
+            });
+        }
+        self.chains[row] = DelayChain::from_cells(cells, &self.config, self.timing)?;
+        Ok(())
+    }
+
+    /// Programs a row by actually write-verifying FeFET devices: every
+    /// cell's `F_A` is programmed to its stored state and `F_B` to the
+    /// reversed state through the erase + write-verify flow of
+    /// [`tdam_fefet::programming`], and the *achieved* (quantized-by-
+    /// domain-granularity) threshold voltages are installed in the row's
+    /// cells. Returns the aggregate pulse count and write energy.
+    ///
+    /// This is the write path a real deployment pays before any search;
+    /// [`SimilarityEngine::store`] is the idealized (nominal-threshold)
+    /// shortcut.
+    ///
+    /// # Errors
+    ///
+    /// Returns row/shape/range errors like `store`, and
+    /// [`TdamError::InvalidConfig`] if a device fails write-verify.
+    pub fn program_row(
+        &mut self,
+        row: usize,
+        values: &[u8],
+    ) -> Result<ProgramRowReport, TdamError> {
+        use tdam_fefet::programming::{program_vth_with_report, ProgramConfig};
+        use tdam_fefet::preisach::PreisachParams;
+        use tdam_fefet::{Fefet, FefetParams};
+
+        if row >= self.chains.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.config.rows,
+            });
+        }
+        if values.len() != self.config.stages {
+            return Err(TdamError::LengthMismatch {
+                got: values.len(),
+                expected: self.config.stages,
+            });
+        }
+        self.config.encoding.validate(values)?;
+
+        let ladder = crate::cell::VoltageLadder::for_encoding(self.config.encoding);
+        let levels = self.config.encoding.levels();
+        let dev_params = FefetParams {
+            preisach: PreisachParams {
+                domains: 512,
+                ..PreisachParams::default()
+            },
+            ..FefetParams::default()
+        };
+        let prog_cfg = ProgramConfig::default();
+        let mut report = ProgramRowReport {
+            pulse_pairs: 0,
+            energy: 0.0,
+            worst_vth_error: 0.0,
+        };
+        let mut cells = Vec::with_capacity(values.len());
+        for &v in values {
+            let mut dev_a = Fefet::new(dev_params);
+            let mut dev_b = Fefet::new(dev_params);
+            let target_a = ladder.vth(v);
+            let target_b = ladder.vth(levels - 1 - v);
+            let rep_a = program_vth_with_report(&mut dev_a, target_a, &prog_cfg)
+                .map_err(|_| TdamError::InvalidConfig {
+                    what: "write-verify failed while programming a row",
+                })?;
+            let rep_b = program_vth_with_report(&mut dev_b, target_b, &prog_cfg)
+                .map_err(|_| TdamError::InvalidConfig {
+                    what: "write-verify failed while programming a row",
+                })?;
+            report.pulse_pairs += rep_a.pulse_pairs + rep_b.pulse_pairs;
+            report.energy += rep_a.energy + rep_b.energy;
+            report.worst_vth_error = report
+                .worst_vth_error
+                .max((rep_a.achieved_vth - target_a).abs())
+                .max((rep_b.achieved_vth - target_b).abs());
+            cells.push(crate::cell::Cell::with_vth(
+                v,
+                self.config.encoding,
+                rep_a.achieved_vth,
+                rep_b.achieved_vth,
+            )?);
+        }
+        self.chains[row] = DelayChain::from_cells(cells, &self.config, self.timing)?;
+        Ok(report)
+    }
+
+    /// Ages every cell in the array through the given lifetime: all
+    /// threshold voltages contract toward the window center per the
+    /// retention/endurance models (see [`tdam_fefet::retention`]), so
+    /// subsequent searches see end-of-life margins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-construction errors (none for valid states).
+    pub fn age(&mut self, lifetime: &tdam_fefet::retention::Lifetime) -> Result<(), TdamError> {
+        let chains = std::mem::take(&mut self.chains);
+        for chain in chains {
+            let aged_cells = chain
+                .stored()
+                .iter()
+                .zip(chain_cells(&chain))
+                .map(|(&value, (vth_a, vth_b))| {
+                    crate::cell::Cell::with_vth(
+                        value,
+                        self.config.encoding,
+                        lifetime.age_vth(vth_a),
+                        lifetime.age_vth(vth_b),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            self.chains
+                .push(DelayChain::from_cells(aged_cells, &self.config, self.timing)?);
+        }
+        Ok(())
+    }
+
+    /// Searches a query against all rows, without the mutable-engine
+    /// plumbing of the [`SimilarityEngine`] trait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::LengthMismatch`] or
+    /// [`TdamError::ValueOutOfRange`] for malformed queries.
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        let mut rows = Vec::with_capacity(self.chains.len());
+        let mut energy = EnergyBreakdown::default();
+        let mut worst_rise: f64 = 0.0;
+        let mut worst_fall: f64 = 0.0;
+        for chain in &self.chains {
+            let chain_result = chain.evaluate(query)?;
+            let count = self.tdc.convert(chain_result.total_delay);
+            let decoded = self.tdc.decode_mismatches(
+                &self.timing,
+                self.config.stages,
+                chain_result.total_delay,
+            );
+            // Row energies, minus the shared SL drivers (added once below).
+            let mut row_energy = chain_result.energy;
+            row_energy.search_lines = 0.0;
+            row_energy.tdc = self.tdc.conversion_energy(chain_result.total_delay);
+            energy.accumulate(&row_energy);
+            worst_rise = worst_rise.max(chain_result.rising_delay);
+            worst_fall = worst_fall.max(chain_result.falling_delay);
+            rows.push(RowResult {
+                chain: chain_result,
+                count,
+                decoded_mismatches: decoded,
+            });
+        }
+        // Shared search-line drivers, once per column pair.
+        energy.search_lines = self.config.stages as f64 * self.timing.e_sl;
+        // Full search cycle: precharge, search-line settle (pulse launch
+        // window), both propagation steps, and the final TDC latch.
+        let latency = self.config.tech.t_precharge
+            + self.config.tech.t_launch
+            + worst_rise
+            + worst_fall
+            + self.tdc.resolution;
+        Ok(SearchOutcome {
+            rows,
+            energy,
+            latency,
+        })
+    }
+}
+
+/// Extracts each cell's actual `(F_A, F_B)` thresholds from a chain.
+fn chain_cells(chain: &DelayChain) -> Vec<(f64, f64)> {
+    chain.cells().iter().map(|c| c.vth_actual()).collect()
+}
+
+impl SimilarityEngine for TdamArray {
+    fn name(&self) -> &str {
+        "This work (4T-2FeFET TD-AM)"
+    }
+
+    fn is_quantitative(&self) -> bool {
+        true
+    }
+
+    fn rows(&self) -> usize {
+        self.config.rows
+    }
+
+    fn width(&self) -> usize {
+        self.config.stages
+    }
+
+    fn bits_per_element(&self) -> u8 {
+        self.config.encoding.bits()
+    }
+
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        if row >= self.chains.len() {
+            return Err(TdamError::RowOutOfBounds {
+                row,
+                rows: self.config.rows,
+            });
+        }
+        self.chains[row] = DelayChain::with_timing(values, &self.config, self.timing)?;
+        Ok(())
+    }
+
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        let outcome = TdamArray::search(self, query)?;
+        Ok(SearchMetrics {
+            best_row: outcome.best_row(),
+            distances: outcome
+                .rows
+                .iter()
+                .map(|r| Some(r.decoded_mismatches))
+                .collect(),
+            energy: outcome.energy.total(),
+            latency: outcome.latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn array(rows: usize, stages: usize) -> TdamArray {
+        TdamArray::new(
+            ArrayConfig::paper_default()
+                .with_rows(rows)
+                .with_stages(stages),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_and_retrieve() {
+        let mut am = array(2, 4);
+        am.store(1, &[1, 2, 3, 0]).unwrap();
+        assert_eq!(am.stored(1).unwrap(), vec![1, 2, 3, 0]);
+        assert_eq!(am.stored(0).unwrap(), vec![0, 0, 0, 0]);
+        assert!(am.stored(2).is_err());
+    }
+
+    #[test]
+    fn best_row_is_nearest() {
+        let mut am = array(4, 8);
+        am.store(0, &[0, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        am.store(1, &[1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        am.store(2, &[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
+        am.store(3, &[3, 3, 3, 3, 3, 3, 3, 3]).unwrap();
+        let out = TdamArray::search(&am, &[1, 1, 1, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(out.best_row(), Some(2));
+        assert_eq!(out.decoded(), vec![3, 5, 1, 8]);
+    }
+
+    #[test]
+    fn decoded_equals_ground_truth_nominal() {
+        let mut am = array(3, 16);
+        am.store(0, &[2; 16]).unwrap();
+        am.store(1, &[0; 16]).unwrap();
+        am.store(2, &[3; 16]).unwrap();
+        let q: Vec<u8> = (0..16).map(|i| (i % 4) as u8).collect();
+        let out = TdamArray::search(&am, &q).unwrap();
+        for r in &out.rows {
+            assert_eq!(r.decoded_mismatches, r.chain.mismatches);
+        }
+    }
+
+    #[test]
+    fn invalid_operations_rejected() {
+        let mut am = array(1, 4);
+        assert!(am.store(5, &[0; 4]).is_err());
+        assert!(am.store(0, &[0; 3]).is_err());
+        assert!(am.store(0, &[9; 4]).is_err());
+        assert!(TdamArray::search(&am, &[0; 3]).is_err());
+    }
+
+    #[test]
+    fn latency_tracks_worst_row() {
+        let mut am = array(2, 16);
+        am.store(0, &[1; 16]).unwrap(); // will fully match
+        am.store(1, &[2; 16]).unwrap(); // 16 mismatches
+        let out = TdamArray::search(&am, &[1; 16]).unwrap();
+        let worst = out.rows[1].chain.total_delay;
+        assert!(out.latency >= worst, "latency must cover the slowest row");
+    }
+
+    #[test]
+    fn energy_includes_tdc_and_shared_sl() {
+        let am = array(2, 8);
+        let out = TdamArray::search(&am, &[1; 8]).unwrap();
+        assert!(out.energy.tdc > 0.0);
+        assert!(out.energy.search_lines > 0.0);
+        // SLs are shared: same as a 1-row array of the same width.
+        let am1 = array(1, 8);
+        let out1 = TdamArray::search(&am1, &[1; 8]).unwrap();
+        assert!((out.energy.search_lines - out1.energy.search_lines).abs() < 1e-24);
+    }
+
+    #[test]
+    fn aging_preserves_then_breaks_decode() {
+        use tdam_fefet::retention::Lifetime;
+        let mut am = array(1, 32);
+        am.store(0, &[1; 32]).unwrap();
+        let q = vec![2u8; 32];
+        let fresh = TdamArray::search(&am, &q).unwrap().decoded()[0];
+        assert_eq!(fresh, 32);
+
+        // Ten-year retention: decode still exact.
+        let mut decade = Lifetime::fresh();
+        decade.seconds = 3.15e8;
+        am.age(&decade).unwrap();
+        let aged = TdamArray::search(&am, &q).unwrap().decoded()[0];
+        assert_eq!(aged, 32, "10-year-aged array must still decode");
+
+        // Deep fatigue: the window collapses and the count degrades.
+        let mut am2 = array(1, 32);
+        am2.store(0, &[1; 32]).unwrap();
+        let mut worn = Lifetime::fresh();
+        worn.cycles = 1e13;
+        am2.age(&worn).unwrap();
+        let broken = TdamArray::search(&am2, &q).unwrap().decoded()[0];
+        assert!(
+            broken < 32,
+            "a fully fatigued window cannot hold the ladder apart: {broken}"
+        );
+    }
+
+    #[test]
+    fn program_row_write_verify_path() {
+        let mut am = array(2, 8);
+        let values = [0u8, 1, 2, 3, 3, 2, 1, 0];
+        let report = am.program_row(0, &values).unwrap();
+        assert!(report.pulse_pairs >= 16, "at least one pair per FeFET");
+        assert!(report.energy > 1e-13, "write energy {:.3e}", report.energy);
+        assert!(
+            report.worst_vth_error <= 10e-3 + 1e-12,
+            "verify tolerance respected: {:.4e}",
+            report.worst_vth_error
+        );
+        // The programmed row still searches correctly: achieved thresholds
+        // are within the sensing margin.
+        let out = TdamArray::search(&am, &values).unwrap();
+        assert_eq!(out.rows[0].decoded_mismatches, 0);
+        let mut q = values;
+        q[3] = 0;
+        let out = TdamArray::search(&am, &q).unwrap();
+        assert_eq!(out.rows[0].decoded_mismatches, 1);
+    }
+
+    #[test]
+    fn program_row_validates_input() {
+        let mut am = array(1, 4);
+        assert!(am.program_row(3, &[0; 4]).is_err());
+        assert!(am.program_row(0, &[0; 3]).is_err());
+        assert!(am.program_row(0, &[9; 4]).is_err());
+    }
+
+    #[test]
+    fn writes_cost_far_more_than_searches() {
+        let mut am = array(1, 16);
+        let report = am.program_row(0, &[1; 16]).unwrap();
+        let search = TdamArray::search(&am, &[1; 16]).unwrap();
+        assert!(
+            report.energy > 50.0 * search.energy.total(),
+            "write {:.3e} vs search {:.3e}",
+            report.energy,
+            search.energy.total()
+        );
+    }
+
+    #[test]
+    fn engine_trait_roundtrip() {
+        let mut am = array(2, 4);
+        SimilarityEngine::store(&mut am, 0, &[1, 2, 3, 0]).unwrap();
+        let metrics = SimilarityEngine::search(&mut am, &[1, 2, 3, 0]).unwrap();
+        assert_eq!(metrics.best_row, Some(0));
+        assert_eq!(metrics.distances[0], Some(0));
+        assert!(metrics.energy > 0.0);
+        assert!(metrics.latency > 0.0);
+        assert!(am.is_quantitative());
+        assert_eq!(am.total_bits(), 2 * 4 * 2);
+    }
+
+    proptest! {
+        #[test]
+        fn search_never_misranks_nominal(
+            stored in prop::collection::vec(prop::collection::vec(0u8..4, 8), 3),
+            query in prop::collection::vec(0u8..4, 8),
+        ) {
+            let mut am = array(3, 8);
+            for (i, row) in stored.iter().enumerate() {
+                am.store(i, row).unwrap();
+            }
+            let out = TdamArray::search(&am, &query).unwrap();
+            let best = out.best_row().unwrap();
+            let truth: Vec<usize> = stored
+                .iter()
+                .map(|row| row.iter().zip(&query).filter(|(a, b)| a != b).count())
+                .collect();
+            let min_truth = *truth.iter().min().unwrap();
+            prop_assert_eq!(truth[best], min_truth);
+        }
+    }
+}

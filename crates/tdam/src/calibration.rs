@@ -1,0 +1,172 @@
+//! Multi-point circuit-extracted calibration with interpolation.
+//!
+//! [`StageTiming::from_circuit`](crate::timing::StageTiming::from_circuit)
+//! runs two transient simulations per operating point — fine once,
+//! wasteful inside sweeps. A [`CalibrationTable`] extracts the timing at
+//! a grid of `(V_DD, C_load)` points up front and answers any operating
+//! point inside the grid by bilinear interpolation, so voltage-scaling
+//! and capacitor sweeps get circuit-grade numbers at lookup cost.
+
+use crate::config::TechParams;
+use crate::timing::StageTiming;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+use tdam_num::interp::Interp2;
+
+/// A grid of circuit-extracted stage timings with bilinear lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationTable {
+    vdd_grid: Vec<f64>,
+    c_grid: Vec<f64>,
+    d_inv: Interp2,
+    d_c: Interp2,
+    tech: TechParams,
+}
+
+impl CalibrationTable {
+    /// Extracts the timing at every `(vdd, c_load)` grid point by circuit
+    /// simulation and builds the interpolants. Both grids must be strictly
+    /// increasing with at least two points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::InvalidConfig`] for bad grids and propagates
+    /// circuit failures.
+    pub fn extract(
+        tech: &TechParams,
+        vdd_grid: Vec<f64>,
+        c_grid: Vec<f64>,
+    ) -> Result<Self, TdamError> {
+        if vdd_grid.len() < 2 || c_grid.len() < 2 {
+            return Err(TdamError::InvalidConfig {
+                what: "calibration grids need at least two points each",
+            });
+        }
+        let mut d_inv_vals = Vec::with_capacity(vdd_grid.len() * c_grid.len());
+        let mut d_c_vals = Vec::with_capacity(vdd_grid.len() * c_grid.len());
+        for &vdd in &vdd_grid {
+            for &c in &c_grid {
+                let t = StageTiming::from_circuit(&tech.with_vdd(vdd), c)?;
+                d_inv_vals.push(t.d_inv);
+                d_c_vals.push(t.d_c);
+            }
+        }
+        let mk = |vals: Vec<f64>| {
+            Interp2::new(vdd_grid.clone(), c_grid.clone(), vals).map_err(|_| {
+                TdamError::InvalidConfig {
+                    what: "calibration grids must be strictly increasing",
+                }
+            })
+        };
+        Ok(Self {
+            d_inv: mk(d_inv_vals)?,
+            d_c: mk(d_c_vals)?,
+            vdd_grid,
+            c_grid,
+            tech: *tech,
+        })
+    }
+
+    /// The timing at an operating point (clamped to the grid), with the
+    /// energy terms from the analytic switched-capacitance expressions at
+    /// that point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analytic-model validation errors.
+    pub fn timing_at(&self, vdd: f64, c_load: f64) -> Result<StageTiming, TdamError> {
+        let analytic = StageTiming::analytic(&self.tech.with_vdd(vdd), c_load)?;
+        Ok(StageTiming {
+            d_inv: self.d_inv.eval_clamped(vdd, c_load),
+            d_c: self.d_c.eval_clamped(vdd, c_load),
+            ..analytic
+        })
+    }
+
+    /// The calibrated supply-voltage range.
+    pub fn vdd_range(&self) -> (f64, f64) {
+        (self.vdd_grid[0], *self.vdd_grid.last().expect("grid"))
+    }
+
+    /// The calibrated load-capacitance range.
+    pub fn c_load_range(&self) -> (f64, f64) {
+        (self.c_grid[0], *self.c_grid.last().expect("grid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CalibrationTable {
+        CalibrationTable::extract(
+            &TechParams::nominal_40nm(),
+            vec![0.8, 1.1],
+            vec![6e-15, 24e-15],
+        )
+        .expect("extraction")
+    }
+
+    #[test]
+    fn grid_points_match_direct_extraction() {
+        let t = table();
+        let direct = StageTiming::from_circuit(&TechParams::nominal_40nm(), 6e-15).unwrap();
+        let looked_up = t.timing_at(1.1, 6e-15).unwrap();
+        assert!((looked_up.d_inv - direct.d_inv).abs() < 1e-15);
+        assert!((looked_up.d_c - direct.d_c).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interpolated_point_is_between_corners() {
+        let t = table();
+        let lo = t.timing_at(0.8, 6e-15).unwrap().d_c;
+        let hi = t.timing_at(1.1, 6e-15).unwrap().d_c;
+        let mid = t.timing_at(0.95, 6e-15).unwrap().d_c;
+        let (lo, hi) = if lo < hi { (lo, hi) } else { (hi, lo) };
+        assert!(
+            (lo..=hi).contains(&mid),
+            "interpolation must stay within the corners: {lo:e} {mid:e} {hi:e}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let t = table();
+        let at_edge = t.timing_at(1.1, 24e-15).unwrap();
+        let beyond = t.timing_at(2.0, 100e-15).unwrap();
+        assert!((at_edge.d_c - beyond.d_c).abs() < 1e-15);
+        assert_eq!(t.vdd_range(), (0.8, 1.1));
+        assert_eq!(t.c_load_range(), (6e-15, 24e-15));
+    }
+
+    #[test]
+    fn interpolation_tracks_direct_extraction_between_points() {
+        // The real test of the table: a point the grid never simulated
+        // should still be close to a fresh extraction.
+        let t = table();
+        let direct = StageTiming::from_circuit(
+            &TechParams::nominal_40nm().with_vdd(0.95),
+            12e-15,
+        )
+        .unwrap();
+        let interp = t.timing_at(0.95, 12e-15).unwrap();
+        let err = (interp.d_c - direct.d_c).abs() / direct.d_c;
+        assert!(
+            err < 0.25,
+            "bilinear d_C {:.3e} vs direct {:.3e} ({:.0}% off)",
+            interp.d_c,
+            direct.d_c,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn bad_grids_rejected() {
+        let tech = TechParams::nominal_40nm();
+        assert!(CalibrationTable::extract(&tech, vec![1.1], vec![6e-15, 12e-15]).is_err());
+        assert!(
+            CalibrationTable::extract(&tech, vec![1.1, 0.8], vec![6e-15, 12e-15]).is_err(),
+            "non-increasing grid must be rejected"
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! Full circuit-level simulation of a delay chain (Fig. 4).
+//!
+//! Delay chains are feed-forward: each stage's output drives only the next
+//! stage's inverter gate. This module exploits that by simulating one
+//! stage-sized circuit at a time and handing the sampled output waveform
+//! to the next stage as a PWL source — the numerical behaviour (edge
+//! slew propagation, partial-swing errors) is preserved without ever
+//! assembling a chain-sized matrix, so 32–128-stage transients finish in
+//! milliseconds.
+//!
+//! Both operation steps of the 2-step scheme are simulated: step I sends a
+//! rising edge with odd stages deactivated (their MN forced to `V_DD` by
+//! `V_SL0` on both search lines), step II sends a falling edge with even
+//! stages deactivated.
+
+use crate::cell::Cell;
+use crate::config::ArrayConfig;
+use crate::stage::{build_stage_netlist, MnDrive};
+use crate::TdamError;
+use tdam_ckt::analysis::{TranConfig, Transient};
+use tdam_ckt::netlist::Netlist;
+use tdam_ckt::waveform::{Edge, Trace, Waveform};
+
+/// Which operation step to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Step I: rising input edge, even stages active.
+    RisingEven,
+    /// Step II: falling input edge, odd stages active.
+    FallingOdd,
+}
+
+/// Result of circuit-simulating one step through the whole chain.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// 50% input-edge to 50% output-edge delay, seconds.
+    pub delay: f64,
+    /// Supply energy summed over all stages, joules.
+    pub supply_energy: f64,
+    /// The waveform at the final stage output.
+    pub output: Trace,
+}
+
+/// Result of a full 2-step circuit evaluation.
+#[derive(Debug, Clone)]
+pub struct CircuitChainResult {
+    /// Step-I result.
+    pub rising: StepResult,
+    /// Step-II result.
+    pub falling: StepResult,
+}
+
+impl CircuitChainResult {
+    /// Total delay `rising + falling`, seconds.
+    pub fn total_delay(&self) -> f64 {
+        self.rising.delay + self.falling.delay
+    }
+
+    /// Total supply energy over both steps, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.rising.supply_energy + self.falling.supply_energy
+    }
+}
+
+/// A circuit-level delay chain built from explicit cells.
+#[derive(Debug, Clone)]
+pub struct CircuitChain {
+    cells: Vec<Cell>,
+    config: ArrayConfig,
+}
+
+impl CircuitChain {
+    /// Builds a circuit chain storing `values` with nominal cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors as [`DelayChain::new`](crate::chain::DelayChain::new).
+    pub fn new(values: &[u8], config: &ArrayConfig) -> Result<Self, TdamError> {
+        config.validate()?;
+        if values.len() != config.stages {
+            return Err(TdamError::LengthMismatch {
+                got: values.len(),
+                expected: config.stages,
+            });
+        }
+        let cells = values
+            .iter()
+            .map(|&v| Cell::new(v, config.encoding))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            cells,
+            config: *config,
+        })
+    }
+
+    /// Builds a circuit chain from explicit (possibly perturbed) cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::LengthMismatch`] for a wrong cell count.
+    pub fn from_cells(cells: Vec<Cell>, config: &ArrayConfig) -> Result<Self, TdamError> {
+        config.validate()?;
+        if cells.len() != config.stages {
+            return Err(TdamError::LengthMismatch {
+                got: cells.len(),
+                expected: config.stages,
+            });
+        }
+        Ok(Self {
+            cells,
+            config: *config,
+        })
+    }
+
+    /// Simulates one step of the 2-step scheme against `query`.
+    ///
+    /// Active stages whose cell mismatches have their MN forced low
+    /// (mismatch) and matching ones high — the cell-level MN dynamics are
+    /// validated separately in [`crate::cell`] and [`crate::stage`]; forcing
+    /// keeps each stage circuit at five nodes so 128-stage chains remain
+    /// fast. Pass `with_cells = true` to include the full 2-FeFET cell in
+    /// every active stage instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit failures and query validation errors.
+    pub fn simulate_step(
+        &self,
+        query: &[u8],
+        step: Step,
+        with_cells: bool,
+    ) -> Result<StepResult, TdamError> {
+        if query.len() != self.cells.len() {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.cells.len(),
+            });
+        }
+        self.config.encoding.validate(query)?;
+        let tech = &self.config.tech;
+        let vdd = tech.vdd;
+
+        // Launch edge at t = 2 ns (compute phase settled).
+        let t_edge = 2.0e-9;
+        let (v_from, v_to) = match step {
+            Step::RisingEven => (0.0, vdd),
+            Step::FallingOdd => (vdd, 0.0),
+        };
+        let mut input_wave = Waveform::Pwl(vec![
+            (0.0, v_from),
+            (t_edge, v_from),
+            (t_edge + 20e-12, v_to),
+        ]);
+        let mut input_edge_kind = match step {
+            Step::RisingEven => Edge::Rising,
+            Step::FallingOdd => Edge::Falling,
+        };
+
+        // Generous per-stage horizon: edge launch + mismatch penalty bound.
+        let t_stage = t_edge
+            + 40.0
+                * (crate::timing::StageTiming::analytic(tech, self.config.c_load)?.d_c
+                    + 4.0 * crate::timing::StageTiming::analytic(tech, self.config.c_load)?.d_inv)
+            + 1.0e-9;
+
+        let mut t_in_edge = None;
+        let mut energy = 0.0;
+        let mut output = Trace::default();
+
+        for (j, cell) in self.cells.iter().enumerate() {
+            let active = match step {
+                Step::RisingEven => j % 2 == 0,
+                Step::FallingOdd => j % 2 == 1,
+            };
+            let outcome = cell.evaluate(query[j])?;
+            let drive = if !active {
+                MnDrive::ForcedMatch
+            } else if with_cells {
+                MnDrive::Cell {
+                    cell: cell.clone(),
+                    query: query[j],
+                }
+            } else if outcome.is_match() {
+                MnDrive::ForcedMatch
+            } else {
+                MnDrive::ForcedMismatch
+            };
+            let nl = build_stage_netlist(tech, self.config.c_load, &drive, input_wave.clone())?;
+            let res = Transient::new(&nl, TranConfig::until(t_stage).with_max_step(3e-12)).run()?;
+            let in_trace = res.trace("in")?;
+            if t_in_edge.is_none() {
+                t_in_edge = in_trace.first_crossing(vdd / 2.0, input_edge_kind);
+            }
+            energy += res.delivered_energy("VDD")?;
+            output = res.trace("out")?;
+            input_wave = output.to_waveform(4000);
+            // The inverter flips the edge for the next stage.
+            input_edge_kind = match input_edge_kind {
+                Edge::Rising => Edge::Falling,
+                Edge::Falling => Edge::Rising,
+                Edge::Any => Edge::Any,
+            };
+        }
+
+        let t_in = t_in_edge.ok_or(TdamError::InvalidConfig {
+            what: "input edge not found in first stage",
+        })?;
+        let t_out = output
+            .first_crossing(vdd / 2.0, input_edge_kind)
+            .ok_or(TdamError::InvalidConfig {
+                what: "chain output never switched (horizon too short?)",
+            })?;
+        Ok(StepResult {
+            delay: t_out - t_in,
+            supply_energy: energy,
+            output,
+        })
+    }
+
+    /// Runs both steps and combines them.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitChain::simulate_step`].
+    pub fn evaluate(&self, query: &[u8], with_cells: bool) -> Result<CircuitChainResult, TdamError> {
+        let rising = self.simulate_step(query, Step::RisingEven, with_cells)?;
+        let falling = self.simulate_step(query, Step::FallingOdd, with_cells)?;
+        Ok(CircuitChainResult { rising, falling })
+    }
+
+    /// Builds ONE netlist containing every stage of the chain — no
+    /// waveform handoff — for a given step of the 2-step scheme. Node
+    /// names: `"in"`, `"out0"…"outN-1"`, `"ctopJ"`, `"mnJ"`.
+    ///
+    /// This is the ground-truth topology the stage-by-stage handoff of
+    /// [`CircuitChain::simulate_step`] approximates; the MNA system grows
+    /// to several unknowns per stage, which is what the circuit
+    /// simulator's sparse solver exists for.
+    ///
+    /// # Errors
+    ///
+    /// Returns query shape/range errors.
+    pub fn build_monolithic_netlist(
+        &self,
+        query: &[u8],
+        step: Step,
+    ) -> Result<Netlist, TdamError> {
+        if query.len() != self.cells.len() {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.cells.len(),
+            });
+        }
+        self.config.encoding.validate(query)?;
+        let tech = &self.config.tech;
+        let vdd = tech.vdd;
+        let mut nl = Netlist::new();
+        let vddn = nl.node("vdd");
+        nl.vsource("VDD", vddn, Netlist::GND, Waveform::dc(vdd));
+
+        let t_edge = 2.0e-9;
+        let (v_from, v_to) = match step {
+            Step::RisingEven => (0.0, vdd),
+            Step::FallingOdd => (vdd, 0.0),
+        };
+        let inp = nl.node("in");
+        nl.vsource(
+            "VIN",
+            inp,
+            Netlist::GND,
+            Waveform::Pwl(vec![(0.0, v_from), (t_edge, v_from), (t_edge + 20e-12, v_to)]),
+        );
+
+        let mut prev = inp;
+        for (j, cell) in self.cells.iter().enumerate() {
+            let out = nl.node(&format!("out{j}"));
+            let ctop = nl.node(&format!("ctop{j}"));
+            let mn = nl.node(&format!("mn{j}"));
+            nl.mosfet(&format!("MP{j}"), out, prev, vddn, tech.pmos);
+            nl.mosfet(&format!("MN{j}"), out, prev, Netlist::GND, tech.nmos);
+            nl.capacitor(&format!("CS{j}"), out, Netlist::GND, tech.c_self)?;
+            // The device model is pure transconductance (no gate charge),
+            // so the next stage's inverter gate capacitance is an explicit
+            // capacitor at every output — for the last stage it stands in
+            // for the TDC input.
+            nl.capacitor(&format!("CG{j}"), out, Netlist::GND, tech.c_gate)?;
+            nl.mosfet(
+                &format!("MSW{j}"),
+                ctop,
+                mn,
+                out,
+                tech.pmos.with_width_multiple(tech.switch_width_mult),
+            );
+            nl.capacitor(&format!("CL{j}"), ctop, Netlist::GND, self.config.c_load)?;
+            let active = match step {
+                Step::RisingEven => j % 2 == 0,
+                Step::FallingOdd => j % 2 == 1,
+            };
+            let mismatch = active && !cell.evaluate(query[j])?.is_match();
+            nl.vsource(
+                &format!("VMN{j}"),
+                mn,
+                Netlist::GND,
+                Waveform::dc(if mismatch { 0.0 } else { vdd }),
+            );
+            prev = out;
+        }
+        Ok(nl)
+    }
+
+    /// Simulates one step through the monolithic (single-matrix) netlist
+    /// and measures the chain delay exactly as
+    /// [`CircuitChain::simulate_step`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit failures and query validation errors.
+    pub fn simulate_step_monolithic(&self, query: &[u8], step: Step) -> Result<StepResult, TdamError> {
+        let nl = self.build_monolithic_netlist(query, step)?;
+        let tech = &self.config.tech;
+        let vdd = tech.vdd;
+        let timing = crate::timing::StageTiming::analytic(tech, self.config.c_load)?;
+        let n = self.cells.len();
+        let t_stop =
+            2.0e-9 + 4.0 * (n as f64) * (timing.d_c + 4.0 * timing.d_inv) + 1.0e-9;
+        let res = Transient::new(&nl, TranConfig::until(t_stop).with_max_step(3e-12)).run()?;
+        let in_edge = match step {
+            Step::RisingEven => Edge::Rising,
+            Step::FallingOdd => Edge::Falling,
+        };
+        let t_in = res
+            .trace("in")?
+            .first_crossing(vdd / 2.0, in_edge)
+            .ok_or(TdamError::InvalidConfig {
+                what: "input edge not found",
+            })?;
+        // Output edge polarity flips once per stage.
+        let out_edge = if n.is_multiple_of(2) {
+            in_edge
+        } else {
+            match in_edge {
+                Edge::Rising => Edge::Falling,
+                Edge::Falling => Edge::Rising,
+                Edge::Any => Edge::Any,
+            }
+        };
+        let output = res.trace(&format!("out{}", n - 1))?;
+        let t_out = output
+            .first_crossing(vdd / 2.0, out_edge)
+            .ok_or(TdamError::InvalidConfig {
+                what: "chain output never switched (horizon too short?)",
+            })?;
+        Ok(StepResult {
+            delay: t_out - t_in,
+            supply_energy: res.delivered_energy("VDD")?,
+            output,
+        })
+    }
+
+    /// Simulates the *naive* single-pass scheme the 2-step operation
+    /// replaces: every stage active at once, one rising edge through the
+    /// whole chain.
+    ///
+    /// Because the inverter flips the edge at every stage, only stages
+    /// whose output transition is *falling* are meaningfully loaded by the
+    /// PMOS-gated capacitor — a mismatch's delay contribution depends on
+    /// its **position parity**, which destroys the linear delay ↔ Hamming
+    /// distance mapping. The 2-step scheme exists to fix exactly this; the
+    /// `ablation_two_step` bench quantifies it.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitChain::simulate_step`].
+    pub fn simulate_naive(&self, query: &[u8]) -> Result<StepResult, TdamError> {
+        if query.len() != self.cells.len() {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.cells.len(),
+            });
+        }
+        self.config.encoding.validate(query)?;
+        let tech = &self.config.tech;
+        let vdd = tech.vdd;
+        let t_edge = 2.0e-9;
+        let mut input_wave = Waveform::Pwl(vec![(0.0, 0.0), (t_edge, 0.0), (t_edge + 20e-12, vdd)]);
+        let mut edge_kind = Edge::Rising;
+        let timing = crate::timing::StageTiming::analytic(tech, self.config.c_load)?;
+        let t_stage = t_edge + 40.0 * (timing.d_c + 4.0 * timing.d_inv) + 1.0e-9;
+
+        let mut t_in_edge = None;
+        let mut energy = 0.0;
+        let mut output = Trace::default();
+        for (j, cell) in self.cells.iter().enumerate() {
+            let outcome = cell.evaluate(query[j])?;
+            let drive = if outcome.is_match() {
+                MnDrive::ForcedMatch
+            } else {
+                MnDrive::ForcedMismatch
+            };
+            let nl = build_stage_netlist(tech, self.config.c_load, &drive, input_wave.clone())?;
+            let res = Transient::new(&nl, TranConfig::until(t_stage).with_max_step(3e-12)).run()?;
+            if t_in_edge.is_none() {
+                t_in_edge = res.trace("in")?.first_crossing(vdd / 2.0, edge_kind);
+            }
+            energy += res.delivered_energy("VDD")?;
+            output = res.trace("out")?;
+            input_wave = output.to_waveform(4000);
+            edge_kind = match edge_kind {
+                Edge::Rising => Edge::Falling,
+                Edge::Falling => Edge::Rising,
+                Edge::Any => Edge::Any,
+            };
+        }
+        let t_in = t_in_edge.ok_or(TdamError::InvalidConfig {
+            what: "input edge not found in first stage",
+        })?;
+        let t_out = output
+            .first_crossing(vdd / 2.0, edge_kind)
+            .ok_or(TdamError::InvalidConfig {
+                what: "chain output never switched (horizon too short?)",
+            })?;
+        Ok(StepResult {
+            delay: t_out - t_in,
+            supply_energy: energy,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::DelayChain;
+    use tdam_num::LinearFit;
+
+    fn cfg(stages: usize) -> ArrayConfig {
+        ArrayConfig::paper_default().with_stages(stages)
+    }
+
+    #[test]
+    fn more_mismatches_more_delay() {
+        let config = cfg(8);
+        let chain = CircuitChain::new(&[1; 8], &config).unwrap();
+        let d0 = chain.evaluate(&[1; 8], false).unwrap().total_delay();
+        let d4 = chain
+            .evaluate(&[2, 2, 2, 2, 1, 1, 1, 1], false)
+            .unwrap()
+            .total_delay();
+        let d8 = chain.evaluate(&[2; 8], false).unwrap().total_delay();
+        assert!(d0 < d4 && d4 < d8, "d0={d0:e} d4={d4:e} d8={d8:e}");
+    }
+
+    #[test]
+    fn circuit_delay_linear_in_mismatches() {
+        // Fig. 4(c) at circuit level, on a short chain for test speed.
+        let config = cfg(8);
+        let chain = CircuitChain::new(&[1; 8], &config).unwrap();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for n_mis in [0usize, 2, 4, 6, 8] {
+            let mut q = vec![1u8; 8];
+            for item in q.iter_mut().take(n_mis) {
+                *item = 2;
+            }
+            let d = chain.evaluate(&q, false).unwrap().total_delay();
+            xs.push(n_mis as f64);
+            ys.push(d);
+        }
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.98, "R² = {} ys={ys:?}", fit.r_squared);
+    }
+
+    #[test]
+    fn circuit_and_behavioral_agree() {
+        let config = cfg(8);
+        let circuit = CircuitChain::new(&[1; 8], &config).unwrap();
+        let timing = crate::timing::StageTiming::from_circuit(&config.tech, config.c_load).unwrap();
+        let behavioral = DelayChain::with_timing(&[1; 8], &config, timing).unwrap();
+        for n_mis in [0usize, 3, 8] {
+            let mut q = vec![1u8; 8];
+            for item in q.iter_mut().take(n_mis) {
+                *item = 3;
+            }
+            let d_ckt = circuit.evaluate(&q, false).unwrap().total_delay();
+            let d_beh = behavioral.evaluate(&q).unwrap().total_delay;
+            let err = (d_ckt - d_beh).abs() / d_ckt.max(1e-15);
+            assert!(
+                err < 0.35,
+                "n_mis={n_mis}: circuit {d_ckt:.3e} vs behavioral {d_beh:.3e} ({:.0}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn step_split_matches_even_odd_mismatches() {
+        let config = cfg(4);
+        let chain = CircuitChain::new(&[1, 1, 1, 1], &config).unwrap();
+        // Mismatch only at position 0 (even): step I slower than step II.
+        let r = chain.evaluate(&[2, 1, 1, 1], false).unwrap();
+        assert!(
+            r.rising.delay > r.falling.delay,
+            "rising {:.3e} vs falling {:.3e}",
+            r.rising.delay,
+            r.falling.delay
+        );
+        // Mismatch only at position 1 (odd): step II slower.
+        let r = chain.evaluate(&[1, 2, 1, 1], false).unwrap();
+        assert!(r.falling.delay > r.rising.delay);
+    }
+
+    #[test]
+    fn with_cells_mode_close_to_forced() {
+        let config = cfg(4);
+        let chain = CircuitChain::new(&[1; 4], &config).unwrap();
+        let q = [2u8, 1, 2, 1];
+        let forced = chain.evaluate(&q, false).unwrap().total_delay();
+        let cells = chain.evaluate(&q, true).unwrap().total_delay();
+        let err = (forced - cells).abs() / forced;
+        assert!(
+            err < 0.25,
+            "forced {forced:.3e} vs full-cell {cells:.3e} ({:.0}%)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn monolithic_validates_stage_handoff() {
+        // The waveform-handoff approximation must agree with the
+        // single-matrix ground truth (which exercises the sparse solver:
+        // 16 stages ≈ 50 node unknowns plus 17 source branches).
+        let config = cfg(16);
+        let chain = CircuitChain::new(&[1; 16], &config).unwrap();
+        let mut q = vec![1u8; 16];
+        for item in q.iter_mut().take(6) {
+            *item = 2;
+        }
+        let handoff = chain.simulate_step(&q, Step::RisingEven, false).unwrap();
+        let monolithic = chain.simulate_step_monolithic(&q, Step::RisingEven).unwrap();
+        let err = (handoff.delay - monolithic.delay).abs() / monolithic.delay;
+        assert!(
+            err < 0.10,
+            "handoff {:.4e} vs monolithic {:.4e} ({:.1}% apart)",
+            handoff.delay,
+            monolithic.delay,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn monolithic_delay_grows_with_mismatches() {
+        let config = cfg(8);
+        let chain = CircuitChain::new(&[1; 8], &config).unwrap();
+        let d0 = chain
+            .simulate_step_monolithic(&[1; 8], Step::RisingEven)
+            .unwrap()
+            .delay;
+        let d4 = chain
+            .simulate_step_monolithic(&[2, 1, 2, 1, 2, 1, 2, 1], Step::RisingEven)
+            .unwrap()
+            .delay;
+        assert!(d4 > d0 + 2.0 * 10e-12, "d0 {d0:.3e} d4 {d4:.3e}");
+    }
+
+    #[test]
+    fn shape_errors() {
+        let config = cfg(4);
+        let chain = CircuitChain::new(&[1; 4], &config).unwrap();
+        assert!(chain.evaluate(&[1; 3], false).is_err());
+        assert!(CircuitChain::new(&[1; 3], &config).is_err());
+    }
+}

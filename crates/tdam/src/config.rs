@@ -1,0 +1,249 @@
+//! Technology and array configuration.
+
+use crate::encoding::Encoding;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+use tdam_fefet::mosfet::MosParams;
+
+/// Process/technology parameters for the TD-AM circuits (generic
+/// 40 nm-class values standing in for the paper's UMC 40 nm PDK).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Supply voltage, volts (nominal 1.1 V for 40 nm; the paper scales
+    /// down to 0.6 V).
+    pub vdd: f64,
+    /// Inverter NMOS parameters.
+    pub nmos: MosParams,
+    /// Inverter PMOS parameters.
+    pub pmos: MosParams,
+    /// Match-node capacitance (2 FeFET drains + precharge PMOS drain +
+    /// switch PMOS gate), farads.
+    pub c_mn: f64,
+    /// Inverter output self-capacitance (junction + local wiring), farads.
+    pub c_self: f64,
+    /// Inverter input gate capacitance (loads the previous stage), farads.
+    pub c_gate: f64,
+    /// FeFET gate capacitance seen by a search line per cell, farads.
+    pub c_sl_per_cell: f64,
+    /// Width multiple of the load-capacitor PMOS switch relative to the
+    /// inverter PMOS. The switch must be strong so the load capacitor
+    /// tracks the stage output tightly (otherwise the cap lags the edge and
+    /// contributes less delay than `C·V/I`).
+    pub switch_width_mult: f64,
+    /// Match-node precharge phase duration, seconds.
+    pub t_precharge: f64,
+    /// Delay between search-line assertion and pulse launch, seconds (the
+    /// compute-phase settling window for match-node discharge).
+    pub t_launch: f64,
+    /// Sensitivity of the mismatch penalty `d_C` to the conducting FeFET's
+    /// drive strength (dimensionless, fit against single-stage circuit
+    /// Monte Carlo): `d_C,eff = d_C·(1 + κ·(I_nom/I_act − 1))`.
+    pub dc_sensitivity: f64,
+}
+
+impl TechParams {
+    /// Generic 40 nm-class parameters at the nominal 1.1 V supply.
+    pub fn nominal_40nm() -> Self {
+        Self {
+            vdd: 1.1,
+            nmos: MosParams::nmos_40nm(),
+            pmos: MosParams::pmos_40nm(),
+            c_mn: 1.0e-15,
+            c_self: 0.25e-15,
+            c_gate: 0.35e-15,
+            c_sl_per_cell: 0.12e-15,
+            switch_width_mult: 6.0,
+            t_precharge: 1.0e-9,
+            t_launch: 1.0e-9,
+            dc_sensitivity: 0.01,
+        }
+    }
+
+    /// Returns a copy at a different supply voltage.
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Returns a copy with both transistor models retargeted to `kelvin`
+    /// (see [`tdam_fefet::mosfet::MosParams::at_temperature`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive temperatures.
+    pub fn at_temperature(mut self, kelvin: f64) -> Self {
+        self.nmos = self.nmos.at_temperature(kelvin);
+        self.pmos = self.pmos.at_temperature(kelvin);
+        self
+    }
+
+    /// Effective on-resistance of the load-capacitor switch, ohms
+    /// (first-order triode estimate `1/(β_sw·(V_DD − |V_TH,P|))`).
+    pub fn r_switch(&self) -> f64 {
+        let ov = (self.vdd - self.pmos.vth).max(0.05);
+        1.0 / (self.pmos.beta * self.switch_width_mult * ov)
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::nominal_40nm()
+    }
+}
+
+/// Full configuration of a TD-AM array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Elements per stored vector = delay stages per chain.
+    pub stages: usize,
+    /// Number of stored vectors (rows / delay chains).
+    pub rows: usize,
+    /// Element encoding.
+    pub encoding: Encoding,
+    /// Load capacitor attached on a mismatch, farads (paper default 6 fF,
+    /// swept up to 1280 fF in Fig. 5).
+    pub c_load: f64,
+    /// Technology parameters.
+    pub tech: TechParams,
+}
+
+impl ArrayConfig {
+    /// The paper's default configuration: 32 stages, 2-bit elements,
+    /// 6 fF load capacitors, nominal 40 nm supply; a single row.
+    pub fn paper_default() -> Self {
+        Self {
+            stages: 32,
+            rows: 1,
+            encoding: Encoding::paper_default(),
+            c_load: 6e-15,
+            tech: TechParams::nominal_40nm(),
+        }
+    }
+
+    /// Returns a copy with a different chain length.
+    pub fn with_stages(mut self, stages: usize) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Returns a copy with a different row count.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Returns a copy with a different load capacitance.
+    pub fn with_c_load(mut self, c_load: f64) -> Self {
+        self.c_load = c_load;
+        self
+    }
+
+    /// Returns a copy at a different supply voltage.
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.tech.vdd = vdd;
+        self
+    }
+
+    /// Returns a copy with a different element encoding.
+    pub fn with_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::InvalidConfig`] for zero sizes, non-positive
+    /// capacitance, or a supply voltage outside the model's (0.3 V, 2 V)
+    /// validity window.
+    pub fn validate(&self) -> Result<(), TdamError> {
+        if self.stages == 0 {
+            return Err(TdamError::InvalidConfig {
+                what: "stages must be at least 1",
+            });
+        }
+        if self.rows == 0 {
+            return Err(TdamError::InvalidConfig {
+                what: "rows must be at least 1",
+            });
+        }
+        if !(self.c_load > 0.0) || !self.c_load.is_finite() {
+            return Err(TdamError::InvalidConfig {
+                what: "load capacitance must be positive and finite",
+            });
+        }
+        if !(0.3..2.0).contains(&self.tech.vdd) {
+            return Err(TdamError::InvalidConfig {
+                what: "supply voltage outside model validity (0.3..2.0 V)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Total bits stored per row.
+    pub fn bits_per_row(&self) -> usize {
+        self.stages * self.encoding.bits() as usize
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = ArrayConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.stages, 32);
+        assert_eq!(cfg.c_load, 6e-15);
+        assert_eq!(cfg.encoding.bits(), 2);
+        assert_eq!(cfg.bits_per_row(), 64);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ArrayConfig::paper_default()
+            .with_stages(128)
+            .with_rows(16)
+            .with_c_load(12e-15)
+            .with_vdd(0.6);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.stages, 128);
+        assert_eq!(cfg.rows, 16);
+        assert_eq!(cfg.c_load, 12e-15);
+        assert_eq!(cfg.tech.vdd, 0.6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ArrayConfig::paper_default().with_stages(0).validate().is_err());
+        assert!(ArrayConfig::paper_default().with_rows(0).validate().is_err());
+        assert!(ArrayConfig::paper_default().with_c_load(0.0).validate().is_err());
+        assert!(ArrayConfig::paper_default().with_c_load(f64::NAN).validate().is_err());
+        assert!(ArrayConfig::paper_default().with_vdd(0.1).validate().is_err());
+        assert!(ArrayConfig::paper_default().with_vdd(2.5).validate().is_err());
+    }
+
+    #[test]
+    fn temperature_retargets_both_devices() {
+        let hot = TechParams::nominal_40nm().at_temperature(398.0);
+        let nom = TechParams::nominal_40nm();
+        assert!(hot.nmos.vth < nom.nmos.vth);
+        assert!(hot.pmos.beta < nom.pmos.beta);
+        assert_eq!(hot.c_mn, nom.c_mn, "capacitances are temperature-flat");
+    }
+
+    #[test]
+    fn vdd_scaling_keeps_other_tech() {
+        let t = TechParams::nominal_40nm().with_vdd(0.6);
+        assert_eq!(t.vdd, 0.6);
+        assert_eq!(t.c_mn, TechParams::nominal_40nm().c_mn);
+    }
+}

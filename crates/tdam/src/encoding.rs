@@ -1,0 +1,201 @@
+//! Multi-bit element encoding and the Hamming-distance metric.
+//!
+//! The TD-AM stores vectors whose elements are `n`-bit values (the paper
+//! demonstrates 2-bit cells and argues 3–4-bit feasibility). "Hamming
+//! distance" throughout follows the paper's definition: the number of
+//! *element positions* where query and stored value differ — each cell
+//! contributes zero or one mismatch regardless of bit width.
+
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// An `n`-bit-per-element encoding, `1 ≤ n ≤ 4`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam::Encoding;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let enc = Encoding::new(2)?;
+/// assert_eq!(enc.levels(), 4);
+/// assert_eq!(enc.hamming(&[0, 1, 2, 3], &[0, 1, 3, 3])?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Encoding {
+    bits: u8,
+}
+
+impl Encoding {
+    /// Creates an encoding with `bits` bits per element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::InvalidConfig`] unless `1 ≤ bits ≤ 4` (the
+    /// range supported by the 4-state — extensible to 16-state — FeFET
+    /// ladder).
+    pub fn new(bits: u8) -> Result<Self, TdamError> {
+        if !(1..=4).contains(&bits) {
+            return Err(TdamError::InvalidConfig {
+                what: "bits per element must be between 1 and 4",
+            });
+        }
+        Ok(Self { bits })
+    }
+
+    /// The paper's 2-bit encoding.
+    pub fn paper_default() -> Self {
+        Self { bits: 2 }
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of representable levels (`2^bits`).
+    pub fn levels(&self) -> u8 {
+        1 << self.bits
+    }
+
+    /// Validates that every element of `v` fits the encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::ValueOutOfRange`] for the first offending
+    /// element.
+    pub fn validate(&self, v: &[u8]) -> Result<(), TdamError> {
+        let levels = self.levels();
+        for &x in v {
+            if x >= levels {
+                return Err(TdamError::ValueOutOfRange { value: x, levels });
+            }
+        }
+        Ok(())
+    }
+
+    /// Element-wise Hamming distance between two equal-length vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::LengthMismatch`] for unequal lengths and
+    /// [`TdamError::ValueOutOfRange`] for out-of-range elements.
+    pub fn hamming(&self, a: &[u8], b: &[u8]) -> Result<usize, TdamError> {
+        if a.len() != b.len() {
+            return Err(TdamError::LengthMismatch {
+                got: b.len(),
+                expected: a.len(),
+            });
+        }
+        self.validate(a)?;
+        self.validate(b)?;
+        Ok(a.iter().zip(b).filter(|(x, y)| x != y).count())
+    }
+
+    /// Packs a wide-precision value into elements of this encoding
+    /// (little-endian chunks), for mapping `w`-bit data onto `bits`-bit
+    /// cells.
+    pub fn split_value(&self, value: u32, total_bits: u8) -> Vec<u8> {
+        let mask = (self.levels() - 1) as u32;
+        let chunks = total_bits.div_ceil(self.bits);
+        (0..chunks)
+            .map(|i| ((value >> (i * self.bits)) & mask) as u8)
+            .collect()
+    }
+}
+
+impl Default for Encoding {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Encoding::new(0).is_err());
+        assert!(Encoding::new(5).is_err());
+        for b in 1..=4 {
+            assert_eq!(Encoding::new(b).unwrap().bits(), b);
+        }
+    }
+
+    #[test]
+    fn levels_power_of_two() {
+        assert_eq!(Encoding::new(1).unwrap().levels(), 2);
+        assert_eq!(Encoding::new(2).unwrap().levels(), 4);
+        assert_eq!(Encoding::new(3).unwrap().levels(), 8);
+        assert_eq!(Encoding::new(4).unwrap().levels(), 16);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let enc = Encoding::new(2).unwrap();
+        assert!(enc.validate(&[0, 3]).is_ok());
+        assert_eq!(
+            enc.validate(&[4]),
+            Err(TdamError::ValueOutOfRange { value: 4, levels: 4 })
+        );
+    }
+
+    #[test]
+    fn hamming_counts_element_mismatches() {
+        let enc = Encoding::new(2).unwrap();
+        assert_eq!(enc.hamming(&[], &[]).unwrap(), 0);
+        assert_eq!(enc.hamming(&[1, 2, 3], &[1, 2, 3]).unwrap(), 0);
+        assert_eq!(enc.hamming(&[0, 0, 0], &[3, 3, 3]).unwrap(), 3);
+        // Multi-bit difference still counts once per element.
+        assert_eq!(enc.hamming(&[0], &[3]).unwrap(), 1);
+    }
+
+    #[test]
+    fn hamming_length_mismatch() {
+        let enc = Encoding::default();
+        assert!(matches!(
+            enc.hamming(&[0, 1], &[0]),
+            Err(TdamError::LengthMismatch { got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn split_value_roundtrip() {
+        let enc = Encoding::new(2).unwrap();
+        let parts = enc.split_value(0b11_01_10, 6);
+        assert_eq!(parts, vec![0b10, 0b01, 0b11]);
+        let rebuilt: u32 = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p as u32) << (2 * i as u32))
+            .sum();
+        assert_eq!(rebuilt, 0b11_01_10);
+    }
+
+    proptest! {
+        #[test]
+        fn hamming_is_metric_like(a in prop::collection::vec(0u8..4, 0..64),
+                                  b in prop::collection::vec(0u8..4, 0..64)) {
+            let enc = Encoding::new(2).unwrap();
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let d_ab = enc.hamming(a, b).unwrap();
+            let d_ba = enc.hamming(b, a).unwrap();
+            prop_assert_eq!(d_ab, d_ba);
+            prop_assert!(d_ab <= n);
+            prop_assert_eq!(enc.hamming(a, a).unwrap(), 0);
+        }
+
+        #[test]
+        fn split_respects_levels(v in 0u32..65536, bits in 1u8..=4) {
+            let enc = Encoding::new(bits).unwrap();
+            for part in enc.split_value(v, 16) {
+                prop_assert!(part < enc.levels());
+            }
+        }
+    }
+}

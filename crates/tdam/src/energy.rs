@@ -1,0 +1,111 @@
+//! Search-energy accounting.
+//!
+//! Energy is tallied as switched capacitance (`C·V_DD²`) per event, the
+//! same methodology the TD-IMC literature reports:
+//!
+//! - every stage's inverter toggles through one full cycle per search
+//!   (rising edge in step I, falling in step II) — one `C_stage·V_DD²`,
+//! - every (partially) attached load capacitor swings once,
+//! - every discharged match node must be re-precharged for the next search,
+//! - every cell's two search lines are driven to their query levels,
+//! - the time-to-digital converter adds its conversion cost (accounted at
+//!   the array level, see [`crate::tdc`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component energy tally for one search, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Inverter (stage intrinsic) switching energy.
+    pub inverters: f64,
+    /// Load-capacitor energy on mismatching stages.
+    pub load_caps: f64,
+    /// Match-node precharge energy.
+    pub match_nodes: f64,
+    /// Search-line driver energy.
+    pub search_lines: f64,
+    /// Time-to-digital conversion energy.
+    pub tdc: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total(&self) -> f64 {
+        self.inverters + self.load_caps + self.match_nodes + self.search_lines + self.tdc
+    }
+
+    /// Energy per searched bit, joules (`total / bits`); `0.0` when
+    /// `bits == 0`.
+    pub fn per_bit(&self, bits: usize) -> f64 {
+        if bits == 0 {
+            0.0
+        } else {
+            self.total() / bits as f64
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.inverters += other.inverters;
+        self.load_caps += other.load_caps;
+        self.match_nodes += other.match_nodes;
+        self.search_lines += other.search_lines;
+        self.tdc += other.tdc;
+    }
+}
+
+impl core::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "total {:.4e} J (inv {:.2e}, caps {:.2e}, MN {:.2e}, SL {:.2e}, TDC {:.2e})",
+            self.total(),
+            self.inverters,
+            self.load_caps,
+            self.match_nodes,
+            self.search_lines,
+            self.tdc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let e = EnergyBreakdown {
+            inverters: 1.0,
+            load_caps: 2.0,
+            match_nodes: 3.0,
+            search_lines: 4.0,
+            tdc: 5.0,
+        };
+        assert_eq!(e.total(), 15.0);
+        assert_eq!(e.per_bit(15), 1.0);
+        assert_eq!(e.per_bit(0), 0.0);
+    }
+
+    #[test]
+    fn accumulate_componentwise() {
+        let mut a = EnergyBreakdown {
+            inverters: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            inverters: 2.0,
+            tdc: 1.0,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.inverters, 3.0);
+        assert_eq!(a.tdc, 1.0);
+        assert_eq!(a.total(), 4.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(EnergyBreakdown::default().total(), 0.0);
+    }
+}

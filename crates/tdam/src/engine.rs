@@ -1,0 +1,93 @@
+//! The [`SimilarityEngine`] abstraction shared by the TD-AM and the
+//! baseline designs of Table I.
+//!
+//! Every engine stores a set of multi-bit vectors and answers queries with
+//! per-row similarity information plus energy and latency figures, so the
+//! Table I comparison and the Fig. 8 application benchmarks can drive all
+//! designs through one interface.
+
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one associative search on a [`SimilarityEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchMetrics {
+    /// Index of the best-matching row, if the engine can identify one.
+    pub best_row: Option<usize>,
+    /// Per-row distance as reported by the engine. Quantitative engines
+    /// report exact Hamming distances; match-only engines (plain CAMs)
+    /// report `None` for rows they can only classify as "mismatch".
+    pub distances: Vec<Option<usize>>,
+    /// Total search energy, joules.
+    pub energy: f64,
+    /// Search latency, seconds.
+    pub latency: f64,
+}
+
+impl SearchMetrics {
+    /// Energy per searched bit, joules.
+    pub fn energy_per_bit(&self, total_bits: usize) -> f64 {
+        if total_bits == 0 {
+            0.0
+        } else {
+            self.energy / total_bits as f64
+        }
+    }
+}
+
+/// A similarity-computation engine: content-addressable storage plus an
+/// associative search operation.
+pub trait SimilarityEngine {
+    /// Human-readable design name (matches the Table I row labels).
+    fn name(&self) -> &str;
+
+    /// Whether the engine reports exact distances (quantitative SC) or
+    /// only match/mismatch.
+    fn is_quantitative(&self) -> bool;
+
+    /// Number of rows (stored vectors).
+    fn rows(&self) -> usize;
+
+    /// Elements per stored vector.
+    fn width(&self) -> usize;
+
+    /// Bits per element.
+    fn bits_per_element(&self) -> u8;
+
+    /// Stores a vector at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject out-of-range rows, wrong lengths, and
+    /// out-of-range element values with the corresponding [`TdamError`].
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError>;
+
+    /// Searches `query` against every stored row.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject malformed queries with [`TdamError`].
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError>;
+
+    /// Total bits held by the engine (`rows × width × bits_per_element`).
+    fn total_bits(&self) -> usize {
+        self.rows() * self.width() * self.bits_per_element() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_per_bit_division() {
+        let m = SearchMetrics {
+            best_row: Some(0),
+            distances: vec![Some(0)],
+            energy: 64e-15,
+            latency: 1e-9,
+        };
+        assert!((m.energy_per_bit(64) - 1e-15).abs() < 1e-24);
+        assert_eq!(m.energy_per_bit(0), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Fault injection: stuck cells and their effect on quantitative search.
+//!
+//! Production associative memories ship with defects. The TD-AM's two
+//! physically plausible cell-level faults are:
+//!
+//! - **stuck-mismatch** — the match node can never hold `V_DD` (a FeFET
+//!   stuck in its low-V_TH state, or an MN-to-ground short): the stage
+//!   always adds `d_C`, biasing the row's decoded distance by +1;
+//! - **stuck-match** — the cell can never discharge MN (both FeFETs
+//!   stuck high, a broken search line, or an open MN): real mismatches at
+//!   that position go uncounted, biasing the distance by up to −1.
+//!
+//! Both are expressed through the existing threshold-voltage machinery —
+//! a stuck cell is just a cell with extreme `V_TH` values — so the whole
+//! behavioral model (attachment factors, energies) applies unchanged.
+
+use crate::cell::Cell;
+use crate::config::ArrayConfig;
+use crate::encoding::Encoding;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// A cell-level hard fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The stage always behaves as a mismatch (+`d_C` regardless of data).
+    StuckMismatch,
+    /// The stage always behaves as a match (mismatches go uncounted).
+    StuckMatch,
+}
+
+/// A set of injected faults, keyed by `(row, stage)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    faults: Vec<(usize, usize, FaultKind)>,
+}
+
+impl FaultMap {
+    /// An empty fault map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects a fault at `(row, stage)` (replacing any previous fault
+    /// there).
+    pub fn inject(&mut self, row: usize, stage: usize, kind: FaultKind) {
+        self.faults.retain(|&(r, s, _)| (r, s) != (row, stage));
+        self.faults.push((row, stage, kind));
+    }
+
+    /// The fault at `(row, stage)`, if any.
+    pub fn get(&self, row: usize, stage: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|&&(r, s, _)| (r, s) == (row, stage))
+            .map(|&(_, _, k)| k)
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over `(row, stage, kind)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, FaultKind)> {
+        self.faults.iter()
+    }
+}
+
+/// Builds the cell realizing `value` under an optional fault.
+///
+/// Stuck-mismatch pins `F_A` far below every search-line level (always
+/// conducting); stuck-match pins both FeFETs far above (never
+/// conducting).
+///
+/// # Errors
+///
+/// Returns [`TdamError::ValueOutOfRange`] if `value` does not fit the
+/// encoding.
+pub fn faulty_cell(
+    value: u8,
+    encoding: Encoding,
+    fault: Option<FaultKind>,
+) -> Result<Cell, TdamError> {
+    match fault {
+        None => Cell::new(value, encoding),
+        Some(FaultKind::StuckMismatch) => Cell::with_vth(value, encoding, -2.0, 3.0),
+        Some(FaultKind::StuckMatch) => Cell::with_vth(value, encoding, 3.0, 3.0),
+    }
+}
+
+/// Builds a faulty row: cells for `values` with the row's faults applied.
+///
+/// # Errors
+///
+/// Returns element-range errors as [`faulty_cell`].
+pub fn faulty_row(
+    row: usize,
+    values: &[u8],
+    encoding: Encoding,
+    faults: &FaultMap,
+) -> Result<Vec<Cell>, TdamError> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(stage, &v)| faulty_cell(v, encoding, faults.get(row, stage)))
+        .collect()
+}
+
+/// Applies a fault map to an array configuration's stored data, returning
+/// a ready-to-search [`crate::array::TdamArray`].
+///
+/// # Errors
+///
+/// Propagates configuration and shape errors.
+pub fn build_faulty_array(
+    config: &ArrayConfig,
+    stored: &[Vec<u8>],
+    faults: &FaultMap,
+) -> Result<crate::array::TdamArray, TdamError> {
+    let timing = crate::timing::StageTiming::analytic(&config.tech, config.c_load)?;
+    let mut array = crate::array::TdamArray::with_timing(*config, timing)?;
+    for (row, values) in stored.iter().enumerate() {
+        let cells = faulty_row(row, values, config.encoding, faults)?;
+        array.store_cells(row, cells)?;
+    }
+    Ok(array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::TdamArray;
+
+    fn cfg() -> ArrayConfig {
+        ArrayConfig::paper_default().with_stages(16).with_rows(2)
+    }
+
+    fn stored() -> Vec<Vec<u8>> {
+        vec![vec![1u8; 16], vec![2u8; 16]]
+    }
+
+    #[test]
+    fn fault_map_bookkeeping() {
+        let mut map = FaultMap::new();
+        assert!(map.is_empty());
+        map.inject(0, 3, FaultKind::StuckMatch);
+        map.inject(0, 3, FaultKind::StuckMismatch); // replaces
+        map.inject(1, 5, FaultKind::StuckMatch);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(0, 3), Some(FaultKind::StuckMismatch));
+        assert_eq!(map.get(1, 5), Some(FaultKind::StuckMatch));
+        assert_eq!(map.get(0, 0), None);
+    }
+
+    #[test]
+    fn stuck_mismatch_biases_distance_up() {
+        let mut faults = FaultMap::new();
+        faults.inject(0, 0, FaultKind::StuckMismatch);
+        let faulty = build_faulty_array(&cfg(), &stored(), &faults).expect("array");
+        let clean = build_faulty_array(&cfg(), &stored(), &FaultMap::new()).expect("array");
+        // Query matches row 0 exactly: the fault adds exactly one count.
+        let q = vec![1u8; 16];
+        let d_faulty = TdamArray::search(&faulty, &q).expect("search").decoded()[0];
+        let d_clean = TdamArray::search(&clean, &q).expect("search").decoded()[0];
+        assert_eq!(d_clean, 0);
+        assert_eq!(d_faulty, 1);
+    }
+
+    #[test]
+    fn stuck_match_hides_real_mismatches() {
+        let mut faults = FaultMap::new();
+        faults.inject(0, 0, FaultKind::StuckMatch);
+        let faulty = build_faulty_array(&cfg(), &stored(), &faults).expect("array");
+        // Query mismatches row 0 at stage 0 only — the fault hides it.
+        let mut q = vec![1u8; 16];
+        q[0] = 3;
+        let d = TdamArray::search(&faulty, &q).expect("search").decoded()[0];
+        assert_eq!(d, 0, "stuck-match cell must swallow the mismatch");
+    }
+
+    #[test]
+    fn faults_do_not_leak_across_rows() {
+        let mut faults = FaultMap::new();
+        faults.inject(0, 2, FaultKind::StuckMismatch);
+        let faulty = build_faulty_array(&cfg(), &stored(), &faults).expect("array");
+        let q = vec![2u8; 16];
+        // Row 1 matches exactly and has no faults.
+        let d1 = TdamArray::search(&faulty, &q).expect("search").decoded()[1];
+        assert_eq!(d1, 0);
+    }
+
+    #[test]
+    fn best_match_survives_sparse_faults() {
+        // With one fault per row, the nearest row still wins when the
+        // distance gap exceeds the fault bias.
+        let mut faults = FaultMap::new();
+        faults.inject(0, 1, FaultKind::StuckMismatch);
+        faults.inject(1, 1, FaultKind::StuckMismatch);
+        let faulty = build_faulty_array(&cfg(), &stored(), &faults).expect("array");
+        let q = vec![1u8; 16]; // exact content of row 0
+        let outcome = TdamArray::search(&faulty, &q).expect("search");
+        assert_eq!(outcome.best_row(), Some(0));
+    }
+
+    #[test]
+    fn faulty_cell_behaviour() {
+        let enc = Encoding::paper_default();
+        let stuck_mis = faulty_cell(1, enc, Some(FaultKind::StuckMismatch)).expect("cell");
+        let stuck_match = faulty_cell(1, enc, Some(FaultKind::StuckMatch)).expect("cell");
+        for q in 0..4u8 {
+            assert!(!stuck_mis.evaluate(q).expect("eval").is_match());
+            assert!(stuck_match.evaluate(q).expect("eval").is_match());
+        }
+    }
+}

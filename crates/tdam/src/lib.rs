@@ -1,0 +1,163 @@
+//! FeFET-based time-domain associative memory (TD-AM) for multi-bit
+//! similarity computation — the core contribution of the DATE 2024 paper.
+//!
+//! # Architecture
+//!
+//! The TD-AM compares a multi-bit query vector `Q` against `M` stored
+//! vectors `D_1..D_M` in parallel. Each row is a *delay chain* of `N`
+//! cascaded delay stages; stage `j` of row `i` compares query element
+//! `q_j` with stored element `D_{i,j}` using a 2-FeFET in-memory-computing
+//! cell ([`cell`]). A *match* leaves the stage at its intrinsic inverter
+//! delay `d_INV`; a *mismatch* discharges the cell's match node, turning on
+//! a PMOS switch that attaches a load capacitor to the stage output and
+//! adds `d_C`. The accumulated pulse delay is therefore linear in the
+//! number of mismatching elements — a quantitative Hamming distance in the
+//! time domain:
+//!
+//! ```text
+//! d_tot = 2·N·d_INV + N_mis·d_C
+//! ```
+//!
+//! The 2-step operation scheme ([`chain`]) processes the pulse's rising
+//! edge through even stages (odd stages deactivated) and the falling edge
+//! through odd stages, sidestepping the PMOS/NMOS speed mismatch and edge
+//! degradation of naive inverter chains without paying for buffers.
+//!
+//! # Modules
+//!
+//! - [`encoding`] — multi-bit element encoding and Hamming distance
+//! - [`cell`] — the 2-FeFET multi-bit IMC cell (behavioral + netlist)
+//! - [`stage`] — the variable-capacitance delay stage (behavioral + netlist)
+//! - [`chain`] — delay chains and the 2-step operation scheme
+//! - [`chain_circuit`] — full circuit-level chain simulation (Fig. 4)
+//! - [`array`](mod@array) — the M×N TD-AM array with parallel search
+//! - [`tdc`] — time-to-digital conversion (counter sensing model)
+//! - [`timing`] — calibrated stage timing/energy model (analytic or
+//!   extracted from circuit simulation)
+//! - [`calibration`] — multi-point circuit extraction with bilinear
+//!   interpolation for sweep-grade lookups
+//! - [`energy`] — search energy accounting
+//! - [`monte_carlo`] — V_TH-variation Monte Carlo (Fig. 6)
+//! - [`engine`] — the [`engine::SimilarityEngine`] trait shared with the
+//!   baseline designs of Table I
+//! - [`area`] — cell/stage/array footprint estimates (F² + MOM caps)
+//! - [`faults`] — stuck-cell fault injection and its effect on decoding
+//! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
+//!   variation (the paper's "higher-precision potential" analysis)
+//! - [`power`] — idle static (leakage) power, the flip side of the
+//!   "no DC current" time-domain argument
+//! - [`throughput`] — pipelined search cycle time and queries/second
+//!
+//! # Examples
+//!
+//! ```
+//! use tdam::array::TdamArray;
+//! use tdam::config::ArrayConfig;
+//! use tdam::engine::SimilarityEngine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ArrayConfig::paper_default().with_stages(8).with_rows(2);
+//! let mut am = TdamArray::new(cfg)?;
+//! am.store(0, &[0, 1, 2, 3, 3, 2, 1, 0])?;
+//! am.store(1, &[0, 0, 0, 0, 0, 0, 0, 0])?;
+//! let outcome = TdamArray::search(&am, &[0, 1, 2, 3, 3, 2, 1, 1])?;
+//! assert_eq!(outcome.best_row(), Some(0));
+//! assert_eq!(outcome.rows[0].chain.mismatches, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod array;
+pub mod calibration;
+pub mod cell;
+pub mod chain;
+pub mod chain_circuit;
+pub mod config;
+pub mod encoding;
+pub mod energy;
+pub mod engine;
+pub mod faults;
+pub mod margins;
+pub mod monte_carlo;
+pub mod power;
+pub mod stage;
+pub mod tdc;
+pub mod throughput;
+pub mod timing;
+
+pub use array::{SearchOutcome, TdamArray};
+pub use chain::DelayChain;
+pub use config::{ArrayConfig, TechParams};
+pub use encoding::Encoding;
+pub use engine::{SearchMetrics, SimilarityEngine};
+pub use timing::StageTiming;
+
+/// Errors from TD-AM construction and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdamError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// A vector element exceeds the encoding's value range.
+    ValueOutOfRange {
+        /// Offending element value.
+        value: u8,
+        /// Number of representable levels.
+        levels: u8,
+    },
+    /// A vector has the wrong number of elements for the array.
+    LengthMismatch {
+        /// Elements provided.
+        got: usize,
+        /// Elements expected (stages per chain).
+        expected: usize,
+    },
+    /// A row index is out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// An underlying circuit simulation failed.
+    Circuit(tdam_ckt::CktError),
+}
+
+impl core::fmt::Display for TdamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Self::ValueOutOfRange { value, levels } => {
+                write!(f, "element value {value} out of range for {levels}-level encoding")
+            }
+            Self::LengthMismatch { got, expected } => {
+                write!(f, "vector length {got} does not match chain length {expected}")
+            }
+            Self::RowOutOfBounds { row, rows } => {
+                write!(f, "row {row} out of bounds (array has {rows} rows)")
+            }
+            Self::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TdamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tdam_ckt::CktError> for TdamError {
+    fn from(e: tdam_ckt::CktError) -> Self {
+        Self::Circuit(e)
+    }
+}

@@ -1,0 +1,159 @@
+//! Precision feasibility: sensing margins for 1–4-bit cells under
+//! threshold-voltage variation.
+//!
+//! The paper's Monte Carlo section closes by noting "an intriguing
+//! potential of our design for supporting higher precision, e.g., 3- or
+//! 4-bit storage and computation". This module makes that analysis
+//! concrete: packing `2^n` levels into the fixed 1.2 V programming window
+//! shrinks the overdrive margin between adjacent states to
+//! `0.6 V / (2^n − 1)`, and V_TH variation turns that margin into a
+//! per-cell misclassification probability
+//! `P_err = Φ(−margin / σ)` (a Gaussian tail). From there the expected
+//! number of wrongly-counted stages per chain and the maximum chain
+//! length that keeps the decode reliable follow in closed form.
+
+use crate::cell::VoltageLadder;
+use crate::encoding::Encoding;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+use tdam_num::dist::normal_cdf;
+
+/// Margin analysis for one element precision at one variation level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginReport {
+    /// Bits per cell analyzed.
+    pub bits: u8,
+    /// V_TH variation level (σ), volts.
+    pub sigma: f64,
+    /// Overdrive margin between a matching cell and an adjacent-level
+    /// mismatch, volts (`step / 2`).
+    pub margin: f64,
+    /// Probability that a single cell miscounts (false conduction on a
+    /// match, or a missed adjacent mismatch).
+    pub p_cell_error: f64,
+    /// Expected miscounted stages in a chain of `N`: `N · p_cell_error`
+    /// evaluated at `N = 1` (scale linearly).
+    pub expected_errors_per_stage: f64,
+    /// Longest chain whose expected decode error stays below half a
+    /// count (`N · p ≤ 0.5`); `usize::MAX` when `p = 0`.
+    pub max_reliable_chain: usize,
+}
+
+/// Analyzes the sensing margin of `bits`-bit cells under variation `sigma`.
+///
+/// # Errors
+///
+/// Returns [`TdamError::InvalidConfig`] for a negative or non-finite
+/// sigma, or bit widths outside `1..=4`.
+///
+/// # Examples
+///
+/// ```
+/// use tdam::margins::analyze;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let two_bit = analyze(2, 45e-3)?;
+/// let four_bit = analyze(4, 45e-3)?;
+/// assert!(two_bit.margin > four_bit.margin);
+/// assert!(two_bit.max_reliable_chain > four_bit.max_reliable_chain);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(bits: u8, sigma: f64) -> Result<MarginReport, TdamError> {
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(TdamError::InvalidConfig {
+            what: "sigma must be finite and nonnegative",
+        });
+    }
+    let encoding = Encoding::new(bits)?;
+    let ladder = VoltageLadder::for_encoding(encoding);
+    let margin = ladder.step() / 2.0;
+    let p_cell_error = if sigma == 0.0 {
+        0.0
+    } else {
+        normal_cdf(-margin / sigma)
+    };
+    let max_reliable_chain = if p_cell_error <= 0.0 {
+        usize::MAX
+    } else {
+        (0.5 / p_cell_error) as usize
+    };
+    Ok(MarginReport {
+        bits,
+        sigma,
+        margin,
+        p_cell_error,
+        expected_errors_per_stage: p_cell_error,
+        max_reliable_chain,
+    })
+}
+
+/// Sweeps all four precisions at one variation level.
+///
+/// # Errors
+///
+/// As [`analyze`].
+pub fn precision_sweep(sigma: f64) -> Result<Vec<MarginReport>, TdamError> {
+    (1..=4u8).map(|b| analyze(b, sigma)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margins_shrink_with_precision() {
+        let reports = precision_sweep(45e-3).expect("sweep");
+        assert_eq!(reports.len(), 4);
+        for w in reports.windows(2) {
+            assert!(w[0].margin > w[1].margin);
+            assert!(w[0].p_cell_error <= w[1].p_cell_error);
+            assert!(w[0].max_reliable_chain >= w[1].max_reliable_chain);
+        }
+        // 2-bit margin is the paper's 0.2 V.
+        assert!((reports[1].margin - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_bit_at_experimental_sigma_is_safe() {
+        // Worst experimental state sigma is 45 mV: margin/sigma ≈ 4.4σ,
+        // per-cell error ~5e-6 → chains of thousands of stages decode
+        // reliably.
+        let r = analyze(2, 45e-3).expect("analyze");
+        assert!(r.p_cell_error < 1e-5, "p = {}", r.p_cell_error);
+        assert!(r.max_reliable_chain > 1000);
+    }
+
+    #[test]
+    fn four_bit_needs_tighter_variation() {
+        // 4-bit margin is 0.04 V: at 45 mV sigma the cell is unreliable,
+        // at 7 mV (the paper's best state) it works for realistic chains.
+        let loose = analyze(4, 45e-3).expect("analyze");
+        assert!(
+            loose.max_reliable_chain < 10,
+            "4-bit at 45 mV should be infeasible, got {}",
+            loose.max_reliable_chain
+        );
+        let tight = analyze(4, 7e-3).expect("analyze");
+        assert!(
+            tight.max_reliable_chain >= 64,
+            "4-bit at 7 mV should support realistic chains, got {}",
+            tight.max_reliable_chain
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_perfect() {
+        let r = analyze(3, 0.0).expect("analyze");
+        assert_eq!(r.p_cell_error, 0.0);
+        assert_eq!(r.max_reliable_chain, usize::MAX);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(analyze(0, 0.01).is_err());
+        assert!(analyze(5, 0.01).is_err());
+        assert!(analyze(2, -0.01).is_err());
+        assert!(analyze(2, f64::NAN).is_err());
+    }
+}

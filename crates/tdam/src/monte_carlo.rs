@@ -1,0 +1,320 @@
+//! V_TH-variation Monte Carlo analysis (paper Fig. 6).
+//!
+//! The paper models all FeFET non-idealities as a threshold-voltage shift
+//! and examines the *worst-case* computation — every stage mismatched with
+//! the minimum one-level distance — under per-state variation levels up to
+//! σ = 60 mV plus the experimentally fitted per-state model. A run passes
+//! when its total delay stays within the sensing margin (±`d_C`/2) of the
+//! nominal all-mismatch delay, i.e. the counter still decodes the correct
+//! mismatch count.
+
+use crate::cell::Cell;
+use crate::chain::DelayChain;
+use crate::config::ArrayConfig;
+use crate::timing::StageTiming;
+use crate::TdamError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tdam_fefet::variation::VthVariation;
+use tdam_num::{Histogram, Summary};
+
+/// Configuration of a Monte Carlo experiment.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Array/chain configuration.
+    pub array: ArrayConfig,
+    /// Threshold-voltage variation model.
+    pub variation: VthVariation,
+    /// Number of Monte Carlo runs.
+    pub runs: usize,
+    /// Stored element value used for every stage.
+    pub stored_value: u8,
+    /// Query element value used for every stage (the paper's worst case is
+    /// an adjacent level: minimum conduction overdrive on every stage).
+    pub query_value: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl McConfig {
+    /// The paper's Fig. 6 worst case: every stage stores `1` and is
+    /// queried with `2` (one-level mismatch on all stages).
+    pub fn worst_case(array: ArrayConfig, variation: VthVariation, runs: usize, seed: u64) -> Self {
+        Self {
+            array,
+            variation,
+            runs,
+            stored_value: 1,
+            query_value: 2,
+            seed,
+        }
+    }
+}
+
+/// Aggregated Monte Carlo outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McResult {
+    /// Total delay of each run, seconds.
+    pub delays: Vec<f64>,
+    /// Summary statistics over the delays.
+    pub summary: Summary,
+    /// The nominal (variation-free) delay of the same computation.
+    pub nominal_delay: f64,
+    /// The sensing margin (`d_C`/2) used for the pass criterion.
+    pub sensing_margin: f64,
+    /// Fraction of runs whose delay error stays within the sensing margin.
+    pub within_margin: f64,
+    /// Fraction of runs whose decoded mismatch count is exactly correct.
+    pub decode_accuracy: f64,
+}
+
+impl McResult {
+    /// Builds a histogram of the run delays with `bins` bins spanning
+    /// slightly past the observed extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no delays (zero-run configurations are rejected
+    /// earlier).
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        assert!(!self.delays.is_empty(), "no Monte Carlo runs recorded");
+        let span = (self.summary.max - self.summary.min).max(1e-15);
+        let lo = self.summary.min - 0.05 * span;
+        let hi = self.summary.max + 0.05 * span;
+        let mut h = Histogram::new(lo, hi, bins).expect("widened non-empty range");
+        h.extend_from_slice(&self.delays);
+        h
+    }
+}
+
+/// Runs the Monte Carlo experiment, parallelized across available cores.
+///
+/// Each run samples an actual threshold voltage for both FeFETs of every
+/// cell from the variation model (the cell's `F_A` is programmed to the
+/// stored state, `F_B` to the reversed state), then evaluates the chain's
+/// variation-aware delay model.
+///
+/// # Errors
+///
+/// Returns [`TdamError::InvalidConfig`] for zero runs or query/stored
+/// values outside the encoding, plus any chain-construction errors.
+pub fn run(cfg: &McConfig) -> Result<McResult, TdamError> {
+    if cfg.runs == 0 {
+        return Err(TdamError::InvalidConfig {
+            what: "Monte Carlo needs at least one run",
+        });
+    }
+    cfg.array.validate()?;
+    let enc = cfg.array.encoding;
+    enc.validate(&[cfg.stored_value, cfg.query_value])?;
+    let levels = enc.levels();
+    if levels as usize > cfg.variation.states() {
+        return Err(TdamError::InvalidConfig {
+            what: "variation model has fewer states than the encoding",
+        });
+    }
+
+    let timing = StageTiming::analytic(&cfg.array.tech, cfg.array.c_load)?;
+    let stages = cfg.array.stages;
+    let query = vec![cfg.query_value; stages];
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cfg.runs);
+    let chunk = cfg.runs.div_ceil(n_threads);
+
+    let mut delays: Vec<f64> = Vec::with_capacity(cfg.runs);
+    let results: Vec<Result<Vec<f64>, TdamError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let runs_here = chunk.min(cfg.runs.saturating_sub(t * chunk));
+            if runs_here == 0 {
+                continue;
+            }
+            let variation = cfg.variation.clone();
+            let array_cfg = cfg.array;
+            let query = query.clone();
+            let seed = cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let stored_value = cfg.stored_value;
+            handles.push(scope.spawn(move || -> Result<Vec<f64>, TdamError> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let rev_state = levels - 1 - stored_value;
+                let mut out = Vec::with_capacity(runs_here);
+                for _ in 0..runs_here {
+                    let cells = (0..stages)
+                        .map(|_| {
+                            let vth_a = variation
+                                .sample_vth(stored_value, &mut rng)
+                                .expect("state validated above");
+                            let vth_b = variation
+                                .sample_vth(rev_state, &mut rng)
+                                .expect("state validated above");
+                            Cell::with_vth(stored_value, enc, vth_a, vth_b)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let chain = DelayChain::from_cells(cells, &array_cfg, timing)?;
+                    out.push(chain.evaluate(&query)?.total_delay);
+                }
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for r in results {
+        delays.extend(r?);
+    }
+
+    let nominal_chain = DelayChain::with_timing(&vec![cfg.stored_value; stages], &cfg.array, timing)?;
+    let nominal = nominal_chain.evaluate(&query)?;
+    let nominal_delay = nominal.total_delay;
+    let margin = timing.sensing_margin();
+    let within = delays
+        .iter()
+        .filter(|&&d| (d - nominal_delay).abs() <= margin)
+        .count() as f64
+        / delays.len() as f64;
+    let decode_ok = delays
+        .iter()
+        .filter(|&&d| nominal_chain.decode_mismatches(d) == nominal.mismatches)
+        .count() as f64
+        / delays.len() as f64;
+
+    let summary = Summary::from_slice(&delays);
+    Ok(McResult {
+        delays,
+        summary,
+        nominal_delay,
+        sensing_margin: margin,
+        within_margin: within,
+        decode_accuracy: decode_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(stages: usize) -> ArrayConfig {
+        ArrayConfig::paper_default().with_stages(stages)
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let cfg = McConfig::worst_case(base(32), VthVariation::none(), 50, 1);
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.within_margin, 1.0);
+        assert_eq!(r.decode_accuracy, 1.0);
+        assert!(r.summary.std_dev < 1e-18, "σ=0 must be deterministic");
+        assert!((r.summary.mean - r.nominal_delay).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spread_grows_with_sigma() {
+        let lo = run(&McConfig::worst_case(
+            base(32),
+            VthVariation::uniform(20e-3),
+            200,
+            2,
+        ))
+        .unwrap();
+        let hi = run(&McConfig::worst_case(
+            base(32),
+            VthVariation::uniform(60e-3),
+            200,
+            2,
+        ))
+        .unwrap();
+        assert!(
+            hi.summary.std_dev > lo.summary.std_dev,
+            "σ=60mV spread {} must exceed σ=20mV spread {}",
+            hi.summary.std_dev,
+            lo.summary.std_dev
+        );
+    }
+
+    #[test]
+    fn spread_grows_with_chain_length() {
+        let short = run(&McConfig::worst_case(
+            base(64),
+            VthVariation::uniform(40e-3),
+            200,
+            3,
+        ))
+        .unwrap();
+        let long = run(&McConfig::worst_case(
+            base(128),
+            VthVariation::uniform(40e-3),
+            200,
+            3,
+        ))
+        .unwrap();
+        assert!(long.summary.std_dev > short.summary.std_dev);
+    }
+
+    #[test]
+    fn experimental_variation_mostly_within_margin() {
+        // The paper's robustness claim: with the measured variation model,
+        // the vast majority of runs stay within the sensing margin.
+        let r = run(&McConfig::worst_case(
+            base(64),
+            VthVariation::experimental(),
+            300,
+            4,
+        ))
+        .unwrap();
+        assert!(
+            r.within_margin > 0.9,
+            "experimental variation should be robust, within_margin = {}",
+            r.within_margin
+        );
+    }
+
+    #[test]
+    fn histogram_covers_all_runs() {
+        let r = run(&McConfig::worst_case(
+            base(32),
+            VthVariation::uniform(40e-3),
+            100,
+            5,
+        ))
+        .unwrap();
+        let h = r.histogram(20);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let cfg = McConfig {
+            runs: 0,
+            ..McConfig::worst_case(base(8), VthVariation::none(), 1, 0)
+        };
+        assert!(run(&cfg).is_err());
+        let cfg = McConfig {
+            query_value: 9,
+            ..McConfig::worst_case(base(8), VthVariation::none(), 10, 0)
+        };
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mk = || {
+            run(&McConfig::worst_case(
+                base(16),
+                VthVariation::uniform(40e-3),
+                64,
+                42,
+            ))
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        let mut xs = a.delays.clone();
+        let mut ys = b.delays.clone();
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(xs, ys);
+    }
+}

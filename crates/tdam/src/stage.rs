@@ -1,0 +1,321 @@
+//! The variable-capacitance delay stage (paper Fig. 3(b)).
+//!
+//! A stage is an inverter whose output can have a load capacitor attached
+//! through a PMOS switch. The switch gate is the IMC cell's match node:
+//! a mismatch discharges MN to ground, turning the switch on and adding
+//! `d_C` to the stage's propagation delay; a match leaves MN at `V_DD` and
+//! the stage at its intrinsic delay `d_INV`.
+//!
+//! This module provides netlist builders for single-stage circuits (used
+//! for calibration, Fig. 4 fidelity checks, and unit tests) and the
+//! circuit-based calibration routine behind
+//! [`StageTiming::from_circuit`](crate::timing::StageTiming::from_circuit).
+
+use crate::cell::Cell;
+use crate::config::TechParams;
+use crate::timing::StageTiming;
+use crate::TdamError;
+use tdam_ckt::analysis::{TranConfig, Transient};
+use tdam_ckt::netlist::Netlist;
+use tdam_ckt::waveform::{Edge, Waveform};
+
+/// How the match node is driven in a single-stage test circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MnDrive {
+    /// MN forced to `V_DD` (match: load capacitor detached).
+    ForcedMatch,
+    /// MN forced to ground (mismatch: load capacitor attached).
+    ForcedMismatch,
+    /// MN produced by a real 2-FeFET cell comparing `stored` against
+    /// `query`.
+    Cell {
+        /// The cell (with its possibly perturbed thresholds).
+        cell: Cell,
+        /// The query element driven on the search lines.
+        query: u8,
+    },
+}
+
+/// Builds a single delay-stage circuit.
+///
+/// Topology: `in → inverter(MP/MN) → out`, with `C_load` attached to `out`
+/// through PMOS switch `MSW` gated by the match node, `C_self` at `out`,
+/// and a `C_gate` stand-in for the next stage's input. The input is driven
+/// by `input_wave`; supply is `tech.vdd`. Node names: `"in"`, `"out"`,
+/// `"mn"`, `"vdd"`, `"ctop"` (load-capacitor top plate).
+///
+/// # Errors
+///
+/// Returns [`TdamError`] for invalid capacitances or (in [`MnDrive::Cell`]
+/// mode) an out-of-range query value.
+pub fn build_stage_netlist(
+    tech: &TechParams,
+    c_load: f64,
+    mn_drive: &MnDrive,
+    input_wave: Waveform,
+) -> Result<Netlist, TdamError> {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let inp = nl.node("in");
+    let out = nl.node("out");
+    let mn = nl.node("mn");
+    let ctop = nl.node("ctop");
+
+    nl.vsource("VDD", vdd, Netlist::GND, Waveform::dc(tech.vdd));
+    nl.vsource("VIN", inp, Netlist::GND, input_wave);
+
+    // The inverter.
+    nl.mosfet("MP", out, inp, vdd, tech.pmos);
+    nl.mosfet("MNINV", out, inp, Netlist::GND, tech.nmos);
+    // Output parasitics and next-stage gate load.
+    nl.capacitor("CSELF", out, Netlist::GND, tech.c_self)?;
+    nl.capacitor("CGATE", out, Netlist::GND, tech.c_gate)?;
+    // Load capacitor behind the PMOS switch.
+    nl.mosfet(
+        "MSW",
+        ctop,
+        mn,
+        out,
+        tech.pmos.with_width_multiple(tech.switch_width_mult),
+    );
+    nl.capacitor("CLOAD", ctop, Netlist::GND, c_load)?;
+
+    match mn_drive {
+        MnDrive::ForcedMatch => {
+            nl.vsource("VMN", mn, Netlist::GND, Waveform::dc(tech.vdd));
+        }
+        MnDrive::ForcedMismatch => {
+            nl.vsource("VMN", mn, Netlist::GND, Waveform::dc(0.0));
+        }
+        MnDrive::Cell { cell, query } => {
+            cell.encoding().validate(&[*query])?;
+            let sla = nl.node("sla");
+            let slb = nl.node("slb");
+            let pre = nl.node("pre");
+            let levels = cell.encoding().levels();
+            let v_sl_a = cell.ladder().vsl(*query);
+            let v_sl_b = cell.ladder().vsl(levels - 1 - *query);
+            // Precharge 0..0.5 ns, search lines assert at 0.6 ns.
+            nl.vsource(
+                "VPRE",
+                pre,
+                Netlist::GND,
+                Waveform::Pwl(vec![(0.0, 0.0), (0.5e-9, 0.0), (0.55e-9, tech.vdd)]),
+            );
+            nl.vsource(
+                "VSLA",
+                sla,
+                Netlist::GND,
+                Waveform::Pwl(vec![(0.0, 0.0), (0.6e-9, 0.0), (0.65e-9, v_sl_a)]),
+            );
+            nl.vsource(
+                "VSLB",
+                slb,
+                Netlist::GND,
+                Waveform::Pwl(vec![(0.0, 0.0), (0.6e-9, 0.0), (0.65e-9, v_sl_b)]),
+            );
+            nl.mosfet("MPRE", mn, pre, vdd, tech.pmos);
+            let (vth_a, vth_b) = cell.vth_actual();
+            nl.mosfet("FA", mn, sla, Netlist::GND, tech.nmos.with_vth(vth_a));
+            nl.mosfet("FB", mn, slb, Netlist::GND, tech.nmos.with_vth(vth_b));
+            nl.capacitor("CMN", mn, Netlist::GND, tech.c_mn)?;
+        }
+    }
+    Ok(nl)
+}
+
+/// Measured single-stage propagation behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMeasurement {
+    /// Input-to-output 50% propagation delay, seconds.
+    pub delay: f64,
+    /// Energy delivered by the supply over the run, joules.
+    pub supply_energy: f64,
+}
+
+/// Simulates one stage through a full pulse cycle and measures the
+/// *active-edge* propagation delay and the total supply energy.
+///
+/// In the 2-step operation scheme an active stage always receives a
+/// **rising** input edge (the propagating edge arrives after an even
+/// number of inversions), so its own output makes the **falling**,
+/// load-capacitor-gated transition — that is the edge whose 50% delay is
+/// measured here. The input then falls again so the output (and the load
+/// capacitor, on a mismatch) recharges, which is what makes the measured
+/// supply energy a full-cycle `C·V²` figure.
+///
+/// # Errors
+///
+/// Propagates circuit failures; returns [`TdamError::InvalidConfig`] if
+/// the output never crosses 50% (e.g. broken stage).
+pub fn measure_stage(
+    tech: &TechParams,
+    c_load: f64,
+    mn_drive: &MnDrive,
+    t_stop: f64,
+) -> Result<StageMeasurement, TdamError> {
+    let vdd = tech.vdd;
+    // Rising input edge at 2 ns (after any cell compute phase settles);
+    // the pulse stays high long enough for the loaded falling output to
+    // settle, then returns low to recharge.
+    let t_edge = 2.0e-9;
+    let width = (t_stop - t_edge) * 0.55 - 20e-12;
+    let input = Waveform::pulse_once(0.0, vdd, t_edge, 20e-12, width.max(100e-12));
+    let nl = build_stage_netlist(tech, c_load, mn_drive, input)?;
+    let res = Transient::new(&nl, TranConfig::until(t_stop).with_max_step(2e-12)).run()?;
+    let t_in = res
+        .trace("in")?
+        .first_crossing(vdd / 2.0, Edge::Rising)
+        .ok_or(TdamError::InvalidConfig {
+            what: "input edge not found",
+        })?;
+    let t_out = res
+        .trace("out")?
+        .first_crossing(vdd / 2.0, Edge::Falling)
+        .ok_or(TdamError::InvalidConfig {
+            what: "stage output never switched",
+        })?;
+    let supply_energy = res.delivered_energy("VDD")?;
+    Ok(StageMeasurement {
+        delay: t_out - t_in,
+        supply_energy,
+    })
+}
+
+/// Calibrates a [`StageTiming`] from circuit simulation: measures the
+/// stage in forced-match and forced-mismatch configuration and fills the
+/// energy terms from the same analytic switched-capacitance expressions
+/// used by [`StageTiming::analytic`] (supply-energy integration of the
+/// match/mismatch difference cross-checks `e_c` in tests).
+///
+/// # Errors
+///
+/// Propagates circuit failures.
+pub fn calibrate_from_circuit(tech: &TechParams, c_load: f64) -> Result<StageTiming, TdamError> {
+    // Window long enough for the slowest (large C, low VDD) cases: the
+    // analytic estimate bounds the real delay to well within 10x.
+    let est = StageTiming::analytic(tech, c_load)?;
+    let t_stop = 2.0e-9 + (20.0 * (est.d_c + 4.0 * est.d_inv)).max(2.0e-9);
+    let m_match = measure_stage(tech, c_load, &MnDrive::ForcedMatch, t_stop)?;
+    let m_mis = measure_stage(tech, c_load, &MnDrive::ForcedMismatch, t_stop)?;
+    let analytic = StageTiming::analytic(tech, c_load)?;
+    Ok(StageTiming {
+        d_inv: m_match.delay,
+        d_c: (m_mis.delay - m_match.delay).max(0.0),
+        ..analytic
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use crate::encoding::Encoding;
+
+    fn tech() -> TechParams {
+        TechParams::nominal_40nm()
+    }
+
+    #[test]
+    fn mismatch_slower_than_match() {
+        let t = tech();
+        let m = measure_stage(&t, 6e-15, &MnDrive::ForcedMatch, 6e-9).unwrap();
+        let x = measure_stage(&t, 6e-15, &MnDrive::ForcedMismatch, 6e-9).unwrap();
+        assert!(
+            x.delay > m.delay * 2.0,
+            "mismatch {:.3e} should be much slower than match {:.3e}",
+            x.delay,
+            m.delay
+        );
+    }
+
+    #[test]
+    fn bigger_cap_bigger_penalty() {
+        let t = tech();
+        let a = calibrate_from_circuit(&t, 6e-15).unwrap();
+        let b = calibrate_from_circuit(&t, 24e-15).unwrap();
+        let ratio = b.d_c / a.d_c;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "4x cap should give roughly 4x penalty, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn circuit_vs_analytic_same_ballpark() {
+        let t = tech();
+        let circuit = calibrate_from_circuit(&t, 6e-15).unwrap();
+        let analytic = StageTiming::analytic(&t, 6e-15).unwrap();
+        let ratio = circuit.d_c / analytic.d_c;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "circuit d_c {:.3e} vs analytic {:.3e}",
+            circuit.d_c,
+            analytic.d_c
+        );
+    }
+
+    #[test]
+    fn mismatch_consumes_more_energy() {
+        let t = tech();
+        let m = measure_stage(&t, 6e-15, &MnDrive::ForcedMatch, 6e-9).unwrap();
+        let x = measure_stage(&t, 6e-15, &MnDrive::ForcedMismatch, 6e-9).unwrap();
+        // The rising output charges C_load through the switch: ~C·V² more
+        // supply energy.
+        let extra = x.supply_energy - m.supply_energy;
+        let cv2 = 6e-15 * t.vdd * t.vdd;
+        assert!(
+            extra > 0.5 * cv2 && extra < 1.5 * cv2,
+            "extra supply energy {extra:e} should be near C·V² = {cv2:e}"
+        );
+    }
+
+    #[test]
+    fn cell_driven_stage_matches_forced_behaviour() {
+        let t = tech();
+        let enc = Encoding::paper_default();
+        // Match: stored 2, query 2 → behaves like ForcedMatch.
+        let cell = Cell::new(2, enc).unwrap();
+        let m_cell = measure_stage(
+            &t,
+            6e-15,
+            &MnDrive::Cell { cell, query: 2 },
+            6e-9,
+        )
+        .unwrap();
+        let m_forced = measure_stage(&t, 6e-15, &MnDrive::ForcedMatch, 6e-9).unwrap();
+        assert!(
+            (m_cell.delay - m_forced.delay).abs() < 0.3 * m_forced.delay.max(1e-12),
+            "cell-match {:.3e} vs forced-match {:.3e}",
+            m_cell.delay,
+            m_forced.delay
+        );
+        // Mismatch: stored 2, query 3 → like ForcedMismatch.
+        let cell = Cell::new(2, enc).unwrap();
+        let x_cell = measure_stage(
+            &t,
+            6e-15,
+            &MnDrive::Cell { cell, query: 3 },
+            6e-9,
+        )
+        .unwrap();
+        let x_forced = measure_stage(&t, 6e-15, &MnDrive::ForcedMismatch, 6e-9).unwrap();
+        assert!(
+            (x_cell.delay - x_forced.delay).abs() < 0.3 * x_forced.delay,
+            "cell-mismatch {:.3e} vs forced {:.3e}",
+            x_cell.delay,
+            x_forced.delay
+        );
+    }
+
+    #[test]
+    fn low_vdd_stage_still_functions() {
+        let t = tech().with_vdd(0.6);
+        let m = measure_stage(&t, 6e-15, &MnDrive::ForcedMatch, 20e-9).unwrap();
+        let x = measure_stage(&t, 6e-15, &MnDrive::ForcedMismatch, 20e-9).unwrap();
+        assert!(x.delay > m.delay);
+        // And it is slower than at nominal supply.
+        let m_hi = measure_stage(&tech(), 6e-15, &MnDrive::ForcedMatch, 6e-9).unwrap();
+        assert!(m.delay > m_hi.delay);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time-to-digital conversion: the counter-based sensing model.
+//!
+//! One of time-domain computing's core selling points (Sec. I of the
+//! paper) is that the output — a time interval — converts to digital with
+//! a plain counter instead of an ADC. The counter runs on a reference
+//! clock while the delayed pulse is in flight; the final count *is* the
+//! similarity result. Resolution is the reference period; to distinguish
+//! adjacent mismatch counts it must not exceed `d_C`.
+
+use crate::timing::StageTiming;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// A counter-based time-to-digital converter.
+///
+/// # Examples
+///
+/// ```
+/// use tdam::tdc::CounterTdc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tdc = CounterTdc::new(10e-12, 0.5e-15, 2.0e-15)?;
+/// assert_eq!(tdc.convert(95e-12), 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterTdc {
+    /// Reference clock period = one LSB of the conversion, seconds.
+    pub resolution: f64,
+    /// Counter energy per clock tick, joules.
+    pub e_per_count: f64,
+    /// Fixed per-conversion energy (latch + reset), joules.
+    pub e_static: f64,
+}
+
+impl CounterTdc {
+    /// Creates a TDC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::InvalidConfig`] for a non-positive resolution
+    /// or negative energies.
+    pub fn new(resolution: f64, e_per_count: f64, e_static: f64) -> Result<Self, TdamError> {
+        if !(resolution > 0.0) || !resolution.is_finite() {
+            return Err(TdamError::InvalidConfig {
+                what: "TDC resolution must be positive and finite",
+            });
+        }
+        if e_per_count < 0.0 || e_static < 0.0 {
+            return Err(TdamError::InvalidConfig {
+                what: "TDC energies must be nonnegative",
+            });
+        }
+        Ok(Self {
+            resolution,
+            e_per_count,
+            e_static,
+        })
+    }
+
+    /// A TDC matched to a stage calibration: resolution = `d_C` (one count
+    /// per mismatch), ripple-counter tick energy scaled as a small digital
+    /// block at the same supply.
+    ///
+    /// # Errors
+    ///
+    /// As [`CounterTdc::new`].
+    pub fn matched(timing: &StageTiming) -> Result<Self, TdamError> {
+        // A ~6-bit ripple counter: the LSB flop toggles every tick, bit k
+        // every 2^k ticks, so ~2 flop toggles per count ≈ 1 fF effective.
+        let c_eff = 1e-15;
+        Self::new(
+            timing.d_c,
+            c_eff * timing.vdd * timing.vdd,
+            2.0 * c_eff * timing.vdd * timing.vdd,
+        )
+    }
+
+    /// Converts a time interval to a count (floor of interval/LSB).
+    pub fn convert(&self, interval: f64) -> u64 {
+        if interval <= 0.0 {
+            0
+        } else {
+            (interval / self.resolution) as u64
+        }
+    }
+
+    /// Energy of one conversion over `interval`, joules.
+    pub fn conversion_energy(&self, interval: f64) -> f64 {
+        self.e_static + self.convert(interval) as f64 * self.e_per_count
+    }
+
+    /// Decodes a mismatch count from a measured total delay for a chain of
+    /// `stages` with the given `timing` (counter referenced to the
+    /// zero-mismatch baseline).
+    pub fn decode_mismatches(&self, timing: &StageTiming, stages: usize, delay: f64) -> usize {
+        let base = 2.0 * stages as f64 * timing.d_inv;
+        let excess = (delay - base).max(0.0);
+        (((excess / timing.d_c) + 0.5) as usize).min(stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TechParams;
+
+    fn timing() -> StageTiming {
+        StageTiming::analytic(&TechParams::nominal_40nm(), 6e-15).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CounterTdc::new(0.0, 0.0, 0.0).is_err());
+        assert!(CounterTdc::new(-1.0, 0.0, 0.0).is_err());
+        assert!(CounterTdc::new(1e-12, -1.0, 0.0).is_err());
+        assert!(CounterTdc::new(1e-12, 0.0, -1.0).is_err());
+        assert!(CounterTdc::new(1e-12, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn convert_floors() {
+        let tdc = CounterTdc::new(10e-12, 0.0, 0.0).unwrap();
+        assert_eq!(tdc.convert(0.0), 0);
+        assert_eq!(tdc.convert(-1.0), 0);
+        assert_eq!(tdc.convert(9.9e-12), 0);
+        assert_eq!(tdc.convert(10.1e-12), 1);
+        assert_eq!(tdc.convert(105e-12), 10);
+    }
+
+    #[test]
+    fn matched_resolution_equals_dc() {
+        let t = timing();
+        let tdc = CounterTdc::matched(&t).unwrap();
+        assert_eq!(tdc.resolution, t.d_c);
+    }
+
+    #[test]
+    fn decode_recovers_counts() {
+        let t = timing();
+        let tdc = CounterTdc::matched(&t).unwrap();
+        for n_mis in [0usize, 1, 5, 31] {
+            let delay = t.chain_delay(32, n_mis);
+            assert_eq!(tdc.decode_mismatches(&t, 32, delay), n_mis);
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_margin_error() {
+        let t = timing();
+        let tdc = CounterTdc::matched(&t).unwrap();
+        let delay = t.chain_delay(32, 7) + 0.45 * t.d_c;
+        assert_eq!(tdc.decode_mismatches(&t, 32, delay), 7);
+        let delay = t.chain_delay(32, 7) - 0.45 * t.d_c;
+        assert_eq!(tdc.decode_mismatches(&t, 32, delay), 7);
+    }
+
+    #[test]
+    fn conversion_energy_scales_with_interval() {
+        let tdc = CounterTdc::new(10e-12, 1e-15, 5e-15).unwrap();
+        let e1 = tdc.conversion_energy(100e-12);
+        let e2 = tdc.conversion_energy(200e-12);
+        assert!((e1 - (5e-15 + 10.0 * 1e-15)).abs() < 1e-24);
+        assert!(e2 > e1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Search throughput: pipelined operation and queries-per-second.
+//!
+//! A single search cycles through precharge → search-line settle →
+//! step I → step II → TDC latch. The phases use disjoint hardware
+//! (precharge drivers vs. delay chain vs. counters), so consecutive
+//! searches pipeline: while query *k*'s pulses are in flight, query
+//! *k+1*'s match nodes can precharge. Throughput is then set by the
+//! longest single phase rather than the cycle sum.
+
+use crate::config::ArrayConfig;
+use crate::timing::StageTiming;
+use crate::TdamError;
+use serde::{Deserialize, Serialize};
+
+/// Cycle-time breakdown of one search, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Match-node precharge phase.
+    pub precharge: f64,
+    /// Search-line assertion and settle (pulse launch window).
+    pub settle: f64,
+    /// Worst-case step-I propagation.
+    pub step_one: f64,
+    /// Worst-case step-II propagation.
+    pub step_two: f64,
+    /// TDC latch (one reference period).
+    pub tdc: f64,
+}
+
+impl CycleBreakdown {
+    /// Unpipelined cycle time (sum of all phases), seconds.
+    pub fn sequential(&self) -> f64 {
+        self.precharge + self.settle + self.step_one + self.step_two + self.tdc
+    }
+
+    /// Pipelined initiation interval: the longest phase pair that shares
+    /// hardware. The two propagation steps share the chain, so they stay
+    /// serialized; precharge+settle of the next search overlaps them.
+    pub fn pipelined(&self) -> f64 {
+        (self.precharge + self.settle).max(self.step_one + self.step_two + self.tdc)
+    }
+
+    /// Searches per second, unpipelined.
+    pub fn sequential_qps(&self) -> f64 {
+        1.0 / self.sequential()
+    }
+
+    /// Searches per second with pipelining.
+    pub fn pipelined_qps(&self) -> f64 {
+        1.0 / self.pipelined()
+    }
+}
+
+/// Computes the worst-case (all stages mismatched) cycle breakdown for an
+/// array configuration.
+///
+/// # Errors
+///
+/// Returns [`TdamError::InvalidConfig`] for invalid configurations.
+pub fn worst_case_cycle(config: &ArrayConfig) -> Result<CycleBreakdown, TdamError> {
+    config.validate()?;
+    let timing = StageTiming::analytic(&config.tech, config.c_load)?;
+    let n = config.stages as f64;
+    // Worst case: every active stage mismatches in its step.
+    let even = (config.stages.div_ceil(2)) as f64;
+    let odd = (config.stages / 2) as f64;
+    Ok(CycleBreakdown {
+        precharge: config.tech.t_precharge,
+        settle: config.tech.t_launch,
+        step_one: n * timing.d_inv + even * timing.d_c,
+        step_two: n * timing.d_inv + odd * timing.d_c,
+        tdc: timing.d_c,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(stages: usize) -> ArrayConfig {
+        ArrayConfig::paper_default().with_stages(stages)
+    }
+
+    #[test]
+    fn pipelining_never_slower() {
+        for stages in [8usize, 32, 128] {
+            let c = worst_case_cycle(&cfg(stages)).expect("cycle");
+            assert!(c.pipelined() <= c.sequential());
+            assert!(c.pipelined_qps() >= c.sequential_qps());
+        }
+    }
+
+    #[test]
+    fn short_chains_are_precharge_bound() {
+        // An 4-stage chain propagates in ~100 ps; the 2 ns front end
+        // dominates, so pipelining hides almost all of it.
+        let c = worst_case_cycle(&cfg(4)).expect("cycle");
+        assert!(
+            (c.pipelined() - (c.precharge + c.settle)).abs() < 1e-15,
+            "front-end bound: {:?}",
+            c
+        );
+        // Speedup equals sequential/front-end; modest here because the
+        // back end is tiny, but strictly positive.
+        assert!(c.pipelined_qps() > c.sequential_qps());
+    }
+
+    #[test]
+    fn long_chains_are_propagation_bound() {
+        let c = worst_case_cycle(&cfg(128)).expect("cycle");
+        assert!(
+            c.pipelined() > c.precharge + c.settle,
+            "128 stages of worst-case mismatch outlast the front end"
+        );
+    }
+
+    #[test]
+    fn steps_split_even_odd() {
+        let c = worst_case_cycle(&cfg(9)).expect("cycle");
+        // 9 stages: 5 even, 4 odd.
+        assert!(c.step_one > c.step_two);
+        let c = worst_case_cycle(&cfg(8)).expect("cycle");
+        assert!((c.step_one - c.step_two).abs() < 1e-18);
+    }
+
+    #[test]
+    fn qps_orders_of_magnitude() {
+        // 32 stages at nominal supply: cycle ≈ 3-4 ns → ~300 MQPS
+        // sequential; pipelined a bit better.
+        let c = worst_case_cycle(&cfg(32)).expect("cycle");
+        let qps = c.sequential_qps();
+        assert!(
+            (1e7..1e9).contains(&qps),
+            "sequential QPS {qps:e} out of expected range"
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(worst_case_cycle(&cfg(0)).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! FeFET device characterization: programming, I-V extraction, variation
+//! and lifetime — the device-engineering workflow under the TD-AM.
+//!
+//! Run with: `cargo run --release --example device_characterization`
+
+use fetdam::fefet::iv::sweep_fefet;
+use fetdam::fefet::programming::{program_state, program_vth_with_report, ProgramConfig};
+use fetdam::fefet::retention::Lifetime;
+use fetdam::fefet::{Fefet, FefetParams, PreisachParams, PAPER_VTH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = FefetParams {
+        preisach: PreisachParams {
+            domains: 512,
+            ..PreisachParams::default()
+        },
+        ..FefetParams::default()
+    };
+    let cfg = ProgramConfig::default();
+
+    println!("Programming the four 2-bit states with erase + write-verify:\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "state", "target (V)", "achieved", "pulses", "energy (pJ)", "SS (mV/dec)"
+    );
+    for (state, &target) in PAPER_VTH.iter().enumerate() {
+        let mut dev = Fefet::new(params);
+        let report = program_vth_with_report(&mut dev, target, &cfg)?;
+        let curve = sweep_fefet(&dev, 1.1, (-0.2, 1.8), 400);
+        let ss = curve
+            .subthreshold_swing(1e-7)
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "{state:>6} {target:>12.2} {:>12.3} {:>12} {:>14.3} {:>12}",
+            report.achieved_vth,
+            report.pulse_pairs,
+            report.energy * 1e12,
+            ss
+        );
+    }
+
+    println!("\nDevice figure of merit (state 0, fully programmed):");
+    let mut dev = Fefet::new(params);
+    program_state(&mut dev, 0, &cfg)?;
+    let curve = sweep_fefet(&dev, 1.1, (-0.2, 1.8), 600);
+    println!(
+        "  on/off ratio : {:.2e}",
+        curve.on_off_ratio().unwrap_or(f64::NAN)
+    );
+    println!(
+        "  peak gm      : {:.2e} S",
+        curve.peak_transconductance().unwrap_or(f64::NAN)
+    );
+
+    println!("\nThreshold ladder over lifetime (retention + endurance):");
+    println!(
+        "{:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "condition", "window", "V_TH0", "V_TH1", "V_TH2", "V_TH3"
+    );
+    for (label, cycles, seconds) in [
+        ("fresh", 0.0, 0.0),
+        ("1e6 cycles", 1e6, 0.0),
+        ("10 years", 1e6, 3.15e8),
+        ("1e10 cycles", 1e10, 3.15e8),
+    ] {
+        let mut life = Lifetime::fresh();
+        life.cycles = cycles;
+        life.seconds = seconds;
+        print!(
+            "{label:>14} {:>9.1}%",
+            life.window_fraction() * 100.0
+        );
+        for &v in &PAPER_VTH {
+            print!(" {:>8.3}", life.age_vth(v));
+        }
+        println!();
+    }
+    println!("\nAdjacent states stay separated through 10-year retention;\nfatigue past 1e10 cycles squeezes them into the variation floor.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Fault injection: how stuck cells bias quantitative search.
+//!
+//! Injects stuck-match and stuck-mismatch cells into an array and shows
+//! the decoded-distance bias, plus how many random faults the best-match
+//! decision survives.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use fetdam::tdam::array::TdamArray;
+use fetdam::tdam::config::ArrayConfig;
+use fetdam::tdam::faults::{build_faulty_array, FaultKind, FaultMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ArrayConfig::paper_default().with_stages(32).with_rows(4);
+    let stored: Vec<Vec<u8>> = vec![
+        vec![1; 32],
+        vec![2; 32],
+        (0..32).map(|i| (i % 4) as u8).collect(),
+        vec![0; 32],
+    ];
+    let query = vec![1u8; 32]; // exact content of row 0
+
+    println!("clean array:");
+    let clean = build_faulty_array(&cfg, &stored, &FaultMap::new())?;
+    let outcome = TdamArray::search(&clean, &query)?;
+    println!("  decoded distances: {:?}", outcome.decoded());
+
+    println!("\nstuck-mismatch at (row 0, stage 5) — the match row gains a phantom mismatch:");
+    let mut faults = FaultMap::new();
+    faults.inject(0, 5, FaultKind::StuckMismatch);
+    let faulty = build_faulty_array(&cfg, &stored, &faults)?;
+    let outcome = TdamArray::search(&faulty, &query)?;
+    println!("  decoded distances: {:?}", outcome.decoded());
+    println!("  best match still row {}", outcome.best_row().expect("rows"));
+
+    println!("\nrandom fault sweep: how many faults until the best match flips?");
+    let mut rng = StdRng::seed_from_u64(99);
+    for n_faults in [1usize, 4, 8, 16] {
+        let mut correct = 0;
+        let trials = 25;
+        for _ in 0..trials {
+            let mut faults = FaultMap::new();
+            for _ in 0..n_faults {
+                let kind = if rng.gen_bool(0.5) {
+                    FaultKind::StuckMismatch
+                } else {
+                    FaultKind::StuckMatch
+                };
+                faults.inject(rng.gen_range(0..4), rng.gen_range(0..32), kind);
+            }
+            let faulty = build_faulty_array(&cfg, &stored, &faults)?;
+            if TdamArray::search(&faulty, &query)?.best_row() == Some(0) {
+                correct += 1;
+            }
+        }
+        println!(
+            "  {n_faults:>2} random faults: best-match correct in {correct}/{trials} trials"
+        );
+    }
+    println!(
+        "\nQuantitative search degrades gracefully: each fault biases one\n\
+         row's distance by at most ±1, so sparse defects rarely flip the\n\
+         winner — unlike exact-match CAMs, where one stuck cell kills a row."
+    );
+    Ok(())
+}

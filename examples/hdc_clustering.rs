@@ -1,0 +1,55 @@
+//! Unsupervised HDC clustering, with centroids deployable to the TD-AM.
+//!
+//! Clusters unlabeled activity-recognition data in hyperdimensional
+//! space, reports purity against the hidden labels, and shows the fitted
+//! centroids being quantized for associative-memory deployment.
+//!
+//! Run with: `cargo run --release --example hdc_clustering`
+
+use fetdam::hdc::cluster::{purity, HdcClusters};
+use fetdam::hdc::datasets::{Dataset, DatasetKind};
+use fetdam::hdc::encoder::IdLevelEncoder;
+use fetdam::hdc::quantize::equal_area_quantize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = Dataset::generate(DatasetKind::Ucihar, 30, 8, 7);
+    let enc = IdLevelEncoder::new(2048, ds.features(), 32, (0.0, 1.0), 11)?;
+    let samples: Vec<Vec<f64>> = ds.train.iter().map(|(x, _)| x.clone()).collect();
+    let labels: Vec<usize> = ds.train.iter().map(|(_, l)| *l).collect();
+
+    println!(
+        "Clustering {} unlabeled samples ({} hidden activity classes) in 2048-dim HD space...",
+        samples.len(),
+        ds.classes()
+    );
+    let model = HdcClusters::fit(&enc, &samples, ds.classes(), 25, 3)?;
+    println!("converged after {} iterations", model.iterations());
+
+    let p = purity(model.assignments(), &labels, ds.classes(), ds.classes());
+    println!(
+        "cluster purity vs hidden labels: {:.1}% (chance: {:.1}%)",
+        p * 100.0,
+        100.0 / ds.classes() as f64
+    );
+
+    // Cluster sizes.
+    let mut sizes = vec![0usize; ds.classes()];
+    for &a in model.assignments() {
+        sizes[a] += 1;
+    }
+    println!("cluster sizes: {sizes:?}");
+
+    // The centroids quantize exactly like class hypervectors, so cluster
+    // assignment can run on TD-AM tiles as a nearest-centroid search.
+    println!("\nbinarizing centroids for TD-AM deployment:");
+    for (i, c) in model.centroids().iter().enumerate() {
+        let q = equal_area_quantize(c, 1)?;
+        let ones = q.levels().iter().filter(|&&l| l == 1).count();
+        println!(
+            "  centroid {i}: {} elements, balanced binarization ({} high)",
+            q.dims(),
+            ones
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: store multi-bit vectors in a TD-AM array and search.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fetdam::tdam::array::TdamArray;
+use fetdam::tdam::config::ArrayConfig;
+use fetdam::tdam::engine::SimilarityEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A TD-AM with 4 rows of 16 two-bit elements, paper-default process
+    // parameters (40 nm class, 6 fF load capacitors, 1.1 V).
+    let cfg = ArrayConfig::paper_default().with_stages(16).with_rows(4);
+    let mut am = TdamArray::new(cfg)?;
+
+    // Store four reference vectors (elements are 2-bit values, 0..=3).
+    am.store(0, &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3])?;
+    am.store(1, &[3, 3, 3, 3, 3, 3, 3, 3, 0, 0, 0, 0, 0, 0, 0, 0])?;
+    am.store(2, &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1])?;
+    am.store(3, &[0, 1, 2, 3, 3, 2, 1, 0, 0, 1, 2, 3, 3, 2, 1, 0])?;
+
+    // Search a query that is two elements away from row 0.
+    let query = [0, 1, 2, 3, 0, 1, 2, 2, 0, 1, 2, 3, 0, 1, 2, 2];
+    let outcome = TdamArray::search(&am, &query)?;
+
+    println!("query: {query:?}\n");
+    println!(
+        "{:>4} {:>12} {:>14} {:>10}",
+        "row", "mismatches", "delay (ps)", "TDC count"
+    );
+    for (i, row) in outcome.rows.iter().enumerate() {
+        println!(
+            "{i:>4} {:>12} {:>14.1} {:>10}",
+            row.decoded_mismatches,
+            row.chain.total_delay * 1e12,
+            row.count
+        );
+    }
+    println!(
+        "\nbest match: row {} (search latency {:.2} ns, energy {:.1} fJ)",
+        outcome.best_row().expect("array has rows"),
+        outcome.latency * 1e9,
+        outcome.energy.total() * 1e15
+    );
+
+    // The delay is linear in the mismatch count: the TD-AM is a
+    // *quantitative* associative memory, unlike match-only CAMs.
+    let timing = am.timing();
+    println!(
+        "stage timing: d_INV = {:.2} ps, d_C = {:.2} ps (delay = 2·N·d_INV + N_mis·d_C)",
+        timing.d_inv * 1e12,
+        timing.d_c * 1e12
+    );
+    Ok(())
+}

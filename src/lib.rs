@@ -1,0 +1,21 @@
+//! Meta-crate for the FeFET time-domain associative memory workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use fetdam::...`. See the crate-level docs of the
+//! members for details:
+//!
+//! - [`fefet`] — multi-domain Preisach FeFET device model
+//! - [`ckt`] — transient circuit simulator
+//! - [`tdam`] — the TD-AM itself (cell, chain, array, Monte Carlo)
+//! - [`baselines`] — comparison designs and GPU cost model
+//! - [`hdc`] — hyperdimensional computing application layer
+//! - [`num`] — numeric utilities
+
+#![forbid(unsafe_code)]
+
+pub use tdam;
+pub use tdam_baselines as baselines;
+pub use tdam_ckt as ckt;
+pub use tdam_fefet as fefet;
+pub use tdam_hdc as hdc;
+pub use tdam_num as num;

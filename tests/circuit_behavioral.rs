@@ -1,0 +1,74 @@
+//! Cross-layer agreement: the transient circuit simulator, the
+//! circuit-extracted timing calibration, and the behavioral chain model
+//! must tell one consistent story.
+
+use fetdam::tdam::chain::DelayChain;
+use fetdam::tdam::chain_circuit::CircuitChain;
+use fetdam::tdam::config::{ArrayConfig, TechParams};
+use fetdam::tdam::timing::StageTiming;
+
+#[test]
+fn circuit_calibrated_behavioral_tracks_full_circuit() {
+    let cfg = ArrayConfig::paper_default().with_stages(8);
+    let timing = StageTiming::from_circuit(&cfg.tech, cfg.c_load).expect("calibration");
+    let behavioral = DelayChain::with_timing(&[1; 8], &cfg, timing).expect("chain");
+    let circuit = CircuitChain::new(&[1; 8], &cfg).expect("circuit chain");
+
+    for n_mis in [0usize, 4, 8] {
+        let mut q = vec![1u8; 8];
+        for item in q.iter_mut().take(n_mis) {
+            *item = 2;
+        }
+        let d_beh = behavioral.evaluate(&q).expect("behavioral").total_delay;
+        let d_ckt = circuit.evaluate(&q, false).expect("circuit").total_delay();
+        let err = (d_beh - d_ckt).abs() / d_ckt;
+        assert!(
+            err < 0.30,
+            "n_mis={n_mis}: behavioral {d_beh:.3e} vs circuit {d_ckt:.3e} ({:.0}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn analytic_timing_within_2x_of_circuit_extraction() {
+    for vdd in [0.7, 0.9, 1.1] {
+        let tech = TechParams::nominal_40nm().with_vdd(vdd);
+        let analytic = StageTiming::analytic(&tech, 6e-15).expect("analytic");
+        let circuit = StageTiming::from_circuit(&tech, 6e-15).expect("circuit");
+        let ratio = circuit.d_c / analytic.d_c;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "V_DD={vdd}: circuit d_C {:.3e} vs analytic {:.3e}",
+            circuit.d_c,
+            analytic.d_c
+        );
+    }
+}
+
+#[test]
+fn mismatch_penalty_tracks_load_capacitor_in_circuit() {
+    // Quadrupling C_load should ~quadruple the circuit-extracted d_C.
+    let tech = TechParams::nominal_40nm();
+    let small = StageTiming::from_circuit(&tech, 6e-15).expect("6 fF");
+    let big = StageTiming::from_circuit(&tech, 24e-15).expect("24 fF");
+    let ratio = big.d_c / small.d_c;
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "4x C_load should give ~4x d_C, got {ratio}"
+    );
+}
+
+#[test]
+fn two_step_total_equals_sum_of_step_delays() {
+    let cfg = ArrayConfig::paper_default().with_stages(6);
+    let circuit = CircuitChain::new(&[1; 6], &cfg).expect("chain");
+    let q = [2u8, 1, 2, 1, 2, 1]; // mismatches on even stages only
+    let r = circuit.evaluate(&q, false).expect("evaluate");
+    assert!(
+        (r.total_delay() - (r.rising.delay + r.falling.delay)).abs() < 1e-18,
+        "total must be the sum of both step delays"
+    );
+    // All mismatches are on even stages → the rising step carries them.
+    assert!(r.rising.delay > r.falling.delay);
+}

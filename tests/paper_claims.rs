@@ -1,0 +1,162 @@
+//! The paper's headline claims, asserted end-to-end against the built
+//! system. Each test names the claim it guards.
+
+use fetdam::fefet::VthVariation;
+use fetdam::num::LinearFit;
+use fetdam::tdam::chain::DelayChain;
+use fetdam::tdam::config::ArrayConfig;
+use fetdam::tdam::monte_carlo::{run, McConfig};
+
+/// Sec. III-B / Fig. 4(c): "the total delay is linearly related to the
+/// number of mismatched stages, thus our design supports quantitative SC."
+#[test]
+fn claim_delay_linear_in_hamming_distance() {
+    let stages = 64;
+    let chain = DelayChain::new(
+        &vec![1u8; stages],
+        &ArrayConfig::paper_default().with_stages(stages),
+    )
+    .expect("chain");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for n_mis in 0..=stages {
+        let mut q = vec![1u8; stages];
+        for item in q.iter_mut().take(n_mis) {
+            *item = 2;
+        }
+        xs.push(n_mis as f64);
+        ys.push(chain.evaluate(&q).expect("evaluate").total_delay);
+    }
+    let fit = LinearFit::fit(&xs, &ys).expect("fit");
+    assert!(fit.r_squared > 0.999, "R² = {}", fit.r_squared);
+}
+
+/// Sec. IV-A: "the maximum energy efficiency achieved by our design was
+/// recorded as 0.159 fJ/bit" — our best case must land in the same
+/// decade.
+#[test]
+fn claim_best_case_energy_per_bit_near_paper() {
+    let cfg = ArrayConfig::paper_default().with_stages(64).with_vdd(0.6);
+    let chain = DelayChain::new(&[1u8; 64], &cfg).expect("chain");
+    let r = chain.evaluate(&[1u8; 64]).expect("full match");
+    let epb = r.energy.total() / cfg.bits_per_row() as f64;
+    assert!(
+        (0.05e-15..0.5e-15).contains(&epb),
+        "best-case energy/bit {epb:e} should be near the paper's 0.159 fJ"
+    );
+}
+
+/// Fig. 5: "energy and delay are proportional to the product of the load
+/// capacitor value and number of mismatch stages."
+#[test]
+fn claim_energy_delay_proportional_to_c_times_mismatches() {
+    let base = ArrayConfig::paper_default().with_stages(32);
+    let eval = |c_load: f64, n_mis: usize| {
+        let cfg = base.with_c_load(c_load);
+        let chain = DelayChain::new(&[1u8; 32], &cfg).expect("chain");
+        let mut q = vec![1u8; 32];
+        for item in q.iter_mut().take(n_mis) {
+            *item = 2;
+        }
+        let r = chain.evaluate(&q).expect("evaluate");
+        (r.energy.load_caps, r.total_delay)
+    };
+    // Doubling C at half the mismatches keeps the cap energy constant.
+    let (e1, _) = eval(12e-15, 16);
+    let (e2, _) = eval(24e-15, 8);
+    assert!(
+        (e1 - e2).abs() / e1 < 0.15,
+        "cap energy should depend on C x N_mis: {e1:e} vs {e2:e}"
+    );
+    // Delay: the mismatch-induced excess should likewise be ~invariant.
+    let base_delay = |c: f64| eval(c, 0).1;
+    let (_, d1) = eval(12e-15, 16);
+    let (_, d2) = eval(24e-15, 8);
+    let ex1 = d1 - base_delay(12e-15);
+    let ex2 = d2 - base_delay(24e-15);
+    assert!(
+        (ex1 - ex2).abs() / ex1 < 0.15,
+        "excess delay should depend on C x N_mis: {ex1:e} vs {ex2:e}"
+    );
+}
+
+/// Fig. 6: "even when considering FeFET V_TH variation up to 60 mV, the
+/// delays of the vast majority of Monte Carlo runs remain within the
+/// sensing margin", and the experimentally fitted model is robust.
+#[test]
+fn claim_robust_to_vth_variation() {
+    let array = ArrayConfig::paper_default().with_stages(64);
+    let experimental = run(&McConfig::worst_case(
+        array,
+        VthVariation::experimental(),
+        400,
+        0x60D,
+    ))
+    .expect("MC");
+    assert!(
+        experimental.within_margin > 0.95,
+        "experimental-variation margin pass rate {}",
+        experimental.within_margin
+    );
+    let sigma60 = run(&McConfig::worst_case(
+        array,
+        VthVariation::uniform(60e-3),
+        400,
+        0x60D,
+    ))
+    .expect("MC");
+    assert!(
+        sigma60.within_margin > 0.80,
+        "60 mV margin pass rate {} (paper: vast majority)",
+        sigma60.within_margin
+    );
+    // And spread ordering: 60 mV must be visibly worse than experimental.
+    assert!(sigma60.summary.std_dev > experimental.summary.std_dev);
+}
+
+/// Table I: quantitative ordering of the compared designs.
+#[test]
+fn claim_table1_ordering() {
+    let rows = fetdam::baselines::comparison_table(60, 0x7AB1E).expect("table");
+    let epb = |needle: &str| {
+        rows.iter()
+            .find(|r| r.design.contains(needle))
+            .unwrap_or_else(|| panic!("{needle} missing"))
+            .energy_per_bit
+    };
+    let ours = epb("This work");
+    // The paper's ordering: TIMAQ >> 16T > 2FeFET CAM > [24] > ours > Fe-FinFET.
+    assert!(epb("TIMAQ") > 4.0 * ours);
+    assert!(epb("16T") > ours);
+    assert!(epb("Nat. Electron.") > ours);
+    assert!(epb("[24]") > ours);
+    assert!(epb("Fe-FinFET") < ours);
+}
+
+/// Sec. II-C / III: the variable-capacitance structure is far more robust
+/// to V_TH variation than putting the FeFET in the signal path.
+#[test]
+fn claim_vc_beats_vr_on_variation() {
+    use fetdam::baselines::fefinfet::{FeFinFet, FeFinFetParams};
+    let vr = FeFinFet::new(1, 8, FeFinFetParams::default());
+    // ±45 mV (the worst experimental state sigma) on the VR stage:
+    let nominal = vr.stage_delay_with_vth_shift(0.0);
+    let vr_swing = (vr.stage_delay_with_vth_shift(45e-3) - vr.stage_delay_with_vth_shift(-45e-3))
+        .abs()
+        / nominal;
+
+    // The same variation on the VC chain, per stage:
+    let array = ArrayConfig::paper_default().with_stages(32);
+    let mc = run(&McConfig::worst_case(
+        array,
+        VthVariation::uniform(45e-3),
+        300,
+        0x5C,
+    ))
+    .expect("MC");
+    let vc_swing = 6.0 * mc.summary.std_dev / (32f64.sqrt()) / (mc.summary.mean / 32.0);
+    assert!(
+        vr_swing > 5.0 * vc_swing,
+        "VR relative swing {vr_swing} should dwarf VC {vc_swing}"
+    );
+}

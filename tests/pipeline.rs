@@ -1,0 +1,100 @@
+//! End-to-end pipeline integration: dataset → encoder → training →
+//! quantization → TD-AM hardware deployment, verified layer against
+//! layer.
+
+use fetdam::hdc::datasets::{Dataset, DatasetKind};
+use fetdam::hdc::encoder::IdLevelEncoder;
+use fetdam::hdc::mapping::TdamHdcInference;
+use fetdam::hdc::quantize::QuantizedModel;
+use fetdam::hdc::train::HdcModel;
+
+fn pipeline(
+    kind: DatasetKind,
+    dims: usize,
+    bits: u8,
+) -> (
+    Dataset,
+    IdLevelEncoder,
+    HdcModel,
+    QuantizedModel,
+    TdamHdcInference,
+) {
+    let ds = Dataset::generate(kind, 30, 10, 99);
+    let enc = IdLevelEncoder::new(dims, ds.features(), 32, (0.0, 1.0), 3).expect("encoder");
+    let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).expect("training");
+    let quant = QuantizedModel::from_model(&model, bits).expect("quantization");
+    let hw = TdamHdcInference::new(&quant, 128, 0.6).expect("deployment");
+    (ds, enc, model, quant, hw)
+}
+
+#[test]
+fn hardware_inference_matches_software_exactly() {
+    let (ds, enc, _, quant, hw) = pipeline(DatasetKind::Face, 1024, 2);
+    for (x, _) in ds.test.iter().take(20) {
+        let h = enc.encode(x).expect("encode");
+        let q = quant.quantize_query(&h).expect("quantize");
+        let (sw_class, sw_dist) = quant.classify_quantized(&q).expect("software classify");
+        let hw_result = hw.classify(&q).expect("hardware classify");
+        assert_eq!(hw_result.class, sw_class);
+        assert_eq!(hw_result.distance, sw_dist);
+    }
+}
+
+#[test]
+fn hardware_accuracy_close_to_full_precision() {
+    let (ds, enc, model, quant, hw) = pipeline(DatasetKind::Face, 1024, 2);
+    let full_acc = model.accuracy(&enc, &ds.test).expect("accuracy");
+    let mut correct = 0usize;
+    for (x, label) in &ds.test {
+        let h = enc.encode(x).expect("encode");
+        let q = quant.quantize_query(&h).expect("quantize");
+        if hw.classify(&q).expect("hardware classify").class == *label {
+            correct += 1;
+        }
+    }
+    let hw_acc = correct as f64 / ds.test.len() as f64;
+    assert!(
+        hw_acc > full_acc - 0.12,
+        "hardware accuracy {hw_acc} vs full-precision {full_acc}"
+    );
+    assert!(hw_acc > 0.75, "absolute hardware accuracy too low: {hw_acc}");
+}
+
+#[test]
+fn inference_cost_scales_with_model_size() {
+    let (ds, enc, _, quant, hw) = pipeline(DatasetKind::Face, 512, 2);
+    let (ds2, enc2, _, quant2, hw2) = pipeline(DatasetKind::Face, 2048, 2);
+
+    let q = quant
+        .quantize_query(&enc.encode(&ds.test[0].0).expect("encode"))
+        .expect("quantize");
+    let q2 = quant2
+        .quantize_query(&enc2.encode(&ds2.test[0].0).expect("encode"))
+        .expect("quantize");
+    let r = hw.classify(&q).expect("classify");
+    let r2 = hw2.classify(&q2).expect("classify");
+
+    // 4x the dimensionality → 4x the tiles → ~4x latency and energy.
+    let lat_ratio = r2.latency / r.latency;
+    let e_ratio = r2.energy.total() / r.energy.total();
+    assert!((3.0..5.5).contains(&lat_ratio), "latency ratio {lat_ratio}");
+    assert!((2.5..6.0).contains(&e_ratio), "energy ratio {e_ratio}");
+}
+
+#[test]
+fn every_precision_deploys_and_stays_consistent() {
+    for bits in 1..=4u8 {
+        // 3-bit needs dims divisible by 3: use 768·bits-compatible 1536.
+        let dims = match bits {
+            3 => 1536,
+            _ => 1024,
+        };
+        let (ds, enc, _, quant, hw) = pipeline(DatasetKind::Ucihar, dims, bits);
+        assert_eq!(quant.dims(), dims / bits as usize);
+        let h = enc.encode(&ds.test[0].0).expect("encode");
+        let q = quant.quantize_query(&h).expect("quantize");
+        let (sw_class, _) = quant.classify_quantized(&q).expect("software");
+        let hw_result = hw.classify(&q).expect("hardware");
+        assert_eq!(hw_result.class, sw_class, "bits={bits}");
+    }
+}

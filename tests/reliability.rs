@@ -1,0 +1,141 @@
+//! Reliability integration: faults and aging against the application
+//! layer — does the TD-AM's quantitative search keep the HDC workload
+//! alive when hardware degrades?
+
+use fetdam::fefet::retention::Lifetime;
+use fetdam::hdc::datasets::{Dataset, DatasetKind};
+use fetdam::hdc::encoder::IdLevelEncoder;
+use fetdam::hdc::quantize::QuantizedModel;
+use fetdam::hdc::train::HdcModel;
+use fetdam::tdam::array::TdamArray;
+use fetdam::tdam::config::ArrayConfig;
+use fetdam::tdam::encoding::Encoding;
+use fetdam::tdam::engine::SimilarityEngine;
+use fetdam::tdam::faults::{build_faulty_array, FaultKind, FaultMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Classifies the test set through manually-tiled arrays so faults/aging
+/// can be injected per tile.
+fn hw_accuracy_with(
+    quant: &QuantizedModel,
+    enc: &IdLevelEncoder,
+    test: &[(Vec<f64>, usize)],
+    mutate_tile: impl Fn(usize, &mut TdamArray),
+) -> f64 {
+    let stages = 128;
+    let dims = quant.dims();
+    let chunks = dims.div_ceil(stages);
+    let cfg = ArrayConfig::paper_default()
+        .with_stages(stages)
+        .with_rows(quant.classes())
+        .with_encoding(Encoding::new(quant.bits()).expect("encoding"))
+        .with_vdd(0.6);
+    let mut tiles = Vec::new();
+    for chunk in 0..chunks {
+        let mut tile = TdamArray::new(cfg).expect("tile");
+        for (row, hv) in quant.class_hvs().iter().enumerate() {
+            let mut slice = vec![0u8; stages];
+            let start = chunk * stages;
+            let end = (start + stages).min(dims);
+            slice[..end - start].copy_from_slice(&hv.levels()[start..end]);
+            tile.store(row, &slice).expect("store");
+        }
+        mutate_tile(chunk, &mut tile);
+        tiles.push(tile);
+    }
+    let mut correct = 0usize;
+    for (x, label) in test {
+        let h = enc.encode(x).expect("encode");
+        let q = quant.quantize_query(&h).expect("quantize");
+        let mut distances = vec![0usize; quant.classes()];
+        for (chunk, tile) in tiles.iter().enumerate() {
+            let mut slice = vec![0u8; stages];
+            let start = chunk * stages;
+            let end = (start + stages).min(dims);
+            slice[..end - start].copy_from_slice(&q.levels()[start..end]);
+            let outcome = TdamArray::search(tile, &slice).expect("search");
+            for (r, row) in outcome.rows.iter().enumerate() {
+                distances[r] += row.decoded_mismatches;
+            }
+        }
+        let best = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("classes");
+        if best == *label {
+            correct += 1;
+        }
+    }
+    correct as f64 / test.len() as f64
+}
+
+fn setup() -> (Dataset, IdLevelEncoder, QuantizedModel) {
+    let ds = Dataset::generate(DatasetKind::Ucihar, 30, 12, 404);
+    let enc = IdLevelEncoder::new(2048, ds.features(), 32, (0.0, 1.0), 9).expect("encoder");
+    let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).expect("train");
+    let quant = QuantizedModel::from_model(&model, 2).expect("quantize");
+    (ds, enc, quant)
+}
+
+#[test]
+fn hdc_survives_scattered_faults() {
+    let (ds, enc, quant) = setup();
+    let clean = hw_accuracy_with(&quant, &enc, &ds.test, |_, _| {});
+    // 1% of all cells stuck, randomly.
+    let faulty = hw_accuracy_with(&quant, &enc, &ds.test, |chunk, tile| {
+        let mut rng = StdRng::seed_from_u64(chunk as u64);
+        let rows = quant.classes();
+        let mut faults = FaultMap::new();
+        for _ in 0..(rows * 128 / 100) {
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::StuckMismatch
+            } else {
+                FaultKind::StuckMatch
+            };
+            faults.inject(rng.gen_range(0..rows), rng.gen_range(0..128), kind);
+        }
+        // Rebuild the tile with faults applied to its stored content.
+        let stored: Vec<Vec<u8>> = (0..rows).map(|r| tile.stored(r).expect("stored")).collect();
+        *tile = build_faulty_array(tile.config(), &stored, &faults).expect("faulty array");
+    });
+    assert!(
+        faulty >= clean - 0.08,
+        "1% stuck cells should barely dent HDC accuracy: clean {clean:.3} vs faulty {faulty:.3}"
+    );
+    assert!(clean > 0.6, "baseline accuracy sanity: {clean}");
+}
+
+#[test]
+fn hdc_survives_ten_year_retention() {
+    let (ds, enc, quant) = setup();
+    let clean = hw_accuracy_with(&quant, &enc, &ds.test, |_, _| {});
+    let mut decade = Lifetime::fresh();
+    decade.seconds = 3.15e8;
+    decade.cycles = 1e6;
+    let aged = hw_accuracy_with(&quant, &enc, &ds.test, |_, tile| {
+        tile.age(&decade).expect("aging");
+    });
+    assert!(
+        (aged - clean).abs() < 0.05,
+        "10-year-aged accuracy {aged:.3} should match fresh {clean:.3}"
+    );
+}
+
+#[test]
+fn hdc_collapses_at_end_of_life() {
+    let (ds, enc, quant) = setup();
+    let mut dead = Lifetime::fresh();
+    dead.cycles = 1e13; // far past fatigue
+    let aged = hw_accuracy_with(&quant, &enc, &ds.test, |_, tile| {
+        tile.age(&dead).expect("aging");
+    });
+    // With the window gone every cell reads the same; accuracy collapses
+    // toward chance. (Guards that aging actually propagates to search.)
+    assert!(
+        aged < 0.5,
+        "end-of-life hardware should not classify well: {aged:.3}"
+    );
+}
