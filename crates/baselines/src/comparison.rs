@@ -302,11 +302,19 @@ mod tests {
         let fecam = by_name("Nat. Electron.");
         let homo = by_name("[24]");
         let ours = by_name("This work");
-        assert!(timaq.ratio > 5.0, "CMOS TD should be many x worse: {}", timaq.ratio);
+        assert!(
+            timaq.ratio > 5.0,
+            "CMOS TD should be many x worse: {}",
+            timaq.ratio
+        );
         assert!(fefin.ratio < 1.0, "14nm Fe-FinFET reports lower E/bit");
         assert!(tcam.ratio > 1.0);
         assert!(fecam.ratio > 1.0);
-        assert!(homo.ratio > 1.0, "binary TD fabric worse per bit: {}", homo.ratio);
+        assert!(
+            homo.ratio > 1.0,
+            "binary TD fabric worse per bit: {}",
+            homo.ratio
+        );
         assert!(tcam.energy_per_bit > fecam.energy_per_bit);
         assert!(ours.energy_per_bit < fecam.energy_per_bit);
     }

@@ -129,7 +129,9 @@ impl SimilarityEngine for CrossbarCam {
             energy += d as f64 * p.i_cell * p.v_sense * p.t_eval;
             energy += self.adc_energy();
         }
-        energy += 2.0 * self.width as f64 * self.data.len() as f64
+        energy += 2.0
+            * self.width as f64
+            * self.data.len() as f64
             * p.c_sl_per_cell
             * p.v_sense
             * p.v_sense;

@@ -121,8 +121,7 @@ impl SimilarityEngine for Fecam {
                 distances.push(Some(0));
             }
         }
-        let sl_energy =
-            2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
+        let sl_energy = 2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
         Ok(SearchMetrics {
             best_row: best,
             distances,

@@ -126,8 +126,8 @@ impl SimilarityEngine for HomogeneousTd {
             let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
             distances.push(Some(d));
             worst = worst.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
-            energy += self.width as f64 * p.c_stage * v2
-                + d as f64 * p.load_activity * p.c_load * v2;
+            energy +=
+                self.width as f64 * p.c_stage * v2 + d as f64 * p.load_activity * p.c_load * v2;
         }
         energy += 2.0 * self.width as f64 * p.c_sl_per_cell * v2;
         let best_row = distances

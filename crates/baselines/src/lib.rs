@@ -51,7 +51,10 @@ use tdam::TdamError;
 pub(crate) fn validate_bits(v: &[u8]) -> Result<(), TdamError> {
     for &x in v {
         if x > 1 {
-            return Err(TdamError::ValueOutOfRange { value: x, levels: 2 });
+            return Err(TdamError::ValueOutOfRange {
+                value: x,
+                levels: 2,
+            });
         }
     }
     Ok(())

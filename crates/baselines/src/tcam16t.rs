@@ -140,8 +140,7 @@ impl SimilarityEngine for Tcam16t {
             }
         }
         // Two differential search lines per column, each loading every row.
-        let sl_energy =
-            2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
+        let sl_energy = 2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
         Ok(SearchMetrics {
             best_row: best,
             distances,

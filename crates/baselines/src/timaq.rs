@@ -109,8 +109,7 @@ impl SimilarityEngine for Timaq {
         for row in &self.data {
             let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
             distances.push(Some(d));
-            worst_delay =
-                worst_delay.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
+            worst_delay = worst_delay.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
         }
         // Every SRAM TD stage toggles per search, in every row.
         let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;

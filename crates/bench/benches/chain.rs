@@ -42,5 +42,10 @@ fn bench_monte_carlo(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_chain_evaluate, bench_array_search, bench_monte_carlo);
+criterion_group!(
+    benches,
+    bench_chain_evaluate,
+    bench_array_search,
+    bench_monte_carlo
+);
 criterion_main!(benches);

@@ -9,13 +9,8 @@ use tdam_ckt::waveform::Waveform;
 
 fn bench_dc_op(c: &mut Criterion) {
     let tech = TechParams::nominal_40nm();
-    let nl = build_stage_netlist(
-        &tech,
-        6e-15,
-        &MnDrive::ForcedMismatch,
-        Waveform::dc(0.0),
-    )
-    .expect("netlist");
+    let nl = build_stage_netlist(&tech, 6e-15, &MnDrive::ForcedMismatch, Waveform::dc(0.0))
+        .expect("netlist");
     c.bench_function("stage_dc_operating_point", |b| {
         b.iter(|| DcOp::new(&nl).solve().expect("dc converges"))
     });
@@ -34,9 +29,15 @@ fn bench_rc_transient(c: &mut Criterion) {
     let mut nl = tdam_ckt::netlist::Netlist::new();
     let inp = nl.node("in");
     let out = nl.node("out");
-    nl.vsource("VIN", inp, tdam_ckt::Netlist::GND, Waveform::step(0.0, 1.0, 1e-9));
+    nl.vsource(
+        "VIN",
+        inp,
+        tdam_ckt::Netlist::GND,
+        Waveform::step(0.0, 1.0, 1e-9),
+    );
     nl.resistor("R1", inp, out, 1000.0).expect("resistor");
-    nl.capacitor("C1", out, tdam_ckt::Netlist::GND, 1e-12).expect("capacitor");
+    nl.capacitor("C1", out, tdam_ckt::Netlist::GND, 1e-12)
+        .expect("capacitor");
     c.bench_function("rc_transient_10ns", |b| {
         b.iter(|| {
             Transient::new(&nl, TranConfig::until(10e-9))
@@ -46,5 +47,10 @@ fn bench_rc_transient(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dc_op, bench_stage_transient, bench_rc_transient);
+criterion_group!(
+    benches,
+    bench_dc_op,
+    bench_stage_transient,
+    bench_rc_transient
+);
 criterion_main!(benches);

@@ -33,5 +33,10 @@ fn bench_program_state(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mosfet_ids, bench_preisach_pulse, bench_program_state);
+criterion_group!(
+    benches,
+    bench_mosfet_ids,
+    bench_preisach_pulse,
+    bench_program_state
+);
 criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Extension: array-scale fault campaigns with and without repair.
+//!
+//! Sweeps fault rate × fault kind over the paper's 32-stage 2-bit array
+//! wrapped in the resilience machinery (reference rows, margin monitors,
+//! write-verify repair, spare-row remapping, digital column masking), and
+//! reports retrieval/decode accuracy for an unprotected array next to the
+//! same array after detection + repair. The headline: at a 1% hard-fault
+//! rate the unrepaired array measurably mis-decodes, while spare-row
+//! repair restores ≥99% exact-decode accuracy.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin ext_fault_campaign [--quick]`
+
+use tdam::resilience::{run_campaign, CampaignConfig, CampaignFault};
+use tdam_bench::{header, quick_mode};
+
+fn run(repair: bool, trials: usize, queries: usize) -> tdam::resilience::CampaignResult {
+    let mut cfg = CampaignConfig::paper_default();
+    // Spares take cell faults at the swept rate too, so provision the pool
+    // for worst-case demand: one spare per data row keeps the probability
+    // of running dry at the 1% point negligible.
+    cfg.resilience.spare_rows = cfg.array.rows;
+    cfg.kinds = vec![
+        CampaignFault::StuckMismatch,
+        CampaignFault::StuckMix,
+        CampaignFault::Drift {
+            window_fraction: 0.25,
+        },
+        CampaignFault::StuckColumn,
+        CampaignFault::BrokenStage,
+        CampaignFault::TdcMiscount,
+        CampaignFault::SlGlitch,
+    ];
+    cfg.trials = trials;
+    cfg.queries = queries;
+    cfg.repair = repair;
+    run_campaign(&cfg).expect("fault campaign")
+}
+
+fn main() {
+    let (trials, queries) = if quick_mode() { (6, 16) } else { (24, 48) };
+
+    header("TD-AM fault campaign: 32 stages x 16 data rows, 16 spares, 2 reference rows");
+    println!("{trials} trials x {queries} exact-match queries per (kind, rate) point\n");
+
+    let baseline = run(false, trials, queries);
+    let repaired = run(true, trials, queries);
+
+    println!(
+        "{:>14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>8} {:>7}",
+        "fault kind",
+        "rate",
+        "decode raw",
+        "decode rep",
+        "retr raw",
+        "retr rep",
+        "repaired",
+        "remapped",
+        "masked"
+    );
+    for (b, r) in baseline.points.iter().zip(&repaired.points) {
+        println!(
+            "{:>14} {:>7.2}% {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>9.2} {:>8.2} {:>7.2}",
+            b.kind.label(),
+            b.rate * 100.0,
+            b.decode_accuracy * 100.0,
+            r.decode_accuracy * 100.0,
+            b.retrieval_accuracy * 100.0,
+            r.retrieval_accuracy * 100.0,
+            r.avg_repaired,
+            r.avg_remapped,
+            r.avg_masked
+        );
+    }
+
+    // Headline acceptance point: 1% stuck-mismatch cells.
+    let pick = |res: &tdam::resilience::CampaignResult| {
+        res.points
+            .iter()
+            .find(|p| p.kind == CampaignFault::StuckMismatch && (p.rate - 0.01).abs() < 1e-12)
+            .copied()
+            .expect("1% stuck-mismatch point")
+    };
+    let (raw, rep) = (pick(&baseline), pick(&repaired));
+    println!(
+        "\nAt a 1% hard-fault (stuck-mismatch) rate the unprotected array\n\
+         exact-decodes {:.1}% of queries; after reference-row detection,\n\
+         write-verify reprogramming, and spare-row remapping it recovers\n\
+         {:.1}% (>= 99% expected). Transient kinds (tdc-miscount,\n\
+         sl-glitch) are invisible to repair by construction: the repaired\n\
+         and raw columns agree, and accuracy is restored only by lowering\n\
+         the per-search rate.",
+        raw.decode_accuracy * 100.0,
+        rep.decode_accuracy * 100.0,
+    );
+    assert!(
+        rep.decode_accuracy >= 0.99,
+        "repair should restore >=99% decode accuracy at 1% hard faults, got {:.3}",
+        rep.decode_accuracy
+    );
+    assert!(
+        raw.decode_accuracy < rep.decode_accuracy,
+        "unrepaired decode accuracy should measurably trail repaired"
+    );
+}

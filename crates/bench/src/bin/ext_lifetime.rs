@@ -43,8 +43,8 @@ fn main() {
         life.cycles = cycles;
         life.seconds = seconds;
         let variation = aged_variation(&life);
-        let result = run(&McConfig::worst_case(array, variation, runs, 0x11FE))
-            .expect("Monte Carlo");
+        let result =
+            run(&McConfig::worst_case(array, variation, runs, 0x11FE)).expect("Monte Carlo");
         println!(
             "{cycles:>14.1e} {seconds:>14.1e} {:>9.1}% {:>13.1}% {:>11.1}%   ({label})",
             life.window_fraction() * 100.0,

@@ -53,8 +53,8 @@ fn main() {
             vec![20e-3; enc.levels() as usize],
         )
         .expect("variation model");
-        let result = run(&McConfig::worst_case(array, variation, runs, 0xB175))
-            .expect("Monte Carlo");
+        let result =
+            run(&McConfig::worst_case(array, variation, runs, 0xB175)).expect("Monte Carlo");
         let predicted = analyze(bits, 20e-3).expect("analysis");
         println!(
             "{bits}-bit: decode accuracy {:.1}% (margin model predicts P_cell = {:.2e}, \

@@ -23,7 +23,12 @@ fn main() {
         "temp", "d_INV (ps)", "d_C (ps)", "match leak (nA)"
     );
     let enc = Encoding::paper_default();
-    for (label, kelvin) in [("-40C", 233.0), ("25C", 298.0), ("85C", 358.0), ("125C", 398.0)] {
+    for (label, kelvin) in [
+        ("-40C", 233.0),
+        ("25C", 298.0),
+        ("85C", 358.0),
+        ("125C", 398.0),
+    ] {
         let tech = TechParams::nominal_40nm().at_temperature(kelvin);
         let t = StageTiming::analytic(&tech, 6e-15).expect("timing");
         let cell = Cell::new(1, enc).expect("cell");

@@ -18,7 +18,10 @@ fn main() {
     let tech = TechParams::nominal_40nm();
 
     header("Behavioral truth table (stored d vs query q)");
-    println!("{:>4} {:>4} {:>12} {:>16}", "d", "q", "result", "overdrive (V)");
+    println!(
+        "{:>4} {:>4} {:>12} {:>16}",
+        "d", "q", "result", "overdrive (V)"
+    );
     for d in 0..4u8 {
         let cell = Cell::new(d, enc).expect("valid stored value");
         for q in 0..4u8 {
@@ -37,10 +40,7 @@ fn main() {
     }
 
     header("Circuit-level reproduction of Fig. 2(d-f): cell stores '1'");
-    println!(
-        "{:>6} {:>14} {:>10}",
-        "query", "V_MN final (V)", "verdict"
-    );
+    println!("{:>6} {:>14} {:>10}", "query", "V_MN final (V)", "verdict");
     let cell = Cell::new(1, enc).expect("valid stored value");
     for q in [0u8, 1, 2] {
         let nl = cell.build_netlist(q, &tech).expect("netlist");

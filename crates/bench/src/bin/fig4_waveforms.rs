@@ -25,7 +25,9 @@ fn main() {
         "{:>12} {:>16} {:>16} {:>16}",
         "mismatches", "rising (s)", "falling (s)", "total (s)"
     );
-    let counts: Vec<usize> = (0..=stages).step_by(if quick_mode() { 2 } else { 4 }).collect();
+    let counts: Vec<usize> = (0..=stages)
+        .step_by(if quick_mode() { 2 } else { 4 })
+        .collect();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n_mis in &counts {

@@ -28,7 +28,9 @@ fn main() {
     let cap_grid: Vec<f64> = if quick {
         vec![6e-15, 80e-15, 1280e-15]
     } else {
-        vec![6e-15, 12e-15, 40e-15, 80e-15, 160e-15, 320e-15, 640e-15, 1280e-15]
+        vec![
+            6e-15, 12e-15, 40e-15, 80e-15, 160e-15, 320e-15, 640e-15, 1280e-15,
+        ]
     };
 
     header("Fig. 5(a): worst-case search energy (J) vs stages × C_load");

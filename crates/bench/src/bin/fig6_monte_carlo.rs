@@ -35,7 +35,7 @@ fn main() {
             "variation", "mean (s)", "std (s)", "margin (s)", "within margin", "decode ok"
         );
         for (label, variation) in &variations {
-            let cfg = McConfig::worst_case(array, variation.clone(), runs, 0xF16_6);
+            let cfg = McConfig::worst_case(array, variation.clone(), runs, 0xF166);
             let result = run(&cfg).expect("Monte Carlo");
             println!(
                 "{label:<32} {:>13.4e} {:>12.3e} {:>12.3e} {:>13.1}% {:>11.1}%",
@@ -48,7 +48,7 @@ fn main() {
         }
 
         // Histogram of the highest uniform σ (the widest panel curve).
-        let cfg = McConfig::worst_case(array, VthVariation::uniform(60e-3), runs, 0xF16_6);
+        let cfg = McConfig::worst_case(array, VthVariation::uniform(60e-3), runs, 0xF166);
         let result = run(&cfg).expect("Monte Carlo");
         println!(
             "\nDelay histogram at sigma = 60 mV (nominal {}):",

@@ -19,7 +19,7 @@ fn main() {
             dims: vec![256, 512, 1024, 2048],
             bits: vec![1, 2, 4],
             retrain_epochs: 2,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     } else {
         SweepConfig::paper_grid()
@@ -42,8 +42,7 @@ fn main() {
             kind.classes(),
             kind.features()
         ));
-        let mut precisions: Vec<Precision> =
-            cfg.bits.iter().map(|&b| Precision::Bits(b)).collect();
+        let mut precisions: Vec<Precision> = cfg.bits.iter().map(|&b| Precision::Bits(b)).collect();
         precisions.push(Precision::Full);
         print!("{:>8}", "dims");
         for p in &precisions {

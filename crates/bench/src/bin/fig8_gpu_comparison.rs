@@ -31,7 +31,7 @@ fn evaluate_config(
     queries: usize,
     gpu: &GpuModel,
 ) -> Point {
-    let enc = IdLevelEncoder::new(underlying_dims, ds.features(), 32, (0.0, 1.0), 0xF16_8)
+    let enc = IdLevelEncoder::new(underlying_dims, ds.features(), 32, (0.0, 1.0), 0xF168)
         .expect("encoder");
     let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).expect("training");
     let quant = QuantizedModel::from_model(&model, bits).expect("quantization");
@@ -84,10 +84,7 @@ fn main() {
     for kind in DatasetKind::ALL {
         let ds = Dataset::generate(kind, train_per_class, 15, 0xD5EED);
         header(kind.name());
-        println!(
-            "{:>10} {:>12} {:>16}",
-            "dims", "speedup", "energy-eff gain"
-        );
+        println!("{:>10} {:>12} {:>16}", "dims", "speedup", "energy-eff gain");
         for &d in &dims_grid {
             let p = evaluate_config(&ds, d, 2, queries, &gpu);
             println!("{:>10} {:>11.1}x {:>15.0}x", d, p.speedup, p.efficiency);
@@ -110,13 +107,18 @@ fn main() {
             .map(|s| format!("{s:.0}x"))
             .collect::<Vec<_>>()
     );
-    println!("largest-dim average speedup: {:.2}x", avg(&all_large_speedups));
+    println!(
+        "largest-dim average speedup: {:.2}x",
+        avg(&all_large_speedups)
+    );
     println!(
         "largest-dim average energy efficiency: {:.0}x",
         avg(&all_large_effs)
     );
 
-    header("Paper highlight: 3/4-bit precision at 1024 dims (avg speedup 124.8x, efficiency 2837x)");
+    header(
+        "Paper highlight: 3/4-bit precision at 1024 dims (avg speedup 124.8x, efficiency 2837x)",
+    );
     let mut speedups = Vec::new();
     let mut effs = Vec::new();
     for kind in DatasetKind::ALL {

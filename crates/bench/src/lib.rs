@@ -14,6 +14,7 @@
 //! | `fig8_gpu_comparison` | Fig. 8: TD-AM vs GPU speedup and energy efficiency |
 //! | `ablation_vc_vs_vr` | Design ablation: variable-capacitance vs variable-resistance stages |
 //! | `ablation_two_step` | Design ablation: 2-step scheme vs naive single-pass chain |
+//! | `ext_fault_campaign` | Extension: fault-rate sweeps with/without detection + spare-row repair |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC

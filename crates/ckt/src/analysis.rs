@@ -107,7 +107,10 @@ impl TranResult {
             .ok_or_else(|| CktError::UnknownNode {
                 name: source.to_owned(),
             })?;
-        Ok(Trace::new(self.time.clone(), self.source_samples[i].clone()))
+        Ok(Trace::new(
+            self.time.clone(),
+            self.source_samples[i].clone(),
+        ))
     }
 
     /// Energy delivered by a voltage source over the run, joules:
@@ -287,7 +290,9 @@ impl<'a> Assembler<'a> {
                         self.rhs[i] += i_val;
                     }
                 }
-                Element::Mosfet { d, g, s, params, .. } => {
+                Element::Mosfet {
+                    d, g, s, params, ..
+                } => {
                     let vd = Self::volt(x, *d);
                     let vg = Self::volt(x, *g);
                     let vs = Self::volt(x, *s);
@@ -344,10 +349,24 @@ impl<'a> Assembler<'a> {
         mode: &StampMode,
         gmin: f64,
     ) -> Result<(Vec<f64>, usize), CktError> {
+        let phase = match mode {
+            StampMode::Dc => "dc",
+            StampMode::Tran { .. } => "transient",
+        };
         for iter in 0..MAX_NEWTON {
             self.stamp(&x, x_prev, t, mode, gmin);
+            // A non-finite residual means a device model or source
+            // evaluated to NaN/Inf. Iterating further only propagates it,
+            // and every comparison in the convergence test is false on NaN,
+            // which would otherwise report a bogus "converged" solution.
+            if self.rhs.iter().any(|v| !v.is_finite()) {
+                return Err(CktError::NoConvergence { phase, time: t });
+            }
             let mut sol = self.rhs.clone();
             self.matrix.solve(&mut sol)?;
+            if sol.iter().any(|v| !v.is_finite()) {
+                return Err(CktError::NoConvergence { phase, time: t });
+            }
             let mut converged = true;
             for (new, old) in sol.iter().zip(&x) {
                 if (new - old).abs() > V_ABSTOL + RELTOL * old.abs() {
@@ -359,7 +378,13 @@ impl<'a> Assembler<'a> {
             // models inside representable range, with a fractional factor
             // that breaks period-2 Newton oscillations on stiff
             // exponentials.
-            let damp = if iter < 8 { 1.0 } else if iter < 40 { 0.6 } else { 0.35 };
+            let damp = if iter < 8 {
+                1.0
+            } else if iter < 40 {
+                0.6
+            } else {
+                0.35
+            };
             for (xi, &si) in x.iter_mut().zip(&sol) {
                 let step = (si - *xi) * damp;
                 *xi += step.clamp(-0.5, 0.5);
@@ -368,13 +393,7 @@ impl<'a> Assembler<'a> {
                 return Ok((x, iter + 1));
             }
         }
-        Err(CktError::NoConvergence {
-            phase: match mode {
-                StampMode::Dc => "dc",
-                StampMode::Tran { .. } => "transient",
-            },
-            time: t,
-        })
+        Err(CktError::NoConvergence { phase, time: t })
     }
 
     /// Updates stored capacitor currents after an accepted step.
@@ -463,8 +482,11 @@ impl<'a> Transient<'a> {
     /// # Errors
     ///
     /// Returns [`CktError::NoConvergence`] if Newton fails even at the
-    /// minimum step, or [`CktError::SingularMatrix`] for ill-posed
-    /// circuits.
+    /// minimum step after a one-shot gmin escalation, or
+    /// [`CktError::SingularMatrix`] for ill-posed circuits. Non-finite
+    /// residuals or solutions (a device model evaluating to NaN/Inf) fail
+    /// fast as [`CktError::NoConvergence`] instead of propagating NaN into
+    /// the sampled waveforms.
     pub fn run(&self) -> Result<TranResult, CktError> {
         let mut asm = Assembler::new(self.nl);
         let n_nodes = asm.n_nodes;
@@ -492,8 +514,7 @@ impl<'a> Transient<'a> {
 
         let mut time = vec![0.0];
         let mut node_samples: Vec<Vec<f64>> = (0..n_nodes).map(|i| vec![x[i]]).collect();
-        let mut source_samples: Vec<Vec<f64>> =
-            (0..n_src).map(|k| vec![x[n_nodes + k]]).collect();
+        let mut source_samples: Vec<Vec<f64>> = (0..n_src).map(|k| vec![x[n_nodes + k]]).collect();
 
         let mut t = 0.0;
         let mut h = self.cfg.h_init.min(self.cfg.h_max);
@@ -507,6 +528,10 @@ impl<'a> Transient<'a> {
         // accuracy cost.
         let mut be_next = true;
         let mut steps_since_be = 0usize;
+        // One-shot gmin escalation: when timestep backoff bottoms out at
+        // h_min, retry once with a 1000x heavier shunt before giving up.
+        let mut gmin = self.cfg.gmin;
+        let mut gmin_boosted = false;
 
         while t < self.cfg.t_stop - 1e-21 {
             // Clip the step to the next breakpoint or the stop time.
@@ -528,8 +553,11 @@ impl<'a> Transient<'a> {
                 h: h_eff,
                 be: be_now,
             };
-            match asm.newton(x.clone(), &x, t_next, &mode, self.cfg.gmin) {
+            match asm.newton(x.clone(), &x, t_next, &mode, gmin) {
                 Ok((sol, iters)) => {
+                    // A boosted shunt only rescues the stuck step; return
+                    // to the configured gmin for accuracy afterwards.
+                    gmin = self.cfg.gmin;
                     asm.accept_step(&sol, &x, h_eff, be_now);
                     steps_since_be = if be_now { 0 } else { steps_since_be + 1 };
                     x = sol;
@@ -562,6 +590,11 @@ impl<'a> Transient<'a> {
                 }
                 Err(CktError::NoConvergence { .. }) if h_eff > self.cfg.h_min => {
                     h = (h_eff * 0.4).max(self.cfg.h_min);
+                    be_next = true;
+                }
+                Err(CktError::NoConvergence { .. }) if !gmin_boosted => {
+                    gmin_boosted = true;
+                    gmin = (self.cfg.gmin * 1e3).max(1e-9);
                     be_next = true;
                 }
                 Err(e) => return Err(e),
@@ -729,7 +762,10 @@ mod tests {
         let v_low_in = DcOp::new(&build(0.0)).node_voltage("out").unwrap();
         let v_high_in = DcOp::new(&build(1.1)).node_voltage("out").unwrap();
         assert!(v_low_in > 1.0, "off NMOS → output near VDD, got {v_low_in}");
-        assert!(v_high_in < 0.2, "on NMOS → output pulled low, got {v_high_in}");
+        assert!(
+            v_high_in < 0.2,
+            "on NMOS → output pulled low, got {v_high_in}"
+        );
     }
 
     #[test]
@@ -783,6 +819,71 @@ mod tests {
         nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
         let v = DcOp::new(&nl).node_voltage("a").unwrap();
         assert!((v - 1.0).abs() < 1e-6, "1 mA into 1 kΩ = 1 V, got {v}");
+    }
+
+    #[test]
+    fn nan_source_fails_fast_in_dc() {
+        // A NaN stimulus must surface as NoConvergence, not as a NaN
+        // "solution" (every NaN comparison in the convergence test is
+        // false, which without the finiteness guard reads as converged).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GND, Waveform::dc(f64::NAN));
+        nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
+        assert!(matches!(
+            DcOp::new(&nl).node_voltage("a"),
+            Err(CktError::NoConvergence { phase: "dc", .. })
+        ));
+    }
+
+    #[test]
+    fn nan_mid_transient_returns_no_convergence_without_nan_samples() {
+        // The source is finite through DC and the first nanosecond, then
+        // ramps to NaN: the transient solver must give up with
+        // NoConvergence (after bounded backoff + one gmin retry) instead
+        // of hanging or recording NaN into the waveforms.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GND,
+            Waveform::Pwl(vec![(0.0, 1.0), (1e-9, 1.0), (2e-9, f64::NAN)]),
+        );
+        nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
+        let err = Transient::new(&nl, TranConfig::until(5e-9))
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CktError::NoConvergence {
+                phase: "transient",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gmin_escalation_is_bounded() {
+        // Same NaN circuit: the run must terminate quickly — backoff to
+        // h_min is geometric and the gmin escalation fires exactly once,
+        // so the failure is bounded, not an infinite retry loop.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource(
+            "V1",
+            a,
+            Netlist::GND,
+            Waveform::Pwl(vec![(0.0, 0.5), (1e-9, f64::NAN)]),
+        );
+        nl.resistor("R1", a, Netlist::GND, 1000.0).unwrap();
+        let start = std::time::Instant::now();
+        let res = Transient::new(&nl, TranConfig::until(4e-9)).run();
+        assert!(res.is_err());
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "failure path must be bounded"
+        );
     }
 
     #[test]

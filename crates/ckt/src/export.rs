@@ -138,8 +138,11 @@ mod tests {
         let out = nl.node("out");
         nl.vsource("VIN", inp, Netlist::GND, Waveform::step(0.0, 1.0, 1e-9));
         nl.resistor("R1", inp, out, 1000.0).expect("resistor");
-        nl.capacitor("C1", out, Netlist::GND, 1e-12).expect("capacitor");
-        Transient::new(&nl, TranConfig::until(5e-9)).run().expect("transient")
+        nl.capacitor("C1", out, Netlist::GND, 1e-12)
+            .expect("capacitor");
+        Transient::new(&nl, TranConfig::until(5e-9))
+            .run()
+            .expect("transient")
     }
 
     #[test]

@@ -196,8 +196,14 @@ impl Netlist {
     ///
     /// Returns [`CktError::InvalidElement`] for non-positive or non-finite
     /// resistance.
-    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CktError> {
-        if !(ohms > 0.0) || !ohms.is_finite() {
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), CktError> {
+        if !ohms.is_finite() || ohms <= 0.0 {
             return Err(CktError::InvalidElement {
                 name: name.to_owned(),
                 reason: "resistance must be positive and finite",
@@ -225,7 +231,7 @@ impl Netlist {
         b: NodeId,
         farads: f64,
     ) -> Result<(), CktError> {
-        if !(farads >= 0.0) || !farads.is_finite() {
+        if !farads.is_finite() || farads < 0.0 {
             return Err(CktError::InvalidElement {
                 name: name.to_owned(),
                 reason: "capacitance must be nonnegative and finite",

@@ -365,10 +365,7 @@ mod tests {
 
     #[test]
     fn crossings_by_index_and_edge() {
-        let t = Trace::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 0.0, 1.0, 0.0],
-        );
+        let t = Trace::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 0.0, 1.0, 0.0]);
         assert_eq!(t.first_crossing(0.5, Edge::Rising), Some(0.5));
         assert_eq!(t.crossing(0.5, Edge::Rising, 1), Some(2.5));
         assert_eq!(t.first_crossing(0.5, Edge::Falling), Some(1.5));

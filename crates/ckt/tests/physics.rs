@@ -26,7 +26,8 @@ fn rc_ladder(n: usize, seed: u64, step: bool) -> Netlist {
         let node = nl.node(&format!("n{i}"));
         let r = 10f64.powf(rng.gen_range(2.0..4.0)); // 100 Ω .. 10 kΩ
         let c = 10f64.powf(rng.gen_range(-14.0..-12.0)); // 10 fF .. 1 pF
-        nl.resistor(&format!("R{i}"), prev, node, r).expect("resistor");
+        nl.resistor(&format!("R{i}"), prev, node, r)
+            .expect("resistor");
         nl.capacitor(&format!("C{i}"), node, Netlist::GND, c)
             .expect("capacitor");
         // Occasional shunt resistor makes the final DC value nontrivial.

@@ -11,6 +11,7 @@ use tdam::engine::SimilarityEngine;
 use tdam::margins::precision_sweep;
 use tdam::monte_carlo::{run as mc_run, McConfig};
 use tdam::power::static_power;
+use tdam::resilience::{run_campaign, CampaignConfig, CampaignFault, ResilienceConfig};
 use tdam::timing::StageTiming;
 use tdam_fefet::VthVariation;
 
@@ -28,6 +29,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "table1" => table1(args),
         "area" => area(args),
         "power" => power(args),
+        "faults" => faults(args),
         "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
     }
@@ -52,13 +54,19 @@ fn search(args: &Args) -> Result<String, CliError> {
             .ok_or_else(|| CliError::Usage("search needs --query".to_owned()))?,
     )?;
     let [query] = query.as_slice() else {
-        return Err(CliError::Usage("--query takes exactly one vector".to_owned()));
+        return Err(CliError::Usage(
+            "--query takes exactly one vector".to_owned(),
+        ));
     };
     let stages = stored[0].len();
     if stored.iter().any(|v| v.len() != stages) {
-        return Err(CliError::Usage("all stored vectors must be equal length".to_owned()));
+        return Err(CliError::Usage(
+            "all stored vectors must be equal length".to_owned(),
+        ));
     }
-    let cfg = base_config(args)?.with_stages(stages).with_rows(stored.len());
+    let cfg = base_config(args)?
+        .with_stages(stages)
+        .with_rows(stored.len());
     let mut am = TdamArray::new(cfg)?;
     for (i, row) in stored.iter().enumerate() {
         SimilarityEngine::store(&mut am, i, row)?;
@@ -77,9 +85,11 @@ fn search(args: &Args) -> Result<String, CliError> {
             row.count
         ));
     }
+    let best = outcome
+        .best_row()
+        .ok_or_else(|| CliError::Simulation("search produced no rows".to_owned()))?;
     out.push_str(&format!(
-        "best row: {}   latency {:.3} ns   energy {:.2} fJ\n",
-        outcome.best_row().expect("rows exist"),
+        "best row: {best}   latency {:.3} ns   energy {:.2} fJ\n",
         outcome.latency * 1e9,
         outcome.energy.total() * 1e15
     ));
@@ -126,7 +136,11 @@ fn timing(args: &Args) -> Result<String, CliError> {
         "{} calibration at V_DD = {:.2} V, C_load = {:.0} fF\n\
          d_INV = {:.3} ps   d_C = {:.3} ps   sensing margin = ±{:.3} ps\n\
          E_inv = {:.3} fJ   E_C = {:.3} fJ   E_MN = {:.3} fJ\n",
-        if args.switch("circuit") { "circuit" } else { "analytic" },
+        if args.switch("circuit") {
+            "circuit"
+        } else {
+            "analytic"
+        },
         t.vdd,
         t.c_load * 1e15,
         t.d_inv * 1e12,
@@ -187,6 +201,73 @@ fn power(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn faults(args: &Args) -> Result<String, CliError> {
+    let stages = args.usize_or("stages", 32)?;
+    let rows = args.usize_or("rows", 16)?;
+    let spares = args.usize_or("spares", rows)?;
+    let trials = args.usize_or("trials", 8)?;
+    let queries = args.usize_or("queries", 32)?;
+    let seed = args.usize_or("seed", 0xD47E)? as u64;
+    let rate = args.f64_or("rate", 0.01)?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage(format!(
+            "--rate is a per-cell fault probability and must be in 0..=1, got {rate}"
+        )));
+    }
+    let repair = !args.switch("no-repair");
+    let kind = match args.get("kind").unwrap_or("stuck-mismatch") {
+        "stuck-mismatch" => CampaignFault::StuckMismatch,
+        "stuck-match" => CampaignFault::StuckMatch,
+        "stuck-mix" => CampaignFault::StuckMix,
+        "drift" | "vth-drift" => CampaignFault::Drift {
+            window_fraction: args.f64_or("window-fraction", 0.25)?,
+        },
+        "stuck-column" => CampaignFault::StuckColumn,
+        "broken-stage" => CampaignFault::BrokenStage,
+        "tdc-miscount" => CampaignFault::TdcMiscount,
+        "sl-glitch" => CampaignFault::SlGlitch,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown fault kind {other} (stuck-mismatch, stuck-match, stuck-mix, drift, \
+                 stuck-column, broken-stage, tdc-miscount, sl-glitch)"
+            )))
+        }
+    };
+    let cfg = CampaignConfig {
+        array: base_config(args)?.with_stages(stages).with_rows(rows),
+        resilience: ResilienceConfig {
+            spare_rows: spares,
+            ..ResilienceConfig::default()
+        },
+        kinds: vec![kind],
+        fault_rates: vec![rate],
+        trials,
+        queries,
+        repair,
+        seed,
+    };
+    let result = run_campaign(&cfg)?;
+    let p = result
+        .points
+        .first()
+        .ok_or_else(|| CliError::Simulation("campaign produced no points".to_owned()))?;
+    Ok(format!(
+        "fault campaign: {rows}x{stages} array, {spares} spares, {} at rate {:.3}%\n\
+         {trials} trials x {queries} exact-match queries, repair {}\n\
+         decode accuracy: {:.1}%   retrieval accuracy: {:.1}%\n\
+         per trial: {:.2} repaired, {:.2} remapped, {:.2} dead, {:.2} masked columns\n",
+        p.kind.label(),
+        rate * 100.0,
+        if repair { "on" } else { "off" },
+        p.decode_accuracy * 100.0,
+        p.retrieval_accuracy * 100.0,
+        p.avg_repaired,
+        p.avg_remapped,
+        p.avg_dead,
+        p.avg_masked
+    ))
+}
+
 fn area(args: &Args) -> Result<String, CliError> {
     let stages = args.usize_or("stages", 64)?;
     let rows = args.usize_or("rows", 16)?;
@@ -230,14 +311,7 @@ mod tests {
 
     #[test]
     fn search_end_to_end() {
-        let out = run(&[
-            "search",
-            "--store",
-            "0,1,2,3;3,2,1,0",
-            "--query",
-            "0,1,2,2",
-        ])
-        .unwrap();
+        let out = run(&["search", "--store", "0,1,2,3;3,2,1,0", "--query", "0,1,2,2"]).unwrap();
         assert!(out.contains("best row: 0"), "{out}");
         assert!(out.lines().count() >= 4);
     }
@@ -289,6 +363,73 @@ mod tests {
         let out = run(&["power", "--stages", "32", "--rows", "8"]).unwrap();
         assert!(out.contains("static power"), "{out}");
         assert!(out.contains("W"));
+    }
+
+    #[test]
+    fn faults_reports_campaign_point() {
+        let out = run(&[
+            "faults",
+            "--rows",
+            "4",
+            "--stages",
+            "16",
+            "--trials",
+            "2",
+            "--queries",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("decode accuracy"), "{out}");
+        assert!(out.contains("repair on"), "{out}");
+    }
+
+    #[test]
+    fn faults_no_repair_and_kinds() {
+        let out = run(&[
+            "faults",
+            "--rows",
+            "4",
+            "--stages",
+            "16",
+            "--trials",
+            "2",
+            "--queries",
+            "4",
+            "--kind",
+            "sl-glitch",
+            "--no-repair",
+        ])
+        .unwrap();
+        assert!(out.contains("sl-glitch"), "{out}");
+        assert!(out.contains("repair off"), "{out}");
+        assert!(matches!(
+            run(&["faults", "--kind", "gremlins"]),
+            Err(CliError::Usage(_))
+        ));
+        // The campaign table prints "vth-drift"; accept it as an alias.
+        let out = run(&[
+            "faults",
+            "--rows",
+            "4",
+            "--stages",
+            "16",
+            "--trials",
+            "1",
+            "--queries",
+            "2",
+            "--kind",
+            "vth-drift",
+        ])
+        .unwrap();
+        assert!(out.contains("vth-drift"), "{out}");
+        assert!(matches!(
+            run(&["faults", "--rate", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["faults", "--rate", "-0.1"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -45,6 +45,9 @@ USAGE:
   tdam-sim margins [--sigma-mv S]
   tdam-sim table1  [--queries Q]
   tdam-sim area    [--stages N] [--rows R] [--c-load-ff F]
+  tdam-sim power   [--stages N] [--rows R] [--vdd V]
+  tdam-sim faults  [--stages N] [--rows R] [--spares S] [--rate P] [--kind K]
+                   [--trials T] [--queries Q] [--seed X] [--no-repair]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -53,6 +56,10 @@ SUBCOMMANDS:
   margins   multi-bit sensing-margin feasibility analysis
   table1    the Table I energy-per-bit comparison
   area      array footprint estimate
+  power     idle static (leakage) power estimate
+  faults    seeded fault campaign with detection + spare-row repair
+            (--kind: stuck-mismatch, stuck-match, stuck-mix, drift,
+             stuck-column, broken-stage, tdc-miscount, sl-glitch)
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

@@ -97,7 +97,12 @@ pub fn sweep_fefet(dev: &Fefet, v_ds: f64, v_g_range: (f64, f64), points: usize)
 
 /// Sweeps I_D–V_G for an ideal MOSFET with an explicitly-set threshold
 /// voltage (the "simulation model" curves of Fig. 1(d)).
-pub fn sweep_mosfet(params: &MosParams, v_ds: f64, v_g_range: (f64, f64), points: usize) -> IdVgCurve {
+pub fn sweep_mosfet(
+    params: &MosParams,
+    v_ds: f64,
+    v_g_range: (f64, f64),
+    points: usize,
+) -> IdVgCurve {
     let (lo, hi) = v_g_range;
     let v_g: Vec<f64> = (0..points)
         .map(|i| lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64)

@@ -249,7 +249,7 @@ mod tests {
         let p300 = MosParams::nmos_40nm();
         let p398 = MosParams::nmos_40nm().at_temperature(398.0); // 125 C
         let p233 = MosParams::nmos_40nm().at_temperature(233.0); // -40 C
-        // Hot: lower vth, lower mobility, higher thermal voltage.
+                                                                 // Hot: lower vth, lower mobility, higher thermal voltage.
         assert!(p398.vth < p300.vth);
         assert!(p398.beta < p300.beta);
         assert!(p398.v_t > p300.v_t);
@@ -265,7 +265,10 @@ mod tests {
         // Subthreshold leakage rises when hot.
         let l_hot = ids(&p398, 0.0, 1.1).id;
         let l_nom = ids(&p300, 0.0, 1.1).id;
-        assert!(l_hot > 10.0 * l_nom, "leakage hot {l_hot} vs nominal {l_nom}");
+        assert!(
+            l_hot > 10.0 * l_nom,
+            "leakage hot {l_hot} vs nominal {l_nom}"
+        );
     }
 
     #[test]
@@ -302,7 +305,11 @@ mod tests {
     fn pmos_conducts_with_negative_vgs() {
         let p = MosParams::pmos_40nm();
         let on = ids(&p, -1.1, -1.1);
-        assert!(on.id < -1e-6, "PMOS on current should be negative: {}", on.id);
+        assert!(
+            on.id < -1e-6,
+            "PMOS on current should be negative: {}",
+            on.id
+        );
         let off = ids(&p, 0.0, -1.1);
         assert!(off.id.abs() < 1e-7);
     }

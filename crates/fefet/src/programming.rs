@@ -66,7 +66,10 @@ impl core::fmt::Display for ProgramError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::InvalidState { state, available } => {
-                write!(f, "state {state} out of range (device has {available} states)")
+                write!(
+                    f,
+                    "state {state} out of range (device has {available} states)"
+                )
             }
             Self::VerifyFailed { target, achieved } => write!(
                 f,
@@ -162,6 +165,100 @@ pub fn program_vth(dev: &mut Fefet, target: f64, cfg: &ProgramConfig) -> Result<
         achieved_vth: 0.0,
     };
     program_vth_inner(dev, target, cfg, &mut report)
+}
+
+/// Retry policy for programming marginal devices: each retry escalates
+/// the erase amplitude and widens the write-amplitude search window, the
+/// knob production NVM controllers turn when a cell verifies slow. The
+/// attempt count is a hard bound — there is no path that retries more
+/// than `max_attempts` times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum write-verify attempts (including the first), ≥ 1.
+    pub max_attempts: usize,
+    /// Volts added to the erase amplitude and to the top of the write
+    /// amplitude window on each retry.
+    pub amplitude_step: f64,
+    /// Absolute cap on the escalated amplitudes, volts (gate-oxide
+    /// breakdown limit).
+    pub max_amplitude: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            amplitude_step: 0.5,
+            max_amplitude: 6.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The programming configuration used for `attempt` (0-based):
+    /// amplitudes escalate linearly with the attempt index, clamped to
+    /// [`RetryPolicy::max_amplitude`].
+    pub fn escalate(&self, base: &ProgramConfig, attempt: usize) -> ProgramConfig {
+        let boost = self.amplitude_step * attempt as f64;
+        let mut cfg = *base;
+        cfg.erase_amplitude = (base.erase_amplitude + boost).min(self.max_amplitude);
+        cfg.amplitude_range.1 = (base.amplitude_range.1 + boost).min(self.max_amplitude);
+        cfg
+    }
+}
+
+/// Aggregate outcome of a bounded-retry program operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryReport {
+    /// The final (successful or best-effort) program report; pulse counts
+    /// and energy are summed over every attempt.
+    pub report: ProgramReport,
+    /// Attempts actually used (`1..=max_attempts`).
+    pub attempts: usize,
+}
+
+/// Programs `dev` to `target` through write-verify with bounded retries:
+/// on a verify failure the pulse amplitudes escalate per `policy` and the
+/// flow is retried, up to `policy.max_attempts` total attempts.
+///
+/// # Errors
+///
+/// Returns the last [`ProgramError::VerifyFailed`] once the bounded
+/// attempt budget is exhausted (the device is left at its best-effort
+/// state).
+pub fn program_vth_with_retry(
+    dev: &mut Fefet,
+    target: f64,
+    cfg: &ProgramConfig,
+    policy: &RetryPolicy,
+) -> Result<RetryReport, ProgramError> {
+    let attempts_allowed = policy.max_attempts.max(1);
+    let mut total = ProgramReport {
+        pulse_pairs: 0,
+        energy: 0.0,
+        achieved_vth: dev.vth(),
+    };
+    let mut last_err = None;
+    for attempt in 0..attempts_allowed {
+        let escalated = policy.escalate(cfg, attempt);
+        // Accumulate pulse/energy accounting into the running total even
+        // for failed attempts — retries are not free.
+        let result = program_vth_inner(dev, target, &escalated, &mut total);
+        total.achieved_vth = dev.vth();
+        match result {
+            Ok(()) => {
+                return Ok(RetryReport {
+                    report: total,
+                    attempts: attempt + 1,
+                });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or(ProgramError::VerifyFailed {
+        target,
+        achieved: dev.vth(),
+    }))
 }
 
 fn program_vth_inner(
@@ -303,6 +400,45 @@ mod tests {
         let mut hard_dev = Fefet::new(fine_params());
         let hard = program_vth_with_report(&mut hard_dev, 0.6123, &cfg).unwrap();
         assert!(hard.pulse_pairs >= easy.pulse_pairs);
+    }
+
+    #[test]
+    fn retry_succeeds_first_attempt_on_nominal_device() {
+        let mut dev = Fefet::new(fine_params());
+        let cfg = ProgramConfig::default();
+        let r = program_vth_with_retry(&mut dev, 0.6, &cfg, &RetryPolicy::default()).unwrap();
+        assert_eq!(r.attempts, 1);
+        assert!((r.report.achieved_vth - 0.6).abs() <= cfg.verify_tolerance + 1e-12);
+    }
+
+    #[test]
+    fn retry_is_bounded_and_escalation_capped() {
+        // A 4-domain stack can never hit a 10 mV verify on a mid target —
+        // the retry loop must stop at exactly max_attempts, and every
+        // escalated amplitude must respect the cap.
+        let params = FefetParams {
+            preisach: PreisachParams {
+                domains: 4,
+                ..PreisachParams::default()
+            },
+            ..FefetParams::default()
+        };
+        let mut dev = Fefet::new(params);
+        let cfg = ProgramConfig::default();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            amplitude_step: 1.0,
+            max_amplitude: 6.0,
+        };
+        let err = program_vth_with_retry(&mut dev, 0.75, &cfg, &policy).unwrap_err();
+        assert!(matches!(err, ProgramError::VerifyFailed { .. }));
+        for attempt in 0..policy.max_attempts {
+            let esc = policy.escalate(&cfg, attempt);
+            assert!(esc.erase_amplitude <= policy.max_amplitude + 1e-12);
+            assert!(esc.amplitude_range.1 <= policy.max_amplitude + 1e-12);
+        }
+        // Escalation actually escalates below the cap.
+        assert!(policy.escalate(&cfg, 1).erase_amplitude > cfg.erase_amplitude);
     }
 
     #[test]

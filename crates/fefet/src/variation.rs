@@ -92,7 +92,10 @@ impl VthVariation {
     ///
     /// Panics if `sigma` is negative or non-finite.
     pub fn uniform(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be nonnegative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be nonnegative"
+        );
         Self {
             means: crate::PAPER_VTH.to_vec(),
             sigmas: vec![sigma; crate::PAPER_STATES],
@@ -126,7 +129,11 @@ impl VthVariation {
     /// # Errors
     ///
     /// Returns [`VariationError::UnknownState`] for out-of-range states.
-    pub fn sample_vth<R: Rng + ?Sized>(&self, state: u8, rng: &mut R) -> Result<f64, VariationError> {
+    pub fn sample_vth<R: Rng + ?Sized>(
+        &self,
+        state: u8,
+        rng: &mut R,
+    ) -> Result<f64, VariationError> {
         let i = state as usize;
         let (Some(&mean), Some(&sigma)) = (self.means.get(i), self.sigmas.get(i)) else {
             return Err(VariationError::UnknownState { state });

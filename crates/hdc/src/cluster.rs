@@ -274,8 +274,7 @@ mod tests {
         // UCIHAR is deliberately hard (correlated activity pairs, heavy
         // noise): unsupervised purity of ~2.5x chance is the realistic bar.
         let (ds, enc, samples, labels) = setup();
-        let model =
-            HdcClusters::fit_best_of(&enc, &samples, ds.classes(), 20, 5, 5).expect("fit");
+        let model = HdcClusters::fit_best_of(&enc, &samples, ds.classes(), 20, 5, 5).expect("fit");
         let p = purity(model.assignments(), &labels, ds.classes(), ds.classes());
         assert!(
             p > 2.0 / ds.classes() as f64,

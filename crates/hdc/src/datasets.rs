@@ -193,7 +193,7 @@ impl Dataset {
         test_per_class: usize,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_5E7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
         let classes = kind.classes();
         let features = kind.features();
         let sigma = kind.noise_sigma();
@@ -334,7 +334,10 @@ mod tests {
     #[test]
     fn csv_rejects_malformed() {
         assert_eq!(parse_csv(""), Err(ParseDatasetError::Empty));
-        assert_eq!(parse_csv("# only comments\n"), Err(ParseDatasetError::Empty));
+        assert_eq!(
+            parse_csv("# only comments\n"),
+            Err(ParseDatasetError::Empty)
+        );
         assert_eq!(
             parse_csv("0.1,0.2,x"),
             Err(ParseDatasetError::BadNumber { line: 1 })
@@ -389,7 +392,11 @@ mod tests {
             let mut margins = Vec::new();
             for (x, label) in &ds.test {
                 let d = |c: &Vec<f64>| -> f64 {
-                    c.iter().zip(x).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt()
+                    c.iter()
+                        .zip(x)
+                        .map(|(p, q)| (p - q).powi(2))
+                        .sum::<f64>()
+                        .sqrt()
                 };
                 let own = d(&centroids[*label]);
                 let other = centroids

@@ -46,7 +46,7 @@ impl IdLevelEncoder {
                 what: "encoder needs dims >= 1, features >= 1, levels >= 2",
             });
         }
-        if !(range.0 < range.1) {
+        if range.0.is_nan() || range.1.is_nan() || range.0 >= range.1 {
             return Err(HdcError::InvalidConfig {
                 what: "feature range must be non-empty",
             });

@@ -66,7 +66,7 @@ impl SweepConfig {
             dims: vec![512, 1024, 2048, 5120, 10240],
             bits: vec![1, 2, 3, 4],
             retrain_epochs: 3,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     }
 
@@ -76,7 +76,7 @@ impl SweepConfig {
             dims: vec![256, 1024],
             bits: vec![1, 2, 4],
             retrain_epochs: 2,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     }
 }
@@ -294,7 +294,10 @@ mod tests {
                 accuracy: 0.92,
             },
         ];
-        assert_eq!(required_dimension(&points, Precision::Bits(2), 0.9), Some(1024));
+        assert_eq!(
+            required_dimension(&points, Precision::Bits(2), 0.9),
+            Some(1024)
+        );
         assert_eq!(required_dimension(&points, Precision::Bits(2), 0.99), None);
         assert_eq!(peak_accuracy(&points, Precision::Bits(2)), Some(0.92));
         assert_eq!(peak_accuracy(&points, Precision::Full), None);

@@ -153,7 +153,11 @@ impl Hypervector {
 
     /// L2 norm.
     pub fn norm(&self) -> f64 {
-        self.values.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt()
+        self.values
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -276,10 +280,7 @@ mod tests {
     fn cosine_errors() {
         let a = Hypervector::zeros(4);
         let b = Hypervector::from_values(vec![1.0; 4]);
-        assert!(matches!(
-            a.cosine(&b),
-            Err(HdcError::InvalidConfig { .. })
-        ));
+        assert!(matches!(a.cosine(&b), Err(HdcError::InvalidConfig { .. })));
         let c = Hypervector::zeros(5);
         assert!(matches!(
             b.cosine(&c),

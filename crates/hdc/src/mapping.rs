@@ -16,6 +16,7 @@ use tdam::array::TdamArray;
 use tdam::config::ArrayConfig;
 use tdam::encoding::Encoding;
 use tdam::energy::EnergyBreakdown;
+use tdam::faults::{faulty_row, FaultKind, FaultMap};
 
 /// Result of one TD-AM-mapped inference.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +31,9 @@ pub struct TdamInferenceResult {
     pub latency: f64,
     /// Energy, joules.
     pub energy: EnergyBreakdown,
+    /// Dimensions masked out of the Hamming metric (graceful
+    /// degradation under hardware faults); `0` on a healthy deployment.
+    pub masked_dimensions: usize,
 }
 
 /// A quantized HDC model deployed on TD-AM tiles.
@@ -64,6 +68,14 @@ pub struct TdamHdcInference {
     /// Fixed per-query front-end energy (on-chip encoding + query I/O),
     /// joules. Zero by default (pure search accounting).
     e_frontend: f64,
+    /// Dimensions masked out of the metric (graceful degradation).
+    masked: Vec<bool>,
+    /// Injected cell faults per tile, in tile-local `(row, stage)`
+    /// coordinates.
+    tile_faults: Vec<FaultMap>,
+    /// Per-tile, per-row constant decode bias from stuck-mismatch cells
+    /// at excluded (masked or padded) stages, subtracted after decode.
+    bias: Vec<Vec<usize>>,
 }
 
 impl TdamHdcInference {
@@ -103,12 +115,16 @@ impl TdamHdcInference {
             }
             tiles.push(tile);
         }
+        let chunk_count = tiles.len();
         Ok(Self {
             tiles,
             stages,
             dims,
             classes,
             e_frontend: 0.0,
+            masked: vec![false; dims],
+            tile_faults: vec![FaultMap::new(); chunk_count],
+            bias: vec![vec![0; classes]; chunk_count],
         })
     }
 
@@ -118,7 +134,12 @@ impl TdamHdcInference {
     /// in-memory HDC encoder literature, ~fJ per bind-accumulate op).
     /// Front-end *latency* is excluded: encoding pipelines with the
     /// previous query's search, but its energy accrues regardless.
-    pub fn with_frontend_cost(mut self, features: usize, underlying_dims: usize, e_per_op: f64) -> Self {
+    pub fn with_frontend_cost(
+        mut self,
+        features: usize,
+        underlying_dims: usize,
+        e_per_op: f64,
+    ) -> Self {
         self.e_frontend = features as f64 * underlying_dims as f64 * e_per_op;
         self
     }
@@ -131,6 +152,123 @@ impl TdamHdcInference {
     /// Number of classes (rows per tile).
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// Number of dimensions masked out of the metric.
+    pub fn masked_dimensions(&self) -> usize {
+        self.masked.iter().filter(|&&m| m).count()
+    }
+
+    /// Fraction of the hypervector excluded from the metric, `0.0..=1.0`
+    /// — the deployment's degradation level.
+    pub fn degradation_fraction(&self) -> f64 {
+        if self.dims == 0 {
+            return 0.0;
+        }
+        self.masked_dimensions() as f64 / self.dims as f64
+    }
+
+    /// Dimensions with a hard (unrepairable) cell fault in any class row
+    /// — the candidate set for [`TdamHdcInference::apply_dimension_mask`].
+    pub fn faulty_dimensions(&self) -> Vec<usize> {
+        let mut dims: Vec<usize> = Vec::new();
+        for (chunk, faults) in self.tile_faults.iter().enumerate() {
+            for &(_, stage, kind) in faults.iter() {
+                let dim = chunk * self.stages + stage;
+                if kind.is_hard() && dim < self.dims && !dims.contains(&dim) {
+                    dims.push(dim);
+                }
+            }
+        }
+        dims.sort_unstable();
+        dims
+    }
+
+    /// Injects cell faults into one tile (tile-local `(row, stage)`
+    /// coordinates, rows are classes) and re-realizes its cells. Faults
+    /// accumulate across calls; re-injecting a site replaces its fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for an out-of-range chunk and
+    /// propagates TD-AM cell errors.
+    pub fn inject_tile_faults(&mut self, chunk: usize, faults: &FaultMap) -> Result<(), HdcError> {
+        if chunk >= self.tiles.len() {
+            return Err(HdcError::InvalidConfig {
+                what: "fault injection chunk out of range",
+            });
+        }
+        for &(row, stage, kind) in faults.iter() {
+            self.tile_faults[chunk].inject(row, stage, kind);
+        }
+        self.rebuild_tile(chunk)
+    }
+
+    /// Masks hypervector dimensions out of the Hamming metric: the
+    /// stored and query sides are both zeroed there (the padding trick),
+    /// so a healthy cell contributes nothing, and the known constant
+    /// bias of stuck-mismatch cells at masked positions is subtracted
+    /// after decode. Distances shrink by at most one per masked
+    /// dimension instead of carrying fault garbage; masking is
+    /// irreversible for the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for out-of-range
+    /// dimensions and propagates TD-AM cell errors.
+    pub fn apply_dimension_mask(&mut self, dims: &[usize]) -> Result<(), HdcError> {
+        let mut touched: Vec<usize> = Vec::new();
+        for &d in dims {
+            if d >= self.dims {
+                return Err(HdcError::DimensionMismatch {
+                    got: d,
+                    expected: self.dims,
+                });
+            }
+            if !self.masked[d] {
+                self.masked[d] = true;
+                let chunk = d / self.stages;
+                if !touched.contains(&chunk) {
+                    touched.push(chunk);
+                }
+            }
+        }
+        for chunk in touched {
+            self.rebuild_tile(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Whether a tile-local stage is excluded from the metric (masked or
+    /// padding).
+    fn excluded(&self, chunk: usize, stage: usize) -> bool {
+        let dim = chunk * self.stages + stage;
+        dim >= self.dims || self.masked[dim]
+    }
+
+    /// Re-realizes one tile's cells from its stored values, the fault
+    /// map, and the dimension mask, and recomputes its decode bias.
+    fn rebuild_tile(&mut self, chunk: usize) -> Result<(), HdcError> {
+        let encoding = self.tiles[chunk].config().encoding;
+        for row in 0..self.classes {
+            let mut values = self.tiles[chunk].stored(row)?;
+            for (stage, v) in values.iter_mut().enumerate() {
+                if self.excluded(chunk, stage) {
+                    *v = 0;
+                }
+            }
+            let cells = faulty_row(row, &values, encoding, &self.tile_faults[chunk])?;
+            self.tiles[chunk].store_cells(row, cells)?;
+        }
+        for row in 0..self.classes {
+            self.bias[chunk][row] = self.tile_faults[chunk]
+                .row_faults(row)
+                .filter(|&(stage, kind)| {
+                    matches!(kind, FaultKind::StuckMismatch) && self.excluded(chunk, stage)
+                })
+                .count();
+        }
+        Ok(())
     }
 
     /// Classifies a quantized query.
@@ -155,11 +293,16 @@ impl TdamHdcInference {
             let start = chunk * self.stages;
             let end = (start + self.stages).min(self.dims);
             slice[..end - start].copy_from_slice(&query.levels()[start..end]);
+            for (stage, q) in slice.iter_mut().enumerate() {
+                if start + stage < self.dims && self.masked[start + stage] {
+                    *q = 0;
+                }
+            }
             let outcome = tile.search(&slice)?;
             latency += outcome.latency;
             energy.accumulate(&outcome.energy);
             for (row, r) in outcome.rows.iter().enumerate() {
-                distances[row] += r.decoded_mismatches;
+                distances[row] += r.decoded_mismatches.saturating_sub(self.bias[chunk][row]);
             }
         }
         let (class, &distance) = distances
@@ -173,6 +316,7 @@ impl TdamHdcInference {
             distances,
             latency,
             energy,
+            masked_dimensions: self.masked_dimensions(),
         })
     }
 }
@@ -385,9 +529,7 @@ mod tests {
 
         let mut last = None;
         for _ in 0..2 {
-            last = Some(
-                hardware_retrain_epoch(&mut model, &enc, 2, 128, 0.6, &ds.train).unwrap(),
-            );
+            last = Some(hardware_retrain_epoch(&mut model, &enc, 2, 128, 0.6, &ds.train).unwrap());
         }
         let (quant, hw, report) = last.unwrap();
         let after = hw_accuracy(&quant, &hw);
@@ -397,6 +539,102 @@ mod tests {
             after >= before - 0.05,
             "hardware-loop training must not hurt: {before:.3} -> {after:.3}"
         );
+    }
+
+    #[test]
+    fn masking_excludes_faulty_dimensions_exactly() {
+        let (quant, enc, ds, mut hw) = deployed();
+        // A stuck column in tile 0 plus stuck cells in both tiles.
+        let mut tile0 = FaultMap::new();
+        for row in 0..hw.classes() {
+            tile0.inject(row, 5, FaultKind::StuckMismatch);
+        }
+        tile0.inject(1, 17, FaultKind::StuckMismatch);
+        hw.inject_tile_faults(0, &tile0).unwrap();
+        let mut tile1 = FaultMap::new();
+        tile1.inject(0, 10, FaultKind::StuckMismatch); // dim 138
+        hw.inject_tile_faults(1, &tile1).unwrap();
+
+        let faulty = hw.faulty_dimensions();
+        assert_eq!(faulty, vec![5, 17, 138]);
+        hw.apply_dimension_mask(&faulty).unwrap();
+        assert_eq!(hw.masked_dimensions(), 3);
+        assert!((hw.degradation_fraction() - 3.0 / 256.0).abs() < 1e-12);
+
+        for (x, _) in ds.test.iter().take(6) {
+            let h = enc.encode(x).unwrap();
+            let q = quant.quantize_query(&h).unwrap();
+            let result = hw.classify(&q).unwrap();
+            assert_eq!(result.masked_dimensions, 3);
+            // Expected: software Hamming distance over unmasked dims.
+            for (row, class_hv) in quant.class_hvs().iter().enumerate() {
+                let expected = class_hv
+                    .levels()
+                    .iter()
+                    .zip(q.levels())
+                    .enumerate()
+                    .filter(|&(d, (a, b))| !faulty.contains(&d) && a != b)
+                    .count();
+                assert_eq!(
+                    result.distances[row], expected,
+                    "masked metric must match software on row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_stage_faults_are_bias_corrected_not_masked() {
+        // 300-dim model at 2 bits → 150 elements on 128-stage tiles:
+        // chunk 1 stages 22..128 are padding.
+        let ds = Dataset::generate(DatasetKind::Face, 20, 5, 78);
+        let enc = IdLevelEncoder::new(300, ds.features(), 32, (0.0, 1.0), 8).unwrap();
+        let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1).unwrap();
+        let quant = QuantizedModel::from_model(&model, 2).unwrap();
+        let mut hw = TdamHdcInference::new(&quant, 128, 0.6).unwrap();
+
+        let mut faults = FaultMap::new();
+        faults.inject(0, 50, FaultKind::StuckMismatch); // padding stage
+        hw.inject_tile_faults(1, &faults).unwrap();
+        assert!(hw.faulty_dimensions().is_empty(), "padding is not a dim");
+
+        let h = enc.encode(&ds.test[0].0).unwrap();
+        let q = quant.quantize_query(&h).unwrap();
+        let result = hw.classify(&q).unwrap();
+        let (_, sw_dist) = quant.classify_quantized(&q).unwrap();
+        assert_eq!(
+            result.distance, sw_dist,
+            "padded-stage fault bias must be subtracted"
+        );
+    }
+
+    #[test]
+    fn unmasked_faults_corrupt_distances_masking_recovers() {
+        let (quant, enc, ds, mut hw) = deployed();
+        let h = enc.encode(&ds.test[0].0).unwrap();
+        let q = quant.quantize_query(&h).unwrap();
+        let clean = hw.classify(&q).unwrap();
+
+        let mut faults = FaultMap::new();
+        for stage in [3usize, 40, 77, 101] {
+            for row in 0..hw.classes() {
+                faults.inject(row, stage, FaultKind::StuckMismatch);
+            }
+        }
+        hw.inject_tile_faults(0, &faults).unwrap();
+        let corrupted = hw.classify(&q).unwrap();
+        assert!(
+            corrupted.distances.iter().sum::<usize>() > clean.distances.iter().sum::<usize>(),
+            "stuck-mismatch cells must inflate distances"
+        );
+
+        hw.apply_dimension_mask(&hw.faulty_dimensions()).unwrap();
+        let masked = hw.classify(&q).unwrap();
+        assert_eq!(masked.class, clean.class, "masking must restore the winner");
+        for (m, c) in masked.distances.iter().zip(&clean.distances) {
+            assert!(m <= c, "a masked metric can only shrink distances");
+            assert!(c - m <= 4, "at most one count per masked dimension");
+        }
     }
 
     #[test]

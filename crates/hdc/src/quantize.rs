@@ -263,10 +263,7 @@ impl QuantizedModel {
     /// # Errors
     ///
     /// Returns [`HdcError::EmptyModel`] for a classless model.
-    pub fn classify_quantized(
-        &self,
-        q: &QuantizedHypervector,
-    ) -> Result<(usize, usize), HdcError> {
+    pub fn classify_quantized(&self, q: &QuantizedHypervector) -> Result<(usize, usize), HdcError> {
         let mut best: Option<(usize, usize)> = None;
         for (i, class_hv) in self.class_hvs.iter().enumerate() {
             let d = q.hamming(class_hv)?;
@@ -517,7 +514,9 @@ mod tests {
         // Wrong row width.
         assert!(QuantizedModel::from_text("tdam-qmodel v1 2 8 1\n012\n0 0 0 0 0 0 0 0\n").is_err());
         // Non-hex level.
-        assert!(QuantizedModel::from_text("tdam-qmodel v1 2 8 1\n01xz\n0 0 0 0 0 0 0 0\n").is_err());
+        assert!(
+            QuantizedModel::from_text("tdam-qmodel v1 2 8 1\n01xz\n0 0 0 0 0 0 0 0\n").is_err()
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
         let h_far = enc.encode_sequence(&unrelated).unwrap();
         let sim_near = h_ref.cosine(&h_near).unwrap();
         let sim_far = h_ref.cosine(&h_far).unwrap();
-        assert!(sim_near > 0.6, "5 mutations keep similarity high: {sim_near}");
+        assert!(
+            sim_near > 0.6,
+            "5 mutations keep similarity high: {sim_near}"
+        );
         assert!(sim_far < 0.2, "unrelated genomes ~orthogonal: {sim_far}");
     }
 

@@ -97,7 +97,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -164,7 +165,7 @@ impl TruncatedNormal {
     /// Returns [`ParamError`] if the normal parameters are invalid or
     /// `lo > hi`.
     pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Result<Self, ParamError> {
-        if !(lo <= hi) {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
             return Err(ParamError {
                 what: "truncation bounds out of order",
             });

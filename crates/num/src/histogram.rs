@@ -50,7 +50,7 @@ impl Histogram {
     /// Returns [`BuildHistogramError`] if `lo >= hi`, either bound is
     /// non-finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, BuildHistogramError> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() || bins == 0 {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi || bins == 0 {
             return Err(BuildHistogramError);
         }
         Ok(Self {

@@ -70,7 +70,10 @@ impl Interp1 {
         if xs.len() < 2 {
             return Err(BuildInterpError::TooFewPoints);
         }
-        if xs.windows(2).any(|w| !(w[0] < w[1])) {
+        if xs
+            .windows(2)
+            .any(|w| w[0].is_nan() || w[1].is_nan() || w[0] >= w[1])
+        {
             return Err(BuildInterpError::NotStrictlyIncreasing);
         }
         Ok(Self { xs, ys })
@@ -135,7 +138,13 @@ impl Interp2 {
         if xs.len() < 2 || ys.len() < 2 {
             return Err(BuildInterpError::TooFewPoints);
         }
-        if xs.windows(2).any(|w| !(w[0] < w[1])) || ys.windows(2).any(|w| !(w[0] < w[1])) {
+        if xs
+            .windows(2)
+            .any(|w| w[0].is_nan() || w[1].is_nan() || w[0] >= w[1])
+            || ys
+                .windows(2)
+                .any(|w| w[0].is_nan() || w[1].is_nan() || w[0] >= w[1])
+        {
             return Err(BuildInterpError::NotStrictlyIncreasing);
         }
         if values.len() != xs.len() * ys.len() {
@@ -159,7 +168,10 @@ impl Interp2 {
         let v01 = self.values[i * ny + j + 1];
         let v10 = self.values[(i + 1) * ny + j];
         let v11 = self.values[(i + 1) * ny + j + 1];
-        v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
     }
 }
 

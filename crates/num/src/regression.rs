@@ -127,7 +127,10 @@ mod tests {
             LinearFit::fit(&[1.0], &[1.0, 2.0]),
             Err(FitLineError::LengthMismatch)
         );
-        assert_eq!(LinearFit::fit(&[1.0], &[1.0]), Err(FitLineError::TooFewPoints));
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0]),
+            Err(FitLineError::TooFewPoints)
+        );
         assert_eq!(
             LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]),
             Err(FitLineError::DegenerateX)

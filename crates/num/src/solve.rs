@@ -61,7 +61,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     hi: f64,
     tol: f64,
 ) -> Result<f64, SolveRootError> {
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
         return Err(SolveRootError::InvalidBounds);
     }
     let mut a = lo;

@@ -116,14 +116,8 @@ pub fn table1_area_per_bit(c_load: f64) -> Vec<(String, f64)> {
     let at40 = AreaModel::at_node(40.0);
     vec![
         ("16T TCAM".to_owned(), at45.transistors(16)),
-        (
-            "2FeFET TCAM".to_owned(),
-            at45.fefets(2),
-        ),
-        (
-            "20T+4MUX TD stage".to_owned(),
-            at28.transistors(20 + 4 * 4),
-        ),
+        ("2FeFET TCAM".to_owned(), at45.fefets(2)),
+        ("20T+4MUX TD stage".to_owned(), at28.transistors(20 + 4 * 4)),
         (
             "3T-2FeFET TD (binary)".to_owned(),
             at40.fefets(2) + at40.transistors(3) + at40.capacitor(c_load),

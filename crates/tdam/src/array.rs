@@ -191,15 +191,50 @@ impl TdamArray {
     /// # Errors
     ///
     /// Returns row/shape/range errors like `store`, and
-    /// [`TdamError::InvalidConfig`] if a device fails write-verify.
+    /// [`TdamError::WriteVerify`] if a device fails write-verify.
     pub fn program_row(
         &mut self,
         row: usize,
         values: &[u8],
     ) -> Result<ProgramRowReport, TdamError> {
-        use tdam_fefet::programming::{program_vth_with_report, ProgramConfig};
+        let single_shot = tdam_fefet::programming::RetryPolicy {
+            max_attempts: 1,
+            amplitude_step: 0.0,
+            max_amplitude: f64::INFINITY,
+        };
+        Ok(self.program_row_with_retry(row, values, &single_shot)?.0)
+    }
+
+    /// As [`TdamArray::program_row`], but retries each device's
+    /// write-verify per the bounded, amplitude-escalating `policy` before
+    /// giving up. Returns the aggregate report (pulse pairs and energy
+    /// include failed attempts — retries are not free) and the worst
+    /// per-device attempt count used anywhere in the row.
+    ///
+    /// # Errors
+    ///
+    /// Returns row/shape/range errors like `store`, and
+    /// [`TdamError::WriteVerify`] once a device exhausts the policy.
+    pub fn program_row_with_retry(
+        &mut self,
+        row: usize,
+        values: &[u8],
+        policy: &tdam_fefet::programming::RetryPolicy,
+    ) -> Result<(ProgramRowReport, usize), TdamError> {
         use tdam_fefet::preisach::PreisachParams;
+        use tdam_fefet::programming::{program_vth_with_retry, ProgramConfig, ProgramError};
         use tdam_fefet::{Fefet, FefetParams};
+
+        fn prog_err(e: ProgramError) -> TdamError {
+            match e {
+                ProgramError::VerifyFailed { target, achieved } => {
+                    TdamError::WriteVerify { target, achieved }
+                }
+                ProgramError::InvalidState { .. } => TdamError::InvalidConfig {
+                    what: "programming state outside the device ladder",
+                },
+            }
+        }
 
         if row >= self.chains.len() {
             return Err(TdamError::RowOutOfBounds {
@@ -230,35 +265,49 @@ impl TdamArray {
             energy: 0.0,
             worst_vth_error: 0.0,
         };
+        let mut worst_attempts = 0usize;
         let mut cells = Vec::with_capacity(values.len());
         for &v in values {
             let mut dev_a = Fefet::new(dev_params);
             let mut dev_b = Fefet::new(dev_params);
             let target_a = ladder.vth(v);
             let target_b = ladder.vth(levels - 1 - v);
-            let rep_a = program_vth_with_report(&mut dev_a, target_a, &prog_cfg)
-                .map_err(|_| TdamError::InvalidConfig {
-                    what: "write-verify failed while programming a row",
-                })?;
-            let rep_b = program_vth_with_report(&mut dev_b, target_b, &prog_cfg)
-                .map_err(|_| TdamError::InvalidConfig {
-                    what: "write-verify failed while programming a row",
-                })?;
-            report.pulse_pairs += rep_a.pulse_pairs + rep_b.pulse_pairs;
-            report.energy += rep_a.energy + rep_b.energy;
+            let rep_a = program_vth_with_retry(&mut dev_a, target_a, &prog_cfg, policy)
+                .map_err(prog_err)?;
+            let rep_b = program_vth_with_retry(&mut dev_b, target_b, &prog_cfg, policy)
+                .map_err(prog_err)?;
+            report.pulse_pairs += rep_a.report.pulse_pairs + rep_b.report.pulse_pairs;
+            report.energy += rep_a.report.energy + rep_b.report.energy;
             report.worst_vth_error = report
                 .worst_vth_error
-                .max((rep_a.achieved_vth - target_a).abs())
-                .max((rep_b.achieved_vth - target_b).abs());
+                .max((rep_a.report.achieved_vth - target_a).abs())
+                .max((rep_b.report.achieved_vth - target_b).abs());
+            worst_attempts = worst_attempts.max(rep_a.attempts).max(rep_b.attempts);
             cells.push(crate::cell::Cell::with_vth(
                 v,
                 self.config.encoding,
-                rep_a.achieved_vth,
-                rep_b.achieved_vth,
+                rep_a.report.achieved_vth,
+                rep_b.report.achieved_vth,
             )?);
         }
         self.chains[row] = DelayChain::from_cells(cells, &self.config, self.timing)?;
-        Ok(report)
+        Ok((report, worst_attempts))
+    }
+
+    /// The cells of `row`, including any fault- or variation-perturbed
+    /// thresholds installed by [`TdamArray::store_cells`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::RowOutOfBounds`] for invalid rows.
+    pub fn row_cells(&self, row: usize) -> Result<&[crate::cell::Cell], TdamError> {
+        self.chains
+            .get(row)
+            .map(DelayChain::cells)
+            .ok_or(TdamError::RowOutOfBounds {
+                row,
+                rows: self.config.rows,
+            })
     }
 
     /// Ages every cell in the array through the given lifetime: all
@@ -285,8 +334,11 @@ impl TdamArray {
                     )
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            self.chains
-                .push(DelayChain::from_cells(aged_cells, &self.config, self.timing)?);
+            self.chains.push(DelayChain::from_cells(
+                aged_cells,
+                &self.config,
+                self.timing,
+            )?);
         }
         Ok(())
     }

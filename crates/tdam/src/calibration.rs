@@ -144,11 +144,8 @@ mod tests {
         // The real test of the table: a point the grid never simulated
         // should still be close to a fresh extraction.
         let t = table();
-        let direct = StageTiming::from_circuit(
-            &TechParams::nominal_40nm().with_vdd(0.95),
-            12e-15,
-        )
-        .unwrap();
+        let direct =
+            StageTiming::from_circuit(&TechParams::nominal_40nm().with_vdd(0.95), 12e-15).unwrap();
         let interp = t.timing_at(0.95, 12e-15).unwrap();
         let err = (interp.d_c - direct.d_c).abs() / direct.d_c;
         assert!(

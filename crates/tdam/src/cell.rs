@@ -256,12 +256,7 @@ impl Cell {
     ///
     /// Returns [`TdamError::ValueOutOfRange`] if `q` does not fit the
     /// encoding.
-    pub fn discharge_current(
-        &self,
-        q: u8,
-        v_mn: f64,
-        mos: &MosParams,
-    ) -> Result<f64, TdamError> {
+    pub fn discharge_current(&self, q: u8, v_mn: f64, mos: &MosParams) -> Result<f64, TdamError> {
         self.encoding.validate(&[q])?;
         let v_sl_a = self.ladder.vsl(q);
         let v_sl_b = self.ladder.vsl(self.reversed(q));
@@ -295,11 +290,7 @@ impl Cell {
             "VPRE",
             pre,
             Netlist::GND,
-            Waveform::Pwl(vec![
-                (0.0, 0.0),
-                (1.0e-9, 0.0),
-                (1.05e-9, tech.vdd),
-            ]),
+            Waveform::Pwl(vec![(0.0, 0.0), (1.0e-9, 0.0), (1.05e-9, tech.vdd)]),
         );
         // Search lines assert at 1.2 ns (after precharge releases).
         let v_sl_a = self.ladder.vsl(q);

@@ -205,11 +205,12 @@ impl CircuitChain {
         let t_in = t_in_edge.ok_or(TdamError::InvalidConfig {
             what: "input edge not found in first stage",
         })?;
-        let t_out = output
-            .first_crossing(vdd / 2.0, input_edge_kind)
-            .ok_or(TdamError::InvalidConfig {
-                what: "chain output never switched (horizon too short?)",
-            })?;
+        let t_out =
+            output
+                .first_crossing(vdd / 2.0, input_edge_kind)
+                .ok_or(TdamError::InvalidConfig {
+                    what: "chain output never switched (horizon too short?)",
+                })?;
         Ok(StepResult {
             delay: t_out - t_in,
             supply_energy: energy,
@@ -222,7 +223,11 @@ impl CircuitChain {
     /// # Errors
     ///
     /// As [`CircuitChain::simulate_step`].
-    pub fn evaluate(&self, query: &[u8], with_cells: bool) -> Result<CircuitChainResult, TdamError> {
+    pub fn evaluate(
+        &self,
+        query: &[u8],
+        with_cells: bool,
+    ) -> Result<CircuitChainResult, TdamError> {
         let rising = self.simulate_step(query, Step::RisingEven, with_cells)?;
         let falling = self.simulate_step(query, Step::FallingOdd, with_cells)?;
         Ok(CircuitChainResult { rising, falling })
@@ -240,11 +245,7 @@ impl CircuitChain {
     /// # Errors
     ///
     /// Returns query shape/range errors.
-    pub fn build_monolithic_netlist(
-        &self,
-        query: &[u8],
-        step: Step,
-    ) -> Result<Netlist, TdamError> {
+    pub fn build_monolithic_netlist(&self, query: &[u8], step: Step) -> Result<Netlist, TdamError> {
         if query.len() != self.cells.len() {
             return Err(TdamError::LengthMismatch {
                 got: query.len(),
@@ -268,7 +269,11 @@ impl CircuitChain {
             "VIN",
             inp,
             Netlist::GND,
-            Waveform::Pwl(vec![(0.0, v_from), (t_edge, v_from), (t_edge + 20e-12, v_to)]),
+            Waveform::Pwl(vec![
+                (0.0, v_from),
+                (t_edge, v_from),
+                (t_edge + 20e-12, v_to),
+            ]),
         );
 
         let mut prev = inp;
@@ -315,25 +320,27 @@ impl CircuitChain {
     /// # Errors
     ///
     /// Propagates circuit failures and query validation errors.
-    pub fn simulate_step_monolithic(&self, query: &[u8], step: Step) -> Result<StepResult, TdamError> {
+    pub fn simulate_step_monolithic(
+        &self,
+        query: &[u8],
+        step: Step,
+    ) -> Result<StepResult, TdamError> {
         let nl = self.build_monolithic_netlist(query, step)?;
         let tech = &self.config.tech;
         let vdd = tech.vdd;
         let timing = crate::timing::StageTiming::analytic(tech, self.config.c_load)?;
         let n = self.cells.len();
-        let t_stop =
-            2.0e-9 + 4.0 * (n as f64) * (timing.d_c + 4.0 * timing.d_inv) + 1.0e-9;
+        let t_stop = 2.0e-9 + 4.0 * (n as f64) * (timing.d_c + 4.0 * timing.d_inv) + 1.0e-9;
         let res = Transient::new(&nl, TranConfig::until(t_stop).with_max_step(3e-12)).run()?;
         let in_edge = match step {
             Step::RisingEven => Edge::Rising,
             Step::FallingOdd => Edge::Falling,
         };
-        let t_in = res
-            .trace("in")?
-            .first_crossing(vdd / 2.0, in_edge)
-            .ok_or(TdamError::InvalidConfig {
+        let t_in = res.trace("in")?.first_crossing(vdd / 2.0, in_edge).ok_or(
+            TdamError::InvalidConfig {
                 what: "input edge not found",
-            })?;
+            },
+        )?;
         // Output edge polarity flips once per stage.
         let out_edge = if n.is_multiple_of(2) {
             in_edge
@@ -414,11 +421,12 @@ impl CircuitChain {
         let t_in = t_in_edge.ok_or(TdamError::InvalidConfig {
             what: "input edge not found in first stage",
         })?;
-        let t_out = output
-            .first_crossing(vdd / 2.0, edge_kind)
-            .ok_or(TdamError::InvalidConfig {
-                what: "chain output never switched (horizon too short?)",
-            })?;
+        let t_out =
+            output
+                .first_crossing(vdd / 2.0, edge_kind)
+                .ok_or(TdamError::InvalidConfig {
+                    what: "chain output never switched (horizon too short?)",
+                })?;
         Ok(StepResult {
             delay: t_out - t_in,
             supply_energy: energy,
@@ -536,7 +544,9 @@ mod tests {
             *item = 2;
         }
         let handoff = chain.simulate_step(&q, Step::RisingEven, false).unwrap();
-        let monolithic = chain.simulate_step_monolithic(&q, Step::RisingEven).unwrap();
+        let monolithic = chain
+            .simulate_step_monolithic(&q, Step::RisingEven)
+            .unwrap();
         let err = (handoff.delay - monolithic.delay).abs() / monolithic.delay;
         assert!(
             err < 0.10,

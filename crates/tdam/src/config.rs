@@ -168,7 +168,7 @@ impl ArrayConfig {
                 what: "rows must be at least 1",
             });
         }
-        if !(self.c_load > 0.0) || !self.c_load.is_finite() {
+        if !self.c_load.is_finite() || self.c_load <= 0.0 {
             return Err(TdamError::InvalidConfig {
                 what: "load capacitance must be positive and finite",
             });
@@ -223,12 +223,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(ArrayConfig::paper_default().with_stages(0).validate().is_err());
-        assert!(ArrayConfig::paper_default().with_rows(0).validate().is_err());
-        assert!(ArrayConfig::paper_default().with_c_load(0.0).validate().is_err());
-        assert!(ArrayConfig::paper_default().with_c_load(f64::NAN).validate().is_err());
-        assert!(ArrayConfig::paper_default().with_vdd(0.1).validate().is_err());
-        assert!(ArrayConfig::paper_default().with_vdd(2.5).validate().is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_stages(0)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_rows(0)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_c_load(0.0)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_c_load(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_vdd(0.1)
+            .validate()
+            .is_err());
+        assert!(ArrayConfig::paper_default()
+            .with_vdd(2.5)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         assert!(enc.validate(&[0, 3]).is_ok());
         assert_eq!(
             enc.validate(&[4]),
-            Err(TdamError::ValueOutOfRange { value: 4, levels: 4 })
+            Err(TdamError::ValueOutOfRange {
+                value: 4,
+                levels: 4
+            })
         );
     }
 
@@ -159,7 +162,10 @@ mod tests {
         let enc = Encoding::default();
         assert!(matches!(
             enc.hamming(&[0, 1], &[0]),
-            Err(TdamError::LengthMismatch { got: 1, expected: 2 })
+            Err(TdamError::LengthMismatch {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 

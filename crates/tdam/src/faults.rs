@@ -1,18 +1,34 @@
-//! Fault injection: stuck cells and their effect on quantitative search.
+//! Fault injection: stuck and drifted cells and their effect on
+//! quantitative search.
 //!
-//! Production associative memories ship with defects. The TD-AM's two
-//! physically plausible cell-level faults are:
+//! Production associative memories ship with defects. The cell-level
+//! faults the TD-AM's behavioral model expresses directly are:
 //!
 //! - **stuck-mismatch** — the match node can never hold `V_DD` (a FeFET
 //!   stuck in its low-V_TH state, or an MN-to-ground short): the stage
-//!   always adds `d_C`, biasing the row's decoded distance by +1;
+//!   always adds `d_C`, biasing the row's decoded distance by +1 whenever
+//!   the data would have matched;
 //! - **stuck-match** — the cell can never discharge MN (both FeFETs
 //!   stuck high, a broken search line, or an open MN): real mismatches at
-//!   that position go uncounted, biasing the distance by up to −1.
+//!   that position go uncounted, biasing the distance by up to −1;
+//! - **V_TH drift** — a *parametric* fault: both thresholds have relaxed
+//!   toward the window center (retention loss, endurance fatigue, or a
+//!   disturbed write), parameterized by the remaining window fraction as
+//!   produced by [`tdam_fefet::retention`]. Unlike the stuck faults this
+//!   one is repairable by re-programming.
 //!
-//! Both are expressed through the existing threshold-voltage machinery —
-//! a stuck cell is just a cell with extreme `V_TH` values — so the whole
-//! behavioral model (attachment factors, energies) applies unchanged.
+//! All are expressed through the existing threshold-voltage machinery —
+//! a faulty cell is just a cell with perturbed `V_TH` values — so the
+//! whole behavioral model (attachment factors, energies) applies
+//! unchanged. Chain-level faults (a broken stage, a stuck shared search
+//! line) and transient faults (TDC miscounts, SL driver glitches) span
+//! more than one cell and live in [`crate::resilience`].
+//!
+//! The exact decode arithmetic under cell faults is captured by
+//! [`expected_decode`] and property-tested in this module: the decoded
+//! distance equals the true Hamming distance, plus one per stuck-mismatch
+//! on a *matching* position, minus one per stuck-match on a *mismatching*
+//! position.
 
 use crate::cell::Cell;
 use crate::config::ArrayConfig;
@@ -20,16 +36,38 @@ use crate::encoding::Encoding;
 use crate::TdamError;
 use serde::{Deserialize, Serialize};
 
-/// A cell-level hard fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A cell-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// The stage always behaves as a mismatch (+`d_C` regardless of data).
     StuckMismatch,
     /// The stage always behaves as a match (mismatches go uncounted).
     StuckMatch,
+    /// Parametric drift: both thresholds contracted toward the window
+    /// center with this fraction of the fresh memory window remaining
+    /// (see [`tdam_fefet::retention::aged_vth`]). `1.0` is a fresh cell;
+    /// small fractions blur adjacent levels into decode errors.
+    VthDrift {
+        /// Remaining fraction of the fresh memory window, `0.0..=1.0`.
+        window_fraction: f64,
+    },
+}
+
+impl FaultKind {
+    /// Whether the fault survives re-programming. Stuck faults are
+    /// physical shorts/opens that a write cannot clear; drift is erased
+    /// by a fresh write-verify cycle.
+    pub fn is_hard(&self) -> bool {
+        matches!(self, Self::StuckMismatch | Self::StuckMatch)
+    }
 }
 
 /// A set of injected faults, keyed by `(row, stage)`.
+///
+/// Entries are held sorted by `(row, stage)` so [`FaultMap::get`] is a
+/// binary search — it sits in the inner loop of every fault-campaign
+/// evaluation — and a row's faults form one contiguous run for
+/// [`FaultMap::row_faults`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultMap {
     faults: Vec<(usize, usize, FaultKind)>,
@@ -44,16 +82,30 @@ impl FaultMap {
     /// Injects a fault at `(row, stage)` (replacing any previous fault
     /// there).
     pub fn inject(&mut self, row: usize, stage: usize, kind: FaultKind) {
-        self.faults.retain(|&(r, s, _)| (r, s) != (row, stage));
-        self.faults.push((row, stage, kind));
+        match self.position(row, stage) {
+            Ok(i) => self.faults[i].2 = kind,
+            Err(i) => self.faults.insert(i, (row, stage, kind)),
+        }
     }
 
     /// The fault at `(row, stage)`, if any.
     pub fn get(&self, row: usize, stage: usize) -> Option<FaultKind> {
-        self.faults
-            .iter()
-            .find(|&&(r, s, _)| (r, s) == (row, stage))
-            .map(|&(_, _, k)| k)
+        self.position(row, stage).ok().map(|i| self.faults[i].2)
+    }
+
+    /// Removes and returns the fault at `(row, stage)`, if any.
+    pub fn remove(&mut self, row: usize, stage: usize) -> Option<FaultKind> {
+        match self.position(row, stage) {
+            Ok(i) => Some(self.faults.remove(i).2),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes every *soft* (repairable) fault in `row`, keeping hard
+    /// faults in place — the effect of re-programming the row through
+    /// write-verify.
+    pub fn clear_soft(&mut self, row: usize) {
+        self.faults.retain(|&(r, _, k)| r != row || k.is_hard());
     }
 
     /// Number of injected faults.
@@ -66,9 +118,21 @@ impl FaultMap {
         self.faults.is_empty()
     }
 
-    /// Iterates over `(row, stage, kind)` entries.
+    /// Iterates over `(row, stage, kind)` entries in `(row, stage)` order.
     pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, FaultKind)> {
         self.faults.iter()
+    }
+
+    /// The faults of one row, as a `(stage, kind)` iterator.
+    pub fn row_faults(&self, row: usize) -> impl Iterator<Item = (usize, FaultKind)> + '_ {
+        let start = self.faults.partition_point(|&(r, _, _)| r < row);
+        let end = self.faults.partition_point(|&(r, _, _)| r <= row);
+        self.faults[start..end].iter().map(|&(_, s, k)| (s, k))
+    }
+
+    fn position(&self, row: usize, stage: usize) -> Result<usize, usize> {
+        self.faults
+            .binary_search_by(|&(r, s, _)| (r, s).cmp(&(row, stage)))
     }
 }
 
@@ -76,7 +140,8 @@ impl FaultMap {
 ///
 /// Stuck-mismatch pins `F_A` far below every search-line level (always
 /// conducting); stuck-match pins both FeFETs far above (never
-/// conducting).
+/// conducting); V_TH drift contracts both thresholds toward the paper
+/// window center by the remaining window fraction.
 ///
 /// # Errors
 ///
@@ -91,6 +156,17 @@ pub fn faulty_cell(
         None => Cell::new(value, encoding),
         Some(FaultKind::StuckMismatch) => Cell::with_vth(value, encoding, -2.0, 3.0),
         Some(FaultKind::StuckMatch) => Cell::with_vth(value, encoding, 3.0, 3.0),
+        Some(FaultKind::VthDrift { window_fraction }) => {
+            let ladder = crate::cell::VoltageLadder::for_encoding(encoding);
+            let rev = encoding.levels() - 1 - value;
+            let (lo, hi) = (
+                tdam_fefet::PAPER_VTH[0],
+                tdam_fefet::PAPER_VTH[tdam_fefet::PAPER_STATES - 1],
+            );
+            let vth_a = tdam_fefet::retention::aged_vth(ladder.vth(value), lo, hi, window_fraction);
+            let vth_b = tdam_fefet::retention::aged_vth(ladder.vth(rev), lo, hi, window_fraction);
+            Cell::with_vth(value, encoding, vth_a, vth_b)
+        }
     }
 }
 
@@ -132,10 +208,29 @@ pub fn build_faulty_array(
     Ok(array)
 }
 
+/// The decoded distance a row with hard cell faults reports for a query:
+/// the true Hamming distance, plus one per stuck-mismatch on a position
+/// the data would have matched, minus one per stuck-match on a position
+/// the data mismatched. (Drift faults perturb delays analogically and
+/// have no closed-form count.)
+pub fn expected_decode(stored: &[u8], query: &[u8], row: usize, faults: &FaultMap) -> usize {
+    let mut decode = 0usize;
+    for (stage, (&d, &q)) in stored.iter().zip(query).enumerate() {
+        let mismatch = d != q;
+        match faults.get(row, stage) {
+            Some(FaultKind::StuckMismatch) => decode += 1,
+            Some(FaultKind::StuckMatch) => {}
+            _ => decode += usize::from(mismatch),
+        }
+    }
+    decode
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::array::TdamArray;
+    use proptest::prelude::*;
 
     fn cfg() -> ArrayConfig {
         ArrayConfig::paper_default().with_stages(16).with_rows(2)
@@ -156,6 +251,53 @@ mod tests {
         assert_eq!(map.get(0, 3), Some(FaultKind::StuckMismatch));
         assert_eq!(map.get(1, 5), Some(FaultKind::StuckMatch));
         assert_eq!(map.get(0, 0), None);
+        assert_eq!(map.remove(0, 3), Some(FaultKind::StuckMismatch));
+        assert_eq!(map.remove(0, 3), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn fault_map_is_sorted_and_row_sliced() {
+        let mut map = FaultMap::new();
+        map.inject(2, 7, FaultKind::StuckMatch);
+        map.inject(0, 9, FaultKind::StuckMismatch);
+        map.inject(2, 1, FaultKind::StuckMismatch);
+        map.inject(
+            1,
+            0,
+            FaultKind::VthDrift {
+                window_fraction: 0.4,
+            },
+        );
+        let order: Vec<(usize, usize)> = map.iter().map(|&(r, s, _)| (r, s)).collect();
+        assert_eq!(order, vec![(0, 9), (1, 0), (2, 1), (2, 7)]);
+        let row2: Vec<usize> = map.row_faults(2).map(|(s, _)| s).collect();
+        assert_eq!(row2, vec![1, 7]);
+        assert_eq!(map.row_faults(3).count(), 0);
+    }
+
+    #[test]
+    fn clear_soft_keeps_hard_faults() {
+        let mut map = FaultMap::new();
+        map.inject(
+            0,
+            1,
+            FaultKind::VthDrift {
+                window_fraction: 0.3,
+            },
+        );
+        map.inject(0, 2, FaultKind::StuckMismatch);
+        map.inject(
+            1,
+            1,
+            FaultKind::VthDrift {
+                window_fraction: 0.3,
+            },
+        );
+        map.clear_soft(0);
+        assert_eq!(map.get(0, 1), None);
+        assert_eq!(map.get(0, 2), Some(FaultKind::StuckMismatch));
+        assert!(matches!(map.get(1, 1), Some(FaultKind::VthDrift { .. })));
     }
 
     #[test]
@@ -182,6 +324,45 @@ mod tests {
         q[0] = 3;
         let d = TdamArray::search(&faulty, &q).expect("search").decoded()[0];
         assert_eq!(d, 0, "stuck-match cell must swallow the mismatch");
+    }
+
+    #[test]
+    fn drifted_cells_decode_until_window_collapses() {
+        // A mild drift keeps the decode exact; a collapsed window reads
+        // every comparison as roughly equal and the count degrades.
+        let mut mild = FaultMap::new();
+        let mut dead = FaultMap::new();
+        for s in 0..16 {
+            mild.inject(
+                0,
+                s,
+                FaultKind::VthDrift {
+                    window_fraction: 0.85,
+                },
+            );
+            dead.inject(
+                0,
+                s,
+                FaultKind::VthDrift {
+                    window_fraction: 0.02,
+                },
+            );
+        }
+        let q = vec![2u8; 16]; // row 0 stores all-1: 16 true mismatches
+        let d_mild = TdamArray::search(
+            &build_faulty_array(&cfg(), &stored(), &mild).expect("array"),
+            &q,
+        )
+        .expect("search")
+        .decoded()[0];
+        assert_eq!(d_mild, 16, "85% window must still decode exactly");
+        let d_dead = TdamArray::search(
+            &build_faulty_array(&cfg(), &stored(), &dead).expect("array"),
+            &q,
+        )
+        .expect("search")
+        .decoded()[0];
+        assert!(d_dead < 16, "collapsed window cannot hold the ladder apart");
     }
 
     #[test]
@@ -216,6 +397,41 @@ mod tests {
         for q in 0..4u8 {
             assert!(!stuck_mis.evaluate(q).expect("eval").is_match());
             assert!(stuck_match.evaluate(q).expect("eval").is_match());
+        }
+    }
+
+    proptest! {
+        /// The decode arithmetic under hard faults, exactly: every
+        /// stuck-mismatch on a matching position biases the decoded
+        /// distance by exactly +1 (and by nothing on an already-mismatched
+        /// position); every stuck-match subtracts exactly 1 on a
+        /// mismatched position and at most 1 anywhere.
+        #[test]
+        fn hard_faults_bias_decode_exactly(
+            stored in prop::collection::vec(0u8..4, 16),
+            query in prop::collection::vec(0u8..4, 16),
+            fault_pos in prop::collection::btree_set(0usize..16, 0..6),
+            mismatch_kind in prop::collection::vec(any::<bool>(), 6),
+        ) {
+            let mut faults = FaultMap::new();
+            for (i, &stage) in fault_pos.iter().enumerate() {
+                let kind = if mismatch_kind[i] {
+                    FaultKind::StuckMismatch
+                } else {
+                    FaultKind::StuckMatch
+                };
+                faults.inject(0, stage, kind);
+            }
+            let config = ArrayConfig::paper_default().with_stages(16).with_rows(1);
+            let am = build_faulty_array(&config, &[stored.clone()], &faults).unwrap();
+            let decoded = TdamArray::search(&am, &query).unwrap().decoded()[0];
+            let truth = stored.iter().zip(&query).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(decoded, expected_decode(&stored, &query, 0, &faults));
+            // Per-fault bounds implied by the closed form:
+            let n_mm = faults.iter().filter(|&&(_, _, k)| k == FaultKind::StuckMismatch).count();
+            let n_sm = faults.iter().filter(|&&(_, _, k)| k == FaultKind::StuckMatch).count();
+            prop_assert!(decoded <= truth + n_mm);
+            prop_assert!(decoded + n_sm >= truth);
         }
     }
 }

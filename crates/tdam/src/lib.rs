@@ -41,7 +41,11 @@
 //! - [`engine`] — the [`engine::SimilarityEngine`] trait shared with the
 //!   baseline designs of Table I
 //! - [`area`] — cell/stage/array footprint estimates (F² + MOM caps)
-//! - [`faults`] — stuck-cell fault injection and its effect on decoding
+//! - [`faults`] — cell-level fault injection (stuck, drifted) and its
+//!   effect on decoding
+//! - [`resilience`] — array-scale fault detection, write-verify repair
+//!   with spare-row remapping, graceful degradation, and seeded parallel
+//!   fault campaigns
 //! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
 //!   variation (the paper's "higher-precision potential" analysis)
 //! - [`power`] — idle static (leakage) power, the flip side of the
@@ -84,6 +88,7 @@ pub mod faults;
 pub mod margins;
 pub mod monte_carlo;
 pub mod power;
+pub mod resilience;
 pub mod stage;
 pub mod tdc;
 pub mod throughput;
@@ -125,6 +130,16 @@ pub enum TdamError {
         /// Number of rows.
         rows: usize,
     },
+    /// Write-verify programming failed to converge on a target threshold
+    /// even after the retry policy's escalation was exhausted.
+    WriteVerify {
+        /// Target threshold voltage, volts.
+        target: f64,
+        /// Best threshold the device reached, volts.
+        achieved: f64,
+    },
+    /// A parallel worker thread panicked or was lost.
+    Worker,
     /// An underlying circuit simulation failed.
     Circuit(tdam_ckt::CktError),
 }
@@ -134,14 +149,25 @@ impl core::fmt::Display for TdamError {
         match self {
             Self::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             Self::ValueOutOfRange { value, levels } => {
-                write!(f, "element value {value} out of range for {levels}-level encoding")
+                write!(
+                    f,
+                    "element value {value} out of range for {levels}-level encoding"
+                )
             }
             Self::LengthMismatch { got, expected } => {
-                write!(f, "vector length {got} does not match chain length {expected}")
+                write!(
+                    f,
+                    "vector length {got} does not match chain length {expected}"
+                )
             }
             Self::RowOutOfBounds { row, rows } => {
                 write!(f, "row {row} out of bounds (array has {rows} rows)")
             }
+            Self::WriteVerify { target, achieved } => write!(
+                f,
+                "write-verify failed: target V_TH {target:.3} V, achieved {achieved:.3} V"
+            ),
+            Self::Worker => write!(f, "a parallel worker thread failed"),
             Self::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
         }
     }

@@ -136,7 +136,10 @@ pub fn run(cfg: &McConfig) -> Result<McResult, TdamError> {
             let variation = cfg.variation.clone();
             let array_cfg = cfg.array;
             let query = query.clone();
-            let seed = cfg.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let seed = cfg
+                .seed
+                .wrapping_add(t as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let stored_value = cfg.stored_value;
             handles.push(scope.spawn(move || -> Result<Vec<f64>, TdamError> {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -145,12 +148,16 @@ pub fn run(cfg: &McConfig) -> Result<McResult, TdamError> {
                 for _ in 0..runs_here {
                     let cells = (0..stages)
                         .map(|_| {
-                            let vth_a = variation
-                                .sample_vth(stored_value, &mut rng)
-                                .expect("state validated above");
-                            let vth_b = variation
-                                .sample_vth(rev_state, &mut rng)
-                                .expect("state validated above");
+                            let sample = |state: u8, rng: &mut StdRng| {
+                                variation.sample_vth(state, rng).map_err(|_| {
+                                    TdamError::ValueOutOfRange {
+                                        value: state,
+                                        levels,
+                                    }
+                                })
+                            };
+                            let vth_a = sample(stored_value, &mut rng)?;
+                            let vth_b = sample(rev_state, &mut rng)?;
                             Cell::with_vth(stored_value, enc, vth_a, vth_b)
                         })
                         .collect::<Result<Vec<_>, _>>()?;
@@ -160,13 +167,17 @@ pub fn run(cfg: &McConfig) -> Result<McResult, TdamError> {
                 Ok(out)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(TdamError::Worker)))
+            .collect()
     });
     for r in results {
         delays.extend(r?);
     }
 
-    let nominal_chain = DelayChain::with_timing(&vec![cfg.stored_value; stages], &cfg.array, timing)?;
+    let nominal_chain =
+        DelayChain::with_timing(&vec![cfg.stored_value; stages], &cfg.array, timing)?;
     let nominal = nominal_chain.evaluate(&query)?;
     let nominal_delay = nominal.total_delay;
     let margin = timing.sensing_margin();

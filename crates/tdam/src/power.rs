@@ -116,7 +116,10 @@ mod tests {
         let small = static_power(&cfg()).expect("power");
         let big = static_power(&cfg().with_rows(32)).expect("power");
         let ratio = big.total() / small.total();
-        assert!((ratio - 2.0).abs() < 0.01, "2x rows → 2x leakage, got {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.01,
+            "2x rows → 2x leakage, got {ratio}"
+        );
     }
 
     #[test]

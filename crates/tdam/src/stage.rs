@@ -276,13 +276,7 @@ mod tests {
         let enc = Encoding::paper_default();
         // Match: stored 2, query 2 → behaves like ForcedMatch.
         let cell = Cell::new(2, enc).unwrap();
-        let m_cell = measure_stage(
-            &t,
-            6e-15,
-            &MnDrive::Cell { cell, query: 2 },
-            6e-9,
-        )
-        .unwrap();
+        let m_cell = measure_stage(&t, 6e-15, &MnDrive::Cell { cell, query: 2 }, 6e-9).unwrap();
         let m_forced = measure_stage(&t, 6e-15, &MnDrive::ForcedMatch, 6e-9).unwrap();
         assert!(
             (m_cell.delay - m_forced.delay).abs() < 0.3 * m_forced.delay.max(1e-12),
@@ -292,13 +286,7 @@ mod tests {
         );
         // Mismatch: stored 2, query 3 → like ForcedMismatch.
         let cell = Cell::new(2, enc).unwrap();
-        let x_cell = measure_stage(
-            &t,
-            6e-15,
-            &MnDrive::Cell { cell, query: 3 },
-            6e-9,
-        )
-        .unwrap();
+        let x_cell = measure_stage(&t, 6e-15, &MnDrive::Cell { cell, query: 3 }, 6e-9).unwrap();
         let x_forced = measure_stage(&t, 6e-15, &MnDrive::ForcedMismatch, 6e-9).unwrap();
         assert!(
             (x_cell.delay - x_forced.delay).abs() < 0.3 * x_forced.delay,

@@ -42,7 +42,7 @@ impl CounterTdc {
     /// Returns [`TdamError::InvalidConfig`] for a non-positive resolution
     /// or negative energies.
     pub fn new(resolution: f64, e_per_count: f64, e_static: f64) -> Result<Self, TdamError> {
-        if !(resolution > 0.0) || !resolution.is_finite() {
+        if !resolution.is_finite() || resolution <= 0.0 {
             return Err(TdamError::InvalidConfig {
                 what: "TDC resolution must be positive and finite",
             });

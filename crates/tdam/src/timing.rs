@@ -57,7 +57,7 @@ impl StageTiming {
     /// Returns [`TdamError::InvalidConfig`] for a non-positive load
     /// capacitance or a supply so low the drive current vanishes.
     pub fn analytic(tech: &TechParams, c_load: f64) -> Result<Self, TdamError> {
-        if !(c_load > 0.0) || !c_load.is_finite() {
+        if !c_load.is_finite() || c_load <= 0.0 {
             return Err(TdamError::InvalidConfig {
                 what: "load capacitance must be positive and finite",
             });
@@ -125,9 +125,16 @@ mod tests {
         let t = TechParams::nominal_40nm();
         let st = StageTiming::analytic(&t, 6e-15).unwrap();
         // 40 nm inverter: few ps intrinsic delay; mismatch penalty tens of ps.
-        assert!(st.d_inv > 0.5e-12 && st.d_inv < 20e-12, "d_inv {:e}", st.d_inv);
+        assert!(
+            st.d_inv > 0.5e-12 && st.d_inv < 20e-12,
+            "d_inv {:e}",
+            st.d_inv
+        );
         assert!(st.d_c > 5e-12 && st.d_c < 200e-12, "d_c {:e}", st.d_c);
-        assert!(st.d_c > st.d_inv, "mismatch penalty dominates intrinsic delay");
+        assert!(
+            st.d_c > st.d_inv,
+            "mismatch penalty dominates intrinsic delay"
+        );
         // Load energy ~ C·V² = 6 fF · 1.21 V² ≈ 7.3 fJ.
         assert!((st.e_c - 6e-15 * 1.1 * 1.1).abs() < 1e-18);
     }
@@ -138,15 +145,17 @@ mod tests {
         let a = StageTiming::analytic(&t, 6e-15).unwrap();
         let b = StageTiming::analytic(&t, 60e-15).unwrap();
         let ratio = b.d_c / a.d_c;
-        assert!((ratio - 10.0).abs() < 0.01, "d_c must scale linearly, got {ratio}");
+        assert!(
+            (ratio - 10.0).abs() < 0.01,
+            "d_c must scale linearly, got {ratio}"
+        );
     }
 
     #[test]
     fn vdd_scaling_tradeoff() {
         // Lower VDD: less energy, more delay — the Fig. 5(c)(d) trend.
         let hi = StageTiming::analytic(&TechParams::nominal_40nm(), 6e-15).unwrap();
-        let lo =
-            StageTiming::analytic(&TechParams::nominal_40nm().with_vdd(0.7), 6e-15).unwrap();
+        let lo = StageTiming::analytic(&TechParams::nominal_40nm().with_vdd(0.7), 6e-15).unwrap();
         assert!(lo.e_c < hi.e_c * 0.5, "energy must drop with VDD²");
         assert!(lo.d_c > hi.d_c, "delay must grow as drive weakens");
     }

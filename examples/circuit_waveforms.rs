@@ -13,9 +13,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Single delay stage (transient circuit simulation):");
     let m = measure_stage(&tech, 6e-15, &MnDrive::ForcedMatch, 6e-9)?;
     let x = measure_stage(&tech, 6e-15, &MnDrive::ForcedMismatch, 6e-9)?;
-    println!("  match    : delay {:.2} ps, cycle energy {:.2} fJ", m.delay * 1e12, m.supply_energy * 1e15);
-    println!("  mismatch : delay {:.2} ps, cycle energy {:.2} fJ", x.delay * 1e12, x.supply_energy * 1e15);
-    println!("  -> d_C = {:.2} ps, E_C = {:.2} fJ", (x.delay - m.delay) * 1e12, (x.supply_energy - m.supply_energy) * 1e15);
+    println!(
+        "  match    : delay {:.2} ps, cycle energy {:.2} fJ",
+        m.delay * 1e12,
+        m.supply_energy * 1e15
+    );
+    println!(
+        "  mismatch : delay {:.2} ps, cycle energy {:.2} fJ",
+        x.delay * 1e12,
+        x.supply_energy * 1e15
+    );
+    println!(
+        "  -> d_C = {:.2} ps, E_C = {:.2} fJ",
+        (x.delay - m.delay) * 1e12,
+        (x.supply_energy - m.supply_energy) * 1e15
+    );
 
     println!("\n8-stage chain, 2-step operation, increasing mismatch count:");
     let cfg = ArrayConfig::paper_default().with_stages(8);

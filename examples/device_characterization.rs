@@ -67,10 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut life = Lifetime::fresh();
         life.cycles = cycles;
         life.seconds = seconds;
-        print!(
-            "{label:>14} {:>9.1}%",
-            life.window_fraction() * 100.0
-        );
+        print!("{label:>14} {:>9.1}%", life.window_fraction() * 100.0);
         for &v in &PAPER_VTH {
             print!(" {:>8.3}", life.age_vth(v));
         }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faulty = build_faulty_array(&cfg, &stored, &faults)?;
     let outcome = TdamArray::search(&faulty, &query)?;
     println!("  decoded distances: {:?}", outcome.decoded());
-    println!("  best match still row {}", outcome.best_row().expect("rows"));
+    println!(
+        "  best match still row {}",
+        outcome.best_row().expect("rows")
+    );
 
     println!("\nrandom fault sweep: how many faults until the best match flips?");
     let mut rng = StdRng::seed_from_u64(99);
@@ -55,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 correct += 1;
             }
         }
-        println!(
-            "  {n_faults:>2} random faults: best-match correct in {correct}/{trials} trials"
-        );
+        println!("  {n_faults:>2} random faults: best-match correct in {correct}/{trials} trials");
     }
     println!(
         "\nQuantitative search degrades gracefully: each fault biases one\n\

@@ -52,15 +52,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tiles: Vec<TdamArray> = (0..chunks)
         .map(|_| TdamArray::new(cfg))
         .collect::<Result<_, _>>()?;
-    let pack = |h: &Hypervector| equal_area_quantize(h, 1).and_then(|b| {
-        fetdam::hdc::hypervector::QuantizedHypervector::new(
-            b.levels()
-                .chunks(bits as usize)
-                .map(|c| c.iter().enumerate().fold(0u8, |a, (k, &v)| a | (v << k)))
-                .collect(),
-            bits,
-        )
-    });
+    let pack = |h: &Hypervector| {
+        equal_area_quantize(h, 1).and_then(|b| {
+            fetdam::hdc::hypervector::QuantizedHypervector::new(
+                b.levels()
+                    .chunks(bits as usize)
+                    .map(|c| c.iter().enumerate().fold(0u8, |a, (k, &v)| a | (v << k)))
+                    .collect(),
+                bits,
+            )
+        })
+    };
     for (row, w) in windows.iter().enumerate() {
         let packed = pack(&enc.encode_sequence(w)?)?;
         for (chunk, tile) in tiles.iter_mut().enumerate() {

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         energy += result.energy.total();
     }
     let n = ds.test.len() as f64;
-    println!("\nTD-AM hardware inference over {} test samples:", ds.test.len());
+    println!(
+        "\nTD-AM hardware inference over {} test samples:",
+        ds.test.len()
+    );
     println!("  accuracy      : {:.1}%", correct as f64 / n * 100.0);
     println!("  mean latency  : {:.2} ns", latency / n * 1e9);
     println!("  mean energy   : {:.2} pJ", energy / n * 1e12);

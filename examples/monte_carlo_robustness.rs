@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("no variation", VthVariation::none()),
         ("uniform sigma = 40 mV", VthVariation::uniform(40e-3)),
         ("uniform sigma = 60 mV", VthVariation::uniform(60e-3)),
-        ("experimental (7.1/35/45/40 mV)", VthVariation::experimental()),
+        (
+            "experimental (7.1/35/45/40 mV)",
+            VthVariation::experimental(),
+        ),
     ] {
         let result = run(&McConfig::worst_case(array, variation, 500, 0xCAFE))?;
         println!("{label}:");

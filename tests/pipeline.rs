@@ -57,7 +57,10 @@ fn hardware_accuracy_close_to_full_precision() {
         hw_acc > full_acc - 0.12,
         "hardware accuracy {hw_acc} vs full-precision {full_acc}"
     );
-    assert!(hw_acc > 0.75, "absolute hardware accuracy too low: {hw_acc}");
+    assert!(
+        hw_acc > 0.75,
+        "absolute hardware accuracy too low: {hw_acc}"
+    );
 }
 
 #[test]
