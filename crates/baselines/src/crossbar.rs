@@ -15,7 +15,7 @@
 
 use crate::validate_bits;
 use serde::{Deserialize, Serialize};
-use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use tdam::TdamError;
 
 /// Structural parameters of the crossbar CAM (40 nm class).
@@ -70,6 +70,44 @@ impl CrossbarCam {
         let levels = (self.width + 1) as f64;
         self.params.adc_fom * levels.log2().ceil()
     }
+
+    /// Read-only search body shared by the single-query and batched paths.
+    fn search_ref(&self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut energy = 0.0;
+        for row in &self.data {
+            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
+            distances.push(Some(d));
+            // DC mismatch current for the whole evaluation window.
+            energy += d as f64 * p.i_cell * p.v_sense * p.t_eval;
+            energy += self.adc_energy();
+        }
+        energy += 2.0
+            * self.width as f64
+            * self.data.len() as f64
+            * p.c_sl_per_cell
+            * p.v_sense
+            * p.v_sense;
+        let best_row = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
+            .map(|(i, _)| i);
+        Ok(SearchMetrics {
+            best_row,
+            distances,
+            energy,
+            latency: p.t_eval,
+        })
+    }
 }
 
 impl SimilarityEngine for CrossbarCam {
@@ -112,40 +150,11 @@ impl SimilarityEngine for CrossbarCam {
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
-        if query.len() != self.width {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.width,
-            });
-        }
-        validate_bits(query)?;
-        let p = &self.params;
-        let mut distances = Vec::with_capacity(self.data.len());
-        let mut energy = 0.0;
-        for row in &self.data {
-            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
-            distances.push(Some(d));
-            // DC mismatch current for the whole evaluation window.
-            energy += d as f64 * p.i_cell * p.v_sense * p.t_eval;
-            energy += self.adc_energy();
-        }
-        energy += 2.0
-            * self.width as f64
-            * self.data.len() as f64
-            * p.c_sl_per_cell
-            * p.v_sense
-            * p.v_sense;
-        let best_row = distances
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
-            .map(|(i, _)| i);
-        Ok(SearchMetrics {
-            best_row,
-            distances,
-            energy,
-            latency: p.t_eval,
-        })
+        self.search_ref(query)
+    }
+
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        crate::parallel_batch(self.width, batch, |q| self.search_ref(q))
     }
 }
 
@@ -191,6 +200,18 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_sequential() {
+        let mut cb = CrossbarCam::new(2, 8, CrossbarParams::default());
+        cb.store(0, &[1, 1, 0, 0, 1, 1, 0, 0]).unwrap();
+        let rows = vec![vec![1u8; 8], vec![0u8; 8], vec![1, 1, 0, 0, 1, 1, 0, 0]];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = cb.search_batch(&batch).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(batched.queries[i], cb.search(q).unwrap());
+        }
+    }
+
+    #[test]
     fn adc_energy_grows_with_word_width() {
         let small = CrossbarCam::new(1, 16, CrossbarParams::default());
         let big = CrossbarCam::new(1, 256, CrossbarParams::default());
@@ -212,7 +233,7 @@ mod tests {
             *b = 1;
         }
         let m = cb.search(&q).unwrap();
-        let crossbar_epb = m.energy_per_bit(cb.total_bits());
+        let crossbar_epb = m.energy_per_bit(cb.total_bits()).unwrap();
 
         let cfg = ArrayConfig::paper_default()
             .with_stages(32)

@@ -10,7 +10,7 @@
 
 use crate::validate_bits;
 use serde::{Deserialize, Serialize};
-use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use tdam::TdamError;
 
 /// Structural parameters of the 2-FeFET TCAM model (45 nm class).
@@ -55,6 +55,41 @@ impl Fecam {
             data: vec![vec![0; width]; rows],
         }
     }
+
+    /// Read-only search body shared by the single-query and batched paths.
+    fn search_ref(&self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let mut best = None;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut ml_energy = 0.0;
+        for (i, row) in self.data.iter().enumerate() {
+            let mismatch = row.iter().zip(query).any(|(a, b)| a != b);
+            if mismatch {
+                ml_energy += self.width as f64 * p.c_ml_per_cell * v2;
+                distances.push(None);
+            } else {
+                if best.is_none() {
+                    best = Some(i);
+                }
+                distances.push(Some(0));
+            }
+        }
+        let sl_energy = 2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
+        Ok(SearchMetrics {
+            best_row: best,
+            distances,
+            energy: ml_energy + sl_energy,
+            latency: p.t_search,
+        })
+    }
 }
 
 impl SimilarityEngine for Fecam {
@@ -97,37 +132,11 @@ impl SimilarityEngine for Fecam {
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
-        if query.len() != self.width {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.width,
-            });
-        }
-        validate_bits(query)?;
-        let p = &self.params;
-        let v2 = p.vdd * p.vdd;
-        let mut best = None;
-        let mut distances = Vec::with_capacity(self.data.len());
-        let mut ml_energy = 0.0;
-        for (i, row) in self.data.iter().enumerate() {
-            let mismatch = row.iter().zip(query).any(|(a, b)| a != b);
-            if mismatch {
-                ml_energy += self.width as f64 * p.c_ml_per_cell * v2;
-                distances.push(None);
-            } else {
-                if best.is_none() {
-                    best = Some(i);
-                }
-                distances.push(Some(0));
-            }
-        }
-        let sl_energy = 2.0 * self.width as f64 * self.data.len() as f64 * p.c_sl_per_cell * v2;
-        Ok(SearchMetrics {
-            best_row: best,
-            distances,
-            energy: ml_energy + sl_energy,
-            latency: p.t_search,
-        })
+        self.search_ref(query)
+    }
+
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        crate::parallel_batch(self.width, batch, |q| self.search_ref(q))
     }
 }
 
@@ -151,11 +160,23 @@ mod tests {
         // Table I reports 0.40 fJ/bit.
         let mut c = Fecam::new(16, 64, FecamParams::default());
         let m = c.search(&[1; 64]).unwrap();
-        let epb = m.energy_per_bit(c.total_bits());
+        let epb = m.energy_per_bit(c.total_bits()).unwrap();
         assert!(
             (0.2e-15..0.7e-15).contains(&epb),
             "energy/bit {epb:e} should be near the paper's 0.40 fJ"
         );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut c = Fecam::new(2, 4, FecamParams::default());
+        c.store(1, &[1, 1, 0, 0]).unwrap();
+        let rows = vec![vec![1, 1, 0, 0], vec![0, 0, 0, 0], vec![1, 1, 0, 1]];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = c.search_batch(&batch).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(batched.queries[i], c.search(q).unwrap());
+        }
     }
 
     #[test]

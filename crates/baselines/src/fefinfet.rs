@@ -14,7 +14,7 @@
 
 use crate::validate_bits;
 use serde::{Deserialize, Serialize};
-use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use tdam::TdamError;
 use tdam_fefet::mosfet::{ids, MosParams, MosPolarity};
 
@@ -96,6 +96,39 @@ impl FeFinFet {
             .max(1e-15);
         self.params.c_node * (self.params.vdd / 2.0) / i
     }
+
+    /// Read-only search body shared by the single-query and batched paths.
+    fn search_ref(&self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let d_mismatch = self.stage_delay_with_vth_shift(0.0);
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut worst: f64 = 0.0;
+        for row in &self.data {
+            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
+            distances.push(Some(d));
+            worst = worst.max(self.width as f64 * p.d_stage + d as f64 * d_mismatch);
+        }
+        let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;
+        let best_row = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
+            .map(|(i, _)| i);
+        Ok(SearchMetrics {
+            best_row,
+            distances,
+            energy,
+            latency: worst,
+        })
+    }
 }
 
 impl SimilarityEngine for FeFinFet {
@@ -138,35 +171,11 @@ impl SimilarityEngine for FeFinFet {
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
-        if query.len() != self.width {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.width,
-            });
-        }
-        validate_bits(query)?;
-        let p = &self.params;
-        let v2 = p.vdd * p.vdd;
-        let d_mismatch = self.stage_delay_with_vth_shift(0.0);
-        let mut distances = Vec::with_capacity(self.data.len());
-        let mut worst: f64 = 0.0;
-        for row in &self.data {
-            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
-            distances.push(Some(d));
-            worst = worst.max(self.width as f64 * p.d_stage + d as f64 * d_mismatch);
-        }
-        let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;
-        let best_row = distances
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
-            .map(|(i, _)| i);
-        Ok(SearchMetrics {
-            best_row,
-            distances,
-            energy,
-            latency: worst,
-        })
+        self.search_ref(query)
+    }
+
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        crate::parallel_batch(self.width, batch, |q| self.search_ref(q))
     }
 }
 
@@ -180,7 +189,7 @@ mod tests {
         // node and measurement configuration.
         let mut e = FeFinFet::new(16, 64, FeFinFetParams::default());
         let m = e.search(&[1; 64]).unwrap();
-        let epb = m.energy_per_bit(e.total_bits());
+        let epb = m.energy_per_bit(e.total_bits()).unwrap();
         assert!(
             (0.02e-15..0.07e-15).contains(&epb),
             "energy/bit {epb:e} should be near 0.039 fJ"
@@ -223,5 +232,17 @@ mod tests {
         e.store(0, &[1, 0, 1, 0, 1, 0]).unwrap();
         let m = e.search(&[1, 1, 1, 1, 1, 1]).unwrap();
         assert_eq!(m.distances[0], Some(3));
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut e = FeFinFet::new(2, 6, FeFinFetParams::default());
+        e.store(0, &[1, 0, 1, 0, 1, 0]).unwrap();
+        let rows = vec![vec![1u8; 6], vec![0u8; 6], vec![1, 0, 1, 0, 1, 0]];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = e.search_batch(&batch).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(batched.queries[i], e.search(q).unwrap());
+        }
     }
 }

@@ -78,6 +78,25 @@ impl GpuModel {
         self.launch_overhead + self.kernel_time(w)
     }
 
+    /// Latency of serving `batch` queries in a single batched launch,
+    /// seconds: one launch overhead plus the per-query kernel time for
+    /// every query. Returns `0.0` for an empty batch.
+    pub fn batch_latency(&self, w: &GpuWorkload, batch: usize) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        self.launch_overhead + batch as f64 * self.kernel_time(w)
+    }
+
+    /// Sustained queries per second under batched serving. Returns `0.0`
+    /// for an empty batch.
+    pub fn batch_qps(&self, w: &GpuWorkload, batch: usize) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        batch as f64 / self.batch_latency(w, batch)
+    }
+
     /// Energy of one query under batched inference, joules: launch
     /// overhead and class-weight loading amortize across the batch, while
     /// the per-query similarity compute does not.
@@ -141,5 +160,22 @@ mod tests {
     fn energy_monotone_in_dims() {
         let gpu = GpuModel::rtx_4070();
         assert!(gpu.query_energy(&wl(10240)) > gpu.query_energy(&wl(512)));
+    }
+
+    #[test]
+    fn batching_amortizes_launch_overhead() {
+        let gpu = GpuModel::rtx_4070();
+        let w = wl(2048);
+        assert_eq!(gpu.batch_latency(&w, 0), 0.0);
+        assert_eq!(gpu.batch_latency(&w, 1), gpu.query_latency(&w));
+        // Single-query QPS is overhead-bound; a large batch pays the
+        // launch once and approaches kernel-limited throughput.
+        let single_qps = 1.0 / gpu.query_latency(&w);
+        let batched_qps = gpu.batch_qps(&w, 4096);
+        assert!(
+            batched_qps > 5.0 * single_qps,
+            "batched {batched_qps:e} vs single {single_qps:e}"
+        );
+        assert!(batched_qps <= 1.0 / gpu.kernel_time(&w));
     }
 }

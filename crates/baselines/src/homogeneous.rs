@@ -10,7 +10,7 @@
 
 use crate::validate_bits;
 use serde::{Deserialize, Serialize};
-use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use tdam::TdamError;
 
 /// Structural parameters of the 3T-2FeFET binary TD stage (40 nm class,
@@ -68,6 +68,41 @@ impl HomogeneousTd {
             data: vec![vec![0; width]; rows],
         }
     }
+
+    /// Read-only search body shared by the single-query and batched paths.
+    fn search_ref(&self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut worst: f64 = 0.0;
+        let mut energy = 0.0;
+        for row in &self.data {
+            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
+            distances.push(Some(d));
+            worst = worst.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
+            energy +=
+                self.width as f64 * p.c_stage * v2 + d as f64 * p.load_activity * p.c_load * v2;
+        }
+        energy += 2.0 * self.width as f64 * p.c_sl_per_cell * v2;
+        let best_row = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
+            .map(|(i, _)| i);
+        Ok(SearchMetrics {
+            best_row,
+            distances,
+            energy,
+            latency: worst,
+        })
+    }
 }
 
 impl SimilarityEngine for HomogeneousTd {
@@ -110,37 +145,11 @@ impl SimilarityEngine for HomogeneousTd {
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
-        if query.len() != self.width {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.width,
-            });
-        }
-        validate_bits(query)?;
-        let p = &self.params;
-        let v2 = p.vdd * p.vdd;
-        let mut distances = Vec::with_capacity(self.data.len());
-        let mut worst: f64 = 0.0;
-        let mut energy = 0.0;
-        for row in &self.data {
-            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
-            distances.push(Some(d));
-            worst = worst.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
-            energy +=
-                self.width as f64 * p.c_stage * v2 + d as f64 * p.load_activity * p.c_load * v2;
-        }
-        energy += 2.0 * self.width as f64 * p.c_sl_per_cell * v2;
-        let best_row = distances
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
-            .map(|(i, _)| i);
-        Ok(SearchMetrics {
-            best_row,
-            distances,
-            energy,
-            latency: worst,
-        })
+        self.search_ref(query)
+    }
+
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        crate::parallel_batch(self.width, batch, |q| self.search_ref(q))
     }
 }
 
@@ -167,11 +176,24 @@ mod tests {
             e.store(r, &[1; 64]).unwrap();
         }
         let m = e.search(&[1; 64]).unwrap();
-        let epb = m.energy_per_bit(e.total_bits());
+        let epb = m.energy_per_bit(e.total_bits()).unwrap();
         assert!(
             (0.1e-15..0.5e-15).contains(&epb),
             "best-case energy/bit {epb:e} (structural model; see EXPERIMENTS.md)"
         );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut e = HomogeneousTd::new(2, 8, HomogeneousTdParams::default());
+        e.store(0, &[1, 0, 1, 0, 1, 0, 1, 0]).unwrap();
+        e.store(1, &[1; 8]).unwrap();
+        let rows = vec![vec![1u8; 8], vec![0u8; 8], vec![1, 0, 1, 0, 1, 0, 1, 0]];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = e.search_batch(&batch).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(batched.queries[i], e.search(q).unwrap());
+        }
     }
 
     #[test]

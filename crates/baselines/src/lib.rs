@@ -29,6 +29,35 @@
 //!
 //! [`comparison`] drives all engines (plus the TD-AM) through an identical
 //! workload and regenerates Table I.
+//!
+//! Every engine implements [`tdam::SimilarityEngine`], including the
+//! batched [`search_batch`](tdam::SimilarityEngine::search_batch) serving
+//! path: baseline searches are read-only over the stored data, so each
+//! engine fans a batch out across the worker pool of [`tdam::parallel`]
+//! and returns per-query results bit-identical to a sequential loop.
+//!
+//! # Examples
+//!
+//! Store rows into a quantitative baseline, answer a batch, read each
+//! query's best row:
+//!
+//! ```
+//! use tdam::engine::{BatchQuery, SimilarityEngine};
+//! use tdam_baselines::timaq::Timaq;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut engine = Timaq::new(2, 4, Default::default());
+//! engine.store(0, &[0, 0, 1, 1])?;
+//! engine.store(1, &[1, 1, 0, 0])?;
+//! let mut batch = BatchQuery::new(4);
+//! batch.push(&[0, 0, 1, 0])?; // one bit from row 0
+//! batch.push(&[1, 1, 0, 0])?; // exactly row 1
+//! let result = engine.search_batch(&batch)?;
+//! assert_eq!(result.best_rows(), vec![Some(0), Some(1)]);
+//! assert_eq!(result.queries[1].distances[1], Some(0));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +74,7 @@ pub mod timaq;
 pub use comparison::{comparison_table, ComparisonRow};
 pub use gpu::{GpuModel, GpuWorkload};
 
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics};
 use tdam::TdamError;
 
 /// Validates a binary (0/1) vector for the bit-oriented CAM baselines.
@@ -58,4 +88,26 @@ pub(crate) fn validate_bits(v: &[u8]) -> Result<(), TdamError> {
         }
     }
     Ok(())
+}
+
+/// Shared batched-search override for the baseline engines: every engine's
+/// search path is read-only over its stored data, so a batch fans out
+/// across the worker pool of [`tdam::parallel`] with per-query results
+/// collected in batch order — bit-identical to the sequential loop.
+pub(crate) fn parallel_batch<F>(
+    width: usize,
+    batch: &BatchQuery,
+    search_ref: F,
+) -> Result<BatchResult, TdamError>
+where
+    F: Fn(&[u8]) -> Result<SearchMetrics, TdamError> + Sync,
+{
+    if batch.width() != width {
+        return Err(TdamError::LengthMismatch {
+            got: batch.width(),
+            expected: width,
+        });
+    }
+    let queries = tdam::parallel::run_chunked(batch.len(), None, |i| search_ref(batch.get(i)))?;
+    Ok(BatchResult { queries })
 }

@@ -9,7 +9,7 @@
 
 use crate::validate_bits;
 use serde::{Deserialize, Serialize};
-use tdam::engine::{SearchMetrics, SimilarityEngine};
+use tdam::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use tdam::TdamError;
 
 /// Structural parameters of the TIMAQ-style stage (28 nm class).
@@ -53,6 +53,39 @@ impl Timaq {
             data: vec![vec![0; width]; rows],
         }
     }
+
+    /// Read-only search body shared by the single-query and batched paths.
+    fn search_ref(&self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        validate_bits(query)?;
+        let p = &self.params;
+        let v2 = p.vdd * p.vdd;
+        let mut distances = Vec::with_capacity(self.data.len());
+        let mut worst_delay: f64 = 0.0;
+        for row in &self.data {
+            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
+            distances.push(Some(d));
+            worst_delay = worst_delay.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
+        }
+        // Every SRAM TD stage toggles per search, in every row.
+        let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;
+        let best_row = distances
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
+            .map(|(i, _)| i);
+        Ok(SearchMetrics {
+            best_row,
+            distances,
+            energy,
+            latency: worst_delay,
+        })
+    }
 }
 
 impl SimilarityEngine for Timaq {
@@ -95,35 +128,11 @@ impl SimilarityEngine for Timaq {
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
-        if query.len() != self.width {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.width,
-            });
-        }
-        validate_bits(query)?;
-        let p = &self.params;
-        let v2 = p.vdd * p.vdd;
-        let mut distances = Vec::with_capacity(self.data.len());
-        let mut worst_delay: f64 = 0.0;
-        for row in &self.data {
-            let d = row.iter().zip(query).filter(|(a, b)| a != b).count();
-            distances.push(Some(d));
-            worst_delay = worst_delay.max(self.width as f64 * p.d_stage + d as f64 * p.d_penalty);
-        }
-        // Every SRAM TD stage toggles per search, in every row.
-        let energy = self.data.len() as f64 * self.width as f64 * p.c_stage * v2;
-        let best_row = distances
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| d.unwrap_or(usize::MAX))
-            .map(|(i, _)| i);
-        Ok(SearchMetrics {
-            best_row,
-            distances,
-            energy,
-            latency: worst_delay,
-        })
+        self.search_ref(query)
+    }
+
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        crate::parallel_batch(self.width, batch, |q| self.search_ref(q))
     }
 }
 
@@ -146,11 +155,23 @@ mod tests {
         // Table I: 2.2 fJ/bit.
         let mut e = Timaq::new(16, 64, TimaqParams::default());
         let m = e.search(&[1; 64]).unwrap();
-        let epb = m.energy_per_bit(e.total_bits());
+        let epb = m.energy_per_bit(e.total_bits()).unwrap();
         assert!(
             (1.5e-15..3.0e-15).contains(&epb),
             "energy/bit {epb:e} should be near 2.2 fJ"
         );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut e = Timaq::new(2, 8, TimaqParams::default());
+        e.store(0, &[1, 1, 1, 1, 0, 0, 0, 0]).unwrap();
+        let rows = vec![vec![1u8; 8], vec![0u8; 8], vec![1, 1, 1, 0, 0, 0, 0, 0]];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = e.search_batch(&batch).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(batched.queries[i], e.search(q).unwrap());
+        }
     }
 
     #[test]

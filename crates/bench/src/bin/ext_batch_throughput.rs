@@ -1,0 +1,132 @@
+//! Extension: batched query serving — measured software throughput next
+//! to the paper's pipelined cycle-time model.
+//!
+//! Stores a seeded random 128×128 2-bit array, then answers the same
+//! query batch two ways: a sequential loop of single-query
+//! `SimilarityEngine::search` calls through the full calibrated
+//! behavioral model, and the batched path (`TdamArray::compile` +
+//! `CompiledArray::search_batch`) that serves every nominal row from a
+//! precompiled per-cell delay LUT across the worker pool. Results are
+//! verified bit-identical before any timing is reported; the acceptance
+//! bar is a ≥ 4× batched speedup. The analytic section reports what the
+//! *hardware* would do: worst-case cycle breakdown and the pipelined
+//! initiation-interval QPS the paper's 2-step scheme sustains.
+//!
+//! Usage: `cargo run --release -p tdam-bench --bin ext_batch_throughput [--quick]`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use tdam::array::TdamArray;
+use tdam::config::ArrayConfig;
+use tdam::engine::{BatchQuery, SimilarityEngine};
+use tdam::throughput::worst_case_cycle;
+use tdam_bench::{eng, header, quick_mode};
+
+fn main() {
+    let (stages, rows, batch_size, repeats) = if quick_mode() {
+        (32, 32, 64, 1)
+    } else {
+        (128, 128, 256, 3)
+    };
+    let seed = 0xBA7C_u64;
+
+    let cfg = ArrayConfig::paper_default()
+        .with_stages(stages)
+        .with_rows(rows);
+    let levels = cfg.encoding.levels() as u32;
+    let mut am = TdamArray::new(cfg).expect("array");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for row in 0..rows {
+        let values: Vec<u8> = (0..stages)
+            .map(|_| rng.gen_range(0..levels) as u8)
+            .collect();
+        am.store(row, &values).expect("store");
+    }
+    let mut batch = BatchQuery::new(stages);
+    for _ in 0..batch_size {
+        let q: Vec<u8> = (0..stages)
+            .map(|_| rng.gen_range(0..levels) as u8)
+            .collect();
+        batch.push(&q).expect("push");
+    }
+
+    header(&format!(
+        "batched query serving: {stages}x{rows} 2-bit array, {batch_size}-query batch"
+    ));
+
+    // Sequential reference: the full variation-aware behavioral model,
+    // one query at a time. Best of `repeats` passes.
+    let mut sequential_results = Vec::new();
+    let mut seq_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let run: Vec<_> = batch
+            .iter()
+            .map(|q| SimilarityEngine::search(&mut am, q).expect("sequential"))
+            .collect();
+        seq_best = seq_best.min(t0.elapsed().as_secs_f64());
+        sequential_results = run;
+    }
+
+    // Batched path: compile once, then serve the batch from the LUTs.
+    let compiled = am.compile();
+    println!("compiled rows: {}/{}", compiled.compiled_rows(), rows);
+    let mut batched_results = Vec::new();
+    let mut batch_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let run = compiled.search_batch(&batch, None).expect("batched");
+        batch_best = batch_best.min(t0.elapsed().as_secs_f64());
+        batched_results = run;
+    }
+
+    // Bit-identity gate: timings mean nothing if the answers differ.
+    let mut identical = batched_results.len() == sequential_results.len();
+    for (outcome, reference) in batched_results.iter().zip(&sequential_results) {
+        identical &= outcome.metrics() == *reference;
+    }
+    assert!(identical, "batched results diverged from sequential");
+
+    let seq_qps = batch_size as f64 / seq_best;
+    let batch_qps = batch_size as f64 / batch_best;
+    let speedup = batch_qps / seq_qps;
+    println!("results identical: yes");
+    println!(
+        "sequential loop:  {:>10.3} ms  ({:>9.0} queries/s)",
+        seq_best * 1e3,
+        seq_qps
+    );
+    println!(
+        "batched + LUT:    {:>10.3} ms  ({:>9.0} queries/s)",
+        batch_best * 1e3,
+        batch_qps
+    );
+    if quick_mode() {
+        println!("speedup: {speedup:.2}x   (quick smoke run; the full run enforces >= 4x)");
+    } else {
+        println!(
+            "speedup: {speedup:.2}x   (target >= 4x: {})",
+            if speedup >= 4.0 { "PASS" } else { "MISS" }
+        );
+    }
+
+    // What the hardware itself would sustain: the paper's 2-step scheme
+    // pipelines precharge/settle of query k+1 under propagation of k.
+    let cycle = worst_case_cycle(&cfg).expect("cycle model");
+    header("analytic pipelined cycle-time model (worst-case mismatch)");
+    println!(
+        "cycle: precharge {} + settle {} + step-I {} + step-II {} + TDC {}",
+        eng(cycle.precharge, "s"),
+        eng(cycle.settle, "s"),
+        eng(cycle.step_one, "s"),
+        eng(cycle.step_two, "s"),
+        eng(cycle.tdc, "s"),
+    );
+    println!(
+        "hardware QPS: sequential {:.3e}, pipelined {:.3e}, batch({batch_size}) {:.3e}",
+        cycle.sequential_qps(),
+        cycle.pipelined_qps(),
+        cycle.batch_qps(batch_size),
+    );
+}

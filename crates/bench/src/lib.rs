@@ -15,10 +15,11 @@
 //! | `ablation_vc_vs_vr` | Design ablation: variable-capacitance vs variable-resistance stages |
 //! | `ablation_two_step` | Design ablation: 2-step scheme vs naive single-pass chain |
 //! | `ext_fault_campaign` | Extension: fault-rate sweeps with/without detection + spare-row repair |
+//! | `ext_batch_throughput` | Extension: batched compiled-LUT serving vs sequential search, plus the pipelined cycle model |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC
-//! primitives).
+//! primitives, batched serving).
 //!
 //! Pass `--quick` to any binary to run a reduced grid.
 

@@ -3,11 +3,13 @@
 
 use crate::args::{parse_vectors, Args};
 use crate::CliError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tdam::area::{array_area, AreaModel, StageArea};
 use tdam::array::TdamArray;
 use tdam::config::ArrayConfig;
 use tdam::encoding::Encoding;
-use tdam::engine::SimilarityEngine;
+use tdam::engine::{BatchQuery, SimilarityEngine};
 use tdam::margins::precision_sweep;
 use tdam::monte_carlo::{run as mc_run, McConfig};
 use tdam::power::static_power;
@@ -30,6 +32,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "area" => area(args),
         "power" => power(args),
         "faults" => faults(args),
+        "bench-batch" => bench_batch(args),
         "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
     }
@@ -268,6 +271,69 @@ fn faults(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn bench_batch(args: &Args) -> Result<String, CliError> {
+    let stages = args.usize_or("stages", 64)?;
+    let rows = args.usize_or("rows", 32)?;
+    let batch_size = args.usize_or("batch", 256)?;
+    let seed = args.usize_or("seed", 0xBA7C)? as u64;
+    let threads = args
+        .get("threads")
+        .map(|_| args.usize_or("threads", 1))
+        .transpose()?;
+    if batch_size == 0 {
+        return Err(CliError::Usage("--batch must be positive".to_owned()));
+    }
+    let cfg = base_config(args)?.with_stages(stages).with_rows(rows);
+    let mut am = TdamArray::new(cfg)?;
+    let levels = am.config().encoding.levels();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for row in 0..rows {
+        let values: Vec<u8> = (0..stages).map(|_| rng.gen_range(0..levels)).collect();
+        SimilarityEngine::store(&mut am, row, &values)?;
+    }
+    let mut batch = BatchQuery::new(stages);
+    for _ in 0..batch_size {
+        let q: Vec<u8> = (0..stages).map(|_| rng.gen_range(0..levels)).collect();
+        batch.push(&q)?;
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut sequential = Vec::with_capacity(batch_size);
+    for q in batch.iter() {
+        sequential.push(SimilarityEngine::search(&mut am, q)?);
+    }
+    let t_seq = t0.elapsed().as_secs_f64();
+
+    let compiled = am.compile();
+    let t1 = std::time::Instant::now();
+    let outcomes = compiled.search_batch(&batch, threads)?;
+    let t_batch = t1.elapsed().as_secs_f64();
+
+    for (outcome, reference) in outcomes.iter().zip(&sequential) {
+        if outcome.metrics() != *reference {
+            return Err(CliError::Simulation(
+                "batched search disagrees with the sequential loop".to_owned(),
+            ));
+        }
+    }
+    let qps_seq = batch_size as f64 / t_seq;
+    let qps_batch = batch_size as f64 / t_batch;
+    Ok(format!(
+        "batched query serving: {rows}x{stages} array, {batch_size} queries, threads {}\n\
+         compiled rows: {}/{rows}\n\
+         sequential: {:.3} ms  ({:.0} queries/s)\n\
+         batched:    {:.3} ms  ({:.0} queries/s)\n\
+         speedup: {:.2}x   results identical: yes\n",
+        threads.map_or("auto".to_owned(), |t| t.to_string()),
+        compiled.compiled_rows(),
+        t_seq * 1e3,
+        qps_seq,
+        t_batch * 1e3,
+        qps_batch,
+        qps_batch / qps_seq
+    ))
+}
+
 fn area(args: &Args) -> Result<String, CliError> {
     let stages = args.usize_or("stages", 64)?;
     let rows = args.usize_or("rows", 16)?;
@@ -428,6 +494,29 @@ mod tests {
         ));
         assert!(matches!(
             run(&["faults", "--rate", "-0.1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bench_batch_verifies_and_reports() {
+        let out = run(&[
+            "bench-batch",
+            "--rows",
+            "4",
+            "--stages",
+            "16",
+            "--batch",
+            "8",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("results identical: yes"), "{out}");
+        assert!(out.contains("compiled rows: 4/4"), "{out}");
+        assert!(matches!(
+            run(&["bench-batch", "--batch", "0"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -48,6 +48,7 @@ USAGE:
   tdam-sim power   [--stages N] [--rows R] [--vdd V]
   tdam-sim faults  [--stages N] [--rows R] [--spares S] [--rate P] [--kind K]
                    [--trials T] [--queries Q] [--seed X] [--no-repair]
+  tdam-sim bench-batch [--stages N] [--rows R] [--batch B] [--threads T] [--seed X]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -60,6 +61,7 @@ SUBCOMMANDS:
   faults    seeded fault campaign with detection + spare-row repair
             (--kind: stuck-mismatch, stuck-match, stuck-mix, drift,
              stuck-column, broken-stage, tdc-miscount, sl-glitch)
+  bench-batch  time batched parallel search vs a sequential query loop
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

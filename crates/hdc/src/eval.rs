@@ -81,7 +81,9 @@ impl SweepConfig {
     }
 }
 
-/// Evaluates a quantized model's accuracy on a test set.
+/// Evaluates a quantized model's accuracy on a test set. Samples are
+/// classified as a batch across the worker pool of [`tdam::parallel`];
+/// the result is identical to a sequential loop.
 ///
 /// # Errors
 ///
@@ -96,15 +98,13 @@ pub fn quantized_accuracy(
             what: "test set is empty",
         });
     }
-    let mut correct = 0usize;
-    for (x, label) in test {
+    let correct = tdam::parallel::run_chunked(test.len(), None, |i| -> Result<bool, HdcError> {
+        let (x, label) = &test[i];
         let h = encoder.encode(x)?;
         let (pred, _) = model.classify(&h)?;
-        if pred == *label {
-            correct += 1;
-        }
-    }
-    Ok(correct as f64 / test.len() as f64)
+        Ok(pred == *label)
+    })?;
+    Ok(correct.into_iter().filter(|&c| c).count() as f64 / test.len() as f64)
 }
 
 /// Runs the full precision × dimensionality sweep on one dataset.
@@ -125,34 +125,21 @@ pub fn accuracy_sweep(dataset: &Dataset, cfg: &SweepConfig) -> Result<Vec<SweepP
     underlying.sort_unstable();
     underlying.dedup();
 
-    // Train one model per underlying dimensionality, in parallel.
+    // Train one model per underlying dimensionality, in parallel across
+    // the shared worker pool.
     type Trained = (usize, IdLevelEncoder, HdcModel);
-    let trained: Vec<Result<Trained, HdcError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = underlying
-            .iter()
-            .map(|&u| {
-                scope.spawn(move || -> Result<Trained, HdcError> {
-                    let encoder =
-                        IdLevelEncoder::new(u, dataset.features(), 32, (0.0, 1.0), cfg.seed)?;
-                    let model = HdcModel::train(
-                        &encoder,
-                        &dataset.train,
-                        dataset.classes(),
-                        cfg.retrain_epochs,
-                    )?;
-                    Ok((u, encoder, model))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut models: Vec<Trained> = Vec::with_capacity(trained.len());
-    for t in trained {
-        models.push(t?);
-    }
+    let models: Vec<Trained> =
+        tdam::parallel::run_chunked(underlying.len(), None, |i| -> Result<Trained, HdcError> {
+            let u = underlying[i];
+            let encoder = IdLevelEncoder::new(u, dataset.features(), 32, (0.0, 1.0), cfg.seed)?;
+            let model = HdcModel::train(
+                &encoder,
+                &dataset.train,
+                dataset.classes(),
+                cfg.retrain_epochs,
+            )?;
+            Ok((u, encoder, model))
+        })?;
     let find = |u: usize| -> &Trained {
         models
             .iter()

@@ -27,6 +27,42 @@
 //! - [`cluster`] — k-centroid clustering in hyperdimensional space,
 //! - [`sequence`] — k-mer genomic encoding for approximate sequence
 //!   matching (the HDGIM workload the paper cites).
+//!
+//! Batched inference: [`mapping::TdamHdcInference::classify_batch`] fans a
+//! set of queries across the worker pool of [`tdam::parallel`], returning
+//! per-query results in order, identical to sequential
+//! [`classify`](mapping::TdamHdcInference::classify) calls;
+//! [`eval::quantized_accuracy`] and [`eval::accuracy_sweep`] use the same
+//! pool internally.
+//!
+//! # Examples
+//!
+//! Train a tiny model, deploy it on TD-AM tiles, classify a batch of
+//! queries, read each prediction:
+//!
+//! ```
+//! use tdam_hdc::datasets::{Dataset, DatasetKind};
+//! use tdam_hdc::encoder::IdLevelEncoder;
+//! use tdam_hdc::mapping::TdamHdcInference;
+//! use tdam_hdc::quantize::QuantizedModel;
+//! use tdam_hdc::train::HdcModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ds = Dataset::generate(DatasetKind::Face, 10, 4, 1);
+//! let enc = IdLevelEncoder::new(128, ds.features(), 16, (0.0, 1.0), 7)?;
+//! let model = HdcModel::train(&enc, &ds.train, ds.classes(), 1)?;
+//! let quant = QuantizedModel::from_model(&model, 2)?;
+//! let hw = TdamHdcInference::new(&quant, 64, 0.6)?;
+//! let mut queries = Vec::new();
+//! for (x, _) in ds.test.iter().take(2) {
+//!     queries.push(quant.quantize_query(&enc.encode(x)?)?);
+//! }
+//! let results = hw.classify_batch(&queries, None)?;
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.class < ds.classes()));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,5 +128,11 @@ impl std::error::Error for HdcError {
 impl From<tdam::TdamError> for HdcError {
     fn from(e: tdam::TdamError) -> Self {
         Self::Tdam(e)
+    }
+}
+
+impl From<tdam::parallel::WorkerLost> for HdcError {
+    fn from(e: tdam::parallel::WorkerLost) -> Self {
+        Self::Tdam(e.into())
     }
 }

@@ -319,6 +319,22 @@ impl TdamHdcInference {
             masked_dimensions: self.masked_dimensions(),
         })
     }
+
+    /// Classifies a batch of quantized queries across the worker pool of
+    /// [`tdam::parallel`]. Results are in query order and identical to
+    /// sequential [`TdamHdcInference::classify`] calls; `threads` is
+    /// interpreted as in [`tdam::parallel::run_chunked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-query error in batch order.
+    pub fn classify_batch(
+        &self,
+        queries: &[QuantizedHypervector],
+        threads: Option<usize>,
+    ) -> Result<Vec<TdamInferenceResult>, HdcError> {
+        tdam::parallel::run_chunked(queries.len(), threads, |i| self.classify(&queries[i]))
+    }
 }
 
 /// Result of one hardware-in-the-loop retraining epoch.
@@ -477,6 +493,24 @@ mod tests {
         let result = hw.classify(&q).unwrap();
         let (_, sw_dist) = quant.classify_quantized(&q).unwrap();
         assert_eq!(result.distance, sw_dist, "padding must not add mismatches");
+    }
+
+    #[test]
+    fn batch_classification_matches_sequential() {
+        let (quant, enc, ds, hw) = deployed();
+        let queries: Vec<QuantizedHypervector> = ds
+            .test
+            .iter()
+            .take(8)
+            .map(|(x, _)| quant.quantize_query(&enc.encode(x).unwrap()).unwrap())
+            .collect();
+        let sequential: Vec<TdamInferenceResult> =
+            queries.iter().map(|q| hw.classify(q).unwrap()).collect();
+        for threads in [Some(1), Some(3), None] {
+            let batched = hw.classify_batch(&queries, threads).unwrap();
+            assert_eq!(batched, sequential, "threads={threads:?}");
+        }
+        assert!(hw.classify_batch(&[], None).unwrap().is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::chain::{ChainResult, DelayChain};
 use crate::config::ArrayConfig;
 use crate::energy::EnergyBreakdown;
-use crate::engine::{SearchMetrics, SimilarityEngine};
+use crate::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 use crate::tdc::CounterTdc;
 use crate::timing::StageTiming;
 use crate::TdamError;
@@ -64,6 +64,21 @@ impl SearchOutcome {
     /// Decoded mismatch counts per row.
     pub fn decoded(&self) -> Vec<usize> {
         self.rows.iter().map(|r| r.decoded_mismatches).collect()
+    }
+
+    /// Flattens the outcome into the engine-level [`SearchMetrics`] view
+    /// (decoded per-row distances, total energy, full-cycle latency).
+    pub fn metrics(&self) -> SearchMetrics {
+        SearchMetrics {
+            best_row: self.best_row(),
+            distances: self
+                .rows
+                .iter()
+                .map(|r| Some(r.decoded_mismatches))
+                .collect(),
+            energy: self.energy.total(),
+            latency: self.latency,
+        }
     }
 }
 
@@ -351,12 +366,22 @@ impl TdamArray {
     /// Returns [`TdamError::LengthMismatch`] or
     /// [`TdamError::ValueOutOfRange`] for malformed queries.
     pub fn search(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
-        let mut rows = Vec::with_capacity(self.chains.len());
+        let results = self
+            .chains
+            .iter()
+            .map(|chain| chain.evaluate(query))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.assemble(results))
+    }
+
+    /// Digitizes per-chain results and aggregates the array-level energy
+    /// and latency — shared by the reference and compiled search paths.
+    fn assemble(&self, results: Vec<ChainResult>) -> SearchOutcome {
+        let mut rows = Vec::with_capacity(results.len());
         let mut energy = EnergyBreakdown::default();
         let mut worst_rise: f64 = 0.0;
         let mut worst_fall: f64 = 0.0;
-        for chain in &self.chains {
-            let chain_result = chain.evaluate(query)?;
+        for chain_result in results {
             let count = self.tdc.convert(chain_result.total_delay);
             let decoded = self.tdc.decode_mismatches(
                 &self.timing,
@@ -385,11 +410,93 @@ impl TdamArray {
             + worst_rise
             + worst_fall
             + self.tdc.resolution;
-        Ok(SearchOutcome {
+        SearchOutcome {
             rows,
             energy,
             latency,
-        })
+        }
+    }
+
+    /// Compiles every nominal row into flat per-cell delay tables (see
+    /// [`crate::chain::CompiledChain`]) for the batched query path. Rows
+    /// holding variation-perturbed cells keep the full model and fall back
+    /// to [`DelayChain::evaluate`] per query.
+    ///
+    /// The compiled view borrows the array: it is built once per batch
+    /// (or held across batches) and shared read-only by worker threads.
+    pub fn compile(&self) -> CompiledArray<'_> {
+        CompiledArray {
+            array: self,
+            compiled: self.chains.iter().map(DelayChain::compile).collect(),
+        }
+    }
+}
+
+/// A read-only compiled view of a [`TdamArray`]: every nominal row's
+/// delay function collapsed to a flat lookup table, shareable across
+/// worker threads for batched serving.
+///
+/// Produced by [`TdamArray::compile`]. Searches through this view return
+/// results **bit-identical** to [`TdamArray::search`].
+#[derive(Debug, Clone)]
+pub struct CompiledArray<'a> {
+    array: &'a TdamArray,
+    compiled: Vec<Option<crate::chain::CompiledChain>>,
+}
+
+impl CompiledArray<'_> {
+    /// How many rows compiled to lookup tables (the rest fall back to the
+    /// full variation-aware model).
+    pub fn compiled_rows(&self) -> usize {
+        self.compiled.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every row is served from a lookup table.
+    pub fn fully_compiled(&self) -> bool {
+        self.compiled.iter().all(Option::is_some)
+    }
+
+    /// Searches one query through the compiled tables.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdamArray::search`].
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        // Validate once up front; the per-row table walks then skip the
+        // redundant length/range checks (the dominant overhead for small
+        // compiled rows).
+        if query.len() != self.array.config.stages {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.array.config.stages,
+            });
+        }
+        self.array.config.encoding.validate(query)?;
+        let results = self
+            .compiled
+            .iter()
+            .zip(&self.array.chains)
+            .map(|(compiled, chain)| match compiled {
+                Some(c) => Ok(c.evaluate_prevalidated(query)),
+                None => chain.evaluate(query),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.array.assemble(results))
+    }
+
+    /// Answers a whole batch, fanning queries out across `threads` worker
+    /// threads (`None` = all cores; see [`crate::parallel`]). Results are
+    /// in batch order and bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error in batch order.
+    pub fn search_batch(
+        &self,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<SearchOutcome>, TdamError> {
+        crate::parallel::run_chunked(batch.len(), threads, |i| self.search(batch.get(i)))
     }
 }
 
@@ -432,15 +539,23 @@ impl SimilarityEngine for TdamArray {
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
         let outcome = TdamArray::search(self, query)?;
-        Ok(SearchMetrics {
-            best_row: outcome.best_row(),
-            distances: outcome
-                .rows
-                .iter()
-                .map(|r| Some(r.decoded_mismatches))
-                .collect(),
-            energy: outcome.energy.total(),
-            latency: outcome.latency,
+        Ok(outcome.metrics())
+    }
+
+    /// Batched override: compiles nominal rows into delay lookup tables
+    /// once, then fans the queries out across all cores. Bit-identical to
+    /// the sequential default (see `tests/batch_parallel.rs`).
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        if batch.width() != self.config.stages {
+            return Err(TdamError::LengthMismatch {
+                got: batch.width(),
+                expected: self.config.stages,
+            });
+        }
+        let compiled = self.compile();
+        let outcomes = compiled.search_batch(batch, None)?;
+        Ok(BatchResult {
+            queries: outcomes.iter().map(SearchOutcome::metrics).collect(),
         })
     }
 }
@@ -594,6 +709,81 @@ mod tests {
             report.energy,
             search.energy.total()
         );
+    }
+
+    #[test]
+    fn compiled_array_bit_identical_search() {
+        let mut am = array(6, 16);
+        for row in 0..6 {
+            let v: Vec<u8> = (0..16).map(|i| ((i + row) % 4) as u8).collect();
+            am.store(row, &v).unwrap();
+        }
+        let compiled = am.compile();
+        assert!(compiled.fully_compiled());
+        assert_eq!(compiled.compiled_rows(), 6);
+        for q in [vec![0u8; 16], (0..16).map(|i| (i % 4) as u8).collect()] {
+            let reference = TdamArray::search(&am, &q).unwrap();
+            let fast = compiled.search(&q).unwrap();
+            assert_eq!(fast, reference, "compiled path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn perturbed_rows_fall_back_but_still_match_reference() {
+        let mut am = array(3, 8);
+        am.store(0, &[1; 8]).unwrap();
+        am.store(2, &[2; 8]).unwrap();
+        // Row 1: perturbed thresholds — must not compile, must still agree
+        // with the reference search via the fallback path.
+        let cells = (0..8)
+            .map(|_| crate::cell::Cell::with_vth(1, am.config().encoding, 0.63, 1.02).unwrap())
+            .collect();
+        am.store_cells(1, cells).unwrap();
+        let compiled = am.compile();
+        assert!(!compiled.fully_compiled());
+        assert_eq!(compiled.compiled_rows(), 2);
+        let q = vec![2u8; 8];
+        assert_eq!(
+            compiled.search(&q).unwrap(),
+            TdamArray::search(&am, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_search_matches_sequential_loop() {
+        let mut am = array(4, 8);
+        am.store(0, &[0, 1, 2, 3, 0, 1, 2, 3]).unwrap();
+        am.store(1, &[3, 3, 3, 3, 0, 0, 0, 0]).unwrap();
+        am.store(2, &[1; 8]).unwrap();
+        let rows: Vec<Vec<u8>> = (0..10)
+            .map(|k| (0..8).map(|i| ((i * k + k) % 4) as u8).collect())
+            .collect();
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = am.search_batch(&batch).unwrap();
+        assert_eq!(batched.len(), 10);
+        for (i, q) in rows.iter().enumerate() {
+            let single = SimilarityEngine::search(&mut am, q).unwrap();
+            assert_eq!(batched.queries[i], single);
+        }
+        // Width mismatch rejected before any work.
+        let bad = BatchQuery::new(5);
+        assert!(am.search_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn compiled_batch_thread_count_invariant() {
+        let mut am = array(3, 8);
+        am.store(0, &[1; 8]).unwrap();
+        am.store(1, &[2; 8]).unwrap();
+        let rows: Vec<Vec<u8>> = (0..7)
+            .map(|k| (0..8).map(|i| ((i + k) % 4) as u8).collect())
+            .collect();
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let compiled = am.compile();
+        let one = compiled.search_batch(&batch, Some(1)).unwrap();
+        for threads in [Some(2), Some(5), None] {
+            assert_eq!(compiled.search_batch(&batch, threads).unwrap(), one);
+        }
     }
 
     #[test]

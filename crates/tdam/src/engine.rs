@@ -25,13 +25,154 @@ pub struct SearchMetrics {
 }
 
 impl SearchMetrics {
-    /// Energy per searched bit, joules.
-    pub fn energy_per_bit(&self, total_bits: usize) -> f64 {
+    /// Energy per searched bit, joules, or `None` for an engine holding
+    /// zero bits — an empty engine does not search for free, it has
+    /// nothing to normalize against.
+    pub fn energy_per_bit(&self, total_bits: usize) -> Option<f64> {
         if total_bits == 0 {
-            0.0
+            None
         } else {
-            self.energy / total_bits as f64
+            Some(self.energy / total_bits as f64)
         }
+    }
+}
+
+/// A batch of equally-sized queries, stored contiguously so engines can
+/// fan the batch out to worker threads without chasing pointers.
+///
+/// # Examples
+///
+/// ```
+/// use tdam::engine::BatchQuery;
+///
+/// let mut batch = BatchQuery::new(4);
+/// batch.push(&[0, 1, 2, 3]).unwrap();
+/// batch.push(&[3, 2, 1, 0]).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.get(1), &[3, 2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchQuery {
+    width: usize,
+    data: Vec<u8>,
+}
+
+impl BatchQuery {
+    /// Creates an empty batch of queries with `width` elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero — a query with no elements is a shape
+    /// bug at the call site, not a runtime condition.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "batch query width must be positive");
+        Self {
+            width,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a batch from `rows` equally-sized query vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::LengthMismatch`] if any row's length differs
+    /// from the first row's, or [`TdamError::InvalidConfig`] for an empty
+    /// first row.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Result<Self, TdamError> {
+        let width = rows.first().map(Vec::len).unwrap_or(1);
+        if width == 0 {
+            return Err(TdamError::InvalidConfig {
+                what: "batch queries must have at least one element",
+            });
+        }
+        let mut batch = Self::new(width);
+        for row in rows {
+            batch.push(row)?;
+        }
+        Ok(batch)
+    }
+
+    /// Appends one query to the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::LengthMismatch`] if `query.len()` differs
+    /// from the batch width.
+    pub fn push(&mut self, query: &[u8]) -> Result<(), TdamError> {
+        if query.len() != self.width {
+            return Err(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.width,
+            });
+        }
+        self.data.extend_from_slice(query);
+        Ok(())
+    }
+
+    /// Elements per query.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &[u8] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over the queries in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(self.width)
+    }
+}
+
+/// Per-query results of a batched search, in batch order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// One [`SearchMetrics`] per query, in the order they were pushed.
+    pub queries: Vec<SearchMetrics>,
+}
+
+impl BatchResult {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch produced no results.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Best-matching row per query.
+    pub fn best_rows(&self) -> Vec<Option<usize>> {
+        self.queries.iter().map(|m| m.best_row).collect()
+    }
+
+    /// Total energy across the batch, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.queries.iter().map(|m| m.energy).sum()
+    }
+
+    /// Worst single-query latency in the batch, seconds. This is the
+    /// array-occupancy figure; wall-clock serving latency additionally
+    /// depends on pipelining (see [`crate::throughput`]).
+    pub fn worst_latency(&self) -> f64 {
+        self.queries.iter().map(|m| m.latency).fold(0.0, f64::max)
     }
 }
 
@@ -69,6 +210,34 @@ pub trait SimilarityEngine {
     /// Implementations reject malformed queries with [`TdamError`].
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError>;
 
+    /// Answers every query in `batch`, returning per-query metrics in
+    /// batch order.
+    ///
+    /// The default implementation loops over [`SimilarityEngine::search`];
+    /// engines whose search path is read-only override it to fan the batch
+    /// out across worker threads (see [`crate::parallel`]) and are
+    /// required to return **bit-identical** results to the sequential
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error in batch order, plus
+    /// [`TdamError::LengthMismatch`] if the batch width differs from the
+    /// engine width.
+    fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
+        if batch.width() != self.width() {
+            return Err(TdamError::LengthMismatch {
+                got: batch.width(),
+                expected: self.width(),
+            });
+        }
+        let queries = batch
+            .iter()
+            .map(|q| self.search(q))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchResult { queries })
+    }
+
     /// Total bits held by the engine (`rows × width × bits_per_element`).
     fn total_bits(&self) -> usize {
         self.rows() * self.width() * self.bits_per_element() as usize
@@ -87,7 +256,111 @@ mod tests {
             energy: 64e-15,
             latency: 1e-9,
         };
-        assert!((m.energy_per_bit(64) - 1e-15).abs() < 1e-24);
-        assert_eq!(m.energy_per_bit(0), 0.0);
+        assert!((m.energy_per_bit(64).unwrap() - 1e-15).abs() < 1e-24);
+        assert_eq!(m.energy_per_bit(0), None, "zero bits is not free energy");
+    }
+
+    #[test]
+    fn batch_query_shapes() {
+        let mut b = BatchQuery::new(3);
+        assert!(b.is_empty());
+        b.push(&[0, 1, 2]).unwrap();
+        b.push(&[2, 1, 0]).unwrap();
+        assert!(b.push(&[1, 2]).is_err());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.get(0), &[0, 1, 2]);
+        assert_eq!(b.iter().count(), 2);
+
+        let rows = vec![vec![1u8, 2], vec![3, 0]];
+        let b = BatchQuery::from_rows(&rows).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(1), &[3, 0]);
+        assert!(BatchQuery::from_rows(&[vec![]]).is_err());
+        assert!(BatchQuery::from_rows(&[vec![1], vec![1, 2]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_batch_panics() {
+        let _ = BatchQuery::new(0);
+    }
+
+    #[test]
+    fn batch_result_aggregates() {
+        let m = |row, e, l| SearchMetrics {
+            best_row: Some(row),
+            distances: vec![Some(0)],
+            energy: e,
+            latency: l,
+        };
+        let r = BatchResult {
+            queries: vec![m(0, 1e-15, 2e-9), m(3, 2e-15, 1e-9)],
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.best_rows(), vec![Some(0), Some(3)]);
+        assert!((r.total_energy() - 3e-15).abs() < 1e-27);
+        assert!((r.worst_latency() - 2e-9).abs() < 1e-20);
+    }
+
+    /// A minimal engine relying entirely on the default `search_batch`.
+    struct Toy {
+        rows: Vec<Vec<u8>>,
+    }
+
+    impl SimilarityEngine for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn is_quantitative(&self) -> bool {
+            true
+        }
+        fn rows(&self) -> usize {
+            self.rows.len()
+        }
+        fn width(&self) -> usize {
+            2
+        }
+        fn bits_per_element(&self) -> u8 {
+            2
+        }
+        fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+            self.rows[row] = values.to_vec();
+            Ok(())
+        }
+        fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+            let distances: Vec<Option<usize>> = self
+                .rows
+                .iter()
+                .map(|r| Some(r.iter().zip(query).filter(|(a, b)| a != b).count()))
+                .collect();
+            let best_row = distances
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, d)| d.unwrap())
+                .map(|(i, _)| i);
+            Ok(SearchMetrics {
+                best_row,
+                distances,
+                energy: 1e-15,
+                latency: 1e-9,
+            })
+        }
+    }
+
+    #[test]
+    fn default_batch_loops_over_search() {
+        let mut toy = Toy {
+            rows: vec![vec![0, 0], vec![1, 2]],
+        };
+        let batch = BatchQuery::from_rows(&[vec![1, 2], vec![0, 0], vec![0, 2]]).unwrap();
+        let result = toy.search_batch(&batch).unwrap();
+        assert_eq!(result.best_rows(), vec![Some(1), Some(0), Some(0)]);
+        for (i, q) in batch.iter().enumerate() {
+            assert_eq!(result.queries[i], toy.search(q).unwrap());
+        }
+        let wrong = BatchQuery::new(5);
+        assert!(toy.search_batch(&wrong).is_err());
     }
 }

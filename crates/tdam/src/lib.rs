@@ -39,7 +39,10 @@
 //! - [`energy`] — search energy accounting
 //! - [`monte_carlo`] — V_TH-variation Monte Carlo (Fig. 6)
 //! - [`engine`] — the [`engine::SimilarityEngine`] trait shared with the
-//!   baseline designs of Table I
+//!   baseline designs of Table I, including the batched
+//!   [`engine::SimilarityEngine::search_batch`] serving path
+//! - [`parallel`] — the scoped-thread worker pool with deterministic
+//!   seeded work splitting behind every batched/parallel code path
 //! - [`area`] — cell/stage/array footprint estimates (F² + MOM caps)
 //! - [`faults`] — cell-level fault injection (stuck, drifted) and its
 //!   effect on decoding
@@ -54,6 +57,8 @@
 //!
 //! # Examples
 //!
+//! Single-query search:
+//!
 //! ```
 //! use tdam::array::TdamArray;
 //! use tdam::config::ArrayConfig;
@@ -67,6 +72,28 @@
 //! let outcome = TdamArray::search(&am, &[0, 1, 2, 3, 3, 2, 1, 1])?;
 //! assert_eq!(outcome.best_row(), Some(0));
 //! assert_eq!(outcome.rows[0].chain.mismatches, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Batched serving — store rows, answer a whole batch in one call (the
+//! stored rows are compiled to delay lookup tables and the queries fan
+//! out across worker threads), then read each query's best row:
+//!
+//! ```
+//! use tdam::config::ArrayConfig;
+//! use tdam::{BatchQuery, SimilarityEngine, TdamArray};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ArrayConfig::paper_default().with_stages(4).with_rows(2);
+//! let mut am = TdamArray::new(cfg)?;
+//! am.store(0, &[0, 1, 2, 3])?;
+//! am.store(1, &[3, 3, 0, 0])?;
+//! let mut batch = BatchQuery::new(4);
+//! batch.push(&[0, 1, 2, 2])?; // close to row 0
+//! batch.push(&[3, 3, 0, 1])?; // close to row 1
+//! let result = am.search_batch(&batch)?;
+//! assert_eq!(result.best_rows(), vec![Some(0), Some(1)]);
 //! # Ok(())
 //! # }
 //! ```
@@ -87,6 +114,7 @@ pub mod engine;
 pub mod faults;
 pub mod margins;
 pub mod monte_carlo;
+pub mod parallel;
 pub mod power;
 pub mod resilience;
 pub mod stage;
@@ -94,11 +122,11 @@ pub mod tdc;
 pub mod throughput;
 pub mod timing;
 
-pub use array::{SearchOutcome, TdamArray};
+pub use array::{CompiledArray, SearchOutcome, TdamArray};
 pub use chain::DelayChain;
 pub use config::{ArrayConfig, TechParams};
 pub use encoding::Encoding;
-pub use engine::{SearchMetrics, SimilarityEngine};
+pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 pub use timing::StageTiming;
 
 /// Errors from TD-AM construction and operation.

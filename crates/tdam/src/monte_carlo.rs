@@ -11,6 +11,7 @@
 use crate::cell::Cell;
 use crate::chain::DelayChain;
 use crate::config::ArrayConfig;
+use crate::parallel;
 use crate::timing::StageTiming;
 use crate::TdamError;
 use rand::rngs::StdRng;
@@ -119,62 +120,31 @@ pub fn run(cfg: &McConfig) -> Result<McResult, TdamError> {
     let stages = cfg.array.stages;
     let query = vec![cfg.query_value; stages];
 
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cfg.runs);
-    let chunk = cfg.runs.div_ceil(n_threads);
-
-    let mut delays: Vec<f64> = Vec::with_capacity(cfg.runs);
-    let results: Vec<Result<Vec<f64>, TdamError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            let runs_here = chunk.min(cfg.runs.saturating_sub(t * chunk));
-            if runs_here == 0 {
-                continue;
-            }
-            let variation = cfg.variation.clone();
-            let array_cfg = cfg.array;
-            let query = query.clone();
-            let seed = cfg
-                .seed
-                .wrapping_add(t as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let stored_value = cfg.stored_value;
-            handles.push(scope.spawn(move || -> Result<Vec<f64>, TdamError> {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let rev_state = levels - 1 - stored_value;
-                let mut out = Vec::with_capacity(runs_here);
-                for _ in 0..runs_here {
-                    let cells = (0..stages)
-                        .map(|_| {
-                            let sample = |state: u8, rng: &mut StdRng| {
-                                variation.sample_vth(state, rng).map_err(|_| {
-                                    TdamError::ValueOutOfRange {
-                                        value: state,
-                                        levels,
-                                    }
-                                })
-                            };
-                            let vth_a = sample(stored_value, &mut rng)?;
-                            let vth_b = sample(rev_state, &mut rng)?;
-                            Cell::with_vth(stored_value, enc, vth_a, vth_b)
+    // One independent RNG stream per run, derived from the run index —
+    // not the worker-thread index — so the sampled delays are identical
+    // for every thread count (see `crate::parallel`).
+    let rev_state = levels - 1 - cfg.stored_value;
+    let delays: Vec<f64> =
+        parallel::run_chunked(cfg.runs, None, |run| -> Result<f64, TdamError> {
+            let mut rng = StdRng::seed_from_u64(parallel::mix_seed(cfg.seed, run as u64));
+            let cells = (0..stages)
+                .map(|_| {
+                    let sample = |state: u8, rng: &mut StdRng| {
+                        cfg.variation.sample_vth(state, rng).map_err(|_| {
+                            TdamError::ValueOutOfRange {
+                                value: state,
+                                levels,
+                            }
                         })
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let chain = DelayChain::from_cells(cells, &array_cfg, timing)?;
-                    out.push(chain.evaluate(&query)?.total_delay);
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or(Err(TdamError::Worker)))
-            .collect()
-    });
-    for r in results {
-        delays.extend(r?);
-    }
+                    };
+                    let vth_a = sample(cfg.stored_value, &mut rng)?;
+                    let vth_b = sample(rev_state, &mut rng)?;
+                    Cell::with_vth(cfg.stored_value, enc, vth_a, vth_b)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let chain = DelayChain::from_cells(cells, &cfg.array, timing)?;
+            Ok(chain.evaluate(&query)?.total_delay)
+        })?;
 
     let nominal_chain =
         DelayChain::with_timing(&vec![cfg.stored_value; stages], &cfg.array, timing)?;
@@ -322,10 +292,8 @@ mod tests {
         };
         let a = mk();
         let b = mk();
-        let mut xs = a.delays.clone();
-        let mut ys = b.delays.clone();
-        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
-        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
-        assert_eq!(xs, ys);
+        // Per-run seeding makes the result order-stable, not just
+        // multiset-stable: run i's delay is a pure function of (seed, i).
+        assert_eq!(a.delays, b.delays);
     }
 }

@@ -1,0 +1,187 @@
+//! Reusable scoped-thread worker pool with deterministic work splitting.
+//!
+//! The Monte Carlo runner ([`crate::monte_carlo`]), the fault-campaign
+//! driver ([`crate::resilience`]), and the batched query engine
+//! ([`crate::engine::SimilarityEngine::search_batch`]) all need the same
+//! shape of parallelism: a fixed set of independent work items, fanned out
+//! over `std::thread::scope` workers, with results collected **in item
+//! order** so the outcome is identical no matter how many threads ran or
+//! how the scheduler interleaved them. This module is that shape, written
+//! once.
+//!
+//! Determinism has two halves:
+//!
+//! 1. **Ordering** — [`run_chunked`] writes each item's result into a
+//!    pre-allocated slot indexed by the item, so the returned `Vec` is in
+//!    item order regardless of scheduling.
+//! 2. **Seeding** — randomized workloads derive each item's RNG seed from
+//!    the item index via [`mix_seed`], never from the worker-thread index,
+//!    so changing the thread count cannot change the sampled streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdam::parallel::run_chunked;
+//! use tdam::TdamError;
+//!
+//! let squares: Vec<usize> =
+//!     run_chunked::<_, TdamError, _>(8, Some(3), |i| Ok(i * i)).unwrap();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use crate::TdamError;
+
+/// Marker error: a worker thread panicked or its result slot was never
+/// filled. Convert it into the caller's error type via `From`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLost;
+
+impl core::fmt::Display for WorkerLost {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "a parallel worker thread was lost")
+    }
+}
+
+impl std::error::Error for WorkerLost {}
+
+impl From<WorkerLost> for TdamError {
+    fn from(_: WorkerLost) -> Self {
+        TdamError::Worker
+    }
+}
+
+/// Resolves a requested worker count: `None` means all available cores,
+/// and the result is always clamped to `1..=items.max(1)` so callers never
+/// spawn idle threads.
+pub fn resolve_threads(items: usize, threads: Option<usize>) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    threads.unwrap_or(available).max(1).min(items.max(1))
+}
+
+/// Mixes an item index into a base seed (SplitMix64-style finalizer), so
+/// every item owns an independent RNG stream derived only from
+/// `(base, index)` — never from which worker thread picked the item up.
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `f(item)` for every item in `0..items` across scoped worker
+/// threads and returns the results **in item order**.
+///
+/// Work is split into contiguous chunks, one per worker; each worker
+/// writes into its own slice of the pre-allocated slot vector, so no
+/// locks are needed and the output order is independent of scheduling.
+/// `threads: None` uses all available cores (see [`resolve_threads`]).
+///
+/// # Errors
+///
+/// Returns `E::from(WorkerLost)` if any worker panicked, otherwise the
+/// first per-item error in item order, otherwise the collected results.
+pub fn run_chunked<R, E, F>(items: usize, threads: Option<usize>, f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send + From<WorkerLost>,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    if items == 0 {
+        return Ok(Vec::new());
+    }
+    let n_threads = resolve_threads(items, threads);
+    if n_threads == 1 {
+        return (0..items).map(&f).collect();
+    }
+    let chunk_size = items.div_ceil(n_threads);
+    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    let f = &f;
+    let lost_worker = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+            let base = c * chunk_size;
+            handles.push(scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            }));
+        }
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    if lost_worker {
+        return Err(E::from(WorkerLost));
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.ok_or(WorkerLost).map_err(E::from).and_then(|r| r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order_for_any_thread_count() {
+        for threads in [Some(1), Some(2), Some(3), Some(7), Some(64), None] {
+            let out: Vec<usize> =
+                run_chunked::<_, TdamError, _>(23, threads, |i| Ok(i * 3)).unwrap();
+            assert_eq!(out, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        let out: Vec<u8> = run_chunked::<_, TdamError, _>(0, None, |_| Ok(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn first_error_in_item_order_wins() {
+        let err = run_chunked::<usize, TdamError, _>(16, Some(4), |i| {
+            if i >= 5 {
+                Err(TdamError::RowOutOfBounds { row: i, rows: 5 })
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, TdamError::RowOutOfBounds { row: 5, rows: 5 });
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(4, Some(100)), 4);
+        assert_eq!(resolve_threads(4, Some(0)), 1);
+        assert_eq!(resolve_threads(0, Some(8)), 1);
+        assert!(resolve_threads(1000, None) >= 1);
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_indices() {
+        let a = mix_seed(42, 0);
+        let b = mix_seed(42, 1);
+        let c = mix_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable: pure function of (base, index).
+        assert_eq!(a, mix_seed(42, 0));
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_propagated() {
+        let err = run_chunked::<usize, TdamError, _>(8, Some(4), |i| {
+            if i == 6 {
+                panic!("boom");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        assert_eq!(err, TdamError::Worker);
+    }
+}

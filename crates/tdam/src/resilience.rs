@@ -1156,9 +1156,9 @@ fn run_trial(
 }
 
 /// Runs the full campaign grid, parallelizing trials across threads
-/// with [`std::thread::scope`]. Bit-identical for a fixed seed: every
-/// trial is independently seeded and integer statistics are merged in
-/// trial order.
+/// through [`crate::parallel::run_chunked`]. Bit-identical for a fixed
+/// seed: every trial is independently seeded from its grid coordinates
+/// and integer statistics are merged in trial order.
 ///
 /// # Errors
 ///
@@ -1171,32 +1171,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, TdamError> {
 
     for (kind_idx, &kind) in cfg.kinds.iter().enumerate() {
         for (rate_idx, &rate) in cfg.fault_rates.iter().enumerate() {
-            let mut slots: Vec<Option<Result<TrialStats, TdamError>>> = vec![None; trials];
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(trials);
-            let chunk_size = trials.div_ceil(workers);
-
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for (w, chunk) in slots.chunks_mut(chunk_size).enumerate() {
-                    handles.push(scope.spawn(move || {
-                        for (j, slot) in chunk.iter_mut().enumerate() {
-                            let trial = w * chunk_size + j;
-                            let seed = trial_seed(cfg.seed, kind_idx, rate_idx, trial);
-                            *slot = Some(run_trial(cfg, kind, rate, seed));
-                        }
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .try_for_each(|h| h.join().map_err(|_| TdamError::Worker))
+            let per_trial = crate::parallel::run_chunked(trials, None, |trial| {
+                let seed = trial_seed(cfg.seed, kind_idx, rate_idx, trial);
+                run_trial(cfg, kind, rate, seed)
             })?;
 
             let mut total = TrialStats::default();
-            for slot in slots {
-                let stats = slot.unwrap_or(Err(TdamError::Worker))?;
+            for stats in per_trial {
                 total.retrieval_hits += stats.retrieval_hits;
                 total.decode_hits += stats.decode_hits;
                 total.repaired += stats.repaired;

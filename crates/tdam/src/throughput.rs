@@ -49,6 +49,29 @@ impl CycleBreakdown {
     pub fn pipelined_qps(&self) -> f64 {
         1.0 / self.pipelined()
     }
+
+    /// Wall-clock time to drain a batch of `batch` queries through the
+    /// pipelined array: the first query pays the full cycle, every
+    /// subsequent query issues one initiation interval later. Zero for an
+    /// empty batch.
+    pub fn batch_latency(&self, batch: usize) -> f64 {
+        if batch == 0 {
+            0.0
+        } else {
+            self.sequential() + (batch - 1) as f64 * self.pipelined()
+        }
+    }
+
+    /// Effective queries per second when serving batches of `batch`:
+    /// approaches [`CycleBreakdown::pipelined_qps`] as the batch grows and
+    /// degenerates to [`CycleBreakdown::sequential_qps`] at `batch = 1`.
+    pub fn batch_qps(&self, batch: usize) -> f64 {
+        if batch == 0 {
+            0.0
+        } else {
+            batch as f64 / self.batch_latency(batch)
+        }
+    }
 }
 
 /// Computes the worst-case (all stages mismatched) cycle breakdown for an
@@ -138,5 +161,24 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         assert!(worst_case_cycle(&cfg(0)).is_err());
+    }
+
+    #[test]
+    fn batch_amortizes_toward_pipelined_qps() {
+        let c = worst_case_cycle(&cfg(32)).expect("cycle");
+        assert_eq!(c.batch_latency(0), 0.0);
+        assert_eq!(c.batch_qps(0), 0.0);
+        assert!((c.batch_latency(1) - c.sequential()).abs() < 1e-18);
+        assert!((c.batch_qps(1) - c.sequential_qps()).abs() < 1e-9 * c.sequential_qps());
+        // Monotone in batch size, bounded by the pipelined rate.
+        let mut prev = c.batch_qps(1);
+        for b in [2usize, 8, 64, 4096] {
+            let qps = c.batch_qps(b);
+            assert!(qps > prev, "batching must not hurt: {b}");
+            assert!(qps < c.pipelined_qps());
+            prev = qps;
+        }
+        // Large batches come within 1% of the pipelined bound.
+        assert!(c.batch_qps(10_000) > 0.99 * c.pipelined_qps());
     }
 }

@@ -1,0 +1,117 @@
+//! Batched-search determinism: for every similarity engine, batched
+//! serving must return results **bit-identical** to a sequential loop of
+//! single-query [`SimilarityEngine::search`] calls — same `best_row`,
+//! same per-row distances, same energy and latency f64 bits — across
+//! seeds and worker-thread counts.
+//!
+//! The property is written as explicit seeded loops rather than a
+//! `proptest!` block so it exercises the same cases under any proptest
+//! backend.
+
+use fetdam::baselines::crossbar::{CrossbarCam, CrossbarParams};
+use fetdam::baselines::fecam::{Fecam, FecamParams};
+use fetdam::baselines::fefinfet::{FeFinFet, FeFinFetParams};
+use fetdam::baselines::homogeneous::{HomogeneousTd, HomogeneousTdParams};
+use fetdam::baselines::tcam16t::{Tcam16t, Tcam16tParams};
+use fetdam::baselines::timaq::{Timaq, TimaqParams};
+use fetdam::tdam::array::TdamArray;
+use fetdam::tdam::config::ArrayConfig;
+use fetdam::tdam::engine::{BatchQuery, SimilarityEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 6;
+const WIDTH: usize = 16;
+const BATCH: usize = 9;
+const SEEDS: [u64; 3] = [0, 0xBEEF, 0x5EED_CAFE];
+
+/// Fills `engine` with seeded random rows and returns a same-seeded
+/// random batch of queries.
+fn store_rows_and_batch(engine: &mut dyn SimilarityEngine, seed: u64) -> BatchQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = 1u32 << engine.bits_per_element();
+    let width = engine.width();
+    for row in 0..engine.rows() {
+        let values: Vec<u8> = (0..width).map(|_| rng.gen_range(0..levels) as u8).collect();
+        engine.store(row, &values).expect("store row");
+    }
+    let mut batch = BatchQuery::new(width);
+    for _ in 0..BATCH {
+        let q: Vec<u8> = (0..width).map(|_| rng.gen_range(0..levels) as u8).collect();
+        batch.push(&q).expect("push query");
+    }
+    batch
+}
+
+/// The property itself: sequential loop first, batched second, compared
+/// field-for-field with exact (bitwise f64) equality.
+fn assert_batch_matches_sequential(engine: &mut dyn SimilarityEngine, seed: u64) {
+    let batch = store_rows_and_batch(engine, seed);
+    let sequential: Vec<_> = batch
+        .iter()
+        .map(|q| engine.search(q).expect("sequential search"))
+        .collect();
+    let batched = engine.search_batch(&batch).expect("batched search");
+    assert_eq!(batched.len(), BATCH, "{}: batch length", engine.name());
+    for (i, (b, s)) in batched.queries.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            b,
+            s,
+            "{}: batched query {i} diverged from sequential (seed {seed:#x})",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn every_engine_batches_deterministically() {
+    for &seed in &SEEDS {
+        let cfg = ArrayConfig::paper_default()
+            .with_stages(WIDTH)
+            .with_rows(ROWS);
+        let mut engines: Vec<Box<dyn SimilarityEngine>> = vec![
+            Box::new(TdamArray::new(cfg).expect("tdam array")),
+            Box::new(Tcam16t::new(ROWS, WIDTH, Tcam16tParams::default())),
+            Box::new(Fecam::new(ROWS, WIDTH, FecamParams::default())),
+            Box::new(FeFinFet::new(ROWS, WIDTH, FeFinFetParams::default())),
+            Box::new(HomogeneousTd::new(
+                ROWS,
+                WIDTH,
+                HomogeneousTdParams::default(),
+            )),
+            Box::new(CrossbarCam::new(ROWS, WIDTH, CrossbarParams::default())),
+            Box::new(Timaq::new(ROWS, WIDTH, TimaqParams::default())),
+        ];
+        for engine in &mut engines {
+            assert_batch_matches_sequential(engine.as_mut(), seed);
+        }
+    }
+}
+
+#[test]
+fn compiled_tdam_batches_identically_for_every_thread_count() {
+    for &seed in &SEEDS {
+        let cfg = ArrayConfig::paper_default()
+            .with_stages(WIDTH)
+            .with_rows(ROWS);
+        let mut am = TdamArray::new(cfg).expect("tdam array");
+        let batch = store_rows_and_batch(&mut am, seed);
+        let reference: Vec<_> = batch
+            .iter()
+            .map(|q| TdamArray::search(&am, q).expect("reference search"))
+            .collect();
+        let compiled = am.compile();
+        assert!(compiled.fully_compiled(), "nominal rows must all compile");
+        for threads in [Some(1), Some(2), Some(5), None] {
+            let outcomes = compiled
+                .search_batch(&batch, threads)
+                .expect("compiled batch");
+            for (i, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "compiled batch query {i} diverged (seed {seed:#x}, threads {threads:?})"
+                );
+            }
+        }
+    }
+}
