@@ -206,7 +206,9 @@ pub fn extended_comparison_table(
     let tdam_epb = rows
         .iter()
         .find(|r| r.design.contains("This work"))
-        .expect("comparison_table always includes this work")
+        .ok_or(TdamError::InvalidConfig {
+            what: "comparison table is missing the reference design row",
+        })?
         .energy_per_bit;
     let mut cb = CrossbarCam::new(ROWS, BITS, CrossbarParams::default());
     let epb = run_binary_engine(&mut cb, queries, seed)?;

@@ -111,3 +111,82 @@ where
     let queries = tdam::parallel::run_chunked(batch.len(), None, |i| search_ref(batch.get(i)))?;
     Ok(BatchResult { queries })
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::tcam16t::Tcam16t;
+    use crate::timaq::Timaq;
+    use tdam::engine::{BatchQuery, SimilarityEngine};
+    use tdam::runtime::{DeadlinePolicy, Guarded, QueryOutcome, RuntimeConfig};
+    use tdam::{ErrorClass, TdamError};
+
+    // The serving runtime's engine-agnostic wrapper must hold its contract
+    // over the baseline engines too, not just the TD-AM: bit-identical
+    // answers on a healthy engine, per-slot taxonomy errors, and deadline
+    // partials.
+
+    #[test]
+    fn guarded_baseline_is_bit_identical_to_bare_engine() {
+        let mut bare = Timaq::new(2, 4, Default::default());
+        bare.store(0, &[0, 0, 1, 1]).unwrap();
+        bare.store(1, &[1, 1, 0, 0]).unwrap();
+        let mut batch = BatchQuery::new(4);
+        batch.push(&[0, 0, 1, 0]).unwrap();
+        batch.push(&[1, 1, 0, 0]).unwrap();
+        let expected = bare.search_batch(&batch).unwrap();
+
+        let mut guarded = Guarded::new(bare, RuntimeConfig::default());
+        let outcome = guarded.serve(&batch);
+        assert_eq!(outcome.availability(), 1.0);
+        for (slot, want) in outcome.slots.iter().zip(&expected.queries) {
+            assert_eq!(slot.ok(), Some(want));
+        }
+    }
+
+    #[test]
+    fn guarded_baseline_surfaces_permanent_errors_per_slot() {
+        let mut cam = Tcam16t::new(2, 4, Default::default());
+        cam.store(0, &[0, 1, 0, 1]).unwrap();
+        cam.store(1, &[1, 0, 1, 0]).unwrap();
+        let mut batch = BatchQuery::new(4);
+        batch.push(&[0, 1, 0, 1]).unwrap();
+        batch.push(&[0, 9, 0, 0]).unwrap(); // not a bit — binary CAM rejects it
+        batch.push(&[1, 0, 1, 0]).unwrap();
+        let mut guarded = Guarded::new(cam, RuntimeConfig::default());
+        let outcome = guarded.serve(&batch);
+        assert_eq!(outcome.slots[0].ok().and_then(|m| m.best_row), Some(0));
+        assert_eq!(outcome.slots[2].ok().and_then(|m| m.best_row), Some(1));
+        match &outcome.slots[1] {
+            QueryOutcome::Failed { error, class } => {
+                assert_eq!(
+                    error,
+                    &TdamError::ValueOutOfRange {
+                        value: 9,
+                        levels: 2
+                    }
+                );
+                assert_eq!(*class, ErrorClass::Permanent);
+            }
+            other => panic!("expected a failed slot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_baseline_honors_query_budget() {
+        let mut cam = Tcam16t::new(2, 4, Default::default());
+        cam.store(0, &[0, 1, 0, 1]).unwrap();
+        let rows = vec![vec![0u8, 1, 0, 1]; 5];
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let cfg = RuntimeConfig {
+            deadline: DeadlinePolicy::QueryBudget(2),
+            ..Default::default()
+        };
+        let mut guarded = Guarded::new(cam, cfg);
+        let outcome = guarded.serve(&batch);
+        assert!(outcome.slots[..2].iter().all(QueryOutcome::is_ok));
+        assert!(outcome.slots[2..]
+            .iter()
+            .all(|s| matches!(s, QueryOutcome::TimedOut)));
+        assert_eq!(outcome.availability(), 0.4);
+    }
+}

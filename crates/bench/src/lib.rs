@@ -16,6 +16,7 @@
 //! | `ablation_two_step` | Design ablation: 2-step scheme vs naive single-pass chain |
 //! | `ext_fault_campaign` | Extension: fault-rate sweeps with/without detection + spare-row repair |
 //! | `ext_batch_throughput` | Extension: batched compiled-LUT serving vs sequential search, plus the pipelined cycle model |
+//! | `ext_chaos_availability` | Extension: serving-runtime availability under injected cell faults + worker panics |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC

@@ -105,3 +105,36 @@ impl core::fmt::Display for CktError {
 }
 
 impl std::error::Error for CktError {}
+
+/// Coarse failure classification consumed by serving-layer retry logic.
+///
+/// The split is operational, not taxonomic: *transient* failures are worth
+/// retrying (possibly with escalated solver settings — see the g_min
+/// stepping in [`analysis`]), *permanent* ones are circuit-description
+/// bugs that no retry will fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Retrying (same or escalated solver settings) may succeed:
+    /// convergence failures depend on operating point and step history.
+    Transient,
+    /// Deterministic: malformed netlists, unknown nodes, and structurally
+    /// singular matrices fail identically on every attempt.
+    Permanent,
+}
+
+impl CktError {
+    /// Classifies this error for retry decisions.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            Self::NoConvergence { .. } => FailureClass::Transient,
+            Self::InvalidElement { .. } | Self::UnknownNode { .. } | Self::SingularMatrix => {
+                FailureClass::Permanent
+            }
+        }
+    }
+
+    /// Whether a retry can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == FailureClass::Transient
+    }
+}

@@ -33,6 +33,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "power" => power(args),
         "faults" => faults(args),
         "bench-batch" => bench_batch(args),
+        "serve-chaos" => serve_chaos(args),
         "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
     }
@@ -334,6 +335,68 @@ fn bench_batch(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn serve_chaos(args: &Args) -> Result<String, CliError> {
+    use tdam::runtime::{run_chaos, ChaosConfig, DeadlinePolicy};
+
+    let mut cfg = ChaosConfig::paper_default();
+    let stages = args.usize_or("stages", cfg.array.stages)?;
+    let rows = args.usize_or("rows", cfg.array.rows)?;
+    cfg.array = base_config(args)?.with_stages(stages).with_rows(rows);
+    cfg.resilience.spare_rows = args.usize_or("spares", cfg.resilience.spare_rows)?;
+    cfg.batches = args.usize_or("batches", cfg.batches)?;
+    cfg.batch_size = args.usize_or("batch", cfg.batch_size)?;
+    cfg.fault_rate = args.f64_or("fault-rate", cfg.fault_rate)?;
+    cfg.panic_rate = args.f64_or("panic-rate", cfg.panic_rate)?;
+    cfg.seed = args.usize_or("seed", cfg.seed as usize)? as u64;
+    for (name, rate) in [
+        ("fault-rate", cfg.fault_rate),
+        ("panic-rate", cfg.panic_rate),
+    ] {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(CliError::Usage(format!(
+                "--{name} is a probability and must be in 0..=1, got {rate}"
+            )));
+        }
+    }
+    if args.get("deadline-queries").is_some() {
+        cfg.runtime.deadline = DeadlinePolicy::QueryBudget(args.usize_or("deadline-queries", 0)?);
+    }
+    let report = run_chaos(&cfg)?;
+    Ok(format!(
+        "chaos campaign: {rows}x{stages} array, {} spares, seed {:#x}\n\
+         {} batches x {} queries, fault rate {:.2}%, panic rate {:.2}%\n\
+         availability: {:.2}%  ({} answered, {} timed out, {} failed of {})\n\
+         correctness: {} wrong, {} silent wrong, {} flagged degraded\n\
+         faults injected: {}   final backend: {:?} ({:?})\n\
+         runtime: {} retries, {} recompiles, {} health checks ({} missed), \
+         {} repairs, {} demotions, {} promotions\n",
+        cfg.resilience.spare_rows,
+        cfg.seed,
+        cfg.batches,
+        cfg.batch_size,
+        cfg.fault_rate * 100.0,
+        cfg.panic_rate * 100.0,
+        report.availability() * 100.0,
+        report.answered,
+        report.timed_out,
+        report.failed,
+        report.total_queries,
+        report.wrong,
+        report.silent_wrong,
+        report.degraded_answers,
+        report.faults_injected,
+        report.final_backend,
+        report.final_degradation,
+        report.stats.retries,
+        report.stats.recompiles,
+        report.stats.health_checks,
+        report.stats.health_misses,
+        report.stats.repairs,
+        report.stats.demotions,
+        report.stats.promotions
+    ))
+}
+
 fn area(args: &Args) -> Result<String, CliError> {
     let stages = args.usize_or("stages", 64)?;
     let rows = args.usize_or("rows", 16)?;
@@ -519,6 +582,74 @@ mod tests {
             run(&["bench-batch", "--batch", "0"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_chaos_reports_availability() {
+        let out = run(&[
+            "serve-chaos",
+            "--rows",
+            "8",
+            "--stages",
+            "16",
+            "--batches",
+            "4",
+            "--batch",
+            "8",
+            "--spares",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("availability"), "{out}");
+        assert!(out.contains("silent wrong"), "{out}");
+        // Same seed → bit-identical report text.
+        let replay = run(&[
+            "serve-chaos",
+            "--rows",
+            "8",
+            "--stages",
+            "16",
+            "--batches",
+            "4",
+            "--batch",
+            "8",
+            "--spares",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(out, replay);
+    }
+
+    #[test]
+    fn serve_chaos_validates_rates_and_honors_deadline() {
+        assert!(matches!(
+            run(&["serve-chaos", "--fault-rate", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve-chaos", "--panic-rate", "-0.2"]),
+            Err(CliError::Usage(_))
+        ));
+        let out = run(&[
+            "serve-chaos",
+            "--rows",
+            "4",
+            "--stages",
+            "16",
+            "--batches",
+            "2",
+            "--batch",
+            "8",
+            "--fault-rate",
+            "0",
+            "--panic-rate",
+            "0",
+            "--deadline-queries",
+            "3",
+        ])
+        .unwrap();
+        // 2 batches x 8 queries with a 3-query budget: 6 answered, 10 expired.
+        assert!(out.contains("6 answered, 10 timed out"), "{out}");
     }
 
     #[test]

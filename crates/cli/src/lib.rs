@@ -49,6 +49,8 @@ USAGE:
   tdam-sim faults  [--stages N] [--rows R] [--spares S] [--rate P] [--kind K]
                    [--trials T] [--queries Q] [--seed X] [--no-repair]
   tdam-sim bench-batch [--stages N] [--rows R] [--batch B] [--threads T] [--seed X]
+  tdam-sim serve-chaos [--stages N] [--rows R] [--spares S] [--batches B] [--batch Q]
+                   [--fault-rate P] [--panic-rate P] [--deadline-queries D] [--seed X]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -62,6 +64,9 @@ SUBCOMMANDS:
             (--kind: stuck-mismatch, stuck-match, stuck-mix, drift,
              stuck-column, broken-stage, tdc-miscount, sl-glitch)
   bench-batch  time batched parallel search vs a sequential query loop
+  serve-chaos  seeded chaos campaign against the fault-tolerant serving
+               runtime: injected cell faults + worker panics, reporting
+               availability and silent-wrong-answer counts
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

@@ -125,6 +125,26 @@ impl std::error::Error for HdcError {
     }
 }
 
+impl HdcError {
+    /// Classifies this error for retry/degrade decisions, using the same
+    /// taxonomy as the serving runtime ([`tdam::ErrorClass`]): hardware
+    /// errors inherit their TD-AM classification, while configuration,
+    /// shape, and empty-model errors are deterministic caller bugs.
+    pub fn class(&self) -> tdam::ErrorClass {
+        match self {
+            Self::Tdam(e) => e.class(),
+            Self::InvalidConfig { .. } | Self::DimensionMismatch { .. } | Self::EmptyModel => {
+                tdam::ErrorClass::Permanent
+            }
+        }
+    }
+
+    /// Whether a bounded retry can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == tdam::ErrorClass::Transient
+    }
+}
+
 impl From<tdam::TdamError> for HdcError {
     fn from(e: tdam::TdamError) -> Self {
         Self::Tdam(e)

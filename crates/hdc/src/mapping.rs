@@ -335,6 +335,20 @@ impl TdamHdcInference {
     ) -> Result<Vec<TdamInferenceResult>, HdcError> {
         tdam::parallel::run_chunked(queries.len(), threads, |i| self.classify(&queries[i]))
     }
+
+    /// Classifies a batch with per-query fault isolation: every query gets
+    /// its own `Result` slot, so one failing (or panicking) query does not
+    /// discard its siblings' answers. This is the HDC-layer view of
+    /// [`tdam::parallel::run_chunked_partial`], for serving paths that
+    /// prefer partial batches over all-or-nothing
+    /// [`classify_batch`](TdamHdcInference::classify_batch).
+    pub fn classify_batch_partial(
+        &self,
+        queries: &[QuantizedHypervector],
+        threads: Option<usize>,
+    ) -> Vec<Result<TdamInferenceResult, HdcError>> {
+        tdam::parallel::run_chunked_partial(queries.len(), threads, |i| self.classify(&queries[i]))
+    }
 }
 
 /// Result of one hardware-in-the-loop retraining epoch.
@@ -511,6 +525,40 @@ mod tests {
             assert_eq!(batched, sequential, "threads={threads:?}");
         }
         assert!(hw.classify_batch(&[], None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partial_batch_isolates_a_bad_query() {
+        let (quant, enc, ds, hw) = deployed();
+        let mut queries: Vec<QuantizedHypervector> = ds
+            .test
+            .iter()
+            .take(6)
+            .map(|(x, _)| quant.quantize_query(&enc.encode(x).unwrap()).unwrap())
+            .collect();
+        // Corrupt slot 2 with a wrong-dimensionality query: the all-or-
+        // nothing path loses the whole batch, the partial path loses only
+        // that slot.
+        queries[2] = QuantizedHypervector::new(vec![0u8; 3], quant.bits()).unwrap();
+        assert!(matches!(
+            hw.classify_batch(&queries, None),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+        for threads in [Some(1), Some(3), None] {
+            let slots = hw.classify_batch_partial(&queries, threads);
+            assert_eq!(slots.len(), 6, "threads={threads:?}");
+            for (i, slot) in slots.iter().enumerate() {
+                if i == 2 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert!(matches!(err, HdcError::DimensionMismatch { .. }));
+                    assert_eq!(err.class(), tdam::ErrorClass::Permanent);
+                    assert!(!err.is_transient());
+                } else {
+                    let got = slot.as_ref().unwrap();
+                    assert_eq!(got, &hw.classify(&queries[i]).unwrap());
+                }
+            }
+        }
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub struct TdamArray {
     timing: StageTiming,
     tdc: CounterTdc,
     chains: Vec<DelayChain>,
+    /// Bumped on every mutation of stored contents (store, program, age),
+    /// so compiled delay tables can detect that they have gone stale.
+    generation: u64,
 }
 
 impl TdamArray {
@@ -138,7 +141,18 @@ impl TdamArray {
             timing,
             tdc,
             chains,
+            generation: 0,
         })
+    }
+
+    /// The mutation generation: incremented every time stored contents
+    /// change ([`SimilarityEngine::store`], [`TdamArray::store_cells`],
+    /// [`TdamArray::program_row`], [`TdamArray::age`]). Compiled views
+    /// record the generation they were built at so a reprogram-after-
+    /// compile is caught as [`TdamError::StaleCompile`] instead of
+    /// silently serving wrong bits.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The array configuration.
@@ -189,6 +203,7 @@ impl TdamArray {
             });
         }
         self.chains[row] = DelayChain::from_cells(cells, &self.config, self.timing)?;
+        self.generation += 1;
         Ok(())
     }
 
@@ -306,6 +321,7 @@ impl TdamArray {
             )?);
         }
         self.chains[row] = DelayChain::from_cells(cells, &self.config, self.timing)?;
+        self.generation += 1;
         Ok((report, worst_attempts))
     }
 
@@ -355,6 +371,7 @@ impl TdamArray {
                 self.timing,
             )?);
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -424,12 +441,56 @@ impl TdamArray {
     ///
     /// The compiled view borrows the array: it is built once per batch
     /// (or held across batches) and shared read-only by worker threads.
+    /// For a view that outlives the borrow — and therefore must detect
+    /// reprogramming — see [`TdamArray::compile_snapshot`].
     pub fn compile(&self) -> CompiledArray<'_> {
         CompiledArray {
             array: self,
             compiled: self.chains.iter().map(DelayChain::compile).collect(),
+            generation: self.generation,
         }
     }
+
+    /// Compiles into an **owned** snapshot that can be held across
+    /// mutations of the source array. Every search through the snapshot
+    /// revalidates the source's [generation](TdamArray::generation); once
+    /// the array has been reprogrammed the snapshot refuses to serve
+    /// ([`TdamError::StaleCompile`]) instead of returning wrong bits.
+    pub fn compile_snapshot(&self) -> CompiledSnapshot {
+        CompiledSnapshot {
+            array: self.clone(),
+            compiled: self.chains.iter().map(DelayChain::compile).collect(),
+            generation: self.generation,
+        }
+    }
+}
+
+/// One compiled search: table rows walk the LUT, perturbed rows fall back
+/// to the full model. Shared by [`CompiledArray`] and [`CompiledSnapshot`].
+fn compiled_search(
+    array: &TdamArray,
+    compiled: &[Option<crate::chain::CompiledChain>],
+    query: &[u8],
+) -> Result<SearchOutcome, TdamError> {
+    // Validate once up front; the per-row table walks then skip the
+    // redundant length/range checks (the dominant overhead for small
+    // compiled rows).
+    if query.len() != array.config.stages {
+        return Err(TdamError::LengthMismatch {
+            got: query.len(),
+            expected: array.config.stages,
+        });
+    }
+    array.config.encoding.validate(query)?;
+    let results = compiled
+        .iter()
+        .zip(&array.chains)
+        .map(|(compiled, chain)| match compiled {
+            Some(c) => Ok(c.evaluate_prevalidated(query)),
+            None => chain.evaluate(query),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(array.assemble(results))
 }
 
 /// A read-only compiled view of a [`TdamArray`]: every nominal row's
@@ -442,6 +503,7 @@ impl TdamArray {
 pub struct CompiledArray<'a> {
     array: &'a TdamArray,
     compiled: Vec<Option<crate::chain::CompiledChain>>,
+    generation: u64,
 }
 
 impl CompiledArray<'_> {
@@ -456,32 +518,29 @@ impl CompiledArray<'_> {
         self.compiled.iter().all(Option::is_some)
     }
 
+    /// The array [generation](TdamArray::generation) these tables were
+    /// compiled at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Searches one query through the compiled tables.
     ///
     /// # Errors
     ///
-    /// As [`TdamArray::search`].
+    /// As [`TdamArray::search`], plus [`TdamError::StaleCompile`] if the
+    /// array's generation no longer matches the one the tables were built
+    /// at. (The shared borrow already prevents reprogramming while this
+    /// view is alive, so the check documents the contract shared with the
+    /// owned [`CompiledSnapshot`] rather than catching live mutation.)
     pub fn search(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
-        // Validate once up front; the per-row table walks then skip the
-        // redundant length/range checks (the dominant overhead for small
-        // compiled rows).
-        if query.len() != self.array.config.stages {
-            return Err(TdamError::LengthMismatch {
-                got: query.len(),
-                expected: self.array.config.stages,
+        if self.array.generation != self.generation {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: self.array.generation,
             });
         }
-        self.array.config.encoding.validate(query)?;
-        let results = self
-            .compiled
-            .iter()
-            .zip(&self.array.chains)
-            .map(|(compiled, chain)| match compiled {
-                Some(c) => Ok(c.evaluate_prevalidated(query)),
-                None => chain.evaluate(query),
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(self.array.assemble(results))
+        compiled_search(self.array, &self.compiled, query)
     }
 
     /// Answers a whole batch, fanning queries out across `threads` worker
@@ -497,6 +556,106 @@ impl CompiledArray<'_> {
         threads: Option<usize>,
     ) -> Result<Vec<SearchOutcome>, TdamError> {
         crate::parallel::run_chunked(batch.len(), threads, |i| self.search(batch.get(i)))
+    }
+}
+
+/// An **owned** compiled view of a [`TdamArray`]: the delay tables plus a
+/// clone of the source array, stamped with the source's
+/// [generation](TdamArray::generation) at compile time.
+///
+/// Unlike [`CompiledArray`], a snapshot outlives the borrow of its source,
+/// so the source can be reprogrammed while the snapshot is held — exactly
+/// the situation where serving from the old tables would silently return
+/// wrong bits. Every checked search therefore revalidates the source's
+/// generation and fails with [`TdamError::StaleCompile`] once they
+/// diverge; the serving runtime ([`crate::runtime`]) catches that error
+/// and recompiles.
+///
+/// Produced by [`TdamArray::compile_snapshot`]. Searches return results
+/// **bit-identical** to [`TdamArray::search`] on the array state at
+/// compile time.
+#[derive(Debug, Clone)]
+pub struct CompiledSnapshot {
+    array: TdamArray,
+    compiled: Vec<Option<crate::chain::CompiledChain>>,
+    generation: u64,
+}
+
+impl CompiledSnapshot {
+    /// The array [generation](TdamArray::generation) this snapshot was
+    /// compiled at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether this snapshot still matches `source` (no reprogramming
+    /// since compile).
+    pub fn is_fresh(&self, source: &TdamArray) -> bool {
+        source.generation == self.generation
+    }
+
+    /// How many rows compiled to lookup tables (the rest fall back to the
+    /// full variation-aware model).
+    pub fn compiled_rows(&self) -> usize {
+        self.compiled.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every row is served from a lookup table.
+    pub fn fully_compiled(&self) -> bool {
+        self.compiled.iter().all(Option::is_some)
+    }
+
+    /// Searches one query, first verifying the snapshot still matches
+    /// `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`TdamError::StaleCompile`] if `source` was mutated after this
+    /// snapshot was compiled; otherwise as [`TdamArray::search`].
+    pub fn search(&self, source: &TdamArray, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        if !self.is_fresh(source) {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: source.generation,
+            });
+        }
+        self.search_unchecked(query)
+    }
+
+    /// Searches one query against the snapshot's own (internally
+    /// consistent) state, without consulting the source array. Use when
+    /// staleness has already been checked for the whole batch, or when
+    /// serving deliberately from the frozen snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdamArray::search`].
+    pub fn search_unchecked(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        compiled_search(&self.array, &self.compiled, query)
+    }
+
+    /// Answers a whole batch, verifying freshness against `source` once
+    /// up front, then fanning queries out across `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// [`TdamError::StaleCompile`] if stale, otherwise the first per-query
+    /// error in batch order.
+    pub fn search_batch(
+        &self,
+        source: &TdamArray,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<SearchOutcome>, TdamError> {
+        if !self.is_fresh(source) {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: source.generation,
+            });
+        }
+        crate::parallel::run_chunked(batch.len(), threads, |i| {
+            self.search_unchecked(batch.get(i))
+        })
     }
 }
 
@@ -534,6 +693,7 @@ impl SimilarityEngine for TdamArray {
             });
         }
         self.chains[row] = DelayChain::with_timing(values, &self.config, self.timing)?;
+        self.generation += 1;
         Ok(())
     }
 
@@ -783,6 +943,94 @@ mod tests {
         let one = compiled.search_batch(&batch, Some(1)).unwrap();
         for threads in [Some(2), Some(5), None] {
             assert_eq!(compiled.search_batch(&batch, threads).unwrap(), one);
+        }
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation_path() {
+        let mut am = array(2, 4);
+        assert_eq!(am.generation(), 0);
+        am.store(0, &[1, 2, 3, 0]).unwrap();
+        assert_eq!(am.generation(), 1);
+        let cells = (0..4)
+            .map(|_| crate::cell::Cell::with_vth(1, am.config().encoding, 0.63, 1.02).unwrap())
+            .collect();
+        am.store_cells(1, cells).unwrap();
+        assert_eq!(am.generation(), 2);
+        am.program_row(0, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(am.generation(), 3);
+        am.age(&tdam_fefet::retention::Lifetime::fresh()).unwrap();
+        assert_eq!(am.generation(), 4);
+        // Failed mutations must not bump: nothing changed.
+        assert!(am.store(9, &[0; 4]).is_err());
+        assert_eq!(am.generation(), 4);
+    }
+
+    #[test]
+    fn stale_snapshot_refuses_to_serve() {
+        let mut am = array(2, 4);
+        am.store(0, &[1, 2, 3, 0]).unwrap();
+        let snap = am.compile_snapshot();
+        assert!(snap.is_fresh(&am));
+        assert_eq!(
+            snap.search(&am, &[1, 2, 3, 0]).unwrap(),
+            TdamArray::search(&am, &[1, 2, 3, 0]).unwrap()
+        );
+
+        // Reprogram after compile: the old tables would decode row 0 as a
+        // perfect match for the *old* contents — that must be refused.
+        am.store(0, &[3, 3, 3, 3]).unwrap();
+        assert!(!snap.is_fresh(&am));
+        let err = snap.search(&am, &[1, 2, 3, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            TdamError::StaleCompile {
+                compiled: 1,
+                current: 2
+            }
+        );
+        let batch = BatchQuery::from_rows(&[vec![1u8, 2, 3, 0]]).unwrap();
+        assert!(matches!(
+            snap.search_batch(&am, &batch, Some(1)).unwrap_err(),
+            TdamError::StaleCompile { .. }
+        ));
+        // The unchecked path still serves the frozen compile-time state.
+        let frozen = snap.search_unchecked(&[1, 2, 3, 0]).unwrap();
+        assert_eq!(frozen.rows[0].decoded_mismatches, 0);
+
+        // Recompile heals it.
+        let snap2 = am.compile_snapshot();
+        assert_eq!(
+            snap2.search(&am, &[3, 3, 3, 3]).unwrap().best_row(),
+            Some(0)
+        );
+        assert_eq!(err.class(), crate::ErrorClass::Transient);
+    }
+
+    #[test]
+    fn snapshot_search_bit_identical_to_reference() {
+        let mut am = array(5, 16);
+        for row in 0..5 {
+            let v: Vec<u8> = (0..16).map(|i| ((i * 3 + row) % 4) as u8).collect();
+            am.store(row, &v).unwrap();
+        }
+        let snap = am.compile_snapshot();
+        assert!(snap.fully_compiled());
+        assert_eq!(snap.compiled_rows(), 5);
+        assert_eq!(snap.generation(), am.generation());
+        let rows: Vec<Vec<u8>> = (0..9)
+            .map(|k| (0..16).map(|i| ((i + k) % 4) as u8).collect())
+            .collect();
+        for q in &rows {
+            assert_eq!(
+                snap.search(&am, q).unwrap(),
+                TdamArray::search(&am, q).unwrap()
+            );
+        }
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let one = snap.search_batch(&am, &batch, Some(1)).unwrap();
+        for threads in [Some(3), None] {
+            assert_eq!(snap.search_batch(&am, &batch, threads).unwrap(), one);
         }
     }
 

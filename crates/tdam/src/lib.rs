@@ -49,6 +49,10 @@
 //! - [`resilience`] — array-scale fault detection, write-verify repair
 //!   with spare-row remapping, graceful degradation, and seeded parallel
 //!   fault campaigns
+//! - [`runtime`] — the fault-tolerant serving runtime: per-batch deadline
+//!   budgets with partial results, panic isolation, health probes with a
+//!   circuit breaker, and a compiled-LUT → behavioral → degraded backend
+//!   fallback chain
 //! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
 //!   variation (the paper's "higher-precision potential" analysis)
 //! - [`power`] — idle static (leakage) power, the flip side of the
@@ -117,16 +121,18 @@ pub mod monte_carlo;
 pub mod parallel;
 pub mod power;
 pub mod resilience;
+pub mod runtime;
 pub mod stage;
 pub mod tdc;
 pub mod throughput;
 pub mod timing;
 
-pub use array::{CompiledArray, SearchOutcome, TdamArray};
+pub use array::{CompiledArray, CompiledSnapshot, SearchOutcome, TdamArray};
 pub use chain::DelayChain;
 pub use config::{ArrayConfig, TechParams};
 pub use encoding::Encoding;
 pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
+pub use runtime::{BackendKind, BatchOutcome, QueryOutcome, ResilientEngine, RuntimeConfig};
 pub use timing::StageTiming;
 
 /// Errors from TD-AM construction and operation.
@@ -168,8 +174,58 @@ pub enum TdamError {
     },
     /// A parallel worker thread panicked or was lost.
     Worker,
+    /// A compiled delay-LUT view no longer matches the array it was built
+    /// from: the array was reprogrammed (or had faults injected) after
+    /// compilation. Recompiling fixes it — serving from the stale tables
+    /// would silently return wrong bits.
+    StaleCompile {
+        /// Array generation the tables were compiled at.
+        compiled: u64,
+        /// The array's current generation.
+        current: u64,
+    },
     /// An underlying circuit simulation failed.
     Circuit(tdam_ckt::CktError),
+}
+
+/// The serving-layer error taxonomy: how a failure should be handled by
+/// a runtime that wants to keep answering queries (see [`runtime`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ErrorClass {
+    /// Retrying the same operation may succeed: lost workers (panics),
+    /// stale compiled tables (recompile), circuit convergence failures.
+    Transient,
+    /// The hardware completed the operation but with reduced fidelity
+    /// (e.g. a device exhausted write-verify escalation): serving can
+    /// continue with the degradation surfaced to the caller.
+    Degraded,
+    /// Deterministic caller or configuration bugs: no retry will fix a
+    /// shape mismatch, an out-of-range value, or a malformed netlist.
+    Permanent,
+}
+
+impl TdamError {
+    /// Classifies this error for the serving runtime's retry/degrade
+    /// decisions (see [`ErrorClass`]).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Self::Worker | Self::StaleCompile { .. } => ErrorClass::Transient,
+            Self::WriteVerify { .. } => ErrorClass::Degraded,
+            Self::Circuit(e) => match e.class() {
+                tdam_ckt::FailureClass::Transient => ErrorClass::Transient,
+                tdam_ckt::FailureClass::Permanent => ErrorClass::Permanent,
+            },
+            Self::InvalidConfig { .. }
+            | Self::ValueOutOfRange { .. }
+            | Self::LengthMismatch { .. }
+            | Self::RowOutOfBounds { .. } => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether a bounded retry can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl core::fmt::Display for TdamError {
@@ -196,6 +252,11 @@ impl core::fmt::Display for TdamError {
                 "write-verify failed: target V_TH {target:.3} V, achieved {achieved:.3} V"
             ),
             Self::Worker => write!(f, "a parallel worker thread failed"),
+            Self::StaleCompile { compiled, current } => write!(
+                f,
+                "compiled delay tables are stale: compiled at generation \
+                 {compiled}, array is at generation {current}"
+            ),
             Self::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
         }
     }

@@ -73,53 +73,84 @@ pub fn mix_seed(base: u64, index: u64) -> u64 {
 }
 
 /// Runs `f(item)` for every item in `0..items` across scoped worker
+/// threads and returns **every** slot's outcome in item order.
+///
+/// This is the panic-isolating primitive behind [`run_chunked`] and the
+/// serving runtime ([`crate::runtime`]): each item's call is wrapped in
+/// [`std::panic::catch_unwind`], so a panicking item poisons only its own
+/// slot (`Err(E::from(WorkerLost))`) while every sibling item — including
+/// the rest of the panicking worker's chunk — still completes. Work is
+/// split into contiguous chunks, one per worker; each worker writes into
+/// its own slice of the pre-allocated slot vector, so no locks are needed
+/// and the output order is independent of scheduling. `threads: None`
+/// uses all available cores (see [`resolve_threads`]).
+pub fn run_chunked_partial<R, E, F>(items: usize, threads: Option<usize>, f: F) -> Vec<Result<R, E>>
+where
+    R: Send,
+    E: Send + From<WorkerLost>,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // One item's panic must not skip its siblings, so the per-item call is
+    // caught here rather than surfacing at `join`. `AssertUnwindSafe` is
+    // sound because a poisoned item's only observable state is its own
+    // slot, which is overwritten with the error.
+    let guarded = |i: usize| -> Result<R, E> {
+        catch_unwind(AssertUnwindSafe(|| f(i))).unwrap_or_else(|_| Err(E::from(WorkerLost)))
+    };
+
+    if items == 0 {
+        return Vec::new();
+    }
+    let n_threads = resolve_threads(items, threads);
+    if n_threads == 1 {
+        return (0..items).map(guarded).collect();
+    }
+    let chunk_size = items.div_ceil(n_threads);
+    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    let guarded = &guarded;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+            let base = c * chunk_size;
+            handles.push(scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(guarded(base + offset));
+                }
+            }));
+        }
+        // Workers cannot panic past `guarded`; joining still collects the
+        // (impossible) residue rather than propagating it.
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or(Err(E::from(WorkerLost))))
+        .collect()
+}
+
+/// Runs `f(item)` for every item in `0..items` across scoped worker
 /// threads and returns the results **in item order**.
 ///
-/// Work is split into contiguous chunks, one per worker; each worker
-/// writes into its own slice of the pre-allocated slot vector, so no
-/// locks are needed and the output order is independent of scheduling.
-/// `threads: None` uses all available cores (see [`resolve_threads`]).
+/// All-or-nothing view of [`run_chunked_partial`]: every item still runs
+/// (a panicking item no longer aborts its worker's remaining chunk), but
+/// only the first failure in item order is reported.
 ///
 /// # Errors
 ///
-/// Returns `E::from(WorkerLost)` if any worker panicked, otherwise the
-/// first per-item error in item order, otherwise the collected results.
+/// Returns the first per-item error in item order; an item whose call
+/// panicked contributes `E::from(WorkerLost)` at its slot.
 pub fn run_chunked<R, E, F>(items: usize, threads: Option<usize>, f: F) -> Result<Vec<R>, E>
 where
     R: Send,
     E: Send + From<WorkerLost>,
     F: Fn(usize) -> Result<R, E> + Sync,
 {
-    if items == 0 {
-        return Ok(Vec::new());
-    }
-    let n_threads = resolve_threads(items, threads);
-    if n_threads == 1 {
-        return (0..items).map(&f).collect();
-    }
-    let chunk_size = items.div_ceil(n_threads);
-    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items);
-    slots.resize_with(items, || None);
-    let f = &f;
-    let lost_worker = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (c, chunk) in slots.chunks_mut(chunk_size).enumerate() {
-            let base = c * chunk_size;
-            handles.push(scope.spawn(move || {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(f(base + offset));
-                }
-            }));
-        }
-        handles.into_iter().any(|h| h.join().is_err())
-    });
-    if lost_worker {
-        return Err(E::from(WorkerLost));
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.ok_or(WorkerLost).map_err(E::from).and_then(|r| r))
-        .collect()
+    run_chunked_partial(items, threads, f).into_iter().collect()
 }
 
 #[cfg(test)]
@@ -183,5 +214,51 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, TdamError::Worker);
+    }
+
+    #[test]
+    fn panic_poisons_only_its_own_slot() {
+        // Item 5 panics; with 2 workers its chunk is items 4..8, so the
+        // old join-based capture lost items 6 and 7 too. Per-slot capture
+        // must complete every sibling, including the panicking worker's
+        // remaining chunk, for any thread count.
+        for threads in [Some(1), Some(2), Some(4), None] {
+            let slots = run_chunked_partial::<usize, TdamError, _>(8, threads, |i| {
+                if i == 5 {
+                    panic!("poisoned query");
+                }
+                Ok(i * 2)
+            });
+            assert_eq!(slots.len(), 8);
+            for (i, slot) in slots.iter().enumerate() {
+                if i == 5 {
+                    assert_eq!(slot, &Err(TdamError::Worker));
+                } else {
+                    assert_eq!(slot, &Ok(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_keeps_every_error_in_place() {
+        let slots = run_chunked_partial::<usize, TdamError, _>(6, Some(3), |i| {
+            if i % 2 == 1 {
+                Err(TdamError::RowOutOfBounds { row: i, rows: 3 })
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(
+            slots,
+            vec![
+                Ok(0),
+                Err(TdamError::RowOutOfBounds { row: 1, rows: 3 }),
+                Ok(2),
+                Err(TdamError::RowOutOfBounds { row: 3, rows: 3 }),
+                Ok(4),
+                Err(TdamError::RowOutOfBounds { row: 5, rows: 3 }),
+            ]
+        );
     }
 }

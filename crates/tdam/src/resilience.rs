@@ -185,6 +185,27 @@ impl ResilientOutcome {
     pub fn decoded(&self) -> Vec<usize> {
         self.rows.iter().map(|r| r.decoded).collect()
     }
+
+    /// Flattens to the engine-level [`SearchMetrics`] view: dead rows
+    /// report no distance and never rank.
+    pub fn metrics(&self) -> SearchMetrics {
+        SearchMetrics {
+            best_row: self.best_row(),
+            distances: self
+                .rows
+                .iter()
+                .map(|r| {
+                    if r.health == RowHealth::Dead {
+                        None
+                    } else {
+                        Some(r.decoded)
+                    }
+                })
+                .collect(),
+            energy: self.energy.total(),
+            latency: self.latency,
+        }
+    }
 }
 
 /// Transient (non-persistent) fault rates applied at search time.
@@ -781,6 +802,18 @@ impl ResilientArray {
     /// [`TdamError::ValueOutOfRange`] for malformed queries.
     pub fn search(&self, query: &[u8]) -> Result<ResilientOutcome, TdamError> {
         let out = self.array.search(query)?;
+        Ok(self.resolve_outcome(&out))
+    }
+
+    /// Applies the resilience corrections (remap indirection, masked-
+    /// column bias subtraction, dead-row handling, degradation summary)
+    /// to a raw physical [`crate::array::SearchOutcome`].
+    ///
+    /// This is the second half of [`ResilientArray::search`], exposed so
+    /// alternative physical search paths — notably the compiled-LUT
+    /// snapshot used by the serving runtime ([`crate::runtime`]) — can
+    /// produce results bit-identical to the behavioral path.
+    pub fn resolve_outcome(&self, out: &crate::array::SearchOutcome) -> ResilientOutcome {
         let stages = self.array.config().stages;
         let mut rows = Vec::with_capacity(self.data_rows);
         for logical in 0..self.data_rows {
@@ -800,12 +833,33 @@ impl ResilientArray {
                 health: self.health[logical],
             });
         }
-        Ok(ResilientOutcome {
+        ResilientOutcome {
             rows,
             energy: out.energy,
             latency: out.latency,
             degradation: self.degradation(),
-        })
+        }
+    }
+
+    /// Fast known-answer health probe: checks only the reference rows
+    /// (match + complement + margin probes), skipping the per-data-row
+    /// sweep and column localization of [`ResilientArray::check`].
+    /// Returns `true` when every reference row answers correctly.
+    ///
+    /// This is the probe the serving runtime replays between batches; a
+    /// `false` here is the trigger for a full [`ResilientArray::check`] +
+    /// [`ResilientArray::repair`] cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn check_references(&self) -> Result<bool, TdamError> {
+        for k in 0..self.cfg.reference_rows {
+            if !self.probe_status(self.ref_phys(k))?.healthy() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// As [`ResilientArray::search`], with transient faults sampled from
@@ -884,22 +938,7 @@ impl SimilarityEngine for ResilientArray {
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
         let outcome = ResilientArray::search(self, query)?;
-        Ok(SearchMetrics {
-            best_row: outcome.best_row(),
-            distances: outcome
-                .rows
-                .iter()
-                .map(|r| {
-                    if r.health == RowHealth::Dead {
-                        None
-                    } else {
-                        Some(r.decoded)
-                    }
-                })
-                .collect(),
-            energy: outcome.energy.total(),
-            latency: outcome.latency,
-        })
+        Ok(outcome.metrics())
     }
 }
 

@@ -1,0 +1,1420 @@
+//! Fault-tolerant serving runtime: deadlines, panic isolation, health
+//! probes, and backend fallback chains.
+//!
+//! The batched serving surface of [`crate::engine`] is all-or-nothing: a
+//! single poisoned query, a transient circuit-convergence failure, or a
+//! compiled-LUT view gone stale after an in-place reprogram fails the
+//! whole batch. This module keeps the array *answering*:
+//!
+//! 1. **Partial results** — [`ResilientEngine::serve`] returns a
+//!    [`BatchOutcome`] with one [`QueryOutcome`] per slot (`Ok` /
+//!    `TimedOut` / `Failed`), never failing sibling queries for one
+//!    slot's problem. Per-batch deadlines ([`DeadlinePolicy`]) bound the
+//!    work; expired slots come back `TimedOut` at their correct indices.
+//! 2. **Panic isolation** — slots are fanned out through
+//!    [`crate::parallel::run_chunked_partial`], which catches a panicking
+//!    query in its own slot while siblings complete.
+//! 3. **Health probes + circuit breaker** — between batches the engine
+//!    replays the known-answer reference rows of
+//!    [`crate::resilience::ResilientArray`]; consecutive misses trip a
+//!    [`CircuitBreaker`] that demotes serving along the fallback chain
+//!    compiled LUT → behavioral model → fault-masked degraded mode
+//!    ([`BackendKind`]), runs detection + repair, and promotes back once
+//!    the references answer again. Reprogramming bumps the array
+//!    [generation](crate::array::TdamArray::generation), so stale
+//!    compiled tables are invalidated and recompiled automatically
+//!    instead of serving wrong bits.
+//! 4. **Retry with backoff** — failed slots whose error classifies as
+//!    [`ErrorClass::Transient`] (lost workers, stale compiles, circuit
+//!    non-convergence) are retried a bounded number of times with
+//!    exponential backoff; `Permanent` errors fail fast.
+//!
+//! [`Guarded`] provides the same slot-isolation contract for any
+//! [`SimilarityEngine`] (including the Table I baselines), and
+//! [`run_chaos`] drives a seeded chaos campaign — injected cell faults
+//! plus injected worker panics — measuring availability. Campaigns are
+//! bit-identical under a fixed seed when the deadline policy is
+//! deterministic (anything but [`DeadlinePolicy::WallClock`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use tdam::config::ArrayConfig;
+//! use tdam::resilience::ResilienceConfig;
+//! use tdam::runtime::{ResilientEngine, RuntimeConfig};
+//! use tdam::BatchQuery;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ArrayConfig::paper_default().with_stages(8).with_rows(2);
+//! let mut engine =
+//!     ResilientEngine::new(cfg, ResilienceConfig::default(), RuntimeConfig::default())?;
+//! engine.store(0, &[0, 1, 2, 3, 3, 2, 1, 0])?;
+//! engine.store(1, &[3, 3, 3, 3, 0, 0, 0, 0])?;
+//! let mut batch = BatchQuery::new(8);
+//! batch.push(&[0, 1, 2, 3, 3, 2, 1, 1])?;
+//! let outcome = engine.serve(&batch)?;
+//! assert_eq!(outcome.best_rows(), vec![Some(0)]);
+//! assert!((outcome.availability() - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::array::CompiledSnapshot;
+use crate::config::ArrayConfig;
+use crate::engine::{BatchQuery, SearchMetrics, SimilarityEngine};
+use crate::parallel::{mix_seed, run_chunked_partial};
+use crate::resilience::{
+    DegradationLevel, ResilienceConfig, ResilientArray, ResilientOutcome, RowHealth,
+};
+use crate::{ErrorClass, TdamError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How much work a batch may spend before remaining slots expire.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DeadlinePolicy {
+    /// No deadline: every slot is served (the default).
+    #[default]
+    None,
+    /// Wall-clock budget for the whole batch. Slots that have not
+    /// *started* when the budget expires return [`QueryOutcome::TimedOut`].
+    /// Inherently nondeterministic — use [`DeadlinePolicy::QueryBudget`]
+    /// for reproducible campaigns.
+    WallClock(Duration),
+    /// Serve at most this many slots (in slot order), expiring the rest.
+    /// A deterministic stand-in for a wall-clock budget: the expired set
+    /// is a pure function of the batch, so tests can assert exact slot
+    /// indices.
+    QueryBudget(usize),
+}
+
+/// Bounded retry with exponential backoff for [`ErrorClass::Transient`]
+/// failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Additional attempts after the first (0 disables retry).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per retry round.
+    /// `Duration::ZERO` retries immediately (use in deterministic tests).
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The backoff before retry round `round` (0-based), doubling each
+    /// round and clamped to the cap.
+    fn backoff_for(&self, round: usize) -> Duration {
+        let factor = 1u32 << round.min(16) as u32;
+        (self.backoff * factor).min(self.backoff_cap)
+    }
+}
+
+/// Configuration of the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Per-batch deadline budget.
+    pub deadline: DeadlinePolicy,
+    /// Transient-failure retry policy.
+    pub retry: RetryConfig,
+    /// Replay the known-answer reference probes every this many batches
+    /// (1 = before every batch; 0 disables health monitoring).
+    pub health_interval: usize,
+    /// Consecutive health-probe misses before the breaker trips and a
+    /// full detection + repair cycle runs (minimum 1).
+    pub breaker_threshold: usize,
+    /// Worker threads for the batch fan-out (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            deadline: DeadlinePolicy::None,
+            retry: RetryConfig::default(),
+            health_interval: 1,
+            breaker_threshold: 1,
+            threads: None,
+        }
+    }
+}
+
+/// Which backend along the fallback chain answered a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Compiled per-cell delay lookup tables
+    /// ([`crate::array::CompiledSnapshot`]) — the fast path, bit-identical
+    /// to the behavioral model.
+    CompiledLut,
+    /// The full behavioral model — serving while the breaker is open on
+    /// the compiled path (health miss pending repair).
+    Behavioral,
+    /// Fault-masked degraded mode: repair left residual damage (masked
+    /// columns, under-counting or dead rows), results are still ranked
+    /// but flagged [`DegradationLevel::Degraded`].
+    DegradedMasked,
+}
+
+/// The outcome of one query slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// The slot was answered.
+    Ok(SearchMetrics),
+    /// The slot expired under the batch's [`DeadlinePolicy`].
+    TimedOut,
+    /// The slot failed after exhausting its retries.
+    Failed {
+        /// The final error.
+        error: TdamError,
+        /// Its taxonomy class.
+        class: ErrorClass,
+    },
+}
+
+impl QueryOutcome {
+    /// The answered metrics, if any.
+    pub fn ok(&self) -> Option<&SearchMetrics> {
+        match self {
+            Self::Ok(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the slot was answered.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok(_))
+    }
+}
+
+/// Per-slot results of one served batch: the partial-result replacement
+/// for the all-or-nothing `Result<BatchResult>` of
+/// [`SimilarityEngine::search_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One outcome per query, in batch order.
+    pub slots: Vec<QueryOutcome>,
+    /// The backend that answered this batch.
+    pub backend: BackendKind,
+    /// The array's degradation level at serve time.
+    pub degradation: DegradationLevel,
+    /// Retry attempts spent on this batch (across all slots).
+    pub retries: usize,
+}
+
+impl BatchOutcome {
+    /// Fraction of slots answered (`Ok`); 1.0 for an empty batch.
+    pub fn availability(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 1.0;
+        }
+        self.answered() as f64 / self.slots.len() as f64
+    }
+
+    /// Number of answered slots.
+    pub fn answered(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_ok()).count()
+    }
+
+    /// Number of expired slots.
+    pub fn timed_out(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, QueryOutcome::TimedOut))
+            .count()
+    }
+
+    /// Number of failed slots.
+    pub fn failed(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, QueryOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Per-slot best rows (`None` for unanswered slots or slots whose
+    /// answer ranked no row).
+    pub fn best_rows(&self) -> Vec<Option<usize>> {
+        self.slots
+            .iter()
+            .map(|s| s.ok().and_then(|m| m.best_row))
+            .collect()
+    }
+}
+
+/// Counts consecutive health-probe misses; trips at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    misses: usize,
+    threshold: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive misses.
+    pub fn new(threshold: usize) -> Self {
+        Self {
+            misses: 0,
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Records a passed probe, closing the breaker.
+    pub fn record_success(&mut self) {
+        self.misses = 0;
+    }
+
+    /// Records a missed probe; returns whether the breaker is now open.
+    pub fn record_failure(&mut self) -> bool {
+        self.misses += 1;
+        self.is_open()
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_open(&self) -> bool {
+        self.misses >= self.threshold
+    }
+}
+
+/// Serving statistics accumulated across batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Batches served.
+    pub batches: usize,
+    /// Query slots seen.
+    pub queries: usize,
+    /// Slots answered.
+    pub answered: usize,
+    /// Slots expired by a deadline.
+    pub timed_out: usize,
+    /// Slots failed after retries.
+    pub failed: usize,
+    /// Retry attempts spent.
+    pub retries: usize,
+    /// Compiled snapshots rebuilt after invalidation.
+    pub recompiles: usize,
+    /// Health probes run.
+    pub health_checks: usize,
+    /// Health probes missed.
+    pub health_misses: usize,
+    /// Full detection + repair cycles run.
+    pub repairs: usize,
+    /// Backend demotions along the fallback chain.
+    pub demotions: usize,
+    /// Backend promotions back toward the compiled path.
+    pub promotions: usize,
+}
+
+/// Deterministic fault/panic injection for chaos testing: whether a slot
+/// panics is a pure function of `(seed, batch, slot, attempt)`, so a
+/// campaign replays bit-identically and a retried slot can succeed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosInjection {
+    /// Injection stream seed.
+    pub seed: u64,
+    /// Per-(slot, attempt) panic probability in `[0, 1]`.
+    pub panic_rate: f64,
+}
+
+impl ChaosInjection {
+    /// Whether the given slot's attempt should panic.
+    pub fn should_panic(&self, batch: u64, slot: u64, attempt: u64) -> bool {
+        if self.panic_rate <= 0.0 {
+            return false;
+        }
+        let h = mix_seed(mix_seed(self.seed, batch), mix_seed(slot, attempt));
+        (h as f64 / u64::MAX as f64) < self.panic_rate
+    }
+}
+
+/// The fault-tolerant serving engine: a [`ResilientArray`] wrapped with
+/// compiled-LUT serving, health monitoring, a circuit breaker over the
+/// backend fallback chain, per-batch deadlines, slot-isolated panics,
+/// and bounded transient retry.
+///
+/// On a healthy backend, served results are **bit-identical** to
+/// [`ResilientArray::search`] on the bare array (see `tests/chaos.rs`).
+#[derive(Debug)]
+pub struct ResilientEngine {
+    array: ResilientArray,
+    cfg: RuntimeConfig,
+    snapshot: Option<CompiledSnapshot>,
+    backend: BackendKind,
+    breaker: CircuitBreaker,
+    batches_since_check: usize,
+    chaos: Option<ChaosInjection>,
+    stats: RuntimeStats,
+}
+
+impl ResilientEngine {
+    /// Builds the runtime over a fresh resilient array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`ResilientArray::new`].
+    pub fn new(
+        data: ArrayConfig,
+        resilience: ResilienceConfig,
+        cfg: RuntimeConfig,
+    ) -> Result<Self, TdamError> {
+        Ok(Self::wrap(ResilientArray::new(data, resilience)?, cfg))
+    }
+
+    /// Wraps an existing (possibly already-populated) resilient array.
+    pub fn wrap(array: ResilientArray, cfg: RuntimeConfig) -> Self {
+        let breaker = CircuitBreaker::new(cfg.breaker_threshold);
+        Self {
+            array,
+            cfg,
+            snapshot: None,
+            backend: BackendKind::CompiledLut,
+            breaker,
+            batches_since_check: 0,
+            chaos: None,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Enables deterministic panic injection (chaos testing).
+    pub fn with_chaos(mut self, chaos: ChaosInjection) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The wrapped array.
+    pub fn array(&self) -> &ResilientArray {
+        &self.array
+    }
+
+    /// Mutable access to the wrapped array, e.g. for fault injection.
+    /// Content mutations bump the array generation, so any held compiled
+    /// snapshot is invalidated and rebuilt on the next serve.
+    pub fn array_mut(&mut self) -> &mut ResilientArray {
+        &mut self.array
+    }
+
+    /// The backend currently serving.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Stores a vector at a logical row (invalidating compiled tables).
+    ///
+    /// # Errors
+    ///
+    /// As [`ResilientArray::store`].
+    pub fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        self.array.store(row, values)
+    }
+
+    /// Ensures the compiled snapshot matches the array's current
+    /// generation, rebuilding it if missing or stale.
+    fn ensure_snapshot(&mut self) {
+        let fresh = self
+            .snapshot
+            .as_ref()
+            .is_some_and(|s| s.is_fresh(self.array.array()));
+        if !fresh {
+            if self.snapshot.is_some() {
+                self.stats.recompiles += 1;
+            }
+            self.snapshot = Some(self.array.array().compile_snapshot());
+        }
+    }
+
+    /// Whether a detection report carries anything *new*: suspects that
+    /// are not already tolerated as [`RowHealth::Degraded`] /
+    /// [`RowHealth::Dead`] (those are permanently flagged in every served
+    /// outcome's degradation summary — re-repairing them every probe
+    /// would burn write endurance for nothing).
+    fn has_new_damage(&self, report: &crate::resilience::DetectionReport) -> bool {
+        if !report.reference_ok || !report.suspect_stages.is_empty() {
+            return true;
+        }
+        report.suspect_rows.iter().any(|&r| {
+            !matches!(
+                self.array.health()[r],
+                RowHealth::Degraded | RowHealth::Dead
+            )
+        })
+    }
+
+    /// Runs the periodic health probe and drives the breaker / fallback
+    /// chain: the known-answer probes (reference rows first, then every
+    /// data row) are replayed; new damage demotes to the behavioral
+    /// backend, and an open breaker runs full detection + repair and
+    /// promotes back — to the compiled path, or to fault-masked degraded
+    /// mode when damage remains.
+    fn health_check(&mut self) -> Result<(), TdamError> {
+        self.stats.health_checks += 1;
+        let report = self.array.check()?;
+        if !self.has_new_damage(&report) {
+            self.breaker.record_success();
+            self.promote();
+            return Ok(());
+        }
+        self.stats.health_misses += 1;
+        if self.backend == BackendKind::CompiledLut {
+            // Never keep serving the fast path past a probe miss: the
+            // same physics backs the LUTs.
+            self.backend = BackendKind::Behavioral;
+            self.stats.demotions += 1;
+        }
+        if self.breaker.record_failure() {
+            self.array.repair(&report)?;
+            self.stats.repairs += 1;
+            let after = self.array.check()?;
+            if !self.has_new_damage(&after) {
+                self.breaker.record_success();
+                self.promote();
+            } else {
+                // Repair could not restore the probes; serve whatever
+                // still answers, flagged as degraded.
+                if self.backend != BackendKind::DegradedMasked {
+                    self.backend = BackendKind::DegradedMasked;
+                    self.stats.demotions += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves the backend back up the chain after a passed health probe.
+    fn promote(&mut self) {
+        let target = if self.array.degradation().level == DegradationLevel::Degraded {
+            BackendKind::DegradedMasked
+        } else {
+            BackendKind::CompiledLut
+        };
+        if self.backend != target {
+            // Any move that reaches the compiled path is a promotion;
+            // CompiledLut → DegradedMasked (references pass but damage
+            // remains, e.g. masked columns) is a demotion.
+            if target == BackendKind::CompiledLut {
+                self.stats.promotions += 1;
+            } else {
+                self.stats.demotions += 1;
+            }
+            self.backend = target;
+        }
+    }
+
+    /// Serves one slot once (no retry): the chaos hook may panic here —
+    /// isolated by the caller's `run_chunked_partial` — then the query
+    /// runs through the current backend.
+    fn serve_slot(
+        &self,
+        batch: &BatchQuery,
+        slot: usize,
+        attempt: usize,
+    ) -> Result<ResilientOutcome, TdamError> {
+        if let Some(chaos) = &self.chaos {
+            if chaos.should_panic(self.stats.batches as u64, slot as u64, attempt as u64) {
+                panic!("chaos: injected worker panic");
+            }
+        }
+        let query = batch.get(slot);
+        match (self.backend, &self.snapshot) {
+            (BackendKind::CompiledLut, Some(snap)) => {
+                let out = snap.search(self.array.array(), query)?;
+                Ok(self.array.resolve_outcome(&out))
+            }
+            _ => self.array.search(query),
+        }
+    }
+
+    /// Answers a batch with per-slot outcomes: runs the health probe if
+    /// due, revalidates/rebuilds the compiled snapshot, fans the slots
+    /// out with panic isolation, applies the deadline policy, and retries
+    /// transient per-slot failures with bounded backoff.
+    ///
+    /// # Errors
+    ///
+    /// Only batch-level problems fail the call: a batch whose width does
+    /// not match the array ([`TdamError::LengthMismatch`]), or an error
+    /// inside the health/repair machinery itself. Per-query problems
+    /// always come back as slots.
+    pub fn serve(&mut self, batch: &BatchQuery) -> Result<BatchOutcome, TdamError> {
+        if batch.width() != self.array.width() {
+            return Err(TdamError::LengthMismatch {
+                got: batch.width(),
+                expected: self.array.width(),
+            });
+        }
+        if self.cfg.health_interval > 0 {
+            self.batches_since_check += 1;
+            if self.batches_since_check >= self.cfg.health_interval {
+                self.batches_since_check = 0;
+                self.health_check()?;
+            }
+        }
+        if self.backend == BackendKind::CompiledLut {
+            self.ensure_snapshot();
+        }
+
+        let n = batch.len();
+        let started = Instant::now();
+        let mut slots: Vec<Option<QueryOutcome>> = vec![None; n];
+        let mut retries = 0usize;
+
+        // Deadline: decide which slots run at all (QueryBudget), or set
+        // the wall-clock horizon checked before each slot starts.
+        let budget = match self.cfg.deadline {
+            DeadlinePolicy::QueryBudget(q) => q.min(n),
+            _ => n,
+        };
+        for slot in slots.iter_mut().skip(budget) {
+            *slot = Some(QueryOutcome::TimedOut);
+        }
+        let horizon = match self.cfg.deadline {
+            DeadlinePolicy::WallClock(d) => Some(d),
+            _ => None,
+        };
+
+        let mut pending: Vec<usize> = (0..budget).collect();
+        let mut attempt = 0usize;
+        while !pending.is_empty() {
+            let this = &*self;
+            let outcomes =
+                run_chunked_partial::<_, TdamError, _>(pending.len(), self.cfg.threads, |k| {
+                    if let Some(d) = horizon {
+                        if started.elapsed() >= d {
+                            return Ok(None);
+                        }
+                    }
+                    this.serve_slot(batch, pending[k], attempt).map(Some)
+                });
+            let mut next = Vec::new();
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                let slot = pending[k];
+                slots[slot] = Some(match outcome {
+                    Ok(Some(out)) => QueryOutcome::Ok(out.metrics()),
+                    Ok(None) => QueryOutcome::TimedOut,
+                    Err(e) if e.is_transient() && attempt < self.cfg.retry.max_retries => {
+                        next.push(slot);
+                        retries += 1;
+                        continue;
+                    }
+                    Err(e) => QueryOutcome::Failed {
+                        class: e.class(),
+                        error: e,
+                    },
+                });
+            }
+            if next.is_empty() {
+                break;
+            }
+            let backoff = self.cfg.retry.backoff_for(attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            pending = next;
+            attempt += 1;
+        }
+
+        let slots: Vec<QueryOutcome> = slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or(QueryOutcome::Failed {
+                    error: TdamError::Worker,
+                    class: ErrorClass::Transient,
+                })
+            })
+            .collect();
+        let outcome = BatchOutcome {
+            degradation: self.array.degradation().level,
+            backend: self.backend,
+            retries,
+            slots,
+        };
+        self.stats.batches += 1;
+        self.stats.queries += n;
+        self.stats.answered += outcome.answered();
+        self.stats.timed_out += outcome.timed_out();
+        self.stats.failed += outcome.failed();
+        self.stats.retries += retries;
+        Ok(outcome)
+    }
+}
+
+impl SimilarityEngine for ResilientEngine {
+    fn name(&self) -> &str {
+        "Resilient TD-AM serving runtime"
+    }
+
+    fn is_quantitative(&self) -> bool {
+        true
+    }
+
+    fn rows(&self) -> usize {
+        self.array.data_rows()
+    }
+
+    fn width(&self) -> usize {
+        SimilarityEngine::width(&self.array)
+    }
+
+    fn bits_per_element(&self) -> u8 {
+        self.array.bits_per_element()
+    }
+
+    fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+        ResilientEngine::store(self, row, values)
+    }
+
+    fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        Ok(ResilientArray::search(&self.array, query)?.metrics())
+    }
+}
+
+/// Slot isolation, deadlines, and transient retry for **any**
+/// [`SimilarityEngine`] — the trait-level counterpart of
+/// [`ResilientEngine`] used for the Table I baselines, which have no
+/// compiled path or reference rows to monitor.
+///
+/// Queries run sequentially (the trait's `search` takes `&mut self`),
+/// each wrapped in `catch_unwind` so a panicking query yields a
+/// [`QueryOutcome::Failed`] slot instead of unwinding out of the batch.
+/// A panicked engine is assumed to remain structurally usable (its state
+/// is plain data, not lock-guarded); the panic is still surfaced in the
+/// slot.
+#[derive(Debug)]
+pub struct Guarded<E> {
+    engine: E,
+    cfg: RuntimeConfig,
+}
+
+impl<E: SimilarityEngine> Guarded<E> {
+    /// Wraps an engine.
+    pub fn new(engine: E, cfg: RuntimeConfig) -> Self {
+        Self { engine, cfg }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Unwraps the engine.
+    pub fn into_inner(self) -> E {
+        self.engine
+    }
+
+    /// Answers a batch with per-slot outcomes under the deadline and
+    /// retry policy. Never fails the batch: malformed queries surface as
+    /// [`QueryOutcome::Failed`] slots with [`ErrorClass::Permanent`].
+    pub fn serve(&mut self, batch: &BatchQuery) -> BatchOutcome {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let n = batch.len();
+        let started = Instant::now();
+        let budget = match self.cfg.deadline {
+            DeadlinePolicy::QueryBudget(q) => q.min(n),
+            _ => n,
+        };
+        let mut retries = 0usize;
+        let mut slots = Vec::with_capacity(n);
+        for slot in 0..n {
+            if slot >= budget {
+                slots.push(QueryOutcome::TimedOut);
+                continue;
+            }
+            if let DeadlinePolicy::WallClock(d) = self.cfg.deadline {
+                if started.elapsed() >= d {
+                    slots.push(QueryOutcome::TimedOut);
+                    continue;
+                }
+            }
+            let mut attempt = 0usize;
+            let outcome = loop {
+                let engine = &mut self.engine;
+                let query = batch.get(slot);
+                let result = catch_unwind(AssertUnwindSafe(|| engine.search(query)))
+                    .unwrap_or(Err(TdamError::Worker));
+                match result {
+                    Ok(m) => break QueryOutcome::Ok(m),
+                    Err(e) if e.is_transient() && attempt < self.cfg.retry.max_retries => {
+                        retries += 1;
+                        let backoff = self.cfg.retry.backoff_for(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        break QueryOutcome::Failed {
+                            class: e.class(),
+                            error: e,
+                        }
+                    }
+                }
+            };
+            slots.push(outcome);
+        }
+        BatchOutcome {
+            slots,
+            backend: BackendKind::Behavioral,
+            degradation: DegradationLevel::Nominal,
+            retries,
+        }
+    }
+}
+
+/// Configuration of a seeded chaos campaign ([`run_chaos`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Geometry of the *data* array (rows = logical data rows).
+    pub array: ArrayConfig,
+    /// Resilience machinery wrapped around it.
+    pub resilience: ResilienceConfig,
+    /// Serving runtime configuration. For bit-identical replay the
+    /// deadline must not be [`DeadlinePolicy::WallClock`] and the retry
+    /// backoff should be zero.
+    pub runtime: RuntimeConfig,
+    /// Batches to serve.
+    pub batches: usize,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Target cumulative fraction of cells hit by a persistent fault over
+    /// the whole campaign (spread uniformly across batches).
+    pub fault_rate: f64,
+    /// Per-(slot, attempt) injected worker-panic probability.
+    pub panic_rate: f64,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The chaos campaign of the acceptance criteria: 1% cell faults plus
+    /// injected worker panics over a 16-row, 32-stage array.
+    pub fn paper_default() -> Self {
+        Self {
+            array: ArrayConfig::paper_default().with_stages(32).with_rows(16),
+            resilience: ResilienceConfig {
+                spare_rows: 8,
+                ..ResilienceConfig::default()
+            },
+            runtime: RuntimeConfig {
+                retry: RetryConfig {
+                    max_retries: 3,
+                    backoff: Duration::ZERO,
+                    backoff_cap: Duration::ZERO,
+                },
+                ..RuntimeConfig::default()
+            },
+            batches: 24,
+            batch_size: 32,
+            fault_rate: 0.01,
+            panic_rate: 0.02,
+            seed: 0xC4A0_2024,
+        }
+    }
+}
+
+/// Results of a chaos campaign. Integer-only accounting, so equality is
+/// exact: two runs with the same seed must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Query slots served across the campaign.
+    pub total_queries: usize,
+    /// Slots answered (possibly degraded).
+    pub answered: usize,
+    /// Slots expired by deadlines.
+    pub timed_out: usize,
+    /// Slots failed after retries.
+    pub failed: usize,
+    /// Answered slots whose best row was not a true nearest row.
+    pub wrong: usize,
+    /// Wrong answers delivered while the outcome claimed
+    /// [`DegradationLevel::Nominal`] — the forbidden case.
+    pub silent_wrong: usize,
+    /// Answered slots flagged with any non-nominal degradation.
+    pub degraded_answers: usize,
+    /// Persistent cell faults injected.
+    pub faults_injected: usize,
+    /// Backend of the final batch.
+    pub final_backend: BackendKind,
+    /// Degradation level after the final batch.
+    pub final_degradation: DegradationLevel,
+    /// Runtime statistics.
+    pub stats: RuntimeStats,
+}
+
+impl ChaosReport {
+    /// Fraction of slots answered.
+    pub fn availability(&self) -> f64 {
+        if self.total_queries == 0 {
+            return 1.0;
+        }
+        self.answered as f64 / self.total_queries as f64
+    }
+}
+
+/// Runs a seeded chaos campaign: random data rows, exact-match queries,
+/// persistent cell faults drip-fed across batches at `fault_rate`
+/// cumulative coverage, and injected worker panics at `panic_rate` —
+/// measuring how much of the traffic the runtime keeps answering and
+/// whether any wrong answer escaped unflagged.
+///
+/// Bit-identical for a fixed seed (given a deterministic deadline policy
+/// and zero backoff): faults, queries, and panics all derive from the
+/// seed, and serving results are thread-count-invariant.
+///
+/// # Errors
+///
+/// Propagates configuration errors and health/repair machinery failures.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, TdamError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let array = ResilientArray::new(cfg.array, cfg.resilience)?;
+    let mut engine = ResilientEngine::wrap(array, cfg.runtime).with_chaos(ChaosInjection {
+        seed: mix_seed(cfg.seed, 0x51A5),
+        panic_rate: cfg.panic_rate,
+    });
+
+    let data_rows = cfg.array.rows;
+    let stages = cfg.array.stages;
+    let levels = cfg.array.encoding.levels();
+    let mut data = Vec::with_capacity(data_rows);
+    for row in 0..data_rows {
+        let values: Vec<u8> = (0..stages).map(|_| rng.gen_range(0..levels)).collect();
+        engine.store(row, &values)?;
+        data.push(values);
+    }
+
+    let physical_rows = data_rows + cfg.resilience.spare_rows + cfg.resilience.reference_rows;
+    let per_batch_rate = if cfg.batches > 0 {
+        (cfg.fault_rate / cfg.batches as f64).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let mut report = ChaosReport {
+        total_queries: 0,
+        answered: 0,
+        timed_out: 0,
+        failed: 0,
+        wrong: 0,
+        silent_wrong: 0,
+        degraded_answers: 0,
+        faults_injected: 0,
+        final_backend: engine.backend(),
+        final_degradation: DegradationLevel::Nominal,
+        stats: RuntimeStats::default(),
+    };
+
+    for _ in 0..cfg.batches {
+        // Drip-feed persistent faults so the health probes have something
+        // to catch mid-campaign, not just at t=0.
+        if per_batch_rate > 0.0 {
+            for row in 0..physical_rows {
+                for stage in 0..stages {
+                    if rng.gen_bool(per_batch_rate) {
+                        let kind = if rng.gen_bool(0.5) {
+                            crate::faults::FaultKind::StuckMismatch
+                        } else {
+                            crate::faults::FaultKind::StuckMatch
+                        };
+                        engine.array_mut().inject(row, stage, kind)?;
+                        report.faults_injected += 1;
+                    }
+                }
+            }
+        }
+
+        let mut batch = BatchQuery::new(stages);
+        let mut targets = Vec::with_capacity(cfg.batch_size);
+        for _ in 0..cfg.batch_size {
+            let target = rng.gen_range(0..data_rows);
+            batch.push(&data[target])?;
+            targets.push(target);
+        }
+
+        let outcome = engine.serve(&batch)?;
+        report.total_queries += outcome.slots.len();
+        report.answered += outcome.answered();
+        report.timed_out += outcome.timed_out();
+        report.failed += outcome.failed();
+        // An answer is *flagged* when its outcome admits reduced fidelity
+        // in any way the caller can see — the degradation summary or the
+        // fault-masked backend. Wrong-but-flagged is graceful
+        // degradation; wrong-and-unflagged is the forbidden case.
+        let flagged = outcome.degradation != DegradationLevel::Nominal
+            || outcome.backend == BackendKind::DegradedMasked;
+        for (slot, q) in outcome.slots.iter().enumerate() {
+            let QueryOutcome::Ok(metrics) = q else {
+                continue;
+            };
+            if flagged {
+                report.degraded_answers += 1;
+            }
+            // Ground truth over the *stored* data: the query is an exact
+            // copy of its target row, so any true nearest row is correct.
+            let query = &data[targets[slot]];
+            let truth: Vec<usize> = data
+                .iter()
+                .map(|row| row.iter().zip(query).filter(|(a, b)| a != b).count())
+                .collect();
+            let min_truth = *truth.iter().min().unwrap_or(&0);
+            let correct = metrics.best_row.is_some_and(|r| truth[r] == min_truth);
+            if !correct {
+                report.wrong += 1;
+                if !flagged {
+                    report.silent_wrong += 1;
+                }
+            }
+        }
+        report.final_backend = outcome.backend;
+        report.final_degradation = outcome.degradation;
+    }
+    report.stats = *engine.stats();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+
+    fn zero_retry_backoff() -> RetryConfig {
+        RetryConfig {
+            max_retries: 3,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    fn engine(rows: usize, stages: usize) -> ResilientEngine {
+        let cfg = ArrayConfig::paper_default()
+            .with_rows(rows)
+            .with_stages(stages);
+        let rt = RuntimeConfig {
+            retry: zero_retry_backoff(),
+            threads: Some(2),
+            ..RuntimeConfig::default()
+        };
+        ResilientEngine::new(cfg, ResilienceConfig::default(), rt).unwrap()
+    }
+
+    fn ramp(stages: usize, phase: usize) -> Vec<u8> {
+        (0..stages).map(|j| ((j + phase) % 4) as u8).collect()
+    }
+
+    fn ramp_batch(stages: usize, n: usize) -> BatchQuery {
+        let rows: Vec<Vec<u8>> = (0..n).map(|k| ramp(stages, k)).collect();
+        BatchQuery::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn healthy_serving_is_bit_identical_to_bare_array() {
+        let mut eng = engine(4, 16);
+        for r in 0..4 {
+            eng.store(r, &ramp(16, r)).unwrap();
+        }
+        let batch = ramp_batch(16, 6);
+        let outcome = eng.serve(&batch).unwrap();
+        assert_eq!(outcome.backend, BackendKind::CompiledLut);
+        assert_eq!(outcome.degradation, DegradationLevel::Nominal);
+        assert_eq!(outcome.availability(), 1.0);
+        for (slot, q) in outcome.slots.iter().enumerate() {
+            let bare = eng.array().search(batch.get(slot)).unwrap().metrics();
+            assert_eq!(q, &QueryOutcome::Ok(bare), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn query_budget_expires_exactly_the_tail() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        let mut cfg = eng.cfg;
+        cfg.deadline = DeadlinePolicy::QueryBudget(3);
+        eng.cfg = cfg;
+        let outcome = eng.serve(&ramp_batch(8, 5)).unwrap();
+        assert_eq!(outcome.answered(), 3);
+        assert_eq!(outcome.timed_out(), 2);
+        for (slot, q) in outcome.slots.iter().enumerate() {
+            if slot < 3 {
+                assert!(q.is_ok(), "slot {slot} within budget must answer");
+            } else {
+                assert_eq!(q, &QueryOutcome::TimedOut, "slot {slot} past budget");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_zero_budget_times_everything_out() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        eng.cfg.deadline = DeadlinePolicy::WallClock(Duration::ZERO);
+        let outcome = eng.serve(&ramp_batch(8, 4)).unwrap();
+        assert_eq!(outcome.timed_out(), 4);
+        assert_eq!(outcome.availability(), 0.0);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_and_recovered() {
+        let mut eng = engine(2, 8).with_chaos(ChaosInjection {
+            seed: 7,
+            panic_rate: 0.4,
+        });
+        eng.cfg.retry.max_retries = 8;
+        eng.store(0, &ramp(8, 0)).unwrap();
+        eng.store(1, &ramp(8, 1)).unwrap();
+        // With retries keyed by attempt, a slot that panics on attempt 0
+        // serves on a later attempt; 8 rounds make exhaustion (0.4^9)
+        // vanishingly rare, and the fixed seed makes it deterministic.
+        let mut total_retries = 0;
+        for _ in 0..8 {
+            let outcome = eng.serve(&ramp_batch(8, 8)).unwrap();
+            assert_eq!(
+                outcome.availability(),
+                1.0,
+                "retry must absorb injected panics"
+            );
+            total_retries += outcome.retries;
+        }
+        assert!(total_retries > 0, "chaos at 40% must have injected panics");
+        assert_eq!(eng.stats().retries, total_retries);
+    }
+
+    #[test]
+    fn panic_without_retry_fails_only_its_slot() {
+        let mut eng = engine(2, 8).with_chaos(ChaosInjection {
+            seed: 3,
+            panic_rate: 0.35,
+        });
+        eng.cfg.retry.max_retries = 0;
+        eng.store(0, &ramp(8, 0)).unwrap();
+        let mut saw_failure = false;
+        for _ in 0..8 {
+            let outcome = eng.serve(&ramp_batch(8, 8)).unwrap();
+            for q in &outcome.slots {
+                match q {
+                    QueryOutcome::Ok(_) => {}
+                    QueryOutcome::Failed { error, class } => {
+                        saw_failure = true;
+                        assert_eq!(error, &TdamError::Worker);
+                        assert_eq!(class, &ErrorClass::Transient);
+                    }
+                    QueryOutcome::TimedOut => panic!("no deadline configured"),
+                }
+            }
+        }
+        assert!(saw_failure, "35% panic rate over 64 slots must fail some");
+    }
+
+    #[test]
+    fn store_invalidates_and_recompiles_the_snapshot() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        let batch = ramp_batch(8, 4);
+        eng.serve(&batch).unwrap();
+        let gen_before = eng.snapshot.as_ref().unwrap().generation();
+        // Reprogram: the held snapshot is now stale and must be rebuilt,
+        // not served (its tables decode the *old* row contents).
+        eng.store(0, &ramp(8, 3)).unwrap();
+        let outcome = eng.serve(&batch).unwrap();
+        assert_eq!(outcome.backend, BackendKind::CompiledLut);
+        let snap = eng.snapshot.as_ref().unwrap();
+        assert!(snap.generation() > gen_before);
+        assert_eq!(eng.stats().recompiles, 1);
+        // Served answer reflects the *new* contents.
+        let best = outcome.slots[3].ok().unwrap().best_row;
+        assert_eq!(best, Some(0));
+    }
+
+    #[test]
+    fn health_miss_demotes_then_repair_promotes() {
+        let mut eng = engine(3, 16);
+        for r in 0..3 {
+            eng.store(r, &ramp(16, r)).unwrap();
+        }
+        let batch = ramp_batch(16, 3);
+        assert_eq!(eng.serve(&batch).unwrap().backend, BackendKind::CompiledLut);
+
+        // Drift a reference row out of margin: the next health probe
+        // misses, the breaker (threshold 1) trips, repair re-programs the
+        // reference (a fresh write erases drift), and serving returns to
+        // the compiled path — all within one call.
+        let ref_phys = 3 + eng.array().resilience_config().spare_rows;
+        for stage in 0..16 {
+            eng.array_mut()
+                .inject(
+                    ref_phys,
+                    stage,
+                    FaultKind::VthDrift {
+                        window_fraction: 0.05,
+                    },
+                )
+                .unwrap();
+        }
+        let outcome = eng.serve(&batch).unwrap();
+        assert_eq!(outcome.backend, BackendKind::CompiledLut);
+        assert_eq!(eng.stats().health_misses, 1);
+        assert_eq!(eng.stats().repairs, 1);
+        assert!(eng.array().check_references().unwrap());
+    }
+
+    #[test]
+    fn unrepairable_damage_serves_fault_masked() {
+        let mut eng = engine(3, 16);
+        for r in 0..3 {
+            eng.store(r, &ramp(16, r)).unwrap();
+        }
+        // A stuck shared column afflicts every row including references;
+        // repair masks the column (references then pass), leaving the
+        // array permanently degraded.
+        eng.array_mut().stuck_column(5).unwrap();
+        let outcome = eng.serve(&ramp_batch(16, 3)).unwrap();
+        assert_eq!(outcome.backend, BackendKind::DegradedMasked);
+        assert_eq!(outcome.degradation, DegradationLevel::Degraded);
+        // Still answering, and correctly: masking subtracts the bias.
+        assert_eq!(outcome.availability(), 1.0);
+        for (slot, best) in outcome.best_rows().iter().enumerate() {
+            assert_eq!(*best, Some(slot));
+        }
+    }
+
+    #[test]
+    fn breaker_threshold_delays_repair() {
+        let mut eng = engine(2, 16);
+        eng.cfg.breaker_threshold = 3;
+        eng.breaker = CircuitBreaker::new(3);
+        for r in 0..2 {
+            eng.store(r, &ramp(16, r)).unwrap();
+        }
+        let ref_phys = 2 + eng.array().resilience_config().spare_rows;
+        for stage in 0..16 {
+            eng.array_mut()
+                .inject(
+                    ref_phys,
+                    stage,
+                    FaultKind::VthDrift {
+                        window_fraction: 0.05,
+                    },
+                )
+                .unwrap();
+        }
+        let batch = ramp_batch(16, 2);
+        // Misses 1 and 2: demoted to behavioral, no repair yet.
+        for expected_misses in 1..=2 {
+            let outcome = eng.serve(&batch).unwrap();
+            assert_eq!(outcome.backend, BackendKind::Behavioral);
+            assert_eq!(eng.stats().health_misses, expected_misses);
+            assert_eq!(eng.stats().repairs, 0);
+            assert_eq!(outcome.availability(), 1.0, "behavioral still answers");
+        }
+        // Miss 3 trips the breaker: repair runs and serving is promoted.
+        let outcome = eng.serve(&batch).unwrap();
+        assert_eq!(eng.stats().repairs, 1);
+        assert_eq!(outcome.backend, BackendKind::CompiledLut);
+        assert_eq!(eng.stats().promotions, 1);
+    }
+
+    #[test]
+    fn batch_width_mismatch_is_a_batch_level_error() {
+        let mut eng = engine(2, 8);
+        let err = eng.serve(&BatchQuery::new(5)).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn guarded_isolates_panics_for_any_engine() {
+        struct Flaky {
+            inner: crate::array::TdamArray,
+            calls: usize,
+        }
+        impl SimilarityEngine for Flaky {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn is_quantitative(&self) -> bool {
+                true
+            }
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn width(&self) -> usize {
+                self.inner.width()
+            }
+            fn bits_per_element(&self) -> u8 {
+                self.inner.bits_per_element()
+            }
+            fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+                self.inner.store(row, values)
+            }
+            fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(3) {
+                    panic!("flaky engine");
+                }
+                SimilarityEngine::search(&mut self.inner, query)
+            }
+        }
+        let cfg = ArrayConfig::paper_default().with_rows(2).with_stages(8);
+        let mut guarded = Guarded::new(
+            Flaky {
+                inner: crate::array::TdamArray::new(cfg).unwrap(),
+                calls: 0,
+            },
+            RuntimeConfig {
+                retry: RetryConfig {
+                    max_retries: 0,
+                    backoff: Duration::ZERO,
+                    backoff_cap: Duration::ZERO,
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        guarded.engine_mut().store(0, &ramp(8, 0)).unwrap();
+        let outcome = guarded.serve(&ramp_batch(8, 6));
+        // Every third call panics: slots 2 and 5 fail, the rest answer.
+        assert_eq!(outcome.answered(), 4);
+        assert_eq!(outcome.failed(), 2);
+        assert!(matches!(
+            outcome.slots[2],
+            QueryOutcome::Failed {
+                error: TdamError::Worker,
+                ..
+            }
+        ));
+        assert!(outcome.slots[0].is_ok() && outcome.slots[3].is_ok());
+    }
+
+    #[test]
+    fn guarded_retry_absorbs_transient_panics() {
+        struct PanicOnce {
+            inner: crate::array::TdamArray,
+            panicked: bool,
+        }
+        impl SimilarityEngine for PanicOnce {
+            fn name(&self) -> &str {
+                "panic-once"
+            }
+            fn is_quantitative(&self) -> bool {
+                true
+            }
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn width(&self) -> usize {
+                self.inner.width()
+            }
+            fn bits_per_element(&self) -> u8 {
+                self.inner.bits_per_element()
+            }
+            fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+                self.inner.store(row, values)
+            }
+            fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+                if !self.panicked {
+                    self.panicked = true;
+                    panic!("transient hiccup");
+                }
+                SimilarityEngine::search(&mut self.inner, query)
+            }
+        }
+        let cfg = ArrayConfig::paper_default().with_rows(1).with_stages(8);
+        let mut guarded = Guarded::new(
+            PanicOnce {
+                inner: crate::array::TdamArray::new(cfg).unwrap(),
+                panicked: false,
+            },
+            RuntimeConfig {
+                retry: zero_retry_backoff(),
+                ..RuntimeConfig::default()
+            },
+        );
+        let outcome = guarded.serve(&ramp_batch(8, 1));
+        assert_eq!(outcome.answered(), 1);
+        assert_eq!(outcome.retries, 1);
+    }
+
+    #[test]
+    fn chaos_campaign_replays_bit_identically() {
+        let cfg = ChaosConfig {
+            array: ArrayConfig::paper_default().with_stages(16).with_rows(4),
+            resilience: ResilienceConfig {
+                spare_rows: 2,
+                ..ResilienceConfig::default()
+            },
+            runtime: RuntimeConfig {
+                retry: zero_retry_backoff(),
+                threads: Some(3),
+                ..RuntimeConfig::default()
+            },
+            batches: 4,
+            batch_size: 8,
+            fault_rate: 0.01,
+            panic_rate: 0.05,
+            seed: 99,
+        };
+        let a = run_chaos(&cfg).unwrap();
+        let b = run_chaos(&cfg).unwrap();
+        assert_eq!(a, b, "chaos must replay bit-identically");
+        // And thread-count invariance: the fan-out must not leak into
+        // the results.
+        let mut cfg_threads = cfg.clone();
+        cfg_threads.runtime.threads = Some(1);
+        assert_eq!(run_chaos(&cfg_threads).unwrap(), a);
+    }
+
+    #[test]
+    fn circuit_breaker_counts_consecutive_misses() {
+        let mut b = CircuitBreaker::new(2);
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+        assert!(b.is_open());
+        b.record_success();
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn chaos_injection_is_pure_and_attempt_keyed() {
+        let c = ChaosInjection {
+            seed: 5,
+            panic_rate: 0.5,
+        };
+        for batch in 0..4u64 {
+            for slot in 0..16u64 {
+                assert_eq!(
+                    c.should_panic(batch, slot, 0),
+                    c.should_panic(batch, slot, 0)
+                );
+            }
+        }
+        // Attempt keying: some slot that panics at attempt 0 must not
+        // panic at some later attempt (otherwise retry could never help).
+        let escapes = (0..64u64).any(|slot| {
+            c.should_panic(0, slot, 0) && (1..4).any(|attempt| !c.should_panic(0, slot, attempt))
+        });
+        assert!(escapes);
+        let silent = ChaosInjection {
+            seed: 5,
+            panic_rate: 0.0,
+        };
+        assert!(!silent.should_panic(0, 0, 0));
+    }
+}
