@@ -12,7 +12,7 @@
 //! *hardware* would do: worst-case cycle breakdown and the pipelined
 //! initiation-interval QPS the paper's 2-step scheme sustains.
 //!
-//! Usage: `cargo run --release -p tdam-bench --bin ext_batch_throughput [--quick]`
+//! Usage: `cargo run --release -p tdam-bench --bin ext_batch_throughput [--quick] [--save]`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +21,7 @@ use tdam::array::TdamArray;
 use tdam::config::ArrayConfig;
 use tdam::engine::{BatchQuery, SimilarityEngine};
 use tdam::throughput::worst_case_cycle;
-use tdam_bench::{eng, header, quick_mode};
+use tdam_bench::{eng, quick_mode, rline, Report};
 
 fn main() {
     let (stages, rows, batch_size, repeats) = if quick_mode() {
@@ -30,6 +30,7 @@ fn main() {
         (128, 128, 256, 3)
     };
     let seed = 0xBA7C_u64;
+    let mut rpt = Report::new("ext_batch_throughput");
 
     let cfg = ArrayConfig::paper_default()
         .with_stages(stages)
@@ -51,7 +52,7 @@ fn main() {
         batch.push(&q).expect("push");
     }
 
-    header(&format!(
+    rpt.header(&format!(
         "batched query serving: {stages}x{rows} 2-bit array, {batch_size}-query batch"
     ));
 
@@ -71,7 +72,7 @@ fn main() {
 
     // Batched path: compile once, then serve the batch from the LUTs.
     let compiled = am.compile();
-    println!("compiled rows: {}/{}", compiled.compiled_rows(), rows);
+    rline!(rpt, "compiled rows: {}/{}", compiled.compiled_rows(), rows);
     let mut batched_results = Vec::new();
     let mut batch_best = f64::INFINITY;
     for _ in 0..repeats {
@@ -91,21 +92,27 @@ fn main() {
     let seq_qps = batch_size as f64 / seq_best;
     let batch_qps = batch_size as f64 / batch_best;
     let speedup = batch_qps / seq_qps;
-    println!("results identical: yes");
-    println!(
+    rline!(rpt, "results identical: yes");
+    rline!(
+        rpt,
         "sequential loop:  {:>10.3} ms  ({:>9.0} queries/s)",
         seq_best * 1e3,
         seq_qps
     );
-    println!(
+    rline!(
+        rpt,
         "batched + LUT:    {:>10.3} ms  ({:>9.0} queries/s)",
         batch_best * 1e3,
         batch_qps
     );
     if quick_mode() {
-        println!("speedup: {speedup:.2}x   (quick smoke run; the full run enforces >= 4x)");
+        rline!(
+            rpt,
+            "speedup: {speedup:.2}x   (quick smoke run; the full run enforces >= 4x)"
+        );
     } else {
-        println!(
+        rline!(
+            rpt,
             "speedup: {speedup:.2}x   (target >= 4x: {})",
             if speedup >= 4.0 { "PASS" } else { "MISS" }
         );
@@ -114,8 +121,9 @@ fn main() {
     // What the hardware itself would sustain: the paper's 2-step scheme
     // pipelines precharge/settle of query k+1 under propagation of k.
     let cycle = worst_case_cycle(&cfg).expect("cycle model");
-    header("analytic pipelined cycle-time model (worst-case mismatch)");
-    println!(
+    rpt.header("analytic pipelined cycle-time model (worst-case mismatch)");
+    rline!(
+        rpt,
         "cycle: precharge {} + settle {} + step-I {} + step-II {} + TDC {}",
         eng(cycle.precharge, "s"),
         eng(cycle.settle, "s"),
@@ -123,10 +131,12 @@ fn main() {
         eng(cycle.step_two, "s"),
         eng(cycle.tdc, "s"),
     );
-    println!(
+    rline!(
+        rpt,
         "hardware QPS: sequential {:.3e}, pipelined {:.3e}, batch({batch_size}) {:.3e}",
         cycle.sequential_qps(),
         cycle.pipelined_qps(),
         cycle.batch_qps(batch_size),
     );
+    rpt.finish();
 }

@@ -11,10 +11,10 @@
 //! plus 2% per-attempt worker panics — the runtime sustains ≥ 99%
 //! availability with zero silent wrong answers.
 //!
-//! Usage: `cargo run --release -p tdam-bench --bin ext_chaos_availability [--quick]`
+//! Usage: `cargo run --release -p tdam-bench --bin ext_chaos_availability [--quick] [--save]`
 
 use tdam::runtime::{run_chaos, ChaosConfig, DeadlinePolicy};
-use tdam_bench::{header, quick_mode};
+use tdam_bench::{quick_mode, rline, Report};
 
 fn campaign(fault_rate: f64, panic_rate: f64, batches: usize, batch_size: usize) -> ChaosConfig {
     let mut cfg = ChaosConfig::paper_default();
@@ -27,19 +27,22 @@ fn campaign(fault_rate: f64, panic_rate: f64, batches: usize, batch_size: usize)
 
 fn main() {
     let (batches, batch_size) = if quick_mode() { (8, 16) } else { (24, 32) };
+    let mut rpt = Report::new("ext_chaos_availability");
 
     // Injected chaos panics are caught by the runtime's per-slot isolation,
     // but the default hook would still print a backtrace for each one.
     // Silence the hook for the campaigns; restored before the assertions.
     std::panic::set_hook(Box::new(|_| {}));
 
-    header("TD-AM chaos campaign: 32 stages x 16 data rows, 8 spares, 2 reference rows");
-    println!(
+    rpt.header("TD-AM chaos campaign: 32 stages x 16 data rows, 8 spares, 2 reference rows");
+    rline!(
+        rpt,
         "{batches} batches x {batch_size} exact-match queries per (fault, panic) point; \
          retries 3, health probe every batch\n"
     );
 
-    println!(
+    rline!(
+        rpt,
         "{:>8} {:>8} {:>10} {:>9} {:>8} {:>7} {:>7} {:>9} {:>9} {:>8} {:>17}",
         "faults",
         "panics",
@@ -58,7 +61,8 @@ fn main() {
         for &panic_rate in &[0.0, 0.02, 0.10] {
             let cfg = campaign(fault_rate, panic_rate, batches, batch_size);
             let report = run_chaos(&cfg).expect("chaos campaign");
-            println!(
+            rline!(
+                rpt,
                 "{:>7.1}% {:>7.1}% {:>9.2}% {:>9} {:>8} {:>7} {:>7} {:>9} {:>9} {:>8} {:>17}",
                 fault_rate * 100.0,
                 panic_rate * 100.0,
@@ -83,7 +87,8 @@ fn main() {
     let mut cfg = campaign(0.01, 0.02, batches, batch_size);
     cfg.runtime.deadline = DeadlinePolicy::QueryBudget(batch_size / 2);
     let bounded = run_chaos(&cfg).expect("deadline campaign");
-    println!(
+    rline!(
+        rpt,
         "\nWith a {}-query deadline budget per {batch_size}-query batch: \
          {} answered, {} expired, {} silent wrong.",
         batch_size / 2,
@@ -94,7 +99,8 @@ fn main() {
 
     let _ = std::panic::take_hook();
     let report = acceptance.expect("acceptance point present in the sweep");
-    println!(
+    rline!(
+        rpt,
         "\nAt the acceptance point (1% cumulative cell faults, 2% per-attempt\n\
          worker panics) the runtime answered {:.2}% of {} queries with {}\n\
          silent wrong answers; {} answers carried an explicit degradation\n\
@@ -119,4 +125,5 @@ fn main() {
         bounded.silent_wrong, 0,
         "deadline-bounded serving must not introduce silent wrong answers"
     );
+    rpt.finish();
 }

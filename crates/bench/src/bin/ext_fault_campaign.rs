@@ -8,10 +8,10 @@
 //! rate the unrepaired array measurably mis-decodes, while spare-row
 //! repair restores ≥99% exact-decode accuracy.
 //!
-//! Usage: `cargo run --release -p tdam-bench --bin ext_fault_campaign [--quick]`
+//! Usage: `cargo run --release -p tdam-bench --bin ext_fault_campaign [--quick] [--save]`
 
 use tdam::resilience::{run_campaign, CampaignConfig, CampaignFault};
-use tdam_bench::{header, quick_mode};
+use tdam_bench::{quick_mode, rline, Report};
 
 fn run(repair: bool, trials: usize, queries: usize) -> tdam::resilience::CampaignResult {
     let mut cfg = CampaignConfig::paper_default();
@@ -38,14 +38,19 @@ fn run(repair: bool, trials: usize, queries: usize) -> tdam::resilience::Campaig
 
 fn main() {
     let (trials, queries) = if quick_mode() { (6, 16) } else { (24, 48) };
+    let mut rpt = Report::new("ext_fault_campaign");
 
-    header("TD-AM fault campaign: 32 stages x 16 data rows, 16 spares, 2 reference rows");
-    println!("{trials} trials x {queries} exact-match queries per (kind, rate) point\n");
+    rpt.header("TD-AM fault campaign: 32 stages x 16 data rows, 16 spares, 2 reference rows");
+    rline!(
+        rpt,
+        "{trials} trials x {queries} exact-match queries per (kind, rate) point\n"
+    );
 
     let baseline = run(false, trials, queries);
     let repaired = run(true, trials, queries);
 
-    println!(
+    rline!(
+        rpt,
         "{:>14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>8} {:>7}",
         "fault kind",
         "rate",
@@ -58,7 +63,8 @@ fn main() {
         "masked"
     );
     for (b, r) in baseline.points.iter().zip(&repaired.points) {
-        println!(
+        rline!(
+            rpt,
             "{:>14} {:>7.2}% {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>9.2} {:>8.2} {:>7.2}",
             b.kind.label(),
             b.rate * 100.0,
@@ -81,7 +87,8 @@ fn main() {
             .expect("1% stuck-mismatch point")
     };
     let (raw, rep) = (pick(&baseline), pick(&repaired));
-    println!(
+    rline!(
+        rpt,
         "\nAt a 1% hard-fault (stuck-mismatch) rate the unprotected array\n\
          exact-decodes {:.1}% of queries; after reference-row detection,\n\
          write-verify reprogramming, and spare-row remapping it recovers\n\
@@ -101,4 +108,5 @@ fn main() {
         raw.decode_accuracy < rep.decode_accuracy,
         "unrepaired decode accuracy should measurably trail repaired"
     );
+    rpt.finish();
 }

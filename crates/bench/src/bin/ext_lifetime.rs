@@ -7,11 +7,11 @@
 //! blur. For each lifetime point the worst-case Monte Carlo of Fig. 6 is
 //! rerun with the aged ladder + experimental variation.
 //!
-//! Usage: `cargo run --release -p tdam-bench --bin ext_lifetime [--quick]`
+//! Usage: `cargo run --release -p tdam-bench --bin ext_lifetime [--quick] [--save]`
 
 use tdam::config::ArrayConfig;
 use tdam::monte_carlo::{run, McConfig};
-use tdam_bench::{header, quick_mode};
+use tdam_bench::{quick_mode, rline, Report};
 use tdam_fefet::retention::Lifetime;
 use tdam_fefet::{VthVariation, PAPER_VTH, PAPER_VTH_SIGMA};
 
@@ -24,11 +24,17 @@ fn aged_variation(life: &Lifetime) -> VthVariation {
 fn main() {
     let runs = if quick_mode() { 150 } else { 600 };
     let array = ArrayConfig::paper_default().with_stages(64);
+    let mut rpt = Report::new("ext_lifetime");
 
-    header("TD-AM worst-case decode vs lifetime (64 stages, experimental sigma)");
-    println!(
+    rpt.header("TD-AM worst-case decode vs lifetime (64 stages, experimental sigma)");
+    rline!(
+        rpt,
         "{:>14} {:>14} {:>10} {:>14} {:>12}",
-        "P/E cycles", "retention", "window", "within margin", "decode ok"
+        "P/E cycles",
+        "retention",
+        "window",
+        "within margin",
+        "decode ok"
     );
     let scenarios: &[(f64, f64, &str)] = &[
         (0.0, 0.0, "fresh"),
@@ -45,17 +51,20 @@ fn main() {
         let variation = aged_variation(&life);
         let result =
             run(&McConfig::worst_case(array, variation, runs, 0x11FE)).expect("Monte Carlo");
-        println!(
+        rline!(
+            rpt,
             "{cycles:>14.1e} {seconds:>14.1e} {:>9.1}% {:>13.1}% {:>11.1}%   ({label})",
             life.window_fraction() * 100.0,
             result.within_margin * 100.0,
             result.decode_accuracy * 100.0
         );
     }
-    println!(
+    rline!(
+        rpt,
         "\nThe TD-AM decodes correctly well past 10-year retention; fatigue\n\
          beyond ~1e10 cycles contracts adjacent levels into the variation\n\
          floor and the decode collapses — a wear-leveling target, not a\n\
          design flaw (HDC class memories are written rarely)."
     );
+    rpt.finish();
 }

@@ -5,22 +5,27 @@
 //! the drive (mobility) while raising subthreshold leakage, which eats
 //! into the match cells' sensing margin.
 //!
-//! Usage: `cargo run --release -p tdam-bench --bin ext_temperature [--quick]`
+//! Usage: `cargo run --release -p tdam-bench --bin ext_temperature [--quick] [--save]`
 
 use tdam::cell::Cell;
 use tdam::config::{ArrayConfig, TechParams};
 use tdam::encoding::Encoding;
 use tdam::monte_carlo::{run, McConfig};
 use tdam::timing::StageTiming;
-use tdam_bench::{header, quick_mode};
+use tdam_bench::{quick_mode, rline, Report};
 use tdam_fefet::VthVariation;
 
 fn main() {
     let runs = if quick_mode() { 150 } else { 600 };
-    header("Stage timing and match leakage vs temperature (6 fF, 1.1 V)");
-    println!(
+    let mut rpt = Report::new("ext_temperature");
+    rpt.header("Stage timing and match leakage vs temperature (6 fF, 1.1 V)");
+    rline!(
+        rpt,
         "{:>8} {:>12} {:>12} {:>18}",
-        "temp", "d_INV (ps)", "d_C (ps)", "match leak (nA)"
+        "temp",
+        "d_INV (ps)",
+        "d_C (ps)",
+        "match leak (nA)"
     );
     let enc = Encoding::paper_default();
     for (label, kelvin) in [
@@ -35,7 +40,8 @@ fn main() {
         let leak = cell
             .discharge_current(1, tech.vdd, &tech.nmos)
             .expect("leak");
-        println!(
+        rline!(
+            rpt,
             "{label:>8} {:>12.2} {:>12.2} {:>18.3}",
             t.d_inv * 1e12,
             t.d_c * 1e12,
@@ -43,8 +49,14 @@ fn main() {
         );
     }
 
-    header("Worst-case decode across temperature (64 stages, experimental sigma)");
-    println!("{:>8} {:>14} {:>12}", "temp", "within margin", "decode ok");
+    rpt.header("Worst-case decode across temperature (64 stages, experimental sigma)");
+    rline!(
+        rpt,
+        "{:>8} {:>14} {:>12}",
+        "temp",
+        "within margin",
+        "decode ok"
+    );
     for (label, kelvin) in [("-40C", 233.0), ("25C", 298.0), ("125C", 398.0)] {
         let array = ArrayConfig {
             tech: TechParams::nominal_40nm().at_temperature(kelvin),
@@ -57,15 +69,18 @@ fn main() {
             0x7E39,
         ))
         .expect("Monte Carlo");
-        println!(
+        rline!(
+            rpt,
             "{label:>8} {:>13.1}% {:>11.1}%",
             result.within_margin * 100.0,
             result.decode_accuracy * 100.0
         );
     }
-    println!(
+    rline!(
+        rpt,
         "\nHot silicon is slower but the time-domain decode is ratiometric\n\
          (d_C and d_INV drift together), so decode accuracy holds across the\n\
          industrial range as long as the TDC reference tracks temperature."
     );
+    rpt.finish();
 }

@@ -17,6 +17,7 @@
 //! | `ext_fault_campaign` | Extension: fault-rate sweeps with/without detection + spare-row repair |
 //! | `ext_batch_throughput` | Extension: batched compiled-LUT serving vs sequential search, plus the pipelined cycle model |
 //! | `ext_chaos_availability` | Extension: serving-runtime availability under injected cell faults + worker panics |
+//! | `ext_recovery` | Extension: crash-injection campaign over the checkpoint/journal store + warm-start restore |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC
@@ -27,9 +28,112 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Returns true when `--save` was passed on the command line:
+/// [`Report::finish`] then archives the run's output under `results/`.
+pub fn save_mode() -> bool {
+    std::env::args().any(|a| a == "--save")
+}
+
+/// Collects a benchmark binary's printed lines so the run can be
+/// archived under `results/` — written through the same atomic
+/// temp-file + rename helper ([`tdam::store::atomic_write`]) the
+/// checkpoint store uses, so an interrupted run never leaves a
+/// half-written results file.
+///
+/// Use the [`rline!`](crate::rline) macro to print-and-capture:
+///
+/// ```
+/// use tdam_bench::{rline, Report};
+/// let mut rpt = Report::new("doc_example");
+/// rline!(rpt, "answered {} of {}", 9, 10);
+/// rline!(rpt); // blank line
+/// assert_eq!(rpt.text(), "answered 9 of 10\n\n");
+/// ```
+pub struct Report {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for the binary `name` (the archive becomes
+    /// `results/<name>.txt`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Prints one line to stdout and captures it for the archive.
+    pub fn line(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.lines.push(text);
+    }
+
+    /// Prints and captures a section header.
+    pub fn header(&mut self, title: &str) {
+        self.line(format!("\n=== {title} ==="));
+    }
+
+    /// Prints and captures an aligned series of `(x, y)` pairs.
+    pub fn series(&mut self, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+        self.line(format!("{x_label:>16} {y_label:>20}"));
+        for (x, y) in points {
+            self.line(format!("{x:>16.4} {y:>20.6e}"));
+        }
+    }
+
+    /// The captured output, one `\n`-terminated line per [`Report::line`].
+    pub fn text(&self) -> String {
+        let mut text = String::new();
+        for line in &self.lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Atomically writes the captured output to `<dir>/<name>.txt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic writer.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("{}.txt", self.name));
+        std::fs::create_dir_all(dir)?;
+        tdam::store::atomic_write(&path, self.text().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Archives the run under `results/` when `--save` was passed.
+    pub fn finish(&self) {
+        if save_mode() {
+            match self.save(Path::new("results")) {
+                Ok(path) => eprintln!("archived to {}", path.display()),
+                Err(e) => eprintln!("failed to archive results: {e}"),
+            }
+        }
+    }
+}
+
+/// Prints a formatted line to stdout *and* captures it into a
+/// [`Report`]; with no format arguments, emits a blank line.
+#[macro_export]
+macro_rules! rline {
+    ($report:expr $(,)?) => {
+        $report.line("")
+    };
+    ($report:expr, $($arg:tt)+) => {
+        $report.line(format!($($arg)+))
+    };
 }
 
 /// Formats a quantity in engineering notation with a unit.
@@ -85,5 +189,25 @@ mod tests {
     #[test]
     fn eng_handles_out_of_range() {
         assert!(eng(1e30, "x").contains('e'));
+    }
+
+    #[test]
+    fn report_captures_lines_and_saves_atomically() {
+        let mut rpt = Report::new("unit_report");
+        rpt.header("section");
+        rline!(rpt, "x = {}", 42);
+        rline!(rpt);
+        assert_eq!(rpt.text(), "\n=== section ===\nx = 42\n\n");
+
+        let dir = std::env::temp_dir().join(format!("tdam-bench-report-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = rpt.save(&dir).expect("save");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), rpt.text());
+        let tmp_left = std::fs::read_dir(&dir)
+            .expect("read_dir")
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|x| x == "tmp"));
+        assert!(!tmp_left);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

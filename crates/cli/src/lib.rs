@@ -34,6 +34,12 @@ impl From<tdam::TdamError> for CliError {
     }
 }
 
+impl From<tdam::store::StoreError> for CliError {
+    fn from(e: tdam::store::StoreError) -> Self {
+        Self::Simulation(e.to_string())
+    }
+}
+
 /// The usage text shown by `tdam-sim --help`.
 pub const USAGE: &str = "\
 tdam-sim — FeFET time-domain associative memory simulator
@@ -51,6 +57,8 @@ USAGE:
   tdam-sim bench-batch [--stages N] [--rows R] [--batch B] [--threads T] [--seed X]
   tdam-sim serve-chaos [--stages N] [--rows R] [--spares S] [--batches B] [--batch Q]
                    [--fault-rate P] [--panic-rate P] [--deadline-queries D] [--seed X]
+  tdam-sim checkpoint --dir D [--stages N] [--rows R] [--spares S] [--mutations M] [--seed X]
+  tdam-sim restore    --dir D
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -67,6 +75,13 @@ SUBCOMMANDS:
   serve-chaos  seeded chaos campaign against the fault-tolerant serving
                runtime: injected cell faults + worker panics, reporting
                availability and silent-wrong-answer counts
+  checkpoint   program a seeded deployment and persist it under --dir:
+               a CRC-checksummed snapshot plus a write-ahead journal of
+               the post-checkpoint mutations (--mutations, left
+               unflushed so restore demonstrates replay)
+  restore      recover the deployment under --dir: validate checksums,
+               fall back past damaged generations, replay the journal,
+               then revalidate with known-answer probes
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

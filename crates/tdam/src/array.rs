@@ -155,6 +155,14 @@ impl TdamArray {
         self.generation
     }
 
+    /// Overrides the mutation generation. Used by [`crate::store`] when
+    /// rebuilding an array from a checkpoint: the restored array adopts a
+    /// generation *strictly newer* than the one it was captured at, so
+    /// any [`CompiledSnapshot`] taken before the checkpoint is stale.
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
     /// The array configuration.
     pub fn config(&self) -> &ArrayConfig {
         &self.config

@@ -53,6 +53,10 @@
 //!   budgets with partial results, panic isolation, health probes with a
 //!   circuit breaker, and a compiled-LUT → behavioral → degraded backend
 //!   fallback chain
+//! - [`store`] — durable state: CRC-checksummed checkpoint snapshots with
+//!   atomic commit, a write-ahead journal of post-checkpoint mutations,
+//!   warm-start recovery that falls back to the last good generation, and
+//!   a seeded crash-injection campaign
 //! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
 //!   variation (the paper's "higher-precision potential" analysis)
 //! - [`power`] — idle static (leakage) power, the flip side of the
@@ -123,6 +127,7 @@ pub mod power;
 pub mod resilience;
 pub mod runtime;
 pub mod stage;
+pub mod store;
 pub mod tdc;
 pub mod throughput;
 pub mod timing;
@@ -133,6 +138,10 @@ pub use config::{ArrayConfig, TechParams};
 pub use encoding::Encoding;
 pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 pub use runtime::{BackendKind, BatchOutcome, QueryOutcome, ResilientEngine, RuntimeConfig};
+pub use store::{
+    run_crash_chaos, CheckpointStore, CrashChaosConfig, CrashChaosReport, DeploymentState,
+    DurableEngine, JournalOp, RecoveryReport, StoreError,
+};
 pub use timing::StageTiming;
 
 /// Errors from TD-AM construction and operation.

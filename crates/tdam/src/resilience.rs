@@ -293,20 +293,20 @@ impl ProbeStatus {
 /// table so repair can move them onto spares transparently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResilientArray {
-    array: TdamArray,
-    cfg: ResilienceConfig,
-    data_rows: usize,
+    pub(crate) array: TdamArray,
+    pub(crate) cfg: ResilienceConfig,
+    pub(crate) data_rows: usize,
     /// Logical row → physical row.
-    remap: Vec<usize>,
-    spare_used: Vec<bool>,
-    health: Vec<RowHealth>,
+    pub(crate) remap: Vec<usize>,
+    pub(crate) spare_used: Vec<bool>,
+    pub(crate) health: Vec<RowHealth>,
     /// Injected cell faults, in *physical* coordinates.
-    faults: FaultMap,
+    pub(crate) faults: FaultMap,
     /// Physical rows with a severed chain (a broken stage): the pulse
     /// never reaches the TDC, which counts to its cap.
-    broken: BTreeSet<usize>,
+    pub(crate) broken: BTreeSet<usize>,
     /// Columns masked out of the distance arithmetic.
-    masked: BTreeSet<usize>,
+    pub(crate) masked: BTreeSet<usize>,
 }
 
 impl ResilientArray {
@@ -473,6 +473,18 @@ impl ResilientArray {
             self.rebuild_row(row)?;
         }
         Ok(())
+    }
+
+    /// Ages every physical row — data, spares, and reference rows alike —
+    /// through the given lifetime (see [`TdamArray::age`]). Reference
+    /// rows age with the data they guard, so the known-answer health
+    /// probes exercise end-of-life margins rather than fresh-device ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-construction errors from [`TdamArray::age`].
+    pub fn age(&mut self, lifetime: &tdam_fefet::retention::Lifetime) -> Result<(), TdamError> {
+        self.array.age(lifetime)
     }
 
     /// The corrected decode for a physical row: broken chains read

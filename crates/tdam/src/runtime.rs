@@ -257,8 +257,8 @@ impl BatchOutcome {
 /// Counts consecutive health-probe misses; trips at the threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitBreaker {
-    misses: usize,
-    threshold: usize,
+    pub(crate) misses: usize,
+    pub(crate) threshold: usize,
 }
 
 impl CircuitBreaker {
@@ -347,14 +347,14 @@ impl ChaosInjection {
 /// [`ResilientArray::search`] on the bare array (see `tests/chaos.rs`).
 #[derive(Debug)]
 pub struct ResilientEngine {
-    array: ResilientArray,
-    cfg: RuntimeConfig,
-    snapshot: Option<CompiledSnapshot>,
-    backend: BackendKind,
-    breaker: CircuitBreaker,
-    batches_since_check: usize,
-    chaos: Option<ChaosInjection>,
-    stats: RuntimeStats,
+    pub(crate) array: ResilientArray,
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) snapshot: Option<CompiledSnapshot>,
+    pub(crate) backend: BackendKind,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) batches_since_check: usize,
+    pub(crate) chaos: Option<ChaosInjection>,
+    pub(crate) stats: RuntimeStats,
 }
 
 impl ResilientEngine {
@@ -412,6 +412,11 @@ impl ResilientEngine {
     /// Serving statistics so far.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// The runtime configuration this engine serves under.
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.cfg
     }
 
     /// Stores a vector at a logical row (invalidating compiled tables).
