@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of the batched query path: compiled-LUT
 //! chain evaluation vs the full behavioral model, and whole-batch serving
-//! through `CompiledArray::search_batch`.
+//! through `CompiledArray::search_batch` (which now rides the bit-sliced
+//! packed kernel; see `packed_vs_lut.rs` for the tier-by-tier comparison).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;

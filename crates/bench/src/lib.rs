@@ -124,6 +124,140 @@ impl Report {
     }
 }
 
+/// Minimal hand-rolled JSON object builder for machine-readable
+/// benchmark sidecars (the harness deliberately has no JSON
+/// dependency). Keys keep insertion order; floats render via Rust's
+/// shortest round-trip formatting, with non-finite values mapped to
+/// `null`.
+///
+/// ```
+/// use tdam_bench::JsonMap;
+/// let json = JsonMap::new()
+///     .str("scenario", "smoke")
+///     .int("rows", 64)
+///     .num("qps", 1.5)
+///     .obj("nested", JsonMap::new().num("x", f64::NAN));
+/// assert_eq!(
+///     json.render(),
+///     "{\n  \"scenario\": \"smoke\",\n  \"rows\": 64,\n  \"qps\": 1.5,\n  \
+///      \"nested\": {\n    \"x\": null\n  }\n}"
+/// );
+/// ```
+#[derive(Default)]
+pub struct JsonMap {
+    entries: Vec<(String, String)>,
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonMap {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.entries.push((json_escape(key), rendered));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = format!("\"{}\"", json_escape(value));
+        self.push(key, rendered)
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(self, key: &str, value: i64) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a number field; NaN and infinities become `null`.
+    #[must_use]
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.push(key, rendered)
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(self, key: &str, value: JsonMap) -> Self {
+        let rendered = value.render();
+        self.push(key, rendered)
+    }
+
+    /// Renders the object with two-space indentation.
+    pub fn render(&self) -> String {
+        if self.entries.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            // Re-indent nested renders so depth composes.
+            let value = value.replace('\n', "\n  ");
+            out.push_str(&format!("  \"{key}\": {value}"));
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out
+    }
+
+    /// Atomically writes `<dir>/<name>.json` (trailing newline added).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic writer.
+    pub fn save(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("{name}.json"));
+        std::fs::create_dir_all(dir)?;
+        let mut text = self.render();
+        text.push('\n');
+        tdam::store::atomic_write(&path, text.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Archives the sidecar to `results/<name>.json` when `--save` was
+    /// passed, mirroring [`Report::finish`].
+    pub fn finish(&self, name: &str) {
+        if save_mode() {
+            match self.save(Path::new("results"), name) {
+                Ok(path) => eprintln!("archived to {}", path.display()),
+                Err(e) => eprintln!("failed to archive JSON sidecar: {e}"),
+            }
+        }
+    }
+}
+
 /// Prints a formatted line to stdout *and* captures it into a
 /// [`Report`]; with no format arguments, emits a blank line.
 #[macro_export]
@@ -189,6 +323,37 @@ mod tests {
     #[test]
     fn eng_handles_out_of_range() {
         assert!(eng(1e30, "x").contains('e'));
+    }
+
+    #[test]
+    fn json_map_escapes_and_nests() {
+        let json = JsonMap::new()
+            .str("a \"b\"\n", "x\\y")
+            .int("n", -3)
+            .bool("ok", true)
+            .num("inf", f64::INFINITY)
+            .obj(
+                "inner",
+                JsonMap::new().num("pi", 3.5).obj("empty", JsonMap::new()),
+            );
+        let text = json.render();
+        assert!(text.contains("\"a \\\"b\\\"\\n\": \"x\\\\y\""));
+        assert!(text.contains("\"n\": -3"));
+        assert!(text.contains("\"ok\": true"));
+        assert!(text.contains("\"inf\": null"));
+        assert!(text.contains("    \"pi\": 3.5"));
+        assert!(text.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn json_map_saves_atomically() {
+        let dir = std::env::temp_dir().join(format!("tdam-bench-json-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let json = JsonMap::new().num("qps", 125.0);
+        let path = json.save(&dir, "BENCH_unit").expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text, "{\n  \"qps\": 125\n}\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

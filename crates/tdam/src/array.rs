@@ -11,6 +11,7 @@ use crate::chain::{ChainResult, DelayChain};
 use crate::config::ArrayConfig;
 use crate::energy::EnergyBreakdown;
 use crate::engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
+use crate::packed::{PackedArray, PackedScratch};
 use crate::tdc::CounterTdc;
 use crate::timing::StageTiming;
 use crate::TdamError;
@@ -176,6 +177,14 @@ impl TdamArray {
     /// The per-row TDC model.
     pub fn tdc(&self) -> &CounterTdc {
         &self.tdc
+    }
+
+    /// The per-row delay chains, in physical row order. Crate-internal:
+    /// the packed serving representation ([`crate::packed`]) reads cell
+    /// states and nominality directly from the chains when building its
+    /// bit planes.
+    pub(crate) fn chains(&self) -> &[DelayChain] {
+        &self.chains
     }
 
     /// The vector stored at `row`.
@@ -402,44 +411,11 @@ impl TdamArray {
     /// Digitizes per-chain results and aggregates the array-level energy
     /// and latency — shared by the reference and compiled search paths.
     fn assemble(&self, results: Vec<ChainResult>) -> SearchOutcome {
-        let mut rows = Vec::with_capacity(results.len());
-        let mut energy = EnergyBreakdown::default();
-        let mut worst_rise: f64 = 0.0;
-        let mut worst_fall: f64 = 0.0;
+        let mut acc = OutcomeAccumulator::new(results.len());
         for chain_result in results {
-            let count = self.tdc.convert(chain_result.total_delay);
-            let decoded = self.tdc.decode_mismatches(
-                &self.timing,
-                self.config.stages,
-                chain_result.total_delay,
-            );
-            // Row energies, minus the shared SL drivers (added once below).
-            let mut row_energy = chain_result.energy;
-            row_energy.search_lines = 0.0;
-            row_energy.tdc = self.tdc.conversion_energy(chain_result.total_delay);
-            energy.accumulate(&row_energy);
-            worst_rise = worst_rise.max(chain_result.rising_delay);
-            worst_fall = worst_fall.max(chain_result.falling_delay);
-            rows.push(RowResult {
-                chain: chain_result,
-                count,
-                decoded_mismatches: decoded,
-            });
+            acc.push_chain(self, chain_result);
         }
-        // Shared search-line drivers, once per column pair.
-        energy.search_lines = self.config.stages as f64 * self.timing.e_sl;
-        // Full search cycle: precharge, search-line settle (pulse launch
-        // window), both propagation steps, and the final TDC latch.
-        let latency = self.config.tech.t_precharge
-            + self.config.tech.t_launch
-            + worst_rise
-            + worst_fall
-            + self.tdc.resolution;
-        SearchOutcome {
-            rows,
-            energy,
-            latency,
-        }
+        acc.finish(self)
     }
 
     /// Compiles every nominal row into flat per-cell delay tables (see
@@ -455,6 +431,7 @@ impl TdamArray {
         CompiledArray {
             array: self,
             compiled: self.chains.iter().map(DelayChain::compile).collect(),
+            packed: PackedArray::build(self, &std::collections::BTreeSet::new()),
             generation: self.generation,
         }
     }
@@ -468,7 +445,87 @@ impl TdamArray {
         CompiledSnapshot {
             array: self.clone(),
             compiled: self.chains.iter().map(DelayChain::compile).collect(),
+            packed: PackedArray::build(self, &std::collections::BTreeSet::new()),
             generation: self.generation,
+        }
+    }
+}
+
+/// Incremental row digitization and array-level aggregation: the loop
+/// body of [`TdamArray::assemble`], factored out so the packed serving
+/// path ([`crate::packed`]) can push already-digitized rows without
+/// materializing an intermediate `Vec<ChainResult>` per query — with the
+/// same accumulation order (row order), so the energy arithmetic stays
+/// bitwise identical between the paths whenever the per-row figures are.
+struct OutcomeAccumulator {
+    rows: Vec<RowResult>,
+    energy: EnergyBreakdown,
+    worst_rise: f64,
+    worst_fall: f64,
+}
+
+impl OutcomeAccumulator {
+    fn new(rows: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(rows),
+            energy: EnergyBreakdown::default(),
+            worst_rise: 0.0,
+            worst_fall: 0.0,
+        }
+    }
+
+    /// Digitizes one behavioral/LUT chain result and accumulates it.
+    fn push_chain(&mut self, array: &TdamArray, chain_result: ChainResult) {
+        let count = array.tdc.convert(chain_result.total_delay);
+        let decoded = array.tdc.decode_mismatches(
+            &array.timing,
+            array.config.stages,
+            chain_result.total_delay,
+        );
+        let tdc_energy = array.tdc.conversion_energy(chain_result.total_delay);
+        self.push_row(
+            RowResult {
+                chain: chain_result,
+                count,
+                decoded_mismatches: decoded,
+            },
+            tdc_energy,
+        );
+    }
+
+    /// Accumulates an already-digitized row (the packed path's entry:
+    /// its count-indexed digests arrive with the TDC view precomputed).
+    fn push_row(&mut self, row: RowResult, tdc_energy: f64) {
+        // Row energies, minus the shared SL drivers (added once at finish).
+        let mut row_energy = row.chain.energy;
+        row_energy.search_lines = 0.0;
+        row_energy.tdc = tdc_energy;
+        self.energy.accumulate(&row_energy);
+        self.worst_rise = self.worst_rise.max(row.chain.rising_delay);
+        self.worst_fall = self.worst_fall.max(row.chain.falling_delay);
+        self.rows.push(row);
+    }
+
+    fn finish(self, array: &TdamArray) -> SearchOutcome {
+        let Self {
+            rows,
+            mut energy,
+            worst_rise,
+            worst_fall,
+        } = self;
+        // Shared search-line drivers, once per column pair.
+        energy.search_lines = array.config.stages as f64 * array.timing.e_sl;
+        // Full search cycle: precharge, search-line settle (pulse launch
+        // window), both propagation steps, and the final TDC latch.
+        let latency = array.config.tech.t_precharge
+            + array.config.tech.t_launch
+            + worst_rise
+            + worst_fall
+            + array.tdc.resolution;
+        SearchOutcome {
+            rows,
+            energy,
+            latency,
         }
     }
 }
@@ -483,13 +540,7 @@ fn compiled_search(
     // Validate once up front; the per-row table walks then skip the
     // redundant length/range checks (the dominant overhead for small
     // compiled rows).
-    if query.len() != array.config.stages {
-        return Err(TdamError::LengthMismatch {
-            got: query.len(),
-            expected: array.config.stages,
-        });
-    }
-    array.config.encoding.validate(query)?;
+    validate_query(array, query)?;
     let results = compiled
         .iter()
         .zip(&array.chains)
@@ -499,6 +550,94 @@ fn compiled_search(
         })
         .collect::<Result<Vec<_>, _>>()?;
     Ok(array.assemble(results))
+}
+
+/// Shape- and range-checks one query against the array geometry.
+fn validate_query(array: &TdamArray, query: &[u8]) -> Result<(), TdamError> {
+    if query.len() != array.config.stages {
+        return Err(TdamError::LengthMismatch {
+            got: query.len(),
+            expected: array.config.stages,
+        });
+    }
+    array.config.encoding.validate(query)
+}
+
+/// Shape- and range-checks a whole batch in one pass over its contiguous
+/// element storage, so the per-query worker loop can skip validation.
+fn validate_batch(array: &TdamArray, batch: &BatchQuery) -> Result<(), TdamError> {
+    if batch.width() != array.config.stages {
+        return Err(TdamError::LengthMismatch {
+            got: batch.width(),
+            expected: array.config.stages,
+        });
+    }
+    array.config.encoding.validate(batch.elements())
+}
+
+/// One packed-kernel search over a pre-validated query: packed rows go
+/// through the XOR/popcount kernel and count-indexed digitization
+/// ([`crate::packed`]), the rest fall back to the full behavioral model
+/// and the shared [`OutcomeAccumulator`] arithmetic. Shared by
+/// [`CompiledArray`] and [`CompiledSnapshot`]; the caller owns validation,
+/// staleness checks, and the reusable scratch.
+fn packed_search_prevalidated(
+    array: &TdamArray,
+    packed: &PackedArray,
+    query: &[u8],
+    scratch: &mut PackedScratch,
+) -> Result<SearchOutcome, TdamError> {
+    packed.expand_query(query, scratch);
+    let mut acc = OutcomeAccumulator::new(array.chains.len());
+    for (row, chain) in array.chains.iter().enumerate() {
+        if packed.is_packed(row) {
+            let (even, odd) = packed.row_mismatches(row, scratch);
+            let (row_result, tdc_energy) = packed.digitize(even, odd);
+            acc.push_row(row_result, tdc_energy);
+        } else {
+            acc.push_chain(array, chain.evaluate(query)?);
+        }
+    }
+    Ok(acc.finish(array))
+}
+
+/// One decision-only packed search over a pre-validated query: decoded
+/// per-row distances and the winner, with no per-row analog
+/// reconstruction — the output the hardware TDC actually exports, at a
+/// fraction of the materialization cost of a full [`SearchOutcome`].
+/// Decisions are exactly identical to the full paths' ([`SearchOutcome::
+/// best_row`]/[`SearchOutcome::decoded`]); non-packed rows fall back to
+/// the behavioral model's decode.
+fn packed_decide_prevalidated(
+    array: &TdamArray,
+    packed: &PackedArray,
+    query: &[u8],
+    scratch: &mut PackedScratch,
+) -> Result<crate::packed::PackedDecision, TdamError> {
+    packed.expand_query(query, scratch);
+    let mut distances = Vec::with_capacity(array.chains.len());
+    let mut best: Option<(usize, usize)> = None;
+    for (row, chain) in array.chains.iter().enumerate() {
+        let decoded = if packed.is_packed(row) {
+            let (even, odd) = packed.row_mismatches(row, scratch);
+            packed.decoded(even, odd)
+        } else {
+            let r = chain.evaluate(query)?;
+            array
+                .tdc
+                .decode_mismatches(&array.timing, array.config.stages, r.total_delay)
+        };
+        // Strictly-less keeps the first minimal row, matching
+        // `SearchOutcome::best_row`'s tie-break.
+        if best.is_none_or(|(_, d)| decoded < d) {
+            best = Some((row, decoded));
+        }
+        distances.push(decoded);
+    }
+    Ok(crate::packed::PackedDecision {
+        best_row: best.map(|(row, _)| row),
+        distances,
+    })
 }
 
 /// A read-only compiled view of a [`TdamArray`]: every nominal row's
@@ -511,6 +650,7 @@ fn compiled_search(
 pub struct CompiledArray<'a> {
     array: &'a TdamArray,
     compiled: Vec<Option<crate::chain::CompiledChain>>,
+    packed: PackedArray,
     generation: u64,
 }
 
@@ -519,6 +659,20 @@ impl CompiledArray<'_> {
     /// full variation-aware model).
     pub fn compiled_rows(&self) -> usize {
         self.compiled.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// How many rows the bit-sliced packed kernel serves (the rest fall
+    /// back to the full variation-aware model). Equals
+    /// [`CompiledArray::compiled_rows`]: packing and LUT compilation
+    /// refuse exactly the same (non-nominal or degenerate-timing) rows.
+    pub fn packed_rows(&self) -> usize {
+        self.packed.packed_rows()
+    }
+
+    /// The bit-sliced packed view backing [`CompiledArray::search_packed`]
+    /// and the batched path.
+    pub fn packed(&self) -> &PackedArray {
+        &self.packed
     }
 
     /// Whether every row is served from a lookup table.
@@ -551,9 +705,35 @@ impl CompiledArray<'_> {
         compiled_search(self.array, &self.compiled, query)
     }
 
-    /// Answers a whole batch, fanning queries out across `threads` worker
-    /// threads (`None` = all cores; see [`crate::parallel`]). Results are
-    /// in batch order and bit-identical for every thread count.
+    /// Searches one query through the bit-sliced packed kernel
+    /// ([`crate::packed`]): mismatch counts, decoded distances, and the
+    /// winner are exactly identical to [`TdamArray::search`]; the analog
+    /// delay figures are reconstructed count-indexed and agree within the
+    /// documented ulp bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledArray::search`].
+    pub fn search_packed(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        if self.array.generation != self.generation {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: self.array.generation,
+            });
+        }
+        validate_query(self.array, query)?;
+        let mut scratch = self.packed.scratch();
+        packed_search_prevalidated(self.array, &self.packed, query, &mut scratch)
+    }
+
+    /// Answers a whole batch through the packed kernel, fanning queries
+    /// out across `threads` worker threads (`None` = all cores; see
+    /// [`crate::parallel`]). Validation is hoisted to one pass over the
+    /// whole batch and each worker reuses one query-plane scratch, so the
+    /// hot loop performs no per-query heap allocation. Results are in
+    /// batch order and bit-identical for every thread count; versus the
+    /// behavioral model they carry the packed equivalence contract
+    /// ([`crate::packed`]).
     ///
     /// # Errors
     ///
@@ -563,7 +743,69 @@ impl CompiledArray<'_> {
         batch: &crate::engine::BatchQuery,
         threads: Option<usize>,
     ) -> Result<Vec<SearchOutcome>, TdamError> {
+        if self.array.generation != self.generation {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: self.array.generation,
+            });
+        }
+        validate_batch(self.array, batch)?;
+        crate::parallel::run_chunked_scratch(
+            batch.len(),
+            threads,
+            || self.packed.scratch(),
+            |scratch, i| {
+                packed_search_prevalidated(self.array, &self.packed, batch.get(i), scratch)
+            },
+        )
+    }
+
+    /// Answers a whole batch through the scalar per-cell delay LUTs —
+    /// the pre-packed serving path, kept as the bit-identical-to-
+    /// behavioral comparison tier for benchmarks and equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledArray::search_batch`].
+    pub fn search_batch_lut(
+        &self,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<SearchOutcome>, TdamError> {
         crate::parallel::run_chunked(batch.len(), threads, |i| self.search(batch.get(i)))
+    }
+
+    /// Answers a whole batch decision-only: per-query winner and decoded
+    /// distances ([`crate::packed::PackedDecision`]), skipping the
+    /// per-row analog reconstruction entirely. This is the kernel at
+    /// full speed — the output is what the hardware TDC exports — and
+    /// its fields are exactly identical to [`SearchOutcome::best_row`] /
+    /// [`SearchOutcome::decoded`] from [`CompiledArray::search_batch`]
+    /// on the same batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledArray::search_batch`].
+    pub fn decide_batch(
+        &self,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<crate::packed::PackedDecision>, TdamError> {
+        if self.array.generation != self.generation {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: self.array.generation,
+            });
+        }
+        validate_batch(self.array, batch)?;
+        crate::parallel::run_chunked_scratch(
+            batch.len(),
+            threads,
+            || self.packed.scratch(),
+            |scratch, i| {
+                packed_decide_prevalidated(self.array, &self.packed, batch.get(i), scratch)
+            },
+        )
     }
 }
 
@@ -586,6 +828,7 @@ impl CompiledArray<'_> {
 pub struct CompiledSnapshot {
     array: TdamArray,
     compiled: Vec<Option<crate::chain::CompiledChain>>,
+    packed: PackedArray,
     generation: u64,
 }
 
@@ -611,6 +854,18 @@ impl CompiledSnapshot {
     /// Whether every row is served from a lookup table.
     pub fn fully_compiled(&self) -> bool {
         self.compiled.iter().all(Option::is_some)
+    }
+
+    /// How many rows the bit-sliced packed kernel serves (equals
+    /// [`CompiledSnapshot::compiled_rows`]; see
+    /// [`CompiledArray::packed_rows`]).
+    pub fn packed_rows(&self) -> usize {
+        self.packed.packed_rows()
+    }
+
+    /// The bit-sliced packed view backing the packed serving paths.
+    pub fn packed(&self) -> &PackedArray {
+        &self.packed
     }
 
     /// Searches one query, first verifying the snapshot still matches
@@ -642,8 +897,47 @@ impl CompiledSnapshot {
         compiled_search(&self.array, &self.compiled, query)
     }
 
-    /// Answers a whole batch, verifying freshness against `source` once
-    /// up front, then fanning queries out across `threads` workers.
+    /// Searches one query through the bit-sliced packed kernel, first
+    /// verifying the snapshot still matches `source`. Decisions (counts,
+    /// decoded distances, winner) are exactly identical to the behavioral
+    /// model; delays carry the packed reconstruction contract
+    /// ([`crate::packed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSnapshot::search`].
+    pub fn search_packed(
+        &self,
+        source: &TdamArray,
+        query: &[u8],
+    ) -> Result<SearchOutcome, TdamError> {
+        if !self.is_fresh(source) {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: source.generation,
+            });
+        }
+        self.search_packed_unchecked(query)
+    }
+
+    /// Packed-kernel search against the snapshot's own frozen state,
+    /// without consulting the source array (see
+    /// [`CompiledSnapshot::search_unchecked`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`TdamArray::search`].
+    pub fn search_packed_unchecked(&self, query: &[u8]) -> Result<SearchOutcome, TdamError> {
+        validate_query(&self.array, query)?;
+        let mut scratch = self.packed.scratch();
+        packed_search_prevalidated(&self.array, &self.packed, query, &mut scratch)
+    }
+
+    /// Answers a whole batch through the packed kernel, verifying
+    /// freshness against `source` once up front, then fanning queries out
+    /// across `threads` workers with one reused query-plane scratch per
+    /// worker and batch-level validation (no per-query allocation or
+    /// re-validation in the hot loop).
     ///
     /// # Errors
     ///
@@ -661,9 +955,69 @@ impl CompiledSnapshot {
                 current: source.generation,
             });
         }
+        validate_batch(&self.array, batch)?;
+        crate::parallel::run_chunked_scratch(
+            batch.len(),
+            threads,
+            || self.packed.scratch(),
+            |scratch, i| {
+                packed_search_prevalidated(&self.array, &self.packed, batch.get(i), scratch)
+            },
+        )
+    }
+
+    /// Answers a whole batch through the scalar per-cell delay LUTs (the
+    /// bit-identical-to-behavioral comparison tier; see
+    /// [`CompiledArray::search_batch_lut`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSnapshot::search_batch`].
+    pub fn search_batch_lut(
+        &self,
+        source: &TdamArray,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<SearchOutcome>, TdamError> {
+        if !self.is_fresh(source) {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: source.generation,
+            });
+        }
         crate::parallel::run_chunked(batch.len(), threads, |i| {
             self.search_unchecked(batch.get(i))
         })
+    }
+
+    /// Answers a whole batch decision-only against the snapshot's frozen
+    /// state after a freshness check (see
+    /// [`CompiledArray::decide_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSnapshot::search_batch`].
+    pub fn decide_batch(
+        &self,
+        source: &TdamArray,
+        batch: &crate::engine::BatchQuery,
+        threads: Option<usize>,
+    ) -> Result<Vec<crate::packed::PackedDecision>, TdamError> {
+        if !self.is_fresh(source) {
+            return Err(TdamError::StaleCompile {
+                compiled: self.generation,
+                current: source.generation,
+            });
+        }
+        validate_batch(&self.array, batch)?;
+        crate::parallel::run_chunked_scratch(
+            batch.len(),
+            threads,
+            || self.packed.scratch(),
+            |scratch, i| {
+                packed_decide_prevalidated(&self.array, &self.packed, batch.get(i), scratch)
+            },
+        )
     }
 }
 
@@ -710,9 +1064,12 @@ impl SimilarityEngine for TdamArray {
         Ok(outcome.metrics())
     }
 
-    /// Batched override: compiles nominal rows into delay lookup tables
-    /// once, then fans the queries out across all cores. Bit-identical to
-    /// the sequential default (see `tests/batch_parallel.rs`).
+    /// Batched override: packs nominal rows into the bit-sliced kernel
+    /// once, then fans the queries out across all cores. Winners and
+    /// decoded distances are exactly identical to the sequential default;
+    /// analog delay/latency figures carry the packed reconstruction
+    /// contract ([`crate::packed`]; pinned in `tests/batch_parallel.rs`
+    /// and `tests/packed_equiv.rs`).
     fn search_batch(&mut self, batch: &BatchQuery) -> Result<BatchResult, TdamError> {
         if batch.width() != self.config.stages {
             return Err(TdamError::LengthMismatch {
@@ -929,13 +1286,58 @@ mod tests {
         let batch = BatchQuery::from_rows(&rows).unwrap();
         let batched = am.search_batch(&batch).unwrap();
         assert_eq!(batched.len(), 10);
+        // The packed batch path preserves the decision exactly; the analog
+        // figures are reconstructed count-indexed and agree to ulps (see
+        // crate::packed).
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs());
         for (i, q) in rows.iter().enumerate() {
             let single = SimilarityEngine::search(&mut am, q).unwrap();
-            assert_eq!(batched.queries[i], single);
+            let got = &batched.queries[i];
+            assert_eq!(got.best_row, single.best_row);
+            assert_eq!(got.distances, single.distances);
+            assert!(close(got.energy, single.energy));
+            assert!(close(got.latency, single.latency));
         }
         // Width mismatch rejected before any work.
         let bad = BatchQuery::new(5);
         assert!(am.search_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn packed_search_single_query_matches_batch_path() {
+        let mut am = array(4, 10);
+        for row in 0..4 {
+            let v: Vec<u8> = (0..10).map(|i| ((i * 2 + row) % 4) as u8).collect();
+            am.store(row, &v).unwrap();
+        }
+        let compiled = am.compile();
+        assert_eq!(compiled.packed_rows(), compiled.compiled_rows());
+        let rows: Vec<Vec<u8>> = (0..5)
+            .map(|k| (0..10).map(|i| ((i + k) % 4) as u8).collect())
+            .collect();
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        let batched = compiled.search_batch(&batch, Some(1)).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(compiled.search_packed(q).unwrap(), batched[i]);
+        }
+        // The scalar LUT tier stays available and bit-identical to the
+        // behavioral reference.
+        let lut = compiled.search_batch_lut(&batch, Some(1)).unwrap();
+        for (i, q) in rows.iter().enumerate() {
+            assert_eq!(lut[i], TdamArray::search(&am, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn packed_batch_rejects_invalid_elements_up_front() {
+        let am = array(2, 4);
+        let compiled = am.compile();
+        let mut batch = BatchQuery::new(4);
+        batch.push(&[0, 1, 2, 3]).unwrap();
+        // Push a query with an out-of-range element for the 2-bit
+        // encoding: batch-level validation must reject the whole batch.
+        batch.push(&[0, 9, 0, 0]).unwrap();
+        assert!(compiled.search_batch(&batch, Some(1)).is_err());
     }
 
     #[test]

@@ -138,6 +138,14 @@ impl BatchQuery {
     pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
         self.data.chunks_exact(self.width)
     }
+
+    /// The whole batch as one contiguous element slice (`len × width`
+    /// elements in query order). Lets engines validate every query in a
+    /// single pass before fanning the batch out, instead of re-validating
+    /// per query inside the worker loop.
+    pub fn elements(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 /// Per-query results of a batched search, in batch order.
@@ -215,9 +223,14 @@ pub trait SimilarityEngine {
     ///
     /// The default implementation loops over [`SimilarityEngine::search`];
     /// engines whose search path is read-only override it to fan the batch
-    /// out across worker threads (see [`crate::parallel`]) and are
-    /// required to return **bit-identical** results to the sequential
-    /// loop.
+    /// out across worker threads (see [`crate::parallel`]). Overrides must
+    /// preserve the *decision* exactly — identical `best_row` and
+    /// `distances` for every query — and be deterministic for any thread
+    /// count. Analog figures (energy, latency) are required to be
+    /// bit-identical to the override's own single-query serving path;
+    /// engines whose batch path uses a different (equivalence-tested)
+    /// delay accumulation than the behavioral model document the bound
+    /// (see [`crate::packed`]).
     ///
     /// # Errors
     ///

@@ -122,6 +122,7 @@ pub mod engine;
 pub mod faults;
 pub mod margins;
 pub mod monte_carlo;
+pub mod packed;
 pub mod parallel;
 pub mod power;
 pub mod resilience;
@@ -137,6 +138,7 @@ pub use chain::DelayChain;
 pub use config::{ArrayConfig, TechParams};
 pub use encoding::Encoding;
 pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
+pub use packed::{PackedArray, PackedDecision, PackedScratch};
 pub use runtime::{BackendKind, BatchOutcome, QueryOutcome, ResilientEngine, RuntimeConfig};
 pub use store::{
     run_crash_chaos, CheckpointStore, CrashChaosConfig, CrashChaosReport, DeploymentState,

@@ -1,0 +1,641 @@
+//! Bit-sliced packed serving kernel: XOR/popcount mismatch counting with
+//! count-indexed delay reconstruction.
+//!
+//! The TD-AM's serving decision reduces to counting per-parity code
+//! mismatches per row: a matching stage contributes `d_INV` to its step,
+//! a mismatching stage `d_INV + d_C` (see [`crate::chain`]). The scalar
+//! compiled path ([`crate::chain::CompiledChain`]) walks ~`stages`
+//! dependent f64 LUT loads per row to rediscover that count. This module
+//! replaces the walk with a bit-sliced compare:
+//!
+//! 1. **Packing** — each stored row's ≤4-bit level codes are bit-plane-
+//!    packed into `u64` words: bit `j mod 64` of plane word
+//!    `planes[row][b][j / 64]` is bit `b` of the level code stored at
+//!    stage `j`. A 128-stage 2-bit row shrinks from a 4 KiB f64 LUT to
+//!    four words.
+//! 2. **Query broadcast** — one query expands once per batch-worker into
+//!    the same plane layout ([`PackedArray::expand_query`]), then every
+//!    row reuses the expanded planes.
+//! 3. **Kernel** — per row and word: `XOR` the query planes against the
+//!    stored planes, `OR` the per-bit differences together (any differing
+//!    bit of the level code is one element mismatch), then `count_ones()`
+//!    under the even/odd stage-parity masks to get the step-I and step-II
+//!    mismatch counts directly ([`PackedArray::row_mismatches`]).
+//! 4. **Reconstruction** — delays, TDC digitization, and energies are
+//!    rebuilt from the `(even, odd)` counts via count-indexed tables
+//!    built by the same repeated-addition discipline as the scalar path's
+//!    cumulative energy tables (`PackedArray::digest`).
+//!
+//! # Equivalence contract
+//!
+//! For rows the behavioral model treats as nominal, the packed kernel's
+//! mismatch counts (`mismatches`, `even_mismatches`, `odd_mismatches`),
+//! the decoded per-row distances, and therefore the winner selection are
+//! **exactly identical** to [`crate::chain::DelayChain::evaluate`] — the
+//! counts are integers recovered by exact bitwise arithmetic.
+//!
+//! The analog delay figures are reconstructed, not accumulated in stage
+//! order, so they are **ulp-bounded** rather than bit-identical: the
+//! behavioral path sums `N` addends drawn from `{d_INV, d_INV + d_C}` in
+//! stage order, which is position-dependent in f64, while the packed path
+//! replays one canonical order (all `d_INV` first, then `k` times
+//! `d_C`). Both are correctly-rounded sums of the same `N + k` positive
+//! terms, so the relative difference is bounded by `2·(N + k)·ε` with
+//! `ε = 2⁻⁵²` — about `6e-14` for a 128-stage chain, versus a sensing
+//! margin of `d_C / 2` (a relative margin of roughly `1e-2`). The TDC's
+//! round-to-nearest decode ([`crate::tdc::CounterTdc::decode_mismatches`])
+//! is therefore immune to the reconstruction noise, which is what keeps
+//! the decoded distances exact. `tests/packed_equiv.rs` pins the bound.
+//!
+//! Rows holding variation-perturbed cells cannot be packed (their delay
+//! is not a pure function of the mismatch pattern) and keep the full
+//! behavioral fallback, exactly like the scalar compiled path.
+//!
+//! # Masked stages
+//!
+//! [`PackedArray::build`] accepts a set of masked stages (the digital
+//! column masks of [`crate::resilience`]): a masked stage is packed as
+//! **always-match** — its bit is cleared from both parity masks, so it
+//! contributes zero mismatches and `d_INV` per step regardless of the
+//! stored or queried code. A row whose only non-nominal cells sit in
+//! masked columns becomes packable again, which is how a stuck column
+//! rejoins the fast path after repair masks it off.
+
+use crate::array::RowResult;
+use crate::chain::ChainResult;
+use crate::energy::EnergyBreakdown;
+use crate::tdc::CounterTdc;
+use crate::timing::StageTiming;
+use crate::TdamArray;
+use std::collections::BTreeSet;
+
+/// Cap on the precomputed `(even, odd)` digest table. Above this the
+/// digests are computed per row instead — the table would outgrow the
+/// cache and lose the point. `(N/2 + 1)²` entries stay under the cap for
+/// chains up to 510 stages.
+const DIGEST_TABLE_CAP: usize = 1 << 16;
+
+/// Per-query scratch for the packed kernel: the query's broadcast bit
+/// planes, laid out exactly like one stored row's planes. Created once
+/// per worker ([`PackedArray::scratch`]) and refilled per query
+/// ([`PackedArray::expand_query`]), so the batch loop performs no
+/// per-query heap allocation.
+#[derive(Debug, Clone)]
+pub struct PackedScratch {
+    q_planes: Vec<u64>,
+}
+
+/// One query's digitized decision: the view the hardware exports off-array
+/// (the TDC's decoded per-row distances and the winner they select),
+/// without materializing the per-row analog reconstruction of a full
+/// [`SearchOutcome`](crate::array::SearchOutcome).
+///
+/// Produced by the decision-only batch paths
+/// ([`CompiledArray::decide_batch`](crate::array::CompiledArray::decide_batch)),
+/// whose fields are **exactly identical** to
+/// [`SearchOutcome::best_row`](crate::array::SearchOutcome::best_row) and
+/// [`SearchOutcome::decoded`](crate::array::SearchOutcome::decoded) on the
+/// same query — the decision layer of the equivalence contract above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedDecision {
+    /// Winner row: lowest decoded distance, ties broken toward the lowest
+    /// row index (`None` for an empty array).
+    pub best_row: Option<usize>,
+    /// Per-row decoded mismatch distances (the TDC output codes).
+    pub distances: Vec<usize>,
+}
+
+/// One row's digitized outcome as a pure function of its `(even, odd)`
+/// mismatch counts: reconstructed step delays plus the TDC view of the
+/// total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RowDigest {
+    rising: f64,
+    falling: f64,
+    total: f64,
+    count: u64,
+    decoded: usize,
+    tdc_energy: f64,
+}
+
+/// The bit-sliced packed view of a [`TdamArray`]: stored bit planes,
+/// parity masks, and the count-indexed reconstruction tables.
+///
+/// Built by [`PackedArray::build`] (callers usually go through
+/// [`TdamArray::compile`](crate::TdamArray::compile) /
+/// [`TdamArray::compile_snapshot`](crate::TdamArray::compile_snapshot),
+/// which carry a packed view alongside the scalar tables).
+#[derive(Debug, Clone)]
+pub struct PackedArray {
+    stages: usize,
+    bits: usize,
+    words: usize,
+    rows: usize,
+    /// `planes[(row * bits + b) * words + w]`: bit `b` of the codes
+    /// stored at stages `64·w .. 64·w + 63` of `row`.
+    planes: Vec<u64>,
+    /// Which rows are served by the kernel (the rest fall back to the
+    /// behavioral model).
+    packable: Vec<bool>,
+    even_mask: Vec<u64>,
+    odd_mask: Vec<u64>,
+    /// `step_delay[k]`: one step's delay with `k` active-stage
+    /// mismatches — `N` repeated additions of `d_INV` followed by `k`
+    /// repeated additions of `d_C` (the canonical accumulation order).
+    step_delay: Vec<f64>,
+    /// Flattened `(even, odd)` digest table, or empty when the row count
+    /// of the table would exceed [`DIGEST_TABLE_CAP`].
+    digests: Vec<RowDigest>,
+    /// Dense decoded-distance companion to `digests` (same indexing,
+    /// same emptiness): 4 bytes per entry instead of 48, so the
+    /// decision-only serving path stays cache-resident.
+    decoded_table: Vec<u32>,
+    max_even: usize,
+    max_odd: usize,
+    /// Cumulative load-cap / match-node energies by total mismatch
+    /// count, built by repeated addition exactly like the scalar path.
+    cum_cap_energy: Vec<f64>,
+    cum_mn_energy: Vec<f64>,
+    inverter_energy: f64,
+    search_line_energy: f64,
+    timing: StageTiming,
+    tdc: CounterTdc,
+}
+
+impl PackedArray {
+    /// Packs every nominal row of `array` into bit planes; stages listed
+    /// in `masked` are packed as always-match (see the module docs). Rows
+    /// with non-nominal cells outside the mask are flagged for the
+    /// behavioral fallback. A degenerate calibration where `d_INV + d_C`
+    /// is indistinguishable from `d_INV` refuses to pack any row, like
+    /// [`DelayChain::compile`](crate::chain::DelayChain::compile).
+    pub fn build(array: &TdamArray, masked: &BTreeSet<usize>) -> Self {
+        let config = array.config();
+        let timing = *array.timing();
+        let tdc = *array.tdc();
+        let stages = config.stages;
+        let bits = config.encoding.bits() as usize;
+        let words = stages.div_ceil(64);
+        let chains = array.chains();
+        let rows = chains.len();
+
+        // Parity masks with the tail beyond `stages` and every masked
+        // column cleared: a bit that survives neither mask can never be
+        // counted as a mismatch.
+        let mut even_mask = vec![0u64; words];
+        let mut odd_mask = vec![0u64; words];
+        for j in 0..stages {
+            if masked.contains(&j) {
+                continue;
+            }
+            let target = if j % 2 == 0 {
+                &mut even_mask
+            } else {
+                &mut odd_mask
+            };
+            target[j / 64] |= 1u64 << (j % 64);
+        }
+
+        let degenerate = timing.d_inv + timing.d_c == timing.d_inv;
+        let mut planes = vec![0u64; rows * bits * words];
+        let mut packable = Vec::with_capacity(rows);
+        for (row, chain) in chains.iter().enumerate() {
+            packable.push(
+                !degenerate
+                    && chain
+                        .cells()
+                        .iter()
+                        .enumerate()
+                        .all(|(j, c)| c.is_nominal() || masked.contains(&j)),
+            );
+            let base = row * bits * words;
+            for (j, cell) in chain.cells().iter().enumerate() {
+                let code = cell.stored();
+                for b in 0..bits {
+                    if (code >> b) & 1 == 1 {
+                        planes[base + b * words + j / 64] |= 1u64 << (j % 64);
+                    }
+                }
+            }
+        }
+
+        // Count-indexed reconstruction tables, all built by repeated
+        // addition — the same discipline as the scalar compiled path's
+        // cumulative energy tables, so the energy figures stay bitwise
+        // equal to the behavioral accumulation of identical addends.
+        let max_even = stages.div_ceil(2);
+        let max_odd = stages / 2;
+        let max_k = max_even.max(max_odd);
+        let mut step_delay = Vec::with_capacity(max_k + 1);
+        let mut base_step = 0.0f64;
+        for _ in 0..stages {
+            base_step += timing.d_inv;
+        }
+        step_delay.push(base_step);
+        for k in 1..=max_k {
+            step_delay.push(step_delay[k - 1] + timing.d_c);
+        }
+        let mut cum_cap = Vec::with_capacity(stages + 1);
+        let mut cum_mn = Vec::with_capacity(stages + 1);
+        let (mut cap, mut mn) = (0.0f64, 0.0f64);
+        cum_cap.push(cap);
+        cum_mn.push(mn);
+        for _ in 0..stages {
+            cap += timing.e_c;
+            mn += timing.e_mn;
+            cum_cap.push(cap);
+            cum_mn.push(mn);
+        }
+
+        let mut packed = Self {
+            stages,
+            bits,
+            words,
+            rows,
+            planes,
+            packable,
+            even_mask,
+            odd_mask,
+            step_delay,
+            digests: Vec::new(),
+            decoded_table: Vec::new(),
+            max_even,
+            max_odd,
+            cum_cap_energy: cum_cap,
+            cum_mn_energy: cum_mn,
+            inverter_energy: stages as f64 * timing.e_inv,
+            search_line_energy: stages as f64 * timing.e_sl,
+            timing,
+            tdc,
+        };
+        let table = (max_even + 1) * (max_odd + 1);
+        if table <= DIGEST_TABLE_CAP {
+            let mut digests = Vec::with_capacity(table);
+            for even in 0..=max_even {
+                for odd in 0..=max_odd {
+                    digests.push(packed.compute_digest(even, odd));
+                }
+            }
+            packed.decoded_table = digests.iter().map(|d| d.decoded as u32).collect();
+            packed.digests = digests;
+        }
+        packed
+    }
+
+    /// Number of rows in the packed view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of stages per row.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// `u64` words per bit plane (`stages / 64`, rounded up).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Whether `row` is served by the kernel (false: behavioral fallback).
+    pub fn is_packed(&self, row: usize) -> bool {
+        self.packable.get(row).copied().unwrap_or(false)
+    }
+
+    /// How many rows the kernel serves.
+    pub fn packed_rows(&self) -> usize {
+        self.packable.iter().filter(|&&p| p).count()
+    }
+
+    /// Allocates a per-worker scratch sized for this array's planes.
+    pub fn scratch(&self) -> PackedScratch {
+        PackedScratch {
+            q_planes: vec![0u64; self.bits * self.words],
+        }
+    }
+
+    /// Broadcasts a (pre-validated) query into `scratch`'s bit planes.
+    /// Every word is overwritten, so a scratch can be reused across
+    /// queries — and remains safe to reuse even if a previous query's
+    /// evaluation panicked mid-flight.
+    pub fn expand_query(&self, query: &[u8], scratch: &mut PackedScratch) {
+        debug_assert_eq!(query.len(), self.stages);
+        debug_assert_eq!(scratch.q_planes.len(), self.bits * self.words);
+        // Word-chunked and branchless: accumulate each plane word in a
+        // register, then store every word unconditionally (which is what
+        // keeps a reused — or torn — scratch fully overwritten).
+        let words = self.words;
+        for (w, chunk) in query.chunks(64).enumerate() {
+            let mut acc = [0u64; 4];
+            for (j, &q) in chunk.iter().enumerate() {
+                let mut v = q as u64;
+                for a in acc.iter_mut().take(self.bits) {
+                    *a |= (v & 1) << j;
+                    v >>= 1;
+                }
+            }
+            for (b, &a) in acc.iter().enumerate().take(self.bits) {
+                scratch.q_planes[b * words + w] = a;
+            }
+        }
+    }
+
+    /// The kernel: `(even_mismatches, odd_mismatches)` of `row` against
+    /// the query expanded into `scratch`. `XOR` per bit plane, `OR`
+    /// across planes, `count_ones()` under each parity mask — a handful
+    /// of word ops per 64 stages in place of 64 dependent f64 loads.
+    ///
+    /// Only meaningful for rows where [`PackedArray::is_packed`] holds;
+    /// callers route other rows to the behavioral model.
+    pub fn row_mismatches(&self, row: usize, scratch: &PackedScratch) -> (usize, usize) {
+        debug_assert!(row < self.rows);
+        let base = row * self.bits * self.words;
+        let words = self.words;
+        let mut even = 0usize;
+        let mut odd = 0usize;
+        for w in 0..words {
+            let mut diff = 0u64;
+            for b in 0..self.bits {
+                diff |= self.planes[base + b * words + w] ^ scratch.q_planes[b * words + w];
+            }
+            even += (diff & self.even_mask[w]).count_ones() as usize;
+            odd += (diff & self.odd_mask[w]).count_ones() as usize;
+        }
+        (even, odd)
+    }
+
+    /// Reconstructs the full [`ChainResult`] from the per-parity counts.
+    pub fn reconstruct(&self, even: usize, odd: usize) -> ChainResult {
+        let d = self.digest(even, odd);
+        self.chain_result(even, odd, &d)
+    }
+
+    /// Digitizes `(even, odd)` into the per-row search outcome — the
+    /// packed equivalent of the array's TDC/decode step — returning the
+    /// row result and its TDC conversion energy (accumulated separately
+    /// at array scope).
+    pub(crate) fn digitize(&self, even: usize, odd: usize) -> (RowResult, f64) {
+        let d = self.digest(even, odd);
+        (
+            RowResult {
+                chain: self.chain_result(even, odd, &d),
+                count: d.count,
+                decoded_mismatches: d.decoded,
+            },
+            d.tdc_energy,
+        )
+    }
+
+    /// The decoded distance for `(even, odd)` mismatch counts — the
+    /// digest's TDC decode alone, served from the dense companion table
+    /// so the decision-only path touches 4 bytes per row, not 48.
+    pub(crate) fn decoded(&self, even: usize, odd: usize) -> usize {
+        debug_assert!(even <= self.max_even && odd <= self.max_odd);
+        if self.decoded_table.is_empty() {
+            self.compute_digest(even, odd).decoded
+        } else {
+            self.decoded_table[even * (self.max_odd + 1) + odd] as usize
+        }
+    }
+
+    fn chain_result(&self, even: usize, odd: usize, d: &RowDigest) -> ChainResult {
+        let mismatches = even + odd;
+        ChainResult {
+            rising_delay: d.rising,
+            falling_delay: d.falling,
+            total_delay: d.total,
+            mismatches,
+            even_mismatches: even,
+            odd_mismatches: odd,
+            energy: EnergyBreakdown {
+                inverters: self.inverter_energy,
+                load_caps: self.cum_cap_energy[mismatches],
+                match_nodes: self.cum_mn_energy[mismatches],
+                search_lines: self.search_line_energy,
+                ..EnergyBreakdown::default()
+            },
+        }
+    }
+
+    fn digest(&self, even: usize, odd: usize) -> RowDigest {
+        debug_assert!(even <= self.max_even && odd <= self.max_odd);
+        if self.digests.is_empty() {
+            self.compute_digest(even, odd)
+        } else {
+            self.digests[even * (self.max_odd + 1) + odd]
+        }
+    }
+
+    fn compute_digest(&self, even: usize, odd: usize) -> RowDigest {
+        let rising = self.step_delay[even];
+        let falling = self.step_delay[odd];
+        let total = rising + falling;
+        RowDigest {
+            rising,
+            falling,
+            total,
+            count: self.tdc.convert(total),
+            decoded: self.tdc.decode_mismatches(&self.timing, self.stages, total),
+            tdc_energy: self.tdc.conversion_energy(total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use crate::encoding::Encoding;
+    use crate::engine::SimilarityEngine;
+
+    fn seeded_array(bits: u8, stages: usize, rows: usize, seed: u64) -> TdamArray {
+        let cfg = ArrayConfig::paper_default()
+            .with_encoding(Encoding::new(bits).unwrap())
+            .with_stages(stages)
+            .with_rows(rows);
+        let mut am = TdamArray::new(cfg).unwrap();
+        let levels = cfg.encoding.levels() as u64;
+        let mut state = seed | 1;
+        let mut next = || {
+            // SplitMix64 — deterministic row contents without rand.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for row in 0..rows {
+            let values: Vec<u8> = (0..stages).map(|_| (next() % levels) as u8).collect();
+            am.store(row, &values).unwrap();
+        }
+        am
+    }
+
+    /// The ulp bound the reconstruction documents: `2·(N + k)·ε`
+    /// relative, with room for the final `rising + falling` addition.
+    fn delay_close(a: f64, b: f64, stages: usize) -> bool {
+        let bound = 2.0 * (stages as f64 + stages as f64 / 2.0 + 2.0) * f64::EPSILON * a.abs();
+        (a - b).abs() <= bound
+    }
+
+    #[test]
+    fn counts_exactly_match_behavioral_across_encodings_and_widths() {
+        for bits in 1..=4u8 {
+            // Widths straddling the word boundary: 1 word exact, 1 word
+            // ragged, multi-word ragged.
+            for stages in [3usize, 64, 65, 100, 130] {
+                let am = seeded_array(
+                    bits,
+                    stages,
+                    5,
+                    0xC0FFEE ^ (bits as u64) << 8 ^ stages as u64,
+                );
+                let packed = PackedArray::build(&am, &BTreeSet::new());
+                assert_eq!(packed.packed_rows(), 5);
+                let mut scratch = packed.scratch();
+                let levels = 1u64 << bits;
+                for k in 0..7u64 {
+                    let q: Vec<u8> = (0..stages)
+                        .map(|j| ((j as u64 * 31 + k * 7) % levels) as u8)
+                        .collect();
+                    packed.expand_query(&q, &mut scratch);
+                    for row in 0..5 {
+                        let reference = am.chains()[row].evaluate(&q).unwrap();
+                        let (even, odd) = packed.row_mismatches(row, &scratch);
+                        assert_eq!(even, reference.even_mismatches, "{bits}b {stages}st");
+                        assert_eq!(odd, reference.odd_mismatches, "{bits}b {stages}st");
+                        let rebuilt = packed.reconstruct(even, odd);
+                        assert_eq!(rebuilt.mismatches, reference.mismatches);
+                        assert!(delay_close(
+                            rebuilt.rising_delay,
+                            reference.rising_delay,
+                            stages
+                        ));
+                        assert!(delay_close(
+                            rebuilt.falling_delay,
+                            reference.falling_delay,
+                            stages
+                        ));
+                        assert!(delay_close(
+                            rebuilt.total_delay,
+                            reference.total_delay,
+                            stages
+                        ));
+                        // Energies follow the repeated-addition discipline
+                        // exactly, so they are bitwise equal.
+                        assert_eq!(rebuilt.energy, reference.energy);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_stages_pack_as_always_match() {
+        let stages = 70;
+        let am = seeded_array(2, stages, 3, 0xFACE);
+        let masked: BTreeSet<usize> = [0usize, 13, 64, 69].into_iter().collect();
+        let packed = PackedArray::build(&am, &masked);
+        let mut scratch = packed.scratch();
+        // A query mismatching everywhere only counts unmasked stages.
+        for row in 0..3 {
+            let stored = am.stored(row).unwrap();
+            let q: Vec<u8> = stored.iter().map(|&v| v ^ 1).collect();
+            packed.expand_query(&q, &mut scratch);
+            let (even, odd) = packed.row_mismatches(row, &scratch);
+            // The behavioral reference on a query where masked stages are
+            // forced to match must agree exactly.
+            let mut forced = q.clone();
+            for &j in &masked {
+                forced[j] = stored[j];
+            }
+            let reference = am.chains()[row].evaluate(&forced).unwrap();
+            assert_eq!(even, reference.even_mismatches);
+            assert_eq!(odd, reference.odd_mismatches);
+            assert_eq!(even + odd, stages - masked.len());
+        }
+    }
+
+    #[test]
+    fn masked_columns_readmit_faulty_rows_to_the_fast_path() {
+        let mut am = seeded_array(2, 16, 2, 0xB0B);
+        // Row 1 takes a perturbed cell at stage 5: unpackable as-is.
+        let mut cells: Vec<crate::cell::Cell> = am.chains()[1].cells().to_vec();
+        cells[5] = crate::cell::Cell::with_vth(1, am.config().encoding, 0.63, 1.02).unwrap();
+        am.store_cells(1, cells).unwrap();
+        let unmasked = PackedArray::build(&am, &BTreeSet::new());
+        assert!(!unmasked.is_packed(1));
+        assert_eq!(unmasked.packed_rows(), 1);
+        // Masking the damaged column restores kernel service for the row.
+        let masked: BTreeSet<usize> = [5usize].into_iter().collect();
+        let repacked = PackedArray::build(&am, &masked);
+        assert!(repacked.is_packed(1));
+        assert_eq!(repacked.packed_rows(), 2);
+    }
+
+    #[test]
+    fn degenerate_timing_refuses_to_pack() {
+        let am = seeded_array(2, 8, 2, 1);
+        // Forge a calibration where d_C vanishes under d_INV in f64: the
+        // mismatch count is no longer recoverable from delay, so no row
+        // may be packed (mirroring DelayChain::compile's refusal).
+        let mut timing = *am.timing();
+        timing.d_c = timing.d_inv * f64::EPSILON * 0.25;
+        let degenerate = TdamArray::with_timing(*am.config(), timing).unwrap();
+        let packed = PackedArray::build(&degenerate, &BTreeSet::new());
+        assert_eq!(packed.packed_rows(), 0);
+    }
+
+    #[test]
+    fn digest_table_and_on_the_fly_paths_agree() {
+        let am = seeded_array(2, 33, 2, 7);
+        let mut packed = PackedArray::build(&am, &BTreeSet::new());
+        assert!(!packed.digests.is_empty(), "33 stages fits the table");
+        let table = packed.clone();
+        packed.digests.clear();
+        for even in 0..=packed.max_even {
+            for odd in 0..=packed.max_odd {
+                assert_eq!(packed.digest(even, odd), table.digest(even, odd));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let am = seeded_array(3, 65, 2, 0xDEAD);
+        let packed = PackedArray::build(&am, &BTreeSet::new());
+        let q1: Vec<u8> = (0..65).map(|j| (j % 8) as u8).collect();
+        let q2: Vec<u8> = (0..65).map(|j| (7 - j % 8) as u8).collect();
+        let mut reused = packed.scratch();
+        packed.expand_query(&q1, &mut reused);
+        packed.expand_query(&q2, &mut reused);
+        let mut fresh = packed.scratch();
+        packed.expand_query(&q2, &mut fresh);
+        for row in 0..2 {
+            assert_eq!(
+                packed.row_mismatches(row, &reused),
+                packed.row_mismatches(row, &fresh)
+            );
+        }
+    }
+
+    #[test]
+    fn packing_tracks_delay_chain_compile_refusals() {
+        // Whatever refuses DelayChain::compile also refuses packing (and
+        // vice versa) when no mask is in play, so the scalar and packed
+        // tiers always agree on which rows are fast-path.
+        let mut am = seeded_array(2, 12, 3, 42);
+        let cells = (0..12)
+            .map(|_| crate::cell::Cell::with_vth(1, am.config().encoding, 0.65, 1.05).unwrap())
+            .collect();
+        am.store_cells(2, cells).unwrap();
+        let packed = PackedArray::build(&am, &BTreeSet::new());
+        for (row, chain) in am.chains().iter().enumerate() {
+            assert_eq!(
+                packed.is_packed(row),
+                chain.compile().is_some(),
+                "row {row}"
+            );
+        }
+    }
+}

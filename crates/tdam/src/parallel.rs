@@ -153,6 +153,79 @@ where
     run_chunked_partial(items, threads, f).into_iter().collect()
 }
 
+/// [`run_chunked`] with one reusable scratch value per worker: `init()`
+/// runs once per worker thread, and `f(&mut scratch, item)` serves every
+/// item in that worker's chunk against the same scratch — the batch
+/// serving path's way of hoisting per-item heap allocation (query bit
+/// planes, result buffers) out of the hot loop.
+///
+/// The scratch contract: `f` must fully reinitialize any scratch state it
+/// reads, because after a panicking item the same scratch (in whatever
+/// state the panic left it) is handed to the worker's next item. The
+/// packed kernel obeys this by construction — query expansion overwrites
+/// every scratch word before the kernel reads any.
+///
+/// # Errors
+///
+/// As [`run_chunked`]: the first per-item error in item order, with a
+/// panicking item contributing `E::from(WorkerLost)` at its slot.
+pub fn run_chunked_scratch<S, R, E, I, F>(
+    items: usize,
+    threads: Option<usize>,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send + From<WorkerLost>,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<R, E> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // Same per-item panic isolation as `run_chunked_partial`:
+    // `AssertUnwindSafe` is sound because a poisoned item's slot is
+    // overwritten with the error, and the scratch contract above makes a
+    // torn scratch unobservable to the next item.
+    let guarded = |scratch: &mut S, i: usize| -> Result<R, E> {
+        catch_unwind(AssertUnwindSafe(|| f(scratch, i)))
+            .unwrap_or_else(|_| Err(E::from(WorkerLost)))
+    };
+
+    if items == 0 {
+        return Ok(Vec::new());
+    }
+    let n_threads = resolve_threads(items, threads);
+    if n_threads == 1 {
+        let mut scratch = init();
+        return (0..items).map(|i| guarded(&mut scratch, i)).collect();
+    }
+    let chunk_size = items.div_ceil(n_threads);
+    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    let guarded = &guarded;
+    let init = &init;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+            let base = c * chunk_size;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(guarded(&mut scratch, base + offset));
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or(Err(E::from(WorkerLost))))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +310,45 @@ mod tests {
                     assert_eq!(slot, &Ok(i * 2));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_results_in_item_order_for_any_thread_count() {
+        for threads in [Some(1), Some(2), Some(3), Some(7), Some(64), None] {
+            let out: Vec<usize> = run_chunked_scratch::<_, _, TdamError, _, _>(
+                23,
+                threads,
+                || vec![0usize; 4],
+                |scratch, i| {
+                    scratch[0] = i * 3;
+                    Ok(scratch[0])
+                },
+            )
+            .unwrap();
+            assert_eq!(out, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scratch_survives_a_panicking_item() {
+        // Item 5 panics mid-chunk; its worker's scratch must keep serving
+        // the rest of the chunk (items fully reinitialize their state).
+        for threads in [Some(1), Some(2), None] {
+            let err = run_chunked_scratch::<_, usize, TdamError, _, _>(
+                8,
+                threads,
+                || 0usize,
+                |scratch, i| {
+                    if i == 5 {
+                        panic!("torn scratch");
+                    }
+                    *scratch = i;
+                    Ok(*scratch)
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, TdamError::Worker);
         }
     }
 

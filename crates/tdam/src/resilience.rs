@@ -384,6 +384,23 @@ impl ResilientArray {
         self.masked.iter().copied().collect()
     }
 
+    /// Builds a bit-sliced packed view ([`crate::packed`]) of the
+    /// physical array with the currently-masked columns applied: masked
+    /// stages pack as **always-match**, so a row whose only damage sits
+    /// in masked columns regains kernel service (a stuck column rejoins
+    /// the fast path once repair masks it off).
+    ///
+    /// Note the semantic difference from the decode-level correction of
+    /// [`ResilientArray::resolve_outcome`]: `corrected_decode` subtracts
+    /// the mask count from the *raw* decode (assuming every masked column
+    /// mismatched, which holds for the stuck columns masking exists for),
+    /// while the packed view excludes masked columns from the compare
+    /// itself. For stuck-mismatch columns the two agree exactly —
+    /// `tests/packed_equiv.rs` pins this.
+    pub fn packed_view(&self) -> crate::packed::PackedArray {
+        crate::packed::PackedArray::build(&self.array, &self.masked)
+    }
+
     /// The injected cell faults (physical coordinates).
     pub fn faults(&self) -> &FaultMap {
         &self.faults

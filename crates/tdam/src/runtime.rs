@@ -155,9 +155,11 @@ impl Default for RuntimeConfig {
 /// Which backend along the fallback chain answered a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendKind {
-    /// Compiled per-cell delay lookup tables
-    /// ([`crate::array::CompiledSnapshot`]) — the fast path, bit-identical
-    /// to the behavioral model.
+    /// The compiled fast path ([`crate::array::CompiledSnapshot`]),
+    /// served through the bit-sliced packed kernel ([`crate::packed`]):
+    /// decisions (winners, decoded distances) exactly match the
+    /// behavioral model; reconstructed delays carry the documented ulp
+    /// bound.
     CompiledLut,
     /// The full behavioral model — serving while the breaker is open on
     /// the compiled path (health miss pending repair).
@@ -537,7 +539,11 @@ impl ResilientEngine {
         let query = batch.get(slot);
         match (self.backend, &self.snapshot) {
             (BackendKind::CompiledLut, Some(snap)) => {
-                let out = snap.search(self.array.array(), query)?;
+                // Packed bit-sliced kernel: winners and decoded distances
+                // are exactly those of the behavioral model (the health
+                // probes and the chaos judge compare decisions), delays
+                // carry the packed reconstruction contract.
+                let out = snap.search_packed(self.array.array(), query)?;
                 Ok(self.array.resolve_outcome(&out))
             }
             _ => self.array.search(query),

@@ -1,8 +1,13 @@
 //! Batched-search determinism: for every similarity engine, batched
-//! serving must return results **bit-identical** to a sequential loop of
-//! single-query [`SimilarityEngine::search`] calls — same `best_row`,
-//! same per-row distances, same energy and latency f64 bits — across
-//! seeds and worker-thread counts.
+//! serving must return the same *decision* (same `best_row`, same
+//! per-row distances) as a sequential loop of single-query
+//! [`SimilarityEngine::search`] calls, across seeds and worker-thread
+//! counts. The baseline engines additionally pin bitwise-equal energy
+//! and latency; the TD-AM's batched path serves the bit-sliced packed
+//! kernel (`tdam::packed`), whose reconstructed delays agree with the
+//! behavioral model to ulps rather than bit-for-bit — its analog figures
+//! are compared within the documented bound, and its thread-count
+//! invariance is still exact (packed vs. packed).
 //!
 //! The property is written as explicit seeded loops rather than a
 //! `proptest!` block so it exercises the same cases under any proptest
@@ -43,9 +48,16 @@ fn store_rows_and_batch(engine: &mut dyn SimilarityEngine, seed: u64) -> BatchQu
     batch
 }
 
-/// The property itself: sequential loop first, batched second, compared
-/// field-for-field with exact (bitwise f64) equality.
-fn assert_batch_matches_sequential(engine: &mut dyn SimilarityEngine, seed: u64) {
+/// Relative f64 agreement far tighter than any physical margin but loose
+/// enough for the packed path's count-indexed delay reconstruction.
+fn ulp_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+/// The property itself: sequential loop first, batched second. `exact`
+/// engines are compared field-for-field with bitwise f64 equality;
+/// otherwise the decision is exact and the analog figures ulp-bounded.
+fn assert_batch_matches_sequential(engine: &mut dyn SimilarityEngine, seed: u64, exact: bool) {
     let batch = store_rows_and_batch(engine, seed);
     let sequential: Vec<_> = batch
         .iter()
@@ -54,12 +66,23 @@ fn assert_batch_matches_sequential(engine: &mut dyn SimilarityEngine, seed: u64)
     let batched = engine.search_batch(&batch).expect("batched search");
     assert_eq!(batched.len(), BATCH, "{}: batch length", engine.name());
     for (i, (b, s)) in batched.queries.iter().zip(&sequential).enumerate() {
-        assert_eq!(
-            b,
-            s,
-            "{}: batched query {i} diverged from sequential (seed {seed:#x})",
-            engine.name()
-        );
+        if exact {
+            assert_eq!(
+                b,
+                s,
+                "{}: batched query {i} diverged from sequential (seed {seed:#x})",
+                engine.name()
+            );
+        } else {
+            let ctx = format!(
+                "{}: batched query {i} vs sequential (seed {seed:#x})",
+                engine.name()
+            );
+            assert_eq!(b.best_row, s.best_row, "{ctx}: winner");
+            assert_eq!(b.distances, s.distances, "{ctx}: distances");
+            assert!(ulp_close(b.energy, s.energy), "{ctx}: energy");
+            assert!(ulp_close(b.latency, s.latency), "{ctx}: latency");
+        }
     }
 }
 
@@ -69,21 +92,42 @@ fn every_engine_batches_deterministically() {
         let cfg = ArrayConfig::paper_default()
             .with_stages(WIDTH)
             .with_rows(ROWS);
-        let mut engines: Vec<Box<dyn SimilarityEngine>> = vec![
-            Box::new(TdamArray::new(cfg).expect("tdam array")),
-            Box::new(Tcam16t::new(ROWS, WIDTH, Tcam16tParams::default())),
-            Box::new(Fecam::new(ROWS, WIDTH, FecamParams::default())),
-            Box::new(FeFinFet::new(ROWS, WIDTH, FeFinFetParams::default())),
-            Box::new(HomogeneousTd::new(
-                ROWS,
-                WIDTH,
-                HomogeneousTdParams::default(),
-            )),
-            Box::new(CrossbarCam::new(ROWS, WIDTH, CrossbarParams::default())),
-            Box::new(Timaq::new(ROWS, WIDTH, TimaqParams::default())),
+        // (engine, exact): the TD-AM's batched path is the packed kernel
+        // (decision-exact, analog ulp-bounded); every baseline's batched
+        // path must stay bit-identical to its sequential loop.
+        let mut engines: Vec<(Box<dyn SimilarityEngine>, bool)> = vec![
+            (Box::new(TdamArray::new(cfg).expect("tdam array")), false),
+            (
+                Box::new(Tcam16t::new(ROWS, WIDTH, Tcam16tParams::default())),
+                true,
+            ),
+            (
+                Box::new(Fecam::new(ROWS, WIDTH, FecamParams::default())),
+                true,
+            ),
+            (
+                Box::new(FeFinFet::new(ROWS, WIDTH, FeFinFetParams::default())),
+                true,
+            ),
+            (
+                Box::new(HomogeneousTd::new(
+                    ROWS,
+                    WIDTH,
+                    HomogeneousTdParams::default(),
+                )),
+                true,
+            ),
+            (
+                Box::new(CrossbarCam::new(ROWS, WIDTH, CrossbarParams::default())),
+                true,
+            ),
+            (
+                Box::new(Timaq::new(ROWS, WIDTH, TimaqParams::default())),
+                true,
+            ),
         ];
-        for engine in &mut engines {
-            assert_batch_matches_sequential(engine.as_mut(), seed);
+        for (engine, exact) in &mut engines {
+            assert_batch_matches_sequential(engine.as_mut(), seed, *exact);
         }
     }
 }
@@ -102,16 +146,64 @@ fn compiled_tdam_batches_identically_for_every_thread_count() {
             .collect();
         let compiled = am.compile();
         assert!(compiled.fully_compiled(), "nominal rows must all compile");
-        for threads in [Some(1), Some(2), Some(5), None] {
+        assert_eq!(compiled.packed_rows(), ROWS, "nominal rows must all pack");
+
+        // The scalar LUT tier stays bit-identical to the behavioral model.
+        let lut = compiled
+            .search_batch_lut(&batch, Some(1))
+            .expect("LUT batch");
+        for (i, (got, want)) in lut.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "LUT batch query {i} diverged (seed {seed:#x})");
+        }
+
+        // The packed tier: exact decision vs. the behavioral reference,
+        // and **bitwise** thread-count invariance against itself.
+        let packed_one = compiled.search_batch(&batch, Some(1)).expect("packed");
+        for (i, (got, want)) in packed_one.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.best_row(),
+                want.best_row(),
+                "packed winner {i} diverged (seed {seed:#x})"
+            );
+            assert_eq!(
+                got.decoded(),
+                want.decoded(),
+                "packed decode {i} diverged (seed {seed:#x})"
+            );
+        }
+        // The decision-only tier: same exact decisions, bitwise
+        // thread-count invariant (all-integer output).
+        let decide_one = compiled.decide_batch(&batch, Some(1)).expect("decide");
+        for (i, (got, want)) in decide_one.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.best_row,
+                want.best_row(),
+                "decision winner {i} diverged (seed {seed:#x})"
+            );
+            assert_eq!(
+                got.distances,
+                want.decoded(),
+                "decision distances {i} diverged (seed {seed:#x})"
+            );
+        }
+
+        for threads in [Some(2), Some(5), None] {
             let outcomes = compiled
                 .search_batch(&batch, threads)
                 .expect("compiled batch");
-            for (i, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+            for (i, (got, want)) in outcomes.iter().zip(&packed_one).enumerate() {
                 assert_eq!(
                     got, want,
-                    "compiled batch query {i} diverged (seed {seed:#x}, threads {threads:?})"
+                    "packed batch query {i} not thread-count invariant \
+                     (seed {seed:#x}, threads {threads:?})"
                 );
             }
+            assert_eq!(
+                compiled.decide_batch(&batch, threads).expect("decide"),
+                decide_one,
+                "decision batch not thread-count invariant \
+                 (seed {seed:#x}, threads {threads:?})"
+            );
         }
     }
 }
