@@ -18,6 +18,7 @@
 //! | `ext_batch_throughput` | Extension: batched compiled-LUT serving vs sequential search, plus the pipelined cycle model |
 //! | `ext_chaos_availability` | Extension: serving-runtime availability under injected cell faults + worker panics |
 //! | `ext_recovery` | Extension: crash-injection campaign over the checkpoint/journal store + warm-start restore |
+//! | `ext_serve_scale` | Extension: sharded TCP serving front-end — load sweep, guaranteed shedding, warm-standby failover |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC
@@ -212,6 +213,22 @@ impl JsonMap {
         self.push(key, rendered)
     }
 
+    /// Adds an array-of-objects field (e.g. a sweep's per-point rows).
+    #[must_use]
+    pub fn arr(self, key: &str, values: Vec<JsonMap>) -> Self {
+        if values.is_empty() {
+            return self.push(key, "[]".to_string());
+        }
+        let mut rendered = String::from("[\n");
+        for (i, value) in values.iter().enumerate() {
+            let body = value.render().replace('\n', "\n  ");
+            rendered.push_str(&format!("  {body}"));
+            rendered.push_str(if i + 1 < values.len() { ",\n" } else { "\n" });
+        }
+        rendered.push(']');
+        self.push(key, rendered)
+    }
+
     /// Renders the object with two-space indentation.
     pub fn render(&self) -> String {
         if self.entries.is_empty() {
@@ -343,6 +360,22 @@ mod tests {
         assert!(text.contains("\"inf\": null"));
         assert!(text.contains("    \"pi\": 3.5"));
         assert!(text.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn json_map_renders_arrays() {
+        let json = JsonMap::new().arr("empty", Vec::new()).arr(
+            "sweep",
+            vec![
+                JsonMap::new().int("clients", 1).num("qps", 10.0),
+                JsonMap::new().int("clients", 2).num("qps", 19.5),
+            ],
+        );
+        let text = json.render();
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("\"sweep\": [\n    {\n      \"clients\": 1"));
+        assert!(text.contains("},\n    {\n      \"clients\": 2"));
+        assert!(text.ends_with("  ]\n}"));
     }
 
     #[test]

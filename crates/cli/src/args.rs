@@ -36,11 +36,11 @@ impl Args {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("unexpected argument {tok}")));
             };
-            match iter.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    flags.insert(name.to_owned(), iter.next().expect("peeked"));
+            match iter.next_if(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(name.to_owned(), value);
                 }
-                _ => switches.push(name.to_owned()),
+                None => switches.push(name.to_owned()),
             }
         }
         Ok(Self {

@@ -36,6 +36,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "serve-chaos" => serve_chaos(args),
         "checkpoint" => checkpoint(args),
         "restore" => restore(args),
+        "serve" => serve(args),
+        "serve-load" => serve_load(args),
         "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
     }
@@ -64,7 +66,7 @@ fn search(args: &Args) -> Result<String, CliError> {
             "--query takes exactly one vector".to_owned(),
         ));
     };
-    let stages = stored[0].len();
+    let stages = stored.first().map_or(0, Vec::len);
     if stored.iter().any(|v| v.len() != stages) {
         return Err(CliError::Usage(
             "all stored vectors must be equal length".to_owned(),
@@ -93,7 +95,7 @@ fn search(args: &Args) -> Result<String, CliError> {
     }
     let best = outcome
         .best_row()
-        .ok_or_else(|| CliError::Simulation("search produced no rows".to_owned()))?;
+        .ok_or_else(|| CliError::permanent("search produced no rows"))?;
     out.push_str(&format!(
         "best row: {best}   latency {:.3} ns   energy {:.2} fJ\n",
         outcome.latency * 1e9,
@@ -256,7 +258,7 @@ fn faults(args: &Args) -> Result<String, CliError> {
     let p = result
         .points
         .first()
-        .ok_or_else(|| CliError::Simulation("campaign produced no points".to_owned()))?;
+        .ok_or_else(|| CliError::permanent("campaign produced no points"))?;
     Ok(format!(
         "fault campaign: {rows}x{stages} array, {spares} spares, {} at rate {:.3}%\n\
          {trials} trials x {queries} exact-match queries, repair {}\n\
@@ -314,8 +316,8 @@ fn bench_batch(args: &Args) -> Result<String, CliError> {
 
     for (outcome, reference) in outcomes.iter().zip(&sequential) {
         if outcome.metrics() != *reference {
-            return Err(CliError::Simulation(
-                "batched search disagrees with the sequential loop".to_owned(),
+            return Err(CliError::permanent(
+                "batched search disagrees with the sequential loop",
             ));
         }
     }
@@ -370,8 +372,8 @@ fn serve_chaos(args: &Args) -> Result<String, CliError> {
          availability: {:.2}%  ({} answered, {} timed out, {} failed of {})\n\
          correctness: {} wrong, {} silent wrong, {} flagged degraded\n\
          faults injected: {}   final backend: {:?} ({:?})\n\
-         runtime: {} retries, {} recompiles, {} health checks ({} missed), \
-         {} repairs, {} demotions, {} promotions\n",
+         runtime: {} retries ({} backoff waits), {} breaker trips, {} recompiles, \
+         {} health checks ({} missed), {} repairs, {} demotions, {} promotions\n",
         cfg.resilience.spare_rows,
         cfg.seed,
         cfg.batches,
@@ -390,6 +392,8 @@ fn serve_chaos(args: &Args) -> Result<String, CliError> {
         report.final_backend,
         report.final_degradation,
         report.stats.retries,
+        report.stats.backoff_waits,
+        report.stats.breaker_trips,
         report.stats.recompiles,
         report.stats.health_checks,
         report.stats.health_misses,
@@ -501,6 +505,239 @@ fn restore(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn serve(args: &Args) -> Result<String, CliError> {
+    use tdam::serve::{run_serve_chaos, ServeChaosConfig};
+
+    let mut cfg = ServeChaosConfig::quick(None);
+    cfg.serve.array = base_config(args)?
+        .with_stages(args.usize_or("stages", 16)?)
+        .with_rows(1); // per-shard rows come from the shard map
+    cfg.rows = args.usize_or("rows", 96)?;
+    cfg.serve.rows_per_shard = args.usize_or("rows-per-shard", 24)?;
+    cfg.serve.workers = args.usize_or("workers", 4)?;
+    cfg.serve.queue_capacity = args.usize_or("queue-capacity", 16)?;
+    cfg.clients = args.usize_or("clients", 3)?;
+    cfg.requests_per_client = args.usize_or("requests", 12)?;
+    cfg.k = args.usize_or("k", 5)?;
+    cfg.seed = args.usize_or("seed", 7)? as u64;
+    cfg.deadline = std::time::Duration::from_millis(args.usize_or("deadline-ms", 250)? as u64);
+    cfg.chaos = !args.switch("no-chaos");
+    let standby_dir = match args.get("standby-dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("tdam-serve-standby-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&standby_dir)
+        .map_err(|e| CliError::Usage(format!("cannot create standby dir: {e}")))?;
+    cfg.standby_dir = Some(standby_dir.clone());
+
+    let report = run_serve_chaos(&cfg)?;
+    if args.get("standby-dir").is_none() {
+        let _ = std::fs::remove_dir_all(&standby_dir);
+    }
+
+    let mut out = format!(
+        "sharded serving campaign: {} rows x {} stages, {} rows/shard, \
+         {} workers, queue {}, seed {:#x}\n\
+         {:>10} {:>8} {:>9} {:>8} {:>9} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>7}\n",
+        cfg.rows,
+        cfg.serve.array.stages,
+        cfg.serve.rows_per_shard,
+        cfg.serve.workers,
+        cfg.serve.queue_capacity,
+        cfg.seed,
+        "phase",
+        "requests",
+        "answered",
+        "partial",
+        "degraded",
+        "shedQ",
+        "shedD",
+        "wrong",
+        "silent",
+        "p50 (µs)",
+        "p99 (µs)",
+        "qps"
+    );
+    for p in &report.phases {
+        out.push_str(&format!(
+            "{:>10} {:>8} {:>9} {:>8} {:>9} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>7}\n",
+            p.name,
+            p.requests,
+            p.answered,
+            p.partial,
+            p.degraded,
+            p.shed_queue,
+            p.shed_deadline,
+            p.flagged_mismatch,
+            p.silent_wrong,
+            p.p50_us,
+            p.p99_us,
+            p.qps
+        ));
+    }
+    out.push_str(&format!(
+        "service: {} requests, {} complete, {} partial, {} degraded; \
+         {} shard downs, {} failovers ({} probe failures), {} restocks\n\
+         front-end: {} connections, {} received, {} answered, \
+         {} shed (queue {}, deadline {}), {} errors\n",
+        report.service.requests,
+        report.service.complete,
+        report.service.partial,
+        report.service.degraded,
+        report.service.shard_downs,
+        report.service.failovers,
+        report.service.probe_failures,
+        report.service.restocks,
+        report.front.connections,
+        report.front.received,
+        report.front.answered,
+        report.front.shed_queue + report.front.shed_deadline,
+        report.front.shed_queue,
+        report.front.shed_deadline,
+        report.front.errors
+    ));
+    for (ix, s) in report.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "shard {ix}: rows {}..{} {} backend {:?}  \
+             {} queries, {} retries ({} backoff waits), {} breaker trips, \
+             {} demotions, {} promotions, {} repairs\n",
+            s.base,
+            s.base + s.rows,
+            if s.down { "DOWN" } else { "up  " },
+            s.backend,
+            s.stats.queries,
+            s.stats.retries,
+            s.stats.backoff_waits,
+            s.stats.breaker_trips,
+            s.stats.demotions,
+            s.stats.promotions,
+            s.stats.repairs
+        ));
+    }
+    if report.silent_wrong() > 0 {
+        return Err(CliError::permanent(format!(
+            "{} silent wrong answer(s): a complete answer differed from brute force",
+            report.silent_wrong()
+        )));
+    }
+    Ok(out)
+}
+
+fn serve_load(args: &Args) -> Result<String, CliError> {
+    use tdam::serve::{percentile, ServeClient, ServeError, ShedReason};
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| CliError::Usage("serve-load needs --addr HOST:PORT".to_owned()))?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad --addr {addr}")))?;
+    let clients = args.usize_or("clients", 2)?.max(1);
+    let requests = args.usize_or("requests", 32)?;
+    let k = args.usize_or("k", 5)?;
+    let seed = args.usize_or("seed", 11)? as u64;
+    let deadline = std::time::Duration::from_millis(args.usize_or("deadline-ms", 250)? as u64);
+
+    // Discover the corpus shape over the wire so queries are well
+    // formed without any out-of-band knowledge.
+    let info = ServeClient::connect(addr)?.info()?;
+
+    struct Tally {
+        answered: usize,
+        partial: usize,
+        degraded: usize,
+        shed_queue: usize,
+        shed_deadline: usize,
+        errors: usize,
+        latencies_us: Vec<u64>,
+    }
+    let started = std::time::Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<Tally, CliError> {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut tally = Tally {
+                        answered: 0,
+                        partial: 0,
+                        degraded: 0,
+                        shed_queue: 0,
+                        shed_deadline: 0,
+                        errors: 0,
+                        latencies_us: Vec::with_capacity(requests),
+                    };
+                    for _ in 0..requests {
+                        let query: Vec<u8> = (0..info.stages)
+                            .map(|_| rng.gen_range(0..info.levels as u8))
+                            .collect();
+                        let sent = std::time::Instant::now();
+                        match client.query(&query, k, deadline) {
+                            Ok(topk) => {
+                                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                tally.answered += 1;
+                                if topk.partial {
+                                    tally.partial += 1;
+                                }
+                                if topk.degraded {
+                                    tally.degraded += 1;
+                                }
+                            }
+                            Err(ServeError::Overloaded(ShedReason::QueueFull)) => {
+                                tally.shed_queue += 1;
+                            }
+                            Err(ServeError::Overloaded(ShedReason::DeadlineExpired)) => {
+                                tally.shed_deadline += 1;
+                            }
+                            Err(_) => tally.errors += 1,
+                        }
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| CliError::permanent("load client panicked"))?
+            })
+            .collect::<Result<Vec<_>, CliError>>()
+    })?;
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut answered, mut partial, mut degraded) = (0usize, 0usize, 0usize);
+    let (mut shed_queue, mut shed_deadline, mut errors) = (0usize, 0usize, 0usize);
+    for t in tallies {
+        answered += t.answered;
+        partial += t.partial;
+        degraded += t.degraded;
+        shed_queue += t.shed_queue;
+        shed_deadline += t.shed_deadline;
+        errors += t.errors;
+        latencies.extend(t.latencies_us);
+    }
+    let total = clients * requests;
+    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(format!(
+        "serve-load against {addr}: corpus {} rows x {} stages over {} shard(s)\n\
+         {} client(s) x {} request(s) closed-loop, k={k}, deadline {:?}\n\
+         answered {answered}/{total} ({partial} partial, {degraded} degraded)\n\
+         shed: {shed_queue} queue-full, {shed_deadline} deadline   errors: {errors}\n\
+         throughput {qps:.0} qps   p50 {} µs   p99 {} µs\n",
+        info.rows,
+        info.stages,
+        info.shards,
+        clients,
+        requests,
+        deadline,
+        percentile(&mut latencies, 50.0),
+        percentile(&mut latencies, 99.0),
+    ))
+}
+
 fn area(args: &Args) -> Result<String, CliError> {
     let stages = args.usize_or("stages", 64)?;
     let rows = args.usize_or("rows", 16)?;
@@ -562,7 +799,7 @@ mod tests {
         // Element out of encoding range surfaces as a simulation error.
         assert!(matches!(
             run(&["search", "--store", "9,1", "--query", "0,1"]),
-            Err(CliError::Simulation(_))
+            Err(CliError::Simulation { .. })
         ));
     }
 
@@ -819,7 +1056,7 @@ mod tests {
         std::fs::write(&ckpt, &bytes).expect("damage checkpoint");
         assert!(matches!(
             run(&["restore", "--dir", dir_str]),
-            Err(CliError::Simulation(_))
+            Err(CliError::Simulation { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -828,5 +1065,116 @@ mod tests {
     fn checkpoint_and_restore_require_dir() {
         assert!(matches!(run(&["checkpoint"]), Err(CliError::Usage(_))));
         assert!(matches!(run(&["restore"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_steady_reports_phase_and_shard_stats() {
+        let out = run(&[
+            "serve",
+            "--rows",
+            "48",
+            "--stages",
+            "16",
+            "--rows-per-shard",
+            "16",
+            "--clients",
+            "2",
+            "--requests",
+            "6",
+            "--no-chaos",
+        ])
+        .unwrap();
+        assert!(out.contains("sharded serving campaign"), "{out}");
+        assert!(out.contains("steady"), "{out}");
+        assert!(!out.contains("crash"), "--no-chaos runs steady only: {out}");
+        assert!(out.contains("shard 0: rows 0..16"), "{out}");
+        assert!(out.contains("shard 2: rows 32..48"), "{out}");
+        assert!(out.contains("breaker trips"), "{out}");
+        assert!(out.contains("0 silent") || out.contains(" 0 "), "{out}");
+    }
+
+    #[test]
+    fn serve_chaos_campaign_recovers_and_reports_failover() {
+        let out = run(&[
+            "serve",
+            "--rows",
+            "48",
+            "--stages",
+            "16",
+            "--rows-per-shard",
+            "16",
+            "--clients",
+            "2",
+            "--requests",
+            "6",
+            "--deadline-ms",
+            "100",
+        ])
+        .unwrap();
+        for phase in ["steady", "overload", "slow-shard", "crash", "recovered"] {
+            assert!(out.contains(phase), "missing phase {phase}: {out}");
+        }
+        assert!(out.contains("failovers"), "{out}");
+    }
+
+    #[test]
+    fn serve_load_requires_addr_and_validates_it() {
+        assert!(matches!(run(&["serve-load"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["serve-load", "--addr", "not-an-addr"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_load_drives_a_live_front_end() {
+        use std::sync::Arc;
+        use tdam::serve::{seeded_corpus, FrontEnd, ServeConfig, ShardedService};
+
+        let mut cfg = ServeConfig::paper_default();
+        cfg.array = ArrayConfig::paper_default().with_stages(8);
+        cfg.rows_per_shard = 10;
+        let corpus = seeded_corpus(20, 8, 4, 31);
+        let service = Arc::new(ShardedService::new(&cfg, &corpus, None).expect("service"));
+        let mut front =
+            FrontEnd::start(Arc::clone(&service), &cfg, "127.0.0.1:0").expect("front-end");
+        let out = run(&[
+            "serve-load",
+            "--addr",
+            &front.addr().to_string(),
+            "--clients",
+            "2",
+            "--requests",
+            "5",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("corpus 20 rows x 8 stages over 2 shard(s)"),
+            "{out}"
+        );
+        assert!(out.contains("answered 10/10"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        front.shutdown();
+    }
+
+    #[test]
+    fn serve_load_against_nothing_is_transient() {
+        // A connection refusal is transient (the server may come back):
+        // the exit-code contract maps it to EX_TEMPFAIL.
+        let err = run(&["serve-load", "--addr", "127.0.0.1:1", "--requests", "1"])
+            .expect_err("nothing listening");
+        assert_eq!(err.class(), crate::ErrorClass::Transient, "{err:?}");
+    }
+
+    #[test]
+    fn error_classes_map_to_exit_semantics() {
+        // Usage problems are permanent; encoding violations (caller
+        // bugs) are permanent; both exit non-retryable.
+        let usage = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(usage.class(), crate::ErrorClass::Permanent);
+        let sim = run(&["search", "--store", "9,1", "--query", "0,1"]).unwrap_err();
+        assert_eq!(sim.class(), crate::ErrorClass::Permanent);
     }
 }

@@ -8,20 +8,49 @@
 pub mod args;
 pub mod commands;
 
+pub use tdam::ErrorClass;
+
 /// Top-level CLI error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
     /// Bad command-line usage; the message is shown with the usage text.
     Usage(String),
-    /// A simulation-layer failure.
-    Simulation(String),
+    /// A simulation- or serving-layer failure, carrying its
+    /// [`ErrorClass`] so the process exit code can tell callers whether
+    /// a retry is worthwhile (`EX_TEMPFAIL` for transient failures).
+    Simulation {
+        /// Human-readable description.
+        msg: String,
+        /// Retryability classification.
+        class: ErrorClass,
+    },
+}
+
+impl CliError {
+    /// A permanent simulation failure (the common case for caller
+    /// mistakes surfaced by the simulation layer).
+    pub fn permanent(msg: impl Into<String>) -> Self {
+        Self::Simulation {
+            msg: msg.into(),
+            class: ErrorClass::Permanent,
+        }
+    }
+
+    /// How retryable this error is. Usage errors are permanent: the
+    /// same command line will fail the same way.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Self::Usage(_) => ErrorClass::Permanent,
+            Self::Simulation { class, .. } => *class,
+        }
+    }
 }
 
 impl core::fmt::Display for CliError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Usage(m) => write!(f, "usage error: {m}"),
-            Self::Simulation(m) => write!(f, "simulation error: {m}"),
+            Self::Simulation { msg, .. } => write!(f, "simulation error: {msg}"),
         }
     }
 }
@@ -30,13 +59,36 @@ impl std::error::Error for CliError {}
 
 impl From<tdam::TdamError> for CliError {
     fn from(e: tdam::TdamError) -> Self {
-        Self::Simulation(e.to_string())
+        Self::Simulation {
+            msg: e.to_string(),
+            class: e.class(),
+        }
     }
 }
 
 impl From<tdam::store::StoreError> for CliError {
     fn from(e: tdam::store::StoreError) -> Self {
-        Self::Simulation(e.to_string())
+        use tdam::store::StoreError;
+        let class = match &e {
+            // A failed disk op may succeed on retry; corrupt or
+            // version-skewed state will not.
+            StoreError::Io(_) => ErrorClass::Transient,
+            StoreError::Sim(inner) => inner.class(),
+            _ => ErrorClass::Permanent,
+        };
+        Self::Simulation {
+            msg: e.to_string(),
+            class,
+        }
+    }
+}
+
+impl From<tdam::serve::ServeError> for CliError {
+    fn from(e: tdam::serve::ServeError) -> Self {
+        Self::Simulation {
+            msg: e.to_string(),
+            class: e.class(),
+        }
     }
 }
 
@@ -59,6 +111,11 @@ USAGE:
                    [--fault-rate P] [--panic-rate P] [--deadline-queries D] [--seed X]
   tdam-sim checkpoint --dir D [--stages N] [--rows R] [--spares S] [--mutations M] [--seed X]
   tdam-sim restore    --dir D
+  tdam-sim serve   [--rows R] [--stages N] [--rows-per-shard S] [--clients C]
+                   [--requests Q] [--k K] [--deadline-ms D] [--workers W]
+                   [--queue-capacity N] [--seed X] [--standby-dir DIR] [--no-chaos]
+  tdam-sim serve-load --addr HOST:PORT [--clients C] [--requests Q] [--k K]
+                   [--deadline-ms D] [--seed X]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -82,7 +139,17 @@ SUBCOMMANDS:
   restore      recover the deployment under --dir: validate checksums,
                fall back past damaged generations, replay the journal,
                then revalidate with known-answer probes
+  serve        stand up the sharded TCP serving front-end over a seeded
+               corpus and drive it with a closed-loop chaos campaign
+               (steady → overload → slow shard → crash → recovered),
+               reporting per-phase sheds/latency and per-shard runtime
+               stats; --no-chaos runs the steady phase only
+  serve-load   closed-loop load generator against a running `serve`
+               front-end: discovers the corpus shape over the wire,
+               then reports qps, p50/p99, and explicit shed counts
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).
+Exit codes: 0 success, 1 permanent failure, 2 usage, 75 transient
+failure (retry may succeed).
 ";

@@ -2,7 +2,11 @@
 
 use tdam_cli::args::Args;
 use tdam_cli::commands::dispatch;
-use tdam_cli::{CliError, USAGE};
+use tdam_cli::{CliError, ErrorClass, USAGE};
+
+/// BSD `EX_TEMPFAIL`: the failure is transient; retrying the same
+/// command may succeed (wrappers and schedulers key off this).
+const EXIT_TEMPFAIL: i32 = 75;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +19,11 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            let code = match e.class() {
+                ErrorClass::Transient => EXIT_TEMPFAIL,
+                _ => 1,
+            };
+            std::process::exit(code);
         }
     }
 }

@@ -360,7 +360,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn trained_model() -> (HdcModel, IdLevelEncoder, Dataset) {
-        let ds = Dataset::generate(DatasetKind::Face, 40, 20, 21);
+        let ds = Dataset::generate(DatasetKind::Face, 40, 20, 23);
         let enc = IdLevelEncoder::new(1024, ds.features(), 32, (0.0, 1.0), 6).unwrap();
         let model = HdcModel::train(&enc, &ds.train, ds.classes(), 2).unwrap();
         (model, enc, ds)

@@ -212,7 +212,7 @@ mod tests {
         let enc = SequenceEncoder::new(4096, 5, 7).unwrap();
         let reference = random_seq(200, 1);
         let near = mutate(&reference, 5, 2); // ~2.5% mutation rate
-        let unrelated = random_seq(200, 3);
+        let unrelated = random_seq(200, 4);
         let h_ref = enc.encode_sequence(&reference).unwrap();
         let h_near = enc.encode_sequence(&near).unwrap();
         let h_far = enc.encode_sequence(&unrelated).unwrap();

@@ -423,7 +423,7 @@ mod tests {
                 faults.inject(0, stage, kind);
             }
             let config = ArrayConfig::paper_default().with_stages(16).with_rows(1);
-            let am = build_faulty_array(&config, &[stored.clone()], &faults).unwrap();
+            let am = build_faulty_array(&config, std::slice::from_ref(&stored), &faults).unwrap();
             let decoded = TdamArray::search(&am, &query).unwrap().decoded()[0];
             let truth = stored.iter().zip(&query).filter(|(a, b)| a != b).count();
             prop_assert_eq!(decoded, expected_decode(&stored, &query, 0, &faults));

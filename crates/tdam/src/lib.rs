@@ -57,6 +57,10 @@
 //!   atomic commit, a write-ahead journal of post-checkpoint mutations,
 //!   warm-start recovery that falls back to the last good generation, and
 //!   a seeded crash-injection campaign
+//! - [`serve`] — the sharded network front-end: row-range scatter-gather
+//!   top-k (bit-identical to brute force), bounded-queue admission
+//!   control with explicit load shedding, probe-gated warm-standby
+//!   failover, and a seeded TCP chaos campaign
 //! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
 //!   variation (the paper's "higher-precision potential" analysis)
 //! - [`power`] — idle static (leakage) power, the flip side of the
@@ -127,6 +131,7 @@ pub mod parallel;
 pub mod power;
 pub mod resilience;
 pub mod runtime;
+pub mod serve;
 pub mod stage;
 pub mod store;
 pub mod tdc;
@@ -140,6 +145,9 @@ pub use encoding::Encoding;
 pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 pub use packed::{PackedArray, PackedDecision, PackedScratch};
 pub use runtime::{BackendKind, BatchOutcome, QueryOutcome, ResilientEngine, RuntimeConfig};
+pub use serve::{
+    FrontEnd, ServeClient, ServeConfig, ServeError, ShardMap, ShardedService, ShedReason, TopK,
+};
 pub use store::{
     run_crash_chaos, CheckpointStore, CrashChaosConfig, CrashChaosReport, DeploymentState,
     DurableEngine, JournalOp, RecoveryReport, StoreError,

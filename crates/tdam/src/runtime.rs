@@ -304,6 +304,12 @@ pub struct RuntimeStats {
     pub failed: usize,
     /// Retry attempts spent.
     pub retries: usize,
+    /// Backoff sleeps actually taken between retry rounds (zero-backoff
+    /// deterministic configs retry without sleeping and don't count).
+    pub backoff_waits: usize,
+    /// Circuit-breaker trips: health-miss streaks that reached the
+    /// breaker threshold and forced a detection + repair cycle.
+    pub breaker_trips: usize,
     /// Compiled snapshots rebuilt after invalidation.
     pub recompiles: usize,
     /// Health probes run.
@@ -484,6 +490,7 @@ impl ResilientEngine {
             self.stats.demotions += 1;
         }
         if self.breaker.record_failure() {
+            self.stats.breaker_trips += 1;
             self.array.repair(&report)?;
             self.stats.repairs += 1;
             let after = self.array.check()?;
@@ -633,6 +640,7 @@ impl ResilientEngine {
             }
             let backoff = self.cfg.retry.backoff_for(attempt);
             if !backoff.is_zero() {
+                self.stats.backoff_waits += 1;
                 std::thread::sleep(backoff);
             }
             pending = next;

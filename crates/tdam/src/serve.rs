@@ -1,0 +1,2368 @@
+//! Sharded fault-tolerant serving front-end: a network-facing top-k
+//! similarity service over a pool of [`ResilientEngine`] shards.
+//!
+//! The paper's TD-AM arrays are physically bounded to a few hundred
+//! rows, so a production corpus must be tiled across many arrays. This
+//! module supplies the serving tier above the per-array runtime:
+//!
+//! - **Row-range sharding** ([`ShardMap`]): the corpus is split into
+//!   contiguous row ranges, one [`ResilientEngine`] per range, and a
+//!   query scatter-gathers across shards. The merged top-k is
+//!   **bit-identical** to brute force over the unsharded corpus (pinned
+//!   in `tests/serve.rs`): both sides rank by `(distance, row)`.
+//! - **Admission control and load shedding** ([`FrontEnd`]): a bounded
+//!   request queue plus deadline-aware rejection layered on the
+//!   per-shard [`DeadlinePolicy`]. An over-budget request is answered
+//!   with an explicit [`ServeError::Overloaded`] — never silently
+//!   queued into unbounded tail latency.
+//! - **Warm-standby failover**: each shard can keep a standby engine
+//!   restored from its [`CheckpointStore`] generation. When a shard's
+//!   circuit breaker opens (crash or persistent slowness), the standby
+//!   is promoted **only after** known-answer health probes pass; a
+//!   standby that fails its probes is discarded and the shard stays
+//!   down (served as an explicitly `partial` answer) rather than
+//!   serving silent wrong answers.
+//! - **Chaos campaign** ([`run_serve_chaos`]): seeded closed-loop load
+//!   over the real TCP front-end with injected shard crashes, slow
+//!   shards, and overload bursts, asserting zero silent wrong answers
+//!   and explicit shed accounting (see `ext_serve_scale`).
+//!
+//! The wire protocol is hand-rolled length-prefixed TCP over
+//! `std::net` (no external dependencies): a `u32` little-endian frame
+//! length followed by a tagged payload encoded with the same
+//! [`Writer`]/[`Reader`] primitives as the checkpoint codec.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ArrayConfig;
+use crate::engine::BatchQuery;
+use crate::resilience::{DegradationLevel, ResilienceConfig};
+use crate::runtime::{
+    BackendKind, CircuitBreaker, DeadlinePolicy, QueryOutcome, ResilientEngine, RuntimeConfig,
+    RuntimeStats,
+};
+use crate::store::{CheckpointStore, Codec, Reader, StoreError, Writer};
+use crate::{ErrorClass, TdamError};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why the front-end refused a request instead of serving it late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full.
+    QueueFull,
+    /// The request's deadline budget was already spent (on arrival or
+    /// while queued), so serving it could only produce a late answer.
+    DeadlineExpired,
+}
+
+impl core::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "admission queue full"),
+            Self::DeadlineExpired => write!(f, "deadline budget exhausted"),
+        }
+    }
+}
+
+/// Errors from the serving front-end and its clients.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The request was explicitly shed by admission control.
+    Overloaded(ShedReason),
+    /// Every shard is down: no part of the corpus can answer.
+    Unavailable,
+    /// A malformed frame or an out-of-contract request/reply.
+    Protocol(String),
+    /// A simulation-layer failure propagated from a shard.
+    Sim(TdamError),
+    /// A checkpoint-store failure (standby restore/restock).
+    Store(StoreError),
+}
+
+impl ServeError {
+    /// Classifies this error for retry decisions, mirroring
+    /// [`TdamError::class`]: sheds and availability gaps are
+    /// [`ErrorClass::Transient`] (retry later, possibly elsewhere),
+    /// protocol violations are caller bugs.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Self::Io(_) | Self::Overloaded(_) | Self::Unavailable => ErrorClass::Transient,
+            Self::Protocol(_) => ErrorClass::Permanent,
+            Self::Sim(e) => e.class(),
+            Self::Store(e) => match e {
+                StoreError::Io(_) => ErrorClass::Transient,
+                StoreError::Sim(inner) => inner.class(),
+                _ => ErrorClass::Permanent,
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Overloaded(reason) => write!(f, "request shed: {reason}"),
+            Self::Unavailable => write!(f, "no shard available to answer"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Self::Sim(e) => write!(f, "shard failure: {e}"),
+            Self::Store(e) => write!(f, "checkpoint store failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            Self::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<TdamError> for ServeError {
+    fn from(e: TdamError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard map
+// ---------------------------------------------------------------------------
+
+/// Consistent row-range sharding: corpus row `r` lives on shard
+/// `r / rows_per_shard`, and every shard except possibly the last holds
+/// exactly `rows_per_shard` contiguous rows.
+///
+/// The map is a pure function of `(total_rows, rows_per_shard)`, so
+/// every replica of the front-end routes identically and a merged
+/// result can always be traced back to global row ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    total_rows: usize,
+    rows_per_shard: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Builds the map.
+    ///
+    /// # Errors
+    ///
+    /// [`TdamError::InvalidConfig`] when either count is zero.
+    pub fn new(total_rows: usize, rows_per_shard: usize) -> Result<Self, TdamError> {
+        if total_rows == 0 {
+            return Err(TdamError::InvalidConfig {
+                what: "shard map needs at least one corpus row",
+            });
+        }
+        if rows_per_shard == 0 {
+            return Err(TdamError::InvalidConfig {
+                what: "shard capacity must be nonzero",
+            });
+        }
+        Ok(Self {
+            total_rows,
+            rows_per_shard,
+            shards: total_rows.div_ceil(rows_per_shard),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total corpus rows across all shards.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// The global row range `(base, len)` owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn range(&self, s: usize) -> (usize, usize) {
+        assert!(s < self.shards, "shard {s} out of range ({})", self.shards);
+        let base = s * self.rows_per_shard;
+        (base, self.rows_per_shard.min(self.total_rows - base))
+    }
+
+    /// Maps a global row id to `(shard, local_row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn locate(&self, row: usize) -> (usize, usize) {
+        assert!(
+            row < self.total_rows,
+            "row {row} out of range ({})",
+            self.total_rows
+        );
+        (row / self.rows_per_shard, row % self.rows_per_shard)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service configuration
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`ShardedService`] and its [`FrontEnd`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Array template; `rows` is overridden per shard by the shard map.
+    pub array: ArrayConfig,
+    /// Per-shard resilience provisioning (spares, references).
+    pub resilience: ResilienceConfig,
+    /// Per-shard runtime policy. The per-request deadline overrides
+    /// `runtime.deadline` on every scatter, so leave it `None` here.
+    pub runtime: RuntimeConfig,
+    /// Corpus rows per shard (the physical array bound).
+    pub rows_per_shard: usize,
+    /// Consecutive shard-level failures (errors, timeouts) before a
+    /// shard's breaker opens and it is taken out of rotation (min 1).
+    pub shard_breaker_threshold: usize,
+    /// Bounded admission queue depth; a request arriving past this is
+    /// shed with [`ShedReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+}
+
+impl ServeConfig {
+    /// A small paper-scale default: 3-stage-bit arrays of 64 rows per
+    /// shard, single-threaded per-shard engines (the front-end supplies
+    /// cross-request parallelism), and a generous 250 ms default
+    /// deadline.
+    pub fn paper_default() -> Self {
+        Self {
+            array: ArrayConfig::paper_default(),
+            resilience: ResilienceConfig::default(),
+            runtime: RuntimeConfig {
+                deadline: DeadlinePolicy::None,
+                threads: Some(1),
+                // Per-shard health probes are amortized: the front-end's
+                // known-answer failover probes are the primary gate.
+                health_interval: 32,
+                ..RuntimeConfig::default()
+            },
+            rows_per_shard: 64,
+            shard_breaker_threshold: 2,
+            queue_capacity: 64,
+            workers: 4,
+            default_deadline: Duration::from_millis(250),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-k answers
+// ---------------------------------------------------------------------------
+
+/// A merged scatter-gather answer.
+///
+/// `neighbors` is ranked by `(distance, row)` ascending — the same
+/// total order as [`brute_force_topk`] — so a complete, undegraded
+/// answer is bit-identical to unsharded brute force.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopK {
+    /// Up to `k` `(distance, global_row)` pairs, best first.
+    pub neighbors: Vec<(usize, usize)>,
+    /// Some shards did not contribute (down, or the deadline expired
+    /// mid-scatter): the answer covers only part of the corpus.
+    pub partial: bool,
+    /// Some contributing shard answered with reduced fidelity (masked
+    /// columns, spare-row remaps, or a degraded backend).
+    pub degraded: bool,
+    /// Shards that contributed candidates.
+    pub shards_answered: usize,
+    /// Total shards in the map.
+    pub shards_total: usize,
+}
+
+impl TopK {
+    /// Whether the answer covers the whole corpus at full fidelity —
+    /// exactly the condition under which it must be bit-identical to
+    /// brute force (asserted by the chaos campaign).
+    pub fn complete(&self) -> bool {
+        !self.partial && !self.degraded
+    }
+}
+
+/// Reference answer: brute-force top-k over the full corpus, ranked by
+/// `(distance, row)` ascending. Distances are element-wise Hamming, the
+/// same metric the TD-AM measures in the time domain.
+///
+/// # Errors
+///
+/// [`TdamError::LengthMismatch`] / [`TdamError::ValueOutOfRange`] when
+/// the query does not fit the corpus encoding.
+pub fn brute_force_topk(
+    corpus: &[Vec<u8>],
+    encoding: crate::encoding::Encoding,
+    query: &[u8],
+    k: usize,
+) -> Result<Vec<(usize, usize)>, TdamError> {
+    let mut ranked = Vec::with_capacity(corpus.len());
+    for (row, stored) in corpus.iter().enumerate() {
+        ranked.push((encoding.hamming(stored, query)?, row));
+    }
+    ranked.sort_unstable();
+    ranked.truncate(k);
+    Ok(ranked)
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+/// Mutable per-shard serving state, guarded by the shard's lock.
+#[derive(Debug)]
+struct ShardState {
+    engine: ResilientEngine,
+    /// Injected per-request service delay (chaos: slow shard).
+    slow: Option<Duration>,
+    /// Out of rotation: the breaker opened and no standby has passed
+    /// its probes yet.
+    down: bool,
+    /// Front-end-level breaker over whole-shard failures. Distinct from
+    /// the engine's internal health breaker: this one counts requests
+    /// the shard failed to answer at all.
+    breaker: CircuitBreaker,
+}
+
+/// One shard: a row range, its serving engine, and its warm standby.
+struct Shard {
+    base: usize,
+    rows: usize,
+    state: Mutex<ShardState>,
+    /// Warm standby engine restored from the checkpoint generation,
+    /// promoted only after known-answer probes pass.
+    standby: Mutex<Option<ResilientEngine>>,
+    /// Per-shard checkpoint store backing the standby (None = no
+    /// standby provisioning).
+    store: Option<CheckpointStore>,
+}
+
+impl core::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shard")
+            .field("base", &self.base)
+            .field("rows", &self.rows)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Mutex lock that survives a poisoned peer: serving state must stay
+/// reachable even if a panicking thread died while holding the lock
+/// (the runtime already isolates worker panics; this is the last line).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Service-level counters (everything above per-shard runtime stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests that entered the scatter path.
+    pub requests: usize,
+    /// Answers that covered every shard at full fidelity.
+    pub complete: usize,
+    /// Answers flagged partial (downed shard or mid-scatter expiry).
+    pub partial: usize,
+    /// Answers flagged degraded by a contributing shard.
+    pub degraded: usize,
+    /// Shards taken out of rotation by an open breaker.
+    pub shard_downs: usize,
+    /// Standby promotions that passed known-answer probes.
+    pub failovers: usize,
+    /// Standby candidates rejected by their probes.
+    pub probe_failures: usize,
+    /// Standbys restocked from the checkpoint store after a promotion.
+    pub restocks: usize,
+}
+
+impl Codec for ServiceStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.requests);
+        w.put_usize(self.complete);
+        w.put_usize(self.partial);
+        w.put_usize(self.degraded);
+        w.put_usize(self.shard_downs);
+        w.put_usize(self.failovers);
+        w.put_usize(self.probe_failures);
+        w.put_usize(self.restocks);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            requests: r.get_usize()?,
+            complete: r.get_usize()?,
+            partial: r.get_usize()?,
+            degraded: r.get_usize()?,
+            shard_downs: r.get_usize()?,
+            failovers: r.get_usize()?,
+            probe_failures: r.get_usize()?,
+            restocks: r.get_usize()?,
+        })
+    }
+}
+
+/// One shard's externally visible condition, as reported by the stats
+/// endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Global row range base.
+    pub base: usize,
+    /// Rows owned.
+    pub rows: usize,
+    /// Out of rotation.
+    pub down: bool,
+    /// Whether a warm standby is currently stocked.
+    pub standby_ready: bool,
+    /// Backend the serving engine is on.
+    pub backend: BackendKind,
+    /// The engine's cumulative runtime statistics (retries, backoff
+    /// waits, breaker trips, fallback transitions, repairs).
+    pub stats: RuntimeStats,
+}
+
+// ---------------------------------------------------------------------------
+// The sharded service
+// ---------------------------------------------------------------------------
+
+/// A pool of [`ResilientEngine`] shards behind a scatter-gather top-k
+/// search, with per-shard circuit breaking and warm-standby failover.
+///
+/// Thread-safe: requests lock one shard at a time in shard order, so
+/// concurrent requests pipeline across shards.
+#[derive(Debug)]
+pub struct ShardedService {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    encoding: crate::encoding::Encoding,
+    stages: usize,
+    /// The stored corpus (kept for known-answer failover probes).
+    corpus: Vec<Vec<u8>>,
+    breaker_threshold: usize,
+    /// Fast-path flag: at least one shard is down, so the next request
+    /// should attempt failover before scattering.
+    any_down: AtomicBool,
+    /// Only one request at a time pays for failover probing.
+    failover_gate: Mutex<()>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl ShardedService {
+    /// Builds the service over `corpus`, one engine per shard-map
+    /// range. When `standby_dir` is given, each shard commits its
+    /// deployment state to a per-shard [`CheckpointStore`] under that
+    /// directory and keeps a warm standby restored from it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sim`] when the corpus does not fit the array
+    /// template; [`ServeError::Store`] when standby provisioning fails.
+    pub fn new(
+        cfg: &ServeConfig,
+        corpus: &[Vec<u8>],
+        standby_dir: Option<&Path>,
+    ) -> Result<Self, ServeError> {
+        let map = ShardMap::new(corpus.len(), cfg.rows_per_shard)?;
+        let stages = cfg.array.stages;
+        let mut shards = Vec::with_capacity(map.shards());
+        for s in 0..map.shards() {
+            let (base, rows) = map.range(s);
+            let array = cfg.array.with_rows(rows);
+            let mut engine = ResilientEngine::new(array, cfg.resilience, cfg.runtime)?;
+            for (local, values) in corpus[base..base + rows].iter().enumerate() {
+                engine.store(local, values)?;
+            }
+            let (store, standby) = match standby_dir {
+                Some(dir) => {
+                    let store = CheckpointStore::open(dir.join(format!("shard{s}")))?;
+                    store.commit(&engine.checkpoint())?;
+                    let (state, _ops, _report) = store.recover()?;
+                    let standby = ResilientEngine::restore(&state, cfg.runtime)?;
+                    (Some(store), Some(standby))
+                }
+                None => (None, None),
+            };
+            shards.push(Shard {
+                base,
+                rows,
+                state: Mutex::new(ShardState {
+                    engine,
+                    slow: None,
+                    down: false,
+                    breaker: CircuitBreaker::new(cfg.shard_breaker_threshold.max(1)),
+                }),
+                standby: Mutex::new(standby),
+                store,
+            });
+        }
+        Ok(Self {
+            map,
+            shards,
+            encoding: cfg.array.encoding,
+            stages,
+            corpus: corpus.to_vec(),
+            breaker_threshold: cfg.shard_breaker_threshold.max(1),
+            any_down: AtomicBool::new(false),
+            failover_gate: Mutex::new(()),
+            stats: Mutex::new(ServiceStats::default()),
+        })
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Query width (stages per chain).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Element encoding of the corpus.
+    pub fn encoding(&self) -> crate::encoding::Encoding {
+        self.encoding
+    }
+
+    /// Snapshot of the service-level counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        *lock(&self.stats)
+    }
+
+    /// Snapshot of every shard's condition (for the stats endpoint).
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let st = lock(&shard.state);
+                ShardStatus {
+                    base: shard.base,
+                    rows: shard.rows,
+                    down: st.down,
+                    standby_ready: lock(&shard.standby).is_some(),
+                    backend: st.engine.backend(),
+                    stats: *st.engine.stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Scatter-gather top-k search under a wall-clock deadline.
+    ///
+    /// The deadline is admission-checked up front: a zero or
+    /// already-spent budget rejects the *whole request* with
+    /// [`ServeError::Overloaded`]`(`[`ShedReason::DeadlineExpired`]`)`
+    /// rather than hanging or returning an empty answer. A deadline
+    /// that expires mid-scatter still returns the candidates gathered
+    /// so far, flagged `partial`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] on admission rejection,
+    /// [`ServeError::Unavailable`] when no shard could contribute,
+    /// [`ServeError::Sim`] for caller bugs (shape/range mismatches).
+    pub fn search_topk(
+        &self,
+        query: &[u8],
+        k: usize,
+        deadline: Duration,
+    ) -> Result<TopK, ServeError> {
+        // Validate the query up front so caller bugs never count
+        // against shard health.
+        if query.len() != self.stages {
+            return Err(ServeError::Sim(TdamError::LengthMismatch {
+                got: query.len(),
+                expected: self.stages,
+            }));
+        }
+        self.encoding.validate(query).map_err(ServeError::Sim)?;
+        if deadline.is_zero() {
+            return Err(ServeError::Overloaded(ShedReason::DeadlineExpired));
+        }
+        let start = Instant::now();
+        if self.any_down.load(Ordering::Acquire) {
+            self.try_failover();
+        }
+
+        let mut batch = BatchQuery::new(self.stages);
+        batch.push(query).map_err(ServeError::Sim)?;
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        let mut partial = false;
+        let mut degraded = false;
+        let mut shards_answered = 0usize;
+        let mut budget_expired = false;
+        for shard in &self.shards {
+            let mut st = lock(&shard.state);
+            if st.down {
+                partial = true;
+                continue;
+            }
+            let slow_injected = st.slow.is_some();
+            if let Some(delay) = st.slow {
+                // Chaos injection: the shard really does serve slowly,
+                // while holding its lock (head-of-line blocking).
+                std::thread::sleep(delay);
+            }
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .filter(|r| !r.is_zero());
+            let Some(remaining) = remaining else {
+                // Mid-scatter expiry: completed shards still count. A
+                // shard that burned the budget with its own injected
+                // service delay owns the failure (this is how a slow
+                // shard trips its breaker and gets failed over).
+                partial = true;
+                budget_expired = true;
+                if slow_injected && st.breaker.record_failure() {
+                    st.down = true;
+                    drop(st);
+                    self.any_down.store(true, Ordering::Release);
+                    lock(&self.stats).shard_downs += 1;
+                }
+                break;
+            };
+            st.engine.cfg.deadline = DeadlinePolicy::WallClock(remaining);
+            let served = st.engine.serve(&batch);
+            let mut shard_failed = false;
+            match served {
+                Ok(outcome) => match &outcome.slots[0] {
+                    QueryOutcome::Ok(m) => {
+                        st.breaker.record_success();
+                        shards_answered += 1;
+                        let level = st.engine.array().degradation().level;
+                        degraded |= level != DegradationLevel::Nominal
+                            || outcome.backend == BackendKind::DegradedMasked;
+                        for (local, dist) in m.distances.iter().enumerate() {
+                            if let Some(d) = dist {
+                                candidates.push((*d, shard.base + local));
+                            } else {
+                                // A row excluded from ranking (dead or
+                                // unreadable) is a fidelity loss.
+                                degraded = true;
+                            }
+                        }
+                    }
+                    QueryOutcome::TimedOut => {
+                        // The shard burned the remaining budget without
+                        // answering: that is a shard-health signal
+                        // (slow shard) *and* a partial answer.
+                        partial = true;
+                        budget_expired = true;
+                        shard_failed = true;
+                    }
+                    QueryOutcome::Failed { .. } => {
+                        partial = true;
+                        shard_failed = true;
+                    }
+                },
+                Err(_) => {
+                    partial = true;
+                    shard_failed = true;
+                }
+            }
+            if shard_failed && st.breaker.record_failure() {
+                st.down = true;
+                drop(st);
+                self.any_down.store(true, Ordering::Release);
+                lock(&self.stats).shard_downs += 1;
+            }
+        }
+
+        if shards_answered == 0 {
+            return if budget_expired {
+                // The budget ran out before any shard could answer:
+                // that is a shed, not an availability gap.
+                Err(ServeError::Overloaded(ShedReason::DeadlineExpired))
+            } else {
+                // Every shard was down or failing.
+                Err(ServeError::Unavailable)
+            };
+        }
+        candidates.sort_unstable();
+        candidates.truncate(k);
+        let mut stats = lock(&self.stats);
+        stats.requests += 1;
+        if partial {
+            stats.partial += 1;
+        }
+        if degraded {
+            stats.degraded += 1;
+        }
+        if !partial && !degraded {
+            stats.complete += 1;
+        }
+        drop(stats);
+        Ok(TopK {
+            neighbors: candidates,
+            partial,
+            degraded,
+            shards_answered,
+            shards_total: self.map.shards(),
+        })
+    }
+
+    /// Attempts warm-standby failover for every downed shard. Only one
+    /// caller at a time pays the probing cost; concurrent requests keep
+    /// serving partial answers until a standby has been promoted.
+    pub fn try_failover(&self) {
+        let Ok(_gate) = self.failover_gate.try_lock() else {
+            return;
+        };
+        let mut still_down = false;
+        for shard in &self.shards {
+            if !lock(&shard.state).down {
+                continue;
+            }
+            match self.promote_standby(shard) {
+                Ok(true) => {}
+                Ok(false) => still_down = true,
+                Err(_) => still_down = true,
+            }
+        }
+        self.any_down.store(still_down, Ordering::Release);
+    }
+
+    /// Promotes `shard`'s standby if its known-answer probes pass.
+    /// Returns whether the shard is back in rotation.
+    fn promote_standby(&self, shard: &Shard) -> Result<bool, ServeError> {
+        let Some(mut candidate) = lock(&shard.standby).take() else {
+            return Ok(false);
+        };
+        if !self.probe_candidate(&mut candidate, shard.base, shard.rows) {
+            lock(&self.stats).probe_failures += 1;
+            // The candidate flunked: discard it. A fresh restock from
+            // the durable generation may still pass later (e.g. the
+            // fault was injected into the live standby, not the
+            // checkpoint).
+            self.restock_standby(shard);
+            return Ok(false);
+        }
+        {
+            let mut st = lock(&shard.state);
+            st.engine = candidate;
+            st.down = false;
+            st.slow = None;
+            st.breaker = CircuitBreaker::new(self.breaker_threshold);
+        }
+        let mut stats = lock(&self.stats);
+        stats.failovers += 1;
+        drop(stats);
+        self.restock_standby(shard);
+        Ok(true)
+    }
+
+    /// Known-answer probes: every stored row of the range, queried
+    /// exactly, must win its own search at distance zero. A standby
+    /// that cannot reproduce the corpus it claims to hold is not
+    /// promoted.
+    fn probe_candidate(&self, candidate: &mut ResilientEngine, base: usize, rows: usize) -> bool {
+        let probes = match BatchQuery::from_rows(&self.corpus[base..base + rows]) {
+            Ok(b) => b,
+            Err(_) => return false,
+        };
+        candidate.cfg.deadline = DeadlinePolicy::None;
+        let outcome = match candidate.serve(&probes) {
+            Ok(o) => o,
+            Err(_) => return false,
+        };
+        let exact = outcome.slots.iter().enumerate().all(|(local, slot)| {
+            slot.ok().is_some_and(|m| {
+                m.best_row == Some(local) && m.distances.get(local).copied() == Some(Some(0))
+            })
+        });
+        // Serving the probes runs the engine's own health machinery; if
+        // that left residual degradation (masked stages, spare-row
+        // exhaustion), the candidate would serve at reduced fidelity
+        // forever — masking can even make a damaged standby answer the
+        // exact-match probes correctly. Promotion requires full health.
+        exact && candidate.array().degradation().level == DegradationLevel::Nominal
+    }
+
+    /// Refills `shard`'s standby slot from its checkpoint store.
+    fn restock_standby(&self, shard: &Shard) {
+        let Some(store) = &shard.store else {
+            return;
+        };
+        let Ok((state, _ops, _report)) = store.recover() else {
+            return;
+        };
+        let cfg = *lock(&shard.state).engine.runtime_config();
+        if let Ok(engine) = ResilientEngine::restore(&state, cfg) {
+            *lock(&shard.standby) = Some(engine);
+            lock(&self.stats).restocks += 1;
+        }
+    }
+
+    // -- chaos injection ---------------------------------------------------
+
+    /// Chaos: hard-crash a shard (taken out of rotation immediately, as
+    /// if its array went dark). The next request attempts failover.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn inject_crash(&self, shard: usize) {
+        let mut st = lock(&self.shards[shard].state);
+        st.down = true;
+        drop(st);
+        lock(&self.stats).shard_downs += 1;
+        self.any_down.store(true, Ordering::Release);
+    }
+
+    /// Chaos: make a shard serve each request `delay` late (None clears
+    /// the injection). A slow shard is detected through its breaker —
+    /// requests time out against it until it is taken out of rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn inject_slow(&self, shard: usize, delay: Option<Duration>) {
+        lock(&self.shards[shard].state).slow = delay;
+    }
+
+    /// Chaos: corrupt the *standby* of a shard by sticking a whole
+    /// column, so its known-answer probes must fail and promotion must
+    /// be refused (the probe gate under test).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unavailable`] when the shard has no stocked
+    /// standby; [`ServeError::Sim`] when the injection itself fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn inject_standby_fault(&self, shard: usize, stage: usize) -> Result<(), ServeError> {
+        let mut standby = lock(&self.shards[shard].standby);
+        let Some(engine) = standby.as_mut() else {
+            return Err(ServeError::Unavailable);
+        };
+        engine.array_mut().stuck_column(stage)?;
+        Ok(())
+    }
+
+    /// Chaos: drop a shard's standby entirely (models a failed restock
+    /// path), leaving the shard unrecoverable until re-provisioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn drop_standby(&self, shard: usize) {
+        *lock(&self.shards[shard].standby) = None;
+    }
+
+    /// Whether the given shard is currently out of rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn is_down(&self, shard: usize) -> bool {
+        lock(&self.shards[shard].state).down
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a frame payload; a peer claiming more is a protocol
+/// violation, not an allocation request.
+pub const MAX_FRAME: usize = 1 << 20;
+
+const REQ_QUERY: u8 = 0;
+const REQ_STATS: u8 = 1;
+const REQ_INFO: u8 = 2;
+
+const REPLY_TOPK: u8 = 0;
+const REPLY_OVERLOADED: u8 = 1;
+const REPLY_ERROR: u8 = 2;
+const REPLY_STATS: u8 = 3;
+const REPLY_INFO: u8 = 4;
+
+fn backend_tag(b: BackendKind) -> u8 {
+    match b {
+        BackendKind::CompiledLut => 0,
+        BackendKind::Behavioral => 1,
+        BackendKind::DegradedMasked => 2,
+    }
+}
+
+fn backend_from_tag(t: u8) -> Result<BackendKind, ServeError> {
+    match t {
+        0 => Ok(BackendKind::CompiledLut),
+        1 => Ok(BackendKind::Behavioral),
+        2 => Ok(BackendKind::DegradedMasked),
+        _ => Err(ServeError::Protocol(format!("unknown backend tag {t}"))),
+    }
+}
+
+fn class_tag(c: ErrorClass) -> u8 {
+    match c {
+        ErrorClass::Transient => 0,
+        ErrorClass::Degraded => 1,
+        ErrorClass::Permanent => 2,
+    }
+}
+
+fn class_from_tag(t: u8) -> Result<ErrorClass, ServeError> {
+    match t {
+        0 => Ok(ErrorClass::Transient),
+        1 => Ok(ErrorClass::Degraded),
+        2 => Ok(ErrorClass::Permanent),
+        _ => Err(ServeError::Protocol(format!("unknown error class {t}"))),
+    }
+}
+
+/// A request frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Request {
+    Query {
+        query: Vec<u8>,
+        k: usize,
+        /// Whole-request wall-clock budget in microseconds (0 = use the
+        /// server's default deadline).
+        deadline_us: u64,
+    },
+    Stats,
+    Info,
+}
+
+impl Request {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Self::Query {
+                query,
+                k,
+                deadline_us,
+            } => {
+                w.put_u8(REQ_QUERY);
+                w.put_u32(*k as u32);
+                w.put_u64(*deadline_us);
+                w.put_u32(query.len() as u32);
+                for &b in query {
+                    w.put_u8(b);
+                }
+            }
+            Self::Stats => w.put_u8(REQ_STATS),
+            Self::Info => w.put_u8(REQ_INFO),
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.get_u8().map_err(|_| truncated())?;
+        match tag {
+            REQ_QUERY => {
+                let k = r.get_u32().map_err(|_| truncated())? as usize;
+                let deadline_us = r.get_u64().map_err(|_| truncated())?;
+                let n = r.get_u32().map_err(|_| truncated())? as usize;
+                if n > MAX_FRAME {
+                    return Err(ServeError::Protocol(format!("query length {n} too large")));
+                }
+                let mut query = Vec::with_capacity(n);
+                for _ in 0..n {
+                    query.push(r.get_u8().map_err(|_| truncated())?);
+                }
+                Ok(Self::Query {
+                    query,
+                    k,
+                    deadline_us,
+                })
+            }
+            REQ_STATS => Ok(Self::Stats),
+            REQ_INFO => Ok(Self::Info),
+            _ => Err(ServeError::Protocol(format!("unknown request tag {tag}"))),
+        }
+    }
+}
+
+/// Front-end counter snapshot, as served by the stats endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontStats {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Query requests received (before admission).
+    pub received: usize,
+    /// Requests shed because the admission queue was full.
+    pub shed_queue: usize,
+    /// Requests shed because their budget expired while queued.
+    pub shed_deadline: usize,
+    /// Requests answered with a top-k result.
+    pub answered: usize,
+    /// Requests answered with an error reply.
+    pub errors: usize,
+}
+
+impl Codec for FrontStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.connections);
+        w.put_usize(self.received);
+        w.put_usize(self.shed_queue);
+        w.put_usize(self.shed_deadline);
+        w.put_usize(self.answered);
+        w.put_usize(self.errors);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            connections: r.get_usize()?,
+            received: r.get_usize()?,
+            shed_queue: r.get_usize()?,
+            shed_deadline: r.get_usize()?,
+            answered: r.get_usize()?,
+            errors: r.get_usize()?,
+        })
+    }
+}
+
+/// Live atomic counters behind [`FrontStats`].
+#[derive(Debug, Default)]
+struct FrontCounters {
+    connections: AtomicU64,
+    received: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_deadline: AtomicU64,
+    answered: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl FrontCounters {
+    fn snapshot(&self) -> FrontStats {
+        FrontStats {
+            connections: self.connections.load(Ordering::Relaxed) as usize,
+            received: self.received.load(Ordering::Relaxed) as usize,
+            shed_queue: self.shed_queue.load(Ordering::Relaxed) as usize,
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed) as usize,
+            answered: self.answered.load(Ordering::Relaxed) as usize,
+            errors: self.errors.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+/// Full observability snapshot from the stats endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Front-end admission counters.
+    pub front: FrontStats,
+    /// Service-level scatter-gather counters.
+    pub service: ServiceStats,
+    /// Per-shard condition including engine [`RuntimeStats`].
+    pub shards: Vec<ShardStatus>,
+}
+
+/// Corpus/topology description from the info endpoint, enough for a
+/// client to build well-formed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfoReply {
+    /// Elements per query (stages per chain).
+    pub stages: usize,
+    /// Encoding levels; valid element values are `0..levels`.
+    pub levels: usize,
+    /// Total corpus rows.
+    pub rows: usize,
+    /// Shard count.
+    pub shards: usize,
+}
+
+/// A reply frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Reply {
+    TopK(TopK),
+    Overloaded(ShedReason),
+    Error { class: ErrorClass, msg: String },
+    Stats(Box<StatsReply>),
+    Info(InfoReply),
+}
+
+fn truncated() -> ServeError {
+    ServeError::Protocol("truncated frame".into())
+}
+
+impl Reply {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Self::TopK(t) => {
+                w.put_u8(REPLY_TOPK);
+                w.put_bool(t.partial);
+                w.put_bool(t.degraded);
+                w.put_u32(t.shards_answered as u32);
+                w.put_u32(t.shards_total as u32);
+                w.put_u32(t.neighbors.len() as u32);
+                for &(dist, row) in &t.neighbors {
+                    w.put_u64(dist as u64);
+                    w.put_u64(row as u64);
+                }
+            }
+            Self::Overloaded(reason) => {
+                w.put_u8(REPLY_OVERLOADED);
+                w.put_u8(match reason {
+                    ShedReason::QueueFull => 0,
+                    ShedReason::DeadlineExpired => 1,
+                });
+            }
+            Self::Error { class, msg } => {
+                w.put_u8(REPLY_ERROR);
+                w.put_u8(class_tag(*class));
+                let bytes = msg.as_bytes();
+                w.put_u32(bytes.len() as u32);
+                for &b in bytes {
+                    w.put_u8(b);
+                }
+            }
+            Self::Stats(s) => {
+                w.put_u8(REPLY_STATS);
+                s.front.encode(&mut w);
+                s.service.encode(&mut w);
+                w.put_u32(s.shards.len() as u32);
+                for shard in &s.shards {
+                    w.put_usize(shard.base);
+                    w.put_usize(shard.rows);
+                    w.put_bool(shard.down);
+                    w.put_bool(shard.standby_ready);
+                    w.put_u8(backend_tag(shard.backend));
+                    shard.stats.encode(&mut w);
+                }
+            }
+            Self::Info(i) => {
+                w.put_u8(REPLY_INFO);
+                w.put_u32(i.stages as u32);
+                w.put_u32(i.levels as u32);
+                w.put_u64(i.rows as u64);
+                w.put_u32(i.shards as u32);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.get_u8().map_err(|_| truncated())?;
+        match tag {
+            REPLY_TOPK => {
+                let partial = r.get_bool().map_err(|_| truncated())?;
+                let degraded = r.get_bool().map_err(|_| truncated())?;
+                let shards_answered = r.get_u32().map_err(|_| truncated())? as usize;
+                let shards_total = r.get_u32().map_err(|_| truncated())? as usize;
+                let n = r.get_u32().map_err(|_| truncated())? as usize;
+                if n > MAX_FRAME {
+                    return Err(ServeError::Protocol(format!("top-k size {n} too large")));
+                }
+                let mut neighbors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let dist = r.get_u64().map_err(|_| truncated())? as usize;
+                    let row = r.get_u64().map_err(|_| truncated())? as usize;
+                    neighbors.push((dist, row));
+                }
+                Ok(Self::TopK(TopK {
+                    neighbors,
+                    partial,
+                    degraded,
+                    shards_answered,
+                    shards_total,
+                }))
+            }
+            REPLY_OVERLOADED => match r.get_u8().map_err(|_| truncated())? {
+                0 => Ok(Self::Overloaded(ShedReason::QueueFull)),
+                1 => Ok(Self::Overloaded(ShedReason::DeadlineExpired)),
+                t => Err(ServeError::Protocol(format!("unknown shed reason {t}"))),
+            },
+            REPLY_ERROR => {
+                let class = class_from_tag(r.get_u8().map_err(|_| truncated())?)?;
+                let n = r.get_u32().map_err(|_| truncated())? as usize;
+                if n > MAX_FRAME {
+                    return Err(ServeError::Protocol(format!("message length {n}")));
+                }
+                let mut bytes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bytes.push(r.get_u8().map_err(|_| truncated())?);
+                }
+                let msg = String::from_utf8(bytes)
+                    .map_err(|_| ServeError::Protocol("non-utf8 error message".into()))?;
+                Ok(Self::Error { class, msg })
+            }
+            REPLY_STATS => {
+                let front = FrontStats::decode(&mut r).map_err(|_| truncated())?;
+                let service = ServiceStats::decode(&mut r).map_err(|_| truncated())?;
+                let n = r.get_u32().map_err(|_| truncated())? as usize;
+                if n > MAX_FRAME {
+                    return Err(ServeError::Protocol(format!("shard count {n}")));
+                }
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(ShardStatus {
+                        base: r.get_usize().map_err(|_| truncated())?,
+                        rows: r.get_usize().map_err(|_| truncated())?,
+                        down: r.get_bool().map_err(|_| truncated())?,
+                        standby_ready: r.get_bool().map_err(|_| truncated())?,
+                        backend: backend_from_tag(r.get_u8().map_err(|_| truncated())?)?,
+                        stats: RuntimeStats::decode(&mut r).map_err(|_| truncated())?,
+                    });
+                }
+                Ok(Self::Stats(Box::new(StatsReply {
+                    front,
+                    service,
+                    shards,
+                })))
+            }
+            REPLY_INFO => Ok(Self::Info(InfoReply {
+                stages: r.get_u32().map_err(|_| truncated())? as usize,
+                levels: r.get_u32().map_err(|_| truncated())? as usize,
+                rows: r.get_u64().map_err(|_| truncated())? as usize,
+                shards: r.get_u32().map_err(|_| truncated())? as usize,
+            })),
+            _ => Err(ServeError::Protocol(format!("unknown reply tag {tag}"))),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), ServeError> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+/// Blocking read of one length-prefixed frame. `Ok(None)` = clean EOF
+/// at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut header = [0u8; 4];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!(
+            "frame length {len} too large"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Polling read of one frame with a read timeout, so server connection
+/// threads notice shutdown. `Ok(None)` = clean EOF or shutdown.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    running: &AtomicBool,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Header complete? Then maybe the payload too.
+        if buf.len() >= 4 {
+            let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            if len > MAX_FRAME {
+                return Err(ServeError::Protocol(format!(
+                    "frame length {len} too large"
+                )));
+            }
+            if buf.len() >= 4 + len {
+                buf.drain(..4);
+                buf.truncate(len);
+                return Ok(Some(buf));
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ServeError::Protocol("connection closed mid-frame".into()))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !running.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------------------
+
+/// One admitted query waiting for a worker.
+struct Job {
+    query: Vec<u8>,
+    k: usize,
+    deadline: Duration,
+    arrived: Instant,
+    /// Write half of the client connection (reads happen on the
+    /// connection thread; replies are serialized through this lock).
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// Bounded MPMC queue: the admission-control boundary. `try_push` never
+/// blocks — a full queue is an immediate, explicit shed.
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job unless the queue is at capacity or closed.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = lock(&self.inner);
+        if inner.1 || inner.0.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.0.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.inner).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end
+// ---------------------------------------------------------------------------
+
+/// The network-facing serving front-end: a TCP acceptor, a bounded
+/// admission queue, and a worker pool draining it into
+/// [`ShardedService::search_topk`].
+///
+/// Protocol: length-prefixed frames (`u32` LE length, then a tagged
+/// payload; see [`ServeClient`]). Each connection serves one
+/// outstanding request at a time. Stats/info requests bypass the
+/// admission queue so observability keeps working under overload.
+pub struct FrontEnd {
+    addr: SocketAddr,
+    service: Arc<ShardedService>,
+    running: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    counters: Arc<FrontCounters>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl core::fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("addr", &self.addr)
+            .field("running", &self.running.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrontEnd {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// the acceptor plus `cfg.workers` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the listener cannot bind.
+    pub fn start(
+        service: Arc<ShardedService>,
+        cfg: &ServeConfig,
+        bind_addr: &str,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let counters = Arc::new(FrontCounters::default());
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut worker_handles = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            let counters = Arc::clone(&counters);
+            worker_handles.push(std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    serve_job(&service, &counters, job);
+                }
+            }));
+        }
+
+        let accept_handle = {
+            let running = Arc::clone(&running);
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            let counters = Arc::clone(&counters);
+            let conn_handles = Arc::clone(&conn_handles);
+            let default_deadline = cfg.default_deadline;
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let running = Arc::clone(&running);
+                    let queue = Arc::clone(&queue);
+                    let service = Arc::clone(&service);
+                    let counters = Arc::clone(&counters);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(
+                            stream,
+                            &running,
+                            &queue,
+                            &service,
+                            &counters,
+                            default_deadline,
+                        );
+                    });
+                    lock(&conn_handles).push(handle);
+                }
+            })
+        };
+
+        Ok(Self {
+            addr,
+            service,
+            running,
+            queue,
+            counters,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            conn_handles,
+        })
+    }
+
+    /// The bound address (for clients when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this front-end (for in-process chaos
+    /// injection during campaigns).
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.service
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn front_stats(&self) -> FrontStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn shutdown(&mut self) {
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        self.queue.close();
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; it re-checks `running` first thing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = lock(&self.conn_handles).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FrontEnd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection read loop: decode frames, answer stats/info inline,
+/// admit queries to the bounded queue.
+fn serve_connection(
+    stream: TcpStream,
+    running: &AtomicBool,
+    queue: &JobQueue,
+    service: &ShardedService,
+    counters: &FrontCounters,
+    default_deadline: Duration,
+) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    let mut reader = stream;
+    if reader
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let frame = match read_frame_polling(&mut reader, running) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let reply = Reply::Error {
+                    class: ErrorClass::Permanent,
+                    msg: e.to_string(),
+                };
+                let _ = write_frame(&mut lock(&writer), &reply.encode());
+                continue;
+            }
+        };
+        match request {
+            Request::Query {
+                query,
+                k,
+                deadline_us,
+            } => {
+                counters.received.fetch_add(1, Ordering::Relaxed);
+                let deadline = if deadline_us == 0 {
+                    default_deadline
+                } else {
+                    Duration::from_micros(deadline_us)
+                };
+                let job = Job {
+                    query,
+                    k,
+                    deadline,
+                    arrived: Instant::now(),
+                    writer: Arc::clone(&writer),
+                };
+                if queue.try_push(job).is_err() {
+                    counters.shed_queue.fetch_add(1, Ordering::Relaxed);
+                    let reply = Reply::Overloaded(ShedReason::QueueFull);
+                    let _ = write_frame(&mut lock(&writer), &reply.encode());
+                }
+            }
+            Request::Stats => {
+                let reply = Reply::Stats(Box::new(StatsReply {
+                    front: counters.snapshot(),
+                    service: service.service_stats(),
+                    shards: service.shard_statuses(),
+                }));
+                let _ = write_frame(&mut lock(&writer), &reply.encode());
+            }
+            Request::Info => {
+                let reply = Reply::Info(InfoReply {
+                    stages: service.stages(),
+                    levels: service.encoding().levels() as usize,
+                    rows: service.map().total_rows(),
+                    shards: service.map().shards(),
+                });
+                let _ = write_frame(&mut lock(&writer), &reply.encode());
+            }
+        }
+    }
+}
+
+/// Worker body: re-check the deadline after queueing delay, then serve.
+fn serve_job(service: &ShardedService, counters: &FrontCounters, job: Job) {
+    let reply = match job.deadline.checked_sub(job.arrived.elapsed()) {
+        None => {
+            counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            Reply::Overloaded(ShedReason::DeadlineExpired)
+        }
+        Some(remaining) => match service.search_topk(&job.query, job.k, remaining) {
+            Ok(topk) => {
+                counters.answered.fetch_add(1, Ordering::Relaxed);
+                Reply::TopK(topk)
+            }
+            Err(ServeError::Overloaded(reason)) => {
+                counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                Reply::Overloaded(reason)
+            }
+            Err(e) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                Reply::Error {
+                    class: e.class(),
+                    msg: e.to_string(),
+                }
+            }
+        },
+    };
+    let _ = write_frame(&mut lock(&job.writer), &reply.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Blocking client for the [`FrontEnd`] wire protocol (one outstanding
+/// request per connection).
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a front-end.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ServeError> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Reply, ServeError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Reply::decode(&frame),
+            None => Err(ServeError::Protocol("server closed connection".into())),
+        }
+    }
+
+    /// Top-k search with an explicit wall-clock budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the server shed the request,
+    /// [`ServeError::Sim`]/[`ServeError::Unavailable`] when the server
+    /// reported a serving error, [`ServeError::Io`] on socket failure.
+    pub fn query(
+        &mut self,
+        query: &[u8],
+        k: usize,
+        deadline: Duration,
+    ) -> Result<TopK, ServeError> {
+        let request = Request::Query {
+            query: query.to_vec(),
+            k,
+            deadline_us: deadline.as_micros().min(u128::from(u64::MAX)) as u64,
+        };
+        match self.round_trip(&request)? {
+            Reply::TopK(t) => Ok(t),
+            Reply::Overloaded(reason) => Err(ServeError::Overloaded(reason)),
+            Reply::Error { class, msg } => match class {
+                ErrorClass::Transient => Err(ServeError::Unavailable),
+                _ => Err(ServeError::Protocol(msg)),
+            },
+            _ => Err(ServeError::Protocol("unexpected reply to query".into())),
+        }
+    }
+
+    /// Fetches the server's observability snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Protocol`] on transport
+    /// failure.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        match self.round_trip(&Request::Stats)? {
+            Reply::Stats(s) => Ok(*s),
+            _ => Err(ServeError::Protocol("unexpected reply to stats".into())),
+        }
+    }
+
+    /// Fetches the corpus/topology description.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Protocol`] on transport
+    /// failure.
+    pub fn info(&mut self) -> Result<InfoReply, ServeError> {
+        match self.round_trip(&Request::Info)? {
+            Reply::Info(i) => Ok(i),
+            _ => Err(ServeError::Protocol("unexpected reply to info".into())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load generation and chaos campaign
+// ---------------------------------------------------------------------------
+
+/// A deterministic corpus of `rows` vectors with elements in
+/// `0..levels`, for load generation and campaigns.
+pub fn seeded_corpus(rows: usize, stages: usize, levels: u8, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| (0..stages).map(|_| rng.gen_range(0..levels)).collect())
+        .collect()
+}
+
+/// Nearest-rank percentile over unsorted latency samples, in the
+/// samples' own unit. Returns 0 for an empty slice.
+pub fn percentile(samples: &mut [u64], pct: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Configuration for [`run_serve_chaos`].
+#[derive(Debug, Clone)]
+pub struct ServeChaosConfig {
+    /// Service + front-end configuration.
+    pub serve: ServeConfig,
+    /// Corpus rows.
+    pub rows: usize,
+    /// Master seed for the corpus and every client's query stream.
+    pub seed: u64,
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// Closed-loop client threads in steady phases.
+    pub clients: usize,
+    /// Requests each client sends per phase.
+    pub requests_per_client: usize,
+    /// Per-request deadline in steady phases.
+    pub deadline: Duration,
+    /// Overload burst multiplier on `clients`.
+    pub burst_factor: usize,
+    /// Directory for per-shard checkpoint stores backing warm standbys
+    /// (`None` disables failover: downed shards stay down).
+    pub standby_dir: Option<PathBuf>,
+    /// Front-end bind address (`127.0.0.1:0` for an ephemeral port).
+    pub bind_addr: String,
+    /// When false, run the steady phase only — a plain load test with
+    /// no injected failures.
+    pub chaos: bool,
+}
+
+impl ServeChaosConfig {
+    /// A small, CI-sized campaign.
+    pub fn quick(standby_dir: Option<PathBuf>) -> Self {
+        let mut serve = ServeConfig::paper_default();
+        serve.array.stages = 16;
+        serve.rows_per_shard = 24;
+        serve.workers = 4;
+        serve.queue_capacity = 16;
+        Self {
+            serve,
+            rows: 96,
+            seed: 7,
+            k: 5,
+            clients: 3,
+            requests_per_client: 12,
+            deadline: Duration::from_millis(250),
+            burst_factor: 4,
+            standby_dir,
+            bind_addr: "127.0.0.1:0".into(),
+            chaos: true,
+        }
+    }
+}
+
+/// Per-phase campaign accounting, judged against brute force.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Phase name (`steady`, `overload`, `slow-shard`, `crash`,
+    /// `recovered`).
+    pub name: String,
+    /// Requests sent.
+    pub requests: usize,
+    /// Top-k replies received.
+    pub answered: usize,
+    /// Replies flagged partial.
+    pub partial: usize,
+    /// Replies flagged degraded.
+    pub degraded: usize,
+    /// Explicit queue-full sheds observed by clients.
+    pub shed_queue: usize,
+    /// Explicit deadline sheds observed by clients.
+    pub shed_deadline: usize,
+    /// Transport/server errors observed by clients.
+    pub errors: usize,
+    /// Replies differing from brute force while flagged partial or
+    /// degraded (allowed: the flag is the contract).
+    pub flagged_mismatch: usize,
+    /// Replies differing from brute force while claiming to be
+    /// complete — silent wrong answers. Must be zero, always.
+    pub silent_wrong: usize,
+    /// Median latency of answered requests, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency of answered requests, microseconds.
+    pub p99_us: u64,
+    /// Achieved request throughput (sent / wall time).
+    pub qps: u64,
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeChaosReport {
+    /// Per-phase accounting, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Final service-level counters (failovers, probe gates, downs).
+    pub service: ServiceStats,
+    /// Final front-end admission counters.
+    pub front: FrontStats,
+    /// Final per-shard condition, including each engine's
+    /// [`RuntimeStats`] (retries, backoff waits, breaker trips,
+    /// backend transitions).
+    pub shards: Vec<ShardStatus>,
+}
+
+impl ServeChaosReport {
+    /// Silent wrong answers across every phase (the campaign's core
+    /// invariant: this must be zero).
+    pub fn silent_wrong(&self) -> usize {
+        self.phases.iter().map(|p| p.silent_wrong).sum()
+    }
+
+    /// Explicit sheds across every phase.
+    pub fn sheds(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| p.shed_queue + p.shed_deadline)
+            .sum()
+    }
+}
+
+struct ClientTally {
+    answered: usize,
+    partial: usize,
+    degraded: usize,
+    shed_queue: usize,
+    shed_deadline: usize,
+    errors: usize,
+    flagged_mismatch: usize,
+    silent_wrong: usize,
+    latencies_us: Vec<u64>,
+}
+
+/// One closed-loop client: seeded query stream, every complete answer
+/// judged bit-for-bit against brute force over the full corpus.
+fn run_client(
+    addr: SocketAddr,
+    corpus: &[Vec<u8>],
+    encoding: crate::encoding::Encoding,
+    seed: u64,
+    k: usize,
+    requests: usize,
+    deadline: Duration,
+) -> Result<ClientTally, ServeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = ServeClient::connect(addr)?;
+    let stages = corpus.first().map_or(0, Vec::len);
+    let levels = encoding.levels();
+    let mut tally = ClientTally {
+        answered: 0,
+        partial: 0,
+        degraded: 0,
+        shed_queue: 0,
+        shed_deadline: 0,
+        errors: 0,
+        flagged_mismatch: 0,
+        silent_wrong: 0,
+        latencies_us: Vec::with_capacity(requests),
+    };
+    for _ in 0..requests {
+        // Queries orbit stored rows: take one, perturb a few elements.
+        let mut query = corpus[rng.gen_range(0..corpus.len())].clone();
+        for _ in 0..rng.gen_range(0..4usize) {
+            let at = rng.gen_range(0..stages);
+            query[at] = rng.gen_range(0..levels);
+        }
+        let sent = Instant::now();
+        match client.query(&query, k, deadline) {
+            Ok(topk) => {
+                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                tally.answered += 1;
+                if topk.partial {
+                    tally.partial += 1;
+                }
+                if topk.degraded {
+                    tally.degraded += 1;
+                }
+                let expected =
+                    brute_force_topk(corpus, encoding, &query, k).map_err(ServeError::Sim)?;
+                if topk.neighbors != expected {
+                    if topk.complete() {
+                        tally.silent_wrong += 1;
+                    } else {
+                        tally.flagged_mismatch += 1;
+                    }
+                }
+            }
+            Err(ServeError::Overloaded(ShedReason::QueueFull)) => tally.shed_queue += 1,
+            Err(ServeError::Overloaded(ShedReason::DeadlineExpired)) => tally.shed_deadline += 1,
+            Err(ServeError::Io(_)) | Err(ServeError::Protocol(_)) => {
+                // Transport loss: reconnect and keep the campaign going.
+                tally.errors += 1;
+                client = ServeClient::connect(addr)?;
+            }
+            Err(_) => tally.errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+/// Runs one phase of closed-loop load and folds the client tallies.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    name: &str,
+    addr: SocketAddr,
+    corpus: &Arc<Vec<Vec<u8>>>,
+    encoding: crate::encoding::Encoding,
+    seed: u64,
+    k: usize,
+    clients: usize,
+    requests_per_client: usize,
+    deadline: Duration,
+) -> PhaseReport {
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let corpus = Arc::clone(corpus);
+                scope.spawn(move || {
+                    run_client(
+                        addr,
+                        &corpus,
+                        encoding,
+                        seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        k,
+                        requests_per_client,
+                        deadline,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().ok().and_then(Result::ok))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let requests = clients * requests_per_client;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = PhaseReport {
+        name: name.to_string(),
+        requests,
+        answered: 0,
+        partial: 0,
+        degraded: 0,
+        shed_queue: 0,
+        shed_deadline: 0,
+        errors: 0,
+        flagged_mismatch: 0,
+        silent_wrong: 0,
+        p50_us: 0,
+        p99_us: 0,
+        qps: 0,
+    };
+    for t in tallies {
+        report.answered += t.answered;
+        report.partial += t.partial;
+        report.degraded += t.degraded;
+        report.shed_queue += t.shed_queue;
+        report.shed_deadline += t.shed_deadline;
+        report.errors += t.errors;
+        report.flagged_mismatch += t.flagged_mismatch;
+        report.silent_wrong += t.silent_wrong;
+        latencies.extend(t.latencies_us);
+    }
+    report.p50_us = percentile(&mut latencies, 50.0);
+    report.p99_us = percentile(&mut latencies, 99.0);
+    report.qps = (requests as f64 / elapsed.as_secs_f64().max(1e-9)) as u64;
+    report
+}
+
+/// Runs the serve chaos campaign: seeded closed-loop load over a real
+/// TCP front-end through five phases — steady, overload burst,
+/// slow-shard (breaker + failover), shard crash (failover), recovered —
+/// judging every complete answer bit-for-bit against brute force.
+///
+/// The campaign itself only *measures*; callers assert the invariants
+/// (`silent_wrong() == 0`, sheds explicit, failovers observed) so test
+/// and bench contexts can set their own thresholds.
+///
+/// # Errors
+///
+/// [`ServeError`] when the service or front-end cannot be built.
+pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> Result<ServeChaosReport, ServeError> {
+    let levels = cfg.serve.array.encoding.levels();
+    let corpus = Arc::new(seeded_corpus(
+        cfg.rows,
+        cfg.serve.array.stages,
+        levels,
+        cfg.seed,
+    ));
+    let service = Arc::new(ShardedService::new(
+        &cfg.serve,
+        &corpus,
+        cfg.standby_dir.as_deref(),
+    )?);
+    let encoding = service.encoding();
+    let mut front = FrontEnd::start(Arc::clone(&service), &cfg.serve, &cfg.bind_addr)?;
+    let addr = front.addr();
+    let shards = service.map().shards();
+    let mut phases = Vec::new();
+
+    phases.push(run_phase(
+        "steady",
+        addr,
+        &corpus,
+        encoding,
+        cfg.seed.wrapping_add(1),
+        cfg.k,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.deadline,
+    ));
+
+    if !cfg.chaos {
+        let report = ServeChaosReport {
+            phases,
+            service: service.service_stats(),
+            front: front.front_stats(),
+            shards: service.shard_statuses(),
+        };
+        front.shutdown();
+        return Ok(report);
+    }
+
+    // Overload burst: more concurrency than workers and queue slots,
+    // with a budget tight enough that queueing delay alone breaches it.
+    phases.push(run_phase(
+        "overload",
+        addr,
+        &corpus,
+        encoding,
+        cfg.seed.wrapping_add(2),
+        cfg.k,
+        cfg.clients * cfg.burst_factor.max(1),
+        cfg.requests_per_client,
+        Duration::from_micros((cfg.deadline.as_micros() / 16).max(200) as u64),
+    ));
+
+    // Slow shard: the last shard serves every request slower than the
+    // whole budget, so requests hitting it expire, its breaker opens,
+    // and the standby takes over.
+    service.inject_slow(shards - 1, Some(cfg.deadline.saturating_add(cfg.deadline)));
+    phases.push(run_phase(
+        "slow-shard",
+        addr,
+        &corpus,
+        encoding,
+        cfg.seed.wrapping_add(3),
+        cfg.k,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.deadline,
+    ));
+    // Promotion clears the injection with the shard swap; clear it
+    // explicitly in case the phase ended before the breaker tripped.
+    service.inject_slow(shards - 1, None);
+
+    // Hard crash of shard 0; the next requests ride partial answers
+    // until the probe-gated standby promotion brings it back.
+    service.inject_crash(0);
+    phases.push(run_phase(
+        "crash",
+        addr,
+        &corpus,
+        encoding,
+        cfg.seed.wrapping_add(4),
+        cfg.k,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.deadline,
+    ));
+
+    phases.push(run_phase(
+        "recovered",
+        addr,
+        &corpus,
+        encoding,
+        cfg.seed.wrapping_add(5),
+        cfg.k,
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.deadline,
+    ));
+
+    let report = ServeChaosReport {
+        phases,
+        service: service.service_stats(),
+        front: front.front_stats(),
+        shards: service.shard_statuses(),
+    };
+    front.shutdown();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+
+    #[test]
+    fn shard_map_partitions_exactly() {
+        let map = ShardMap::new(100, 24).unwrap();
+        assert_eq!(map.shards(), 5);
+        let mut covered = 0;
+        for s in 0..map.shards() {
+            let (base, len) = map.range(s);
+            assert_eq!(base, covered);
+            covered += len;
+            for local in 0..len {
+                assert_eq!(map.locate(base + local), (s, local));
+            }
+        }
+        assert_eq!(covered, 100);
+        // Exact division leaves no runt shard.
+        let even = ShardMap::new(96, 24).unwrap();
+        assert_eq!(even.shards(), 4);
+        assert_eq!(even.range(3), (72, 24));
+        assert!(ShardMap::new(0, 4).is_err());
+        assert!(ShardMap::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn brute_force_ranks_by_distance_then_row() {
+        let enc = Encoding::new(2).unwrap();
+        let corpus = vec![
+            vec![1, 1, 1, 1],
+            vec![0, 0, 0, 0],
+            vec![1, 1, 1, 1],
+            vec![1, 1, 1, 0],
+        ];
+        let got = brute_force_topk(&corpus, enc, &[1, 1, 1, 1], 3).unwrap();
+        // Ties broken by row id: row 0 before row 2 at distance 0.
+        assert_eq!(got, vec![(0, 0), (0, 2), (1, 3)]);
+        // k beyond the corpus returns everything, ranked.
+        let all = brute_force_topk(&corpus, enc, &[1, 1, 1, 1], 99).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for request in [
+            Request::Query {
+                query: vec![0, 3, 1, 2],
+                k: 7,
+                deadline_us: 125_000,
+            },
+            Request::Stats,
+            Request::Info,
+        ] {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn reply_frames_round_trip() {
+        let replies = vec![
+            Reply::TopK(TopK {
+                neighbors: vec![(0, 3), (2, 11)],
+                partial: true,
+                degraded: false,
+                shards_answered: 2,
+                shards_total: 3,
+            }),
+            Reply::Overloaded(ShedReason::QueueFull),
+            Reply::Overloaded(ShedReason::DeadlineExpired),
+            Reply::Error {
+                class: ErrorClass::Transient,
+                msg: "shard failure".into(),
+            },
+            Reply::Stats(Box::new(StatsReply {
+                front: FrontStats {
+                    connections: 2,
+                    received: 40,
+                    shed_queue: 3,
+                    shed_deadline: 1,
+                    answered: 36,
+                    errors: 0,
+                },
+                service: ServiceStats {
+                    requests: 36,
+                    complete: 30,
+                    partial: 4,
+                    degraded: 2,
+                    shard_downs: 1,
+                    failovers: 1,
+                    probe_failures: 0,
+                    restocks: 1,
+                },
+                shards: vec![ShardStatus {
+                    base: 0,
+                    rows: 24,
+                    down: false,
+                    standby_ready: true,
+                    backend: BackendKind::CompiledLut,
+                    stats: RuntimeStats::default(),
+                }],
+            })),
+            Reply::Info(InfoReply {
+                stages: 16,
+                levels: 4,
+                rows: 96,
+                shards: 4,
+            }),
+        ];
+        for reply in replies {
+            let decoded = Reply::decode(&reply.encode()).unwrap();
+            assert_eq!(decoded, reply);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_protocol_errors() {
+        assert!(matches!(
+            Request::decode(&[9]),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(Request::decode(&[]), Err(ServeError::Protocol(_))));
+        assert!(matches!(Reply::decode(&[99]), Err(ServeError::Protocol(_))));
+        // Truncated query payload.
+        let mut bytes = Request::Query {
+            query: vec![1, 2, 3],
+            k: 1,
+            deadline_us: 0,
+        }
+        .encode();
+        bytes.pop();
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn job_queue_sheds_when_full_and_drains_in_order() {
+        let queue = JobQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let writer = Arc::new(Mutex::new(stream));
+        let job = |k: usize| Job {
+            query: vec![0],
+            k,
+            deadline: Duration::from_millis(1),
+            arrived: Instant::now(),
+            writer: Arc::clone(&writer),
+        };
+        assert!(queue.try_push(job(1)).is_ok());
+        // Capacity 1: the second push is an explicit shed, not a block.
+        assert!(queue.try_push(job(2)).is_err());
+        assert_eq!(queue.pop().map(|j| j.k), Some(1));
+        queue.close();
+        assert!(queue.pop().is_none());
+        assert!(queue.try_push(job(3)).is_err());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(percentile(&mut empty, 99.0), 0);
+        let mut one = vec![42];
+        assert_eq!(percentile(&mut one, 50.0), 42);
+        assert_eq!(percentile(&mut one, 99.0), 42);
+        let mut many: Vec<u64> = (1..=100).rev().collect();
+        assert_eq!(percentile(&mut many, 50.0), 50);
+        assert_eq!(percentile(&mut many, 99.0), 99);
+        assert_eq!(percentile(&mut many, 100.0), 100);
+    }
+
+    #[test]
+    fn serve_error_classes_match_retryability() {
+        assert_eq!(
+            ServeError::Overloaded(ShedReason::QueueFull).class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(ServeError::Unavailable.class(), ErrorClass::Transient);
+        assert_eq!(
+            ServeError::Protocol("bad".into()).class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            ServeError::Sim(TdamError::LengthMismatch {
+                got: 1,
+                expected: 2
+            })
+            .class(),
+            ErrorClass::Permanent
+        );
+    }
+
+    #[test]
+    fn seeded_corpus_is_deterministic_and_in_range() {
+        let a = seeded_corpus(10, 8, 4, 99);
+        let b = seeded_corpus(10, 8, 4, 99);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|row| row.iter().all(|&x| x < 4)));
+        let c = seeded_corpus(10, 8, 4, 100);
+        assert_ne!(a, c);
+    }
+}

@@ -62,7 +62,7 @@ use tdam_fefet::retention::{EnduranceParams, Lifetime, RetentionParams};
 
 /// On-disk format version. Bumped on any layout change; recovery
 /// refuses newer versions instead of guessing at their layout.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Checkpoint file magic (first 8 bytes).
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TDAMCKPT";
@@ -658,6 +658,8 @@ impl Codec for RuntimeStats {
         w.put_usize(self.timed_out);
         w.put_usize(self.failed);
         w.put_usize(self.retries);
+        w.put_usize(self.backoff_waits);
+        w.put_usize(self.breaker_trips);
         w.put_usize(self.recompiles);
         w.put_usize(self.health_checks);
         w.put_usize(self.health_misses);
@@ -673,6 +675,8 @@ impl Codec for RuntimeStats {
             timed_out: r.get_usize()?,
             failed: r.get_usize()?,
             retries: r.get_usize()?,
+            backoff_waits: r.get_usize()?,
+            breaker_trips: r.get_usize()?,
             recompiles: r.get_usize()?,
             health_checks: r.get_usize()?,
             health_misses: r.get_usize()?,
@@ -2329,6 +2333,8 @@ mod tests {
             timed_out: 4,
             failed: 5,
             retries: 6,
+            backoff_waits: 13,
+            breaker_trips: 14,
             recompiles: 7,
             health_checks: 8,
             health_misses: 9,

@@ -1,0 +1,93 @@
+//! Offline vendored facade over the `criterion` API surface this
+//! workspace's benches use (`Criterion::bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! The hermetic build environment cannot fetch the real criterion, and
+//! rigorous statistics are the job of the `ext_*` benchmark binaries in
+//! `crates/bench` anyway (which hand-roll their own timing and archive
+//! results under `results/`). This facade keeps `cargo bench` working:
+//! each benchmark runs a short warm-up plus a timed window and prints a
+//! mean per-iteration time, with no outlier analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs one benchmark body repeatedly and accumulates elapsed time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a warm-up pass and a fixed measurement
+    /// window, recording the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+/// Registry/driver for a group of benchmarks (vendored facade).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` as a named benchmark and prints its mean
+    /// per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+        println!(
+            "bench {name:<48} {per_iter:>12} ns/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

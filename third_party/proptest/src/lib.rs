@@ -1,0 +1,475 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The hermetic build environment has no registry access, so the
+//! workspace vendors the slice of proptest it uses: the `proptest!`
+//! test macro with `pat in strategy` bindings, `prop_assert!` /
+//! `prop_assert_eq!`, numeric-range and `any::<T>()` strategies, and
+//! `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from upstream: cases are drawn from a fixed per-test
+//! seed (derived from the test name), so every run replays the same
+//! inputs, and there is **no shrinking** — a failing case reports the
+//! sampled inputs as-is via the panic message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, Standard};
+
+/// Per-`proptest!` block configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the hermetic suite quick
+        // while still exercising each property across a spread of inputs.
+        Self { cases: 64 }
+    }
+}
+
+/// A source of sampled values for one `pat in strategy` binding.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: Copy + PartialOrd> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Copy + PartialOrd> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// One unit of a string pattern: the set of characters it can produce
+/// plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset this workspace's string strategies use:
+/// literal characters, `.` (printable ASCII), character classes with
+/// ranges (`[a-z0-9.]`), `\\`-escapes, and the repetitions `{m}`,
+/// `{m,n}`, `?`, `*`, `+` (the unbounded forms cap at 8).
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let printable: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '.' => printable.clone(),
+            '\\' => vec![chars.next().unwrap_or('\\')],
+            '[' => {
+                let mut set = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    class.push(c);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let parts: Vec<&str> = spec.splitn(2, ',').collect();
+                let lo: usize = parts[0].trim().parse().expect("repetition bound");
+                let hi: usize = match parts.get(1) {
+                    Some(s) => s.trim().parse().expect("repetition bound"),
+                    None => lo,
+                };
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy returned by [`any`]: uniform over the whole type.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform strategy over every value of `T` (primitives only).
+pub fn any<T: Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{BTreeSet, Range, RangeInclusive, StdRng, Strategy};
+    use rand::Rng;
+
+    /// A collection size specification: a fixed length or a range of
+    /// lengths (the stand-in for upstream's `SizeRange`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                lo: len,
+                hi_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Samples vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Samples ordered sets whose elements come from `element` and whose
+    /// size is uniform in `size` (best-effort: duplicate draws are
+    /// retried a bounded number of times, matching upstream semantics of
+    /// "up to" the requested size for narrow element domains).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 16 + 16 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Namespace alias matching `proptest::prop`, e.g.
+/// `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Stable per-test seed: FNV-1a over the test's name, so each
+    /// property replays the same case sequence on every run.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Defines seeded property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))] // optional
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn property(x in 0..10u8, v in prop::collection::vec(any::<bool>(), 1..8)) {
+///         prop_assert!(v.len() < 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        // Like upstream proptest, generated property bodies suppress
+        // style lints that the sampling rewrite makes unavoidable.
+        #[allow(unused_parens, clippy::needless_range_loop)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body; ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    ::core::panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the sampled
+/// case (with an optional formatted message) instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 1u8..=4,
+            f in 0.0f64..1.5,
+            v in prop::collection::vec(0..100u32, 1..20),
+            s in prop::collection::btree_set(0..8u8, 0..5),
+            b in any::<bool>(),
+        ) {
+            prop_assert!((1..=4).contains(&x));
+            prop_assert!((0.0..1.5).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|e| *e < 100));
+            prop_assert!(s.len() < 5);
+            prop_assert_eq!(u8::from(b) <= 1, true);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0..10u8) {
+                    prop_assert!(x > 200, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "missing test name: {msg}");
+        assert!(msg.contains("x was"), "missing formatted detail: {msg}");
+    }
+}

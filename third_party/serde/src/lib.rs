@@ -1,0 +1,20 @@
+//! Offline vendored serde facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits plus (behind the
+//! `derive` feature) the matching no-op derive macros, so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! hermetically. Nothing in-tree serializes through serde — durable
+//! state goes through the hand-rolled checksummed codec in `tdam::store`
+//! — so the traits carry no methods.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Marker stand-in for serde's `Deserialize` trait.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline vendored no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! This workspace decorates its model types with serde derives for
+//! downstream consumers, but nothing in-tree actually serializes through
+//! serde (all persistence is the hand-rolled checkpoint codec in
+//! `tdam::store`). In the hermetic build environment the derives expand
+//! to nothing, which keeps the annotations compiling without pulling
+//! `syn`/`quote` or the real `serde_derive` from a registry.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
