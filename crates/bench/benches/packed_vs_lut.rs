@@ -5,6 +5,11 @@
 //! per-stage LUT walk), `search_batch` (packed kernel, full analog
 //! outcomes), and `decide_batch` (packed kernel, decision-only).
 //!
+//! A third group sweeps the kernel **dispatch ladder** (scalar /
+//! unrolled / wide-SIMD rungs, the latter only under `--features simd`
+//! on a capable CPU) on the 1024-row decision path, where the
+//! cache-blocked wide rungs matter most.
+//!
 //! Besides the Criterion registrations, each configuration prints one
 //! coarse best-of-N summary line so `cargo bench --bench packed_vs_lut`
 //! leaves an archivable trace (see `results/packed_vs_lut.txt`) even when
@@ -18,6 +23,7 @@ use tdam::array::TdamArray;
 use tdam::config::ArrayConfig;
 use tdam::encoding::Encoding;
 use tdam::engine::{BatchQuery, SimilarityEngine};
+use tdam::packed::PackedKernel;
 
 const STAGES: usize = 128;
 const BATCH: usize = 32;
@@ -46,9 +52,13 @@ fn seeded_array(bits: u8, rows: usize, seed: u64) -> (TdamArray, BatchQuery) {
     (am, batch)
 }
 
-fn best_of<F: FnMut() -> usize>(mut f: F) -> f64 {
+fn best_of<F: FnMut() -> usize>(f: F) -> f64 {
+    best_of_n(3, f)
+}
+
+fn best_of_n<F: FnMut() -> usize>(n: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..n {
         let t0 = Instant::now();
         black_box(f());
         best = best.min(t0.elapsed().as_secs_f64());
@@ -128,5 +138,70 @@ fn bench_row_sweep(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_encoding_sweep, bench_row_sweep);
+/// Dispatch ladder on the 1024-row decision path: every available rung,
+/// each asserted decision-identical to the scalar rung before timing.
+fn bench_kernel_ladder(c: &mut Criterion) {
+    const ROWS: usize = 1024;
+    let (am, batch) = seeded_array(2, ROWS, 0x1ADD);
+    let mut compiled = am.compile();
+    assert_eq!(compiled.packed_rows(), ROWS, "all rows must pack");
+    assert!(compiled.force_kernel(PackedKernel::Scalar));
+    let reference = compiled.decide_batch(&batch, Some(1)).expect("scalar");
+    // Best of many passes: at 1024 rows a single 32-query pass is short
+    // enough that scheduler noise would otherwise dominate the ratios.
+    let scalar = best_of_n(20, || {
+        compiled
+            .decide_batch(&batch, Some(1))
+            .expect("scalar")
+            .len()
+    });
+    let mut line = format!(
+        "ladder_2bit_{ROWS}rows_{STAGES}stages: per query  scalar {:7.2} µs",
+        scalar / BATCH as f64 * 1e6
+    );
+    for rung in [
+        PackedKernel::Scalar,
+        PackedKernel::Unrolled,
+        PackedKernel::Simd,
+    ] {
+        if !compiled.force_kernel(rung) {
+            continue;
+        }
+        let name = compiled.kernel().name();
+        assert_eq!(
+            compiled.decide_batch(&batch, Some(1)).expect("rung"),
+            reference,
+            "{name} rung diverged from scalar"
+        );
+        if rung != PackedKernel::Scalar {
+            let t = best_of_n(20, || {
+                compiled.decide_batch(&batch, Some(1)).expect("rung").len()
+            });
+            line.push_str(&format!(
+                "  {name} {:7.2} µs ({:5.2}x)",
+                t / BATCH as f64 * 1e6,
+                scalar / t
+            ));
+        }
+        c.bench_function(
+            &format!("decide_{name}_2bit_{ROWS}rows_{STAGES}stages"),
+            |b| {
+                b.iter(|| {
+                    compiled
+                        .decide_batch(black_box(&batch), Some(1))
+                        .expect("rung")
+                        .len()
+                })
+            },
+        );
+    }
+    println!("{line}");
+}
+
+criterion_group!(
+    benches,
+    bench_encoding_sweep,
+    bench_row_sweep,
+    bench_kernel_ladder
+);
 criterion_main!(benches);

@@ -314,8 +314,20 @@ fn bench_batch(args: &Args) -> Result<String, CliError> {
     let outcomes = compiled.search_batch(&batch, threads)?;
     let t_batch = t1.elapsed().as_secs_f64();
 
+    // The packed batch tier's contract (tests/packed_equiv.rs): decisions,
+    // distances, and energies exact; reconstructed delays are sums of the
+    // same positive terms replayed in a different order, so they agree to
+    // 2·(1.5·N + 2)·ε relative rather than bitwise.
+    let latency_bound = |a: f64, b: f64| {
+        (a - b).abs() <= 2.0 * (1.5 * stages as f64 + 2.0) * f64::EPSILON * a.abs().max(b.abs())
+    };
     for (outcome, reference) in outcomes.iter().zip(&sequential) {
-        if outcome.metrics() != *reference {
+        let m = outcome.metrics();
+        if m.best_row != reference.best_row
+            || m.distances != reference.distances
+            || m.energy != reference.energy
+            || !latency_bound(m.latency, reference.latency)
+        {
             return Err(CliError::permanent(
                 "batched search disagrees with the sequential loop",
             ));

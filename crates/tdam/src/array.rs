@@ -575,23 +575,29 @@ fn validate_batch(array: &TdamArray, batch: &BatchQuery) -> Result<(), TdamError
     array.config.encoding.validate(batch.elements())
 }
 
-/// One packed-kernel search over a pre-validated query: packed rows go
-/// through the XOR/popcount kernel and count-indexed digitization
-/// ([`crate::packed`]), the rest fall back to the full behavioral model
-/// and the shared [`OutcomeAccumulator`] arithmetic. Shared by
-/// [`CompiledArray`] and [`CompiledSnapshot`]; the caller owns validation,
-/// staleness checks, and the reusable scratch.
-fn packed_search_prevalidated(
+/// Queries per worker tile in the batch drivers. Matches the packed
+/// kernel's scratch capacity so each L1-resident row block is streamed
+/// from memory once per eight queries instead of once per query (the
+/// query-major blocking documented in [`crate::packed`]). Tile
+/// boundaries depend only on the batch index — never on the thread
+/// count — which is what keeps batch results thread-count invariant.
+const QUERY_TILE: usize = 8;
+
+/// Finishes one query of a counted tile into a full [`SearchOutcome`]:
+/// packed rows read their `(even, odd)` counts from slot `t` and go
+/// through count-indexed digitization, the rest fall back to the full
+/// behavioral model and the shared [`OutcomeAccumulator`] arithmetic.
+fn finish_search_from_counts(
     array: &TdamArray,
     packed: &PackedArray,
+    scratch: &PackedScratch,
+    t: usize,
     query: &[u8],
-    scratch: &mut PackedScratch,
 ) -> Result<SearchOutcome, TdamError> {
-    packed.expand_query(query, scratch);
     let mut acc = OutcomeAccumulator::new(array.chains.len());
     for (row, chain) in array.chains.iter().enumerate() {
         if packed.is_packed(row) {
-            let (even, odd) = packed.row_mismatches(row, scratch);
+            let (even, odd) = packed.counts(scratch, t, row);
             let (row_result, tdc_energy) = packed.digitize(even, odd);
             acc.push_row(row_result, tdc_energy);
         } else {
@@ -601,25 +607,25 @@ fn packed_search_prevalidated(
     Ok(acc.finish(array))
 }
 
-/// One decision-only packed search over a pre-validated query: decoded
-/// per-row distances and the winner, with no per-row analog
-/// reconstruction — the output the hardware TDC actually exports, at a
-/// fraction of the materialization cost of a full [`SearchOutcome`].
-/// Decisions are exactly identical to the full paths' ([`SearchOutcome::
-/// best_row`]/[`SearchOutcome::decoded`]); non-packed rows fall back to
-/// the behavioral model's decode.
-fn packed_decide_prevalidated(
+/// Finishes one query of a counted tile decision-only: decoded per-row
+/// distances and the winner, with no per-row analog reconstruction —
+/// the output the hardware TDC actually exports, at a fraction of the
+/// materialization cost of a full [`SearchOutcome`]. Decisions are
+/// exactly identical to the full paths' ([`SearchOutcome::best_row`]/
+/// [`SearchOutcome::decoded`]); non-packed rows fall back to the
+/// behavioral model's decode.
+fn finish_decide_from_counts(
     array: &TdamArray,
     packed: &PackedArray,
+    scratch: &PackedScratch,
+    t: usize,
     query: &[u8],
-    scratch: &mut PackedScratch,
 ) -> Result<crate::packed::PackedDecision, TdamError> {
-    packed.expand_query(query, scratch);
     let mut distances = Vec::with_capacity(array.chains.len());
     let mut best: Option<(usize, usize)> = None;
     for (row, chain) in array.chains.iter().enumerate() {
         let decoded = if packed.is_packed(row) {
-            let (even, odd) = packed.row_mismatches(row, scratch);
+            let (even, odd) = packed.counts(scratch, t, row);
             packed.decoded(even, odd)
         } else {
             let r = chain.evaluate(query)?;
@@ -638,6 +644,61 @@ fn packed_decide_prevalidated(
         best_row: best.map(|(row, _)| row),
         distances,
     })
+}
+
+/// One packed-kernel search over a pre-validated query: a tile of one
+/// through the ladder-dispatched block kernel ([`crate::packed`]).
+/// Shared by [`CompiledArray`] and [`CompiledSnapshot`]; the caller owns
+/// validation, staleness checks, and the reusable scratch.
+fn packed_search_prevalidated(
+    array: &TdamArray,
+    packed: &PackedArray,
+    query: &[u8],
+    scratch: &mut PackedScratch,
+) -> Result<SearchOutcome, TdamError> {
+    packed.expand_query(query, scratch);
+    packed.mismatch_counts(scratch);
+    finish_search_from_counts(array, packed, scratch, 0, query)
+}
+
+/// One worker item of the tiled batch-search driver: expands queries
+/// `[tile·QUERY_TILE, …)` of the batch into the tile scratch, runs the
+/// block kernel once for the whole tile, and finishes each query in
+/// batch order (so the first error a tile reports is the first in batch
+/// order, preserving the drivers' error contract through the flatten).
+fn packed_search_tile(
+    array: &TdamArray,
+    packed: &PackedArray,
+    batch: &crate::engine::BatchQuery,
+    tile: usize,
+    scratch: &mut PackedScratch,
+) -> Result<Vec<SearchOutcome>, TdamError> {
+    let start = tile * QUERY_TILE;
+    let end = (start + QUERY_TILE).min(batch.len());
+    packed.expand_tile((start..end).map(|i| batch.get(i)), scratch);
+    packed.mismatch_counts(scratch);
+    (start..end)
+        .enumerate()
+        .map(|(t, i)| finish_search_from_counts(array, packed, scratch, t, batch.get(i)))
+        .collect()
+}
+
+/// As [`packed_search_tile`], decision-only.
+fn packed_decide_tile(
+    array: &TdamArray,
+    packed: &PackedArray,
+    batch: &crate::engine::BatchQuery,
+    tile: usize,
+    scratch: &mut PackedScratch,
+) -> Result<Vec<crate::packed::PackedDecision>, TdamError> {
+    let start = tile * QUERY_TILE;
+    let end = (start + QUERY_TILE).min(batch.len());
+    packed.expand_tile((start..end).map(|i| batch.get(i)), scratch);
+    packed.mismatch_counts(scratch);
+    (start..end)
+        .enumerate()
+        .map(|(t, i)| finish_decide_from_counts(array, packed, scratch, t, batch.get(i)))
+        .collect()
 }
 
 /// A read-only compiled view of a [`TdamArray`]: every nominal row's
@@ -750,14 +811,13 @@ impl CompiledArray<'_> {
             });
         }
         validate_batch(self.array, batch)?;
-        crate::parallel::run_chunked_scratch(
-            batch.len(),
+        let tiles = crate::parallel::run_chunked_scratch(
+            batch.len().div_ceil(QUERY_TILE),
             threads,
-            || self.packed.scratch(),
-            |scratch, i| {
-                packed_search_prevalidated(self.array, &self.packed, batch.get(i), scratch)
-            },
-        )
+            || self.packed.tile_scratch(QUERY_TILE),
+            |scratch, tile| packed_search_tile(self.array, &self.packed, batch, tile, scratch),
+        )?;
+        Ok(tiles.into_iter().flatten().collect())
     }
 
     /// Answers a whole batch through the scalar per-cell delay LUTs —
@@ -798,14 +858,27 @@ impl CompiledArray<'_> {
             });
         }
         validate_batch(self.array, batch)?;
-        crate::parallel::run_chunked_scratch(
-            batch.len(),
+        let tiles = crate::parallel::run_chunked_scratch(
+            batch.len().div_ceil(QUERY_TILE),
             threads,
-            || self.packed.scratch(),
-            |scratch, i| {
-                packed_decide_prevalidated(self.array, &self.packed, batch.get(i), scratch)
-            },
-        )
+            || self.packed.tile_scratch(QUERY_TILE),
+            |scratch, tile| packed_decide_tile(self.array, &self.packed, batch, tile, scratch),
+        )?;
+        Ok(tiles.into_iter().flatten().collect())
+    }
+
+    /// Forces a dispatch-ladder rung for this view's packed kernel
+    /// ([`crate::packed::PackedKernel`]); tests and benchmarks use this
+    /// to pin a rung, production code leaves detection alone. Returns
+    /// `false` (keeping the current rung) when the requested rung is not
+    /// available in this build/CPU.
+    pub fn force_kernel(&mut self, kernel: crate::packed::PackedKernel) -> bool {
+        self.packed.set_kernel(kernel)
+    }
+
+    /// The dispatch-ladder rung this view's packed kernel executes.
+    pub fn kernel(&self) -> crate::packed::PackedKernel {
+        self.packed.kernel()
     }
 }
 
@@ -956,14 +1029,13 @@ impl CompiledSnapshot {
             });
         }
         validate_batch(&self.array, batch)?;
-        crate::parallel::run_chunked_scratch(
-            batch.len(),
+        let tiles = crate::parallel::run_chunked_scratch(
+            batch.len().div_ceil(QUERY_TILE),
             threads,
-            || self.packed.scratch(),
-            |scratch, i| {
-                packed_search_prevalidated(&self.array, &self.packed, batch.get(i), scratch)
-            },
-        )
+            || self.packed.tile_scratch(QUERY_TILE),
+            |scratch, tile| packed_search_tile(&self.array, &self.packed, batch, tile, scratch),
+        )?;
+        Ok(tiles.into_iter().flatten().collect())
     }
 
     /// Answers a whole batch through the scalar per-cell delay LUTs (the
@@ -1010,14 +1082,24 @@ impl CompiledSnapshot {
             });
         }
         validate_batch(&self.array, batch)?;
-        crate::parallel::run_chunked_scratch(
-            batch.len(),
+        let tiles = crate::parallel::run_chunked_scratch(
+            batch.len().div_ceil(QUERY_TILE),
             threads,
-            || self.packed.scratch(),
-            |scratch, i| {
-                packed_decide_prevalidated(&self.array, &self.packed, batch.get(i), scratch)
-            },
-        )
+            || self.packed.tile_scratch(QUERY_TILE),
+            |scratch, tile| packed_decide_tile(&self.array, &self.packed, batch, tile, scratch),
+        )?;
+        Ok(tiles.into_iter().flatten().collect())
+    }
+
+    /// Forces a dispatch-ladder rung for this snapshot's packed kernel
+    /// (see [`CompiledArray::force_kernel`]).
+    pub fn force_kernel(&mut self, kernel: crate::packed::PackedKernel) -> bool {
+        self.packed.set_kernel(kernel)
+    }
+
+    /// The dispatch-ladder rung this snapshot's packed kernel executes.
+    pub fn kernel(&self) -> crate::packed::PackedKernel {
+        self.packed.kernel()
     }
 }
 

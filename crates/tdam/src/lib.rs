@@ -110,7 +110,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Default builds carry zero unsafe. The `simd` feature needs exactly one
+// exception — the `core::arch` intrinsic calls in `packed::simd`, which
+// carries its own `#[allow(unsafe_code)]` plus a module-level safety
+// contract — so the crate drops from `forbid` to `deny` only there.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod area;

@@ -1,0 +1,163 @@
+//! Portable block kernels of the packed mismatch counter: the plain
+//! scalar reference and the hand-unrolled multi-row variant, plus the
+//! dispatch point that routes a row block to the selected
+//! [`PackedKernel`] rung.
+//!
+//! All kernels compute the same pure integer function over the
+//! row-transposed lane layout (see the [module docs](super)): for every
+//! row `r` in `[r0, r1)` and the one query whose bit planes are in `q`,
+//!
+//! ```text
+//! diff_w  = OR over bits b of (lanes[(w·bits + b)·rows_pad + r] XOR q[b·words + w])
+//! even[r] = Σ_w popcount(diff_w AND even_mask[w])
+//! odd[r]  = Σ_w popcount(diff_w AND odd_mask[w])
+//! ```
+//!
+//! Because the outputs are exact integer popcounts, every rung of the
+//! ladder is **bit-identical** by construction — the rungs differ only
+//! in how many rows they carry per loop iteration (1, 4, or a full
+//! SIMD register). `tests/packed_equiv.rs` pins this across the ladder.
+
+use super::PackedKernel;
+
+/// Row-group granularity of the lane layout: `rows_pad` is always a
+/// multiple of this, so every kernel may assume it can read `LANES`
+/// consecutive rows of any `(word, bit)` plane without a tail check.
+/// Sized for the widest register path (AVX-512: eight 64-bit lanes).
+pub(super) const LANES: usize = 8;
+
+/// Borrowed geometry + storage of one packed array, handed to the block
+/// kernels so their signatures stay flat.
+///
+/// Invariants the kernels rely on (upheld by [`super::PackedArray::build`]):
+/// `lanes.len() == bits·words·rows_pad`, `rows_pad % LANES == 0`, and
+/// `even_mask.len() == odd_mask.len() == words`. Lane words of padding
+/// rows (`rows >= real rows`) are zero and their counts are never read.
+pub(super) struct KernelArgs<'a> {
+    pub lanes: &'a [u64],
+    pub even_mask: &'a [u64],
+    pub odd_mask: &'a [u64],
+    pub bits: usize,
+    pub words: usize,
+    pub rows_pad: usize,
+}
+
+/// Routes one `[r0, r1)` row block (both multiples of [`LANES`]) of one
+/// query to the selected kernel rung. A `Simd` selection on a build
+/// without the `simd` feature (or a non-x86_64 target) degrades to the
+/// unrolled rung — [`PackedKernel::detect`] never selects it there, but
+/// a deserialized or forced selection must stay safe.
+pub(super) fn mismatch_block(
+    kernel: PackedKernel,
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    debug_assert!(r0.is_multiple_of(LANES) && r1.is_multiple_of(LANES) && r1 <= args.rows_pad);
+    debug_assert_eq!(q.len(), args.bits * args.words);
+    match kernel {
+        PackedKernel::Scalar => scalar_block(args, q, r0, r1, even, odd),
+        PackedKernel::Unrolled => unrolled_block(args, q, r0, r1, even, odd),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        PackedKernel::Simd => super::simd::block(args, q, r0, r1, even, odd),
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        PackedKernel::Simd => unrolled_block(args, q, r0, r1, even, odd),
+    }
+}
+
+/// Plain scalar rung: one row per iteration, the direct transcription of
+/// the counting function above. This is the shape the PR-5 kernel ran
+/// for every row and the reference the wider rungs are benched against.
+pub(super) fn scalar_block(
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    let KernelArgs {
+        lanes,
+        even_mask,
+        odd_mask,
+        bits,
+        words,
+        rows_pad,
+    } = *args;
+    for r in r0..r1 {
+        let mut e = 0u32;
+        let mut o = 0u32;
+        for w in 0..words {
+            let mut diff = 0u64;
+            for b in 0..bits {
+                diff |= lanes[(w * bits + b) * rows_pad + r] ^ q[b * words + w];
+            }
+            e += (diff & even_mask[w]).count_ones();
+            o += (diff & odd_mask[w]).count_ones();
+        }
+        even[r] = e;
+        odd[r] = o;
+    }
+}
+
+/// Hand-unrolled rung: four rows per iteration with independent
+/// accumulators, so the XOR/OR/popcount chains of neighboring rows
+/// overlap in the pipeline instead of serializing on one accumulator.
+/// Works on any target; this is the fallback when the `simd` feature is
+/// off or the CPU offers no wide path.
+pub(super) fn unrolled_block(
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    let KernelArgs {
+        lanes,
+        even_mask,
+        odd_mask,
+        bits,
+        words,
+        rows_pad,
+    } = *args;
+    // LANES == 8 keeps r1 - r0 a multiple of 4; no scalar tail needed.
+    let mut r = r0;
+    while r < r1 {
+        let (mut e0, mut e1, mut e2, mut e3) = (0u32, 0u32, 0u32, 0u32);
+        let (mut o0, mut o1, mut o2, mut o3) = (0u32, 0u32, 0u32, 0u32);
+        for w in 0..words {
+            let (mut d0, mut d1, mut d2, mut d3) = (0u64, 0u64, 0u64, 0u64);
+            for b in 0..bits {
+                let base = (w * bits + b) * rows_pad + r;
+                let qw = q[b * words + w];
+                d0 |= lanes[base] ^ qw;
+                d1 |= lanes[base + 1] ^ qw;
+                d2 |= lanes[base + 2] ^ qw;
+                d3 |= lanes[base + 3] ^ qw;
+            }
+            let em = even_mask[w];
+            let om = odd_mask[w];
+            e0 += (d0 & em).count_ones();
+            e1 += (d1 & em).count_ones();
+            e2 += (d2 & em).count_ones();
+            e3 += (d3 & em).count_ones();
+            o0 += (d0 & om).count_ones();
+            o1 += (d1 & om).count_ones();
+            o2 += (d2 & om).count_ones();
+            o3 += (d3 & om).count_ones();
+        }
+        even[r] = e0;
+        even[r + 1] = e1;
+        even[r + 2] = e2;
+        even[r + 3] = e3;
+        odd[r] = o0;
+        odd[r + 1] = o1;
+        odd[r + 2] = o2;
+        odd[r + 3] = o3;
+        r += 4;
+    }
+}

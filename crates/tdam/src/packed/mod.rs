@@ -1,5 +1,7 @@
 //! Bit-sliced packed serving kernel: XOR/popcount mismatch counting with
-//! count-indexed delay reconstruction.
+//! count-indexed delay reconstruction, executed by a dispatch ladder of
+//! explicit-SIMD, unrolled, and scalar block kernels over a cache-blocked
+//! row-transposed layout.
 //!
 //! The TD-AM's serving decision reduces to counting per-parity code
 //! mismatches per row: a matching stage contributes `d_INV` to its step,
@@ -13,18 +15,90 @@
 //!    `planes[row][b][j / 64]` is bit `b` of the level code stored at
 //!    stage `j`. A 128-stage 2-bit row shrinks from a 4 KiB f64 LUT to
 //!    four words.
-//! 2. **Query broadcast** — one query expands once per batch-worker into
-//!    the same plane layout ([`PackedArray::expand_query`]), then every
-//!    row reuses the expanded planes.
+//! 2. **Query broadcast** — one query (or a tile of them) expands once
+//!    per batch-worker into the same plane layout
+//!    ([`PackedArray::expand_query`] / [`PackedArray::expand_tile`]),
+//!    then every row reuses the expanded planes.
 //! 3. **Kernel** — per row and word: `XOR` the query planes against the
 //!    stored planes, `OR` the per-bit differences together (any differing
 //!    bit of the level code is one element mismatch), then `count_ones()`
 //!    under the even/odd stage-parity masks to get the step-I and step-II
-//!    mismatch counts directly ([`PackedArray::row_mismatches`]).
+//!    mismatch counts directly ([`PackedArray::mismatch_counts`], or the
+//!    single-row reference [`PackedArray::row_mismatches`]).
 //! 4. **Reconstruction** — delays, TDC digitization, and energies are
 //!    rebuilt from the `(even, odd)` counts via count-indexed tables
 //!    built by the same repeated-addition discipline as the scalar path's
 //!    cumulative energy tables (`PackedArray::digest`).
+//!
+//! # Execution: the dispatch ladder and the lane layout
+//!
+//! Step 3 is the hot loop of the whole serving stack, and it runs on one
+//! of three interchangeable **block kernels**, selected per
+//! [`PackedArray`] by [`PackedKernel::detect`] (overridable via
+//! [`PackedArray::set_kernel`] or the `TDAM_PACKED_KERNEL` environment
+//! variable — `simd`, `unrolled`, or `scalar`):
+//!
+//! 1. [`PackedKernel::Simd`] — explicit wide registers (requires the
+//!    `simd` cargo feature; on x86_64 this is AVX-512 `VPOPCNTQ` or AVX2
+//!    with a byte-shuffle popcount, chosen by runtime CPU detection).
+//!    Carries 8 (AVX-512) or 4 (AVX2) rows per loop iteration.
+//! 2. [`PackedKernel::Unrolled`] — portable hand-unrolled scalar, 4 rows
+//!    per iteration with independent accumulators.
+//! 3. [`PackedKernel::Scalar`] — one row at a time; the reference rung
+//!    and the shape the original (PR 5) kernel executed.
+//!
+//! All rungs compute the same exact integer function, so **every rung is
+//! bit-identical** — the dispatch is a pure performance choice, pinned by
+//! `tests/packed_equiv.rs`.
+//!
+//! To let one register carry several *rows*, [`PackedArray::build`] keeps
+//! a second, row-transposed copy of the planes (the **lane layout**):
+//! `lane_planes[(w·bits + b)·rows_pad + r]`, where `rows_pad` is the row
+//! count rounded up to a multiple of 8 (padding rows read as all-zero and
+//! their counts are never consumed). For a fixed plane word `(w, b)`,
+//! consecutive rows are contiguous, so an 8-row group is one unaligned
+//! 512-bit load.
+//!
+//! Batch serving additionally blocks the loop nest for cache residency
+//! (**query-major tiling**): the batch paths
+//! ([`CompiledArray::search_batch`](crate::array::CompiledArray::search_batch),
+//! [`CompiledArray::decide_batch`](crate::array::CompiledArray::decide_batch))
+//! expand a tile of up to 8 queries per work item, and
+//! [`PackedArray::mismatch_counts`] walks row blocks (sized to ~16 KiB of
+//! lane words, i.e. L1-resident) in the outer loop with the tile's
+//! queries in the inner loop — each row block is loaded from memory once
+//! per tile instead of once per query. See ARCHITECTURE.md ("SIMD packed
+//! kernel") for the tiling diagram and the roofline model that predicts
+//! when this matters.
+//!
+//! # Examples
+//!
+//! Counting mismatches directly through the packed view (the serving
+//! paths normally drive this via `CompiledArray`/`CompiledSnapshot`):
+//!
+//! ```
+//! use std::collections::BTreeSet;
+//! use tdam::array::TdamArray;
+//! use tdam::config::ArrayConfig;
+//! use tdam::engine::SimilarityEngine;
+//! use tdam::packed::PackedArray;
+//!
+//! let cfg = ArrayConfig::paper_default().with_stages(8).with_rows(2);
+//! let mut am = TdamArray::new(cfg).unwrap();
+//! am.store(0, &[0, 1, 2, 3, 0, 1, 2, 3]).unwrap();
+//! am.store(1, &[3, 2, 1, 0, 3, 2, 1, 0]).unwrap();
+//!
+//! let packed = PackedArray::build(&am, &BTreeSet::new());
+//! let mut scratch = packed.scratch();
+//! packed.expand_query(&[0, 1, 2, 3, 3, 2, 1, 0], &mut scratch);
+//! packed.mismatch_counts(&mut scratch);
+//!
+//! // Row 0 matches the first four stages and differs in the last four.
+//! let (even, odd) = packed.counts(&scratch, 0, 0);
+//! assert_eq!((even + odd, even, odd), (4, 2, 2));
+//! // Whatever kernel rung ran, the single-row reference agrees exactly.
+//! assert_eq!(packed.row_mismatches(0, &scratch), (even, odd));
+//! ```
 //!
 //! # Equivalence contract
 //!
@@ -69,20 +143,152 @@ use crate::timing::StageTiming;
 use crate::TdamArray;
 use std::collections::BTreeSet;
 
+mod kernel;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
+
+use kernel::{KernelArgs, LANES};
+
 /// Cap on the precomputed `(even, odd)` digest table. Above this the
 /// digests are computed per row instead — the table would outgrow the
 /// cache and lose the point. `(N/2 + 1)²` entries stay under the cap for
 /// chains up to 510 stages.
 const DIGEST_TABLE_CAP: usize = 1 << 16;
 
-/// Per-query scratch for the packed kernel: the query's broadcast bit
-/// planes, laid out exactly like one stored row's planes. Created once
-/// per worker ([`PackedArray::scratch`]) and refilled per query
-/// ([`PackedArray::expand_query`]), so the batch loop performs no
-/// per-query heap allocation.
+/// Row-block budget of the cache-blocked kernel loop: lane words of one
+/// row block stay within roughly half a typical L1d so the block
+/// survives being re-walked once per query of a tile.
+const ROW_BLOCK_BYTES: usize = 16 * 1024;
+
+/// One rung of the packed kernel's dispatch ladder. See the
+/// [module docs](self) — every rung computes bit-identical mismatch
+/// counts; they differ only in how many rows one loop iteration carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedKernel {
+    /// Explicit wide registers: AVX-512 `VPOPCNTQ` (8 rows/iteration) or
+    /// AVX2 with a byte-shuffle popcount (4 rows/iteration), chosen by
+    /// runtime CPU detection. Only available when the crate is built
+    /// with the `simd` feature on x86_64 **and** the CPU has a wide path
+    /// (`std::simd` is nightly-only, so the wide rung is stable
+    /// `core::arch` intrinsics behind runtime detection instead).
+    Simd,
+    /// Portable hand-unrolled scalar: 4 rows per iteration with
+    /// independent accumulators. Always available; the default when the
+    /// wide rung is not.
+    Unrolled,
+    /// Plain one-row-at-a-time scalar — the reference rung (and the
+    /// shape of the original PR-5 kernel), kept selectable for tests and
+    /// benchmarks.
+    Scalar,
+}
+
+impl PackedKernel {
+    /// Whether this rung can execute in this build on this CPU.
+    /// [`PackedKernel::Scalar`] and [`PackedKernel::Unrolled`] always
+    /// can; [`PackedKernel::Simd`] requires the `simd` feature, x86_64,
+    /// and a runtime-detected wide path (AVX-512 VPOPCNTDQ or AVX2).
+    pub fn is_available(self) -> bool {
+        match self {
+            PackedKernel::Scalar | PackedKernel::Unrolled => true,
+            PackedKernel::Simd => simd_available(),
+        }
+    }
+
+    /// Selects the fastest available rung: `Simd` when available, else
+    /// `Unrolled`. The `TDAM_PACKED_KERNEL` environment variable
+    /// (`simd` / `unrolled` / `scalar`, case-insensitive) overrides the
+    /// choice when it names an available rung, and is ignored otherwise —
+    /// selection can therefore never fail, only degrade.
+    pub fn detect() -> Self {
+        if let Ok(forced) = std::env::var("TDAM_PACKED_KERNEL") {
+            let forced = match forced.to_ascii_lowercase().as_str() {
+                "simd" => Some(PackedKernel::Simd),
+                "unrolled" => Some(PackedKernel::Unrolled),
+                "scalar" => Some(PackedKernel::Scalar),
+                _ => None,
+            };
+            if let Some(k) = forced {
+                if k.is_available() {
+                    return k;
+                }
+            }
+        }
+        if PackedKernel::Simd.is_available() {
+            PackedKernel::Simd
+        } else {
+            PackedKernel::Unrolled
+        }
+    }
+
+    /// Diagnostic name of the code path this rung executes **here**:
+    /// `"scalar"`, `"unrolled"`, or — for the SIMD rung — the concrete
+    /// ISA runtime detection resolved to (`"avx512"` / `"avx2"`, or
+    /// `"simd-unavailable"` when the rung cannot run).
+    pub fn name(self) -> &'static str {
+        match self {
+            PackedKernel::Scalar => "scalar",
+            PackedKernel::Unrolled => "unrolled",
+            PackedKernel::Simd => simd_name(),
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn simd_available() -> bool {
+    simd::available()
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn simd_available() -> bool {
+    false
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn simd_name() -> &'static str {
+    simd::name()
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn simd_name() -> &'static str {
+    "simd-unavailable"
+}
+
+/// Per-worker scratch for the packed kernel: the broadcast bit planes of
+/// a tile of up to `capacity` queries, plus the per-row `(even, odd)`
+/// count buffers the block kernels fill. Created once per batch worker
+/// ([`PackedArray::scratch`] for single-query use,
+/// [`PackedArray::tile_scratch`] for query-major tiles) and refilled per
+/// query/tile, so the batch loop performs no per-query heap allocation.
+///
+/// Every expansion overwrites all plane words of the slots it fills and
+/// every [`PackedArray::mismatch_counts`] overwrites the count buffers
+/// of those slots, so a scratch remains safe to reuse even if a previous
+/// item's evaluation panicked mid-flight (the contract
+/// [`run_chunked_scratch`](crate::parallel::run_chunked_scratch)
+/// requires).
 #[derive(Debug, Clone)]
 pub struct PackedScratch {
+    /// `q_planes[t · bits · words ..][b · words + w]`: query `t`'s bit
+    /// `b` plane word `w`, same layout as one stored row's planes.
     q_planes: Vec<u64>,
+    /// `even[t · rows_pad + r]` / `odd[..]`: query `t`'s per-row counts,
+    /// valid for `t < filled` after `mismatch_counts`.
+    even: Vec<u32>,
+    odd: Vec<u32>,
+    capacity: usize,
+    filled: usize,
+}
+
+impl PackedScratch {
+    /// How many queries this scratch can hold per tile.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many queries are currently expanded into the scratch.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
 }
 
 /// One query's digitized decision: the view the hardware exports off-array
@@ -131,9 +337,24 @@ pub struct PackedArray {
     bits: usize,
     words: usize,
     rows: usize,
+    /// Rows rounded up to a multiple of [`LANES`]; the row stride of the
+    /// lane layout. Padding rows hold all-zero lane words and their
+    /// counts are computed but never consumed.
+    rows_pad: usize,
     /// `planes[(row * bits + b) * words + w]`: bit `b` of the codes
-    /// stored at stages `64·w .. 64·w + 63` of `row`.
+    /// stored at stages `64·w .. 64·w + 63` of `row` — the row-major
+    /// view the single-row reference kernel
+    /// ([`PackedArray::row_mismatches`]) reads.
     planes: Vec<u64>,
+    /// Row-transposed copy of `planes` for the block kernels:
+    /// `lane_planes[(w * bits + b) * rows_pad + r]`. For a fixed plane
+    /// word `(w, b)` consecutive rows are contiguous, so one wide
+    /// register (or one unrolled iteration) carries a whole row group.
+    /// Invariant: `lane_planes.len() == bits * words * rows_pad`.
+    lane_planes: Vec<u64>,
+    /// The dispatch-ladder rung executing the block kernels (see
+    /// [`PackedKernel`]); chosen by [`PackedKernel::detect`] at build.
+    kernel: PackedKernel,
     /// Which rows are served by the kernel (the rest fall back to the
     /// behavioral model).
     packable: Vec<bool>,
@@ -197,7 +418,9 @@ impl PackedArray {
         }
 
         let degenerate = timing.d_inv + timing.d_c == timing.d_inv;
+        let rows_pad = rows.div_ceil(LANES) * LANES;
         let mut planes = vec![0u64; rows * bits * words];
+        let mut lane_planes = vec![0u64; bits * words * rows_pad];
         let mut packable = Vec::with_capacity(rows);
         for (row, chain) in chains.iter().enumerate() {
             packable.push(
@@ -213,7 +436,9 @@ impl PackedArray {
                 let code = cell.stored();
                 for b in 0..bits {
                     if (code >> b) & 1 == 1 {
-                        planes[base + b * words + j / 64] |= 1u64 << (j % 64);
+                        let (w, shift) = (j / 64, j % 64);
+                        planes[base + b * words + w] |= 1u64 << shift;
+                        lane_planes[(w * bits + b) * rows_pad + row] |= 1u64 << shift;
                     }
                 }
             }
@@ -252,7 +477,10 @@ impl PackedArray {
             bits,
             words,
             rows,
+            rows_pad,
             planes,
+            lane_planes,
+            kernel: PackedKernel::detect(),
             packable,
             even_mask,
             odd_mask,
@@ -307,23 +535,81 @@ impl PackedArray {
         self.packable.iter().filter(|&&p| p).count()
     }
 
-    /// Allocates a per-worker scratch sized for this array's planes.
-    pub fn scratch(&self) -> PackedScratch {
-        PackedScratch {
-            q_planes: vec![0u64; self.bits * self.words],
+    /// The dispatch-ladder rung this view's block kernels execute.
+    pub fn kernel(&self) -> PackedKernel {
+        self.kernel
+    }
+
+    /// Forces a specific dispatch-ladder rung (tests, benchmarks, and
+    /// operational pinning). Returns `false` — leaving the current rung
+    /// in place — when the requested rung is not
+    /// [available](PackedKernel::is_available) in this build/CPU, so a
+    /// forced selection can degrade but never produce an unsound path.
+    pub fn set_kernel(&mut self, kernel: PackedKernel) -> bool {
+        if kernel.is_available() {
+            self.kernel = kernel;
+            true
+        } else {
+            false
         }
     }
 
-    /// Broadcasts a (pre-validated) query into `scratch`'s bit planes.
-    /// Every word is overwritten, so a scratch can be reused across
-    /// queries — and remains safe to reuse even if a previous query's
-    /// evaluation panicked mid-flight.
+    /// Allocates a per-worker single-query scratch (a tile of one; see
+    /// [`PackedArray::tile_scratch`]).
+    pub fn scratch(&self) -> PackedScratch {
+        self.tile_scratch(1)
+    }
+
+    /// Allocates a per-worker scratch holding up to `capacity` queries'
+    /// broadcast planes and per-row count buffers. The batch paths use
+    /// query-major tiles (capacity 8) so each L1-blocked row group is
+    /// walked once per tile rather than once per query.
+    pub fn tile_scratch(&self, capacity: usize) -> PackedScratch {
+        let capacity = capacity.max(1);
+        PackedScratch {
+            q_planes: vec![0u64; capacity * self.bits * self.words],
+            even: vec![0u32; capacity * self.rows_pad],
+            odd: vec![0u32; capacity * self.rows_pad],
+            capacity,
+            filled: 0,
+        }
+    }
+
+    /// Broadcasts one (pre-validated) query into `scratch`'s slot-0 bit
+    /// planes, making it a filled tile of one. Every plane word of the
+    /// slot is overwritten, so a scratch can be reused across queries —
+    /// and remains safe to reuse even if a previous query's evaluation
+    /// panicked mid-flight.
     pub fn expand_query(&self, query: &[u8], scratch: &mut PackedScratch) {
+        scratch.filled = 1;
+        let planes = self.bits * self.words;
+        self.expand_into(query, &mut scratch.q_planes[..planes]);
+    }
+
+    /// Broadcasts a tile of (pre-validated) queries into `scratch`,
+    /// overwriting every plane word of the filled slots. At most
+    /// [`PackedScratch::capacity`] queries; the batch drivers slice
+    /// their batches accordingly.
+    pub fn expand_tile<'q>(
+        &self,
+        queries: impl ExactSizeIterator<Item = &'q [u8]>,
+        scratch: &mut PackedScratch,
+    ) {
+        debug_assert!(queries.len() <= scratch.capacity);
+        let planes = self.bits * self.words;
+        scratch.filled = queries.len();
+        for (t, query) in queries.enumerate() {
+            self.expand_into(query, &mut scratch.q_planes[t * planes..(t + 1) * planes]);
+        }
+    }
+
+    /// Word-chunked, branchless query broadcast into one slot's planes:
+    /// accumulate each plane word in a register, then store every word
+    /// unconditionally (which is what keeps a reused — or torn — scratch
+    /// fully overwritten).
+    fn expand_into(&self, query: &[u8], out: &mut [u64]) {
         debug_assert_eq!(query.len(), self.stages);
-        debug_assert_eq!(scratch.q_planes.len(), self.bits * self.words);
-        // Word-chunked and branchless: accumulate each plane word in a
-        // register, then store every word unconditionally (which is what
-        // keeps a reused — or torn — scratch fully overwritten).
+        debug_assert_eq!(out.len(), self.bits * self.words);
         let words = self.words;
         for (w, chunk) in query.chunks(64).enumerate() {
             let mut acc = [0u64; 4];
@@ -335,15 +621,84 @@ impl PackedArray {
                 }
             }
             for (b, &a) in acc.iter().enumerate().take(self.bits) {
-                scratch.q_planes[b * words + w] = a;
+                out[b * words + w] = a;
             }
         }
     }
 
-    /// The kernel: `(even_mismatches, odd_mismatches)` of `row` against
-    /// the query expanded into `scratch`. `XOR` per bit plane, `OR`
-    /// across planes, `count_ones()` under each parity mask — a handful
-    /// of word ops per 64 stages in place of 64 dependent f64 loads.
+    /// Runs the block kernel for every expanded query of the tile,
+    /// filling `scratch`'s per-row `(even, odd)` count buffers — the
+    /// ladder-dispatched, cache-blocked form of the kernel.
+    ///
+    /// The loop nest is row-block-major: row blocks sized to
+    /// `ROW_BLOCK_BYTES` (16 KiB) of lane words (L1-resident) in the outer
+    /// loop, the tile's queries inner — so each block is pulled from
+    /// memory once per tile, not once per query. Counts are exact
+    /// integers on every rung; read them back with
+    /// [`PackedArray::counts`]. Rows where [`PackedArray::is_packed`] is
+    /// false get counts too, but callers must route them to the
+    /// behavioral model instead of consuming those.
+    pub fn mismatch_counts(&self, scratch: &mut PackedScratch) {
+        let PackedScratch {
+            q_planes,
+            even,
+            odd,
+            filled,
+            ..
+        } = scratch;
+        let args = KernelArgs {
+            lanes: &self.lane_planes,
+            even_mask: &self.even_mask,
+            odd_mask: &self.odd_mask,
+            bits: self.bits,
+            words: self.words,
+            rows_pad: self.rows_pad,
+        };
+        let planes = self.bits * self.words;
+        let block = self.row_block();
+        let mut r0 = 0;
+        while r0 < self.rows_pad {
+            let r1 = (r0 + block).min(self.rows_pad);
+            for t in 0..*filled {
+                kernel::mismatch_block(
+                    self.kernel,
+                    &args,
+                    &q_planes[t * planes..(t + 1) * planes],
+                    r0,
+                    r1,
+                    &mut even[t * self.rows_pad..(t + 1) * self.rows_pad],
+                    &mut odd[t * self.rows_pad..(t + 1) * self.rows_pad],
+                );
+            }
+            r0 = r1;
+        }
+    }
+
+    /// Rows per cache block: as many [`LANES`]-row groups as keep the
+    /// block's lane words within [`ROW_BLOCK_BYTES`], at least one group.
+    fn row_block(&self) -> usize {
+        let row_bytes = (self.bits * self.words * 8).max(1);
+        let rows = ROW_BLOCK_BYTES / row_bytes;
+        (rows / LANES * LANES).max(LANES)
+    }
+
+    /// Reads query `t`'s `(even_mismatches, odd_mismatches)` for `row`
+    /// from a tile filled by [`PackedArray::mismatch_counts`].
+    #[inline]
+    pub fn counts(&self, scratch: &PackedScratch, t: usize, row: usize) -> (usize, usize) {
+        debug_assert!(t < scratch.filled && row < self.rows);
+        let slot = t * self.rows_pad + row;
+        (scratch.even[slot] as usize, scratch.odd[slot] as usize)
+    }
+
+    /// The single-row reference kernel: `(even_mismatches,
+    /// odd_mismatches)` of `row` against the query expanded into
+    /// `scratch`'s slot 0. `XOR` per bit plane, `OR` across planes,
+    /// `count_ones()` under each parity mask — a handful of word ops per
+    /// 64 stages in place of 64 dependent f64 loads. Reads the row-major
+    /// plane copy, independent of the lane layout and the dispatch
+    /// ladder, which is what makes it the anchor the ladder rungs are
+    /// pinned against in `tests/packed_equiv.rs`.
     ///
     /// Only meaningful for rows where [`PackedArray::is_packed`] holds;
     /// callers route other rows to the behavioral model.

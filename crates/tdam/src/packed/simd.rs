@@ -1,0 +1,206 @@
+//! Explicit wide-register rung of the packed kernel (x86_64, `simd`
+//! feature): AVX-512 with native 64-bit popcount when the CPU has it,
+//! AVX2 with a byte-shuffle popcount otherwise.
+//!
+//! `std::simd` is still nightly-only, so the portable-SIMD shape the
+//! roadmap sketched is realized with stable `core::arch` intrinsics
+//! plus runtime dispatch instead: [`available`]/[`name`] consult
+//! `is_x86_feature_detected!` (a cached atomic read), and the ladder
+//! ([`super::PackedKernel`]) only routes here when a wide path exists.
+//!
+//! # Safety
+//!
+//! The `unsafe` in this module is exactly the two `#[target_feature]`
+//! block kernels and their helpers. The invariants that make every call
+//! sound:
+//!
+//! - **ISA**: [`block`] calls a `#[target_feature]` function only after
+//!   the matching `is_x86_feature_detected!` check on this process.
+//! - **Bounds**: callers pass `r0`/`r1` as multiples of
+//!   [`LANES`](super::kernel::LANES) with `r1 <= rows_pad`, and
+//!   [`KernelArgs`] guarantees `lanes.len() == bits·words·rows_pad` —
+//!   so every `LANES`-row load `lanes[(w·bits + b)·rows_pad + r ..]`
+//!   stays in bounds, as do the `count` stores into `even`/`odd`
+//!   (length `rows_pad`). Debug builds re-assert both.
+//! - **Alignment**: none assumed — all accesses use `loadu`/`storeu`.
+//!
+//! Both paths compute the same exact integer popcounts as the scalar
+//! rung (`tests/packed_equiv.rs` pins bit-identity across the ladder).
+
+#![cfg(all(feature = "simd", target_arch = "x86_64"))]
+// The one sanctioned exception to the crate's `deny(unsafe_code)`: the
+// `#[target_feature]` kernels below, governed by the safety contract in
+// the module docs above.
+#![allow(unsafe_code)]
+
+use super::kernel::KernelArgs;
+use std::arch::is_x86_feature_detected;
+use std::arch::x86_64::*;
+
+/// Whether this CPU offers a wide path (AVX-512 VPOPCNTDQ or AVX2).
+pub(super) fn available() -> bool {
+    (is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq"))
+        || is_x86_feature_detected!("avx2")
+}
+
+/// Human-readable name of the wide path the dispatcher would take.
+pub(super) fn name() -> &'static str {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq") {
+        "avx512"
+    } else if is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "simd-unavailable"
+    }
+}
+
+/// Dispatches one row block to the widest available path; degrades to
+/// the unrolled scalar rung if neither is detected (unreachable through
+/// [`super::PackedKernel::detect`], but a forced selection must not be
+/// undefined behavior).
+pub(super) fn block(
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq") {
+        // SAFETY: ISA presence just checked; bounds per the module-level
+        // safety contract (LANES-aligned r0/r1 within rows_pad).
+        unsafe { block_avx512(args, q, r0, r1, even, odd) }
+    } else if is_x86_feature_detected!("avx2") {
+        // SAFETY: as above, for the AVX2 path.
+        unsafe { block_avx2(args, q, r0, r1, even, odd) }
+    } else {
+        super::kernel::unrolled_block(args, q, r0, r1, even, odd);
+    }
+}
+
+/// AVX-512 path: eight rows per iteration, one `VPOPCNTQ` per parity
+/// mask per word. Counts accumulate per-lane as 64-bit integers and are
+/// narrowed to the `u32` output buffers with `VPMOVQD`.
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn block_avx512(
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    let KernelArgs {
+        lanes,
+        even_mask,
+        odd_mask,
+        bits,
+        words,
+        rows_pad,
+    } = *args;
+    debug_assert!(r0.is_multiple_of(8) && r1.is_multiple_of(8) && r1 <= rows_pad);
+    debug_assert!(lanes.len() == bits * words * rows_pad);
+    debug_assert!(even.len() >= rows_pad && odd.len() >= rows_pad);
+    let lanes_ptr = lanes.as_ptr();
+    let mut r = r0;
+    while r < r1 {
+        let mut acc_e = _mm512_setzero_si512();
+        let mut acc_o = _mm512_setzero_si512();
+        for w in 0..words {
+            let mut diff = _mm512_setzero_si512();
+            for b in 0..bits {
+                let v =
+                    _mm512_loadu_si512(lanes_ptr.add((w * bits + b) * rows_pad + r) as *const _);
+                let qv = _mm512_set1_epi64(q[b * words + w] as i64);
+                diff = _mm512_or_si512(diff, _mm512_xor_si512(v, qv));
+            }
+            let em = _mm512_set1_epi64(even_mask[w] as i64);
+            let om = _mm512_set1_epi64(odd_mask[w] as i64);
+            acc_e = _mm512_add_epi64(acc_e, _mm512_popcnt_epi64(_mm512_and_si512(diff, em)));
+            acc_o = _mm512_add_epi64(acc_o, _mm512_popcnt_epi64(_mm512_and_si512(diff, om)));
+        }
+        _mm256_storeu_si256(
+            even.as_mut_ptr().add(r) as *mut _,
+            _mm512_cvtepi64_epi32(acc_e),
+        );
+        _mm256_storeu_si256(
+            odd.as_mut_ptr().add(r) as *mut _,
+            _mm512_cvtepi64_epi32(acc_o),
+        );
+        r += 8;
+    }
+}
+
+/// AVX2 path: four rows per iteration; 64-bit popcount built from the
+/// classic nibble-lookup byte shuffle (`PSHUFB` against a 0..=4 table)
+/// folded to per-lane sums with `PSADBW`.
+#[target_feature(enable = "avx2")]
+unsafe fn block_avx2(
+    args: &KernelArgs<'_>,
+    q: &[u64],
+    r0: usize,
+    r1: usize,
+    even: &mut [u32],
+    odd: &mut [u32],
+) {
+    let KernelArgs {
+        lanes,
+        even_mask,
+        odd_mask,
+        bits,
+        words,
+        rows_pad,
+    } = *args;
+    debug_assert!(r0.is_multiple_of(4) && r1.is_multiple_of(4) && r1 <= rows_pad);
+    debug_assert!(lanes.len() == bits * words * rows_pad);
+    debug_assert!(even.len() >= rows_pad && odd.len() >= rows_pad);
+    let lanes_ptr = lanes.as_ptr();
+    let mut r = r0;
+    while r < r1 {
+        let mut acc_e = _mm256_setzero_si256();
+        let mut acc_o = _mm256_setzero_si256();
+        for w in 0..words {
+            let mut diff = _mm256_setzero_si256();
+            for b in 0..bits {
+                let v =
+                    _mm256_loadu_si256(lanes_ptr.add((w * bits + b) * rows_pad + r) as *const _);
+                let qv = _mm256_set1_epi64x(q[b * words + w] as i64);
+                diff = _mm256_or_si256(diff, _mm256_xor_si256(v, qv));
+            }
+            let em = _mm256_set1_epi64x(even_mask[w] as i64);
+            let om = _mm256_set1_epi64x(odd_mask[w] as i64);
+            acc_e = _mm256_add_epi64(acc_e, popcnt_epi64(_mm256_and_si256(diff, em)));
+            acc_o = _mm256_add_epi64(acc_o, popcnt_epi64(_mm256_and_si256(diff, om)));
+        }
+        let mut tmp = [0u64; 4];
+        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut _, acc_e);
+        for (l, &c) in tmp.iter().enumerate() {
+            even[r + l] = c as u32;
+        }
+        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut _, acc_o);
+        for (l, &c) in tmp.iter().enumerate() {
+            odd[r + l] = c as u32;
+        }
+        r += 4;
+    }
+}
+
+/// Per-64-bit-lane popcount without `VPOPCNTQ`: split each byte into
+/// nibbles, look both up in a 16-entry popcount table with `PSHUFB`,
+/// and sum the per-byte counts into each 64-bit lane with `PSADBW`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
+    let lookup = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+    let counts = _mm256_add_epi8(
+        _mm256_shuffle_epi8(lookup, lo),
+        _mm256_shuffle_epi8(lookup, hi),
+    );
+    _mm256_sad_epu8(counts, _mm256_setzero_si256())
+}

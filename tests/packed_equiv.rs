@@ -14,6 +14,7 @@ use fetdam::tdam::config::ArrayConfig;
 use fetdam::tdam::encoding::Encoding;
 use fetdam::tdam::engine::{BatchQuery, SimilarityEngine};
 use fetdam::tdam::faults::FaultKind;
+use fetdam::tdam::packed::PackedKernel;
 use fetdam::tdam::resilience::{ResilienceConfig, ResilientArray};
 use fetdam::tdam::runtime::{BackendKind, ResilientEngine, RuntimeConfig};
 use rand::rngs::StdRng;
@@ -194,6 +195,99 @@ fn perturbed_rows_fall_back_inside_packed_path() {
         let reference = TdamArray::search(&am, q).expect("behavioral");
         assert_eq!(decision.best_row, reference.best_row());
         assert_eq!(decision.distances, reference.decoded());
+    }
+}
+
+/// Every rung of the dispatch ladder — plain scalar, hand-unrolled, and
+/// the wide SIMD rung when the build and CPU offer it — produces
+/// bit-identical outcomes, winners, and distances, for every thread
+/// count. The scalar rung is first pinned against the behavioral model,
+/// then each wider rung is pinned against the scalar rung's exact
+/// output.
+#[test]
+fn dispatch_ladder_rungs_are_bit_identical_across_thread_counts() {
+    const STAGES: usize = 130; // ragged: exercises the partial last word
+    let (am, mut rng) = seeded_array(3, STAGES, 40, 0x1ADD_E200);
+    let mut batch = BatchQuery::new(STAGES);
+    // 29 queries: not a multiple of the 8-query tile, so the ragged tail
+    // tile is exercised on every rung.
+    for _ in 0..29 {
+        let q: Vec<u8> = (0..STAGES).map(|_| rng.gen_range(0..8u32) as u8).collect();
+        batch.push(&q).expect("push");
+    }
+    let mut compiled = am.compile();
+    assert!(
+        compiled.force_kernel(PackedKernel::Scalar),
+        "the scalar rung is always available"
+    );
+    let outcomes = compiled.search_batch(&batch, Some(1)).expect("search");
+    let decisions = compiled.decide_batch(&batch, Some(1)).expect("decide");
+    for (i, (got, q)) in outcomes.iter().zip(batch.iter()).enumerate() {
+        let want = TdamArray::search(&am, q).expect("behavioral");
+        assert_eq!(got.best_row(), want.best_row(), "scalar query {i}: winner");
+        assert_eq!(got.decoded(), want.decoded(), "scalar query {i}: decode");
+    }
+    for rung in [PackedKernel::Unrolled, PackedKernel::Simd] {
+        if !compiled.force_kernel(rung) {
+            // Only the SIMD rung may be absent (feature off, or no wide
+            // CPU path); a refused force must leave the ladder serving.
+            assert_eq!(rung, PackedKernel::Simd, "unrolled is always available");
+            continue;
+        }
+        for threads in [Some(1), Some(3), None] {
+            assert_eq!(
+                compiled.search_batch(&batch, threads).expect("search"),
+                outcomes,
+                "{rung:?} ({threads:?}): outcomes must be bit-identical to scalar"
+            );
+            assert_eq!(
+                compiled.decide_batch(&batch, threads).expect("decide"),
+                decisions,
+                "{rung:?} ({threads:?}): decisions must be bit-identical to scalar"
+            );
+        }
+    }
+}
+
+/// The same ladder pin through the owned-snapshot drivers (the serving
+/// runtime's tier), plus the single-query packed path on each rung.
+#[test]
+fn snapshot_dispatch_ladder_matches_scalar_rung() {
+    const STAGES: usize = 64;
+    let (am, mut rng) = seeded_array(2, STAGES, 24, 0x5A95_0FF0);
+    let queries: Vec<Vec<u8>> = (0..9)
+        .map(|_| (0..STAGES).map(|_| rng.gen_range(0..4u32) as u8).collect())
+        .collect();
+    let mut batch = BatchQuery::new(STAGES);
+    for q in &queries {
+        batch.push(q).expect("push");
+    }
+    let mut snap = am.compile_snapshot();
+    assert!(snap.force_kernel(PackedKernel::Scalar));
+    let outcomes = snap.search_batch(&am, &batch, Some(1)).expect("search");
+    let decisions = snap.decide_batch(&am, &batch, Some(1)).expect("decide");
+    for rung in [PackedKernel::Unrolled, PackedKernel::Simd] {
+        if !snap.force_kernel(rung) {
+            continue;
+        }
+        assert_eq!(snap.kernel(), rung, "forced rung must be reported back");
+        assert_eq!(
+            snap.search_batch(&am, &batch, None).expect("search"),
+            outcomes,
+            "{rung:?}: snapshot batch"
+        );
+        assert_eq!(
+            snap.decide_batch(&am, &batch, None).expect("decide"),
+            decisions,
+            "{rung:?}: snapshot decisions"
+        );
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                snap.search_packed(&am, q).expect("single"),
+                outcomes[i],
+                "{rung:?}: single-query path, query {i}"
+            );
+        }
     }
 }
 
