@@ -19,6 +19,7 @@
 //! | `ext_chaos_availability` | Extension: serving-runtime availability under injected cell faults + worker panics |
 //! | `ext_recovery` | Extension: crash-injection campaign over the checkpoint/journal store + warm-start restore |
 //! | `ext_serve_scale` | Extension: sharded TCP serving front-end — load sweep, guaranteed shedding, warm-standby failover |
+//! | `ext_mutation` | Extension: online mutation — incremental repack cost, p99 under a live write mix, mutation-chaos correctness campaign |
 //!
 //! `benches/` contains Criterion micro-benchmarks of the underlying
 //! engines (device model, circuit solver, chain evaluation, HDC

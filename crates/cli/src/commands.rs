@@ -34,6 +34,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "faults" => faults(args),
         "bench-batch" => bench_batch(args),
         "serve-chaos" => serve_chaos(args),
+        "mutate-chaos" => mutate_chaos(args),
         "checkpoint" => checkpoint(args),
         "restore" => restore(args),
         "serve" => serve(args),
@@ -415,6 +416,94 @@ fn serve_chaos(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn mutate_chaos(args: &Args) -> Result<String, CliError> {
+    use tdam::runtime::{run_mutation_chaos, DeadlinePolicy, MutationChaosConfig};
+
+    let mut cfg = MutationChaosConfig::paper_default();
+    let stages = args.usize_or("stages", cfg.array.stages)?;
+    let rows = args.usize_or("rows", cfg.array.rows)?;
+    cfg.array = base_config(args)?.with_stages(stages).with_rows(rows);
+    cfg.resilience.spare_rows = args.usize_or("spares", cfg.resilience.spare_rows)?;
+    cfg.batches = args.usize_or("batches", cfg.batches)?;
+    cfg.batch_size = args.usize_or("batch", cfg.batch_size)?;
+    cfg.writes_per_batch = args.usize_or("writes", cfg.writes_per_batch)?;
+    cfg.fault_rate = args.f64_or("fault-rate", cfg.fault_rate)?;
+    cfg.panic_rate = args.f64_or("panic-rate", cfg.panic_rate)?;
+    cfg.seed = args.usize_or("seed", cfg.seed as usize)? as u64;
+    for (name, rate) in [
+        ("fault-rate", cfg.fault_rate),
+        ("panic-rate", cfg.panic_rate),
+    ] {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(CliError::Usage(format!(
+                "--{name} is a probability and must be in 0..=1, got {rate}"
+            )));
+        }
+    }
+    if args.get("deadline-queries").is_some() {
+        cfg.runtime.deadline = DeadlinePolicy::QueryBudget(args.usize_or("deadline-queries", 0)?);
+    }
+    let report = run_mutation_chaos(&cfg)?;
+    let out = format!(
+        "mutation chaos: {rows}x{stages} array, {} spares, seed {:#x}\n\
+         {} batches x {} queries, {} writes/batch, fault rate {:.2}%, panic rate {:.2}%\n\
+         availability: {:.2}%  ({} answered, {} timed out, {} failed of {})\n\
+         correctness: {} wrong, {} silent wrong, {} flagged degraded (judged against \
+         an independently replayed reference)\n\
+         writes: {} user, {} physical (amplification {:.3}x), {} wear rotations, \
+         {} refresh rewrites\n\
+         repack: {} incremental repacks covering {} rows, {} epoch swaps, {} full recompiles\n\
+         faults injected: {}   final backend: {:?} ({:?})\n",
+        cfg.resilience.spare_rows,
+        cfg.seed,
+        cfg.batches,
+        cfg.batch_size,
+        cfg.writes_per_batch,
+        cfg.fault_rate * 100.0,
+        cfg.panic_rate * 100.0,
+        report.availability() * 100.0,
+        report.answered,
+        report.timed_out,
+        report.failed,
+        report.total_queries,
+        report.wrong,
+        report.silent_wrong,
+        report.degraded_answers,
+        report.user_writes,
+        report.physical_writes,
+        report.write_amplification(),
+        report.wear_rotations,
+        report.refresh_rewrites,
+        report.stats.incremental_repacks,
+        report.stats.rows_repacked,
+        report.stats.epoch_swaps,
+        report
+            .stats
+            .recompiles
+            .saturating_sub(report.stats.incremental_repacks),
+        report.faults_injected,
+        report.final_backend,
+        report.final_degradation,
+    );
+    // The campaign gate: a silently wrong answer is forbidden under any
+    // fault mix, and a pure-mutation campaign (no injected cell faults)
+    // must be *correct* outright. Both are permanent failures — the same
+    // seed will corrupt the same way, so a retry is pointless.
+    if report.silent_wrong > 0 {
+        return Err(CliError::permanent(format!(
+            "{out}FAILED: {} silently wrong answer(s) delivered as nominal",
+            report.silent_wrong
+        )));
+    }
+    if cfg.fault_rate == 0.0 && report.wrong > 0 {
+        return Err(CliError::permanent(format!(
+            "{out}FAILED: {} wrong answer(s) in a pure-mutation campaign",
+            report.wrong
+        )));
+    }
+    Ok(out)
+}
+
 fn checkpoint(args: &Args) -> Result<String, CliError> {
     use tdam::runtime::{ResilientEngine, RuntimeConfig};
     use tdam::store::{CheckpointStore, DurableEngine};
@@ -609,10 +698,18 @@ fn serve(args: &Args) -> Result<String, CliError> {
         report.front.errors
     ));
     for (ix, s) in report.shards.iter().enumerate() {
+        let write_amp = if s.stats.user_writes == 0 {
+            1.0
+        } else {
+            s.stats.physical_writes as f64 / s.stats.user_writes as f64
+        };
         out.push_str(&format!(
             "shard {ix}: rows {}..{} {} backend {:?}  \
              {} queries, {} retries ({} backoff waits), {} breaker trips, \
-             {} demotions, {} promotions, {} repairs\n",
+             {} demotions, {} promotions, {} repairs\n\
+             \u{20}        writes: {} user, {} physical (amplification {write_amp:.3}x), \
+             {} wear rotations, {} refresh rewrites; \
+             {} epoch swaps ({} incremental repacks)\n",
             s.base,
             s.base + s.rows,
             if s.down { "DOWN" } else { "up  " },
@@ -623,7 +720,13 @@ fn serve(args: &Args) -> Result<String, CliError> {
             s.stats.breaker_trips,
             s.stats.demotions,
             s.stats.promotions,
-            s.stats.repairs
+            s.stats.repairs,
+            s.stats.user_writes,
+            s.stats.physical_writes,
+            s.stats.wear_rotations,
+            s.stats.refresh_rewrites,
+            s.stats.epoch_swaps,
+            s.stats.incremental_repacks
         ));
     }
     if report.silent_wrong() > 0 {
@@ -1003,6 +1106,43 @@ mod tests {
         .unwrap();
         // 2 batches x 8 queries with a 3-query budget: 6 answered, 10 expired.
         assert!(out.contains("6 answered, 10 timed out"), "{out}");
+    }
+
+    #[test]
+    fn mutate_chaos_reports_and_replays_bit_identically() {
+        let argv = [
+            "mutate-chaos",
+            "--rows",
+            "8",
+            "--stages",
+            "16",
+            "--batches",
+            "4",
+            "--batch",
+            "8",
+            "--writes",
+            "2",
+            "--panic-rate",
+            "0",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("0 wrong, 0 silent wrong"), "{out}");
+        assert!(out.contains("amplification"), "{out}");
+        assert!(out.contains("incremental repacks"), "{out}");
+        // Same seed → bit-identical report text (integer-only campaign).
+        assert_eq!(out, run(&argv).unwrap());
+    }
+
+    #[test]
+    fn mutate_chaos_validates_rates() {
+        assert!(matches!(
+            run(&["mutate-chaos", "--fault-rate", "2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["mutate-chaos", "--panic-rate", "nan"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

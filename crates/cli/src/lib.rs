@@ -109,6 +109,9 @@ USAGE:
   tdam-sim bench-batch [--stages N] [--rows R] [--batch B] [--threads T] [--seed X]
   tdam-sim serve-chaos [--stages N] [--rows R] [--spares S] [--batches B] [--batch Q]
                    [--fault-rate P] [--panic-rate P] [--deadline-queries D] [--seed X]
+  tdam-sim mutate-chaos [--stages N] [--rows R] [--spares S] [--batches B] [--batch Q]
+                   [--writes W] [--fault-rate P] [--panic-rate P]
+                   [--deadline-queries D] [--seed X]
   tdam-sim checkpoint --dir D [--stages N] [--rows R] [--spares S] [--mutations M] [--seed X]
   tdam-sim restore    --dir D
   tdam-sim serve   [--rows R] [--stages N] [--rows-per-shard S] [--clients C]
@@ -132,6 +135,12 @@ SUBCOMMANDS:
   serve-chaos  seeded chaos campaign against the fault-tolerant serving
                runtime: injected cell faults + worker panics, reporting
                availability and silent-wrong-answer counts
+  mutate-chaos seeded read/write chaos campaign: row rewrites churn the
+               array (incremental repack + epoch-swapped snapshots, wear
+               leveling) between served batches; every answer is judged
+               against an independently replayed reference, and the
+               command fails on any silent corruption (or any wrong
+               answer at all when --fault-rate is 0)
   checkpoint   program a seeded deployment and persist it under --dir:
                a CRC-checksummed snapshot plus a write-ahead journal of
                the post-checkpoint mutations (--mutations, left

@@ -1091,6 +1091,47 @@ impl CompiledSnapshot {
         Ok(tiles.into_iter().flatten().collect())
     }
 
+    /// Incrementally re-syncs this snapshot to `source` after row
+    /// mutations, rebuilding **only** the listed rows: each row's chain is
+    /// recloned, its scalar delay LUT recompiled, and its packed bit
+    /// planes surgically rewritten in place
+    /// ([`PackedArray::repack_row`](crate::packed::PackedArray)); the
+    /// snapshot then adopts `source`'s generation. Cost is O(rows
+    /// touched · stages) instead of the O(array) of a fresh
+    /// [`TdamArray::compile_snapshot`] — the repack half of the online
+    /// mutation path, measured and pinned by the `ext_mutation` bench.
+    ///
+    /// The caller must list **every** row whose stored contents changed
+    /// since this snapshot's generation (the serving runtime tracks the
+    /// dirty-row set; see [`crate::runtime`]). `source` must have the
+    /// same geometry, timing, and TDC calibration the snapshot was
+    /// compiled from — only row contents may differ. After the call the
+    /// snapshot is bit-identical to `source.compile_snapshot()`.
+    ///
+    /// Returns the number of rows refreshed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed row is out of bounds.
+    pub fn refresh_rows(
+        &mut self,
+        source: &TdamArray,
+        rows: impl IntoIterator<Item = usize>,
+    ) -> usize {
+        debug_assert_eq!(self.array.config, source.config);
+        let mut refreshed = 0;
+        for row in rows {
+            let chain = source.chains[row].clone();
+            self.compiled[row] = chain.compile();
+            self.array.chains[row] = chain;
+            self.packed.repack_row(&self.array, row);
+            refreshed += 1;
+        }
+        self.array.generation = source.generation;
+        self.generation = source.generation;
+        refreshed
+    }
+
     /// Forces a dispatch-ladder rung for this snapshot's packed kernel
     /// (see [`CompiledArray::force_kernel`]).
     pub fn force_kernel(&mut self, kernel: crate::packed::PackedKernel) -> bool {
@@ -1497,6 +1538,73 @@ mod tests {
             Some(0)
         );
         assert_eq!(err.class(), crate::ErrorClass::Transient);
+    }
+
+    #[test]
+    fn refresh_rows_resyncs_a_stale_snapshot_incrementally() {
+        let mut am = array(6, 16);
+        for row in 0..6 {
+            let v: Vec<u8> = (0..16).map(|i| ((i * 5 + row) % 4) as u8).collect();
+            am.store(row, &v).unwrap();
+        }
+        let mut snap = am.compile_snapshot();
+
+        // Mutate a few rows (one of them twice) and refresh exactly the
+        // touched set: the snapshot must serve again and be bit-identical
+        // to a from-scratch recompile.
+        am.store(2, &[3; 16]).unwrap();
+        am.store(4, &[1; 16]).unwrap();
+        am.store(2, &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3])
+            .unwrap();
+        assert!(!snap.is_fresh(&am));
+        assert_eq!(snap.refresh_rows(&am, [2usize, 4]), 2);
+        assert!(snap.is_fresh(&am));
+
+        let rebuilt = am.compile_snapshot();
+        assert_eq!(snap.generation(), rebuilt.generation());
+        let rows: Vec<Vec<u8>> = (0..9)
+            .map(|k| (0..16).map(|i| ((i + 2 * k) % 4) as u8).collect())
+            .collect();
+        for q in &rows {
+            assert_eq!(
+                snap.search(&am, q).unwrap(),
+                rebuilt.search(&am, q).unwrap()
+            );
+            assert_eq!(
+                snap.search_packed(&am, q).unwrap(),
+                rebuilt.search_packed(&am, q).unwrap()
+            );
+        }
+        let batch = BatchQuery::from_rows(&rows).unwrap();
+        assert_eq!(
+            snap.decide_batch(&am, &batch, Some(1)).unwrap(),
+            rebuilt.decide_batch(&am, &batch, Some(1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn refresh_rows_tracks_compiled_tier_transitions() {
+        let mut am = array(3, 8);
+        for row in 0..3 {
+            am.store(row, &[1; 8]).unwrap();
+        }
+        let mut snap = am.compile_snapshot();
+        assert!(snap.fully_compiled());
+        // A perturbed-cell write demotes the row's scalar LUT and packed
+        // service on refresh...
+        let cells = (0..8)
+            .map(|_| crate::cell::Cell::with_vth(1, am.config().encoding, 0.63, 1.02).unwrap())
+            .collect();
+        am.store_cells(1, cells).unwrap();
+        snap.refresh_rows(&am, [1usize]);
+        assert_eq!(snap.compiled_rows(), 2);
+        assert_eq!(snap.packed_rows(), 2);
+        // ...and a nominal rewrite restores both tiers.
+        am.store(1, &[2; 8]).unwrap();
+        snap.refresh_rows(&am, [1usize]);
+        assert!(snap.fully_compiled());
+        assert_eq!(snap.packed_rows(), 3);
+        assert_eq!(snap.search_unchecked(&[2; 8]).unwrap().best_row(), Some(1));
     }
 
     #[test]

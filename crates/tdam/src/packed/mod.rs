@@ -358,6 +358,10 @@ pub struct PackedArray {
     /// Which rows are served by the kernel (the rest fall back to the
     /// behavioral model).
     packable: Vec<bool>,
+    /// The masked-stage set the view was built with, retained so per-row
+    /// surgical repacks ([`PackedArray::repack_row`]) re-judge
+    /// packability under the same mask the parity masks encode.
+    masked: BTreeSet<usize>,
     even_mask: Vec<u64>,
     odd_mask: Vec<u64>,
     /// `step_delay[k]`: one step's delay with `k` active-stage
@@ -417,32 +421,10 @@ impl PackedArray {
             target[j / 64] |= 1u64 << (j % 64);
         }
 
-        let degenerate = timing.d_inv + timing.d_c == timing.d_inv;
         let rows_pad = rows.div_ceil(LANES) * LANES;
-        let mut planes = vec![0u64; rows * bits * words];
-        let mut lane_planes = vec![0u64; bits * words * rows_pad];
-        let mut packable = Vec::with_capacity(rows);
-        for (row, chain) in chains.iter().enumerate() {
-            packable.push(
-                !degenerate
-                    && chain
-                        .cells()
-                        .iter()
-                        .enumerate()
-                        .all(|(j, c)| c.is_nominal() || masked.contains(&j)),
-            );
-            let base = row * bits * words;
-            for (j, cell) in chain.cells().iter().enumerate() {
-                let code = cell.stored();
-                for b in 0..bits {
-                    if (code >> b) & 1 == 1 {
-                        let (w, shift) = (j / 64, j % 64);
-                        planes[base + b * words + w] |= 1u64 << shift;
-                        lane_planes[(w * bits + b) * rows_pad + row] |= 1u64 << shift;
-                    }
-                }
-            }
-        }
+        let planes = vec![0u64; rows * bits * words];
+        let lane_planes = vec![0u64; bits * words * rows_pad];
+        let packable = vec![false; rows];
 
         // Count-indexed reconstruction tables, all built by repeated
         // addition — the same discipline as the scalar compiled path's
@@ -482,6 +464,7 @@ impl PackedArray {
             lane_planes,
             kernel: PackedKernel::detect(),
             packable,
+            masked: masked.clone(),
             even_mask,
             odd_mask,
             step_delay,
@@ -496,6 +479,9 @@ impl PackedArray {
             timing,
             tdc,
         };
+        for row in 0..rows {
+            packed.repack_row(array, row);
+        }
         let table = (max_even + 1) * (max_odd + 1);
         if table <= DIGEST_TABLE_CAP {
             let mut digests = Vec::with_capacity(table);
@@ -508,6 +494,51 @@ impl PackedArray {
             packed.digests = digests;
         }
         packed
+    }
+
+    /// Surgically re-packs one row in place after its stored contents
+    /// changed: clears and rebuilds the row's bit planes in both the
+    /// row-major and the row-transposed lane layouts and re-judges its
+    /// packability under the mask the view was built with. The parity
+    /// masks and every count-indexed reconstruction table (step delays,
+    /// digests, decoded distances, cumulative energies) are pure
+    /// functions of geometry, timing, and the mask — never of row
+    /// contents — so they are deliberately untouched.
+    ///
+    /// Cost is O(`bits · words`) ≈ O(stages), independent of the row
+    /// count: this is the O(rows touched) half of the online-mutation
+    /// path (see ARCHITECTURE.md, "online mutation").
+    ///
+    /// `array` must have the same geometry the view was built from; only
+    /// row contents may differ.
+    pub(crate) fn repack_row(&mut self, array: &TdamArray, row: usize) {
+        debug_assert!(row < self.rows);
+        let chain = &array.chains()[row];
+        let degenerate = self.timing.d_inv + self.timing.d_c == self.timing.d_inv;
+        self.packable[row] = !degenerate
+            && chain
+                .cells()
+                .iter()
+                .enumerate()
+                .all(|(j, c)| c.is_nominal() || self.masked.contains(&j));
+        let (bits, words) = (self.bits, self.words);
+        let base = row * bits * words;
+        self.planes[base..base + bits * words].fill(0);
+        for w in 0..words {
+            for b in 0..bits {
+                self.lane_planes[(w * bits + b) * self.rows_pad + row] = 0;
+            }
+        }
+        for (j, cell) in chain.cells().iter().enumerate() {
+            let code = cell.stored();
+            for b in 0..bits {
+                if (code >> b) & 1 == 1 {
+                    let (w, shift) = (j / 64, j % 64);
+                    self.planes[base + b * words + w] |= 1u64 << shift;
+                    self.lane_planes[(w * bits + b) * self.rows_pad + row] |= 1u64 << shift;
+                }
+            }
+        }
     }
 
     /// Number of rows in the packed view.
@@ -972,6 +1003,46 @@ mod tests {
                 packed.row_mismatches(row, &fresh)
             );
         }
+    }
+
+    #[test]
+    fn repack_row_is_bit_identical_to_full_rebuild() {
+        let mut am = seeded_array(2, 70, 6, 0xAB);
+        let masked: BTreeSet<usize> = [3usize, 64].into_iter().collect();
+        let mut packed = PackedArray::build(&am, &masked);
+        let levels = am.config().encoding.levels() as u64;
+        for (round, &row) in [1usize, 4, 1, 5, 0].iter().enumerate() {
+            let values: Vec<u8> = (0..70)
+                .map(|j| ((j as u64 * 13 + round as u64 * 5 + 3) % levels) as u8)
+                .collect();
+            am.store(row, &values).unwrap();
+            packed.repack_row(&am, row);
+        }
+        let rebuilt = PackedArray::build(&am, &masked);
+        assert_eq!(packed.planes, rebuilt.planes);
+        assert_eq!(packed.lane_planes, rebuilt.lane_planes);
+        assert_eq!(packed.packable, rebuilt.packable);
+    }
+
+    #[test]
+    fn repack_row_tracks_packability_transitions() {
+        let mut am = seeded_array(2, 16, 3, 0x51);
+        let mut packed = PackedArray::build(&am, &BTreeSet::new());
+        assert!(packed.is_packed(1));
+        // A perturbed cell lands at stage 5: the row must leave the fast
+        // path on repack...
+        let mut cells: Vec<crate::cell::Cell> = am.chains()[1].cells().to_vec();
+        cells[5] = crate::cell::Cell::with_vth(1, am.config().encoding, 0.63, 1.02).unwrap();
+        am.store_cells(1, cells).unwrap();
+        packed.repack_row(&am, 1);
+        assert!(!packed.is_packed(1));
+        // ...and rejoin it once nominal values are rewritten.
+        am.store(1, &[0; 16]).unwrap();
+        packed.repack_row(&am, 1);
+        assert!(packed.is_packed(1));
+        let rebuilt = PackedArray::build(&am, &BTreeSet::new());
+        assert_eq!(packed.planes, rebuilt.planes);
+        assert_eq!(packed.lane_planes, rebuilt.lane_planes);
     }
 
     #[test]

@@ -56,7 +56,75 @@ use crate::TdamError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tdam_fefet::disturb::InhibitScheme;
+use tdam_fefet::preisach::PreisachParams;
 use tdam_fefet::programming::RetryPolicy;
+use tdam_fefet::retention::EnduranceParams;
+
+/// Wear-aware write-leveling policy: when to rotate a hot logical row
+/// onto a fresh spare, and when accumulated program disturb forces a
+/// refresh-rewrite of a sibling row.
+///
+/// Both thresholds are grounded in the `fefet` lifetime models: rotation
+/// budgets program/erase cycles against the endurance fatigue curve
+/// ([`EnduranceParams`]), and disturb accumulation follows the shared-
+/// search-line exposure model ([`tdam_fefet::disturb`]) — an inhibit
+/// scheme that is disturb-free by construction
+/// ([`tdam_fefet::disturb::is_disturb_free`]) never charges sibling rows
+/// at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearPolicy {
+    /// Program cycles one physical row absorbs before the next write to
+    /// its logical row rotates onto a fresh spare (`0` disables
+    /// rotation). The default budgets 1% of the endurance model's
+    /// half-window fatigue point, far below any margin impact.
+    pub rotate_after_writes: u64,
+    /// Disturb exposures (writes to *other* rows under a non-disturb-free
+    /// inhibit scheme) a row absorbs before it is refresh-rewritten from
+    /// its stored values (`0` disables disturb tracking).
+    pub refresh_after_disturbs: u64,
+    /// The inhibit biasing scheme the write driver uses. Determines —
+    /// through the Preisach coercivity model — whether unselected rows
+    /// accumulate disturb at all.
+    pub inhibit: InhibitScheme,
+}
+
+impl Default for WearPolicy {
+    fn default() -> Self {
+        // V/3 inhibit at a 3.6 V write is disturb-free against the
+        // default coercivity (no sibling exposure), and the rotation
+        // budget of 1% of the fatigue half-window point (1e8 cycles) is
+        // unreachable in any test or campaign — the default policy is
+        // behaviorally inert, which keeps crash-chaos replay and every
+        // pre-existing campaign bit-identical.
+        Self {
+            rotate_after_writes: (EnduranceParams::default().fatigue_half_cycles / 100.0) as u64,
+            refresh_after_disturbs: 0,
+            inhibit: InhibitScheme::third_select(3.6, 500e-9),
+        }
+    }
+}
+
+impl WearPolicy {
+    /// A deliberately hot policy for wear-path campaigns and benches:
+    /// rows rotate after a handful of writes and the naive V/2 inhibit
+    /// (not disturb-free at 5 V) charges sibling rows, so short seeded
+    /// campaigns actually exercise rotation and refresh-rewrites.
+    pub fn aggressive() -> Self {
+        Self {
+            rotate_after_writes: 6,
+            refresh_after_disturbs: 48,
+            inhibit: InhibitScheme::half_select(5.0, 500e-9),
+        }
+    }
+
+    /// Whether the configured inhibit scheme is disturb-free by
+    /// construction against the default Preisach coercivity (see
+    /// [`tdam_fefet::disturb::is_disturb_free`]).
+    pub fn is_disturb_free(&self) -> bool {
+        tdam_fefet::disturb::is_disturb_free(&self.inhibit, &PreisachParams::default())
+    }
+}
 
 /// Configuration of the resilience machinery around a data array.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +146,8 @@ pub struct ResilienceConfig {
     pub margin_threshold: f64,
     /// Device-level write-verify retry/escalation policy used by repair.
     pub retry: RetryPolicy,
+    /// Wear-aware write-leveling policy (the default never triggers).
+    pub wear: WearPolicy,
 }
 
 impl Default for ResilienceConfig {
@@ -88,6 +158,7 @@ impl Default for ResilienceConfig {
             repair_attempts: 1,
             margin_threshold: 0.6,
             retry: RetryPolicy::default(),
+            wear: WearPolicy::default(),
         }
     }
 }
@@ -270,6 +341,29 @@ pub struct RepairOutcome {
     pub max_write_attempts: usize,
 }
 
+/// Accounting for one logical-row write through the wear-aware store
+/// path ([`ResilientArray::store`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// The physical row the values landed in (after any rotation).
+    pub physical: usize,
+    /// Whether the write first rotated the logical row onto a fresh
+    /// spare because its old physical row hit the wear budget.
+    pub rotated: bool,
+    /// Physical rows refresh-rewritten because this write pushed their
+    /// accumulated program disturb past the policy budget.
+    pub refreshed: Vec<usize>,
+}
+
+impl WriteReport {
+    /// Physical program operations this one logical write cost (the
+    /// write itself plus every triggered refresh-rewrite) — the
+    /// write-amplification numerator.
+    pub fn physical_writes(&self) -> usize {
+        1 + self.refreshed.len()
+    }
+}
+
 /// Internal status of one physical row's known-answer probes.
 #[derive(Debug, Clone, Copy)]
 struct ProbeStatus {
@@ -307,6 +401,15 @@ pub struct ResilientArray {
     pub(crate) broken: BTreeSet<usize>,
     /// Columns masked out of the distance arithmetic.
     pub(crate) masked: BTreeSet<usize>,
+    /// Program cycles absorbed per physical row (wear leveling input).
+    /// Runtime-only accounting: deliberately not persisted in
+    /// checkpoints — a restored array starts with fresh counters, on
+    /// both the recovery and the expected-state replay path alike.
+    pub(crate) writes: Vec<u64>,
+    /// Disturb exposures accumulated per physical row since its last
+    /// (re)write, under a non-disturb-free inhibit scheme. Runtime-only,
+    /// like `writes`.
+    pub(crate) disturbs: Vec<u64>,
 }
 
 impl ResilientArray {
@@ -331,6 +434,7 @@ impl ResilientArray {
                 .collect();
             SimilarityEngine::store(&mut array, data_rows + cfg.spare_rows + k, &pattern)?;
         }
+        let physical_rows = data_rows + cfg.spare_rows + cfg.reference_rows;
         Ok(Self {
             array,
             cfg,
@@ -341,6 +445,8 @@ impl ResilientArray {
             faults: FaultMap::new(),
             broken: BTreeSet::new(),
             masked: BTreeSet::new(),
+            writes: vec![0; physical_rows],
+            disturbs: vec![0; physical_rows],
         })
     }
 
@@ -418,15 +524,86 @@ impl ResilientArray {
         self.data_rows + self.cfg.spare_rows + self.cfg.reference_rows
     }
 
-    /// Stores a vector at a logical row (through any injected faults).
+    /// Stores a vector at a logical row (through any injected faults),
+    /// with wear-aware write leveling per the configured [`WearPolicy`]:
+    ///
+    /// 1. **Rotation** — if the row's current physical backing has
+    ///    absorbed its program-cycle budget, the logical row first
+    ///    rotates onto a fresh spare (always leaving at least one spare
+    ///    free for fault repair; with no spare to give, the write lands
+    ///    in place).
+    /// 2. **Disturb accounting** — under a non-disturb-free inhibit
+    ///    scheme every *other* live row absorbs one shared-search-line
+    ///    exposure per write; a row whose accumulated exposure crosses
+    ///    the policy budget is refresh-rewritten from its stored values
+    ///    before its decode margin can collapse, and its counter resets.
+    ///
+    /// The default policy never triggers either mechanism, so plain
+    /// stores behave exactly as before. The returned [`WriteReport`]
+    /// carries the rotation/refresh accounting (the serving runtime
+    /// aggregates it into [`crate::runtime::RuntimeStats`]).
     ///
     /// # Errors
     ///
     /// Returns bounds/shape/range errors as [`TdamArray::store_cells`].
-    pub fn store(&mut self, logical: usize, values: &[u8]) -> Result<(), TdamError> {
-        let phys = self.physical_row(logical)?;
+    pub fn store(&mut self, logical: usize, values: &[u8]) -> Result<WriteReport, TdamError> {
+        let mut phys = self.physical_row(logical)?;
+        let policy = self.cfg.wear;
+        let mut rotated = false;
+        if policy.rotate_after_writes > 0
+            && self.writes[phys] >= policy.rotate_after_writes
+            && self.health[logical] != RowHealth::Dead
+        {
+            // Rotate-before-write: a hot physical row hands its logical
+            // row to a fresh spare before absorbing another cycle. The
+            // last free spare is reserved for fault repair.
+            let mut free = (0..self.cfg.spare_rows).filter(|&s| !self.spare_used[s]);
+            if let (Some(spare), Some(_)) = (free.next(), free.next()) {
+                self.spare_used[spare] = true;
+                phys = self.spare_phys(spare);
+                self.remap[logical] = phys;
+                rotated = true;
+            }
+        }
         let cells = faulty_row(phys, values, self.array.config().encoding, &self.faults)?;
-        self.array.store_cells(phys, cells)
+        self.array.store_cells(phys, cells)?;
+        self.writes[phys] += 1;
+        self.disturbs[phys] = 0;
+
+        let mut refreshed = Vec::new();
+        if policy.refresh_after_disturbs > 0 && !policy.is_disturb_free() {
+            for other in 0..self.physical_rows() {
+                if other == phys {
+                    continue;
+                }
+                self.disturbs[other] += 1;
+                if self.disturbs[other] >= policy.refresh_after_disturbs {
+                    // Margin-restoring rewrite from the stored values; a
+                    // refresh is a program cycle for the refreshed row
+                    // but (being schedulable under full inhibit) does
+                    // not re-expose its siblings.
+                    self.rebuild_row(other)?;
+                    self.writes[other] += 1;
+                    self.disturbs[other] = 0;
+                    refreshed.push(other);
+                }
+            }
+        }
+        Ok(WriteReport {
+            physical: phys,
+            rotated,
+            refreshed,
+        })
+    }
+
+    /// Program cycles absorbed so far by the physical row backing
+    /// `logical` (wear-leveling telemetry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdamError::RowOutOfBounds`] for invalid logical rows.
+    pub fn row_wear(&self, logical: usize) -> Result<u64, TdamError> {
+        Ok(self.writes[self.physical_row(logical)?])
     }
 
     /// Rebuilds a physical row's cells from its stored values and the
@@ -642,6 +819,8 @@ impl ResilientArray {
                 out.pulse_pairs += report.pulse_pairs;
                 out.program_energy += report.energy;
                 out.max_write_attempts = out.max_write_attempts.max(attempts);
+                self.writes[phys] += 1;
+                self.disturbs[phys] = 0;
                 self.faults.clear_soft(phys);
                 let hard: Vec<(usize, FaultKind)> = self.faults.row_faults(phys).collect();
                 if !hard.is_empty() {
@@ -962,7 +1141,7 @@ impl SimilarityEngine for ResilientArray {
     }
 
     fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
-        ResilientArray::store(self, row, values)
+        ResilientArray::store(self, row, values).map(|_| ())
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
@@ -1504,6 +1683,101 @@ mod tests {
         let metrics = SimilarityEngine::search(&mut ra, &ramp(16, 0)).unwrap();
         assert_eq!(metrics.distances[0], None);
         assert_eq!(metrics.best_row, Some(1));
+    }
+
+    #[test]
+    fn default_wear_policy_is_inert() {
+        let mut ra = small(2, 16, ResilienceConfig::default());
+        assert!(ResilienceConfig::default().wear.is_disturb_free());
+        for round in 0..20 {
+            let report = ra.store(0, &ramp(16, round % 4)).unwrap();
+            assert!(!report.rotated);
+            assert!(report.refreshed.is_empty());
+            assert_eq!(report.physical_writes(), 1);
+        }
+        assert_eq!(ra.physical_row(0).unwrap(), 0, "no rotation by default");
+        assert_eq!(ra.row_wear(0).unwrap(), 20);
+        assert_eq!(ra.search(&ramp(16, 3)).unwrap().best_row(), Some(0));
+    }
+
+    #[test]
+    fn hot_rows_rotate_onto_spares_and_keep_answering() {
+        let cfg = ResilienceConfig {
+            spare_rows: 4,
+            wear: WearPolicy {
+                rotate_after_writes: 3,
+                ..WearPolicy::aggressive()
+            },
+            ..ResilienceConfig::default()
+        };
+        let mut ra = small(2, 16, cfg);
+        ra.store(1, &ramp(16, 1)).unwrap();
+        let mut rotations = 0;
+        for round in 0..4 {
+            let report = ra.store(0, &ramp(16, round % 4)).unwrap();
+            rotations += report.rotated as usize;
+        }
+        assert_eq!(rotations, 1, "4th write crosses the 3-write budget");
+        let phys = ra.physical_row(0).unwrap();
+        assert!(phys >= 2, "rotated onto a spare, got {phys}");
+        assert_eq!(ra.health()[0], RowHealth::Healthy, "rotation is not damage");
+        assert_eq!(ra.degradation().level, DegradationLevel::Nominal);
+        // The rotated row serves its latest contents exactly.
+        let out = ra.search(&ramp(16, 3)).unwrap();
+        assert_eq!(out.best_row(), Some(0));
+        assert_eq!(out.rows[0].decoded, 0);
+        assert_eq!(ra.search(&ramp(16, 1)).unwrap().best_row(), Some(1));
+    }
+
+    #[test]
+    fn rotation_reserves_the_last_spare_for_repair() {
+        let cfg = ResilienceConfig {
+            spare_rows: 1,
+            wear: WearPolicy {
+                rotate_after_writes: 1,
+                ..WearPolicy::aggressive()
+            },
+            ..ResilienceConfig::default()
+        };
+        let mut ra = small(1, 16, cfg);
+        for round in 0..5 {
+            let report = ra.store(0, &ramp(16, round % 4)).unwrap();
+            assert!(!report.rotated, "a lone spare is reserved for repair");
+        }
+        assert_eq!(ra.physical_row(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn disturb_budget_triggers_refresh_rewrites() {
+        let wear = WearPolicy {
+            rotate_after_writes: 0,
+            refresh_after_disturbs: 4,
+            ..WearPolicy::aggressive()
+        };
+        assert!(!wear.is_disturb_free(), "V/2 at 5 V must charge siblings");
+        let cfg = ResilienceConfig {
+            spare_rows: 0,
+            wear,
+            ..ResilienceConfig::default()
+        };
+        let mut ra = small(2, 16, cfg);
+        ra.store(1, &ramp(16, 1)).unwrap();
+        // Hammer row 0: after 4 exposures every sibling row (row 1 and
+        // the references) refresh-rewrites in the same call.
+        let mut refreshes = 0;
+        for round in 0..4 {
+            let report = ra.store(0, &ramp(16, round % 4)).unwrap();
+            refreshes += report.refreshed.len();
+            if round == 3 {
+                assert!(report.refreshed.contains(&1), "{report:?}");
+                assert_eq!(report.physical_writes(), 1 + report.refreshed.len());
+            }
+        }
+        assert_eq!(refreshes, 3, "row 1 plus two reference rows");
+        // Refreshed rows keep serving exactly, and the health machinery
+        // still sees a clean array.
+        assert_eq!(ra.search(&ramp(16, 1)).unwrap().best_row(), Some(1));
+        assert!(ra.check().unwrap().all_clear());
     }
 
     #[test]

@@ -59,6 +59,9 @@
 //! # }
 //! ```
 
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::array::CompiledSnapshot;
@@ -66,7 +69,8 @@ use crate::config::ArrayConfig;
 use crate::engine::{BatchQuery, SearchMetrics, SimilarityEngine};
 use crate::parallel::{mix_seed, run_chunked_partial};
 use crate::resilience::{
-    DegradationLevel, ResilienceConfig, ResilientArray, ResilientOutcome, RowHealth,
+    DegradationLevel, ResilienceConfig, ResilientArray, ResilientOutcome, RowHealth, WearPolicy,
+    WriteReport,
 };
 use crate::{ErrorClass, TdamError};
 use rand::rngs::StdRng;
@@ -322,6 +326,27 @@ pub struct RuntimeStats {
     pub demotions: usize,
     /// Backend promotions back toward the compiled path.
     pub promotions: usize,
+    /// Logical row writes accepted through the tracked write path
+    /// ([`ResilientEngine::store`]).
+    pub user_writes: usize,
+    /// Physical row programs those writes cost: the target row plus any
+    /// wear-triggered refresh-rewrites. `physical_writes / user_writes`
+    /// is the write amplification.
+    pub physical_writes: usize,
+    /// Hot logical rows rotated onto a fresh physical row by the wear
+    /// leveler before their program-cycle budget was exhausted.
+    pub wear_rotations: usize,
+    /// Sibling rows refresh-rewritten after their accumulated program
+    /// disturb crossed the policy budget.
+    pub refresh_rewrites: usize,
+    /// Stale snapshots refreshed surgically (per-row repack of only the
+    /// dirty rows) instead of recompiled from scratch.
+    pub incremental_repacks: usize,
+    /// Rows repacked across all incremental refreshes.
+    pub rows_repacked: usize,
+    /// Snapshot publications through the epoch holder — full compiles,
+    /// incremental refreshes, and standby adoptions alike.
+    pub epoch_swaps: usize,
 }
 
 /// Deterministic fault/panic injection for chaos testing: whether a slot
@@ -346,6 +371,78 @@ impl ChaosInjection {
     }
 }
 
+/// Epoch-swapped snapshot holder: an atomically swappable
+/// [`CompiledSnapshot`] with per-epoch refcounting through [`Arc`].
+///
+/// A batch *pins* the current epoch by cloning the `Arc` out of the
+/// holder ([`EpochSnapshots::acquire`]) and serves every slot — retries
+/// included — against that frozen snapshot via
+/// [`CompiledSnapshot::search_packed_unchecked`]. Publishing a successor
+/// ([`EpochSnapshots::publish`]) swaps the holder's pointer and bumps
+/// the epoch counter; in-flight batches keep the previous epoch alive
+/// through their own handles and drain it when the last handle drops.
+/// A reprogram landing mid-batch can therefore neither tear a read nor
+/// fail slots with [`TdamError::StaleCompile`] — the batch answers on
+/// the epoch it started on, and the *next* batch sees the new one.
+#[derive(Debug, Default)]
+pub struct EpochSnapshots {
+    current: RwLock<Option<Arc<CompiledSnapshot>>>,
+    epoch: AtomicU64,
+}
+
+impl EpochSnapshots {
+    /// An empty holder: epoch 0, nothing published.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch number — how many snapshots have been
+    /// published through this holder.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the current epoch: clones the published snapshot handle
+    /// (`None` when nothing has been published yet). The snapshot stays
+    /// alive — its epoch undrained — until the handle drops.
+    pub fn acquire(&self) -> Option<Arc<CompiledSnapshot>> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Publishes `snap` as the new current epoch and returns the new
+    /// epoch number. Handles pinning the previous epoch are unaffected;
+    /// they drain as they drop.
+    pub fn publish(&self, snap: Arc<CompiledSnapshot>) -> u64 {
+        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+        *cur = Some(snap);
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Unpublishes and returns the current snapshot for surgical reuse:
+    /// the caller refreshes only the dirty rows (cloning first when
+    /// in-flight readers still pin it) and republishes.
+    pub(crate) fn take(&self) -> Option<Arc<CompiledSnapshot>> {
+        self.current
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// How many in-flight handles pin the *current* epoch beyond the
+    /// holder's own. Drained previous epochs are invisible here — their
+    /// memory was reclaimed when their last handle dropped.
+    pub fn in_flight(&self) -> usize {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |a| Arc::strong_count(a) - 1)
+    }
+}
+
 /// The fault-tolerant serving engine: a [`ResilientArray`] wrapped with
 /// compiled-LUT serving, health monitoring, a circuit breaker over the
 /// backend fallback chain, per-batch deadlines, slot-isolated panics,
@@ -357,7 +454,14 @@ impl ChaosInjection {
 pub struct ResilientEngine {
     pub(crate) array: ResilientArray,
     pub(crate) cfg: RuntimeConfig,
-    pub(crate) snapshot: Option<CompiledSnapshot>,
+    pub(crate) epochs: Arc<EpochSnapshots>,
+    /// Physical rows whose contents changed since the published
+    /// snapshot was last synced. `Some(set)` means every content change
+    /// went through the tracked write path and the next refresh can be
+    /// surgical; `None` means untracked mutations may have happened
+    /// (direct array access, repair) and the next refresh must be a
+    /// full recompile.
+    pub(crate) dirty: Option<BTreeSet<usize>>,
     pub(crate) backend: BackendKind,
     pub(crate) breaker: CircuitBreaker,
     pub(crate) batches_since_check: usize,
@@ -385,7 +489,8 @@ impl ResilientEngine {
         Self {
             array,
             cfg,
-            snapshot: None,
+            epochs: Arc::new(EpochSnapshots::new()),
+            dirty: None,
             backend: BackendKind::CompiledLut,
             breaker,
             batches_since_check: 0,
@@ -407,14 +512,36 @@ impl ResilientEngine {
 
     /// Mutable access to the wrapped array, e.g. for fault injection.
     /// Content mutations bump the array generation, so any held compiled
-    /// snapshot is invalidated and rebuilt on the next serve.
+    /// snapshot is invalidated and rebuilt on the next serve. Because
+    /// the engine cannot see *which* rows the caller touches, this also
+    /// voids the surgical-refresh bookkeeping: the next refresh is a
+    /// full recompile, never a partial patch over unknown changes.
     pub fn array_mut(&mut self) -> &mut ResilientArray {
+        self.dirty = None;
         &mut self.array
     }
 
     /// The backend currently serving.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The epoch-swapped snapshot holder this engine publishes through.
+    pub fn epochs(&self) -> &EpochSnapshots {
+        &self.epochs
+    }
+
+    /// A shared handle to the epoch holder. Standby promotion publishes
+    /// the successor's snapshot through the *predecessor's* holder so
+    /// traffic swaps over exactly like any other epoch swap: in-flight
+    /// batches drain on the predecessor's snapshot.
+    pub fn epoch_handle(&self) -> Arc<EpochSnapshots> {
+        Arc::clone(&self.epochs)
+    }
+
+    /// The currently published compiled snapshot, if any.
+    pub fn snapshot(&self) -> Option<Arc<CompiledSnapshot>> {
+        self.epochs.acquire()
     }
 
     /// Serving statistics so far.
@@ -427,28 +554,81 @@ impl ResilientEngine {
         &self.cfg
     }
 
-    /// Stores a vector at a logical row (invalidating compiled tables).
+    /// Stores a vector at a logical row through the tracked,
+    /// wear-leveled write path.
+    ///
+    /// The write is leveled by [`ResilientArray::store`] — hot rows
+    /// rotate onto spares, disturb-exhausted siblings are
+    /// refresh-rewritten — and every physical row it touched lands in
+    /// the dirty set, so the next [`ResilientEngine::serve`] refreshes
+    /// the compiled snapshot surgically (O(rows touched), not O(array))
+    /// and publishes it as a new epoch.
     ///
     /// # Errors
     ///
     /// As [`ResilientArray::store`].
-    pub fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
-        self.array.store(row, values)
+    pub fn store(&mut self, row: usize, values: &[u8]) -> Result<WriteReport, TdamError> {
+        let report = self.array.store(row, values)?;
+        self.stats.user_writes += 1;
+        self.stats.physical_writes += report.physical_writes();
+        if report.rotated {
+            self.stats.wear_rotations += 1;
+        }
+        self.stats.refresh_rewrites += report.refreshed.len();
+        if let Some(dirty) = self.dirty.as_mut() {
+            dirty.insert(report.physical);
+            dirty.extend(report.refreshed.iter().copied());
+        }
+        Ok(report)
     }
 
-    /// Ensures the compiled snapshot matches the array's current
-    /// generation, rebuilding it if missing or stale.
-    fn ensure_snapshot(&mut self) {
-        let fresh = self
-            .snapshot
-            .as_ref()
-            .is_some_and(|s| s.is_fresh(self.array.array()));
-        if !fresh {
-            if self.snapshot.is_some() {
-                self.stats.recompiles += 1;
-            }
-            self.snapshot = Some(self.array.array().compile_snapshot());
+    /// Adopts a predecessor's epoch holder (standby promotion): this
+    /// engine's current snapshot, if any, is published through the
+    /// adopted holder, so traffic swaps from the predecessor to this
+    /// engine exactly like any other epoch swap — in-flight batches
+    /// drain on the predecessor's pinned snapshot.
+    pub(crate) fn adopt_epochs(&mut self, epochs: Arc<EpochSnapshots>) {
+        if let Some(snap) = self.epochs.take() {
+            epochs.publish(snap);
+            self.stats.epoch_swaps += 1;
         }
+        self.epochs = epochs;
+    }
+
+    /// Ensures the published snapshot matches the array's current
+    /// generation. A stale snapshot whose staleness is fully accounted
+    /// for by tracked row writes is refreshed surgically: the published
+    /// `Arc` is taken back (clone-on-write when in-flight batches still
+    /// pin it) and only the dirty rows are repacked. Anything else —
+    /// no snapshot yet, or untracked mutations — recompiles from
+    /// scratch. Either way the result is published as a new epoch;
+    /// in-flight batches drain on the old one.
+    fn ensure_snapshot(&mut self) {
+        if self
+            .epochs
+            .acquire()
+            .is_some_and(|s| s.is_fresh(self.array.array()))
+        {
+            return;
+        }
+        let previous = self.epochs.take();
+        let had_snapshot = previous.is_some();
+        let next = match (previous, self.dirty.take()) {
+            (Some(arc), Some(rows)) if !rows.is_empty() => {
+                let mut snap = Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone());
+                let repacked = snap.refresh_rows(self.array.array(), rows.iter().copied());
+                self.stats.incremental_repacks += 1;
+                self.stats.rows_repacked += repacked;
+                snap
+            }
+            _ => self.array.array().compile_snapshot(),
+        };
+        if had_snapshot {
+            self.stats.recompiles += 1;
+        }
+        self.epochs.publish(Arc::new(next));
+        self.stats.epoch_swaps += 1;
+        self.dirty = Some(BTreeSet::new());
     }
 
     /// Whether a detection report carries anything *new*: suspects that
@@ -492,6 +672,9 @@ impl ResilientEngine {
         if self.breaker.record_failure() {
             self.stats.breaker_trips += 1;
             self.array.repair(&report)?;
+            // Repair rewrites rows outside the tracked write path —
+            // the next snapshot refresh must be a full recompile.
+            self.dirty = None;
             self.stats.repairs += 1;
             let after = self.array.check()?;
             if !self.has_new_damage(&after) {
@@ -534,6 +717,7 @@ impl ResilientEngine {
     /// runs through the current backend.
     fn serve_slot(
         &self,
+        snapshot: Option<&CompiledSnapshot>,
         batch: &BatchQuery,
         slot: usize,
         attempt: usize,
@@ -544,13 +728,17 @@ impl ResilientEngine {
             }
         }
         let query = batch.get(slot);
-        match (self.backend, &self.snapshot) {
+        match (self.backend, snapshot) {
             (BackendKind::CompiledLut, Some(snap)) => {
-                // Packed bit-sliced kernel: winners and decoded distances
-                // are exactly those of the behavioral model (the health
-                // probes and the chaos judge compare decisions), delays
-                // carry the packed reconstruction contract.
-                let out = snap.search_packed(self.array.array(), query)?;
+                // Packed bit-sliced kernel on the epoch-pinned snapshot:
+                // winners and decoded distances are exactly those of the
+                // behavioral model (the health probes and the chaos
+                // judge compare decisions), delays carry the packed
+                // reconstruction contract. Serving is *unchecked*
+                // against the live generation: the batch answers on the
+                // epoch it pinned at entry, so a reprogram landing
+                // mid-batch cannot fail slots with a StaleCompile.
+                let out = snap.search_packed_unchecked(query)?;
                 Ok(self.array.resolve_outcome(&out))
             }
             _ => self.array.search(query),
@@ -585,6 +773,12 @@ impl ResilientEngine {
         if self.backend == BackendKind::CompiledLut {
             self.ensure_snapshot();
         }
+        // Pin the current epoch for the whole batch (retries included):
+        // slots never observe a snapshot swap mid-flight.
+        let mut pinned = match self.backend {
+            BackendKind::CompiledLut => self.epochs.acquire(),
+            _ => None,
+        };
 
         let n = batch.len();
         let started = Instant::now();
@@ -609,6 +803,7 @@ impl ResilientEngine {
         let mut attempt = 0usize;
         while !pending.is_empty() {
             let this = &*self;
+            let snap = pinned.as_deref();
             let outcomes =
                 run_chunked_partial::<_, TdamError, _>(pending.len(), self.cfg.threads, |k| {
                     if let Some(d) = horizon {
@@ -616,15 +811,17 @@ impl ResilientEngine {
                             return Ok(None);
                         }
                     }
-                    this.serve_slot(batch, pending[k], attempt).map(Some)
+                    this.serve_slot(snap, batch, pending[k], attempt).map(Some)
                 });
             let mut next = Vec::new();
+            let mut saw_stale = false;
             for (k, outcome) in outcomes.into_iter().enumerate() {
                 let slot = pending[k];
                 slots[slot] = Some(match outcome {
                     Ok(Some(out)) => QueryOutcome::Ok(out.metrics()),
                     Ok(None) => QueryOutcome::TimedOut,
                     Err(e) if e.is_transient() && attempt < self.cfg.retry.max_retries => {
+                        saw_stale |= matches!(e, TdamError::StaleCompile { .. });
                         next.push(slot);
                         retries += 1;
                         continue;
@@ -637,6 +834,17 @@ impl ResilientEngine {
             }
             if next.is_empty() {
                 break;
+            }
+            // A StaleCompile is transient *and actionable*: re-sync the
+            // snapshot and re-pin before retrying, otherwise every
+            // retry round would replay the same stale epoch and exhaust
+            // its budget for nothing.
+            if saw_stale {
+                self.ensure_snapshot();
+                pinned = match self.backend {
+                    BackendKind::CompiledLut => self.epochs.acquire(),
+                    _ => None,
+                };
             }
             let backoff = self.cfg.retry.backoff_for(attempt);
             if !backoff.is_zero() {
@@ -694,10 +902,21 @@ impl SimilarityEngine for ResilientEngine {
     }
 
     fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
-        ResilientEngine::store(self, row, values)
+        ResilientEngine::store(self, row, values).map(|_| ())
     }
 
     fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+        // Singles route through the same epoch holder as batches (so a
+        // [`Guarded`]-wrapped engine also serves epoch-pinned off the
+        // compiled path), with the behavioral model as the fallback
+        // whenever the backend is demoted.
+        if self.backend == BackendKind::CompiledLut {
+            self.ensure_snapshot();
+            if let Some(snap) = self.epochs.acquire() {
+                let out = snap.search_packed_unchecked(query)?;
+                return Ok(self.array.resolve_outcome(&out).metrics());
+            }
+        }
         Ok(ResilientArray::search(&self.array, query)?.metrics())
     }
 }
@@ -1010,6 +1229,274 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, TdamError> {
     Ok(report)
 }
 
+/// Configuration of a sustained read/write chaos campaign
+/// ([`run_mutation_chaos`]): continuous row rewrites through the
+/// tracked, wear-leveled write path under live query traffic, with
+/// optional persistent cell faults and injected worker panics on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationChaosConfig {
+    /// Geometry of the *data* array (rows = logical data rows).
+    pub array: ArrayConfig,
+    /// Resilience machinery, including the [`WearPolicy`] the write mix
+    /// exercises.
+    pub resilience: ResilienceConfig,
+    /// Serving runtime configuration. For bit-identical replay the
+    /// deadline must not be [`DeadlinePolicy::WallClock`] and the retry
+    /// backoff should be zero.
+    pub runtime: RuntimeConfig,
+    /// Batches to serve.
+    pub batches: usize,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Random row rewrites applied before each served batch.
+    pub writes_per_batch: usize,
+    /// Target cumulative fraction of cells hit by a persistent fault
+    /// over the whole campaign. 0 makes this a *pure-mutation*
+    /// campaign, and the judge then requires zero wrong answers
+    /// outright — not merely zero unflagged ones.
+    pub fault_rate: f64,
+    /// Per-(slot, attempt) injected worker-panic probability.
+    pub panic_rate: f64,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl MutationChaosConfig {
+    /// The acceptance-criteria campaign: 1280 query slots (≥ 1000
+    /// seeded scenarios) served while 160 row rewrites churn a 16-row,
+    /// 32-stage array under the aggressive wear policy — rotations and
+    /// refresh-rewrites both fire. No cell faults: every answer must be
+    /// *correct*, not merely flagged.
+    pub fn paper_default() -> Self {
+        Self {
+            array: ArrayConfig::paper_default().with_stages(32).with_rows(16),
+            resilience: ResilienceConfig {
+                spare_rows: 8,
+                wear: WearPolicy::aggressive(),
+                ..ResilienceConfig::default()
+            },
+            runtime: RuntimeConfig {
+                retry: RetryConfig {
+                    max_retries: 3,
+                    backoff: Duration::ZERO,
+                    backoff_cap: Duration::ZERO,
+                },
+                ..RuntimeConfig::default()
+            },
+            batches: 40,
+            batch_size: 32,
+            writes_per_batch: 4,
+            fault_rate: 0.0,
+            panic_rate: 0.01,
+            seed: 0x4D55_5441,
+        }
+    }
+
+    /// Layers persistent cell faults on top of the write mix.
+    /// Wrong-but-flagged answers become tolerable (graceful
+    /// degradation); silent corruption never is.
+    pub fn with_faults(mut self, fault_rate: f64) -> Self {
+        self.fault_rate = fault_rate;
+        self
+    }
+}
+
+/// Results of a mutation-chaos campaign. Integer-only accounting:
+/// two runs with the same seed must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationChaosReport {
+    /// Query slots served across the campaign.
+    pub total_queries: usize,
+    /// Slots answered (possibly degraded).
+    pub answered: usize,
+    /// Slots expired by deadlines.
+    pub timed_out: usize,
+    /// Slots failed after retries.
+    pub failed: usize,
+    /// Answered slots whose best row was not a true nearest row of the
+    /// independently replayed reference.
+    pub wrong: usize,
+    /// Wrong answers delivered while the outcome claimed
+    /// [`DegradationLevel::Nominal`] — the forbidden case.
+    pub silent_wrong: usize,
+    /// Answered slots flagged with any non-nominal degradation.
+    pub degraded_answers: usize,
+    /// Logical row rewrites accepted (initial population included).
+    pub user_writes: usize,
+    /// Physical row programs those writes cost.
+    pub physical_writes: usize,
+    /// Wear-leveling rotations onto spare rows.
+    pub wear_rotations: usize,
+    /// Disturb-budget refresh-rewrites.
+    pub refresh_rewrites: usize,
+    /// Persistent cell faults injected.
+    pub faults_injected: usize,
+    /// Backend of the final batch.
+    pub final_backend: BackendKind,
+    /// Degradation level after the final batch.
+    pub final_degradation: DegradationLevel,
+    /// Runtime statistics.
+    pub stats: RuntimeStats,
+}
+
+impl MutationChaosReport {
+    /// Fraction of slots answered.
+    pub fn availability(&self) -> f64 {
+        if self.total_queries == 0 {
+            return 1.0;
+        }
+        self.answered as f64 / self.total_queries as f64
+    }
+
+    /// Physical programs per accepted logical write (1.0 = the wear
+    /// leveler added no overhead).
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_writes == 0 {
+            return 1.0;
+        }
+        self.physical_writes as f64 / self.user_writes as f64
+    }
+}
+
+/// Runs a sustained read/write chaos campaign: random row rewrites flow
+/// through the tracked, wear-leveled write path *between* served
+/// batches, so every batch exercises the incremental repack + epoch
+/// swap; optional cell faults and worker panics ride on top.
+///
+/// Every accepted write is mirrored into an **independently replayed
+/// reference** (a plain `Vec<Vec<u8>>` shadow of the logical rows), and
+/// ground truth for each query is recomputed from that shadow — never
+/// from the engine under test. A pure-mutation campaign
+/// (`fault_rate == 0`) must answer every slot correctly; a faulted one
+/// must never deliver a wrong answer unflagged.
+///
+/// Bit-identical for a fixed seed (given a deterministic deadline
+/// policy and zero backoff), and thread-count invariant.
+///
+/// # Errors
+///
+/// Propagates configuration errors and health/repair machinery
+/// failures.
+pub fn run_mutation_chaos(cfg: &MutationChaosConfig) -> Result<MutationChaosReport, TdamError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let array = ResilientArray::new(cfg.array, cfg.resilience)?;
+    let mut engine = ResilientEngine::wrap(array, cfg.runtime).with_chaos(ChaosInjection {
+        seed: mix_seed(cfg.seed, 0x77C4),
+        panic_rate: cfg.panic_rate,
+    });
+
+    let data_rows = cfg.array.rows;
+    let stages = cfg.array.stages;
+    let levels = cfg.array.encoding.levels();
+    let mut data = Vec::with_capacity(data_rows);
+    for row in 0..data_rows {
+        let values: Vec<u8> = (0..stages).map(|_| rng.gen_range(0..levels)).collect();
+        engine.store(row, &values)?;
+        data.push(values);
+    }
+
+    let physical_rows = data_rows + cfg.resilience.spare_rows + cfg.resilience.reference_rows;
+    let per_batch_rate = if cfg.batches > 0 {
+        (cfg.fault_rate / cfg.batches as f64).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let mut report = MutationChaosReport {
+        total_queries: 0,
+        answered: 0,
+        timed_out: 0,
+        failed: 0,
+        wrong: 0,
+        silent_wrong: 0,
+        degraded_answers: 0,
+        user_writes: 0,
+        physical_writes: 0,
+        wear_rotations: 0,
+        refresh_rewrites: 0,
+        faults_injected: 0,
+        final_backend: engine.backend(),
+        final_degradation: DegradationLevel::Nominal,
+        stats: RuntimeStats::default(),
+    };
+
+    for _ in 0..cfg.batches {
+        // Live mutation: rewrite random rows through the tracked path,
+        // mirroring each accepted write into the shadow reference.
+        for _ in 0..cfg.writes_per_batch {
+            let row = rng.gen_range(0..data_rows);
+            let values: Vec<u8> = (0..stages).map(|_| rng.gen_range(0..levels)).collect();
+            engine.store(row, &values)?;
+            data[row] = values;
+        }
+
+        if per_batch_rate > 0.0 {
+            for row in 0..physical_rows {
+                for stage in 0..stages {
+                    if rng.gen_bool(per_batch_rate) {
+                        let kind = if rng.gen_bool(0.5) {
+                            crate::faults::FaultKind::StuckMismatch
+                        } else {
+                            crate::faults::FaultKind::StuckMatch
+                        };
+                        engine.array_mut().inject(row, stage, kind)?;
+                        report.faults_injected += 1;
+                    }
+                }
+            }
+        }
+
+        let mut batch = BatchQuery::new(stages);
+        let mut targets = Vec::with_capacity(cfg.batch_size);
+        for _ in 0..cfg.batch_size {
+            let target = rng.gen_range(0..data_rows);
+            batch.push(&data[target])?;
+            targets.push(target);
+        }
+
+        let outcome = engine.serve(&batch)?;
+        report.total_queries += outcome.slots.len();
+        report.answered += outcome.answered();
+        report.timed_out += outcome.timed_out();
+        report.failed += outcome.failed();
+        let flagged = outcome.degradation != DegradationLevel::Nominal
+            || outcome.backend == BackendKind::DegradedMasked;
+        for (slot, q) in outcome.slots.iter().enumerate() {
+            let QueryOutcome::Ok(metrics) = q else {
+                continue;
+            };
+            if flagged {
+                report.degraded_answers += 1;
+            }
+            // Ground truth over the shadow: the query is an exact copy
+            // of its target row *as of this batch*, so any true nearest
+            // row of the current shadow contents is correct.
+            let query = &data[targets[slot]];
+            let truth: Vec<usize> = data
+                .iter()
+                .map(|row| row.iter().zip(query).filter(|(a, b)| a != b).count())
+                .collect();
+            let min_truth = *truth.iter().min().unwrap_or(&0);
+            let correct = metrics.best_row.is_some_and(|r| truth[r] == min_truth);
+            if !correct {
+                report.wrong += 1;
+                if !flagged {
+                    report.silent_wrong += 1;
+                }
+            }
+        }
+        report.final_backend = outcome.backend;
+        report.final_degradation = outcome.degradation;
+    }
+    let stats = *engine.stats();
+    report.user_writes = stats.user_writes;
+    report.physical_writes = stats.physical_writes;
+    report.wear_rotations = stats.wear_rotations;
+    report.refresh_rewrites = stats.refresh_rewrites;
+    report.stats = stats;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1148,18 +1635,233 @@ mod tests {
         eng.store(0, &ramp(8, 0)).unwrap();
         let batch = ramp_batch(8, 4);
         eng.serve(&batch).unwrap();
-        let gen_before = eng.snapshot.as_ref().unwrap().generation();
-        // Reprogram: the held snapshot is now stale and must be rebuilt,
-        // not served (its tables decode the *old* row contents).
+        let gen_before = eng.snapshot().unwrap().generation();
+        assert_eq!(eng.stats().epoch_swaps, 1);
+        // Reprogram: the published snapshot is now stale. The write went
+        // through the tracked path, so the refresh is *surgical* — one
+        // row repacked, published as a new epoch — never served stale
+        // (its tables decode the *old* row contents).
         eng.store(0, &ramp(8, 3)).unwrap();
         let outcome = eng.serve(&batch).unwrap();
         assert_eq!(outcome.backend, BackendKind::CompiledLut);
-        let snap = eng.snapshot.as_ref().unwrap();
+        let snap = eng.snapshot().unwrap();
         assert!(snap.generation() > gen_before);
         assert_eq!(eng.stats().recompiles, 1);
+        assert_eq!(eng.stats().incremental_repacks, 1);
+        assert_eq!(eng.stats().rows_repacked, 1);
+        assert_eq!(eng.stats().epoch_swaps, 2);
         // Served answer reflects the *new* contents.
         let best = outcome.slots[3].ok().unwrap().best_row;
         assert_eq!(best, Some(0));
+    }
+
+    #[test]
+    fn incremental_refresh_is_bit_identical_to_full_recompile() {
+        let mut eng = engine(4, 16);
+        for r in 0..4 {
+            eng.store(r, &ramp(16, r)).unwrap();
+        }
+        let batch = ramp_batch(16, 6);
+        eng.serve(&batch).unwrap();
+        // Rewrite two rows (one twice) through the tracked path; the
+        // next serve refreshes surgically.
+        eng.store(2, &ramp(16, 5)).unwrap();
+        eng.store(0, &ramp(16, 6)).unwrap();
+        eng.store(2, &ramp(16, 7)).unwrap();
+        let outcome = eng.serve(&batch).unwrap();
+        assert_eq!(eng.stats().incremental_repacks, 1);
+        assert_eq!(eng.stats().rows_repacked, 2, "row 2 repacked once");
+        // Judge against a from-scratch compile of the same contents.
+        let fresh = eng.array().array().compile_snapshot();
+        for (slot, q) in outcome.slots.iter().enumerate() {
+            let want = fresh.search_packed_unchecked(batch.get(slot)).unwrap();
+            let want = eng.array().resolve_outcome(&want).metrics();
+            assert_eq!(q, &QueryOutcome::Ok(want), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn epoch_holder_pins_in_flight_readers_across_swaps() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        eng.serve(&ramp_batch(8, 1)).unwrap();
+        let pinned = eng.snapshot().unwrap();
+        let epoch_before = eng.epochs().epoch();
+        assert_eq!(eng.epochs().in_flight(), 1, "our handle pins the epoch");
+        // Swap: a tracked write plus a serve publishes a new epoch...
+        eng.store(0, &ramp(8, 2)).unwrap();
+        eng.serve(&ramp_batch(8, 1)).unwrap();
+        assert_eq!(eng.epochs().epoch(), epoch_before + 1);
+        assert_eq!(eng.epochs().in_flight(), 0, "new epoch has no readers");
+        // ...while the pinned handle still answers frozen pre-swap
+        // contents — row 0 is an exact match for the *old* query.
+        let old = pinned.search_packed_unchecked(&ramp(8, 0)).unwrap();
+        assert_eq!(old.rows[0].decoded_mismatches, 0);
+        // The current epoch decodes the *new* contents.
+        let new = eng
+            .snapshot()
+            .unwrap()
+            .search_packed_unchecked(&ramp(8, 2))
+            .unwrap();
+        assert_eq!(new.rows[0].decoded_mismatches, 0);
+        // The checked legacy entry refuses the stale snapshot with a
+        // retryable class — a generation bump observed mid-batch is
+        // transient, never a permanent failure.
+        let err = pinned
+            .search_packed(eng.array().array(), &ramp(8, 0))
+            .unwrap_err();
+        assert!(matches!(err, TdamError::StaleCompile { .. }));
+        assert_eq!(err.class(), ErrorClass::Transient);
+    }
+
+    #[test]
+    fn a_mid_batch_generation_bump_cannot_fail_pinned_slots() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        eng.serve(&ramp_batch(8, 1)).unwrap();
+        let pinned = eng.snapshot().unwrap();
+        // A reprogram lands while a batch is (conceptually) in flight on
+        // the pinned epoch.
+        eng.store(0, &ramp(8, 3)).unwrap();
+        let batch = ramp_batch(8, 2);
+        // The pinned epoch keeps serving: no StaleCompile, answers
+        // frozen at the epoch the batch started on.
+        let out = eng.serve_slot(Some(&pinned), &batch, 0, 0).unwrap();
+        assert!(out.metrics().best_row.is_some());
+    }
+
+    #[test]
+    fn untracked_mutations_force_a_full_recompile() {
+        let mut eng = engine(2, 8);
+        eng.store(0, &ramp(8, 0)).unwrap();
+        eng.serve(&ramp_batch(8, 1)).unwrap();
+        // The caller took direct mutable access: tracking is voided, so
+        // the next refresh must not patch over unknown changes.
+        let _ = eng.array_mut();
+        eng.store(0, &ramp(8, 1)).unwrap();
+        eng.serve(&ramp_batch(8, 1)).unwrap();
+        assert_eq!(eng.stats().recompiles, 1);
+        assert_eq!(eng.stats().incremental_repacks, 0);
+    }
+
+    #[test]
+    fn tracked_writes_feed_wear_and_write_amplification_stats() {
+        let cfg = ArrayConfig::paper_default().with_rows(2).with_stages(8);
+        let res = ResilienceConfig {
+            spare_rows: 4,
+            wear: WearPolicy {
+                rotate_after_writes: 3,
+                ..WearPolicy::default()
+            },
+            ..ResilienceConfig::default()
+        };
+        let rt = RuntimeConfig {
+            retry: zero_retry_backoff(),
+            threads: Some(2),
+            ..RuntimeConfig::default()
+        };
+        let mut eng = ResilientEngine::new(cfg, res, rt).unwrap();
+        for k in 0..4 {
+            eng.store(0, &ramp(8, k)).unwrap();
+        }
+        assert_eq!(eng.stats().user_writes, 4);
+        assert_eq!(eng.stats().physical_writes, 4);
+        assert_eq!(eng.stats().wear_rotations, 1, "4th write rotates");
+        // The rotated row still serves its latest contents, surgically
+        // refreshed into the snapshot.
+        let outcome = eng.serve(&ramp_batch(8, 4)).unwrap();
+        assert_eq!(outcome.slots[3].ok().unwrap().best_row, Some(0));
+        assert_eq!(outcome.availability(), 1.0);
+    }
+
+    #[test]
+    fn guarded_retry_absorbs_stale_compile() {
+        struct StaleOnce {
+            inner: crate::array::TdamArray,
+            stale: bool,
+        }
+        impl SimilarityEngine for StaleOnce {
+            fn name(&self) -> &str {
+                "stale-once"
+            }
+            fn is_quantitative(&self) -> bool {
+                true
+            }
+            fn rows(&self) -> usize {
+                self.inner.rows()
+            }
+            fn width(&self) -> usize {
+                self.inner.width()
+            }
+            fn bits_per_element(&self) -> u8 {
+                self.inner.bits_per_element()
+            }
+            fn store(&mut self, row: usize, values: &[u8]) -> Result<(), TdamError> {
+                self.inner.store(row, values)
+            }
+            fn search(&mut self, query: &[u8]) -> Result<SearchMetrics, TdamError> {
+                if !self.stale {
+                    self.stale = true;
+                    return Err(TdamError::StaleCompile {
+                        compiled: 1,
+                        current: 2,
+                    });
+                }
+                SimilarityEngine::search(&mut self.inner, query)
+            }
+        }
+        let cfg = ArrayConfig::paper_default().with_rows(1).with_stages(8);
+        let mut guarded = Guarded::new(
+            StaleOnce {
+                inner: crate::array::TdamArray::new(cfg).unwrap(),
+                stale: false,
+            },
+            RuntimeConfig {
+                retry: zero_retry_backoff(),
+                ..RuntimeConfig::default()
+            },
+        );
+        guarded.engine_mut().store(0, &ramp(8, 0)).unwrap();
+        // A generation bump observed mid-batch classifies Transient and
+        // is absorbed by retry — never surfaced as a permanent failure.
+        let outcome = guarded.serve(&ramp_batch(8, 1));
+        assert_eq!(outcome.answered(), 1);
+        assert_eq!(outcome.retries, 1);
+    }
+
+    #[test]
+    fn mutation_chaos_replays_bit_identically_with_zero_wrong() {
+        let mut cfg = MutationChaosConfig::paper_default();
+        cfg.batches = 6;
+        cfg.batch_size = 8;
+        cfg.runtime.threads = Some(2);
+        let a = run_mutation_chaos(&cfg).unwrap();
+        let b = run_mutation_chaos(&cfg).unwrap();
+        assert_eq!(a, b, "mutation chaos must replay bit-identically");
+        assert_eq!(a.wrong, 0, "pure-mutation campaign must be correct");
+        assert_eq!(a.silent_wrong, 0);
+        assert_eq!(a.user_writes, 16 + 6 * 4);
+        assert!(
+            a.stats.incremental_repacks > 0,
+            "tracked writes must refresh surgically, got {:?}",
+            a.stats
+        );
+        assert!(a.write_amplification() >= 1.0);
+        // Thread-count invariance.
+        let mut cfg_threads = cfg.clone();
+        cfg_threads.runtime.threads = Some(1);
+        assert_eq!(run_mutation_chaos(&cfg_threads).unwrap(), a);
+    }
+
+    #[test]
+    fn faulted_mutation_chaos_never_corrupts_silently() {
+        let mut cfg = MutationChaosConfig::paper_default().with_faults(0.01);
+        cfg.batches = 6;
+        cfg.batch_size = 8;
+        cfg.runtime.threads = Some(2);
+        let report = run_mutation_chaos(&cfg).unwrap();
+        assert_eq!(report.silent_wrong, 0, "report: {report:?}");
+        assert!(report.faults_injected > 0, "1% must inject something");
     }
 
     #[test]

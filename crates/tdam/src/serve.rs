@@ -775,6 +775,11 @@ impl ShardedService {
         }
         {
             let mut st = lock(&shard.state);
+            // The successor publishes its snapshot through the downed
+            // engine's epoch holder: promotion is the same epoch swap as
+            // any reprogram, so any in-flight batch drains on the old
+            // pinned snapshot while new traffic sees the standby's.
+            candidate.adopt_epochs(st.engine.epoch_handle());
             st.engine = candidate;
             st.down = false;
             st.slow = None;

@@ -43,26 +43,30 @@ use std::collections::BTreeSet;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use crate::array::TdamArray;
 use crate::cell::Cell;
 use crate::config::{ArrayConfig, TechParams};
 use crate::encoding::Encoding;
 use crate::faults::{FaultKind, FaultMap};
-use crate::resilience::{ResilienceConfig, ResilientArray, RowHealth};
+use crate::resilience::{ResilienceConfig, ResilientArray, RowHealth, WearPolicy};
 use crate::runtime::{
-    BackendKind, BatchOutcome, CircuitBreaker, ResilientEngine, RetryConfig, RuntimeConfig,
-    RuntimeStats,
+    BackendKind, BatchOutcome, CircuitBreaker, EpochSnapshots, ResilientEngine, RetryConfig,
+    RuntimeConfig, RuntimeStats,
 };
 use crate::timing::StageTiming;
 use crate::{BatchQuery, TdamError};
+use tdam_fefet::disturb::InhibitScheme;
 use tdam_fefet::mosfet::{MosParams, MosPolarity};
 use tdam_fefet::programming::RetryPolicy;
 use tdam_fefet::retention::{EnduranceParams, Lifetime, RetentionParams};
 
 /// On-disk format version. Bumped on any layout change; recovery
 /// refuses newer versions instead of guessing at their layout.
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3 added the wear-leveling policy to [`ResilienceConfig`] and
+/// the online-mutation counters to [`RuntimeStats`].
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Checkpoint file magic (first 8 bytes).
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TDAMCKPT";
@@ -568,6 +572,36 @@ impl Codec for RetryPolicy {
     }
 }
 
+impl Codec for InhibitScheme {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.write_amplitude);
+        w.put_f64(self.inhibit_bias);
+        w.put_f64(self.pulse_width);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            write_amplitude: r.get_f64()?,
+            inhibit_bias: r.get_f64()?,
+            pulse_width: r.get_f64()?,
+        })
+    }
+}
+
+impl Codec for WearPolicy {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.rotate_after_writes);
+        w.put_u64(self.refresh_after_disturbs);
+        self.inhibit.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            rotate_after_writes: r.get_u64()?,
+            refresh_after_disturbs: r.get_u64()?,
+            inhibit: InhibitScheme::decode(r)?,
+        })
+    }
+}
+
 impl Codec for ResilienceConfig {
     fn encode(&self, w: &mut Writer) {
         w.put_usize(self.spare_rows);
@@ -575,6 +609,7 @@ impl Codec for ResilienceConfig {
         w.put_usize(self.repair_attempts);
         w.put_f64(self.margin_threshold);
         self.retry.encode(w);
+        self.wear.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         Ok(Self {
@@ -583,6 +618,7 @@ impl Codec for ResilienceConfig {
             repair_attempts: r.get_usize()?,
             margin_threshold: r.get_f64()?,
             retry: RetryPolicy::decode(r)?,
+            wear: WearPolicy::decode(r)?,
         })
     }
 }
@@ -666,6 +702,13 @@ impl Codec for RuntimeStats {
         w.put_usize(self.repairs);
         w.put_usize(self.demotions);
         w.put_usize(self.promotions);
+        w.put_usize(self.user_writes);
+        w.put_usize(self.physical_writes);
+        w.put_usize(self.wear_rotations);
+        w.put_usize(self.refresh_rewrites);
+        w.put_usize(self.incremental_repacks);
+        w.put_usize(self.rows_repacked);
+        w.put_usize(self.epoch_swaps);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         Ok(Self {
@@ -683,6 +726,13 @@ impl Codec for RuntimeStats {
             repairs: r.get_usize()?,
             demotions: r.get_usize()?,
             promotions: r.get_usize()?,
+            user_writes: r.get_usize()?,
+            physical_writes: r.get_usize()?,
+            wear_rotations: r.get_usize()?,
+            refresh_rewrites: r.get_usize()?,
+            incremental_repacks: r.get_usize()?,
+            rows_repacked: r.get_usize()?,
+            epoch_swaps: r.get_usize()?,
         })
     }
 }
@@ -1008,7 +1058,7 @@ impl JournalOp {
     /// replay, so recovery skips it without diverging.
     pub fn apply(&self, engine: &mut ResilientEngine) -> Result<(), TdamError> {
         match self {
-            Self::Store { row, values } => engine.store(*row, values),
+            Self::Store { row, values } => engine.store(*row, values).map(|_| ()),
             Self::Inject { row, stage, kind } => engine.array_mut().inject(*row, *stage, *kind),
             Self::BreakStage { row, stage } => engine.array_mut().break_stage(*row, *stage),
             Self::StuckColumn { stage } => engine.array_mut().stuck_column(*stage),
@@ -1456,11 +1506,16 @@ impl ResilientEngine {
             faults: rs.faults.clone(),
             broken: rs.broken.iter().copied().collect::<BTreeSet<_>>(),
             masked: rs.masked.iter().copied().collect::<BTreeSet<_>>(),
+            // Wear accounting is runtime-only: a restored deployment
+            // starts with fresh counters on every replay path alike.
+            writes: vec![0; config.rows],
+            disturbs: vec![0; config.rows],
         };
         Ok(Self {
             array,
             cfg,
-            snapshot: None,
+            epochs: std::sync::Arc::new(EpochSnapshots::new()),
+            dirty: None,
             backend: BackendKind::Behavioral,
             breaker: CircuitBreaker {
                 misses: state.runtime.breaker_misses,
@@ -1484,11 +1539,44 @@ impl ResilientEngine {
 // Durable engine: WAL-fronted serving
 // ---------------------------------------------------------------------------
 
+/// Group-commit policy for the buffered write path
+/// ([`DurableEngine::store_buffered`]): journal records accumulate in
+/// memory and are flushed — one `write_all` plus one `fsync` for the
+/// whole group — when the group reaches `max_ops` or the oldest
+/// buffered record has waited `flush_deadline`.
+///
+/// Buffered mutations are applied to the live engine immediately; only
+/// their *durability* is deferred. A crash inside the window loses the
+/// unflushed tail cleanly (recovery replays the journal's valid prefix
+/// and simply ends earlier) — it can never corrupt or reorder, because
+/// records enter the journal in apply order and every synchronous
+/// journaling entry point flushes the group first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupCommitPolicy {
+    /// Flush when this many records are buffered (minimum 1; 1 degrades
+    /// to the synchronous fsync-per-op path).
+    pub max_ops: usize,
+    /// Flush when the oldest buffered record has waited this long.
+    /// Checked on every buffered write and every served batch.
+    pub flush_deadline: Duration,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        Self {
+            max_ops: 32,
+            flush_deadline: Duration::from_millis(2),
+        }
+    }
+}
+
 /// A [`ResilientEngine`] fronted by a [`CheckpointStore`]: every
 /// mutation is journaled (write-ahead, fsynced) before it is applied, so
 /// [`DurableEngine::recover`] after a crash at *any* point reproduces
 /// the pre-crash deployment from the last checkpoint plus the journal's
-/// valid prefix.
+/// valid prefix. High write rates can amortize the fsync over many
+/// mutations through [`DurableEngine::store_buffered`] /
+/// [`DurableEngine::store_batch`] under a [`GroupCommitPolicy`].
 #[derive(Debug)]
 pub struct DurableEngine {
     engine: ResilientEngine,
@@ -1496,6 +1584,11 @@ pub struct DurableEngine {
     wal: fs::File,
     generation: u64,
     wal_ops: usize,
+    group: GroupCommitPolicy,
+    /// Encoded journal records awaiting their group flush.
+    pending: Vec<u8>,
+    pending_ops: usize,
+    pending_since: Option<Instant>,
 }
 
 impl DurableEngine {
@@ -1516,7 +1609,18 @@ impl DurableEngine {
             wal,
             generation,
             wal_ops: 0,
+            group: GroupCommitPolicy::default(),
+            pending: Vec::new(),
+            pending_ops: 0,
+            pending_since: None,
         })
+    }
+
+    /// Sets the group-commit policy for the buffered write path.
+    #[must_use]
+    pub fn with_group_commit(mut self, group: GroupCommitPolicy) -> Self {
+        self.group = group;
+        self
     }
 
     /// Recovers a durable engine from a checkpoint directory: newest
@@ -1556,6 +1660,10 @@ impl DurableEngine {
                 wal,
                 generation,
                 wal_ops,
+                group: GroupCommitPolicy::default(),
+                pending: Vec::new(),
+                pending_ops: 0,
+                pending_since: None,
             },
             report,
         ))
@@ -1583,6 +1691,9 @@ impl DurableEngine {
     }
 
     fn journal(&mut self, op: &JournalOp) -> Result<(), StoreError> {
+        // Synchronous records must land *after* any buffered group:
+        // the journal replays in apply order.
+        self.flush_writes()?;
         self.wal.write_all(&encode_record(op))?;
         self.wal.sync_data()?;
         self.wal_ops += 1;
@@ -1605,6 +1716,104 @@ impl DurableEngine {
             row,
             values: values.to_vec(),
         })
+    }
+
+    /// Stores values at a logical row through the group-commit path:
+    /// the journal record is buffered (write-ahead, in apply order) and
+    /// the mutation applied immediately; the group is flushed with a
+    /// single fsync when the [`GroupCommitPolicy`] says so. Until that
+    /// flush the write is live but not yet durable.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors from a triggered flush, or the mutation's own
+    /// error (the buffered record is then skipped identically on
+    /// replay).
+    pub fn store_buffered(&mut self, row: usize, values: &[u8]) -> Result<(), StoreError> {
+        let op = JournalOp::Store {
+            row,
+            values: values.to_vec(),
+        };
+        self.pending.extend_from_slice(&encode_record(&op));
+        self.pending_ops += 1;
+        self.pending_since.get_or_insert_with(Instant::now);
+        let applied = op.apply(&mut self.engine).map_err(StoreError::from);
+        self.maybe_flush()?;
+        applied
+    }
+
+    /// Group-commits a whole batch of row writes: every record is
+    /// appended and fsynced **once**, then the writes are applied. One
+    /// durability round-trip amortized over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors, or the first mutation error encountered
+    /// (every write is still attempted, matching what replay does).
+    pub fn store_batch(&mut self, writes: &[(usize, Vec<u8>)]) -> Result<(), StoreError> {
+        self.flush_writes()?;
+        let ops: Vec<JournalOp> = writes
+            .iter()
+            .map(|(row, values)| JournalOp::Store {
+                row: *row,
+                values: values.clone(),
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for op in &ops {
+            bytes.extend_from_slice(&encode_record(op));
+        }
+        self.wal.write_all(&bytes)?;
+        self.wal.sync_data()?;
+        self.wal_ops += ops.len();
+        let mut first_err = None;
+        for op in &ops {
+            if let Err(e) = op.apply(&mut self.engine) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes the buffered group if the policy deadline or size
+    /// threshold is due.
+    fn maybe_flush(&mut self) -> Result<(), StoreError> {
+        let due = self.pending_ops >= self.group.max_ops.max(1)
+            || self
+                .pending_since
+                .is_some_and(|t| t.elapsed() >= self.group.flush_deadline);
+        if due {
+            self.flush_writes()?;
+        }
+        Ok(())
+    }
+
+    /// Force-flushes the buffered group (one write + one fsync for all
+    /// of it); returns how many records became durable.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors.
+    pub fn flush_writes(&mut self) -> Result<usize, StoreError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        self.wal.write_all(&self.pending)?;
+        self.wal.sync_data()?;
+        self.wal_ops += self.pending_ops;
+        let flushed = self.pending_ops;
+        self.pending.clear();
+        self.pending_ops = 0;
+        self.pending_since = None;
+        Ok(flushed)
+    }
+
+    /// Buffered records not yet made durable.
+    pub fn pending_writes(&self) -> usize {
+        self.pending_ops
     }
 
     /// Injects a cell fault at physical `(row, stage)` (journaled).
@@ -1666,6 +1875,15 @@ impl DurableEngine {
     /// Batch-level simulation errors ([`StoreError::Sim`]) or journal
     /// I/O errors.
     pub fn serve(&mut self, batch: &BatchQuery) -> Result<BatchOutcome, StoreError> {
+        // The flush deadline is also enforced on the read path, so a
+        // write burst followed by pure reads cannot park records in the
+        // buffer indefinitely.
+        if self
+            .pending_since
+            .is_some_and(|t| t.elapsed() >= self.group.flush_deadline)
+        {
+            self.flush_writes()?;
+        }
         let repairs_before = self.engine.stats().repairs;
         let outcome = self.engine.serve(batch)?;
         if self.engine.stats().repairs > repairs_before {
@@ -1682,6 +1900,7 @@ impl DurableEngine {
     ///
     /// Propagates commit failures.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
+        self.flush_writes()?;
         let generation = self.store.commit(&self.engine.checkpoint())?;
         self.wal = OpenOptions::new()
             .append(true)
@@ -2341,6 +2560,13 @@ mod tests {
             repairs: 10,
             demotions: 11,
             promotions: 12,
+            user_writes: 15,
+            physical_writes: 16,
+            wear_rotations: 17,
+            refresh_rewrites: 18,
+            incremental_repacks: 19,
+            rows_repacked: 20,
+            epoch_swaps: 21,
         });
     }
 
@@ -2606,6 +2832,80 @@ mod tests {
 
     fn phys_of(arr: &crate::resilience::ResilientArray, logical: usize) -> usize {
         arr.physical_row(logical).expect("logical row")
+    }
+
+    #[test]
+    fn group_commit_defers_then_flushes_and_recovers() {
+        let dir = scratch("group_commit");
+        let rcfg = *small_engine(&[]).runtime_config();
+        {
+            let store = CheckpointStore::open(&dir).expect("open store");
+            let mut durable = DurableEngine::new(store, small_engine(&[&[1, 1, 2, 2, 3, 3]]))
+                .expect("durable")
+                .with_group_commit(GroupCommitPolicy {
+                    max_ops: 3,
+                    flush_deadline: Duration::from_secs(3600),
+                });
+            // Two buffered writes: live immediately, durable later.
+            durable.store_buffered(0, &[3, 2, 1, 0, 3, 2]).expect("w0");
+            durable.store_buffered(1, &[0, 3, 0, 3, 0, 3]).expect("w1");
+            assert_eq!(durable.pending_writes(), 2);
+            assert_eq!(durable.journal_ops(), 0, "not yet flushed");
+            // Third write reaches max_ops: the group lands with one
+            // fsync.
+            durable.store_buffered(0, &[2, 2, 2, 2, 2, 2]).expect("w2");
+            assert_eq!(durable.pending_writes(), 0);
+            assert_eq!(durable.journal_ops(), 3);
+            // A synchronous op after a fresh buffered write must flush
+            // the buffer first so the journal replays in apply order.
+            durable.store_buffered(1, &[1, 0, 1, 0, 1, 0]).expect("w3");
+            durable.inject(0, 2, FaultKind::StuckMatch).expect("inject");
+            assert_eq!(durable.pending_writes(), 0);
+            assert_eq!(durable.journal_ops(), 5);
+            // Simulated crash: drop without checkpointing.
+        }
+        let (durable, report) = DurableEngine::recover(&dir, rcfg).expect("recover");
+        assert_eq!(report.ops_replayed, 5);
+        assert_eq!(report.ops_skipped, 0);
+        let arr = durable.engine().array();
+        assert_eq!(
+            arr.array().stored(phys_of(arr, 0)).expect("row 0"),
+            vec![2, 2, 2, 2, 2, 2]
+        );
+        assert_eq!(
+            arr.array().stored(phys_of(arr, 1)).expect("row 1"),
+            vec![1, 0, 1, 0, 1, 0]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_batch_amortizes_one_fsync_over_the_writes() {
+        let dir = scratch("store_batch");
+        let rcfg = *small_engine(&[]).runtime_config();
+        {
+            let store = CheckpointStore::open(&dir).expect("open store");
+            let mut durable =
+                DurableEngine::new(store, small_engine(&[&[1, 1, 2, 2, 3, 3]])).expect("durable");
+            durable
+                .store_batch(&[
+                    (0, vec![3, 3, 3, 3, 3, 3]),
+                    (1, vec![0, 1, 2, 3, 0, 1]),
+                    (0, vec![1, 1, 1, 1, 1, 1]),
+                ])
+                .expect("batch");
+            assert_eq!(durable.journal_ops(), 3);
+            assert_eq!(durable.pending_writes(), 0);
+        }
+        let (durable, report) = DurableEngine::recover(&dir, rcfg).expect("recover");
+        assert_eq!(report.ops_replayed, 3);
+        let arr = durable.engine().array();
+        assert_eq!(
+            arr.array().stored(phys_of(arr, 0)).expect("row 0"),
+            vec![1, 1, 1, 1, 1, 1],
+            "last write in the batch wins"
+        );
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

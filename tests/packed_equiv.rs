@@ -291,6 +291,88 @@ fn snapshot_dispatch_ladder_matches_scalar_rung() {
     }
 }
 
+/// Online mutation equivalence: after a random sequence of row rewrites,
+/// a snapshot surgically refreshed with `refresh_rows` must be
+/// bit-identical to a from-scratch `compile_snapshot` — counts, winners,
+/// decisions, and energies — on every rung of the dispatch ladder and
+/// for every thread count. This is the incremental-repack contract the
+/// serving runtime leans on: a repacked snapshot is indistinguishable
+/// from a full recompile.
+#[test]
+fn incrementally_repacked_snapshots_match_recompile_on_every_rung() {
+    const STAGES: usize = 130; // ragged: repack must refill the partial word
+    const ROWS: usize = 12;
+    for (bits, seed) in [(1u8, 0xD127_0000u64), (2, 0xD127_0001), (4, 0xD127_0004)] {
+        let (mut am, mut rng) = seeded_array(bits, STAGES, ROWS, seed);
+        let levels = 1u32 << bits;
+        let mut snap = am.compile_snapshot();
+
+        // A random write sequence: repeated rewrites, including rows hit
+        // more than once, interleaved across three refresh rounds so the
+        // snapshot is surgically patched from several distinct baselines.
+        for round in 0..3 {
+            let mut touched = std::collections::BTreeSet::new();
+            for _ in 0..6 {
+                let row = rng.gen_range(0..ROWS);
+                let values: Vec<u8> = (0..STAGES)
+                    .map(|_| rng.gen_range(0..levels) as u8)
+                    .collect();
+                am.store(row, &values).expect("store");
+                touched.insert(row);
+            }
+            let repacked = snap.refresh_rows(&am, touched.iter().copied());
+            assert_eq!(
+                repacked,
+                touched.len(),
+                "round {round}: every touched row repacks exactly once"
+            );
+        }
+
+        let mut fresh = am.compile_snapshot();
+        let mut batch = BatchQuery::new(STAGES);
+        for _ in 0..11 {
+            let q: Vec<u8> = (0..STAGES)
+                .map(|_| rng.gen_range(0..levels) as u8)
+                .collect();
+            batch.push(&q).expect("push");
+        }
+        for rung in [
+            PackedKernel::Scalar,
+            PackedKernel::Unrolled,
+            PackedKernel::Simd,
+        ] {
+            if !snap.force_kernel(rung) {
+                assert_eq!(rung, PackedKernel::Simd, "only SIMD may be absent");
+                continue;
+            }
+            assert!(fresh.force_kernel(rung), "rung parity between snapshots");
+            assert_eq!(
+                snap.search_batch(&am, &batch, Some(1)).expect("refreshed"),
+                fresh
+                    .search_batch(&am, &batch, Some(1))
+                    .expect("recompiled"),
+                "{bits}-bit {rung:?}: repacked outcomes must be bit-identical"
+            );
+            for threads in [Some(3), None] {
+                assert_eq!(
+                    snap.decide_batch(&am, &batch, threads).expect("refreshed"),
+                    fresh
+                        .decide_batch(&am, &batch, threads)
+                        .expect("recompiled"),
+                    "{bits}-bit {rung:?} ({threads:?}): repacked decisions"
+                );
+            }
+            for (i, q) in batch.iter().enumerate() {
+                assert_eq!(
+                    snap.search_packed(&am, q).expect("refreshed"),
+                    fresh.search_packed(&am, q).expect("recompiled"),
+                    "{bits}-bit {rung:?}: single-query path, query {i}"
+                );
+            }
+        }
+    }
+}
+
 fn resilient(stages: usize, data_rows: usize, seed: u64) -> (ResilientArray, StdRng) {
     let cfg = ArrayConfig::paper_default()
         .with_stages(stages)
