@@ -119,6 +119,8 @@ USAGE:
                    [--queue-capacity N] [--seed X] [--standby-dir DIR] [--no-chaos]
   tdam-sim serve-load --addr HOST:PORT [--clients C] [--requests Q] [--k K]
                    [--deadline-ms D] [--seed X]
+  tdam-sim simulate [--seed X] [--scenarios N] [--steps S] [--fault-density P]
+                   [--paper] [--sabotage]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -156,6 +158,15 @@ SUBCOMMANDS:
   serve-load   closed-loop load generator against a running `serve`
                front-end: discovers the corpus shape over the wire,
                then reports qps, p50/p99, and explicit shed counts
+  simulate     deterministic full-system simulation on virtual time: a
+               whole deployment (sharded serving, durable track, device
+               aging) runs single-threaded under a seed-derived fault
+               schedule, with every complete answer judged against a
+               brute-force replay of the shadow corpus; a failing seed
+               replays bit-identically and is shrunk to a minimal
+               schedule before it is reported. --scenarios N runs a
+               campaign of N worlds derived from the base seed;
+               --sabotage self-tests the judge by corrupting an answer
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

@@ -1,0 +1,268 @@
+//! The virtual-time seam: every real-time call site in the serving
+//! stack (`runtime`, `serve`, `store`) reads time and sleeps through a
+//! [`Clock`] handle instead of touching `std::time::Instant` or
+//! `std::thread::sleep` directly.
+//!
+//! Two implementations share one API:
+//!
+//! - [`Clock::Wall`] — production. Timestamps come from a process-wide
+//!   monotonic epoch, sleeps really sleep. This is the default
+//!   everywhere, so existing callers see identical behaviour.
+//! - [`Clock::Sim`] — deterministic simulation. Time is a plain `u64`
+//!   nanosecond counter owned by a [`SimClock`]; *sleeping advances the
+//!   counter instead of blocking*, so a simulated deployment running
+//!   retries, backoff waits, group-commit flush deadlines, and
+//!   health-probe schedules executes in microseconds of real time and
+//!   — crucially — replays **bit-identically** for a fixed seed, because
+//!   virtual time is part of the simulation state rather than an
+//!   ambient racy input.
+//!
+//! [`SimClock`] also carries the simulation's *event queue*: a
+//! monotonic heap of `(due, token)` entries that
+//! `SimWorld` ([`crate::sim`]) uses to schedule future work
+//! (client arrivals, aging ticks, scrub ticks, crash points). Popping
+//! the next event advances virtual time to its due instant — the
+//! discrete-event-simulation loop in five lines.
+//!
+//! The grep-style lint in `tests/sim_lint.rs` enforces the seam: the
+//! *only* real-clock calls on simulated paths live in this module's
+//! wall arms, each marked `[real-time ok]`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonic timestamp: nanoseconds since the owning clock's epoch.
+///
+/// Wall and sim timestamps share this representation so the code that
+/// computes deadlines (`runtime::serve`, `serve::search_topk`,
+/// `store::DurableEngine`) is byte-for-byte the same on both clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The timestamp `n` nanoseconds after the epoch.
+    pub fn from_nanos(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// Nanoseconds since the owning clock's epoch.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: Timestamp) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This timestamp pushed `d` into the future (saturating).
+    pub fn after(self, d: Duration) -> Self {
+        Self(self.0.saturating_add(clamp_nanos(d)))
+    }
+}
+
+/// `Duration` → nanos, saturating at `u64::MAX` (584 years — any
+/// deadline beyond that is "never").
+fn clamp_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A cloneable handle to a time source: the wall clock, or a shared
+/// virtual [`SimClock`].
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// Real monotonic time; sleeps block the thread.
+    #[default]
+    Wall,
+    /// Virtual time owned by a [`SimClock`]; sleeps advance it.
+    Sim(Arc<SimClock>),
+}
+
+/// The process-wide epoch wall timestamps are measured from.
+fn wall_epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now) // [real-time ok] wall arm
+}
+
+impl Clock {
+    /// The production wall clock.
+    pub fn wall() -> Self {
+        Self::Wall
+    }
+
+    /// A handle onto a shared virtual clock.
+    pub fn sim(clock: &Arc<SimClock>) -> Self {
+        Self::Sim(Arc::clone(clock))
+    }
+
+    /// Whether this handle reads virtual time.
+    pub fn is_sim(&self) -> bool {
+        matches!(self, Self::Sim(_))
+    }
+
+    /// The current time on this clock.
+    pub fn now(&self) -> Timestamp {
+        match self {
+            Self::Wall => Timestamp(clamp_nanos(wall_epoch().elapsed())), // [real-time ok] wall arm
+            Self::Sim(c) => Timestamp(c.now_nanos()),
+        }
+    }
+
+    /// Time elapsed since `since` on this clock.
+    pub fn elapsed(&self, since: Timestamp) -> Duration {
+        self.now().saturating_duration_since(since)
+    }
+
+    /// Sleeps for `d`: blocks on the wall clock, advances virtual time
+    /// on a sim clock (so simulated backoff is free *and* observable —
+    /// a deadline elsewhere in the simulated world sees the wait).
+    pub fn sleep(&self, d: Duration) {
+        match self {
+            Self::Wall => std::thread::sleep(d), // [real-time ok] wall arm
+            Self::Sim(c) => c.advance(d),
+        }
+    }
+}
+
+/// A shared virtual clock: a nanosecond counter plus the simulation's
+/// event queue.
+///
+/// The counter only moves forward — via [`SimClock::advance`] (a
+/// virtual sleep), [`SimClock::advance_to`], or by popping a scheduled
+/// event — so timestamps drawn from it are monotonic exactly like wall
+/// timestamps.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+    queue: Mutex<EventQueue>,
+}
+
+#[derive(Debug, Default)]
+struct EventQueue {
+    /// Min-heap of `(due_nanos, seq, token)`; `seq` makes same-instant
+    /// events pop in schedule order, keeping the simulation
+    /// deterministic without relying on heap tie-breaking.
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    seq: u64,
+}
+
+impl SimClock {
+    /// A fresh virtual clock at t = 0 with an empty event queue.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Acquire)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now_nanos())
+    }
+
+    /// Advances virtual time by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(clamp_nanos(d), Ordering::AcqRel);
+    }
+
+    /// Advances virtual time to `t` if it is in the future (monotonic:
+    /// never moves backwards).
+    pub fn advance_to(&self, t: Timestamp) {
+        self.nanos.fetch_max(t.0, Ordering::AcqRel);
+    }
+
+    /// Schedules `token` to fire `after` from now. Tokens are opaque to
+    /// the clock; the simulation maps them back to events.
+    pub fn schedule(&self, after: Duration, token: u64) {
+        let due = self.now_nanos().saturating_add(clamp_nanos(after));
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(Reverse((due, seq, token)));
+    }
+
+    /// Pops the next scheduled event, advancing virtual time to its due
+    /// instant, and returns `(fire_time, token)`. Same-instant events
+    /// fire in the order they were scheduled.
+    pub fn next_event(&self) -> Option<(Timestamp, u64)> {
+        let Reverse((due, _, token)) = {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.heap.pop()?
+        };
+        self.advance_to(Timestamp(due));
+        Some((self.now(), token))
+    }
+
+    /// Scheduled events not yet fired.
+    pub fn pending_events(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .heap
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_sleep_advances_virtual_time_without_blocking() {
+        let sim = SimClock::new();
+        let clock = Clock::sim(&sim);
+        let t0 = clock.now();
+        clock.sleep(Duration::from_secs(3600));
+        assert_eq!(clock.elapsed(t0), Duration::from_secs(3600));
+        assert!(clock.is_sim());
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = Clock::wall();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(!clock.is_sim());
+    }
+
+    #[test]
+    fn timestamps_do_deadline_arithmetic() {
+        let t = Timestamp::from_nanos(1_000);
+        let d = t.after(Duration::from_nanos(500));
+        assert_eq!(d.nanos(), 1_500);
+        assert_eq!(d.saturating_duration_since(t), Duration::from_nanos(500));
+        assert_eq!(t.saturating_duration_since(d), Duration::ZERO);
+    }
+
+    #[test]
+    fn event_queue_fires_in_due_then_fifo_order_and_drives_time() {
+        let sim = SimClock::new();
+        sim.schedule(Duration::from_nanos(200), 1);
+        sim.schedule(Duration::from_nanos(100), 2);
+        sim.schedule(Duration::from_nanos(100), 3);
+        assert_eq!(sim.pending_events(), 3);
+        let (t, tok) = sim.next_event().unwrap();
+        assert_eq!((t.nanos(), tok), (100, 2));
+        let (t, tok) = sim.next_event().unwrap();
+        assert_eq!((t.nanos(), tok), (100, 3), "same-instant: FIFO");
+        let (t, tok) = sim.next_event().unwrap();
+        assert_eq!((t.nanos(), tok), (200, 1));
+        assert_eq!(sim.now().nanos(), 200, "popping advanced virtual time");
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn scheduling_is_relative_to_current_virtual_time() {
+        let sim = SimClock::new();
+        sim.advance(Duration::from_nanos(50));
+        sim.schedule(Duration::from_nanos(10), 7);
+        let (t, tok) = sim.next_event().unwrap();
+        assert_eq!((t.nanos(), tok), (60, 7));
+    }
+}

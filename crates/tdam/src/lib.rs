@@ -61,6 +61,12 @@
 //!   top-k (bit-identical to brute force), bounded-queue admission
 //!   control with explicit load shedding, probe-gated warm-standby
 //!   failover, and a seeded TCP chaos campaign
+//! - [`clock`] — the wall/virtual time abstraction every deadline,
+//!   backoff wait, flush window, and scrub tick reads
+//! - [`sim`] — deterministic full-system simulation: a whole deployment
+//!   on virtual time with seed-scheduled network/disk/device faults,
+//!   judged against independent oracles, with seed replay and greedy
+//!   schedule shrinking
 //! - [`margins`] — sensing-margin feasibility of 1–4-bit precision under
 //!   variation (the paper's "higher-precision potential" analysis)
 //! - [`power`] — idle static (leakage) power, the flip side of the
@@ -124,6 +130,7 @@ pub mod calibration;
 pub mod cell;
 pub mod chain;
 pub mod chain_circuit;
+pub mod clock;
 pub mod config;
 pub mod encoding;
 pub mod energy;
@@ -137,6 +144,7 @@ pub mod power;
 pub mod resilience;
 pub mod runtime;
 pub mod serve;
+pub mod sim;
 pub mod stage;
 pub mod store;
 pub mod tdc;

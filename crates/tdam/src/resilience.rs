@@ -364,6 +364,20 @@ impl WriteReport {
     }
 }
 
+/// Results of one background margin-scrub pass
+/// ([`ResilientArray::scrub_margins`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Live physical rows whose margins were probed.
+    pub probed: usize,
+    /// Physical rows refresh-rewritten because their probe delays had
+    /// drifted off the decode-bin center (decode still correct).
+    pub healed: Vec<usize>,
+    /// Drifted rows whose healing rewrite failed write-verify — left
+    /// for the full detection + repair machinery to escalate.
+    pub failed: usize,
+}
+
 /// Internal status of one physical row's known-answer probes.
 #[derive(Debug, Clone, Copy)]
 struct ProbeStatus {
@@ -962,6 +976,45 @@ impl ResilientArray {
             self.repair_row(logical, false, &mut out)?;
         }
         Ok(out)
+    }
+
+    /// One background margin-scrub pass: probes every *live* physical
+    /// row (data backings and reference rows) and refresh-rewrites the
+    /// ones whose probe delays have drifted off the decode-bin center
+    /// while the decode itself is still correct — healing retention
+    /// drift *before* a count flips, which is exactly the window the
+    /// margin monitor exists to catch.
+    ///
+    /// Rows already mis-decoding (a flipped count, a broken chain) are
+    /// deliberately left alone: those need the full detection + repair
+    /// triage, not a quiet rewrite that would hide them from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search and non-verify programming errors; a device
+    /// failing write-verify during its healing rewrite is counted in
+    /// [`ScrubReport::failed`], never an error.
+    pub fn scrub_margins(&mut self) -> Result<ScrubReport, TdamError> {
+        let mut rows: Vec<usize> = self.remap.clone();
+        rows.extend((0..self.cfg.reference_rows).map(|k| self.ref_phys(k)));
+        let mut report = ScrubReport::default();
+        for phys in rows {
+            if self.broken.contains(&phys) {
+                continue;
+            }
+            report.probed += 1;
+            let status = self.probe_status(phys)?;
+            if status.match_ok && status.complement_ok && !status.margin_ok {
+                let values = self.array.stored(phys)?;
+                let mut scratch = RepairOutcome::default();
+                if self.reprogram(phys, &values, &mut scratch)? {
+                    report.healed.push(phys);
+                } else {
+                    report.failed += 1;
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// The current degradation accounting.

@@ -62,9 +62,10 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::array::CompiledSnapshot;
+use crate::clock::Clock;
 use crate::config::ArrayConfig;
 use crate::engine::{BatchQuery, SearchMetrics, SimilarityEngine};
 use crate::parallel::{mix_seed, run_chunked_partial};
@@ -142,6 +143,12 @@ pub struct RuntimeConfig {
     pub breaker_threshold: usize,
     /// Worker threads for the batch fan-out (`None` = all cores).
     pub threads: Option<usize>,
+    /// Background retention scrub period on the engine's clock (`None`
+    /// disables scrubbing). When due, a serve first runs
+    /// [`crate::resilience::ResilientArray::scrub_margins`], healing
+    /// margin-drifted rows before a decode flips. Clock-driven, so a
+    /// simulated deployment scrubs on virtual time.
+    pub scrub_interval: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -152,6 +159,7 @@ impl Default for RuntimeConfig {
             health_interval: 1,
             breaker_threshold: 1,
             threads: None,
+            scrub_interval: None,
         }
     }
 }
@@ -347,6 +355,13 @@ pub struct RuntimeStats {
     /// Snapshot publications through the epoch holder — full compiles,
     /// incremental refreshes, and standby adoptions alike.
     pub epoch_swaps: usize,
+    /// Background retention-scrub passes run (clock-driven ticks).
+    pub scrub_ticks: usize,
+    /// Live rows margin-probed across all scrub passes.
+    pub scrub_probes: usize,
+    /// Margin-drifted rows healed by a scrub's refresh rewrite before
+    /// their decode flipped.
+    pub scrub_heals: usize,
 }
 
 /// Deterministic fault/panic injection for chaos testing: whether a slot
@@ -467,6 +482,13 @@ pub struct ResilientEngine {
     pub(crate) batches_since_check: usize,
     pub(crate) chaos: Option<ChaosInjection>,
     pub(crate) stats: RuntimeStats,
+    /// Time source for deadlines, backoff waits, and scrub scheduling:
+    /// the wall clock in production, a [`crate::clock::SimClock`] under
+    /// deterministic simulation.
+    pub(crate) clock: Clock,
+    /// Virtual/wall instant of the last retention scrub (`None` until
+    /// the first serve on a scrub-enabled config).
+    pub(crate) last_scrub: Option<crate::clock::Timestamp>,
 }
 
 impl ResilientEngine {
@@ -496,6 +518,8 @@ impl ResilientEngine {
             batches_since_check: 0,
             chaos: None,
             stats: RuntimeStats::default(),
+            clock: Clock::default(),
+            last_scrub: None,
         }
     }
 
@@ -503,6 +527,19 @@ impl ResilientEngine {
     pub fn with_chaos(mut self, chaos: ChaosInjection) -> Self {
         self.chaos = Some(chaos);
         self
+    }
+
+    /// Replaces the time source (a [`crate::clock::SimClock`] handle
+    /// puts every deadline, backoff wait, and scrub tick on virtual
+    /// time).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The engine's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The wrapped array.
@@ -692,6 +729,52 @@ impl ResilientEngine {
         Ok(())
     }
 
+    /// Runs the clock-driven background retention scrub when due: a
+    /// margin probe-and-refresh pass that heals drifted rows before
+    /// they flip a decode. The first serve arms the timer; each
+    /// subsequent serve compares the clock against the configured
+    /// period, so on a [`crate::clock::SimClock`] the scrub cadence is
+    /// part of the deterministic simulation state.
+    fn maybe_scrub(&mut self) -> Result<(), TdamError> {
+        let Some(interval) = self.cfg.scrub_interval else {
+            return Ok(());
+        };
+        let now = self.clock.now();
+        match self.last_scrub {
+            None => {
+                self.last_scrub = Some(now);
+                Ok(())
+            }
+            Some(last) if now.saturating_duration_since(last) >= interval => {
+                self.last_scrub = Some(now);
+                self.scrub_now()
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Runs one retention-scrub pass immediately (the periodic tick
+    /// calls this when due; tests and the simulator may force it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe/search failures from the scrub pass.
+    pub fn scrub_now(&mut self) -> Result<(), TdamError> {
+        let report = self.array.scrub_margins()?;
+        self.stats.scrub_ticks += 1;
+        self.stats.scrub_probes += report.probed;
+        self.stats.scrub_heals += report.healed.len();
+        self.stats.physical_writes += report.healed.len();
+        if !report.healed.is_empty() {
+            // The scrub rewrote exactly these physical rows: keep the
+            // snapshot refresh surgical instead of voiding tracking.
+            if let Some(dirty) = self.dirty.as_mut() {
+                dirty.extend(report.healed.iter().copied());
+            }
+        }
+        Ok(())
+    }
+
     /// Moves the backend back up the chain after a passed health probe.
     fn promote(&mut self) {
         let target = if self.array.degradation().level == DegradationLevel::Degraded {
@@ -763,6 +846,7 @@ impl ResilientEngine {
                 expected: self.array.width(),
             });
         }
+        self.maybe_scrub()?;
         if self.cfg.health_interval > 0 {
             self.batches_since_check += 1;
             if self.batches_since_check >= self.cfg.health_interval {
@@ -781,7 +865,7 @@ impl ResilientEngine {
         };
 
         let n = batch.len();
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut slots: Vec<Option<QueryOutcome>> = vec![None; n];
         let mut retries = 0usize;
 
@@ -807,7 +891,7 @@ impl ResilientEngine {
             let outcomes =
                 run_chunked_partial::<_, TdamError, _>(pending.len(), self.cfg.threads, |k| {
                     if let Some(d) = horizon {
-                        if started.elapsed() >= d {
+                        if this.clock.elapsed(started) >= d {
                             return Ok(None);
                         }
                     }
@@ -849,7 +933,7 @@ impl ResilientEngine {
             let backoff = self.cfg.retry.backoff_for(attempt);
             if !backoff.is_zero() {
                 self.stats.backoff_waits += 1;
-                std::thread::sleep(backoff);
+                self.clock.sleep(backoff);
             }
             pending = next;
             attempt += 1;
@@ -936,12 +1020,23 @@ impl SimilarityEngine for ResilientEngine {
 pub struct Guarded<E> {
     engine: E,
     cfg: RuntimeConfig,
+    clock: Clock,
 }
 
 impl<E: SimilarityEngine> Guarded<E> {
     /// Wraps an engine.
     pub fn new(engine: E, cfg: RuntimeConfig) -> Self {
-        Self { engine, cfg }
+        Self {
+            engine,
+            cfg,
+            clock: Clock::default(),
+        }
+    }
+
+    /// Replaces the time source for deadlines and backoff waits.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The wrapped engine.
@@ -966,7 +1061,7 @@ impl<E: SimilarityEngine> Guarded<E> {
         use std::panic::{catch_unwind, AssertUnwindSafe};
 
         let n = batch.len();
-        let started = Instant::now();
+        let started = self.clock.now();
         let budget = match self.cfg.deadline {
             DeadlinePolicy::QueryBudget(q) => q.min(n),
             _ => n,
@@ -979,7 +1074,7 @@ impl<E: SimilarityEngine> Guarded<E> {
                 continue;
             }
             if let DeadlinePolicy::WallClock(d) = self.cfg.deadline {
-                if started.elapsed() >= d {
+                if self.clock.elapsed(started) >= d {
                     slots.push(QueryOutcome::TimedOut);
                     continue;
                 }
@@ -996,7 +1091,7 @@ impl<E: SimilarityEngine> Guarded<E> {
                         retries += 1;
                         let backoff = self.cfg.retry.backoff_for(attempt);
                         if !backoff.is_zero() {
-                            std::thread::sleep(backoff);
+                            self.clock.sleep(backoff);
                         }
                         attempt += 1;
                     }

@@ -39,11 +39,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::clock::{Clock, Timestamp};
 use crate::config::ArrayConfig;
 use crate::engine::BatchQuery;
 use crate::resilience::{DegradationLevel, ResilienceConfig};
@@ -259,6 +260,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Duration,
+    /// Per-connection socket I/O budget (slow-peer protection): a
+    /// client that stalls mid-frame or refuses to drain its replies for
+    /// this long is disconnected instead of parking a server thread.
+    pub io_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -283,6 +288,7 @@ impl ServeConfig {
             queue_capacity: 64,
             workers: 4,
             default_deadline: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -482,6 +488,9 @@ pub struct ShardedService {
     /// Only one request at a time pays for failover probing.
     failover_gate: Mutex<()>,
     stats: Mutex<ServiceStats>,
+    /// Time source for deadlines and injected service delays (virtual
+    /// in the deterministic simulation).
+    clock: Clock,
 }
 
 impl ShardedService {
@@ -499,22 +508,99 @@ impl ShardedService {
         corpus: &[Vec<u8>],
         standby_dir: Option<&Path>,
     ) -> Result<Self, ServeError> {
+        Self::new_with_clock(cfg, corpus, standby_dir, Clock::default())
+    }
+
+    /// [`ShardedService::new`] with every shard engine (and the service
+    /// itself) placed on an explicit clock — the deterministic
+    /// simulation's entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedService::new`].
+    pub fn new_with_clock(
+        cfg: &ServeConfig,
+        corpus: &[Vec<u8>],
+        standby_dir: Option<&Path>,
+        clock: Clock,
+    ) -> Result<Self, ServeError> {
+        let stores = match standby_dir {
+            Some(dir) => {
+                let map = ShardMap::new(corpus.len(), cfg.rows_per_shard)?;
+                let mut stores = Vec::with_capacity(map.shards());
+                for s in 0..map.shards() {
+                    stores.push(CheckpointStore::open(dir.join(format!("shard{s}")))?);
+                }
+                Some(stores)
+            }
+            None => None,
+        };
+        Self::build(cfg, corpus, stores, clock)
+    }
+
+    /// Builds a fully in-memory service for the deterministic
+    /// simulation: every shard's standby checkpoint store lives on its
+    /// own [`crate::store::MemStorage`] (virtual paths, no real disk),
+    /// and every engine runs on `clock` (virtual time when a
+    /// [`crate::clock::SimClock`] handle is passed).
+    ///
+    /// Returns the service plus the per-shard storage handles so a
+    /// chaos harness can inject [`crate::store::DiskFault`]s and power
+    /// losses into individual shards' durable state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedService::new`].
+    #[allow(clippy::type_complexity)]
+    pub fn new_sim(
+        cfg: &ServeConfig,
+        corpus: &[Vec<u8>],
+        clock: Clock,
+    ) -> Result<(Self, Vec<crate::store::MemStorage>), ServeError> {
+        let map = ShardMap::new(corpus.len(), cfg.rows_per_shard)?;
+        let mut stores = Vec::with_capacity(map.shards());
+        let mut disks = Vec::with_capacity(map.shards());
+        for s in 0..map.shards() {
+            let disk = crate::store::MemStorage::new();
+            stores.push(CheckpointStore::open_with(
+                format!("/sim/shard{s}"),
+                std::sync::Arc::new(disk.clone()),
+            )?);
+            disks.push(disk);
+        }
+        Ok((Self::build(cfg, corpus, Some(stores), clock)?, disks))
+    }
+
+    /// Shared constructor body: one engine per shard-map range, with an
+    /// optional pre-opened checkpoint store per shard backing a warm
+    /// standby.
+    fn build(
+        cfg: &ServeConfig,
+        corpus: &[Vec<u8>],
+        stores: Option<Vec<CheckpointStore>>,
+        clock: Clock,
+    ) -> Result<Self, ServeError> {
         let map = ShardMap::new(corpus.len(), cfg.rows_per_shard)?;
         let stages = cfg.array.stages;
+        let mut stores = stores.map(std::collections::VecDeque::from);
         let mut shards = Vec::with_capacity(map.shards());
         for s in 0..map.shards() {
             let (base, rows) = map.range(s);
             let array = cfg.array.with_rows(rows);
-            let mut engine = ResilientEngine::new(array, cfg.resilience, cfg.runtime)?;
+            let mut engine =
+                ResilientEngine::new(array, cfg.resilience, cfg.runtime)?.with_clock(clock.clone());
             for (local, values) in corpus[base..base + rows].iter().enumerate() {
                 engine.store(local, values)?;
             }
-            let (store, standby) = match standby_dir {
-                Some(dir) => {
-                    let store = CheckpointStore::open(dir.join(format!("shard{s}")))?;
+            let (store, standby) = match stores
+                .as_mut()
+                .and_then(std::collections::VecDeque::pop_front)
+            {
+                Some(store) => {
                     store.commit(&engine.checkpoint())?;
                     let (state, _ops, _report) = store.recover()?;
-                    let standby = ResilientEngine::restore(&state, cfg.runtime)?;
+                    let standby =
+                        ResilientEngine::restore(&state, cfg.runtime)?.with_clock(clock.clone());
                     (Some(store), Some(standby))
                 }
                 None => (None, None),
@@ -542,7 +628,13 @@ impl ShardedService {
             any_down: AtomicBool::new(false),
             failover_gate: Mutex::new(()),
             stats: Mutex::new(ServiceStats::default()),
+            clock,
         })
+    }
+
+    /// The clock this service reads deadlines from.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The shard map.
@@ -583,6 +675,97 @@ impl ShardedService {
             .collect()
     }
 
+    /// Live mutation: stores `values` at global corpus `row`, updating
+    /// the owning shard's engine and the probe corpus together (so
+    /// later known-answer failover probes expect the *new* content).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sim`] when the row or values do not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is outside the shard map.
+    pub fn store_row(&mut self, row: usize, values: &[u8]) -> Result<(), ServeError> {
+        let (s, local) = self.map.locate(row);
+        lock(&self.shards[s].state)
+            .engine
+            .store(local, values)
+            .map_err(ServeError::Sim)?;
+        self.corpus[row] = values.to_vec();
+        Ok(())
+    }
+
+    /// Ages one shard's device array through `lifetime` (retention +
+    /// endurance drift). Mirrors the journal [`crate::store::JournalOp::Age`]
+    /// apply path: the mutation goes through
+    /// [`ResilientEngine::array_mut`], so the shard's compiled snapshot
+    /// is invalidated and fully recompiled on its next serve.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sim`] when cell reconstruction under the aged
+    /// window fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn age_shard(
+        &self,
+        shard: usize,
+        lifetime: &tdam_fefet::retention::Lifetime,
+    ) -> Result<(), ServeError> {
+        lock(&self.shards[shard].state)
+            .engine
+            .array_mut()
+            .age(lifetime)
+            .map_err(ServeError::Sim)
+    }
+
+    /// Forces one immediate retention-scrub pass on every shard engine
+    /// (the clock-driven periodic scrub calls the same machinery; the
+    /// simulator uses this to heal drift at a schedule-controlled
+    /// moment).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sim`] when a scrub probe fails outright.
+    pub fn scrub_all(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            lock(&shard.state)
+                .engine
+                .scrub_now()
+                .map_err(ServeError::Sim)?;
+        }
+        Ok(())
+    }
+
+    /// Commits `shard`'s *live* engine state as a fresh checkpoint
+    /// generation on its standby store and restocks the standby from
+    /// it, so a later failover can promote a standby that reflects
+    /// recent live mutations (without this, a post-mutation standby
+    /// flunks its known-answer probes against the updated corpus and
+    /// the shard stays out of rotation — safe, but unavailable).
+    /// No-op for shards provisioned without a store.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the commit fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn commit_shard(&self, shard: usize) -> Result<(), ServeError> {
+        let sh = &self.shards[shard];
+        let Some(store) = &sh.store else {
+            return Ok(());
+        };
+        let state = lock(&sh.state).engine.checkpoint();
+        store.commit(&state).map_err(ServeError::Store)?;
+        self.restock_standby(sh);
+        Ok(())
+    }
+
     /// Scatter-gather top-k search under a wall-clock deadline.
     ///
     /// The deadline is admission-checked up front: a zero or
@@ -615,7 +798,7 @@ impl ShardedService {
         if deadline.is_zero() {
             return Err(ServeError::Overloaded(ShedReason::DeadlineExpired));
         }
-        let start = Instant::now();
+        let start = self.clock.now();
         if self.any_down.load(Ordering::Acquire) {
             self.try_failover();
         }
@@ -637,10 +820,10 @@ impl ShardedService {
             if let Some(delay) = st.slow {
                 // Chaos injection: the shard really does serve slowly,
                 // while holding its lock (head-of-line blocking).
-                std::thread::sleep(delay);
+                self.clock.sleep(delay);
             }
             let remaining = deadline
-                .checked_sub(start.elapsed())
+                .checked_sub(self.clock.elapsed(start))
                 .filter(|r| !r.is_zero());
             let Some(remaining) = remaining else {
                 // Mid-scatter expiry: completed shards still count. A
@@ -829,7 +1012,7 @@ impl ShardedService {
         };
         let cfg = *lock(&shard.state).engine.runtime_config();
         if let Ok(engine) = ResilientEngine::restore(&state, cfg) {
-            *lock(&shard.standby) = Some(engine);
+            *lock(&shard.standby) = Some(engine.with_clock(self.clock.clone()));
             lock(&self.stats).restocks += 1;
         }
     }
@@ -954,22 +1137,30 @@ fn class_from_tag(t: u8) -> Result<ErrorClass, ServeError> {
     }
 }
 
-/// A request frame, decoded.
+/// A request frame, decoded. Public so robustness harnesses (the wire
+/// fuzzer, the deterministic simulation) can drive the exact production
+/// codec byte-for-byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Request {
+pub enum Request {
+    /// Top-k query.
     Query {
+        /// Query elements (one per stage).
         query: Vec<u8>,
+        /// Neighbors requested.
         k: usize,
         /// Whole-request wall-clock budget in microseconds (0 = use the
         /// server's default deadline).
         deadline_us: u64,
     },
+    /// Observability snapshot request.
     Stats,
+    /// Corpus/topology description request.
     Info,
 }
 
 impl Request {
-    fn encode(&self) -> Vec<u8> {
+    /// Encodes this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
             Self::Query {
@@ -991,7 +1182,13 @@ impl Request {
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+    /// Decodes a frame payload; never panics and never allocates more
+    /// than the declared (bounded) lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on any malformed payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
         let mut r = Reader::new(bytes);
         let tag = r.get_u8().map_err(|_| truncated())?;
         match tag {
@@ -1107,13 +1304,24 @@ pub struct InfoReply {
     pub shards: usize,
 }
 
-/// A reply frame, decoded.
+/// A reply frame, decoded. Public for the same harnesses as
+/// [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Reply {
+pub enum Reply {
+    /// A merged top-k answer.
     TopK(TopK),
+    /// The request was shed by admission control.
     Overloaded(ShedReason),
-    Error { class: ErrorClass, msg: String },
+    /// A serving error, classified for retry decisions.
+    Error {
+        /// Retryability classification.
+        class: ErrorClass,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Observability snapshot.
     Stats(Box<StatsReply>),
+    /// Corpus/topology description.
     Info(InfoReply),
 }
 
@@ -1122,7 +1330,8 @@ fn truncated() -> ServeError {
 }
 
 impl Reply {
-    fn encode(&self) -> Vec<u8> {
+    /// Encodes this reply as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
             Self::TopK(t) => {
@@ -1178,7 +1387,13 @@ impl Reply {
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+    /// Decodes a frame payload; never panics and never allocates more
+    /// than the declared (bounded) lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on any malformed payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
         let mut r = Reader::new(bytes);
         let tag = r.get_u8().map_err(|_| truncated())?;
         match tag {
@@ -1259,19 +1474,31 @@ impl Reply {
     }
 }
 
-/// Writes one length-prefixed frame.
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), ServeError> {
+/// Writes one length-prefixed frame to any byte sink (a `TcpStream` in
+/// production, a `Vec<u8>` in the deterministic simulation).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the sink rejects the write.
+pub fn write_frame(sink: &mut impl IoWrite, payload: &[u8]) -> Result<(), ServeError> {
     debug_assert!(payload.len() <= MAX_FRAME);
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload)?;
+    sink.write_all(&(payload.len() as u32).to_le_bytes())?;
+    sink.write_all(payload)?;
     Ok(())
 }
 
-/// Blocking read of one length-prefixed frame. `Ok(None)` = clean EOF
-/// at a frame boundary.
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServeError> {
+/// Blocking read of one length-prefixed frame from any byte source.
+/// `Ok(None)` = clean EOF at a frame boundary. The declared length is
+/// validated against [`MAX_FRAME`] *before* the payload buffer is
+/// allocated — a hostile header cannot force an over-allocation.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for an over-limit declared length,
+/// [`ServeError::Io`] for a source failure or a mid-frame EOF.
+pub fn read_frame(source: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
     let mut header = [0u8; 4];
-    match stream.read_exact(&mut header) {
+    match source.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -1283,18 +1510,24 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServeError> {
         )));
     }
     let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
+    source.read_exact(&mut payload)?;
     Ok(Some(payload))
 }
 
 /// Polling read of one frame with a read timeout, so server connection
-/// threads notice shutdown. `Ok(None)` = clean EOF or shutdown.
+/// threads notice shutdown, plus a stall budget: a peer that starts a
+/// frame and then dribbles or stops (slow loris) is cut off once the
+/// frame has been in flight for `stall_timeout`. `Ok(None)` = clean EOF
+/// or shutdown.
 fn read_frame_polling(
     stream: &mut TcpStream,
     running: &AtomicBool,
+    clock: &Clock,
+    stall_timeout: Duration,
 ) -> Result<Option<Vec<u8>>, ServeError> {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut frame_started: Option<Timestamp> = None;
     loop {
         // Header complete? Then maybe the payload too.
         if buf.len() >= 4 {
@@ -1310,6 +1543,11 @@ fn read_frame_polling(
                 return Ok(Some(buf));
             }
         }
+        if let Some(started) = frame_started {
+            if clock.elapsed(started) >= stall_timeout {
+                return Err(ServeError::Protocol("peer stalled mid-frame".into()));
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 return if buf.is_empty() {
@@ -1318,7 +1556,10 @@ fn read_frame_polling(
                     Err(ServeError::Protocol("connection closed mid-frame".into()))
                 };
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                frame_started.get_or_insert_with(|| clock.now());
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -1333,6 +1574,63 @@ fn read_frame_polling(
 }
 
 // ---------------------------------------------------------------------------
+// Transport seam
+// ---------------------------------------------------------------------------
+
+/// A frame-oriented connection: the seam between the wire protocol and
+/// its carrier. Production is [`TcpTransport`]; the deterministic
+/// simulation substitutes an in-memory duplex that injects
+/// seed-scheduled frame faults (truncation, bit-flips, duplication,
+/// reordering, resets, stalls) on exactly the same encoded bytes.
+pub trait Transport {
+    /// Sends one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on carrier failure.
+    fn send(&mut self, payload: &[u8]) -> Result<(), ServeError>;
+    /// Receives one frame payload; `Ok(None)` = clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on carrier failure, [`ServeError::Protocol`]
+    /// on a malformed frame.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ServeError>;
+}
+
+/// TCP transport with socket read/write timeouts, so a stalled or
+/// malicious peer costs a bounded amount of client time (the resulting
+/// [`ServeError::Io`] classifies [`ErrorClass::Transient`] — retry).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects with `io_timeout` applied to both socket directions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when connecting or configuring fails.
+    pub fn connect(addr: SocketAddr, io_timeout: Duration) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?; // [real-net ok] TCP transport island
+        let t = Some(io_timeout).filter(|t| !t.is_zero());
+        stream.set_read_timeout(t)?; // [real-net ok] TCP transport island
+        stream.set_write_timeout(t)?; // [real-net ok] TCP transport island
+        Ok(Self { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, payload)
+    }
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ServeError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Admission queue
 // ---------------------------------------------------------------------------
 
@@ -1341,7 +1639,7 @@ struct Job {
     query: Vec<u8>,
     k: usize,
     deadline: Duration,
-    arrived: Instant,
+    arrived: Timestamp,
     /// Write half of the client connection (reads happen on the
     /// connection thread; replies are serialized through this lock).
     writer: Arc<Mutex<TcpStream>>,
@@ -1443,7 +1741,7 @@ impl FrontEnd {
         cfg: &ServeConfig,
         bind_addr: &str,
     ) -> Result<Self, ServeError> {
-        let listener = TcpListener::bind(bind_addr)?;
+        let listener = TcpListener::bind(bind_addr)?; // [real-net ok] TCP front-end island
         let addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
@@ -1461,6 +1759,7 @@ impl FrontEnd {
                 }
             }));
         }
+        let io_timeout = cfg.io_timeout;
 
         let accept_handle = {
             let running = Arc::clone(&running);
@@ -1488,6 +1787,7 @@ impl FrontEnd {
                             &service,
                             &counters,
                             default_deadline,
+                            io_timeout,
                         );
                     });
                     lock(&conn_handles).push(handle);
@@ -1531,7 +1831,7 @@ impl FrontEnd {
         self.queue.close();
         // Unblock the acceptor's blocking `accept` with a throwaway
         // connection; it re-checks `running` first thing.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.addr); // [real-net ok] TCP front-end island
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
@@ -1552,7 +1852,11 @@ impl Drop for FrontEnd {
 }
 
 /// Per-connection read loop: decode frames, answer stats/info inline,
-/// admit queries to the bounded queue.
+/// admit queries to the bounded queue. Slow-client protection: the
+/// socket carries a write timeout (a client refusing to drain replies
+/// cannot park a worker thread past `io_timeout`) and the frame reader
+/// enforces a mid-frame stall budget (slow loris).
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     running: &AtomicBool,
@@ -1560,20 +1864,28 @@ fn serve_connection(
     service: &ShardedService,
     counters: &FrontCounters,
     default_deadline: Duration,
+    io_timeout: Duration,
 ) {
+    let clock = service.clock().clone();
+    if stream
+        .set_write_timeout(Some(io_timeout).filter(|t| !t.is_zero())) // [real-net ok] TCP front-end island
+        .is_err()
+    {
+        return;
+    }
     let Ok(writer) = stream.try_clone() else {
         return;
     };
     let writer = Arc::new(Mutex::new(writer));
     let mut reader = stream;
     if reader
-        .set_read_timeout(Some(Duration::from_millis(50)))
+        .set_read_timeout(Some(Duration::from_millis(50))) // [real-net ok] TCP front-end island
         .is_err()
     {
         return;
     }
     loop {
-        let frame = match read_frame_polling(&mut reader, running) {
+        let frame = match read_frame_polling(&mut reader, running, &clock, io_timeout) {
             Ok(Some(f)) => f,
             Ok(None) => return,
             Err(_) => return,
@@ -1585,7 +1897,7 @@ fn serve_connection(
                     class: ErrorClass::Permanent,
                     msg: e.to_string(),
                 };
-                let _ = write_frame(&mut lock(&writer), &reply.encode());
+                let _ = write_frame(&mut *lock(&writer), &reply.encode());
                 continue;
             }
         };
@@ -1605,13 +1917,13 @@ fn serve_connection(
                     query,
                     k,
                     deadline,
-                    arrived: Instant::now(),
+                    arrived: clock.now(),
                     writer: Arc::clone(&writer),
                 };
                 if queue.try_push(job).is_err() {
                     counters.shed_queue.fetch_add(1, Ordering::Relaxed);
                     let reply = Reply::Overloaded(ShedReason::QueueFull);
-                    let _ = write_frame(&mut lock(&writer), &reply.encode());
+                    let _ = write_frame(&mut *lock(&writer), &reply.encode());
                 }
             }
             Request::Stats => {
@@ -1620,7 +1932,7 @@ fn serve_connection(
                     service: service.service_stats(),
                     shards: service.shard_statuses(),
                 }));
-                let _ = write_frame(&mut lock(&writer), &reply.encode());
+                let _ = write_frame(&mut *lock(&writer), &reply.encode());
             }
             Request::Info => {
                 let reply = Reply::Info(InfoReply {
@@ -1629,7 +1941,7 @@ fn serve_connection(
                     rows: service.map().total_rows(),
                     shards: service.map().shards(),
                 });
-                let _ = write_frame(&mut lock(&writer), &reply.encode());
+                let _ = write_frame(&mut *lock(&writer), &reply.encode());
             }
         }
     }
@@ -1637,7 +1949,8 @@ fn serve_connection(
 
 /// Worker body: re-check the deadline after queueing delay, then serve.
 fn serve_job(service: &ShardedService, counters: &FrontCounters, job: Job) {
-    let reply = match job.deadline.checked_sub(job.arrived.elapsed()) {
+    let queued = service.clock().elapsed(job.arrived);
+    let reply = match job.deadline.checked_sub(queued) {
         None => {
             counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
             Reply::Overloaded(ShedReason::DeadlineExpired)
@@ -1660,35 +1973,60 @@ fn serve_job(service: &ShardedService, counters: &FrontCounters, job: Job) {
             }
         },
     };
-    let _ = write_frame(&mut lock(&job.writer), &reply.encode());
+    let _ = write_frame(&mut *lock(&job.writer), &reply.encode());
 }
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
+/// Default socket I/O budget for [`ServeClient::connect`]: a server
+/// that stalls longer than this yields a [`ErrorClass::Transient`]
+/// [`ServeError::Io`] instead of hanging the client forever.
+pub const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Blocking client for the [`FrontEnd`] wire protocol (one outstanding
-/// request per connection).
+/// request per connection), generic over the [`Transport`] carrying its
+/// frames.
 #[derive(Debug)]
-pub struct ServeClient {
-    stream: TcpStream,
+pub struct ServeClient<T: Transport = TcpTransport> {
+    transport: T,
 }
 
-impl ServeClient {
-    /// Connects to a front-end.
+impl ServeClient<TcpTransport> {
+    /// Connects to a front-end over TCP with [`CLIENT_IO_TIMEOUT`]
+    /// applied to both socket directions.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the connection fails.
     pub fn connect(addr: SocketAddr) -> Result<Self, ServeError> {
-        Ok(Self {
-            stream: TcpStream::connect(addr)?,
-        })
+        Self::connect_with_timeout(addr, CLIENT_IO_TIMEOUT)
+    }
+
+    /// Connects with an explicit socket I/O budget (zero = no timeout).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        io_timeout: Duration,
+    ) -> Result<Self, ServeError> {
+        Ok(Self::over(TcpTransport::connect(addr, io_timeout)?))
+    }
+}
+
+impl<T: Transport> ServeClient<T> {
+    /// Wraps an already-established transport (the simulation's
+    /// in-memory duplex, or a custom carrier).
+    pub fn over(transport: T) -> Self {
+        Self { transport }
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Reply, ServeError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        match read_frame(&mut self.stream)? {
+        self.transport.send(&request.encode())?;
+        match self.transport.recv()? {
             Some(frame) => Reply::decode(&frame),
             None => Err(ServeError::Protocol("server closed connection".into())),
         }
@@ -1916,6 +2254,7 @@ fn run_client(
     deadline: Duration,
 ) -> Result<ClientTally, ServeError> {
     let mut rng = StdRng::seed_from_u64(seed);
+    let clock = Clock::wall();
     let mut client = ServeClient::connect(addr)?;
     let stages = corpus.first().map_or(0, Vec::len);
     let levels = encoding.levels();
@@ -1937,10 +2276,12 @@ fn run_client(
             let at = rng.gen_range(0..stages);
             query[at] = rng.gen_range(0..levels);
         }
-        let sent = Instant::now();
+        let sent = clock.now();
         match client.query(&query, k, deadline) {
             Ok(topk) => {
-                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                tally
+                    .latencies_us
+                    .push(clock.elapsed(sent).as_micros() as u64);
                 tally.answered += 1;
                 if topk.partial {
                     tally.partial += 1;
@@ -1984,7 +2325,8 @@ fn run_phase(
     requests_per_client: usize,
     deadline: Duration,
 ) -> PhaseReport {
-    let started = Instant::now();
+    let clock = Clock::wall();
+    let started = clock.now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -2007,7 +2349,7 @@ fn run_phase(
             .filter_map(|h| h.join().ok().and_then(Result::ok))
             .collect()
     });
-    let elapsed = started.elapsed();
+    let elapsed = clock.elapsed(started);
     let requests = clients * requests_per_client;
     let mut latencies: Vec<u64> = Vec::new();
     let mut report = PhaseReport {
@@ -2315,7 +2657,7 @@ mod tests {
             query: vec![0],
             k,
             deadline: Duration::from_millis(1),
-            arrived: Instant::now(),
+            arrived: Clock::wall().now(),
             writer: Arc::clone(&writer),
         };
         assert!(queue.try_push(job(1)).is_ok());

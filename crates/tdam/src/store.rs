@@ -39,11 +39,14 @@
 //! a restored array decodes **bit-identically** to the one that was
 //! checkpointed.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::clock::Timestamp;
 
 use crate::array::TdamArray;
 use crate::cell::Cell;
@@ -65,8 +68,10 @@ use tdam_fefet::retention::{EnduranceParams, Lifetime, RetentionParams};
 /// On-disk format version. Bumped on any layout change; recovery
 /// refuses newer versions instead of guessing at their layout.
 /// Version 3 added the wear-leveling policy to [`ResilienceConfig`] and
-/// the online-mutation counters to [`RuntimeStats`].
-pub const FORMAT_VERSION: u32 = 3;
+/// the online-mutation counters to [`RuntimeStats`]. Version 4 added the
+/// retention-scrub counters (`scrub_ticks`/`scrub_probes`/`scrub_heals`)
+/// to [`RuntimeStats`].
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Checkpoint file magic (first 8 bytes).
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TDAMCKPT";
@@ -709,6 +714,9 @@ impl Codec for RuntimeStats {
         w.put_usize(self.incremental_repacks);
         w.put_usize(self.rows_repacked);
         w.put_usize(self.epoch_swaps);
+        w.put_usize(self.scrub_ticks);
+        w.put_usize(self.scrub_probes);
+        w.put_usize(self.scrub_heals);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         Ok(Self {
@@ -733,6 +741,9 @@ impl Codec for RuntimeStats {
             incremental_repacks: r.get_usize()?,
             rows_repacked: r.get_usize()?,
             epoch_swaps: r.get_usize()?,
+            scrub_ticks: r.get_usize()?,
+            scrub_probes: r.get_usize()?,
+            scrub_heals: r.get_usize()?,
         })
     }
 }
@@ -1179,17 +1190,330 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
     {
-        let mut f = fs::File::create(&tmp)?;
+        let mut f = fs::File::create(&tmp)?; // [real-disk ok] OS storage island
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)?;
+    fs::rename(&tmp, path)?; // [real-disk ok] OS storage island
     if let Some(parent) = path.parent() {
+        // [real-disk ok] OS storage island
         if let Ok(dir) = fs::File::open(parent) {
             let _ = dir.sync_all();
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Storage abstraction (real disk / deterministic in-memory disk)
+// ---------------------------------------------------------------------------
+
+/// The durable-storage surface the checkpoint/WAL layer writes through.
+///
+/// Production uses [`OsStorage`] (the real filesystem, unchanged
+/// behaviour); deterministic simulation uses [`MemStorage`], an
+/// in-memory disk that models *durability* separately from *content* —
+/// so torn appends, lying fsyncs, `ENOSPC`, and crash-restarts can be
+/// injected from a seeded schedule and replayed bit-identically.
+///
+/// The contract mirrors the handful of POSIX behaviours recovery
+/// depends on: `write_atomic` is all-or-nothing (tmp + fsync + rename),
+/// `append` extends a file's *visible* content, and `sync` is the only
+/// operation that promises appended bytes survive a crash.
+pub trait Storage: std::fmt::Debug + Send + Sync {
+    /// Creates `dir` (and parents) if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a file's current visible content.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist; other I/O errors.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically replaces `path` with `bytes` (old file or new file
+    /// after a crash — never a torn hybrid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to an existing file. Durability is deferred
+    /// until [`Storage::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Makes a file's appended content durable (fsync).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Renames a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file (idempotent: missing files are not an error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) directly inside `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem. All methods delegate to `std::fs`; this is the
+/// only disk implementation production code paths ever construct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsStorage;
+
+impl Storage for OsStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir) // [real-disk ok] OS storage island
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path) // [real-disk ok] OS storage island
+    }
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        atomic_write(path, bytes)
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new().append(true).open(path)?; // [real-disk ok] OS storage island
+        f.write_all(bytes)
+    }
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        // fsync is per-inode: a fresh descriptor syncs bytes appended
+        // through any earlier descriptor.
+        OpenOptions::new().append(true).open(path)?.sync_data() // [real-disk ok] OS storage island
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to) // [real-disk ok] OS storage island
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        // [real-disk ok] OS storage island
+        match fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        // [real-disk ok] OS storage island
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// A one-shot disk fault consumed by the next matching [`MemStorage`]
+/// operation. Injected by the simulation's fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The next `append` writes only a prefix: `keep_num / 256` of the
+    /// record's bytes reach the file (the OS crashed mid-write). The
+    /// call still reports success — exactly the lie a torn write tells.
+    TornAppend {
+        /// Numerator of the kept fraction (denominator 256).
+        keep_num: u8,
+    },
+    /// The next `sync` or `write_atomic` reports success without making
+    /// anything durable (a lying fsync / unfsynced rename): content is
+    /// visible now but reverts on [`MemStorage::crash`].
+    FsyncLie,
+    /// The next `append` or `write_atomic` fails with `ENOSPC`-style
+    /// [`io::ErrorKind::StorageFull`] and changes nothing.
+    Full,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    /// Content visible to reads right now.
+    live: Vec<u8>,
+    /// Content that survives a crash (what has actually been fsynced).
+    durable: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct MemDisk {
+    files: HashMap<PathBuf, MemFile>,
+    dirs: BTreeSet<PathBuf>,
+    faults: VecDeque<DiskFault>,
+    /// Total faults actually consumed (for campaign reporting).
+    faults_fired: usize,
+}
+
+/// A deterministic in-memory disk with seeded fault injection.
+///
+/// Content and durability are tracked separately: `append` updates only
+/// the *live* view, `sync`/`write_atomic` promote it to *durable*, and
+/// [`MemStorage::crash`] discards everything volatile — modelling a
+/// machine losing power. Faults queued with [`MemStorage::inject`] are
+/// consumed one-shot by the next matching operation, so a fault
+/// schedule drawn from a seed perturbs exactly the same operation on
+/// every replay.
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemDisk>>,
+}
+
+impl MemStorage {
+    /// A fresh, empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a one-shot fault for the next matching operation.
+    pub fn inject(&self, fault: DiskFault) {
+        self.lock().faults.push_back(fault);
+    }
+
+    /// Simulates a power loss: every file reverts to its last durable
+    /// content; files never made durable vanish. Queued faults are
+    /// dropped (the machine rebooted).
+    pub fn crash(&self) {
+        let mut d = self.lock();
+        d.files.retain(|_, f| f.durable.is_some());
+        for f in d.files.values_mut() {
+            f.live = f.durable.clone().unwrap_or_default();
+        }
+        d.faults.clear();
+    }
+
+    /// Faults consumed so far.
+    pub fn faults_fired(&self) -> usize {
+        self.lock().faults_fired
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemDisk> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pops the front fault if `matches` accepts it.
+    fn take_fault(d: &mut MemDisk, matches: impl Fn(DiskFault) -> bool) -> Option<DiskFault> {
+        if d.faults.front().copied().is_some_and(matches) {
+            d.faults_fired += 1;
+            d.faults.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+impl Storage for MemStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.lock().dirs.insert(dir.to_path_buf());
+        Ok(())
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.lock()
+            .files
+            .get(path)
+            .map(|f| f.live.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such simulated file"))
+    }
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut d = self.lock();
+        if Self::take_fault(&mut d, |f| f == DiskFault::Full).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "simulated disk full",
+            ));
+        }
+        let lie = Self::take_fault(&mut d, |f| f == DiskFault::FsyncLie).is_some();
+        let prior_durable = d.files.get(path).and_then(|f| f.durable.clone());
+        d.files.insert(
+            path.to_path_buf(),
+            MemFile {
+                live: bytes.to_vec(),
+                // A lying fsync leaves the rename volatile: after a
+                // crash the *old* durable content (if any) returns.
+                durable: if lie {
+                    prior_durable
+                } else {
+                    Some(bytes.to_vec())
+                },
+            },
+        );
+        Ok(())
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut d = self.lock();
+        if Self::take_fault(&mut d, |f| f == DiskFault::Full).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "simulated disk full",
+            ));
+        }
+        let torn = Self::take_fault(&mut d, |f| matches!(f, DiskFault::TornAppend { .. }));
+        let file = d
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such simulated file"))?;
+        match torn {
+            Some(DiskFault::TornAppend { keep_num }) => {
+                let keep = bytes.len() * usize::from(keep_num) / 256;
+                file.live.extend_from_slice(&bytes[..keep]);
+            }
+            _ => file.live.extend_from_slice(bytes),
+        }
+        Ok(())
+    }
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut d = self.lock();
+        let lie = Self::take_fault(&mut d, |f| f == DiskFault::FsyncLie).is_some();
+        let file = d
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such simulated file"))?;
+        if !lie {
+            file.durable = Some(file.live.clone());
+        }
+        Ok(())
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut d = self.lock();
+        let file = d
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such simulated file"))?;
+        d.files.insert(to.to_path_buf(), file);
+        Ok(())
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.lock().files.remove(path);
+        Ok(())
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let d = self.lock();
+        Ok(d.files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+            .map(str::to_string)
+            .collect())
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().files.contains_key(path)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1223,23 +1547,43 @@ pub struct RecoveryReport {
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    storage: Arc<dyn Storage>,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a checkpoint directory.
+    /// Opens (creating if needed) a checkpoint directory on the real
+    /// filesystem.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(dir, Arc::new(OsStorage))
+    }
+
+    /// Opens a checkpoint directory on an explicit [`Storage`] backend
+    /// (the deterministic simulation passes a [`MemStorage`] here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the backend.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        storage.create_dir_all(&dir)?;
+        Ok(Self { dir, storage })
     }
 
     /// The directory backing this store.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The storage backend this store writes through.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
     }
 
     /// The checkpoint file path for a generation.
@@ -1260,9 +1604,7 @@ impl CheckpointStore {
     /// Propagates filesystem errors.
     pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
         let mut gens = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for name in self.storage.list(&self.dir)? {
             if let Some(num) = name
                 .strip_prefix("ckpt-")
                 .and_then(|s| s.strip_suffix(".tdam"))
@@ -1287,8 +1629,10 @@ impl CheckpointStore {
     /// Propagates filesystem errors.
     pub fn commit(&self, state: &DeploymentState) -> Result<u64, StoreError> {
         let generation = self.generations()?.last().copied().unwrap_or(0) + 1;
-        atomic_write(&self.checkpoint_path(generation), &encode_checkpoint(state))?;
-        atomic_write(&self.journal_path(generation), &journal_header())?;
+        self.storage
+            .write_atomic(&self.checkpoint_path(generation), &encode_checkpoint(state))?;
+        self.storage
+            .write_atomic(&self.journal_path(generation), &journal_header())?;
         Ok(generation)
     }
 
@@ -1303,8 +1647,8 @@ impl CheckpointStore {
         let mut pruned = Vec::new();
         if gens.len() > keep {
             for &g in &gens[..gens.len() - keep] {
-                let _ = fs::remove_file(self.checkpoint_path(g));
-                let _ = fs::remove_file(self.journal_path(g));
+                let _ = self.storage.remove(&self.checkpoint_path(g));
+                let _ = self.storage.remove(&self.journal_path(g));
                 pruned.push(g);
             }
         }
@@ -1316,7 +1660,7 @@ impl CheckpointStore {
             return Ok(());
         };
         let dest = path.with_file_name(format!("{name}.quarantined"));
-        fs::rename(path, &dest)?;
+        self.storage.rename(path, &dest)?;
         quarantined.push(dest);
         Ok(())
     }
@@ -1341,7 +1685,9 @@ impl CheckpointStore {
         let mut quarantined = Vec::new();
         for &generation in gens.iter().rev() {
             let ckpt = self.checkpoint_path(generation);
-            let state = match fs::read(&ckpt)
+            let state = match self
+                .storage
+                .read(&ckpt)
                 .map_err(StoreError::from)
                 .and_then(|bytes| decode_checkpoint(&bytes))
             {
@@ -1350,18 +1696,18 @@ impl CheckpointStore {
                     // Damaged (or vanished) checkpoint: quarantine it and
                     // its journal — ops without their base state are
                     // meaningless — then fall back a generation.
-                    if ckpt.exists() {
+                    if self.storage.exists(&ckpt) {
                         self.quarantine(&ckpt, &mut quarantined)?;
                     }
                     let wal = self.journal_path(generation);
-                    if wal.exists() {
+                    if self.storage.exists(&wal) {
                         self.quarantine(&wal, &mut quarantined)?;
                     }
                     continue;
                 }
             };
             let wal = self.journal_path(generation);
-            let (ops, torn) = match fs::read(&wal) {
+            let (ops, torn) = match self.storage.read(&wal) {
                 Ok(bytes) => match read_journal(&bytes) {
                     Ok(parsed) => parsed,
                     Err(_) => {
@@ -1526,6 +1872,8 @@ impl ResilientEngine {
             batches_since_check: cfg.health_interval.saturating_sub(1),
             chaos: None,
             stats: state.runtime.stats,
+            clock: crate::clock::Clock::default(),
+            last_scrub: None,
         })
     }
 
@@ -1581,14 +1929,13 @@ impl Default for GroupCommitPolicy {
 pub struct DurableEngine {
     engine: ResilientEngine,
     store: CheckpointStore,
-    wal: fs::File,
     generation: u64,
     wal_ops: usize,
     group: GroupCommitPolicy,
     /// Encoded journal records awaiting their group flush.
     pending: Vec<u8>,
     pending_ops: usize,
-    pending_since: Option<Instant>,
+    pending_since: Option<Timestamp>,
 }
 
 impl DurableEngine {
@@ -1600,13 +1947,9 @@ impl DurableEngine {
     /// Propagates commit failures.
     pub fn new(store: CheckpointStore, engine: ResilientEngine) -> Result<Self, StoreError> {
         let generation = store.commit(&engine.checkpoint())?;
-        let wal = OpenOptions::new()
-            .append(true)
-            .open(store.journal_path(generation))?;
         Ok(Self {
             engine,
             store,
-            wal,
             generation,
             wal_ops: 0,
             group: GroupCommitPolicy::default(),
@@ -1635,9 +1978,27 @@ impl DurableEngine {
         dir: impl Into<PathBuf>,
         cfg: RuntimeConfig,
     ) -> Result<(Self, RecoveryReport), StoreError> {
-        let store = CheckpointStore::open(dir)?;
+        Self::recover_with(
+            CheckpointStore::open(dir)?,
+            cfg,
+            crate::clock::Clock::default(),
+        )
+    }
+
+    /// [`DurableEngine::recover`] against an already-open store (any
+    /// [`Storage`] backend) with the restored engine placed on `clock`.
+    /// This is the simulation's crash-restart entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableEngine::recover`].
+    pub fn recover_with(
+        store: CheckpointStore,
+        cfg: RuntimeConfig,
+        clock: crate::clock::Clock,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         let (state, ops, mut report) = store.recover()?;
-        let mut engine = ResilientEngine::restore(&state, cfg)?;
+        let mut engine = ResilientEngine::restore(&state, cfg)?.with_clock(clock);
         let mut journal_bytes = journal_header();
         for op in &ops {
             match op.apply(&mut engine) {
@@ -1649,15 +2010,13 @@ impl DurableEngine {
             }
         }
         let wal_path = store.journal_path(report.generation);
-        atomic_write(&wal_path, &journal_bytes)?;
-        let wal = OpenOptions::new().append(true).open(&wal_path)?;
+        store.storage.write_atomic(&wal_path, &journal_bytes)?;
         let generation = report.generation;
         let wal_ops = report.ops_replayed;
         Ok((
             Self {
                 engine,
                 store,
-                wal,
                 generation,
                 wal_ops,
                 group: GroupCommitPolicy::default(),
@@ -1690,12 +2049,19 @@ impl DurableEngine {
         &self.store
     }
 
+    /// Appends and fsyncs `bytes` on the current generation's journal.
+    fn append_sync(&self, bytes: &[u8]) -> Result<(), StoreError> {
+        let path = self.store.journal_path(self.generation);
+        self.store.storage.append(&path, bytes)?;
+        self.store.storage.sync(&path)?;
+        Ok(())
+    }
+
     fn journal(&mut self, op: &JournalOp) -> Result<(), StoreError> {
         // Synchronous records must land *after* any buffered group:
         // the journal replays in apply order.
         self.flush_writes()?;
-        self.wal.write_all(&encode_record(op))?;
-        self.wal.sync_data()?;
+        self.append_sync(&encode_record(op))?;
         self.wal_ops += 1;
         Ok(())
     }
@@ -1736,7 +2102,8 @@ impl DurableEngine {
         };
         self.pending.extend_from_slice(&encode_record(&op));
         self.pending_ops += 1;
-        self.pending_since.get_or_insert_with(Instant::now);
+        let now = self.engine.clock().now();
+        self.pending_since.get_or_insert(now);
         let applied = op.apply(&mut self.engine).map_err(StoreError::from);
         self.maybe_flush()?;
         applied
@@ -1763,8 +2130,7 @@ impl DurableEngine {
         for op in &ops {
             bytes.extend_from_slice(&encode_record(op));
         }
-        self.wal.write_all(&bytes)?;
-        self.wal.sync_data()?;
+        self.append_sync(&bytes)?;
         self.wal_ops += ops.len();
         let mut first_err = None;
         for op in &ops {
@@ -1784,7 +2150,7 @@ impl DurableEngine {
         let due = self.pending_ops >= self.group.max_ops.max(1)
             || self
                 .pending_since
-                .is_some_and(|t| t.elapsed() >= self.group.flush_deadline);
+                .is_some_and(|t| self.engine.clock().elapsed(t) >= self.group.flush_deadline);
         if due {
             self.flush_writes()?;
         }
@@ -1801,8 +2167,9 @@ impl DurableEngine {
         if self.pending.is_empty() {
             return Ok(0);
         }
-        self.wal.write_all(&self.pending)?;
-        self.wal.sync_data()?;
+        let path = self.store.journal_path(self.generation);
+        self.store.storage.append(&path, &self.pending)?;
+        self.store.storage.sync(&path)?;
         self.wal_ops += self.pending_ops;
         let flushed = self.pending_ops;
         self.pending.clear();
@@ -1880,7 +2247,7 @@ impl DurableEngine {
         // buffer indefinitely.
         if self
             .pending_since
-            .is_some_and(|t| t.elapsed() >= self.group.flush_deadline)
+            .is_some_and(|t| self.engine.clock().elapsed(t) >= self.group.flush_deadline)
         {
             self.flush_writes()?;
         }
@@ -1902,9 +2269,6 @@ impl DurableEngine {
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
         self.flush_writes()?;
         let generation = self.store.commit(&self.engine.checkpoint())?;
-        self.wal = OpenOptions::new()
-            .append(true)
-            .open(self.store.journal_path(generation))?;
         self.generation = generation;
         self.wal_ops = 0;
         self.store.prune(KEEP_GENERATIONS)?;
@@ -2059,11 +2423,11 @@ fn run_scenario_recovery(
     cfg: RuntimeConfig,
 ) -> Result<(DeploymentState, RecoveryReport), StoreError> {
     if dir.exists() {
-        fs::remove_dir_all(dir)?;
+        fs::remove_dir_all(dir)?; // [real-disk ok] crash campaign scratch
     }
-    fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir)?; // [real-disk ok] crash campaign scratch
     for (name, bytes) in files {
-        fs::write(dir.join(name), bytes)?;
+        fs::write(dir.join(name), bytes)?; // [real-disk ok] crash campaign scratch
     }
     let (engine, report) = DurableEngine::recover(dir, cfg)?;
     Ok((engine.engine().checkpoint(), report))
@@ -2386,7 +2750,7 @@ pub fn run_crash_chaos(
     }
 
     if dir.exists() {
-        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir); // [real-disk ok] crash campaign scratch
     }
     Ok(report)
 }
@@ -2567,6 +2931,9 @@ mod tests {
             incremental_repacks: 19,
             rows_repacked: 20,
             epoch_swaps: 21,
+            scrub_ticks: 22,
+            scrub_probes: 23,
+            scrub_heals: 24,
         });
     }
 

@@ -1,0 +1,185 @@
+//! Wire-protocol robustness fuzz: every decoder on the serve path and
+//! the checkpoint codec must reject arbitrary or mutated bytes with an
+//! `Err` — never a panic, and never an allocation past the frame cap.
+//!
+//! These are the exact surfaces the deterministic simulation's network
+//! faults exercise (truncation, bit-flips); the fuzz sweeps the same
+//! decoders far wider than any one schedule can.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tdam::serve::{read_frame, write_frame, Reply, Request, ShedReason, TopK, MAX_FRAME};
+use tdam::store::decode_checkpoint;
+use tdam::ErrorClass;
+
+/// Builds one of the well-formed request variants from fuzz
+/// ingredients (the vendored proptest subset has no `prop_oneof`, so
+/// variant selection happens here).
+fn build_request(kind: u8, query: Vec<u8>, k: usize, deadline_us: u64) -> Request {
+    match kind % 3 {
+        0 => Request::Query {
+            query,
+            k,
+            deadline_us,
+        },
+        1 => Request::Stats,
+        _ => Request::Info,
+    }
+}
+
+/// Builds one of the well-formed reply variants from fuzz ingredients.
+fn build_reply(kind: u8, neighbors: Vec<(usize, usize)>, flags: u8, msg: String) -> Reply {
+    match kind % 4 {
+        0 => Reply::TopK(TopK {
+            neighbors,
+            partial: flags & 1 != 0,
+            degraded: flags & 2 != 0,
+            shards_answered: (flags as usize >> 2) & 7,
+            shards_total: ((flags as usize >> 5) & 7).max(1),
+        }),
+        1 => Reply::Overloaded(if flags & 1 != 0 {
+            ShedReason::QueueFull
+        } else {
+            ShedReason::DeadlineExpired
+        }),
+        2 => Reply::Error {
+            class: match flags % 3 {
+                0 => ErrorClass::Transient,
+                1 => ErrorClass::Degraded,
+                _ => ErrorClass::Permanent,
+            },
+            msg,
+        },
+        _ => Reply::TopK(TopK {
+            neighbors: Vec::new(),
+            partial: false,
+            degraded: false,
+            shards_answered: 0,
+            shards_total: 1,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes through the request decoder: `Err` or a valid
+    /// request, never a panic.
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Arbitrary bytes through the reply decoder.
+    #[test]
+    fn reply_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Reply::decode(&bytes);
+    }
+
+    /// Arbitrary bytes through the checkpoint codec.
+    #[test]
+    fn checkpoint_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_checkpoint(&bytes);
+    }
+
+    /// Arbitrary bytes through the frame reader: clean EOF, a frame, or
+    /// an error — never a panic.
+    #[test]
+    fn read_frame_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame(&mut Cursor::new(bytes.as_slice()));
+    }
+
+    /// A header declaring any over-limit length must be refused up
+    /// front — regardless of how much payload follows — so a hostile
+    /// header can never force an over-allocation past [`MAX_FRAME`].
+    #[test]
+    fn oversize_frame_header_is_refused(
+        len in (MAX_FRAME as u32 + 1)..=u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        let got = read_frame(&mut Cursor::new(bytes.as_slice()));
+        prop_assert!(got.is_err(), "length {} must be refused, got {:?}", len, got);
+    }
+
+    /// Well-formed requests survive a frame+codec round trip.
+    #[test]
+    fn request_roundtrip(
+        kind in 0u8..3,
+        query in prop::collection::vec(0u8..4, 0..64),
+        k in 0usize..32,
+        deadline_us in 0u64..5_000_000,
+    ) {
+        let req = build_request(kind, query, k, deadline_us);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &req.encode()).expect("Vec sink");
+        let payload = read_frame(&mut Cursor::new(frame.as_slice()))
+            .expect("frame reads")
+            .expect("frame present");
+        prop_assert_eq!(Request::decode(&payload).expect("decodes"), req);
+    }
+
+    /// Well-formed replies survive a frame+codec round trip.
+    #[test]
+    fn reply_roundtrip(
+        kind in 0u8..4,
+        dists in prop::collection::vec(0usize..1024, 0..16),
+        rows in prop::collection::vec(0usize..4096, 0..16),
+        flags in any::<u8>(),
+        msg in "[ -~]{0,64}",
+    ) {
+        let neighbors: Vec<(usize, usize)> = dists.into_iter().zip(rows).collect();
+        let reply = build_reply(kind, neighbors, flags, msg);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &reply.encode()).expect("Vec sink");
+        let payload = read_frame(&mut Cursor::new(frame.as_slice()))
+            .expect("frame reads")
+            .expect("frame present");
+        prop_assert_eq!(Reply::decode(&payload).expect("decodes"), reply);
+    }
+
+    /// Mutated valid requests: truncate anywhere and flip any byte; the
+    /// decoder must stay panic-free on the near-valid neighborhood,
+    /// which is where naive length-prefixed decoders break.
+    #[test]
+    fn mutated_request_never_panics(
+        kind in 0u8..3,
+        query in prop::collection::vec(0u8..4, 0..64),
+        k in 0usize..32,
+        cut in 0usize..128,
+        pos in 0usize..128,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = build_request(kind, query, k, 1000).encode();
+        let limit = cut.min(bytes.len());
+        bytes.truncate(limit);
+        if !bytes.is_empty() {
+            let p = pos % bytes.len();
+            bytes[p] ^= flip;
+        }
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Mutated valid replies, same contract.
+    #[test]
+    fn mutated_reply_never_panics(
+        kind in 0u8..4,
+        dists in prop::collection::vec(0usize..1024, 0..16),
+        rows in prop::collection::vec(0usize..4096, 0..16),
+        flags in any::<u8>(),
+        cut in 0usize..256,
+        pos in 0usize..256,
+        flip in 1u8..=255,
+    ) {
+        let neighbors: Vec<(usize, usize)> = dists.into_iter().zip(rows).collect();
+        let mut bytes = build_reply(kind, neighbors, flags, "x".into()).encode();
+        let limit = cut.min(bytes.len());
+        bytes.truncate(limit);
+        if !bytes.is_empty() {
+            let p = pos % bytes.len();
+            bytes[p] ^= flip;
+        }
+        let _ = Reply::decode(&bytes);
+    }
+}
