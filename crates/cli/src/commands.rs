@@ -40,6 +40,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "serve" => serve(args),
         "serve-load" => serve_load(args),
         "simulate" => simulate(args),
+        "corpus-search" => corpus_search(args),
         "--help" | "-h" | "help" => Ok(crate::USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other}"))),
     }
@@ -856,7 +857,7 @@ fn serve_load(args: &Args) -> Result<String, CliError> {
 
 /// Renders one world's report as the CLI's stable text form.
 fn sim_report_lines(report: &tdam::sim::SimReport) -> String {
-    format!(
+    let mut out = format!(
         "requests {}: {} complete, {} partial, {} degraded, {} shed, \
          {} transport errors, {} protocol errors, {} server errors\n\
          events: {} mutations, {} shard crashes, {} failovers, {} durable crashes, \
@@ -882,7 +883,14 @@ fn sim_report_lines(report: &tdam::sim::SimReport) -> String {
         report.reorders,
         report.judged,
         report.scrub_heals,
-    )
+    );
+    if report.corpus_judged > 0 || report.corpus_mutations > 0 {
+        out.push_str(&format!(
+            "corpus tier: judged {} restricted re-ranks, {} mutations\n",
+            report.corpus_judged, report.corpus_mutations,
+        ));
+    }
+    out
 }
 
 /// Renders a failure artifact: everything needed to reproduce and debug
@@ -923,6 +931,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         )));
     }
     cfg.sabotage = args.switch("sabotage");
+    cfg.corpus_rows = args.usize_or("corpus-rows", cfg.corpus_rows)?;
 
     if scenarios > 1 {
         // Campaign mode: `seed` is the base seed each world derives
@@ -957,6 +966,12 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             report.scrub_heals,
             report.judged,
         );
+        if report.corpus_judged > 0 || report.corpus_mutations > 0 {
+            out.push_str(&format!(
+                "corpus tier: judged {} restricted re-ranks, {} mutations\n",
+                report.corpus_judged, report.corpus_mutations,
+            ));
+        }
         if report.failing_seeds.is_empty() {
             out.push_str("verdict: PASS (zero silent wrong answers)\n");
             return Ok(out);
@@ -1000,6 +1015,110 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             Err(CliError::permanent(out))
         }
     }
+}
+
+/// Two-tier corpus search demo: seeded clustered corpus, coarse
+/// centroid pre-filter, exact packed re-rank from LRU-cached shard
+/// snapshots — reporting recall@k against full brute force plus the
+/// snapshot-cache counters.
+fn corpus_search(args: &Args) -> Result<String, CliError> {
+    use tdam::corpus::{CorpusBuilder, CorpusConfig};
+    use tdam::serve::brute_force_topk;
+
+    let rows = args.usize_or("rows", 4096)?;
+    let stages = args.usize_or("stages", 32)?;
+    let protos = args.usize_or("protos", 32)?.max(1);
+    let shard_rows = args.usize_or("shard-rows", 256)?;
+    let nprobe = args.usize_or("nprobe", 8)?;
+    let queries = args.usize_or("queries", 32)?;
+    let k = args.usize_or("k", 10)?;
+    let seed = args.usize_or("seed", 7)? as u64;
+    let cache_kb = args.usize_or("cache-kb", 4096)?;
+    if rows == 0 || stages == 0 || queries == 0 || k == 0 {
+        return Err(CliError::Usage(
+            "--rows, --stages, --queries, and --k must all be positive".to_owned(),
+        ));
+    }
+
+    let array = base_config(args)?.with_stages(stages);
+    let levels = array.encoding.levels();
+
+    // Clustered synthetic corpus: prototypes plus per-element noise, so
+    // the coarse quantizer has structure to recover (recall over a
+    // uniform corpus would just measure nprobe / shards).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proto_rows: Vec<Vec<u8>> = (0..protos)
+        .map(|_| (0..stages).map(|_| rng.gen_range(0..levels)).collect())
+        .collect();
+    let corpus: Vec<Vec<u8>> = (0..rows)
+        .map(|_| {
+            let p = &proto_rows[rng.gen_range(0..protos)];
+            p.iter()
+                .map(|&v| {
+                    if rng.gen_range(0..100u32) < 15 {
+                        rng.gen_range(0..levels)
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let ccfg = CorpusConfig {
+        array,
+        shard_rows,
+        nprobe,
+        cache_budget_bytes: cache_kb << 10,
+        seed,
+        ..CorpusConfig::paper_default()
+    };
+    let mut builder = CorpusBuilder::new(ccfg)?;
+    builder.append_rows(&corpus)?;
+    let mut engine = builder.build()?;
+
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut probed_total = 0usize;
+    for _ in 0..queries {
+        let row = rng.gen_range(0..rows);
+        let mut q = corpus[row].clone();
+        for _ in 0..2 {
+            let j = rng.gen_range(0..stages);
+            q[j] = rng.gen_range(0..levels);
+        }
+        let (got, probed) = engine.search_topk_probed(&q, k)?;
+        let expected = brute_force_topk(&corpus, array.encoding, &q, k)?;
+        let want: std::collections::HashSet<usize> = expected.iter().map(|&(_, id)| id).collect();
+        hits += got.iter().filter(|&&(_, id)| want.contains(&id)).count();
+        total += expected.len();
+        probed_total += probed.len();
+    }
+
+    let status = engine.status();
+    Ok(format!(
+        "two-tier corpus search: {} rows x {} stages over {} shards of {}, nprobe {}\n\
+         recall@{}: {:.3} over {} queries ({}/{}); avg probed shards {:.1}\n\
+         snapshot cache: {} resident ({} KiB of {} KiB budget), \
+         {} hits, {} misses, {} evictions\n",
+        status.rows,
+        stages,
+        status.clusters,
+        shard_rows,
+        status.nprobe,
+        k,
+        hits as f64 / total.max(1) as f64,
+        queries,
+        hits,
+        total,
+        probed_total as f64 / queries as f64,
+        status.resident,
+        status.resident_bytes >> 10,
+        status.budget_bytes >> 10,
+        status.stats.corpus_cache_hits,
+        status.stats.corpus_cache_misses,
+        status.stats.corpus_cache_evictions,
+    ))
 }
 
 fn area(args: &Args) -> Result<String, CliError> {
@@ -1064,6 +1183,38 @@ mod tests {
         assert!(msg.contains("replay bit-identical: true"), "{msg}");
         assert!(msg.contains("tdam-sim simulate --seed 7"), "{msg}");
         assert!(msg.contains("minimized schedule"), "{msg}");
+    }
+
+    #[test]
+    fn simulate_with_corpus_rows_reports_corpus_tier() {
+        let out = run(&["simulate", "--seed", "42", "--corpus-rows", "48"]).unwrap();
+        assert!(out.contains("verdict: PASS"), "{out}");
+        assert!(out.contains("corpus tier: judged"), "{out}");
+    }
+
+    #[test]
+    fn corpus_search_reports_recall_and_cache() {
+        let out = run(&[
+            "corpus-search",
+            "--rows",
+            "512",
+            "--stages",
+            "16",
+            "--protos",
+            "8",
+            "--shard-rows",
+            "64",
+            "--nprobe",
+            "4",
+            "--queries",
+            "8",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("two-tier corpus search"), "{out}");
+        assert!(out.contains("recall@10"), "{out}");
+        assert!(out.contains("snapshot cache"), "{out}");
     }
 
     #[test]

@@ -120,7 +120,9 @@ USAGE:
   tdam-sim serve-load --addr HOST:PORT [--clients C] [--requests Q] [--k K]
                    [--deadline-ms D] [--seed X]
   tdam-sim simulate [--seed X] [--scenarios N] [--steps S] [--fault-density P]
-                   [--paper] [--sabotage]
+                   [--corpus-rows R] [--paper] [--sabotage]
+  tdam-sim corpus-search [--rows R] [--stages N] [--protos P] [--shard-rows S]
+                   [--nprobe Q] [--queries M] [--k K] [--cache-kb B] [--seed X]
 
 SUBCOMMANDS:
   search    store vectors and run one associative search
@@ -166,7 +168,15 @@ SUBCOMMANDS:
                replays bit-identically and is shrunk to a minimal
                schedule before it is reported. --scenarios N runs a
                campaign of N worlds derived from the base seed;
-               --sabotage self-tests the judge by corrupting an answer
+               --sabotage self-tests the judge by corrupting an answer;
+               --corpus-rows R adds a two-tier corpus side-track whose
+               pre-filtered answers are judged against brute force
+               restricted to the probed shards
+  corpus-search  two-tier search demo over a seeded clustered corpus:
+               coarse centroid pre-filter picks nprobe shards, the
+               packed re-rank tier answers exactly from LRU-cached
+               snapshots; reports recall@k vs full brute force and the
+               snapshot-cache hit/miss/evict counters
 
 Vectors are comma-separated elements; multiple vectors are separated
 by ';'. Elements must fit the encoding (--bits, default 2 → 0..=3).

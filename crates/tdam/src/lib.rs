@@ -63,6 +63,10 @@
 //!   failover, and a seeded TCP chaos campaign
 //! - [`clock`] — the wall/virtual time abstraction every deadline,
 //!   backoff wait, flush window, and scrub tick reads
+//! - [`corpus`] — million-row two-tier search: a seeded coarse centroid
+//!   pre-filter picks `nprobe` candidate shards, the exact packed tier
+//!   re-ranks them, and an LRU cache with a resident-byte budget keeps
+//!   only hot shard snapshots compiled
 //! - [`sim`] — deterministic full-system simulation: a whole deployment
 //!   on virtual time with seed-scheduled network/disk/device faults,
 //!   judged against independent oracles, with seed replay and greedy
@@ -132,6 +136,7 @@ pub mod chain;
 pub mod chain_circuit;
 pub mod clock;
 pub mod config;
+pub mod corpus;
 pub mod encoding;
 pub mod energy;
 pub mod engine;
@@ -154,12 +159,14 @@ pub mod timing;
 pub use array::{CompiledArray, CompiledSnapshot, SearchOutcome, TdamArray};
 pub use chain::DelayChain;
 pub use config::{ArrayConfig, TechParams};
+pub use corpus::{CorpusBuilder, CorpusConfig, CorpusEngine, CorpusTierStatus};
 pub use encoding::Encoding;
 pub use engine::{BatchQuery, BatchResult, SearchMetrics, SimilarityEngine};
 pub use packed::{PackedArray, PackedDecision, PackedScratch};
 pub use runtime::{BackendKind, BatchOutcome, QueryOutcome, ResilientEngine, RuntimeConfig};
 pub use serve::{
-    FrontEnd, ServeClient, ServeConfig, ServeError, ShardMap, ShardedService, ShedReason, TopK,
+    cluster_layout, FrontEnd, ServeClient, ServeConfig, ServeError, ShardMap, ShardedService,
+    ShedReason, TopK,
 };
 pub use store::{
     run_crash_chaos, CheckpointStore, CrashChaosConfig, CrashChaosReport, DeploymentState,

@@ -137,6 +137,7 @@
 
 use crate::array::RowResult;
 use crate::chain::ChainResult;
+use crate::encoding::Encoding;
 use crate::energy::EnergyBreakdown;
 use crate::tdc::CounterTdc;
 use crate::timing::StageTiming;
@@ -396,13 +397,81 @@ impl PackedArray {
     /// [`DelayChain::compile`](crate::chain::DelayChain::compile).
     pub fn build(array: &TdamArray, masked: &BTreeSet<usize>) -> Self {
         let config = array.config();
-        let timing = *array.timing();
-        let tdc = *array.tdc();
         let stages = config.stages;
         let bits = config.encoding.bits() as usize;
+        let rows = array.chains().len();
+        let mut packed = Self::skeleton(
+            stages,
+            bits,
+            rows,
+            masked.clone(),
+            *array.timing(),
+            *array.tdc(),
+        );
+        for row in 0..rows {
+            packed.repack_row(array, row);
+        }
+        packed.fill_digest_tables();
+        packed
+    }
+
+    /// Packs a corpus of (pre-validated, ideal) level codes directly into
+    /// bit planes — the cell-free constructor the [`crate::corpus`] tier
+    /// builds its per-shard snapshots with. `codes` is row-major flat
+    /// (`rows · stages` bytes); every row is packable (codes carry no
+    /// device variation) unless the calibration is degenerate, and no
+    /// stages are masked.
+    ///
+    /// The result is **bit-identical** to [`PackedArray::build`] on a
+    /// [`TdamArray`] holding the same codes through nominal cells: the
+    /// planes are pure functions of the stored codes and every
+    /// reconstruction table is a pure function of geometry, timing, and
+    /// TDC calibration (pinned by an in-module test). Unlike `build`,
+    /// no per-cell behavioral state exists, so a million-row corpus costs
+    /// `rows · stages · bits / 8` plane bytes rather than gigabytes of
+    /// cell structs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero or `codes.len()` is not a multiple of
+    /// `stages` — corpus callers size the slab, so a ragged slab is a
+    /// caller bug, not an input error.
+    pub fn from_codes(
+        encoding: Encoding,
+        stages: usize,
+        timing: &StageTiming,
+        tdc: &CounterTdc,
+        codes: &[u8],
+    ) -> Self {
+        assert!(stages > 0, "from_codes needs at least one stage");
+        assert_eq!(
+            codes.len() % stages,
+            0,
+            "codes slab must be a whole number of rows"
+        );
+        let rows = codes.len() / stages;
+        let bits = encoding.bits() as usize;
+        let mut packed = Self::skeleton(stages, bits, rows, BTreeSet::new(), *timing, *tdc);
+        for row in 0..rows {
+            packed.repack_row_codes(row, &codes[row * stages..(row + 1) * stages]);
+        }
+        packed.fill_digest_tables();
+        packed
+    }
+
+    /// The geometry/calibration shell shared by [`PackedArray::build`]
+    /// and [`PackedArray::from_codes`]: parity masks, zeroed plane
+    /// layouts, and every count-indexed reconstruction table — everything
+    /// except the per-row plane contents.
+    fn skeleton(
+        stages: usize,
+        bits: usize,
+        rows: usize,
+        masked: BTreeSet<usize>,
+        timing: StageTiming,
+        tdc: CounterTdc,
+    ) -> Self {
         let words = stages.div_ceil(64);
-        let chains = array.chains();
-        let rows = chains.len();
 
         // Parity masks with the tail beyond `stages` and every masked
         // column cleared: a bit that survives neither mask can never be
@@ -454,7 +523,7 @@ impl PackedArray {
             cum_mn.push(mn);
         }
 
-        let mut packed = Self {
+        Self {
             stages,
             bits,
             words,
@@ -464,7 +533,7 @@ impl PackedArray {
             lane_planes,
             kernel: PackedKernel::detect(),
             packable,
-            masked: masked.clone(),
+            masked,
             even_mask,
             odd_mask,
             step_delay,
@@ -478,22 +547,24 @@ impl PackedArray {
             search_line_energy: stages as f64 * timing.e_sl,
             timing,
             tdc,
-        };
-        for row in 0..rows {
-            packed.repack_row(array, row);
         }
-        let table = (max_even + 1) * (max_odd + 1);
+    }
+
+    /// Fills the count-indexed digest table (and its dense decoded
+    /// companion) when `(max_even + 1)·(max_odd + 1)` fits under
+    /// [`DIGEST_TABLE_CAP`]; larger geometries compute digests per row.
+    fn fill_digest_tables(&mut self) {
+        let table = (self.max_even + 1) * (self.max_odd + 1);
         if table <= DIGEST_TABLE_CAP {
             let mut digests = Vec::with_capacity(table);
-            for even in 0..=max_even {
-                for odd in 0..=max_odd {
-                    digests.push(packed.compute_digest(even, odd));
+            for even in 0..=self.max_even {
+                for odd in 0..=self.max_odd {
+                    digests.push(self.compute_digest(even, odd));
                 }
             }
-            packed.decoded_table = digests.iter().map(|d| d.decoded as u32).collect();
-            packed.digests = digests;
+            self.decoded_table = digests.iter().map(|d| d.decoded as u32).collect();
+            self.digests = digests;
         }
-        packed
     }
 
     /// Surgically re-packs one row in place after its stored contents
@@ -539,6 +610,56 @@ impl PackedArray {
                 }
             }
         }
+    }
+
+    /// Surgically re-packs one row from a (pre-validated, ideal) level
+    /// code — the code-slab counterpart of `repack_row`,
+    /// used by the [`crate::corpus`] tier's streaming ingest and online
+    /// updates. Same cost (O(stages), independent of the row count) and
+    /// the same invariant: reconstruction tables are untouched because
+    /// they never depend on row contents. The row is packable unless the
+    /// calibration is degenerate, exactly as in
+    /// [`PackedArray::from_codes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) when `row` is out of bounds or
+    /// `code.len() != stages`.
+    pub fn repack_row_codes(&mut self, row: usize, code: &[u8]) {
+        debug_assert!(row < self.rows);
+        debug_assert_eq!(code.len(), self.stages);
+        let degenerate = self.timing.d_inv + self.timing.d_c == self.timing.d_inv;
+        self.packable[row] = !degenerate;
+        let (bits, words) = (self.bits, self.words);
+        let base = row * bits * words;
+        self.planes[base..base + bits * words].fill(0);
+        for w in 0..words {
+            for b in 0..bits {
+                self.lane_planes[(w * bits + b) * self.rows_pad + row] = 0;
+            }
+        }
+        for (j, &code) in code.iter().enumerate() {
+            for b in 0..bits {
+                if (code >> b) & 1 == 1 {
+                    let (w, shift) = (j / 64, j % 64);
+                    self.planes[base + b * words + w] |= 1u64 << shift;
+                    self.lane_planes[(w * bits + b) * self.rows_pad + row] |= 1u64 << shift;
+                }
+            }
+        }
+    }
+
+    /// Heap bytes this packed view keeps resident: both plane layouts,
+    /// the digest and decoded tables, and the count-indexed
+    /// reconstruction tables. The figure the corpus tier's snapshot
+    /// cache charges against its resident-byte budget.
+    pub fn resident_bytes(&self) -> usize {
+        (self.planes.len() + self.lane_planes.len()) * 8
+            + self.digests.len() * std::mem::size_of::<RowDigest>()
+            + self.decoded_table.len() * 4
+            + (self.step_delay.len() + self.cum_cap_energy.len() + self.cum_mn_energy.len()) * 8
+            + (self.even_mask.len() + self.odd_mask.len()) * 8
+            + self.packable.len()
     }
 
     /// Number of rows in the packed view.
@@ -1022,6 +1143,58 @@ mod tests {
         assert_eq!(packed.planes, rebuilt.planes);
         assert_eq!(packed.lane_planes, rebuilt.lane_planes);
         assert_eq!(packed.packable, rebuilt.packable);
+    }
+
+    #[test]
+    fn from_codes_is_bit_identical_to_cell_backed_build() {
+        for bits in [1u8, 2, 4] {
+            for stages in [3usize, 64, 65, 130] {
+                let rows = 6;
+                let am = seeded_array(
+                    bits,
+                    stages,
+                    rows,
+                    0x5EED ^ (bits as u64) << 8 ^ stages as u64,
+                );
+                let mut codes = Vec::with_capacity(rows * stages);
+                for row in 0..rows {
+                    codes.extend_from_slice(&am.stored(row).unwrap());
+                }
+                let enc = am.config().encoding;
+                let direct = PackedArray::from_codes(enc, stages, am.timing(), am.tdc(), &codes);
+                let reference = PackedArray::build(&am, &BTreeSet::new());
+                assert_eq!(direct.planes, reference.planes, "{bits}b {stages}st");
+                assert_eq!(direct.lane_planes, reference.lane_planes);
+                assert_eq!(direct.packable, reference.packable);
+                assert_eq!(direct.even_mask, reference.even_mask);
+                assert_eq!(direct.odd_mask, reference.odd_mask);
+                assert_eq!(direct.decoded_table, reference.decoded_table);
+                // Surgical code repack matches a fresh slab build too.
+                let mut patched = direct.clone();
+                let levels = enc.levels() as u64;
+                let new_row: Vec<u8> = (0..stages)
+                    .map(|j| ((j as u64 * 17 + 5) % levels) as u8)
+                    .collect();
+                patched.repack_row_codes(2, &new_row);
+                let mut new_codes = codes.clone();
+                new_codes[2 * stages..3 * stages].copy_from_slice(&new_row);
+                let reslabbed =
+                    PackedArray::from_codes(enc, stages, am.timing(), am.tdc(), &new_codes);
+                assert_eq!(patched.planes, reslabbed.planes);
+                assert_eq!(patched.lane_planes, reslabbed.lane_planes);
+                assert!(patched.resident_bytes() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn from_codes_refuses_degenerate_timing() {
+        let am = seeded_array(2, 8, 2, 1);
+        let mut timing = *am.timing();
+        timing.d_c = timing.d_inv * f64::EPSILON * 0.25;
+        let codes = vec![0u8; 16];
+        let packed = PackedArray::from_codes(am.config().encoding, 8, &timing, am.tdc(), &codes);
+        assert_eq!(packed.packed_rows(), 0);
     }
 
     #[test]

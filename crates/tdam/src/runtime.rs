@@ -362,6 +362,18 @@ pub struct RuntimeStats {
     /// Margin-drifted rows healed by a scrub's refresh rewrite before
     /// their decode flipped.
     pub scrub_heals: usize,
+    /// Corpus-tier shard-snapshot cache hits (probe found the shard
+    /// already resident).
+    pub corpus_cache_hits: usize,
+    /// Corpus-tier shard-snapshot cache misses (probe had to compile
+    /// the shard's packed snapshot).
+    pub corpus_cache_misses: usize,
+    /// Corpus-tier shard snapshots evicted to stay under the
+    /// resident-byte budget.
+    pub corpus_cache_evictions: usize,
+    /// Cumulative microseconds spent compiling corpus-tier shard
+    /// snapshots on cache misses.
+    pub corpus_compile_micros: usize,
 }
 
 /// Deterministic fault/panic injection for chaos testing: whether a slot

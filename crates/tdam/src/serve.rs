@@ -22,6 +22,14 @@
 //!   standby that fails its probes is discarded and the shard stays
 //!   down (served as an explicitly `partial` answer) rather than
 //!   serving silent wrong answers.
+//! - **Coarse pre-filter tier** ([`ShardedService::install_corpus_tier`]):
+//!   an optional [`CorpusEngine`] whose posting lists are exactly the
+//!   shard ranges. When installed, a query scans the centroid array
+//!   first and scatters over the `nprobe` probed shards only — the
+//!   million-row path — and a probed shard that is down is served
+//!   exact ideal-code answers from the tier's snapshot cache instead
+//!   of degrading to a partial answer. [`cluster_layout`] permutes a
+//!   corpus cluster-contiguously so the ranges are pure.
 //! - **Chaos campaign** ([`run_serve_chaos`]): seeded closed-loop load
 //!   over the real TCP front-end with injected shard crashes, slow
 //!   shards, and overload bursts, asserting zero silent wrong answers
@@ -46,6 +54,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::clock::{Clock, Timestamp};
 use crate::config::ArrayConfig;
+use crate::corpus::{ClusterData, CorpusConfig, CorpusEngine, CorpusTierStatus};
 use crate::engine::BatchQuery;
 use crate::resilience::{DegradationLevel, ResilienceConfig};
 use crate::runtime::{
@@ -53,6 +62,7 @@ use crate::runtime::{
     RuntimeStats,
 };
 use crate::store::{CheckpointStore, Codec, Reader, StoreError, Writer};
+use crate::timing::StageTiming;
 use crate::{ErrorClass, TdamError};
 
 // ---------------------------------------------------------------------------
@@ -350,6 +360,39 @@ pub fn brute_force_topk(
     Ok(ranked)
 }
 
+/// Reorders `corpus` cluster-contiguously for a corpus-tier service:
+/// rows are clustered with the seeded quantizer of
+/// [`CorpusBuilder`](crate::corpus::CorpusBuilder) and emitted cluster
+/// by cluster, so the row-range shards of a [`ShardedService`] built
+/// over the permuted corpus (with `rows_per_shard = cfg.shard_rows`)
+/// approximate the clusters and the installed pre-filter
+/// ([`ShardedService::install_corpus_tier`]) prunes well.
+///
+/// Returns the permuted corpus plus `source`, where `source[new_row]`
+/// is the row's index in the input corpus (for mapping answers back).
+///
+/// # Errors
+///
+/// Propagates [`CorpusBuilder`](crate::corpus::CorpusBuilder)
+/// validation and build errors.
+pub fn cluster_layout(
+    cfg: &CorpusConfig,
+    corpus: &[Vec<u8>],
+) -> Result<(Vec<Vec<u8>>, Vec<usize>), TdamError> {
+    let mut builder = crate::corpus::CorpusBuilder::new(*cfg)?;
+    builder.append_rows(corpus)?;
+    let engine = builder.build()?;
+    let mut permuted = Vec::with_capacity(corpus.len());
+    let mut source = Vec::with_capacity(corpus.len());
+    for c in 0..engine.shards() {
+        for &id in engine.shard_ids(c) {
+            permuted.push(corpus[id as usize].clone());
+            source.push(id as usize);
+        }
+    }
+    Ok((permuted, source))
+}
+
 // ---------------------------------------------------------------------------
 // Shards
 // ---------------------------------------------------------------------------
@@ -479,6 +522,14 @@ pub struct ShardedService {
     shards: Vec<Shard>,
     encoding: crate::encoding::Encoding,
     stages: usize,
+    /// Array template the shards were provisioned from (kept so the
+    /// corpus pre-filter tier can calibrate bit-identical packed
+    /// snapshots).
+    template: ArrayConfig,
+    /// Optional coarse pre-filter: a [`CorpusEngine`] whose posting
+    /// lists are exactly this service's shard ranges. When installed,
+    /// a query scatters over the `nprobe` probed shards only.
+    corpus_tier: Option<Mutex<CorpusEngine>>,
     /// The stored corpus (kept for known-answer failover probes).
     corpus: Vec<Vec<u8>>,
     breaker_threshold: usize,
@@ -623,6 +674,8 @@ impl ShardedService {
             shards,
             encoding: cfg.array.encoding,
             stages,
+            template: cfg.array,
+            corpus_tier: None,
             corpus: corpus.to_vec(),
             breaker_threshold: cfg.shard_breaker_threshold.max(1),
             any_down: AtomicBool::new(false),
@@ -655,6 +708,86 @@ impl ShardedService {
     /// Snapshot of the service-level counters.
     pub fn service_stats(&self) -> ServiceStats {
         *lock(&self.stats)
+    }
+
+    /// Installs the coarse pre-filter tier: a [`CorpusEngine`] whose
+    /// posting lists are *exactly* this service's shard ranges, with a
+    /// per-range mode centroid (no training — the ranges are the
+    /// clusters). Subsequent [`ShardedService::search_topk`] calls scan
+    /// the centroid tier first and scatter over the `nprobe` nearest
+    /// shards only; a probed shard that is down is served exact
+    /// ideal-code answers from the tier's snapshot cache (flagged
+    /// `degraded`, never silently dropped).
+    ///
+    /// For the pre-filter to prune well the corpus should be laid out
+    /// cluster-contiguously — see [`cluster_layout`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sim`] when the tier's timing calibration or
+    /// rebuild fails.
+    pub fn install_corpus_tier(
+        &mut self,
+        nprobe: usize,
+        cache_budget_bytes: usize,
+    ) -> Result<(), ServeError> {
+        let timing = StageTiming::analytic(&self.template.tech, self.template.c_load)
+            .map_err(ServeError::Sim)?;
+        let levels = self.encoding.levels() as usize;
+        let mut centroids = Vec::with_capacity(self.map.shards() * self.stages);
+        let mut clusters = Vec::with_capacity(self.map.shards());
+        for s in 0..self.map.shards() {
+            let (base, rows) = self.map.range(s);
+            let mut counts = vec![0u32; self.stages * levels];
+            let mut codes = Vec::with_capacity(rows * self.stages);
+            for row in &self.corpus[base..base + rows] {
+                for (j, &v) in row.iter().enumerate() {
+                    counts[j * levels + v as usize] += 1;
+                }
+                codes.extend_from_slice(row);
+            }
+            for j in 0..self.stages {
+                let at = j * levels;
+                let mut best = 0usize;
+                for v in 1..levels {
+                    if counts[at + v] > counts[at + best] {
+                        best = v;
+                    }
+                }
+                centroids.push(best as u8);
+            }
+            clusters.push(ClusterData {
+                codes,
+                ids: (base as u32..(base + rows) as u32).collect(),
+            });
+        }
+        let cfg = CorpusConfig {
+            array: self.template,
+            shard_rows: self.map.range(0).1,
+            nprobe: nprobe.max(1),
+            train_iters: 0,
+            train_sample: 1,
+            cache_budget_bytes,
+            seed: 0,
+            threads: Some(1),
+        };
+        let tier = CorpusEngine::from_persistent_parts(
+            cfg,
+            timing,
+            centroids,
+            clusters,
+            RuntimeStats::default(),
+            self.clock.clone(),
+        )
+        .map_err(ServeError::Sim)?;
+        self.corpus_tier = Some(Mutex::new(tier));
+        Ok(())
+    }
+
+    /// Cache/geometry snapshot of the corpus pre-filter tier, `None`
+    /// when no tier is installed.
+    pub fn corpus_status(&self) -> Option<CorpusTierStatus> {
+        self.corpus_tier.as_ref().map(|t| lock(t).status())
     }
 
     /// Snapshot of every shard's condition (for the stats endpoint).
@@ -693,6 +826,14 @@ impl ShardedService {
             .store(local, values)
             .map_err(ServeError::Sim)?;
         self.corpus[row] = values.to_vec();
+        if let Some(tier) = &self.corpus_tier {
+            // Keep the pre-filter coherent: the tier's posting list
+            // (and any resident snapshot, via surgical repack) must
+            // reflect the same write the shard engine just absorbed.
+            lock(tier)
+                .update_row(row, values)
+                .map_err(ServeError::Sim)?;
+        }
         Ok(())
     }
 
@@ -803,6 +944,16 @@ impl ShardedService {
             self.try_failover();
         }
 
+        // Coarse pre-filter: when the corpus tier is installed, scan
+        // its centroid array and scatter over the probed shards only.
+        // A pruned shard is *not* a fidelity loss — pruning is the
+        // tier's contract — so it neither flags `partial` nor counts
+        // toward `shards_answered`.
+        let probed: Option<Vec<usize>> = match &self.corpus_tier {
+            Some(tier) => Some(lock(tier).probe(query).map_err(ServeError::Sim)?),
+            None => None,
+        };
+
         let mut batch = BatchQuery::new(self.stages);
         batch.push(query).map_err(ServeError::Sim)?;
         let mut candidates: Vec<(usize, usize)> = Vec::new();
@@ -810,9 +961,26 @@ impl ShardedService {
         let mut degraded = false;
         let mut shards_answered = 0usize;
         let mut budget_expired = false;
-        for shard in &self.shards {
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some(p) = &probed {
+                if !p.contains(&s) {
+                    continue;
+                }
+            }
             let mut st = lock(&shard.state);
             if st.down {
+                if let Some(tier) = &self.corpus_tier {
+                    // A probed shard that is out of rotation still
+                    // answers: the tier's snapshot cache holds the same
+                    // stored codes and re-ranks them exactly. Flagged
+                    // `degraded` (ideal-code answers bypass the shard's
+                    // device-level state), never silently dropped.
+                    drop(st);
+                    lock(tier).scan_shard(s, query, &mut candidates);
+                    shards_answered += 1;
+                    degraded = true;
+                    continue;
+                }
                 partial = true;
                 continue;
             }
@@ -1288,6 +1456,9 @@ pub struct StatsReply {
     pub service: ServiceStats,
     /// Per-shard condition including engine [`RuntimeStats`].
     pub shards: Vec<ShardStatus>,
+    /// Corpus pre-filter tier condition (snapshot-cache hit/miss/evict
+    /// counters, resident bytes), `None` when no tier is installed.
+    pub corpus: Option<CorpusTierStatus>,
 }
 
 /// Corpus/topology description from the info endpoint, enough for a
@@ -1375,6 +1546,10 @@ impl Reply {
                     w.put_u8(backend_tag(shard.backend));
                     shard.stats.encode(&mut w);
                 }
+                w.put_bool(s.corpus.is_some());
+                if let Some(corpus) = &s.corpus {
+                    corpus.encode(&mut w);
+                }
             }
             Self::Info(i) => {
                 w.put_u8(REPLY_INFO);
@@ -1457,10 +1632,16 @@ impl Reply {
                         stats: RuntimeStats::decode(&mut r).map_err(|_| truncated())?,
                     });
                 }
+                let corpus = if r.get_bool().map_err(|_| truncated())? {
+                    Some(CorpusTierStatus::decode(&mut r).map_err(|_| truncated())?)
+                } else {
+                    None
+                };
                 Ok(Self::Stats(Box::new(StatsReply {
                     front,
                     service,
                     shards,
+                    corpus,
                 })))
             }
             REPLY_INFO => Ok(Self::Info(InfoReply {
@@ -1931,6 +2112,7 @@ fn serve_connection(
                     front: counters.snapshot(),
                     service: service.service_stats(),
                     shards: service.shard_statuses(),
+                    corpus: service.corpus_status(),
                 }));
                 let _ = write_frame(&mut *lock(&writer), &reply.encode());
             }
@@ -2611,6 +2793,27 @@ mod tests {
                     backend: BackendKind::CompiledLut,
                     stats: RuntimeStats::default(),
                 }],
+                corpus: None,
+            })),
+            Reply::Stats(Box::new(StatsReply {
+                front: FrontStats::default(),
+                service: ServiceStats::default(),
+                shards: Vec::new(),
+                corpus: Some(CorpusTierStatus {
+                    rows: 1_000_000,
+                    clusters: 245,
+                    nprobe: 8,
+                    resident: 12,
+                    resident_bytes: 48 << 20,
+                    budget_bytes: 64 << 20,
+                    stats: RuntimeStats {
+                        corpus_cache_hits: 900,
+                        corpus_cache_misses: 45,
+                        corpus_cache_evictions: 33,
+                        corpus_compile_micros: 120_000,
+                        ..Default::default()
+                    },
+                }),
             })),
             Reply::Info(InfoReply {
                 stages: 16,

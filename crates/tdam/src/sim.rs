@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use crate::clock::{Clock, SimClock};
 use crate::config::ArrayConfig;
+use crate::corpus::{CorpusBuilder, CorpusConfig, CorpusEngine};
 use crate::encoding::Encoding;
 use crate::runtime::{DeadlinePolicy, RuntimeConfig};
 use crate::serve::{
@@ -244,6 +245,12 @@ pub struct SimConfig {
     pub fault_density: u32,
     /// Arm the sabotage self-test (judge validation).
     pub sabotage: bool,
+    /// Rows in the two-tier corpus side-track (0 = disabled). When
+    /// enabled, every step also runs one pre-filtered corpus search
+    /// judged by brute force restricted to the probed shards, and live
+    /// mutations additionally churn the corpus tier (update + append)
+    /// so the snapshot cache sees invalidation under faults.
+    pub corpus_rows: usize,
 }
 
 impl SimConfig {
@@ -258,6 +265,7 @@ impl SimConfig {
             durable_rows: 6,
             fault_density: 45,
             sabotage: false,
+            corpus_rows: 0,
         }
     }
 
@@ -273,6 +281,7 @@ impl SimConfig {
             durable_rows: 8,
             fault_density: 55,
             sabotage: false,
+            corpus_rows: 0,
         }
     }
 
@@ -293,6 +302,22 @@ impl SimConfig {
         // 8 virtual milliseconds of serving.
         cfg.runtime.scrub_interval = Some(Duration::from_millis(8));
         cfg
+    }
+
+    /// The corpus side-track's configuration: tiny shards and a
+    /// deliberately small snapshot-cache budget, so even a short
+    /// campaign exercises cache hits, misses, and evictions.
+    fn corpus_config(&self) -> CorpusConfig {
+        CorpusConfig {
+            array: ArrayConfig::paper_default().with_stages(self.stages),
+            shard_rows: 8,
+            nprobe: 2,
+            train_iters: 2,
+            train_sample: 128,
+            cache_budget_bytes: 16 << 10,
+            seed: self.seed,
+            threads: Some(1),
+        }
     }
 
     /// The durable track's runtime configuration (no deadline, no
@@ -383,6 +408,11 @@ pub struct SimReport {
     pub scrub_heals: usize,
     /// Answers judged against the brute-force oracle.
     pub judged: usize,
+    /// Corpus-tier answers judged against brute force restricted to
+    /// the probed shards.
+    pub corpus_judged: usize,
+    /// Corpus-tier mutations applied (row updates + appends).
+    pub corpus_mutations: usize,
     /// Judged violations (must be zero outside sabotage runs).
     pub failures: Vec<SimFailure>,
 }
@@ -525,6 +555,15 @@ pub fn generate_schedule(cfg: &SimConfig) -> FaultSchedule {
 // The world
 // ---------------------------------------------------------------------------
 
+/// The two-tier corpus side-track: a [`CorpusEngine`] on virtual time
+/// plus its own flat shadow (the restricted-judge oracle).
+struct CorpusTrack {
+    engine: CorpusEngine,
+    /// `shadow[id]` mirrors the engine's row `id`, including updates
+    /// and appends.
+    shadow: Vec<Vec<u8>>,
+}
+
 /// The simulated deployment: service, durable track, shadow oracles,
 /// and the judged report under construction.
 struct SimWorld {
@@ -549,6 +588,8 @@ struct SimWorld {
     sabotage_armed: bool,
     /// A request deferred by a reorder fault, plus its arrival time.
     deferred: Option<(Vec<u8>, crate::clock::Timestamp)>,
+    /// Two-tier corpus side-track (`cfg.corpus_rows > 0`).
+    corpus: Option<CorpusTrack>,
     report: SimReport,
 }
 
@@ -581,6 +622,21 @@ impl SimWorld {
         let mut ops_at_gen = HashMap::new();
         ops_at_gen.insert(durable.generation(), 0);
 
+        let corpus_track = if cfg.corpus_rows > 0 {
+            let rows = derive_clustered_rows(cfg, serve_cfg.array.encoding);
+            let mut builder = CorpusBuilder::new(cfg.corpus_config()).map_err(ServeError::Sim)?;
+            builder.append_rows(&rows).map_err(ServeError::Sim)?;
+            let engine = builder
+                .build_with_clock(Clock::sim(&clock))
+                .map_err(ServeError::Sim)?;
+            Some(CorpusTrack {
+                engine,
+                shadow: rows,
+            })
+        } else {
+            None
+        };
+
         Ok(Self {
             cfg: *cfg,
             clock,
@@ -596,6 +652,7 @@ impl SimWorld {
             ops_at_gen,
             sabotage_armed: false,
             deferred: None,
+            corpus: corpus_track,
             report: SimReport::default(),
         })
     }
@@ -722,6 +779,59 @@ impl SimWorld {
             // is still part of the issued history.
             let _ = self.durable.store_buffered(row, &values);
             self.history.push((row, values));
+        }
+        self.mutate_corpus(step, h);
+    }
+
+    /// Churns the corpus side-track under the same mutation event: one
+    /// row update plus one append, derived from the mutation's hash
+    /// stream and mirrored in the track's shadow. Updates invalidate
+    /// (surgically repack) resident snapshots; appends can grow a shard
+    /// past its packed capacity and force a recompile — both paths the
+    /// restricted judge must then re-verify.
+    fn mutate_corpus(&mut self, step: usize, h: u64) {
+        let Some(mut track) = self.corpus.take() else {
+            return;
+        };
+        let levels = u64::from(self.encoding.levels());
+        let hc = splitmix(h ^ 0xC0_4412);
+        let id = (hc % track.shadow.len() as u64) as usize;
+        let updated: Vec<u8> = (0..self.cfg.stages)
+            .map(|j| (splitmix(hc ^ (j as u64 + 1)) % levels) as u8)
+            .collect();
+        let appended: Vec<u8> = (0..self.cfg.stages)
+            .map(|j| (splitmix(hc ^ 0xA9 ^ (j as u64 + 1)) % levels) as u8)
+            .collect();
+        let mut faults = Vec::new();
+        match track.engine.update_row(id, &updated) {
+            Ok(()) => track.shadow[id] = updated,
+            Err(e) => faults.push(format!("corpus update of row {id} failed: {e}")),
+        }
+        match track.engine.append_row(&appended) {
+            Ok(_) => track.shadow.push(appended),
+            Err(e) => faults.push(format!("corpus append failed: {e}")),
+        }
+        self.corpus = Some(track);
+        self.report.corpus_mutations += 1;
+        for what in faults {
+            self.fail(step, what);
+        }
+    }
+
+    /// One corpus-tier step: a pre-filtered search judged by brute
+    /// force restricted to the probed shards — the exact re-rank
+    /// contract, held under snapshot-cache churn and live mutation.
+    fn corpus_step(&mut self, step: usize) {
+        let Some(mut track) = self.corpus.take() else {
+            return;
+        };
+        let levels = u64::from(self.encoding.levels());
+        let (query, k) = derive_corpus_query(&self.cfg, &track.shadow, step, levels);
+        let outcome = corpus_judge(self.encoding, &mut track, &query, k);
+        self.corpus = Some(track);
+        self.report.corpus_judged += 1;
+        if let Err(what) = outcome {
+            self.fail(step, what);
         }
     }
 
@@ -915,6 +1025,7 @@ impl SimWorld {
                     front: Default::default(),
                     service: self.service.service_stats(),
                     shards: self.service.shard_statuses(),
+                    corpus: self.service.corpus_status(),
                 }));
                 let bytes = reply.encode();
                 if Reply::decode(&bytes).is_err() {
@@ -1126,6 +1237,89 @@ fn derive_query(cfg: &SimConfig, shadow: &[Vec<u8>], step: usize, levels: u64) -
     (query, k)
 }
 
+/// Derives the corpus side-track's rows from the seed: clustered
+/// (prototype plus per-element noise) rather than uniform, so the
+/// coarse quantizer has real structure to find and the probed shards
+/// actually concentrate the near neighbors.
+fn derive_clustered_rows(cfg: &SimConfig, encoding: Encoding) -> Vec<Vec<u8>> {
+    let levels = u64::from(encoding.levels());
+    let protos = (cfg.corpus_rows / 8).max(2) as u64;
+    (0..cfg.corpus_rows)
+        .map(|r| {
+            let p = splitmix(cfg.seed ^ 0xC1 ^ (r as u64)) % protos;
+            (0..cfg.stages)
+                .map(|j| {
+                    let base = splitmix(cfg.seed ^ 0x9807_0770 ^ (p << 20 | j as u64)) % levels;
+                    let n = splitmix(cfg.seed ^ 0x0020_715E ^ ((r as u64) << 20 | j as u64));
+                    let v = if n % 100 < 20 {
+                        (n >> 8) % levels
+                    } else {
+                        base
+                    };
+                    v as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Derives step `step`'s corpus-tier query (a perturbed stored row)
+/// and `k` — pure in `(seed, step)`, like [`derive_query`], so the
+/// side-track's workload is stable under schedule shrinking.
+fn derive_corpus_query(
+    cfg: &SimConfig,
+    shadow: &[Vec<u8>],
+    step: usize,
+    levels: u64,
+) -> (Vec<u8>, usize) {
+    let h = splitmix(cfg.seed ^ 0xC0_9E21 ^ (step as u64));
+    let row = (h % shadow.len() as u64) as usize;
+    let mut query = shadow[row].clone();
+    let tweaks = (splitmix(h) % 3) as usize;
+    for t in 0..tweaks {
+        let hh = splitmix(h ^ (0xC0 + t as u64));
+        let j = (hh % query.len() as u64) as usize;
+        query[j] = ((u64::from(query[j]) + 1 + hh % (levels - 1)) % levels) as u8;
+    }
+    let k = 1 + (splitmix(h ^ 0xD0) % 4) as usize;
+    (query, k)
+}
+
+/// The corpus-tier judge: the two-tier answer must equal brute force
+/// restricted to the probed shards, bit-for-bit. Returns the violation
+/// description on mismatch.
+fn corpus_judge(
+    encoding: Encoding,
+    track: &mut CorpusTrack,
+    query: &[u8],
+    k: usize,
+) -> Result<(), String> {
+    let (got, probed) = track
+        .engine
+        .search_topk_probed(query, k)
+        .map_err(|e| format!("corpus search failed: {e}"))?;
+    let mut expected = Vec::new();
+    for &c in &probed {
+        for &id in track.engine.shard_ids(c) {
+            let id = id as usize;
+            let d = encoding
+                .hamming(&track.shadow[id], query)
+                .map_err(|e| format!("corpus oracle rejected row {id}: {e}"))?;
+            expected.push((d, id));
+        }
+    }
+    expected.sort_unstable();
+    expected.truncate(k);
+    if got == expected {
+        Ok(())
+    } else {
+        Err(format!(
+            "corpus tier answered {got:?}, restricted brute force says {expected:?} \
+             (probed shards {probed:?}, k={k})"
+        ))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Run / replay / shrink
 // ---------------------------------------------------------------------------
@@ -1156,6 +1350,7 @@ pub fn run_with_schedule(
         world.clock.advance(STEP_TICK);
         world.report.steps += 1;
         world.run_step_with_faults(step, &net, burst);
+        world.corpus_step(step);
     }
     Ok(world.finish())
 }
@@ -1279,6 +1474,10 @@ pub struct SimCampaignReport {
     pub scrub_heals: usize,
     /// Answers judged against brute force.
     pub judged: usize,
+    /// Corpus-tier answers judged against restricted brute force.
+    pub corpus_judged: usize,
+    /// Corpus-tier mutations applied.
+    pub corpus_mutations: usize,
     /// Seeds whose run recorded a violation (must be empty).
     pub failing_seeds: Vec<u64>,
 }
@@ -1315,6 +1514,8 @@ pub fn run_sim_campaign(
         agg.failovers += report.failovers;
         agg.scrub_heals += report.scrub_heals;
         agg.judged += report.judged;
+        agg.corpus_judged += report.corpus_judged;
+        agg.corpus_mutations += report.corpus_mutations;
         if report.failed() {
             agg.failing_seeds.push(cfg.seed);
         }

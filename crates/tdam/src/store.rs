@@ -46,11 +46,12 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::clock::Timestamp;
+use crate::clock::{Clock, Timestamp};
 
 use crate::array::TdamArray;
 use crate::cell::Cell;
 use crate::config::{ArrayConfig, TechParams};
+use crate::corpus::{ClusterData, CorpusConfig, CorpusEngine, CorpusTierStatus};
 use crate::encoding::Encoding;
 use crate::faults::{FaultKind, FaultMap};
 use crate::resilience::{ResilienceConfig, ResilientArray, RowHealth, WearPolicy};
@@ -70,14 +71,21 @@ use tdam_fefet::retention::{EnduranceParams, Lifetime, RetentionParams};
 /// Version 3 added the wear-leveling policy to [`ResilienceConfig`] and
 /// the online-mutation counters to [`RuntimeStats`]. Version 4 added the
 /// retention-scrub counters (`scrub_ticks`/`scrub_probes`/`scrub_heals`)
-/// to [`RuntimeStats`].
-pub const FORMAT_VERSION: u32 = 4;
+/// to [`RuntimeStats`]. Version 5 added the corpus-tier snapshot-cache
+/// counters (`corpus_cache_hits`/`corpus_cache_misses`/
+/// `corpus_cache_evictions`/`corpus_compile_micros`) to [`RuntimeStats`]
+/// and the corpus checkpoint file ([`CORPUS_MAGIC`]).
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Checkpoint file magic (first 8 bytes).
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TDAMCKPT";
 
 /// Journal file magic (first 8 bytes).
 pub const JOURNAL_MAGIC: [u8; 8] = *b"TDAMJRNL";
+
+/// Corpus checkpoint file magic (first 8 bytes): the centroid table +
+/// shard manifests of a [`crate::corpus::CorpusEngine`].
+pub const CORPUS_MAGIC: [u8; 8] = *b"TDAMCORP";
 
 /// Checkpoint generations retained after a successful commit (the new
 /// one plus fallback history).
@@ -717,6 +725,10 @@ impl Codec for RuntimeStats {
         w.put_usize(self.scrub_ticks);
         w.put_usize(self.scrub_probes);
         w.put_usize(self.scrub_heals);
+        w.put_usize(self.corpus_cache_hits);
+        w.put_usize(self.corpus_cache_misses);
+        w.put_usize(self.corpus_cache_evictions);
+        w.put_usize(self.corpus_compile_micros);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         Ok(Self {
@@ -744,6 +756,10 @@ impl Codec for RuntimeStats {
             scrub_ticks: r.get_usize()?,
             scrub_probes: r.get_usize()?,
             scrub_heals: r.get_usize()?,
+            corpus_cache_hits: r.get_usize()?,
+            corpus_cache_misses: r.get_usize()?,
+            corpus_cache_evictions: r.get_usize()?,
+            corpus_compile_micros: r.get_usize()?,
         })
     }
 }
@@ -950,6 +966,185 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<DeploymentState, StoreError> {
         return Err(corrupt("trailing bytes after checkpoint payload"));
     }
     Ok(state)
+}
+
+// ---------------------------------------------------------------------------
+// Corpus checkpoint: centroid table + shard manifests
+// ---------------------------------------------------------------------------
+
+impl Codec for CorpusConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.array.encode(w);
+        w.put_usize(self.shard_rows);
+        w.put_usize(self.nprobe);
+        w.put_usize(self.train_iters);
+        w.put_usize(self.train_sample);
+        w.put_usize(self.cache_budget_bytes);
+        w.put_u64(self.seed);
+        w.put_bool(self.threads.is_some());
+        w.put_usize(self.threads.unwrap_or(0));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let array = ArrayConfig::decode(r)?;
+        let shard_rows = r.get_usize()?;
+        let nprobe = r.get_usize()?;
+        let train_iters = r.get_usize()?;
+        let train_sample = r.get_usize()?;
+        let cache_budget_bytes = r.get_usize()?;
+        let seed = r.get_u64()?;
+        let has_threads = r.get_bool()?;
+        let threads = r.get_usize()?;
+        Ok(Self {
+            array,
+            shard_rows,
+            nprobe,
+            train_iters,
+            train_sample,
+            cache_budget_bytes,
+            seed,
+            threads: has_threads.then_some(threads),
+        })
+    }
+}
+
+impl Codec for ClusterData {
+    fn encode(&self, w: &mut Writer) {
+        self.codes.encode(w);
+        w.put_usize(self.ids.len());
+        for &id in &self.ids {
+            w.put_usize(id as usize);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let codes = Vec::<u8>::decode(r)?;
+        let n = r.get_usize()?;
+        let mut ids = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = r.get_usize()?;
+            ids.push(u32::try_from(id).map_err(|_| corrupt("corpus shard id exceeds u32 range"))?);
+        }
+        Ok(Self { codes, ids })
+    }
+}
+
+impl Codec for CorpusTierStatus {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.rows);
+        w.put_usize(self.clusters);
+        w.put_usize(self.nprobe);
+        w.put_usize(self.resident);
+        w.put_usize(self.resident_bytes);
+        w.put_usize(self.budget_bytes);
+        self.stats.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            rows: r.get_usize()?,
+            clusters: r.get_usize()?,
+            nprobe: r.get_usize()?,
+            resident: r.get_usize()?,
+            resident_bytes: r.get_usize()?,
+            budget_bytes: r.get_usize()?,
+            stats: RuntimeStats::decode(r)?,
+        })
+    }
+}
+
+/// Serializes a corpus engine's durable state — config, timing
+/// calibration, centroid table, shard manifests (per-shard codes + id
+/// lists), and counters — into a framed file image with the same
+/// magic/version/length/CRC framing as [`encode_checkpoint`]. The
+/// snapshot cache is *not* serialized: it is derived state, and the
+/// [`PackedArray::from_codes`](crate::packed::PackedArray::from_codes)
+/// contract recompiles it bit-identically on demand.
+pub fn encode_corpus(engine: &CorpusEngine) -> Vec<u8> {
+    let (cfg, timing, centroids, clusters, stats) = engine.persistent_parts();
+    let mut w = Writer::new();
+    cfg.encode(&mut w);
+    timing.encode(&mut w);
+    centroids.to_vec().encode(&mut w);
+    w.put_usize(clusters.len());
+    for cluster in clusters {
+        cluster.encode(&mut w);
+    }
+    stats.encode(&mut w);
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(24 + payload.len());
+    out.extend_from_slice(&CORPUS_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out[8..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates and decodes a corpus checkpoint image, rebuilding the
+/// engine on `clock` with an empty (re-derivable) snapshot cache.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] for bad magic/length/CRC or an undecodable
+/// payload, [`StoreError::UnsupportedVersion`] for a newer format, and
+/// [`StoreError::Sim`] wrapping [`TdamError`] for a structurally valid
+/// but semantically inconsistent checkpoint (e.g. a centroid table that
+/// disagrees with its shard manifest).
+pub fn decode_corpus(bytes: &[u8], clock: Clock) -> Result<CorpusEngine, StoreError> {
+    if bytes.len() < 24 {
+        return Err(corrupt("corpus checkpoint shorter than its header"));
+    }
+    if bytes[..8] != CORPUS_MAGIC {
+        return Err(corrupt("bad corpus checkpoint magic"));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != 24 + payload_len {
+        return Err(corrupt("corpus checkpoint length mismatch (torn write?)"));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(&bytes[8..bytes.len() - 4]) != stored_crc {
+        return Err(corrupt("corpus checkpoint CRC mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let mut r = Reader::new(&bytes[20..bytes.len() - 4]);
+    let cfg = CorpusConfig::decode(&mut r)?;
+    let timing = StageTiming::decode(&mut r)?;
+    let centroids = Vec::<u8>::decode(&mut r)?;
+    let n_clusters = r.get_usize()?;
+    let mut clusters = Vec::with_capacity(n_clusters.min(1 << 20));
+    for _ in 0..n_clusters {
+        clusters.push(ClusterData::decode(&mut r)?);
+    }
+    let stats = RuntimeStats::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after corpus checkpoint payload"));
+    }
+    CorpusEngine::from_persistent_parts(cfg, timing, centroids, clusters, stats, clock)
+        .map_err(StoreError::Sim)
+}
+
+/// Writes a corpus checkpoint to `path` atomically (tmp + fsync +
+/// rename, as [`atomic_write`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_corpus(path: &Path, engine: &CorpusEngine) -> io::Result<()> {
+    atomic_write(path, &encode_corpus(engine))
+}
+
+/// Reads and decodes a corpus checkpoint from `path`, restoring the
+/// engine on the wall clock.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] for filesystem failures and the
+/// [`decode_corpus`] validation errors.
+pub fn load_corpus(path: &Path) -> Result<CorpusEngine, StoreError> {
+    let bytes = fs::read(path).map_err(StoreError::Io)?; // [real-disk ok] OS storage island
+    decode_corpus(&bytes, Clock::wall())
 }
 
 // ---------------------------------------------------------------------------
@@ -2934,6 +3129,10 @@ mod tests {
             scrub_ticks: 22,
             scrub_probes: 23,
             scrub_heals: 24,
+            corpus_cache_hits: 25,
+            corpus_cache_misses: 26,
+            corpus_cache_evictions: 27,
+            corpus_compile_micros: 28,
         });
     }
 

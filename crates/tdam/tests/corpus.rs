@@ -1,0 +1,280 @@
+//! Integration pins for the two-tier corpus engine: the recall gate on
+//! a CI-sized clustered corpus, LRU-eviction bit-identity, kernel-rung
+//! equivalence of the exact re-rank tier, and the serve stats endpoint
+//! surfacing the snapshot-cache counters.
+//!
+//! The full-sized (1M-row) versions of the recall and speedup gates
+//! live in `ext_corpus` (see EXPERIMENTS.md); these tests pin the same
+//! contracts at a size the ordinary test suite can afford.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdam::corpus::{CorpusBuilder, CorpusConfig, CorpusEngine, ProbedTopK};
+use tdam::packed::PackedKernel;
+use tdam::serve::{
+    brute_force_topk, seeded_corpus, FrontEnd, ServeClient, ServeConfig, ShardedService,
+};
+use tdam::ArrayConfig;
+
+/// SplitMix64 finalizer — the repo-wide seeding discipline.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Clustered synthetic corpus: `protos` prototypes plus `noise_pct`%
+/// per-element noise, pure in the seed. Clustered — not uniform —
+/// because recall through a coarse pre-filter over uniform data only
+/// measures `nprobe / shards`; the engine must recover structure.
+fn clustered(
+    rows: usize,
+    stages: usize,
+    protos: u64,
+    noise_pct: u64,
+    levels: u64,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    (0..rows)
+        .map(|r| {
+            let p = splitmix(seed ^ 0x000A_11CE ^ r as u64) % protos;
+            (0..stages)
+                .map(|j| {
+                    let base = splitmix(seed ^ 0xB0_55 ^ (p << 20 | j as u64)) % levels;
+                    let n = splitmix(seed ^ 0x0040_15E0 ^ ((r as u64) << 20 | j as u64));
+                    let v = if n % 100 < noise_pct {
+                        (n >> 8) % levels
+                    } else {
+                        base
+                    };
+                    v as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Query `i`: a stored row with two elements perturbed.
+fn perturbed_query(corpus: &[Vec<u8>], levels: u64, seed: u64, i: u64) -> Vec<u8> {
+    let h = splitmix(seed ^ 0xDE_CAF ^ i);
+    let mut q = corpus[(h % corpus.len() as u64) as usize].clone();
+    for t in 0..2u64 {
+        let hh = splitmix(h ^ (0xE0 + t));
+        let j = (hh % q.len() as u64) as usize;
+        q[j] = (((u64::from(q[j])) + 1 + hh % (levels - 1)) % levels) as u8;
+    }
+    q
+}
+
+fn build_engine(cfg: CorpusConfig, corpus: &[Vec<u8>]) -> CorpusEngine {
+    let mut builder = CorpusBuilder::new(cfg).expect("config validates");
+    builder.append_rows(corpus).expect("rows ingest");
+    builder.build().expect("build")
+}
+
+/// The ISSUE's CI-sized recall gate: a seeded 100k-row clustered corpus
+/// must reach recall@10 >= 0.95 against full brute force while probing
+/// only `nprobe` of the shards.
+#[test]
+fn recall_at_10_exceeds_095_on_ci_sized_corpus() {
+    let stages = 32;
+    let array = ArrayConfig::paper_default().with_stages(stages);
+    let levels = u64::from(array.encoding.levels());
+    let rows = 100_000;
+    let corpus = clustered(rows, stages, 32, 10, levels, 0xC0_FFEE);
+    let cfg = CorpusConfig {
+        array,
+        shard_rows: 4096,
+        nprobe: 12,
+        train_iters: 3,
+        train_sample: 1 << 14,
+        cache_budget_bytes: 64 << 20,
+        seed: 42,
+        threads: Some(4),
+    };
+    let mut engine = build_engine(cfg, &corpus);
+    assert!(
+        engine.shards() > cfg.nprobe * 2,
+        "gate must actually prune: {} shards, nprobe {}",
+        engine.shards(),
+        cfg.nprobe
+    );
+
+    let k = 10;
+    let (mut hit, mut total) = (0usize, 0usize);
+    for i in 0..32u64 {
+        let q = perturbed_query(&corpus, levels, 0x5EED, i);
+        let got = engine.search_topk(&q, k).expect("search");
+        let want = brute_force_topk(&corpus, array.encoding, &q, k).expect("oracle");
+        let ids: HashSet<usize> = want.iter().map(|&(_, id)| id).collect();
+        hit += got.iter().filter(|&&(_, id)| ids.contains(&id)).count();
+        total += want.len();
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(recall >= 0.95, "recall@10 = {recall:.3} ({hit}/{total})");
+}
+
+/// Evicted shards must recompile bit-identically: a cache starved down
+/// to one resident snapshot returns the same full ranking as a cache
+/// that never evicts, across repeated passes.
+#[test]
+fn evicted_shards_recompile_bit_identically() {
+    let stages = 16;
+    let array = ArrayConfig::paper_default().with_stages(stages);
+    let levels = u64::from(array.encoding.levels());
+    let rows = 2048;
+    let corpus = clustered(rows, stages, 8, 10, levels, 0xE71C);
+    let cfg = CorpusConfig {
+        array,
+        shard_rows: 256,
+        nprobe: 64, // exhaustive: every shard scanned on every query
+        train_iters: 2,
+        train_sample: 512,
+        cache_budget_bytes: 64 << 20,
+        seed: 9,
+        threads: Some(2),
+    };
+    let mut roomy = build_engine(cfg, &corpus);
+    let mut starved = build_engine(
+        CorpusConfig {
+            cache_budget_bytes: 1,
+            ..cfg
+        },
+        &corpus,
+    );
+
+    for pass in 0..2 {
+        for i in 0..4u64 {
+            let q = perturbed_query(&corpus, levels, 0xAB ^ i, i);
+            // Full ranking: every row's exact distance is compared, so
+            // a single bit of recompile drift would surface.
+            let a = roomy.search_topk(&q, rows).expect("roomy search");
+            let b = starved.search_topk(&q, rows).expect("starved search");
+            assert_eq!(a, b, "pass {pass} query {i}: eviction changed the ranking");
+        }
+    }
+    assert_eq!(roomy.status().stats.corpus_cache_evictions, 0);
+    let starved_status = starved.status();
+    assert!(
+        starved_status.stats.corpus_cache_evictions > 0,
+        "starved cache never evicted"
+    );
+    assert_eq!(
+        starved_status.resident, 1,
+        "budget of 1 byte keeps one snapshot"
+    );
+}
+
+/// The exact re-rank tier is bit-identical across all available
+/// dispatch-ladder rungs, and every rung matches brute force restricted
+/// to the probed shards — the ISSUE's equivalence contract.
+#[test]
+fn rerank_matches_restricted_brute_force_on_every_kernel_rung() {
+    let stages = 16;
+    let array = ArrayConfig::paper_default().with_stages(stages);
+    let levels = u64::from(array.encoding.levels());
+    let rows = 4096;
+    let corpus = clustered(rows, stages, 16, 10, levels, 0x3A11);
+    let cfg = CorpusConfig {
+        array,
+        shard_rows: 256,
+        nprobe: 4,
+        train_iters: 2,
+        train_sample: 1024,
+        cache_budget_bytes: 8 << 20,
+        seed: 5,
+        threads: Some(2),
+    };
+
+    let rungs = [
+        PackedKernel::Scalar,
+        PackedKernel::Unrolled,
+        PackedKernel::Simd,
+    ];
+    let mut reference: Option<Vec<ProbedTopK>> = None;
+    for rung in rungs {
+        if !rung.is_available() {
+            continue;
+        }
+        let mut engine = build_engine(cfg, &corpus);
+        assert!(engine.set_kernel(rung), "{rung:?} reported available");
+        let mut answers = Vec::new();
+        for i in 0..16u64 {
+            let q = perturbed_query(&corpus, levels, 0xF00D, i);
+            let (got, probed) = engine.search_topk_probed(&q, 8).expect("search");
+            let mut expected = Vec::new();
+            for &c in &probed {
+                for &id in engine.shard_ids(c) {
+                    let id = id as usize;
+                    let d = array.encoding.hamming(&corpus[id], &q).expect("oracle");
+                    expected.push((d, id));
+                }
+            }
+            expected.sort_unstable();
+            expected.truncate(8);
+            assert_eq!(
+                got, expected,
+                "{rung:?} query {i}: re-rank diverged from restricted brute force"
+            );
+            answers.push((got, probed));
+        }
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(&answers, r, "{rung:?} diverged from the first rung"),
+        }
+    }
+    assert!(reference.is_some(), "no kernel rung available");
+}
+
+/// The serve stats endpoint surfaces the corpus tier's snapshot-cache
+/// counters over the wire (the ISSUE's observability criterion).
+#[test]
+fn serve_stats_endpoint_surfaces_snapshot_cache_counters() {
+    let mut cfg = ServeConfig::paper_default();
+    cfg.array = ArrayConfig::paper_default().with_stages(8);
+    cfg.rows_per_shard = 16;
+    let corpus = seeded_corpus(64, 8, 4, 91);
+    let mut service = ShardedService::new(&cfg, &corpus, None).expect("service");
+    // A 1-byte budget forces an eviction on every second snapshot
+    // compile, so all three counters move within a handful of queries.
+    service.install_corpus_tier(2, 1).expect("corpus tier");
+    let service = Arc::new(service);
+    let mut front = FrontEnd::start(Arc::clone(&service), &cfg, "127.0.0.1:0").expect("front-end");
+    let mut client = ServeClient::connect(front.addr()).expect("client");
+
+    // Healthy path: the tier only prunes (per-shard engines answer), so
+    // its snapshot cache stays cold.
+    let mut answered = client
+        .query(&corpus[0], 3, Duration::from_millis(500))
+        .expect("healthy query");
+    assert!(!answered.degraded, "healthy serve must not be degraded");
+
+    // Crash every shard: probed shards are now answered from the tier's
+    // exact snapshot cache (degraded, never partial for probed shards).
+    for s in 0..service.map().shards() {
+        service.inject_crash(s);
+    }
+    for i in 0..6 {
+        let q = corpus[i * 9].clone();
+        answered = client
+            .query(&q, 3, Duration::from_millis(500))
+            .expect("tier-served query");
+        assert!(answered.degraded, "tier-served answers are degraded");
+        assert!(!answered.neighbors.is_empty());
+    }
+
+    let stats = client.stats().expect("stats");
+    let tier = stats.corpus.expect("corpus tier status on the wire");
+    assert_eq!(tier.rows, 64);
+    assert_eq!(tier.nprobe, 2);
+    assert!(tier.stats.corpus_cache_misses > 0, "no compiles counted");
+    assert!(
+        tier.stats.corpus_cache_evictions > 0,
+        "starved cache never evicted"
+    );
+    assert!(tier.resident_bytes > 0);
+    front.shutdown();
+}
